@@ -1,0 +1,98 @@
+//! Ablation benchmarks for the design choices DESIGN.md calls out:
+//!
+//! * **Matching mode** — per-channel FIFO sequence matching (default)
+//!   vs. the paper's literal Algorithm 3.1 (`PreferUnmatched`) vs. the
+//!   all-pairs over-approximation (`Conservative`). The edge counts
+//!   differ (precision), and so does the analysis cost.
+//! * **Loop policy** — the paper's loop optimization (`Optimized`) vs.
+//!   literal Condition 1 (`Strict`), measured as end-to-end Phase III
+//!   cost on programs where the policies diverge.
+//! * **Reachability backend** — the bitset closure vs. per-query BFS,
+//!   justifying the precomputation.
+
+use acfc_cfg::{build_cfg, find_path, Reach};
+use acfc_core::{
+    analyze_iddep, compute_attrs, ensure_recovery_lines, match_send_recv, LoopPolicy,
+    MatchingMode, Phase3Config,
+};
+use acfc_mpsl::programs;
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+fn bench_matching_modes(c: &mut Criterion) {
+    let p = programs::jacobi_odd_even(10);
+    let (cfg, lowered) = build_cfg(&p);
+    let iddep = analyze_iddep(&cfg, &lowered);
+    let attrs = compute_attrs(&cfg, 16, &iddep);
+    for (name, mode) in [
+        ("fifo_ordered", MatchingMode::FifoOrdered),
+        ("prefer_unmatched", MatchingMode::PreferUnmatched),
+        ("conservative", MatchingMode::Conservative),
+    ] {
+        c.bench_function(&format!("matching/{name}"), |b| {
+            b.iter(|| match_send_recv(black_box(&cfg), &attrs, &iddep, mode))
+        });
+    }
+}
+
+fn bench_loop_policies(c: &mut Criterion) {
+    for (name, policy) in [
+        ("optimized", LoopPolicy::Optimized),
+        ("strict", LoopPolicy::Strict),
+    ] {
+        let config = Phase3Config {
+            nprocs: 8,
+            policy,
+            ..Phase3Config::default()
+        };
+        let p = programs::pipeline_skewed(8);
+        c.bench_function(&format!("phase3/{name}/pipeline_skewed"), |b| {
+            b.iter(|| {
+                // Strict mode may legitimately fail on some shapes; the
+                // cost of deciding either way is what's measured.
+                let _ = ensure_recovery_lines(black_box(&p), &config);
+            })
+        });
+    }
+}
+
+fn bench_reachability(c: &mut Criterion) {
+    let (cfg, _) = build_cfg(&programs::bcast_reduce(6));
+    let mut adj = vec![Vec::new(); cfg.len()];
+    for (a, b, _) in cfg.edges() {
+        adj[a.index()].push(b.index());
+    }
+    c.bench_function("reach/closure_precompute", |b| {
+        b.iter(|| Reach::compute(black_box(&adj)))
+    });
+    let n = cfg.len();
+    c.bench_function("reach/all_pairs_by_bfs", |b| {
+        b.iter(|| {
+            let mut count = 0usize;
+            for a in 0..n {
+                for t in 0..n {
+                    if find_path(black_box(&adj), a, t, &|_, _| true).is_some() {
+                        count += 1;
+                    }
+                }
+            }
+            count
+        })
+    });
+    let reach = Reach::compute(&adj);
+    c.bench_function("reach/all_pairs_by_closure", |b| {
+        b.iter(|| {
+            let mut count = 0usize;
+            for a in 0..n {
+                for t in 0..n {
+                    if reach.reachable(a, t) {
+                        count += 1;
+                    }
+                }
+            }
+            count
+        })
+    });
+}
+
+criterion_group!(benches, bench_matching_modes, bench_loop_policies, bench_reachability);
+criterion_main!(benches);

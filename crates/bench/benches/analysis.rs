@@ -1,0 +1,34 @@
+//! Benchmarks the offline analysis (the paper's three phases) on the
+//! stock workloads: this is the entire cost of the protocol, paid once
+//! before execution — the run-time cost is zero by construction.
+
+use acfc_core::{analyze, AnalysisConfig};
+use acfc_mpsl::programs;
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+fn bench_analysis(c: &mut Criterion) {
+    let cfg = AnalysisConfig::for_nprocs(8);
+    for (name, program) in [
+        ("jacobi", programs::jacobi(10)),
+        ("jacobi_odd_even", programs::jacobi_odd_even(10)),
+        ("pipeline_skewed", programs::pipeline_skewed(10)),
+        ("bcast_reduce", programs::bcast_reduce(4)),
+        ("master_worker", programs::master_worker(4)),
+    ] {
+        c.bench_function(&format!("analyze/{name}"), |b| {
+            b.iter(|| analyze(black_box(&program), &cfg).unwrap())
+        });
+    }
+    // Scaling in the analysis n (attribute sets are bitmasks; matching
+    // enumerates rank pairs).
+    let p = programs::jacobi_odd_even(10);
+    for n in [4usize, 16, 64] {
+        let cfg = AnalysisConfig::for_nprocs(n);
+        c.bench_function(&format!("analyze/jacobi_odd_even/n{n}"), |b| {
+            b.iter(|| analyze(black_box(&p), &cfg).unwrap())
+        });
+    }
+}
+
+criterion_group!(benches, bench_analysis);
+criterion_main!(benches);

@@ -1,0 +1,19 @@
+//! Benchmarks the figure regeneration itself (the full Figure 8 and
+//! Figure 9 sweeps) — cheap by construction, pinned here so a
+//! regression in the model's evaluation cost is visible.
+
+use acfc_perfmodel::{figure8, figure8_default_ns, figure9, figure9_default_wms, ModelParams};
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+fn bench_figures(c: &mut Criterion) {
+    let params = ModelParams::default();
+    c.bench_function("figure8_full_sweep", |b| {
+        b.iter(|| figure8(black_box(&params), &figure8_default_ns()))
+    });
+    c.bench_function("figure9_full_sweep", |b| {
+        b.iter(|| figure9(black_box(&params), 64, &figure9_default_wms()))
+    });
+}
+
+criterion_group!(benches, bench_figures);
+criterion_main!(benches);

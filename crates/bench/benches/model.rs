@@ -1,0 +1,33 @@
+//! Benchmarks the performance-model primitives: closed-form Γ, the
+//! numeric Markov chain, and the Monte-Carlo interval simulation.
+
+use acfc_perfmodel::{
+    gamma_closed_form, gamma_markov, simulate_interval, IntervalParams,
+};
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+fn params() -> IntervalParams {
+    IntervalParams {
+        lambda: 1e-4,
+        t: 300.0,
+        o_total: 1.78,
+        l_total: 4.292,
+        r_recovery: 3.32,
+    }
+}
+
+fn bench_model(c: &mut Criterion) {
+    let p = params();
+    c.bench_function("gamma_closed_form", |b| {
+        b.iter(|| gamma_closed_form(black_box(&p)))
+    });
+    c.bench_function("gamma_markov_chain", |b| {
+        b.iter(|| gamma_markov(black_box(&p)))
+    });
+    c.bench_function("monte_carlo_10k_intervals", |b| {
+        b.iter(|| simulate_interval(black_box(&p), 10_000, 42))
+    });
+}
+
+criterion_group!(benches, bench_model);
+criterion_main!(benches);

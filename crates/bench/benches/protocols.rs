@@ -1,0 +1,28 @@
+//! Benchmarks the protocol comparison harness and the recovery-line
+//! computation (rollback propagation over the dependency graph).
+
+use acfc_protocols::{max_consistent_line_of, run_protocol, CompareConfig, ProtocolKind};
+use acfc_sim::{compile, run_with_hooks, SimConfig, TimerCheckpoints};
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+fn bench_protocols(c: &mut Criterion) {
+    let program = acfc_mpsl::programs::jacobi(10);
+    let cfg = CompareConfig::new(4, 60_000);
+    for kind in ProtocolKind::all() {
+        c.bench_function(&format!("protocol/{}", kind.name()), |b| {
+            b.iter(|| run_protocol(black_box(&program), kind, &cfg))
+        });
+    }
+    // Rollback propagation on a long uncoordinated trace.
+    let trace = {
+        let p = acfc_mpsl::programs::ring(50, 1024);
+        let mut hooks = TimerCheckpoints::new(4, 10_000, 3_000);
+        run_with_hooks(&compile(&p), &SimConfig::new(4), &mut hooks)
+    };
+    c.bench_function("recovery/max_consistent_line", |b| {
+        b.iter(|| max_consistent_line_of(black_box(&trace)))
+    });
+}
+
+criterion_group!(benches, bench_protocols);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Benchmarks the discrete-event engine: events per second on the
+//! canonical workloads, with and without failure injection.
+
+use acfc_sim::{compile, run, run_with_failures, CutPicker, FailurePlan, NoHooks, SimConfig, SimTime};
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+fn bench_simulator(c: &mut Criterion) {
+    for (name, program, n) in [
+        ("jacobi_n8", acfc_mpsl::programs::jacobi(20), 8usize),
+        ("stencil_n16", acfc_mpsl::programs::stencil_1d(20), 16),
+        ("master_worker_n8", acfc_mpsl::programs::master_worker(10), 8),
+    ] {
+        let compiled = compile(&program);
+        let cfg = SimConfig::new(n);
+        c.bench_function(&format!("sim/{name}"), |b| {
+            b.iter(|| run(black_box(&compiled), &cfg))
+        });
+    }
+    // Failure + rollback path.
+    let compiled = compile(&acfc_mpsl::programs::jacobi(20));
+    let cfg = SimConfig::new(4);
+    c.bench_function("sim/jacobi_n4_with_failures", |b| {
+        b.iter(|| {
+            let mut hooks = NoHooks;
+            let plan = FailurePlan::at(vec![
+                (SimTime::from_millis(300), 0),
+                (SimTime::from_millis(700), 2),
+            ]);
+            run_with_failures(
+                black_box(&compiled),
+                &cfg,
+                &mut hooks,
+                plan,
+                CutPicker::AlignedSeq,
+            )
+        })
+    });
+}
+
+criterion_group!(benches, bench_simulator);
+criterion_main!(benches);

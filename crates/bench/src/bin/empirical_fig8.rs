@@ -1,0 +1,21 @@
+//! The empirical companion to Figure 8: the same protocol comparison,
+//! measured on the message-level simulator instead of the analytic
+//! model — sweeping the process count with per-process failure
+//! injection scaled as the paper scales `λ(n)`.
+//!
+//! ```text
+//! cargo run --release -p acfc-bench --bin empirical_fig8
+//! ```
+
+use acfc_protocols::{empirical_sweep, render_sweep, SweepConfig};
+
+fn main() {
+    let config = SweepConfig {
+        ns: vec![2, 4, 8, 16],
+        lambda_per_proc: 0.8,
+        ..SweepConfig::default()
+    };
+    println!("# Empirical Figure-8 companion (simulator-measured overhead ratios)");
+    println!("# workload: jacobi(10); failures ~ Exp(n * 0.8/s of simulated time)");
+    print!("{}", render_sweep(&empirical_sweep(&config)));
+}

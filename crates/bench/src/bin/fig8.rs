@@ -1,0 +1,38 @@
+//! Regenerates **Figure 8** of the paper: overhead ratio vs. number of
+//! processes for the application-driven, SaS, and Chandy–Lamport
+//! protocols, using the §4 constants (`o = 1.78 s`, `l = 4.292 s`,
+//! `R = 3.32 s`, `p = 1.23·10⁻⁶`, `T = 300 s`).
+//!
+//! ```text
+//! cargo run -p acfc-bench --bin fig8
+//! ```
+//!
+//! Prints a TSV series (one row per process count). The qualitative
+//! shape to compare against the paper: all three curves grow with `n`
+//! (the system failure rate is proportional to `n`), and the
+//! application-driven curve is the lowest everywhere because it adds no
+//! message or coordination overhead.
+
+use acfc_bench::{paper_params, render_figure};
+use acfc_perfmodel::{figure8, figure8_default_ns};
+
+fn main() {
+    let params = paper_params();
+    let rows = figure8(&params, &figure8_default_ns());
+    print!(
+        "{}",
+        render_figure(
+            "Figure 8 — overhead ratio vs. number of processes",
+            "n",
+            &rows
+        )
+    );
+    // Headline check, printed so the run is self-describing.
+    let ok = rows
+        .iter()
+        .all(|r| r.app_driven < r.sas && r.app_driven < r.chandy_lamport);
+    println!(
+        "# appl-driven lowest at every n: {}",
+        if ok { "yes (matches the paper)" } else { "NO" }
+    );
+}

@@ -1,0 +1,41 @@
+//! Regenerates **Figure 9** of the paper: overhead ratio vs. the
+//! message setup time `w_m` at a fixed process count.
+//!
+//! ```text
+//! cargo run -p acfc-bench --bin fig9 [n]
+//! ```
+//!
+//! The qualitative shape to compare against the paper: the SaS and C-L
+//! curves worsen as `w_m` grows (their per-checkpoint control messages
+//! become more expensive — e.g. under network congestion, as the paper
+//! notes), while the application-driven curve is exactly flat: it sends
+//! no control messages at all.
+
+use acfc_bench::{paper_params, render_figure};
+use acfc_perfmodel::{figure9, figure9_default_wms};
+
+fn main() {
+    let n = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(64usize);
+    let params = paper_params();
+    let rows = figure9(&params, n, &figure9_default_wms());
+    print!(
+        "{}",
+        render_figure(
+            &format!("Figure 9 — overhead ratio vs. message setup time w_m (n = {n})"),
+            "w_m (s)",
+            &rows
+        )
+    );
+    let flat = rows
+        .windows(2)
+        .all(|w| (w[0].app_driven - w[1].app_driven).abs() < 1e-15);
+    let growing = rows.windows(2).all(|w| w[1].sas > w[0].sas && w[1].chandy_lamport > w[0].chandy_lamport);
+    println!(
+        "# appl-driven flat: {}; SaS and C-L growing: {}",
+        if flat { "yes (matches the paper)" } else { "NO" },
+        if growing { "yes (matches the paper)" } else { "NO" },
+    );
+}

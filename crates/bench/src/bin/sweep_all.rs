@@ -1,0 +1,100 @@
+//! Runs the full evaluation sweep: both analytic figures, the
+//! Monte-Carlo model validation (experiment E3), and the empirical
+//! message-level protocol comparison on the simulator (the
+//! simulation-backed companion to Figures 8/9).
+//!
+//! ```text
+//! cargo run --release -p acfc-bench --bin sweep_all
+//! ```
+
+use acfc_bench::{empirical_comparison, paper_params, render_figure};
+use acfc_perfmodel::{
+    figure8, figure8_default_ns, figure9, figure9_default_wms, gamma_closed_form, optimal_k,
+    simulate_interval, single_level_ratio, twolevel_ratio_analytic, IntervalParams,
+    ModelProtocol, TwoLevelParams,
+};
+use acfc_protocols::render_table;
+
+fn main() {
+    let params = paper_params();
+
+    println!("==============================================================");
+    print!(
+        "{}",
+        render_figure(
+            "Figure 8 — overhead ratio vs. number of processes",
+            "n",
+            &figure8(&params, &figure8_default_ns())
+        )
+    );
+
+    println!("==============================================================");
+    print!(
+        "{}",
+        render_figure(
+            "Figure 9 — overhead ratio vs. message setup time w_m (n = 64)",
+            "w_m (s)",
+            &figure9(&params, 64, &figure9_default_wms())
+        )
+    );
+
+    println!("==============================================================");
+    println!("# E3 — Monte-Carlo validation of the interval model");
+    println!("lambda\tanalytic Γ\tMC mean\tMC stderr\trel.err");
+    for lambda in [1e-5, 1e-4, 1e-3] {
+        let p = IntervalParams {
+            lambda,
+            t: 300.0,
+            o_total: params.o,
+            l_total: params.l,
+            r_recovery: params.r_recovery,
+        };
+        let exact = gamma_closed_form(&p);
+        let est = simulate_interval(&p, 100_000, 0xACFC);
+        println!(
+            "{lambda:.0e}\t{exact:.4}\t{:.4}\t{:.4}\t{:.2e}",
+            est.mean,
+            est.std_err,
+            (est.mean - exact).abs() / exact
+        );
+    }
+
+    println!("==============================================================");
+    println!("# Empirical message-level comparison (Jacobi, n = 4, one failure)");
+    print!("{}", render_table(&empirical_comparison(4, 7)));
+
+    println!("==============================================================");
+    println!("# E6 — two-level recovery extension (refs [24, 25])");
+    let tl = TwoLevelParams {
+        lambda_single: 5e-5,
+        lambda_cat: 1e-6,
+        t: 300.0,
+        o1: 0.2,
+        o2: params.o,
+        r1: 0.5,
+        r2: params.r_recovery,
+        k: 8,
+    };
+    let (k_star, best) = optimal_k(&tl, 256);
+    println!(
+        "single-level ratio (all stable-storage): {:.6e}",
+        single_level_ratio(&tl)
+    );
+    println!(
+        "two-level ratio at k=8: {:.6e}; optimal k* = {k_star} with ratio {:.6e}",
+        twolevel_ratio_analytic(&tl),
+        best
+    );
+
+    println!("==============================================================");
+    println!("# Per-checkpoint protocol message overhead (model, seconds)");
+    println!("n\tM(SaS)\tM(C-L)\tM(appl-driven)");
+    for n in [2usize, 8, 32, 128] {
+        println!(
+            "{n}\t{:.4}\t{:.4}\t{:.4}",
+            params.message_overhead(ModelProtocol::SyncAndStop, n),
+            params.message_overhead(ModelProtocol::ChandyLamport, n),
+            params.message_overhead(ModelProtocol::AppDriven, n),
+        );
+    }
+}

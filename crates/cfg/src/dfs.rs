@@ -1,0 +1,113 @@
+//! Depth-first traversal orders over a [`Cfg`].
+
+use crate::graph::{Cfg, NodeId};
+
+/// The classic DFS orders, computed from the entry node.
+#[derive(Debug, Clone)]
+pub struct DfsOrders {
+    /// Nodes in first-visit (pre-) order.
+    pub preorder: Vec<NodeId>,
+    /// Nodes in finish (post-) order.
+    pub postorder: Vec<NodeId>,
+    /// `rpo_index[n] = Some(i)` iff node `n` is the `i`-th node of the
+    /// reverse postorder; `None` for nodes unreachable from entry.
+    pub rpo_index: Vec<Option<u32>>,
+}
+
+impl DfsOrders {
+    /// Reverse postorder (the order dominator computation iterates in).
+    pub fn reverse_postorder(&self) -> Vec<NodeId> {
+        self.postorder.iter().rev().copied().collect()
+    }
+
+    /// `true` if `n` is reachable from entry.
+    pub fn is_reachable(&self, n: NodeId) -> bool {
+        self.rpo_index[n.index()].is_some()
+    }
+}
+
+/// Runs an iterative DFS from the entry node, following successor edges
+/// in insertion order.
+pub fn dfs(cfg: &Cfg) -> DfsOrders {
+    let n = cfg.len();
+    let mut preorder = Vec::with_capacity(n);
+    let mut postorder = Vec::with_capacity(n);
+    let mut state = vec![0u8; n]; // 0 = unvisited, 1 = on stack, 2 = done
+    // Each stack frame: (node, next successor index to try).
+    let mut stack: Vec<(NodeId, usize)> = vec![(cfg.entry(), 0)];
+    state[cfg.entry().index()] = 1;
+    preorder.push(cfg.entry());
+    while let Some(&mut (node, ref mut next)) = stack.last_mut() {
+        let succs = cfg.succs(node);
+        if *next < succs.len() {
+            let (to, _) = succs[*next];
+            *next += 1;
+            if state[to.index()] == 0 {
+                state[to.index()] = 1;
+                preorder.push(to);
+                stack.push((to, 0));
+            }
+        } else {
+            state[node.index()] = 2;
+            postorder.push(node);
+            stack.pop();
+        }
+    }
+    let mut rpo_index = vec![None; n];
+    for (i, node) in postorder.iter().rev().enumerate() {
+        rpo_index[node.index()] = Some(i as u32);
+    }
+    DfsOrders {
+        preorder,
+        postorder,
+        rpo_index,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build::build_cfg;
+    use acfc_mpsl::parse;
+
+    #[test]
+    fn visits_all_reachable_nodes() {
+        let (cfg, _) = build_cfg(
+            &parse("program t; var i; while i < 3 { if rank == 0 { compute 1; } i := i + 1; }")
+                .unwrap(),
+        );
+        let orders = dfs(&cfg);
+        assert_eq!(orders.preorder.len(), cfg.len());
+        assert_eq!(orders.postorder.len(), cfg.len());
+        for id in cfg.node_ids() {
+            assert!(orders.is_reachable(id), "{id} unreachable");
+        }
+    }
+
+    #[test]
+    fn entry_first_in_preorder_and_rpo() {
+        let (cfg, _) = build_cfg(&parse("program t; compute 1;").unwrap());
+        let orders = dfs(&cfg);
+        assert_eq!(orders.preorder[0], cfg.entry());
+        assert_eq!(orders.reverse_postorder()[0], cfg.entry());
+        assert_eq!(orders.rpo_index[cfg.entry().index()], Some(0));
+    }
+
+    #[test]
+    fn postorder_finishes_exit_before_entry() {
+        let (cfg, _) = build_cfg(&parse("program t; compute 1;").unwrap());
+        let orders = dfs(&cfg);
+        let pos = |n: NodeId| orders.postorder.iter().position(|&x| x == n).unwrap();
+        assert!(pos(cfg.exit()) < pos(cfg.entry()));
+    }
+
+    #[test]
+    fn disconnected_nodes_are_unreachable() {
+        let mut cfg = crate::graph::Cfg::new("t");
+        cfg.add_edge(cfg.entry(), cfg.exit(), crate::graph::EdgeLabel::Seq);
+        let island = cfg.add_node(crate::graph::NodeKind::Join, None);
+        let orders = dfs(&cfg);
+        assert!(!orders.is_reachable(island));
+        assert_eq!(orders.preorder.len(), 2);
+    }
+}

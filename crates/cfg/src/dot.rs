@@ -1,0 +1,120 @@
+//! Graphviz (DOT) export of CFGs.
+//!
+//! The rendering mirrors the paper's figures: rectangles for statements,
+//! diamonds for branch nodes, double circles for checkpoints, and dashed
+//! arrows for message edges (when the caller supplies them — the
+//! extended-CFG exporter in `acfc-core` does).
+
+use crate::graph::{Cfg, EdgeLabel, NodeId, NodeKind};
+use acfc_mpsl::{expr_to_string, RecvSrc};
+use std::fmt::Write;
+
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+/// Human-readable label for a node.
+pub fn node_label(cfg: &Cfg, id: NodeId) -> String {
+    match &cfg.node(id).kind {
+        NodeKind::Entry => "ENTRY".to_string(),
+        NodeKind::Exit => "EXIT".to_string(),
+        NodeKind::Branch { cond } => format!("if {}", expr_to_string(cond)),
+        NodeKind::Join => "join".to_string(),
+        NodeKind::Send { dest, .. } => format!("send to {}", expr_to_string(dest)),
+        NodeKind::Recv { src } => match src {
+            RecvSrc::Any => "recv from any".to_string(),
+            RecvSrc::Rank(e) => format!("recv from {}", expr_to_string(e)),
+        },
+        NodeKind::Checkpoint { label } => match label {
+            Some(l) => format!("chkpt \"{l}\""),
+            None => "chkpt".to_string(),
+        },
+        NodeKind::Compute { cost } => format!("compute {}", expr_to_string(cost)),
+        NodeKind::Assign { var, value } => format!("{var} := {}", expr_to_string(value)),
+    }
+}
+
+/// Renders `cfg` as DOT, with optional extra (message) edges drawn
+/// dashed. `extra_edges` pairs are `(send_node, recv_node)`.
+pub fn to_dot(cfg: &Cfg, extra_edges: &[(NodeId, NodeId)]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph \"{}\" {{", escape(cfg.name()));
+    let _ = writeln!(out, "  node [fontname=\"Helvetica\"];");
+    for id in cfg.node_ids() {
+        // Skip fully disconnected nodes (e.g. checkpoints that Phase III
+        // moved away) except entry/exit.
+        let kind = &cfg.node(id).kind;
+        let connected = !cfg.succs(id).is_empty()
+            || !cfg.preds(id).is_empty()
+            || matches!(kind, NodeKind::Entry | NodeKind::Exit);
+        if !connected {
+            continue;
+        }
+        let shape = match kind {
+            NodeKind::Entry | NodeKind::Exit => "oval",
+            NodeKind::Branch { .. } => "diamond",
+            NodeKind::Checkpoint { .. } => "doublecircle",
+            NodeKind::Join => "point",
+            _ => "box",
+        };
+        let _ = writeln!(
+            out,
+            "  {id} [label=\"{}\", shape={shape}];",
+            escape(&node_label(cfg, id))
+        );
+    }
+    for (from, to, label) in cfg.edges() {
+        let attr = match label {
+            EdgeLabel::Seq => String::new(),
+            EdgeLabel::True => " [label=\"T\"]".to_string(),
+            EdgeLabel::False => " [label=\"F\"]".to_string(),
+        };
+        let _ = writeln!(out, "  {from} -> {to}{attr};");
+    }
+    for &(s, r) in extra_edges {
+        let _ = writeln!(out, "  {s} -> {r} [style=dashed, color=gray40];");
+    }
+    let _ = writeln!(out, "}}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build::build_cfg;
+    use acfc_mpsl::parse;
+
+    #[test]
+    fn dot_contains_all_connected_nodes_and_edges() {
+        let (cfg, _) = build_cfg(
+            &parse("program t; if rank == 0 { checkpoint; } else { compute 1; }").unwrap(),
+        );
+        let dot = to_dot(&cfg, &[]);
+        assert!(dot.starts_with("digraph"));
+        assert!(dot.contains("ENTRY"));
+        assert!(dot.contains("EXIT"));
+        assert!(dot.contains("chkpt"));
+        assert!(dot.contains("diamond"));
+        assert!(dot.contains("label=\"T\""));
+        assert!(dot.contains("label=\"F\""));
+        // One line per edge.
+        let arrow_lines = dot.lines().filter(|l| l.contains("->")).count();
+        assert_eq!(arrow_lines, cfg.edge_count());
+    }
+
+    #[test]
+    fn message_edges_render_dashed() {
+        let (cfg, _) = build_cfg(&parse("program t; send to 1; recv from 0;").unwrap());
+        let s = cfg.send_nodes()[0];
+        let r = cfg.recv_nodes()[0];
+        let dot = to_dot(&cfg, &[(s, r)]);
+        assert!(dot.contains("style=dashed"));
+    }
+
+    #[test]
+    fn labels_are_escaped() {
+        let (cfg, _) = build_cfg(&parse("program t; checkpoint \"a label\";").unwrap());
+        let dot = to_dot(&cfg, &[]);
+        assert!(dot.contains("chkpt \\\"a label\\\""));
+    }
+}

@@ -1,0 +1,187 @@
+//! Reachability closure over arbitrary adjacency lists.
+//!
+//! Both Condition 1 (paths in the extended CFG `Ĝ`) and Algorithm 3.2
+//! (`"no path from C_i^A to a"`) are reachability questions over graphs
+//! that are *not* plain CFGs (they include message edges, or exclude
+//! backward edges). This module therefore works on raw adjacency lists —
+//! [`crate::graph::Cfg`] and the extended CFG both lower to that — with a
+//! bitset transitive closure.
+
+/// A dense reachability matrix: `reachable(a, b)` means there is a path
+/// of length ≥ 1 from `a` to `b`.
+#[derive(Debug, Clone)]
+pub struct Reach {
+    n: usize,
+    words: usize,
+    rows: Vec<u64>,
+}
+
+impl Reach {
+    /// Computes the closure of the graph given as adjacency lists
+    /// (`succs[i]` = successors of node `i`). Runs one BFS per node over
+    /// bitset rows; O(V·(V+E)) worst case, fast in practice for the
+    /// CFG sizes the analysis sees.
+    pub fn compute(succs: &[Vec<usize>]) -> Reach {
+        let n = succs.len();
+        let words = n.div_ceil(64);
+        let mut rows = vec![0u64; n * words];
+        let mut stack = Vec::new();
+        let mut seen = vec![false; n];
+        for start in 0..n {
+            seen.iter_mut().for_each(|b| *b = false);
+            stack.clear();
+            for &s in &succs[start] {
+                if !seen[s] {
+                    seen[s] = true;
+                    stack.push(s);
+                }
+            }
+            while let Some(x) = stack.pop() {
+                rows[start * words + x / 64] |= 1u64 << (x % 64);
+                for &s in &succs[x] {
+                    if !seen[s] {
+                        seen[s] = true;
+                        stack.push(s);
+                    }
+                }
+            }
+        }
+        Reach { n, words, rows }
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// `true` if the graph has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// `true` iff a path of length ≥ 1 exists from `a` to `b`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a` or `b` is out of range.
+    pub fn reachable(&self, a: usize, b: usize) -> bool {
+        assert!(a < self.n && b < self.n, "node out of range");
+        self.rows[a * self.words + b / 64] & (1u64 << (b % 64)) != 0
+    }
+
+    /// `true` iff `a == b` or `a` reaches `b`.
+    pub fn reachable_or_eq(&self, a: usize, b: usize) -> bool {
+        a == b || self.reachable(a, b)
+    }
+
+    /// All nodes reachable from `a` (ascending).
+    pub fn reachable_set(&self, a: usize) -> Vec<usize> {
+        (0..self.n).filter(|&b| self.reachable(a, b)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chain_reachability() {
+        let succs = vec![vec![1], vec![2], vec![]];
+        let r = Reach::compute(&succs);
+        assert!(r.reachable(0, 1));
+        assert!(r.reachable(0, 2));
+        assert!(r.reachable(1, 2));
+        assert!(!r.reachable(2, 0));
+        assert!(!r.reachable(0, 0));
+        assert!(r.reachable_or_eq(0, 0));
+    }
+
+    #[test]
+    fn cycle_reaches_itself() {
+        let succs = vec![vec![1], vec![0]];
+        let r = Reach::compute(&succs);
+        assert!(r.reachable(0, 0));
+        assert!(r.reachable(1, 1));
+    }
+
+    #[test]
+    fn self_loop() {
+        let succs = vec![vec![0]];
+        let r = Reach::compute(&succs);
+        assert!(r.reachable(0, 0));
+    }
+
+    #[test]
+    fn disconnected_components() {
+        let succs = vec![vec![1], vec![], vec![3], vec![]];
+        let r = Reach::compute(&succs);
+        assert!(r.reachable(0, 1));
+        assert!(r.reachable(2, 3));
+        assert!(!r.reachable(0, 3));
+        assert!(!r.reachable(2, 1));
+        assert_eq!(r.reachable_set(0), vec![1]);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let r = Reach::compute(&[]);
+        assert!(r.is_empty());
+        assert_eq!(r.len(), 0);
+    }
+
+    #[test]
+    fn large_graph_crosses_word_boundary() {
+        // 130 nodes in a chain crosses two u64 words.
+        let n = 130;
+        let succs: Vec<Vec<usize>> = (0..n)
+            .map(|i| if i + 1 < n { vec![i + 1] } else { vec![] })
+            .collect();
+        let r = Reach::compute(&succs);
+        assert!(r.reachable(0, 129));
+        assert!(r.reachable(64, 65));
+        assert!(!r.reachable(129, 0));
+    }
+
+    #[test]
+    fn matches_floyd_warshall_on_random_graphs() {
+        // Deterministic pseudo-random graphs via a simple LCG.
+        let mut state = 0x243F_6A88_85A3_08D3u64;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state >> 33
+        };
+        for _ in 0..20 {
+            let n = 3 + (next() % 12) as usize;
+            let mut succs = vec![Vec::new(); n];
+            #[allow(clippy::needless_range_loop)]
+            for a in 0..n {
+                for b in 0..n {
+                    if next() % 4 == 0 {
+                        succs[a].push(b);
+                    }
+                }
+            }
+            let r = Reach::compute(&succs);
+            // Floyd–Warshall oracle.
+            let mut m = vec![vec![false; n]; n];
+            for (a, row) in succs.iter().enumerate() {
+                for &b in row {
+                    m[a][b] = true;
+                }
+            }
+            for k in 0..n {
+                for i in 0..n {
+                    for j in 0..n {
+                        m[i][j] = m[i][j] || (m[i][k] && m[k][j]);
+                    }
+                }
+            }
+            #[allow(clippy::needless_range_loop)]
+            for i in 0..n {
+                for j in 0..n {
+                    assert_eq!(r.reachable(i, j), m[i][j], "({i},{j}) n={n}");
+                }
+            }
+        }
+    }
+}

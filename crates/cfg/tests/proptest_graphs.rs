@@ -1,0 +1,172 @@
+//! Property tests for the CFG machinery on randomly generated
+//! structured programs: the CHK dominator algorithm against the naive
+//! fixpoint, loop/back-edge invariants, reachability against path
+//! finding, and structural invariants of construction.
+
+use acfc_cfg::{
+    build_cfg, dominators, dominators_naive, find_path, loop_info, Cfg, NodeId, Reach,
+};
+use acfc_mpsl::{Expr, Program, Stmt, StmtKind};
+use proptest::prelude::*;
+
+/// Random structured statement trees (control flow only; the leaf
+/// statements don't matter for graph algorithms).
+fn arb_stmt() -> impl Strategy<Value = Stmt> {
+    let leaf = prop_oneof![
+        Just(Stmt::new(StmtKind::Compute { cost: Expr::Int(1) })),
+        Just(Stmt::new(StmtKind::Checkpoint { label: None })),
+        Just(Stmt::new(StmtKind::Send {
+            dest: Expr::Int(0),
+            size_bits: Expr::Int(8)
+        })),
+        Just(Stmt::new(StmtKind::Recv {
+            src: acfc_mpsl::RecvSrc::Any
+        })),
+    ];
+    leaf.prop_recursive(4, 40, 4, |inner| {
+        prop_oneof![
+            (
+                prop::collection::vec(inner.clone(), 0..4),
+                prop::collection::vec(inner.clone(), 0..4)
+            )
+                .prop_map(|(t, e)| Stmt::new(StmtKind::If {
+                    cond: Expr::Rank,
+                    then_branch: t,
+                    else_branch: e
+                })),
+            prop::collection::vec(inner.clone(), 0..4).prop_map(|body| Stmt::new(
+                StmtKind::While {
+                    cond: Expr::Var("i".into()),
+                    body
+                }
+            )),
+            (prop::collection::vec(inner, 1..4)).prop_map(|body| Stmt::new(StmtKind::For {
+                var: "i".into(),
+                from: Expr::Int(0),
+                to: Expr::Int(3),
+                body
+            })),
+        ]
+    })
+}
+
+fn arb_cfg() -> impl Strategy<Value = Cfg> {
+    prop::collection::vec(arb_stmt(), 0..8).prop_map(|body| {
+        let p = Program::new("g", vec![], vec!["i".into()], body);
+        build_cfg(&p).0
+    })
+}
+
+fn adjacency(cfg: &Cfg) -> Vec<Vec<usize>> {
+    let mut adj = vec![Vec::new(); cfg.len()];
+    for (a, b, _) in cfg.edges() {
+        adj[a.index()].push(b.index());
+    }
+    adj
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 64,
+        .. ProptestConfig::default()
+    })]
+
+    #[test]
+    fn construction_invariants_hold(cfg in arb_cfg()) {
+        prop_assert_eq!(cfg.check_invariants(), Ok(()));
+        // Exit reachable from entry.
+        let adj = adjacency(&cfg);
+        let r = Reach::compute(&adj);
+        prop_assert!(r.reachable_or_eq(cfg.entry().index(), cfg.exit().index()));
+    }
+
+    #[test]
+    fn fast_dominators_match_naive(cfg in arb_cfg()) {
+        let fast = dominators(&cfg);
+        let slow = dominators_naive(&cfg);
+        for a in cfg.node_ids() {
+            for b in cfg.node_ids() {
+                prop_assert_eq!(
+                    fast.dominates(a, b),
+                    slow[b.index()][a.index()],
+                    "dominates({},{})", a, b
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn back_edge_targets_are_loop_headers_dominating_their_latch(cfg in arb_cfg()) {
+        let dom = dominators(&cfg);
+        let li = loop_info(&cfg);
+        for &(latch, header, _) in &li.back_edges {
+            prop_assert!(dom.dominates(header, latch));
+        }
+        for l in &li.loops {
+            prop_assert!(l.contains(l.header));
+            prop_assert!(l.contains(l.back_edge.0));
+            // Every member is dominated by the header.
+            for m in cfg.node_ids().filter(|&m| l.contains(m)) {
+                prop_assert!(dom.dominates(l.header, m));
+            }
+        }
+    }
+
+    #[test]
+    fn reach_agrees_with_path_finding(cfg in arb_cfg()) {
+        let adj = adjacency(&cfg);
+        let r = Reach::compute(&adj);
+        for a in cfg.node_ids() {
+            for b in cfg.node_ids() {
+                let has_path = find_path(&adj, a.index(), b.index(), &|_, _| true).is_some();
+                prop_assert_eq!(r.reachable(a.index(), b.index()), has_path,
+                    "reach vs path at ({},{})", a, b);
+            }
+        }
+    }
+
+    #[test]
+    fn dominator_chains_are_consistent(cfg in arb_cfg()) {
+        let dom = dominators(&cfg);
+        for n in cfg.node_ids() {
+            let chain = dom.chain(n);
+            if chain.is_empty() {
+                continue;
+            }
+            prop_assert_eq!(chain[0], cfg.entry());
+            prop_assert_eq!(*chain.last().unwrap(), n);
+            for w in chain.windows(2) {
+                prop_assert_eq!(dom.idom(w[1]), Some(w[0]));
+                prop_assert!(dom.dominates(w[0], w[1]));
+            }
+        }
+    }
+
+    #[test]
+    fn checkpoint_nodes_match_statement_count(stmts in prop::collection::vec(arb_stmt(), 0..8)) {
+        let p = Program::new("g", vec![], vec!["i".into()], stmts);
+        let (cfg, lowered) = build_cfg(&p);
+        prop_assert_eq!(cfg.checkpoint_nodes().len(), lowered.checkpoint_ids().len());
+        prop_assert_eq!(cfg.send_nodes().len(), lowered.send_ids().len());
+        prop_assert_eq!(cfg.recv_nodes().len(), lowered.recv_ids().len());
+    }
+}
+
+/// The helper `NodeId` ordering is stable under arena growth.
+#[test]
+fn node_ids_are_ordered_by_insertion() {
+    let p = Program::new(
+        "g",
+        vec![],
+        vec![],
+        vec![
+            Stmt::new(StmtKind::Compute { cost: Expr::Int(1) }),
+            Stmt::new(StmtKind::Checkpoint { label: None }),
+        ],
+    );
+    let (cfg, _) = build_cfg(&p);
+    let ids: Vec<NodeId> = cfg.node_ids().collect();
+    let mut sorted = ids.clone();
+    sorted.sort();
+    assert_eq!(ids, sorted);
+}

@@ -1,0 +1,270 @@
+//! ID-dependence analysis.
+//!
+//! §3.2: *using any data flow analysis technique, we can specify whether
+//! each branch is ID-dependent or not: we first determine the variables
+//! and constants that depend on process IDs, and then determine whether
+//! each condition expression is ID-dependent.* This module implements
+//! that dataflow as a **must constant-propagation of rank expressions**:
+//! a per-node environment mapping variables to closed expressions over
+//! `rank` / `nprocs` / parameters / `input(·)`, plus a classification of
+//! every branch node.
+
+use acfc_cfg::{Cfg, NodeId, NodeKind};
+use acfc_mpsl::{rank_eval, Expr, Program, RankEnv, RankVal};
+use std::collections::HashMap;
+
+/// Classification of a branch node's condition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BranchClass {
+    /// The condition is rank-determined and its truth value differs
+    /// across ranks: the paper's *ID-dependent* branch.
+    IdDependent,
+    /// Rank-determined but identical for every rank (e.g. `0 == 1`):
+    /// all processes take the same arm.
+    Uniform,
+    /// Depends on run-time state the analysis does not track (loop
+    /// counters, unresolved variables): still identical across
+    /// processes in SPMD (deterministic, same inputs), but the arm
+    /// taken is unknown statically.
+    Unresolved,
+    /// Depends on input data (*irregular*).
+    Irregular,
+}
+
+/// Result of the ID-dependence dataflow.
+#[derive(Debug, Clone)]
+pub struct IdDepInfo {
+    /// Per-node must-environment: variables resolved to closed rank
+    /// expressions (over `rank`, `nprocs`, params, ints, `input`).
+    envs: Vec<HashMap<String, Expr>>,
+    /// Per-branch-node classification (indexed by node).
+    classes: HashMap<NodeId, BranchClass>,
+    /// Program parameter defaults (needed by downstream evaluation).
+    pub params: HashMap<String, i64>,
+}
+
+impl IdDepInfo {
+    /// The resolved-variable environment holding **at entry to** `node`.
+    pub fn env_at(&self, node: NodeId) -> &HashMap<String, Expr> {
+        &self.envs[node.index()]
+    }
+
+    /// Classification of a branch node (`None` for non-branch nodes).
+    pub fn branch_class(&self, node: NodeId) -> Option<BranchClass> {
+        self.classes.get(&node).copied()
+    }
+
+    /// `true` iff `node` is an ID-dependent branch.
+    pub fn is_id_dependent(&self, node: NodeId) -> bool {
+        self.branch_class(node) == Some(BranchClass::IdDependent)
+    }
+}
+
+/// `true` when `e` is *closed*: mentions only `rank`, `nprocs`,
+/// parameters, integers, and `input(·)` — i.e. it can be carried in a
+/// must-environment without aliasing mutable state.
+fn is_closed(e: &Expr) -> bool {
+    !e.mentions_var()
+}
+
+/// Runs the dataflow at a sample `n` (used only to classify branches;
+/// environments are symbolic and `n`-independent).
+pub fn analyze_iddep(cfg: &Cfg, program: &Program) -> IdDepInfo {
+    analyze_iddep_at(cfg, program, 8)
+}
+
+/// Like [`analyze_iddep`] with an explicit sample `n` for branch
+/// classification (`n ≥ 2`; classification compares the condition's
+/// truth value across ranks `0..n`).
+pub fn analyze_iddep_at(cfg: &Cfg, program: &Program, sample_n: usize) -> IdDepInfo {
+    assert!(sample_n >= 2, "need n >= 2 to witness rank dependence");
+    let params: HashMap<String, i64> = program.params.iter().cloned().collect();
+    let len = cfg.len();
+    // Must-analysis lattice: ⊤ = "unvisited" (None), otherwise a map;
+    // meet = intersection of equal bindings.
+    let mut envs: Vec<Option<HashMap<String, Expr>>> = vec![None; len];
+    envs[cfg.entry().index()] = Some(HashMap::new());
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for a in cfg.node_ids() {
+            let Some(env_in) = envs[a.index()].clone() else {
+                continue;
+            };
+            // Transfer through the node.
+            let env_out = transfer(cfg, a, env_in);
+            for &(b, _) in cfg.succs(a) {
+                let merged = match &envs[b.index()] {
+                    None => env_out.clone(),
+                    Some(cur) => meet(cur, &env_out),
+                };
+                if envs[b.index()].as_ref() != Some(&merged) {
+                    envs[b.index()] = Some(merged);
+                    changed = true;
+                }
+            }
+        }
+    }
+    let envs: Vec<HashMap<String, Expr>> = envs
+        .into_iter()
+        .map(|e| e.unwrap_or_default())
+        .collect();
+    // Classify branches.
+    let mut classes = HashMap::new();
+    for b in cfg.branch_nodes() {
+        let NodeKind::Branch { cond } = &cfg.node(b).kind else {
+            unreachable!()
+        };
+        let var_exprs = &envs[b.index()];
+        let mut vals = Vec::with_capacity(sample_n);
+        let mut any_unknown = false;
+        let mut any_irregular = false;
+        for r in 0..sample_n {
+            let env = RankEnv {
+                rank: r as i64,
+                nprocs: sample_n as i64,
+                params: &params,
+                var_exprs,
+            };
+            match rank_eval(cond, &env) {
+                RankVal::Known(v) => vals.push(v != 0),
+                RankVal::Unknown => any_unknown = true,
+                RankVal::Irregular => any_irregular = true,
+            }
+        }
+        let class = if any_irregular {
+            BranchClass::Irregular
+        } else if any_unknown {
+            BranchClass::Unresolved
+        } else if vals.windows(2).all(|w| w[0] == w[1]) {
+            BranchClass::Uniform
+        } else {
+            BranchClass::IdDependent
+        };
+        classes.insert(b, class);
+    }
+    IdDepInfo {
+        envs,
+        classes,
+        params,
+    }
+}
+
+fn transfer(cfg: &Cfg, node: NodeId, mut env: HashMap<String, Expr>) -> HashMap<String, Expr> {
+    if let NodeKind::Assign { var, value } = &cfg.node(node).kind {
+        // Substitute known bindings into the RHS; keep only if closed.
+        let substituted = value.substitute(&|name| env.get(name).cloned());
+        if is_closed(&substituted) {
+            env.insert(var.clone(), substituted);
+        } else {
+            env.remove(var);
+        }
+    }
+    env
+}
+
+fn meet(a: &HashMap<String, Expr>, b: &HashMap<String, Expr>) -> HashMap<String, Expr> {
+    a.iter()
+        .filter(|(k, v)| b.get(*k) == Some(v))
+        .map(|(k, v)| (k.clone(), v.clone()))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use acfc_cfg::build_cfg;
+    use acfc_mpsl::parse;
+
+    fn info_for(src: &str) -> (acfc_cfg::Cfg, IdDepInfo) {
+        let p = parse(src).unwrap();
+        let (cfg, lowered) = build_cfg(&p);
+        let info = analyze_iddep(&cfg, &lowered);
+        (cfg, info)
+    }
+
+    #[test]
+    fn direct_rank_branch_is_id_dependent() {
+        let (cfg, info) = info_for("program t; if rank % 2 == 0 { compute 1; }");
+        let b = cfg.branch_nodes()[0];
+        assert_eq!(info.branch_class(b), Some(BranchClass::IdDependent));
+        assert!(info.is_id_dependent(b));
+    }
+
+    #[test]
+    fn constant_branch_is_uniform() {
+        let (cfg, info) = info_for("program t; param k = 3; if k > 1 { compute 1; }");
+        let b = cfg.branch_nodes()[0];
+        assert_eq!(info.branch_class(b), Some(BranchClass::Uniform));
+    }
+
+    #[test]
+    fn loop_counter_branch_is_unresolved() {
+        let (cfg, info) = info_for("program t; var i; while i < 3 { i := i + 1; }");
+        let b = cfg.branch_nodes()[0];
+        assert_eq!(info.branch_class(b), Some(BranchClass::Unresolved));
+        assert!(!info.is_id_dependent(b));
+    }
+
+    #[test]
+    fn input_branch_is_irregular() {
+        let (cfg, info) = info_for("program t; if input(0) > 0 { compute 1; }");
+        let b = cfg.branch_nodes()[0];
+        assert_eq!(info.branch_class(b), Some(BranchClass::Irregular));
+    }
+
+    #[test]
+    fn propagated_rank_var_is_id_dependent() {
+        let (cfg, info) = info_for(
+            "program t; var me; me := rank % 2; if me == 0 { compute 1; }",
+        );
+        let b = cfg.branch_nodes()[0];
+        assert_eq!(info.branch_class(b), Some(BranchClass::IdDependent));
+        // The environment at the branch resolves `me`.
+        assert!(info.env_at(b).contains_key("me"));
+    }
+
+    #[test]
+    fn reassigned_var_in_loop_is_dropped() {
+        let (cfg, info) = info_for(
+            "program t; var i; i := rank; while i < 9 { i := i + 1; } if i == 0 { compute 1; }",
+        );
+        // After the loop, `i`'s value is iteration-dependent: must-env
+        // drops it, so the final branch is Unresolved, not IdDependent.
+        let branches = cfg.branch_nodes();
+        let last = *branches.last().unwrap();
+        assert_eq!(info.branch_class(last), Some(BranchClass::Unresolved));
+    }
+
+    #[test]
+    fn join_keeps_only_agreeing_bindings() {
+        let (cfg, info) = info_for(
+            "program t; var a, b;
+             a := 7;
+             if rank == 0 { b := 1; } else { b := 2; }
+             if a == 7 { compute 1; }",
+        );
+        // `a` survives the join (same binding on both arms); `b` does not.
+        let branches = cfg.branch_nodes();
+        let last = *branches.last().unwrap();
+        let env = info.env_at(last);
+        assert_eq!(env.get("a"), Some(&Expr::Int(7)));
+        assert!(!env.contains_key("b"));
+        assert_eq!(info.branch_class(last), Some(BranchClass::Uniform));
+    }
+
+    #[test]
+    fn fig2_jacobi_branch_classified() {
+        let p = acfc_mpsl::programs::jacobi_odd_even(3);
+        let (cfg, lowered) = build_cfg(&p);
+        let info = analyze_iddep(&cfg, &lowered);
+        let classes: Vec<BranchClass> = cfg
+            .branch_nodes()
+            .iter()
+            .map(|&b| info.branch_class(b).unwrap())
+            .collect();
+        // One loop (Unresolved) and the odd/even branch (IdDependent).
+        assert!(classes.contains(&BranchClass::Unresolved));
+        assert!(classes.contains(&BranchClass::IdDependent));
+    }
+}

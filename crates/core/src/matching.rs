@@ -1,0 +1,560 @@
+//! Phase II — matching send and receive nodes (Algorithm 3.1).
+//!
+//! For every `recv` node, find the `send` node(s) that could have
+//! produced the message it consumes, by comparing the *source attribute*
+//! (which ranks can execute the receive, and which sender its `source`
+//! parameter names) against each candidate send's *destination
+//! attribute*. A pair matches when the attributes do not contradict:
+//!
+//! > ∃ sender rank `p`, receiver rank `q`, `p ≠ q`, such that `p` can
+//! > execute the send, `q` can execute the receive, the send's
+//! > destination at `p` is `q` (or irregular/unresolvable), and the
+//! > receive's source at `q` is `p` (or irregular/unresolvable).
+//!
+//! Irregular patterns (§3.2) — parameters involving `input(·)` or
+//! `recv from any` — match every non-contradicting candidate; regular
+//! patterns can optionally follow the paper's "prefer not-yet-matched
+//! sends" rule ([`MatchingMode::PreferUnmatched`]). The default,
+//! [`MatchingMode::Conservative`], matches all non-contradicting pairs —
+//! an over-approximation that preserves Lemma 3.1 (the true sender is
+//! always among the matches) and errs toward more message edges, i.e.
+//! toward *more* conservative checkpoint placement in Phase III.
+
+use crate::attr::NodeAttrs;
+use crate::iddep::IdDepInfo;
+use acfc_cfg::{dfs, Cfg, NodeId, NodeKind};
+use acfc_mpsl::{rank_eval, Expr, RankEnv, RankVal, RecvSrc};
+use std::collections::HashMap;
+
+/// How aggressively to match (see module docs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum MatchingMode {
+    /// Match every non-contradicting (send, recv) pair. Sound
+    /// over-approximation, but imprecise: in programs with several
+    /// communication phases it cross-matches phase `k`'s sends with
+    /// phase `j ≠ k`'s receives, which FIFO channels rule out, and the
+    /// spurious edges can make Condition 1 unsatisfiable.
+    Conservative,
+    /// Algorithm 3.1 as written: a regular receive prefers send nodes
+    /// that are not yet matched, falling back to matched ones only when
+    /// no unmatched candidate exists (preserving Lemma 3.1).
+    PreferUnmatched,
+    /// Per-channel FIFO sequence matching (the default). Under the §2
+    /// model — reliable FIFO channels, blocking receives, deterministic
+    /// SPMD — the `k`-th receive on channel `(p, q)` consumes exactly
+    /// the `k`-th send on it. For every concrete rank pair the matcher
+    /// therefore lists the channel's send and receive statements in
+    /// program order and pairs them positionally; a channel whose
+    /// statements cannot all be resolved exactly (irregular or unknown
+    /// patterns) or whose send/receive statement counts differ falls
+    /// back to all-pairs matching, preserving Lemma 3.1.
+    #[default]
+    FifoOrdered,
+}
+
+/// A message edge `send → recv` in the extended CFG.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct MessageEdge {
+    /// The send node.
+    pub send: NodeId,
+    /// The recv node.
+    pub recv: NodeId,
+}
+
+/// One matching decision with its witness, for diagnostics.
+#[derive(Debug, Clone)]
+pub struct MatchWitness {
+    /// The matched edge.
+    pub edge: MessageEdge,
+    /// A `(sender_rank, receiver_rank)` pair realising the match.
+    pub witness: (usize, usize),
+    /// `true` if either side's pattern was irregular or unresolvable.
+    pub irregular: bool,
+}
+
+/// Result of Phase II.
+#[derive(Debug, Clone)]
+pub struct Matching {
+    /// All message edges found.
+    pub edges: Vec<MessageEdge>,
+    /// Witnesses, parallel to `edges`.
+    pub witnesses: Vec<MatchWitness>,
+    /// Receive nodes with no matching send at all (in a correct SPMD
+    /// program this indicates a receive that can never be satisfied at
+    /// this `n` — surfaced as a diagnostic).
+    pub unmatched_recvs: Vec<NodeId>,
+}
+
+impl Matching {
+    /// Message edges leaving `send`.
+    pub fn sends_of(&self, send: NodeId) -> Vec<NodeId> {
+        self.edges
+            .iter()
+            .filter(|e| e.send == send)
+            .map(|e| e.recv)
+            .collect()
+    }
+
+    /// Message edges entering `recv`.
+    pub fn matches_of(&self, recv: NodeId) -> Vec<NodeId> {
+        self.edges
+            .iter()
+            .filter(|e| e.recv == recv)
+            .map(|e| e.send)
+            .collect()
+    }
+}
+
+/// How a send's destination resolves at a given sender rank.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Resolved {
+    Exactly(usize),
+    AnyRank,
+    OutOfRange,
+}
+
+fn resolve(
+    expr: &Expr,
+    rank: usize,
+    n: usize,
+    params: &HashMap<String, i64>,
+    var_exprs: &HashMap<String, Expr>,
+) -> Resolved {
+    let env = RankEnv {
+        rank: rank as i64,
+        nprocs: n as i64,
+        params,
+        var_exprs,
+    };
+    match rank_eval(expr, &env) {
+        RankVal::Known(v) if v >= 0 && (v as usize) < n => Resolved::Exactly(v as usize),
+        RankVal::Known(_) => Resolved::OutOfRange,
+        RankVal::Unknown | RankVal::Irregular => Resolved::AnyRank,
+    }
+}
+
+fn is_irregular_side(expr: &Expr) -> bool {
+    expr.mentions_input()
+}
+
+/// Runs Algorithm 3.1 on a CFG with precomputed attributes.
+pub fn match_send_recv(
+    cfg: &Cfg,
+    attrs: &NodeAttrs,
+    iddep: &IdDepInfo,
+    mode: MatchingMode,
+) -> Matching {
+    if mode == MatchingMode::FifoOrdered {
+        return match_fifo_ordered(cfg, attrs, iddep);
+    }
+    let n = attrs.nprocs();
+    let params = &iddep.params;
+    // Scan reachable nodes (DFS from entry, as the algorithm
+    // prescribes), but order the send/recv lists by *statement* id —
+    // i.e. source order. CFG depth-first preorder dives through one
+    // branch arm into everything after the join before visiting the
+    // sibling arm, which is not the order in which a process executes
+    // statements; FIFO pairing must follow program order.
+    let order = dfs(cfg).preorder;
+    let by_stmt = |cfg: &Cfg, v: &mut Vec<NodeId>| {
+        v.sort_by_key(|&id| cfg.node(id).stmt.expect("comm nodes carry stmt ids"));
+    };
+    let mut recvs: Vec<NodeId> = order
+        .iter()
+        .copied()
+        .filter(|&id| matches!(cfg.node(id).kind, NodeKind::Recv { .. }))
+        .collect();
+    by_stmt(cfg, &mut recvs);
+    let mut sends: Vec<NodeId> = order
+        .iter()
+        .copied()
+        .filter(|&id| matches!(cfg.node(id).kind, NodeKind::Send { .. }))
+        .collect();
+    by_stmt(cfg, &mut sends);
+
+    let mut edges = Vec::new();
+    let mut witnesses = Vec::new();
+    let mut unmatched_recvs = Vec::new();
+    let mut send_matched: HashMap<NodeId, bool> = sends.iter().map(|&s| (s, false)).collect();
+
+    for &r in &recvs {
+        let NodeKind::Recv { src } = &cfg.node(r).kind else {
+            unreachable!()
+        };
+        let recv_irregular = src.is_irregular();
+        let r_env = iddep.env_at(r);
+        // Candidate evaluation for every send.
+        let mut candidates: Vec<(NodeId, (usize, usize), bool)> = Vec::new();
+        for &s in &sends {
+            let NodeKind::Send { dest, .. } = &cfg.node(s).kind else {
+                unreachable!()
+            };
+            let s_env = iddep.env_at(s);
+            let send_irregular = is_irregular_side(dest);
+            let mut found: Option<(usize, usize)> = None;
+            'search: for p in attrs.of(s).iter() {
+                for q in attrs.of(r).iter() {
+                    if p == q {
+                        continue;
+                    }
+                    // Destination attribute of the send at rank p.
+                    let dest_ok = match resolve(dest, p, n, params, s_env) {
+                        Resolved::Exactly(v) => v == q,
+                        Resolved::AnyRank => true,
+                        Resolved::OutOfRange => false,
+                    };
+                    if !dest_ok {
+                        continue;
+                    }
+                    // Source attribute of the receive at rank q.
+                    let src_ok = match src {
+                        RecvSrc::Any => true,
+                        RecvSrc::Rank(e) => match resolve(e, q, n, params, r_env) {
+                            Resolved::Exactly(v) => v == p,
+                            Resolved::AnyRank => true,
+                            Resolved::OutOfRange => false,
+                        },
+                    };
+                    if src_ok {
+                        found = Some((p, q));
+                        break 'search;
+                    }
+                }
+            }
+            if let Some(w) = found {
+                candidates.push((s, w, recv_irregular || send_irregular));
+            }
+        }
+        if candidates.is_empty() {
+            unmatched_recvs.push(r);
+            continue;
+        }
+        let chosen: Vec<(NodeId, (usize, usize), bool)> = match mode {
+            MatchingMode::Conservative => candidates,
+            MatchingMode::PreferUnmatched => {
+                if recv_irregular {
+                    // Irregular receives match all candidates (step 3,
+                    // first bullet).
+                    candidates
+                } else {
+                    let unmatched: Vec<_> = candidates
+                        .iter()
+                        .filter(|(s, _, irr)| *irr || !send_matched[s])
+                        .cloned()
+                        .collect();
+                    if unmatched.is_empty() {
+                        // Fall back to everything so Lemma 3.1 holds.
+                        candidates
+                    } else {
+                        unmatched
+                    }
+                }
+            }
+            MatchingMode::FifoOrdered => {
+                unreachable!("handled by match_fifo_ordered")
+            }
+        };
+        for (s, witness, irregular) in chosen {
+            send_matched.insert(s, true);
+            edges.push(MessageEdge { send: s, recv: r });
+            witnesses.push(MatchWitness {
+                edge: MessageEdge { send: s, recv: r },
+                witness,
+                irregular,
+            });
+        }
+    }
+    Matching {
+        edges,
+        witnesses,
+        unmatched_recvs,
+    }
+}
+
+/// Per-channel FIFO sequence matching (see [`MatchingMode::FifoOrdered`]).
+fn match_fifo_ordered(cfg: &Cfg, attrs: &NodeAttrs, iddep: &IdDepInfo) -> Matching {
+    let n = attrs.nprocs();
+    let params = &iddep.params;
+    let order = dfs(cfg).preorder;
+    let mut sends: Vec<NodeId> = order
+        .iter()
+        .copied()
+        .filter(|&id| matches!(cfg.node(id).kind, NodeKind::Send { .. }))
+        .collect();
+    let mut recvs: Vec<NodeId> = order
+        .iter()
+        .copied()
+        .filter(|&id| matches!(cfg.node(id).kind, NodeKind::Recv { .. }))
+        .collect();
+    // Program (source) order, not CFG DFS order: a process executes
+    // statements in source order along its path.
+    sends.sort_by_key(|&id| cfg.node(id).stmt.expect("send nodes carry stmt ids"));
+    recvs.sort_by_key(|&id| cfg.node(id).stmt.expect("recv nodes carry stmt ids"));
+
+    let mut edges: Vec<MessageEdge> = Vec::new();
+    let mut witnesses: Vec<MatchWitness> = Vec::new();
+    let mut seen: std::collections::HashSet<(NodeId, NodeId)> = std::collections::HashSet::new();
+    let push = |edges: &mut Vec<MessageEdge>,
+                    witnesses: &mut Vec<MatchWitness>,
+                    seen: &mut std::collections::HashSet<(NodeId, NodeId)>,
+                    s: NodeId,
+                    r: NodeId,
+                    p: usize,
+                    q: usize,
+                    irregular: bool| {
+        if seen.insert((s, r)) {
+            edges.push(MessageEdge { send: s, recv: r });
+            witnesses.push(MatchWitness {
+                edge: MessageEdge { send: s, recv: r },
+                witness: (p, q),
+                irregular,
+            });
+        }
+    };
+
+    for p in 0..n {
+        for q in 0..n {
+            if p == q {
+                continue;
+            }
+            // The channel's send statements at sender rank p, with
+            // whether each resolves exactly to q.
+            let mut chan_sends: Vec<(NodeId, bool)> = Vec::new();
+            for &s in &sends {
+                if !attrs.of(s).contains(p) {
+                    continue;
+                }
+                let NodeKind::Send { dest, .. } = &cfg.node(s).kind else {
+                    unreachable!()
+                };
+                match resolve(dest, p, n, params, iddep.env_at(s)) {
+                    Resolved::Exactly(v) if v == q => chan_sends.push((s, true)),
+                    Resolved::AnyRank => chan_sends.push((s, false)),
+                    _ => {}
+                }
+            }
+            let mut chan_recvs: Vec<(NodeId, bool)> = Vec::new();
+            for &r in &recvs {
+                if !attrs.of(r).contains(q) {
+                    continue;
+                }
+                let NodeKind::Recv { src } = &cfg.node(r).kind else {
+                    unreachable!()
+                };
+                match src {
+                    RecvSrc::Any => chan_recvs.push((r, false)),
+                    RecvSrc::Rank(e) => match resolve(e, q, n, params, iddep.env_at(r)) {
+                        Resolved::Exactly(v) if v == p => chan_recvs.push((r, true)),
+                        Resolved::AnyRank => chan_recvs.push((r, false)),
+                        _ => {}
+                    },
+                }
+            }
+            if chan_sends.is_empty() || chan_recvs.is_empty() {
+                continue;
+            }
+            let all_exact = chan_sends.iter().all(|&(_, e)| e)
+                && chan_recvs.iter().all(|&(_, e)| e);
+            if all_exact && chan_sends.len() == chan_recvs.len() {
+                // FIFO positional pairing.
+                for (&(s, _), &(r, _)) in chan_sends.iter().zip(&chan_recvs) {
+                    push(&mut edges, &mut witnesses, &mut seen, s, r, p, q, false);
+                }
+            } else {
+                // Irregular membership or count mismatch: all pairs
+                // (Lemma 3.1 fallback).
+                for &(s, se) in &chan_sends {
+                    for &(r, re) in &chan_recvs {
+                        push(
+                            &mut edges,
+                            &mut witnesses,
+                            &mut seen,
+                            s,
+                            r,
+                            p,
+                            q,
+                            !(se && re),
+                        );
+                    }
+                }
+            }
+        }
+    }
+    let matched: std::collections::HashSet<NodeId> =
+        edges.iter().map(|e| e.recv).collect();
+    let unmatched_recvs = recvs
+        .iter()
+        .copied()
+        .filter(|r| !matched.contains(r))
+        .collect();
+    Matching {
+        edges,
+        witnesses,
+        unmatched_recvs,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attr::compute_attrs;
+    use crate::iddep::analyze_iddep;
+    use acfc_cfg::build_cfg;
+    use acfc_mpsl::parse;
+
+    fn matched(src: &str, n: usize, mode: MatchingMode) -> (acfc_cfg::Cfg, Matching) {
+        let p = parse(src).unwrap();
+        let (cfg, lowered) = build_cfg(&p);
+        let iddep = analyze_iddep(&cfg, &lowered);
+        let attrs = compute_attrs(&cfg, n, &iddep);
+        let m = match_send_recv(&cfg, &attrs, &iddep, mode);
+        (cfg, m)
+    }
+
+    #[test]
+    fn simple_pair_matches() {
+        let (cfg, m) = matched(
+            "program t;
+             if rank == 0 { send to 1; } else { recv from 0; }",
+            2,
+            MatchingMode::Conservative,
+        );
+        assert_eq!(m.edges.len(), 1);
+        assert_eq!(m.edges[0].send, cfg.send_nodes()[0]);
+        assert_eq!(m.edges[0].recv, cfg.recv_nodes()[0]);
+        assert_eq!(m.witnesses[0].witness, (0, 1));
+        assert!(m.unmatched_recvs.is_empty());
+    }
+
+    #[test]
+    fn contradicting_parameters_do_not_match() {
+        // The recv names source 2, but the send targets rank 1.
+        let (_, m) = matched(
+            "program t;
+             if rank == 0 { send to 1; } else { recv from 2; }",
+            4,
+            MatchingMode::Conservative,
+        );
+        assert!(m.edges.is_empty());
+        assert_eq!(m.unmatched_recvs.len(), 1);
+    }
+
+    #[test]
+    fn self_messages_never_match() {
+        // dest == source rank for every rank: p == q always.
+        let (_, m) = matched(
+            "program t; send to rank; recv from rank;",
+            4,
+            MatchingMode::Conservative,
+        );
+        assert!(m.edges.is_empty());
+    }
+
+    #[test]
+    fn jacobi_ring_matches_neighbours() {
+        // Uniform Jacobi: sends to both neighbours, recvs from both.
+        let (cfg, m) = matched(
+            "program t; var i;
+             for i in 0..3 {
+               send to (rank + 1) % nprocs;
+               send to (rank - 1) % nprocs;
+               recv from (rank - 1) % nprocs;
+               recv from (rank + 1) % nprocs;
+             }",
+            4,
+            MatchingMode::Conservative,
+        );
+        // Each recv matches exactly the one compatible send.
+        assert_eq!(m.edges.len(), 2, "{:?}", m.edges);
+        let sends = cfg.send_nodes();
+        let recvs = cfg.recv_nodes();
+        // send-to-right matches recv-from-left and vice versa.
+        assert!(m.edges.contains(&MessageEdge {
+            send: sends[0],
+            recv: recvs[0]
+        }));
+        assert!(m.edges.contains(&MessageEdge {
+            send: sends[1],
+            recv: recvs[1]
+        }));
+    }
+
+    #[test]
+    fn recv_any_matches_all_sends() {
+        let (_, m) = matched(
+            "program t;
+             if rank == 0 { recv from any; recv from any; } else { send to 0; }",
+            3,
+            MatchingMode::Conservative,
+        );
+        // Both `recv from any` match the one send node.
+        assert_eq!(m.edges.len(), 2);
+        assert!(m.witnesses.iter().all(|w| w.irregular));
+    }
+
+    #[test]
+    fn irregular_send_matches_conservatively() {
+        let (_, m) = matched(
+            "program t;
+             if rank == 0 { send to 1 + input(0); } else { recv from 0; }",
+            4,
+            MatchingMode::Conservative,
+        );
+        assert_eq!(m.edges.len(), 1);
+        assert!(m.witnesses[0].irregular);
+    }
+
+    #[test]
+    fn prefer_unmatched_limits_regular_fanout() {
+        // Two identical regular sends, two identical regular recvs.
+        let src = "program t;
+             if rank == 0 { send to 1; send to 1; } else {
+               if rank == 1 { recv from 0; recv from 0; } }";
+        let (_, conservative) = matched(src, 2, MatchingMode::Conservative);
+        let (_, prefer) = matched(src, 2, MatchingMode::PreferUnmatched);
+        // Conservative: all 4 pairs. PreferUnmatched: first recv takes
+        // both unmatched sends? No: it matches all unmatched candidates
+        // (2), then the second recv falls back to matched ones (2).
+        assert_eq!(conservative.edges.len(), 4);
+        assert!(prefer.edges.len() <= conservative.edges.len());
+        // Lemma 3.1: every recv retains at least one match.
+        assert!(prefer.unmatched_recvs.is_empty());
+    }
+
+    #[test]
+    fn fig4_odd_even_jacobi_cross_matches() {
+        // Figure 4: even sends match odd recvs and vice versa (plus
+        // even-even / odd-odd neighbour pairs where they exist at n=4:
+        // with ring neighbours, parity alternates, so matches are
+        // strictly cross-parity).
+        let p = acfc_mpsl::programs::jacobi_odd_even(2);
+        let (cfg, lowered) = build_cfg(&p);
+        let iddep = analyze_iddep(&cfg, &lowered);
+        let attrs = compute_attrs(&cfg, 4, &iddep);
+        let m = match_send_recv(&cfg, &attrs, &iddep, MatchingMode::Conservative);
+        assert!(!m.edges.is_empty());
+        assert!(m.unmatched_recvs.is_empty());
+        // Every edge crosses the parity branch: the send and recv are in
+        // different arms of the odd/even if.
+        for e in &m.edges {
+            let s_even = attrs.of(e.send).contains(0);
+            let r_even = attrs.of(e.recv).contains(0);
+            assert_ne!(
+                s_even, r_even,
+                "edge {:?} does not cross parity arms",
+                e
+            );
+        }
+    }
+
+    #[test]
+    fn out_of_range_destination_never_matches() {
+        let (_, m) = matched(
+            "program t;
+             if rank == 0 { send to nprocs + 5; } else { recv from 0; }",
+            3,
+            MatchingMode::Conservative,
+        );
+        assert!(m.edges.is_empty());
+    }
+}

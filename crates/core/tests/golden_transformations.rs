@@ -1,0 +1,129 @@
+//! Golden tests: the exact transformed programs Phase III produces for
+//! the paper's examples. These pin the *placement decisions*, not just
+//! the safety property, so a regression in Algorithm 3.2's chain walk
+//! or in equalisation shows up as a readable diff.
+
+use acfc_core::{analyze, AnalysisConfig};
+use acfc_mpsl::{programs, to_source};
+
+fn transformed(p: &acfc_mpsl::Program) -> String {
+    to_source(
+        &analyze(p, &AnalysisConfig::for_nprocs(8))
+            .unwrap_or_else(|e| panic!("{}: {e}", p.name))
+            .program,
+    )
+}
+
+#[test]
+fn golden_jacobi_unchanged() {
+    let p = programs::jacobi(10);
+    assert_eq!(transformed(&p), to_source(&p), "Figure 1 needs no change");
+}
+
+#[test]
+fn golden_jacobi_odd_even() {
+    let got = transformed(&programs::jacobi_odd_even(10));
+    let want = "\
+program jacobi_odd_even;
+param iters = 10;
+var i;
+for i in 0..iters {
+  compute 50;
+  if rank % 2 == 0 {
+    checkpoint \"even\";
+    send to (rank + 1) % nprocs size 4096;
+    send to (rank - 1) % nprocs size 4096;
+    recv from (rank - 1) % nprocs;
+    recv from (rank + 1) % nprocs;
+  } else {
+    send to (rank + 1) % nprocs size 4096;
+    send to (rank - 1) % nprocs size 4096;
+    checkpoint \"odd\";
+    recv from (rank - 1) % nprocs;
+    recv from (rank + 1) % nprocs;
+  }
+}
+";
+    assert_eq!(got, want);
+}
+
+#[test]
+fn golden_fig5() {
+    let got = transformed(&programs::fig5());
+    let want = "\
+program fig5;
+compute 10;
+if rank % 2 == 0 {
+  checkpoint \"A\";
+  send to rank + 1 size 512;
+} else {
+  checkpoint \"B\";
+  recv from rank - 1;
+}
+compute 10;
+";
+    assert_eq!(got, want);
+}
+
+#[test]
+fn golden_fig6_hoists_a_out_of_the_loop() {
+    let got = transformed(&programs::fig6(5));
+    // Checkpoint A leaves the loop (the paper's noted consequence);
+    // checkpoint B stays put.
+    let before_loop = got
+        .find("checkpoint \"A\"")
+        .expect("A present");
+    let loop_start = got.find("for i in").expect("loop present");
+    assert!(
+        before_loop < loop_start,
+        "A must be hoisted before the loop:\n{got}"
+    );
+    assert!(got.contains("checkpoint \"B\""));
+}
+
+#[test]
+fn golden_pipeline_skewed_moves_tail_before_recv() {
+    let got = transformed(&programs::pipeline_skewed(8));
+    let want = "\
+program pipeline_skewed;
+param iters = 8;
+var i;
+for i in 0..iters {
+  if rank == 0 {
+    checkpoint \"head\";
+    compute 40;
+    send to rank + 1 size 2048;
+  } else {
+    checkpoint \"tail\";
+    recv from rank - 1;
+    compute 40;
+    if rank < nprocs - 1 {
+      send to rank + 1 size 2048;
+    }
+  }
+}
+";
+    assert_eq!(got, want);
+}
+
+#[test]
+fn golden_pingpong_skewed() {
+    let got = transformed(&programs::pingpong_skewed(8));
+    // Rank 1's checkpoint must precede its recv; rank 0's placement
+    // stays before the serve.
+    let r1_recv = got.find("recv from 0").unwrap();
+    let r1_ckpt = got.find("checkpoint \"after-return\"").unwrap();
+    assert!(
+        r1_ckpt < r1_recv,
+        "rank 1 must checkpoint before receiving:\n{got}"
+    );
+}
+
+#[test]
+fn golden_transformations_are_deterministic() {
+    for p in programs::all_stock() {
+        let a = transformed(&p);
+        let b = transformed(&p);
+        assert_eq!(a, b, "{} transformation must be deterministic", p.name);
+    }
+}

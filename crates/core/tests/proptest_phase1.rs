@@ -1,0 +1,92 @@
+//! Property tests for Phase I: equalisation always produces exact
+//! per-path checkpoint counts, rebalancing preserves balance while
+//! never *adding* more than it had to, and insertion never touches a
+//! program that already has checkpoints.
+
+use acfc_core::phase1::{
+    equalize_checkpoints, insert_checkpoints, rebalance_checkpoints, static_count,
+    InsertionConfig,
+};
+use acfc_mpsl::{Expr, Program, RecvSrc, Stmt, StmtKind};
+use proptest::prelude::*;
+
+fn arb_stmt() -> impl Strategy<Value = Stmt> {
+    let leaf = prop_oneof![
+        Just(Stmt::new(StmtKind::Compute { cost: Expr::Int(1) })),
+        Just(Stmt::new(StmtKind::Checkpoint { label: None })),
+        Just(Stmt::new(StmtKind::Send {
+            dest: Expr::Int(0),
+            size_bits: Expr::Int(8)
+        })),
+        Just(Stmt::new(StmtKind::Recv {
+            src: RecvSrc::Any
+        })),
+    ];
+    leaf.prop_recursive(3, 32, 4, |inner| {
+        prop_oneof![
+            (
+                prop::collection::vec(inner.clone(), 0..4),
+                prop::collection::vec(inner.clone(), 0..4)
+            )
+                .prop_map(|(t, e)| Stmt::new(StmtKind::If {
+                    cond: Expr::Rank,
+                    then_branch: t,
+                    else_branch: e
+                })),
+            prop::collection::vec(inner, 1..4).prop_map(|body| Stmt::new(StmtKind::For {
+                var: "i".into(),
+                from: Expr::Int(0),
+                to: Expr::Int(2),
+                body
+            })),
+        ]
+    })
+}
+
+fn arb_program() -> impl Strategy<Value = Program> {
+    prop::collection::vec(arb_stmt(), 0..6)
+        .prop_map(|body| Program::new("p1", vec![], vec!["i".into()], body))
+}
+
+proptest! {
+    #[test]
+    fn equalize_makes_counts_exact(mut p in arb_program()) {
+        equalize_checkpoints(&mut p);
+        let (min, max) = static_count(&p.body);
+        prop_assert_eq!(min, max);
+    }
+
+    #[test]
+    fn equalize_is_idempotent(mut p in arb_program()) {
+        equalize_checkpoints(&mut p);
+        let snapshot = p.clone();
+        let added = equalize_checkpoints(&mut p);
+        prop_assert_eq!(added, 0);
+        prop_assert_eq!(p, snapshot);
+    }
+
+    #[test]
+    fn equalize_only_adds(mut p in arb_program()) {
+        let before = p.checkpoint_ids().len();
+        let added = equalize_checkpoints(&mut p);
+        prop_assert_eq!(p.checkpoint_ids().len(), before + added);
+    }
+
+    #[test]
+    fn rebalance_makes_counts_exact_without_net_growth(mut p in arb_program()) {
+        let before = p.checkpoint_ids().len();
+        let (removed, added) = rebalance_checkpoints(&mut p);
+        let (min, max) = static_count(&p.body);
+        prop_assert_eq!(min, max);
+        prop_assert_eq!(p.checkpoint_ids().len(), before - removed + added);
+    }
+
+    #[test]
+    fn insertion_leaves_checkpointed_programs_alone(mut p in arb_program()) {
+        prop_assume!(!p.checkpoint_ids().is_empty());
+        let before = p.clone();
+        let rep = insert_checkpoints(&mut p, &InsertionConfig::default());
+        prop_assert_eq!(rep.inserted, 0);
+        prop_assert_eq!(p, before);
+    }
+}

@@ -1,0 +1,369 @@
+//! Expression evaluation: concrete (for the simulator) and rank-abstract
+//! (for the offline analysis).
+//!
+//! The concrete evaluator needs a full environment — rank, `nprocs`,
+//! parameter values, variable bindings, input data. The *rank-abstract*
+//! evaluator is what Phase II of the paper relies on: it evaluates an
+//! expression knowing only `rank` and `nprocs`, reporting
+//! [`RankVal::Irregular`] where input data is consulted and
+//! [`RankVal::Unknown`] where an unresolved variable appears.
+
+use crate::ast::{BinOp, Expr, UnOp};
+use std::collections::HashMap;
+use std::fmt;
+
+/// An error raised while evaluating an expression.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EvalError {
+    /// Division or remainder by zero.
+    DivideByZero,
+    /// An undeclared or unbound variable was referenced.
+    UnboundVar(String),
+    /// An undeclared parameter was referenced.
+    UnboundParam(String),
+    /// `input(k)` referenced beyond the supplied input vector.
+    MissingInput(u32),
+    /// Arithmetic overflow.
+    Overflow,
+}
+
+impl fmt::Display for EvalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EvalError::DivideByZero => write!(f, "division by zero"),
+            EvalError::UnboundVar(v) => write!(f, "unbound variable `{v}`"),
+            EvalError::UnboundParam(p) => write!(f, "unbound parameter `{p}`"),
+            EvalError::MissingInput(k) => write!(f, "missing input value #{k}"),
+            EvalError::Overflow => write!(f, "arithmetic overflow"),
+        }
+    }
+}
+
+impl std::error::Error for EvalError {}
+
+/// A concrete evaluation environment.
+#[derive(Debug, Clone)]
+pub struct Env {
+    /// Rank of the evaluating process.
+    pub rank: i64,
+    /// Total number of processes.
+    pub nprocs: i64,
+    /// Parameter bindings.
+    pub params: HashMap<String, i64>,
+    /// Variable bindings.
+    pub vars: HashMap<String, i64>,
+    /// Program input data (`input(k)` reads `inputs[k]`).
+    pub inputs: Vec<i64>,
+}
+
+impl Env {
+    /// Creates an environment with no variables, params, or inputs.
+    pub fn new(rank: i64, nprocs: i64) -> Env {
+        Env {
+            rank,
+            nprocs,
+            params: HashMap::new(),
+            vars: HashMap::new(),
+            inputs: Vec::new(),
+        }
+    }
+}
+
+fn apply_bin(op: BinOp, a: i64, b: i64) -> Result<i64, EvalError> {
+    let bool_to_i = |b: bool| i64::from(b);
+    Ok(match op {
+        BinOp::Add => a.checked_add(b).ok_or(EvalError::Overflow)?,
+        BinOp::Sub => a.checked_sub(b).ok_or(EvalError::Overflow)?,
+        BinOp::Mul => a.checked_mul(b).ok_or(EvalError::Overflow)?,
+        BinOp::Div => {
+            if b == 0 {
+                return Err(EvalError::DivideByZero);
+            }
+            a.checked_div(b).ok_or(EvalError::Overflow)?
+        }
+        BinOp::Mod => {
+            if b == 0 {
+                return Err(EvalError::DivideByZero);
+            }
+            // Euclidean remainder so that `(rank - 1) % nprocs` is a valid
+            // rank even for rank 0 — matching what SPMD programs intend.
+            a.rem_euclid(b)
+        }
+        BinOp::Eq => bool_to_i(a == b),
+        BinOp::Ne => bool_to_i(a != b),
+        BinOp::Lt => bool_to_i(a < b),
+        BinOp::Le => bool_to_i(a <= b),
+        BinOp::Gt => bool_to_i(a > b),
+        BinOp::Ge => bool_to_i(a >= b),
+        BinOp::And => bool_to_i(a != 0 && b != 0),
+        BinOp::Or => bool_to_i(a != 0 || b != 0),
+    })
+}
+
+/// Evaluates `expr` in the concrete environment `env`.
+///
+/// # Errors
+///
+/// Returns an [`EvalError`] on division by zero, unbound names, missing
+/// input values, or arithmetic overflow.
+///
+/// # Examples
+///
+/// ```
+/// use acfc_mpsl::{eval, Env, Expr, BinOp};
+/// let env = Env::new(3, 8);
+/// let left = Expr::bin(BinOp::Mod, Expr::bin(BinOp::Sub, Expr::Rank, Expr::Int(1)), Expr::NProcs);
+/// assert_eq!(eval(&left, &env).unwrap(), 2);
+/// ```
+pub fn eval(expr: &Expr, env: &Env) -> Result<i64, EvalError> {
+    match expr {
+        Expr::Int(v) => Ok(*v),
+        Expr::Rank => Ok(env.rank),
+        Expr::NProcs => Ok(env.nprocs),
+        Expr::Param(p) => env
+            .params
+            .get(p)
+            .copied()
+            .ok_or_else(|| EvalError::UnboundParam(p.clone())),
+        Expr::Var(v) => env
+            .vars
+            .get(v)
+            .copied()
+            .ok_or_else(|| EvalError::UnboundVar(v.clone())),
+        Expr::Input(k) => env
+            .inputs
+            .get(*k as usize)
+            .copied()
+            .ok_or(EvalError::MissingInput(*k)),
+        Expr::Unary(op, e) => {
+            let v = eval(e, env)?;
+            Ok(match op {
+                UnOp::Neg => v.checked_neg().ok_or(EvalError::Overflow)?,
+                UnOp::Not => i64::from(v == 0),
+            })
+        }
+        Expr::Binary(op, a, b) => apply_bin(*op, eval(a, env)?, eval(b, env)?),
+    }
+}
+
+/// The result of rank-abstract evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RankVal {
+    /// The expression has this value for the given rank.
+    Known(i64),
+    /// The value depends on input data (*irregular pattern*, §3.2).
+    Irregular,
+    /// The value depends on run-time state the analysis does not track
+    /// (e.g. an unresolved mutable variable).
+    Unknown,
+}
+
+impl RankVal {
+    /// `true` for [`RankVal::Known`].
+    pub fn is_known(self) -> bool {
+        matches!(self, RankVal::Known(_))
+    }
+
+    fn join_op(op: BinOp, a: RankVal, b: RankVal) -> RankVal {
+        match (a, b) {
+            (RankVal::Known(x), RankVal::Known(y)) => match apply_bin(op, x, y) {
+                Ok(v) => RankVal::Known(v),
+                Err(_) => RankVal::Unknown,
+            },
+            // Irregular taints harder than Unknown: the paper's matching
+            // rules explicitly special-case irregular patterns.
+            (RankVal::Irregular, _) | (_, RankVal::Irregular) => RankVal::Irregular,
+            _ => RankVal::Unknown,
+        }
+    }
+}
+
+/// A rank-abstract environment: the analysis knows `rank`, `nprocs`, and
+/// the program parameters; selected variables may be bound to *rank
+/// expressions* (from the ID-dependence constant propagation).
+#[derive(Debug, Clone)]
+pub struct RankEnv<'a> {
+    /// Rank being queried.
+    pub rank: i64,
+    /// Total number of processes.
+    pub nprocs: i64,
+    /// Parameter bindings.
+    pub params: &'a HashMap<String, i64>,
+    /// Variables resolved to expressions over `rank`/`nprocs`/params.
+    pub var_exprs: &'a HashMap<String, Expr>,
+}
+
+/// Evaluates `expr` knowing only the rank, `nprocs`, parameters, and any
+/// variables the dataflow analysis resolved to rank expressions.
+///
+/// Never fails: anything unresolvable degrades to [`RankVal::Unknown`]
+/// and anything touching input data to [`RankVal::Irregular`].
+pub fn rank_eval(expr: &Expr, env: &RankEnv<'_>) -> RankVal {
+    rank_eval_depth(expr, env, 0)
+}
+
+const MAX_SUBST_DEPTH: u32 = 64;
+
+fn rank_eval_depth(expr: &Expr, env: &RankEnv<'_>, depth: u32) -> RankVal {
+    if depth > MAX_SUBST_DEPTH {
+        return RankVal::Unknown;
+    }
+    match expr {
+        Expr::Int(v) => RankVal::Known(*v),
+        Expr::Rank => RankVal::Known(env.rank),
+        Expr::NProcs => RankVal::Known(env.nprocs),
+        Expr::Param(p) => match env.params.get(p) {
+            Some(v) => RankVal::Known(*v),
+            None => RankVal::Unknown,
+        },
+        Expr::Var(v) => match env.var_exprs.get(v) {
+            Some(e) => rank_eval_depth(e, env, depth + 1),
+            None => RankVal::Unknown,
+        },
+        Expr::Input(_) => RankVal::Irregular,
+        Expr::Unary(op, e) => match rank_eval_depth(e, env, depth + 1) {
+            RankVal::Known(v) => match op {
+                UnOp::Neg => v
+                    .checked_neg()
+                    .map(RankVal::Known)
+                    .unwrap_or(RankVal::Unknown),
+                UnOp::Not => RankVal::Known(i64::from(v == 0)),
+            },
+            other => other,
+        },
+        Expr::Binary(op, a, b) => RankVal::join_op(
+            *op,
+            rank_eval_depth(a, env, depth + 1),
+            rank_eval_depth(b, env, depth + 1),
+        ),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::Expr as E;
+
+    #[test]
+    fn euclidean_mod_wraps_negative() {
+        let env = Env::new(0, 4);
+        let e = E::bin(BinOp::Mod, E::bin(BinOp::Sub, E::Rank, E::Int(1)), E::NProcs);
+        assert_eq!(eval(&e, &env).unwrap(), 3);
+    }
+
+    #[test]
+    fn division_by_zero_is_error() {
+        let env = Env::new(0, 4);
+        let e = E::bin(BinOp::Div, E::Int(1), E::Int(0));
+        assert_eq!(eval(&e, &env), Err(EvalError::DivideByZero));
+        let e = E::bin(BinOp::Mod, E::Int(1), E::Int(0));
+        assert_eq!(eval(&e, &env), Err(EvalError::DivideByZero));
+    }
+
+    #[test]
+    fn unbound_names_are_errors() {
+        let env = Env::new(0, 4);
+        assert_eq!(
+            eval(&E::Var("x".into()), &env),
+            Err(EvalError::UnboundVar("x".into()))
+        );
+        assert_eq!(
+            eval(&E::Param("p".into()), &env),
+            Err(EvalError::UnboundParam("p".into()))
+        );
+        assert_eq!(eval(&E::Input(2), &env), Err(EvalError::MissingInput(2)));
+    }
+
+    #[test]
+    fn inputs_resolve() {
+        let mut env = Env::new(0, 4);
+        env.inputs = vec![10, 20];
+        assert_eq!(eval(&E::Input(1), &env).unwrap(), 20);
+    }
+
+    #[test]
+    fn comparison_and_logic() {
+        let env = Env::new(2, 4);
+        let even = E::bin(
+            BinOp::Eq,
+            E::bin(BinOp::Mod, E::Rank, E::Int(2)),
+            E::Int(0),
+        );
+        assert_eq!(eval(&even, &env).unwrap(), 1);
+        let not = E::Unary(UnOp::Not, Box::new(even));
+        assert_eq!(eval(&not, &env).unwrap(), 0);
+        let and = E::bin(BinOp::And, E::Int(3), E::Int(0));
+        assert_eq!(eval(&and, &env).unwrap(), 0);
+        let or = E::bin(BinOp::Or, E::Int(0), E::Int(7));
+        assert_eq!(eval(&or, &env).unwrap(), 1);
+    }
+
+    #[test]
+    fn overflow_reported() {
+        let env = Env::new(0, 4);
+        let e = E::bin(BinOp::Add, E::Int(i64::MAX), E::Int(1));
+        assert_eq!(eval(&e, &env), Err(EvalError::Overflow));
+    }
+
+    #[test]
+    fn rank_eval_known_and_unknown() {
+        let params = HashMap::new();
+        let vars = HashMap::new();
+        let env = RankEnv {
+            rank: 3,
+            nprocs: 8,
+            params: &params,
+            var_exprs: &vars,
+        };
+        let e = E::bin(BinOp::Mod, E::bin(BinOp::Add, E::Rank, E::Int(1)), E::NProcs);
+        assert_eq!(rank_eval(&e, &env), RankVal::Known(4));
+        assert_eq!(rank_eval(&E::Var("x".into()), &env), RankVal::Unknown);
+        assert_eq!(rank_eval(&E::Input(0), &env), RankVal::Irregular);
+    }
+
+    #[test]
+    fn rank_eval_resolves_var_exprs() {
+        let params = HashMap::new();
+        let mut vars = HashMap::new();
+        vars.insert(
+            "left".to_string(),
+            E::bin(BinOp::Sub, E::Rank, E::Int(1)),
+        );
+        let env = RankEnv {
+            rank: 5,
+            nprocs: 8,
+            params: &params,
+            var_exprs: &vars,
+        };
+        assert_eq!(rank_eval(&E::Var("left".into()), &env), RankVal::Known(4));
+    }
+
+    #[test]
+    fn irregular_dominates_unknown() {
+        let params = HashMap::new();
+        let vars = HashMap::new();
+        let env = RankEnv {
+            rank: 0,
+            nprocs: 2,
+            params: &params,
+            var_exprs: &vars,
+        };
+        let e = E::bin(BinOp::Add, E::Var("x".into()), E::Input(0));
+        assert_eq!(rank_eval(&e, &env), RankVal::Irregular);
+    }
+
+    #[test]
+    fn rank_eval_cycle_terminates() {
+        let params = HashMap::new();
+        let mut vars = HashMap::new();
+        vars.insert("a".to_string(), E::Var("b".into()));
+        vars.insert("b".to_string(), E::Var("a".into()));
+        let env = RankEnv {
+            rank: 0,
+            nprocs: 2,
+            params: &params,
+            var_exprs: &vars,
+        };
+        assert_eq!(rank_eval(&E::Var("a".into()), &env), RankVal::Unknown);
+    }
+}

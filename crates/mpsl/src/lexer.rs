@@ -1,0 +1,406 @@
+//! Lexer for the MPSL surface syntax.
+
+use std::fmt;
+
+/// A lexical token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Tok {
+    /// Identifier or keyword.
+    Ident(String),
+    /// Integer literal.
+    Int(i64),
+    /// String literal (checkpoint labels).
+    Str(String),
+    /// `:=`
+    Assign,
+    /// `==`
+    EqEq,
+    /// `!=`
+    Ne,
+    /// `<=`
+    Le,
+    /// `>=`
+    Ge,
+    /// `<`
+    Lt,
+    /// `>`
+    Gt,
+    /// `&&`
+    AndAnd,
+    /// `||`
+    OrOr,
+    /// `..`
+    DotDot,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*`
+    Star,
+    /// `/`
+    Slash,
+    /// `%`
+    Percent,
+    /// `!`
+    Bang,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `;`
+    Semi,
+    /// `,`
+    Comma,
+    /// `=`
+    Eq,
+}
+
+impl fmt::Display for Tok {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Tok::Ident(s) => write!(f, "`{s}`"),
+            Tok::Int(v) => write!(f, "`{v}`"),
+            Tok::Str(s) => write!(f, "\"{s}\""),
+            Tok::Assign => write!(f, "`:=`"),
+            Tok::EqEq => write!(f, "`==`"),
+            Tok::Ne => write!(f, "`!=`"),
+            Tok::Le => write!(f, "`<=`"),
+            Tok::Ge => write!(f, "`>=`"),
+            Tok::Lt => write!(f, "`<`"),
+            Tok::Gt => write!(f, "`>`"),
+            Tok::AndAnd => write!(f, "`&&`"),
+            Tok::OrOr => write!(f, "`||`"),
+            Tok::DotDot => write!(f, "`..`"),
+            Tok::Plus => write!(f, "`+`"),
+            Tok::Minus => write!(f, "`-`"),
+            Tok::Star => write!(f, "`*`"),
+            Tok::Slash => write!(f, "`/`"),
+            Tok::Percent => write!(f, "`%`"),
+            Tok::Bang => write!(f, "`!`"),
+            Tok::LParen => write!(f, "`(`"),
+            Tok::RParen => write!(f, "`)`"),
+            Tok::LBrace => write!(f, "`{{`"),
+            Tok::RBrace => write!(f, "`}}`"),
+            Tok::Semi => write!(f, "`;`"),
+            Tok::Comma => write!(f, "`,`"),
+            Tok::Eq => write!(f, "`=`"),
+        }
+    }
+}
+
+/// A token together with its source position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Spanned {
+    /// The token.
+    pub tok: Tok,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+}
+
+/// A lexical error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LexError {
+    /// Human-readable description.
+    pub message: String,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}: {}", self.line, self.col, self.message)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+/// Tokenizes MPSL source text.
+///
+/// Comments run from `#` or `//` to end of line.
+///
+/// # Errors
+///
+/// Returns a [`LexError`] on unterminated strings, malformed numbers, or
+/// unexpected characters.
+pub fn lex(src: &str) -> Result<Vec<Spanned>, LexError> {
+    let mut out = Vec::new();
+    let bytes: Vec<char> = src.chars().collect();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    let mut col = 1u32;
+    let n = bytes.len();
+
+    macro_rules! push {
+        ($tok:expr, $l:expr, $c:expr) => {
+            out.push(Spanned {
+                tok: $tok,
+                line: $l,
+                col: $c,
+            })
+        };
+    }
+
+    while i < n {
+        let c = bytes[i];
+        let (tl, tc) = (line, col);
+        let advance = |i: &mut usize, col: &mut u32| {
+            *i += 1;
+            *col += 1;
+        };
+        match c {
+            '\n' => {
+                i += 1;
+                line += 1;
+                col = 1;
+            }
+            c if c.is_whitespace() => advance(&mut i, &mut col),
+            '#' => {
+                while i < n && bytes[i] != '\n' {
+                    i += 1;
+                }
+            }
+            '/' if i + 1 < n && bytes[i + 1] == '/' => {
+                while i < n && bytes[i] != '\n' {
+                    i += 1;
+                }
+            }
+            c if c.is_ascii_digit() => {
+                let start = i;
+                while i < n && bytes[i].is_ascii_digit() {
+                    advance(&mut i, &mut col);
+                }
+                let text: String = bytes[start..i].iter().collect();
+                let v = text.parse::<i64>().map_err(|_| LexError {
+                    message: format!("integer literal `{text}` out of range"),
+                    line: tl,
+                    col: tc,
+                })?;
+                push!(Tok::Int(v), tl, tc);
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                while i < n && (bytes[i].is_ascii_alphanumeric() || bytes[i] == '_') {
+                    advance(&mut i, &mut col);
+                }
+                let text: String = bytes[start..i].iter().collect();
+                push!(Tok::Ident(text), tl, tc);
+            }
+            '"' => {
+                advance(&mut i, &mut col);
+                let start = i;
+                while i < n && bytes[i] != '"' && bytes[i] != '\n' {
+                    advance(&mut i, &mut col);
+                }
+                if i >= n || bytes[i] != '"' {
+                    return Err(LexError {
+                        message: "unterminated string literal".into(),
+                        line: tl,
+                        col: tc,
+                    });
+                }
+                let text: String = bytes[start..i].iter().collect();
+                advance(&mut i, &mut col);
+                push!(Tok::Str(text), tl, tc);
+            }
+            ':' if i + 1 < n && bytes[i + 1] == '=' => {
+                i += 2;
+                col += 2;
+                push!(Tok::Assign, tl, tc);
+            }
+            '=' if i + 1 < n && bytes[i + 1] == '=' => {
+                i += 2;
+                col += 2;
+                push!(Tok::EqEq, tl, tc);
+            }
+            '=' => {
+                advance(&mut i, &mut col);
+                push!(Tok::Eq, tl, tc);
+            }
+            '!' if i + 1 < n && bytes[i + 1] == '=' => {
+                i += 2;
+                col += 2;
+                push!(Tok::Ne, tl, tc);
+            }
+            '!' => {
+                advance(&mut i, &mut col);
+                push!(Tok::Bang, tl, tc);
+            }
+            '<' if i + 1 < n && bytes[i + 1] == '=' => {
+                i += 2;
+                col += 2;
+                push!(Tok::Le, tl, tc);
+            }
+            '<' => {
+                advance(&mut i, &mut col);
+                push!(Tok::Lt, tl, tc);
+            }
+            '>' if i + 1 < n && bytes[i + 1] == '=' => {
+                i += 2;
+                col += 2;
+                push!(Tok::Ge, tl, tc);
+            }
+            '>' => {
+                advance(&mut i, &mut col);
+                push!(Tok::Gt, tl, tc);
+            }
+            '&' if i + 1 < n && bytes[i + 1] == '&' => {
+                i += 2;
+                col += 2;
+                push!(Tok::AndAnd, tl, tc);
+            }
+            '|' if i + 1 < n && bytes[i + 1] == '|' => {
+                i += 2;
+                col += 2;
+                push!(Tok::OrOr, tl, tc);
+            }
+            '.' if i + 1 < n && bytes[i + 1] == '.' => {
+                i += 2;
+                col += 2;
+                push!(Tok::DotDot, tl, tc);
+            }
+            '+' => {
+                advance(&mut i, &mut col);
+                push!(Tok::Plus, tl, tc);
+            }
+            '-' => {
+                advance(&mut i, &mut col);
+                push!(Tok::Minus, tl, tc);
+            }
+            '*' => {
+                advance(&mut i, &mut col);
+                push!(Tok::Star, tl, tc);
+            }
+            '/' => {
+                advance(&mut i, &mut col);
+                push!(Tok::Slash, tl, tc);
+            }
+            '%' => {
+                advance(&mut i, &mut col);
+                push!(Tok::Percent, tl, tc);
+            }
+            '(' => {
+                advance(&mut i, &mut col);
+                push!(Tok::LParen, tl, tc);
+            }
+            ')' => {
+                advance(&mut i, &mut col);
+                push!(Tok::RParen, tl, tc);
+            }
+            '{' => {
+                advance(&mut i, &mut col);
+                push!(Tok::LBrace, tl, tc);
+            }
+            '}' => {
+                advance(&mut i, &mut col);
+                push!(Tok::RBrace, tl, tc);
+            }
+            ';' => {
+                advance(&mut i, &mut col);
+                push!(Tok::Semi, tl, tc);
+            }
+            ',' => {
+                advance(&mut i, &mut col);
+                push!(Tok::Comma, tl, tc);
+            }
+            other => {
+                return Err(LexError {
+                    message: format!("unexpected character `{other}`"),
+                    line: tl,
+                    col: tc,
+                })
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lexes_symbols_and_idents() {
+        let toks = lex("x := (rank + 1) % nprocs;").unwrap();
+        let kinds: Vec<Tok> = toks.into_iter().map(|s| s.tok).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                Tok::Ident("x".into()),
+                Tok::Assign,
+                Tok::LParen,
+                Tok::Ident("rank".into()),
+                Tok::Plus,
+                Tok::Int(1),
+                Tok::RParen,
+                Tok::Percent,
+                Tok::Ident("nprocs".into()),
+                Tok::Semi,
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        let toks = lex("# a comment\nx // trailing\n;").unwrap();
+        assert_eq!(toks.len(), 2);
+        assert_eq!(toks[0].line, 2);
+    }
+
+    #[test]
+    fn positions_track_lines() {
+        let toks = lex("a\n  b").unwrap();
+        assert_eq!((toks[0].line, toks[0].col), (1, 1));
+        assert_eq!((toks[1].line, toks[1].col), (2, 3));
+    }
+
+    #[test]
+    fn string_literals() {
+        let toks = lex("checkpoint \"phase one\";").unwrap();
+        assert_eq!(toks[1].tok, Tok::Str("phase one".into()));
+    }
+
+    #[test]
+    fn unterminated_string_is_error() {
+        assert!(lex("\"oops").is_err());
+        assert!(lex("\"oops\nmore\"").is_err());
+    }
+
+    #[test]
+    fn unexpected_char_is_error() {
+        let err = lex("a @ b").unwrap_err();
+        assert!(err.message.contains('@'));
+        assert_eq!(err.col, 3);
+    }
+
+    #[test]
+    fn two_char_operators() {
+        let toks = lex("== != <= >= && || .. :=").unwrap();
+        let kinds: Vec<Tok> = toks.into_iter().map(|s| s.tok).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                Tok::EqEq,
+                Tok::Ne,
+                Tok::Le,
+                Tok::Ge,
+                Tok::AndAnd,
+                Tok::OrOr,
+                Tok::DotDot,
+                Tok::Assign
+            ]
+        );
+    }
+
+    #[test]
+    fn huge_integer_is_error() {
+        assert!(lex("99999999999999999999999").is_err());
+    }
+}

@@ -1,0 +1,355 @@
+//! MPMD (Multiple Program Multiple Data) support.
+//!
+//! §3 of the paper: *"if all the files of the source code of a
+//! message-passing program are presented for offline analysis, our
+//! approach works for MPMD as well."* This module implements that
+//! reduction: a set of per-role programs, each bound to a contiguous
+//! rank range, is combined into one SPMD program whose top level
+//! dispatches on `rank` — an ID-dependent branch cascade the analysis
+//! already understands. Every role's checkpoints then participate in
+//! the same straight-cut indexing, and Phase I equalisation balances
+//! roles that checkpoint different numbers of times.
+
+use crate::ast::{BinOp, Expr, Program, Stmt, StmtKind};
+use std::collections::HashSet;
+use std::fmt;
+
+/// One MPMD role: a program and the ranks that run it.
+#[derive(Debug, Clone)]
+pub struct Role {
+    /// The role's program (its own params/vars are merged).
+    pub program: Program,
+    /// First rank of the role (inclusive).
+    pub first_rank: i64,
+    /// Last rank of the role (inclusive), or `None` for "all remaining
+    /// ranks" (only valid on the final role).
+    pub last_rank: Option<i64>,
+}
+
+impl Role {
+    /// A role covering ranks `first..=last`.
+    pub fn new(program: Program, first_rank: i64, last_rank: i64) -> Role {
+        Role {
+            program,
+            first_rank,
+            last_rank: Some(last_rank),
+        }
+    }
+
+    /// A role covering every rank from `first_rank` upward.
+    pub fn rest(program: Program, first_rank: i64) -> Role {
+        Role {
+            program,
+            first_rank,
+            last_rank: None,
+        }
+    }
+}
+
+/// Errors from MPMD combination.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MpmdError {
+    /// No roles were given.
+    Empty,
+    /// Roles must cover contiguous, ascending, non-overlapping ranges
+    /// starting at rank 0.
+    BadCoverage(String),
+    /// Two roles declare the same parameter with different defaults.
+    ParamConflict(String),
+}
+
+impl fmt::Display for MpmdError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MpmdError::Empty => write!(f, "no roles given"),
+            MpmdError::BadCoverage(m) => write!(f, "bad rank coverage: {m}"),
+            MpmdError::ParamConflict(p) => {
+                write!(f, "parameter `{p}` declared with conflicting defaults")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MpmdError {}
+
+/// Prefixes a role's variable names so roles cannot collide.
+fn rename_vars(program: &mut Program, prefix: &str) {
+    let renames: Vec<(String, String)> = program
+        .vars
+        .iter()
+        .map(|v| (v.clone(), format!("{prefix}_{v}")))
+        .collect();
+    let lookup: std::collections::HashMap<&str, &str> = renames
+        .iter()
+        .map(|(a, b)| (a.as_str(), b.as_str()))
+        .collect();
+    program.vars = renames.iter().map(|(_, b)| b.clone()).collect();
+    let subst = |e: &Expr| {
+        e.substitute(&|name| lookup.get(name).map(|n| Expr::Var((*n).to_string())))
+    };
+    program.visit_mut(&mut |s| match &mut s.kind {
+        StmtKind::Compute { cost } => *cost = subst(cost),
+        StmtKind::Assign { var, value } => {
+            if let Some(n) = lookup.get(var.as_str()) {
+                *var = (*n).to_string();
+            }
+            *value = subst(value);
+        }
+        StmtKind::Send { dest, size_bits } => {
+            *dest = subst(dest);
+            *size_bits = subst(size_bits);
+        }
+        StmtKind::Recv { src } => {
+            if let crate::ast::RecvSrc::Rank(e) = src {
+                *e = subst(e);
+            }
+        }
+        StmtKind::If { cond, .. } => *cond = subst(cond),
+        StmtKind::While { cond, .. } => *cond = subst(cond),
+        StmtKind::For { var, from, to, .. } => {
+            if let Some(n) = lookup.get(var.as_str()) {
+                *var = (*n).to_string();
+            }
+            *from = subst(from);
+            *to = subst(to);
+        }
+        StmtKind::Bcast { root, size_bits } => {
+            *root = subst(root);
+            *size_bits = subst(size_bits);
+        }
+        StmtKind::Exchange { peer, size_bits } => {
+            *peer = subst(peer);
+            *size_bits = subst(size_bits);
+        }
+        StmtKind::Checkpoint { .. } => {}
+    });
+}
+
+/// Combines MPMD roles into a single SPMD program dispatching on rank.
+///
+/// Coverage rules: roles must start at rank 0, be contiguous and
+/// ascending; the final role may be open-ended ([`Role::rest`]).
+/// Parameters with the same name must agree on their default; variables
+/// are prefixed per role (`r0_`, `r1_`, …) to avoid collisions.
+///
+/// # Errors
+///
+/// See [`MpmdError`].
+///
+/// # Examples
+///
+/// ```
+/// use acfc_mpsl::mpmd::{combine, Role};
+/// use acfc_mpsl::parse;
+///
+/// let master = parse("program master; var j; for j in 0..nprocs - 1 { recv from any; }").unwrap();
+/// let worker = parse("program worker; compute 10; send to 0 size 64;").unwrap();
+/// let combined = combine("gather", vec![
+///     Role::new(master, 0, 0),
+///     Role::rest(worker, 1),
+/// ]).unwrap();
+/// assert_eq!(combined.name, "gather");
+/// assert!(acfc_mpsl::validate(&combined).is_empty());
+/// ```
+pub fn combine(name: &str, roles: Vec<Role>) -> Result<Program, MpmdError> {
+    if roles.is_empty() {
+        return Err(MpmdError::Empty);
+    }
+    // Validate coverage.
+    let mut expected_next = 0i64;
+    for (i, role) in roles.iter().enumerate() {
+        if role.first_rank != expected_next {
+            return Err(MpmdError::BadCoverage(format!(
+                "role {i} starts at rank {} but rank {expected_next} is next",
+                role.first_rank
+            )));
+        }
+        match role.last_rank {
+            Some(last) => {
+                if last < role.first_rank {
+                    return Err(MpmdError::BadCoverage(format!(
+                        "role {i} has empty range {}..={last}",
+                        role.first_rank
+                    )));
+                }
+                expected_next = last + 1;
+            }
+            None => {
+                if i + 1 != roles.len() {
+                    return Err(MpmdError::BadCoverage(
+                        "only the final role may be open-ended".into(),
+                    ));
+                }
+                expected_next = i64::MAX;
+            }
+        }
+    }
+    // Merge params; rename vars per role.
+    let mut params: Vec<(String, i64)> = Vec::new();
+    let mut seen: HashSet<String> = HashSet::new();
+    let mut vars: Vec<String> = Vec::new();
+    let mut prepared: Vec<(Program, i64, Option<i64>)> = Vec::new();
+    for (i, role) in roles.into_iter().enumerate() {
+        let mut p = role.program;
+        for (n, v) in &p.params {
+            match params.iter().find(|(en, _)| en == n) {
+                Some((_, ev)) if ev != v => return Err(MpmdError::ParamConflict(n.clone())),
+                Some(_) => {}
+                None => {
+                    params.push((n.clone(), *v));
+                }
+            }
+            seen.insert(n.clone());
+        }
+        rename_vars(&mut p, &format!("r{i}"));
+        vars.extend(p.vars.iter().cloned());
+        prepared.push((p, role.first_rank, role.last_rank));
+    }
+    // Build the dispatch cascade, last role innermost.
+    let mut body: Vec<Stmt> = Vec::new();
+    let mut cascade: Option<Vec<Stmt>> = None;
+    for (p, first, last) in prepared.into_iter().rev() {
+        let role_body = p.body;
+        cascade = Some(match cascade {
+            None => role_body,
+            Some(else_branch) => {
+                let cond = match last {
+                    Some(last) if last == first => {
+                        Expr::bin(BinOp::Eq, Expr::Rank, Expr::Int(first))
+                    }
+                    Some(last) => Expr::bin(
+                        BinOp::And,
+                        Expr::bin(BinOp::Ge, Expr::Rank, Expr::Int(first)),
+                        Expr::bin(BinOp::Le, Expr::Rank, Expr::Int(last)),
+                    ),
+                    None => Expr::bin(BinOp::Ge, Expr::Rank, Expr::Int(first)),
+                };
+                vec![Stmt::new(StmtKind::If {
+                    cond,
+                    then_branch: role_body,
+                    else_branch,
+                })]
+            }
+        });
+    }
+    body.extend(cascade.expect("nonempty roles"));
+    Ok(Program::new(name, params, vars, body))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    fn master() -> Program {
+        parse(
+            "program master; var j;
+             for j in 0..nprocs - 1 { recv from any; }
+             checkpoint \"master\";",
+        )
+        .unwrap()
+    }
+
+    fn worker() -> Program {
+        parse(
+            "program worker; var j;
+             j := rank * 2;
+             compute j;
+             send to 0 size 64;
+             checkpoint \"worker\";",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn combine_produces_valid_spmd() {
+        let combined = combine(
+            "mw",
+            vec![Role::new(master(), 0, 0), Role::rest(worker(), 1)],
+        )
+        .unwrap();
+        assert!(crate::validate(&combined).is_empty());
+        // Top level is a single rank dispatch.
+        assert_eq!(combined.body.len(), 1);
+        let StmtKind::If { cond, .. } = &combined.body[0].kind else {
+            panic!()
+        };
+        assert_eq!(
+            *cond,
+            Expr::bin(BinOp::Eq, Expr::Rank, Expr::Int(0))
+        );
+        // Variables are role-prefixed, so the two `j`s don't collide.
+        assert!(combined.vars.contains(&"r0_j".to_string()));
+        assert!(combined.vars.contains(&"r1_j".to_string()));
+    }
+
+    #[test]
+    fn three_role_cascade() {
+        let a = parse("program a; compute 1; checkpoint;").unwrap();
+        let b = parse("program b; compute 2; checkpoint;").unwrap();
+        let c = parse("program c; compute 3; checkpoint;").unwrap();
+        let combined = combine(
+            "abc",
+            vec![Role::new(a, 0, 0), Role::new(b, 1, 2), Role::rest(c, 3)],
+        )
+        .unwrap();
+        // if rank == 0 {a} else { if rank >= 1 && rank <= 2 {b} else {c} }
+        let StmtKind::If { else_branch, .. } = &combined.body[0].kind else {
+            panic!()
+        };
+        assert!(matches!(else_branch[0].kind, StmtKind::If { .. }));
+    }
+
+    #[test]
+    fn coverage_gaps_rejected() {
+        let err = combine(
+            "bad",
+            vec![Role::new(master(), 0, 0), Role::rest(worker(), 2)],
+        )
+        .unwrap_err();
+        assert!(matches!(err, MpmdError::BadCoverage(_)));
+    }
+
+    #[test]
+    fn non_final_open_role_rejected() {
+        let err = combine(
+            "bad",
+            vec![Role::rest(master(), 0), Role::rest(worker(), 1)],
+        )
+        .unwrap_err();
+        assert!(matches!(err, MpmdError::BadCoverage(_)));
+        assert_eq!(combine("e", vec![]).unwrap_err(), MpmdError::Empty);
+    }
+
+    #[test]
+    fn param_conflicts_rejected() {
+        let a = parse("program a; param k = 1; compute k;").unwrap();
+        let b = parse("program b; param k = 2; compute k;").unwrap();
+        let err = combine("bad", vec![Role::new(a, 0, 0), Role::rest(b, 1)]).unwrap_err();
+        assert_eq!(err, MpmdError::ParamConflict("k".into()));
+    }
+
+    #[test]
+    fn shared_params_merge() {
+        let a = parse("program a; param k = 5; compute k; checkpoint;").unwrap();
+        let b = parse("program b; param k = 5; compute k + 1; checkpoint;").unwrap();
+        let combined = combine("ok", vec![Role::new(a, 0, 0), Role::rest(b, 1)]).unwrap();
+        assert_eq!(combined.params, vec![("k".into(), 5)]);
+    }
+
+    #[test]
+    fn loop_variables_are_renamed_in_for_headers() {
+        let combined = combine(
+            "mw",
+            vec![Role::new(master(), 0, 0), Role::rest(worker(), 1)],
+        )
+        .unwrap();
+        let mut for_vars = Vec::new();
+        combined.visit(&mut |s| {
+            if let StmtKind::For { var, .. } = &s.kind {
+                for_vars.push(var.clone());
+            }
+        });
+        assert_eq!(for_vars, vec!["r0_j".to_string()]);
+    }
+}

@@ -1,0 +1,618 @@
+//! Recursive-descent parser for MPSL.
+//!
+//! Grammar (EBNF):
+//!
+//! ```text
+//! program   := "program" IDENT ";" decl* stmt*
+//! decl      := "param" IDENT "=" ["-"] INT ";"
+//!            | "var" IDENT { "," IDENT } ";"
+//! stmt      := "compute" expr ";"
+//!            | IDENT ":=" expr ";"
+//!            | "send" "to" expr [ "size" expr ] ";"
+//!            | "recv" "from" ( "any" | expr ) ";"
+//!            | "checkpoint" [ STRING ] ";"
+//!            | "if" expr block [ "else" block ]
+//!            | "while" expr block
+//!            | "for" IDENT "in" expr ".." expr block
+//!            | "bcast" "from" expr [ "size" expr ] ";"
+//!            | "exchange" "with" expr [ "size" expr ] ";"
+//! block     := "{" stmt* "}"
+//! expr      := precedence-climbing over || && (==|!=) (<|<=|>|>=) (+|-) (*|/|%)
+//! primary   := INT | "rank" | "nprocs" | "input" "(" INT ")" | IDENT
+//!            | "(" expr ")" | "-" primary | "!" primary
+//! ```
+//!
+//! `rank`, `nprocs`, `input`, `any`, and all statement keywords are
+//! reserved. An identifier in expression position resolves to
+//! [`Expr::Param`] if declared with `param`, otherwise to [`Expr::Var`].
+
+use crate::ast::{BinOp, Block, Expr, Program, RecvSrc, Stmt, StmtKind, UnOp};
+use crate::lexer::{lex, LexError, Spanned, Tok};
+use std::collections::HashSet;
+use std::fmt;
+
+/// A parse error with position information.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Human-readable description.
+    pub message: String,
+    /// 1-based line (0 if end of input).
+    pub line: u32,
+    /// 1-based column (0 if end of input).
+    pub col: u32,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}: {}", self.line, self.col, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl From<LexError> for ParseError {
+    fn from(e: LexError) -> ParseError {
+        ParseError {
+            message: e.message,
+            line: e.line,
+            col: e.col,
+        }
+    }
+}
+
+const RESERVED: &[&str] = &[
+    "program", "param", "var", "compute", "send", "recv", "checkpoint", "if", "else", "while",
+    "for", "in", "to", "from", "with", "size", "any", "rank", "nprocs", "input", "bcast",
+    "exchange",
+];
+
+struct Parser {
+    toks: Vec<Spanned>,
+    pos: usize,
+    params: HashSet<String>,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.pos).map(|s| &s.tok)
+    }
+
+    fn here(&self) -> (u32, u32) {
+        self.toks
+            .get(self.pos)
+            .map(|s| (s.line, s.col))
+            .unwrap_or((0, 0))
+    }
+
+    fn err(&self, message: impl Into<String>) -> ParseError {
+        let (line, col) = self.here();
+        ParseError {
+            message: message.into(),
+            line,
+            col,
+        }
+    }
+
+    fn bump(&mut self) -> Option<Tok> {
+        let t = self.toks.get(self.pos).map(|s| s.tok.clone());
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn expect(&mut self, want: &Tok) -> Result<(), ParseError> {
+        match self.peek() {
+            Some(t) if t == want => {
+                self.pos += 1;
+                Ok(())
+            }
+            Some(t) => Err(self.err(format!("expected {want}, found {t}"))),
+            None => Err(self.err(format!("expected {want}, found end of input"))),
+        }
+    }
+
+    fn expect_kw(&mut self, kw: &str) -> Result<(), ParseError> {
+        match self.peek() {
+            Some(Tok::Ident(s)) if s == kw => {
+                self.pos += 1;
+                Ok(())
+            }
+            Some(t) => Err(self.err(format!("expected keyword `{kw}`, found {t}"))),
+            None => Err(self.err(format!("expected keyword `{kw}`, found end of input"))),
+        }
+    }
+
+    fn at_kw(&self, kw: &str) -> bool {
+        matches!(self.peek(), Some(Tok::Ident(s)) if s == kw)
+    }
+
+    fn expect_ident(&mut self) -> Result<String, ParseError> {
+        match self.peek() {
+            Some(Tok::Ident(s)) if !RESERVED.contains(&s.as_str()) => {
+                let s = s.clone();
+                self.pos += 1;
+                Ok(s)
+            }
+            Some(Tok::Ident(s)) => Err(self.err(format!("`{s}` is a reserved word"))),
+            Some(t) => Err(self.err(format!("expected identifier, found {t}"))),
+            None => Err(self.err("expected identifier, found end of input")),
+        }
+    }
+
+    fn expect_int(&mut self) -> Result<i64, ParseError> {
+        match self.peek() {
+            Some(Tok::Int(v)) => {
+                let v = *v;
+                self.pos += 1;
+                Ok(v)
+            }
+            Some(t) => Err(self.err(format!("expected integer, found {t}"))),
+            None => Err(self.err("expected integer, found end of input")),
+        }
+    }
+
+    fn parse_program(&mut self) -> Result<Program, ParseError> {
+        self.expect_kw("program")?;
+        let name = self.expect_ident()?;
+        self.expect(&Tok::Semi)?;
+        let mut params = Vec::new();
+        let mut vars = Vec::new();
+        loop {
+            if self.at_kw("param") {
+                self.pos += 1;
+                let name = self.expect_ident()?;
+                self.expect(&Tok::Eq)?;
+                let neg = if self.peek() == Some(&Tok::Minus) {
+                    self.pos += 1;
+                    true
+                } else {
+                    false
+                };
+                let v = self.expect_int()?;
+                self.expect(&Tok::Semi)?;
+                if params.iter().any(|(n, _): &(String, i64)| *n == name) {
+                    return Err(self.err(format!("duplicate param `{name}`")));
+                }
+                self.params.insert(name.clone());
+                params.push((name, if neg { -v } else { v }));
+            } else if self.at_kw("var") {
+                self.pos += 1;
+                loop {
+                    let name = self.expect_ident()?;
+                    if vars.contains(&name) {
+                        return Err(self.err(format!("duplicate var `{name}`")));
+                    }
+                    if self.params.contains(&name) {
+                        return Err(self.err(format!("`{name}` already declared as param")));
+                    }
+                    vars.push(name);
+                    if self.peek() == Some(&Tok::Comma) {
+                        self.pos += 1;
+                    } else {
+                        break;
+                    }
+                }
+                self.expect(&Tok::Semi)?;
+            } else {
+                break;
+            }
+        }
+        let mut body = Vec::new();
+        while self.peek().is_some() {
+            body.push(self.parse_stmt()?);
+        }
+        Ok(Program::new(name, params, vars, body))
+    }
+
+    fn parse_block(&mut self) -> Result<Block, ParseError> {
+        self.expect(&Tok::LBrace)?;
+        let mut out = Vec::new();
+        while self.peek() != Some(&Tok::RBrace) {
+            if self.peek().is_none() {
+                return Err(self.err("unclosed block: expected `}`"));
+            }
+            out.push(self.parse_stmt()?);
+        }
+        self.expect(&Tok::RBrace)?;
+        Ok(out)
+    }
+
+    fn parse_size(&mut self) -> Result<Expr, ParseError> {
+        if self.at_kw("size") {
+            self.pos += 1;
+            self.parse_expr()
+        } else {
+            // Default control-message size used throughout the paper's
+            // analysis: 8 bits.
+            Ok(Expr::Int(8))
+        }
+    }
+
+    fn parse_stmt(&mut self) -> Result<Stmt, ParseError> {
+        let kind = match self.peek() {
+            Some(Tok::Ident(kw)) => match kw.as_str() {
+                "compute" => {
+                    self.pos += 1;
+                    let cost = self.parse_expr()?;
+                    self.expect(&Tok::Semi)?;
+                    StmtKind::Compute { cost }
+                }
+                "send" => {
+                    self.pos += 1;
+                    self.expect_kw("to")?;
+                    let dest = self.parse_expr()?;
+                    let size_bits = self.parse_size()?;
+                    self.expect(&Tok::Semi)?;
+                    StmtKind::Send { dest, size_bits }
+                }
+                "recv" => {
+                    self.pos += 1;
+                    self.expect_kw("from")?;
+                    let src = if self.at_kw("any") {
+                        self.pos += 1;
+                        RecvSrc::Any
+                    } else {
+                        RecvSrc::Rank(self.parse_expr()?)
+                    };
+                    self.expect(&Tok::Semi)?;
+                    StmtKind::Recv { src }
+                }
+                "checkpoint" => {
+                    self.pos += 1;
+                    let label = if let Some(Tok::Str(s)) = self.peek() {
+                        let s = s.clone();
+                        self.pos += 1;
+                        Some(s)
+                    } else {
+                        None
+                    };
+                    self.expect(&Tok::Semi)?;
+                    StmtKind::Checkpoint { label }
+                }
+                "if" => {
+                    self.pos += 1;
+                    let cond = self.parse_expr()?;
+                    let then_branch = self.parse_block()?;
+                    let else_branch = if self.at_kw("else") {
+                        self.pos += 1;
+                        self.parse_block()?
+                    } else {
+                        Vec::new()
+                    };
+                    StmtKind::If {
+                        cond,
+                        then_branch,
+                        else_branch,
+                    }
+                }
+                "while" => {
+                    self.pos += 1;
+                    let cond = self.parse_expr()?;
+                    let body = self.parse_block()?;
+                    StmtKind::While { cond, body }
+                }
+                "for" => {
+                    self.pos += 1;
+                    let var = self.expect_ident()?;
+                    self.expect_kw("in")?;
+                    let from = self.parse_expr()?;
+                    self.expect(&Tok::DotDot)?;
+                    let to = self.parse_expr()?;
+                    let body = self.parse_block()?;
+                    StmtKind::For {
+                        var,
+                        from,
+                        to,
+                        body,
+                    }
+                }
+                "bcast" => {
+                    self.pos += 1;
+                    self.expect_kw("from")?;
+                    let root = self.parse_expr()?;
+                    let size_bits = self.parse_size()?;
+                    self.expect(&Tok::Semi)?;
+                    StmtKind::Bcast { root, size_bits }
+                }
+                "exchange" => {
+                    self.pos += 1;
+                    self.expect_kw("with")?;
+                    let peer = self.parse_expr()?;
+                    let size_bits = self.parse_size()?;
+                    self.expect(&Tok::Semi)?;
+                    StmtKind::Exchange { peer, size_bits }
+                }
+                _ => {
+                    // Assignment: IDENT := expr ;
+                    let var = self.expect_ident()?;
+                    self.expect(&Tok::Assign)?;
+                    let value = self.parse_expr()?;
+                    self.expect(&Tok::Semi)?;
+                    StmtKind::Assign { var, value }
+                }
+            },
+            Some(t) => return Err(self.err(format!("expected statement, found {t}"))),
+            None => return Err(self.err("expected statement, found end of input")),
+        };
+        Ok(Stmt::new(kind))
+    }
+
+    fn parse_expr(&mut self) -> Result<Expr, ParseError> {
+        self.parse_bin(0)
+    }
+
+    fn peek_binop(&self) -> Option<BinOp> {
+        Some(match self.peek()? {
+            Tok::OrOr => BinOp::Or,
+            Tok::AndAnd => BinOp::And,
+            Tok::EqEq => BinOp::Eq,
+            Tok::Ne => BinOp::Ne,
+            Tok::Lt => BinOp::Lt,
+            Tok::Le => BinOp::Le,
+            Tok::Gt => BinOp::Gt,
+            Tok::Ge => BinOp::Ge,
+            Tok::Plus => BinOp::Add,
+            Tok::Minus => BinOp::Sub,
+            Tok::Star => BinOp::Mul,
+            Tok::Slash => BinOp::Div,
+            Tok::Percent => BinOp::Mod,
+            _ => return None,
+        })
+    }
+
+    fn parse_bin(&mut self, min_prec: u8) -> Result<Expr, ParseError> {
+        let mut lhs = self.parse_primary()?;
+        while let Some(op) = self.peek_binop() {
+            let prec = op.precedence();
+            if prec < min_prec {
+                break;
+            }
+            self.pos += 1;
+            let rhs = self.parse_bin(prec + 1)?;
+            lhs = Expr::bin(op, lhs, rhs);
+        }
+        Ok(lhs)
+    }
+
+    fn parse_primary(&mut self) -> Result<Expr, ParseError> {
+        match self.bump() {
+            Some(Tok::Int(v)) => Ok(Expr::Int(v)),
+            Some(Tok::Minus) => {
+                let inner = self.parse_primary()?;
+                // Canonical form: a negated literal *is* a literal, so
+                // `-1` parses to `Int(-1)` and printing round-trips.
+                Ok(match inner {
+                    Expr::Int(v) => Expr::Int(-v),
+                    other => Expr::Unary(UnOp::Neg, Box::new(other)),
+                })
+            }
+            Some(Tok::Bang) => Ok(Expr::Unary(UnOp::Not, Box::new(self.parse_primary()?))),
+            Some(Tok::LParen) => {
+                let e = self.parse_expr()?;
+                self.expect(&Tok::RParen)?;
+                Ok(e)
+            }
+            Some(Tok::Ident(s)) => match s.as_str() {
+                "rank" => Ok(Expr::Rank),
+                "nprocs" => Ok(Expr::NProcs),
+                "input" => {
+                    self.expect(&Tok::LParen)?;
+                    let k = self.expect_int()?;
+                    self.expect(&Tok::RParen)?;
+                    if k < 0 || k > u32::MAX as i64 {
+                        self.pos -= 1;
+                        return Err(self.err("input index out of range"));
+                    }
+                    Ok(Expr::Input(k as u32))
+                }
+                other if RESERVED.contains(&other) => {
+                    self.pos -= 1;
+                    Err(self.err(format!("`{other}` cannot appear in an expression")))
+                }
+                other => {
+                    if self.params.contains(other) {
+                        Ok(Expr::Param(other.to_string()))
+                    } else {
+                        Ok(Expr::Var(other.to_string()))
+                    }
+                }
+            },
+            Some(t) => {
+                self.pos -= 1;
+                Err(self.err(format!("expected expression, found {t}")))
+            }
+            None => Err(self.err("expected expression, found end of input")),
+        }
+    }
+}
+
+/// Parses MPSL source text into a [`Program`].
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] (with line/column) on lexical or syntactic
+/// errors, duplicate declarations, or use of reserved words as names.
+///
+/// # Examples
+///
+/// ```
+/// let p = acfc_mpsl::parse(
+///     "program ring; var i;
+///      for i in 0..4 {
+///        send to (rank + 1) % nprocs size 256;
+///        recv from (rank - 1) % nprocs;
+///        checkpoint;
+///      }",
+/// )?;
+/// assert_eq!(p.name, "ring");
+/// # Ok::<(), acfc_mpsl::ParseError>(())
+/// ```
+pub fn parse(src: &str) -> Result<Program, ParseError> {
+    let toks = lex(src)?;
+    let mut p = Parser {
+        toks,
+        pos: 0,
+        params: HashSet::new(),
+    };
+    p.parse_program()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_minimal_program() {
+        let p = parse("program t; compute 1;").unwrap();
+        assert_eq!(p.name, "t");
+        assert_eq!(p.body.len(), 1);
+    }
+
+    #[test]
+    fn parses_decls() {
+        let p = parse("program t; param n = 5; param m = -2; var a, b; compute n;").unwrap();
+        assert_eq!(p.params, vec![("n".into(), 5), ("m".into(), -2)]);
+        assert_eq!(p.vars, vec!["a".to_string(), "b".to_string()]);
+        // `n` resolves to Param, not Var.
+        assert!(matches!(
+            &p.body[0].kind,
+            StmtKind::Compute { cost: Expr::Param(n) } if n == "n"
+        ));
+    }
+
+    #[test]
+    fn precedence_is_conventional() {
+        let p = parse("program t; compute 1 + 2 * 3;").unwrap();
+        let StmtKind::Compute { cost } = &p.body[0].kind else {
+            panic!()
+        };
+        assert_eq!(
+            *cost,
+            Expr::bin(
+                BinOp::Add,
+                Expr::Int(1),
+                Expr::bin(BinOp::Mul, Expr::Int(2), Expr::Int(3))
+            )
+        );
+    }
+
+    #[test]
+    fn left_associativity() {
+        let p = parse("program t; compute 10 - 3 - 2;").unwrap();
+        let StmtKind::Compute { cost } = &p.body[0].kind else {
+            panic!()
+        };
+        assert_eq!(
+            *cost,
+            Expr::bin(
+                BinOp::Sub,
+                Expr::bin(BinOp::Sub, Expr::Int(10), Expr::Int(3)),
+                Expr::Int(2)
+            )
+        );
+    }
+
+    #[test]
+    fn parses_send_recv_checkpoint() {
+        let p = parse(
+            "program t;
+             send to (rank + 1) % nprocs size 1024;
+             recv from any;
+             recv from rank - 1;
+             checkpoint \"after exchange\";",
+        )
+        .unwrap();
+        assert!(matches!(p.body[0].kind, StmtKind::Send { .. }));
+        assert!(matches!(
+            p.body[1].kind,
+            StmtKind::Recv { src: RecvSrc::Any }
+        ));
+        assert!(matches!(
+            p.body[3].kind,
+            StmtKind::Checkpoint { label: Some(_) }
+        ));
+    }
+
+    #[test]
+    fn default_size_is_eight_bits() {
+        let p = parse("program t; send to 0;").unwrap();
+        let StmtKind::Send { size_bits, .. } = &p.body[0].kind else {
+            panic!()
+        };
+        assert_eq!(*size_bits, Expr::Int(8));
+    }
+
+    #[test]
+    fn parses_control_flow() {
+        let p = parse(
+            "program t; var i;
+             if rank % 2 == 0 { compute 1; } else { compute 2; }
+             while i < 3 { i := i + 1; }
+             for i in 0..5 { checkpoint; }",
+        )
+        .unwrap();
+        assert!(matches!(p.body[0].kind, StmtKind::If { .. }));
+        assert!(matches!(p.body[1].kind, StmtKind::While { .. }));
+        assert!(matches!(p.body[2].kind, StmtKind::For { .. }));
+    }
+
+    #[test]
+    fn parses_collectives() {
+        let p = parse("program t; bcast from 0 size 64; exchange with rank + 1;").unwrap();
+        assert!(matches!(p.body[0].kind, StmtKind::Bcast { .. }));
+        assert!(matches!(p.body[1].kind, StmtKind::Exchange { .. }));
+    }
+
+    #[test]
+    fn parses_input_expr() {
+        let p = parse("program t; send to input(0) size 8;").unwrap();
+        let StmtKind::Send { dest, .. } = &p.body[0].kind else {
+            panic!()
+        };
+        assert_eq!(*dest, Expr::Input(0));
+    }
+
+    #[test]
+    fn reserved_words_rejected_as_names() {
+        assert!(parse("program while;").is_err());
+        assert!(parse("program t; var send;").is_err());
+        assert!(parse("program t; compute size;").is_err());
+    }
+
+    #[test]
+    fn duplicate_declarations_rejected() {
+        assert!(parse("program t; var a, a;").is_err());
+        assert!(parse("program t; param a = 1; param a = 2;").is_err());
+        assert!(parse("program t; param a = 1; var a;").is_err());
+    }
+
+    #[test]
+    fn error_positions_reported() {
+        let err = parse("program t;\n  compute ;").unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(err.message.contains("expression"));
+    }
+
+    #[test]
+    fn unclosed_block_is_error() {
+        let err = parse("program t; while 1 { compute 1;").unwrap_err();
+        assert!(err.message.contains("unclosed") || err.message.contains('}'));
+    }
+
+    #[test]
+    fn unary_operators() {
+        let p = parse("program t; compute -rank + !0;").unwrap();
+        let StmtKind::Compute { cost } = &p.body[0].kind else {
+            panic!()
+        };
+        assert_eq!(
+            *cost,
+            Expr::bin(
+                BinOp::Add,
+                Expr::Unary(UnOp::Neg, Box::new(Expr::Rank)),
+                Expr::Unary(UnOp::Not, Box::new(Expr::Int(0)))
+            )
+        );
+    }
+}

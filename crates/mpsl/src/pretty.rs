@@ -1,0 +1,264 @@
+//! Pretty-printer for MPSL programs.
+//!
+//! The output re-parses to a structurally identical program (modulo
+//! statement ids, which are position-derived and therefore also equal) —
+//! this round-trip property is enforced by tests and by a property test in
+//! the crate's test suite.
+
+use crate::ast::{Block, Expr, Program, RecvSrc, StmtKind, UnOp};
+use std::fmt::Write;
+
+/// Renders an expression with minimal parentheses.
+pub fn expr_to_string(e: &Expr) -> String {
+    let mut s = String::new();
+    write_expr(&mut s, e, 0);
+    s
+}
+
+fn write_expr(out: &mut String, e: &Expr, parent_prec: u8) {
+    match e {
+        Expr::Int(v) => {
+            let _ = write!(out, "{v}");
+        }
+        Expr::Rank => out.push_str("rank"),
+        Expr::NProcs => out.push_str("nprocs"),
+        Expr::Param(p) => out.push_str(p),
+        Expr::Var(v) => out.push_str(v),
+        Expr::Input(k) => {
+            let _ = write!(out, "input({k})");
+        }
+        Expr::Unary(op, inner) => {
+            out.push(match op {
+                UnOp::Neg => '-',
+                UnOp::Not => '!',
+            });
+            // Unary binds tighter than any binary operator; nested
+            // unaries and negative literals need parentheses so that
+            // e.g. `-(-1)` does not print as `--1` (which would re-lex
+            // as two minus tokens).
+            let needs_parens = matches!(
+                inner.as_ref(),
+                Expr::Binary(..) | Expr::Unary(..)
+            ) || matches!(inner.as_ref(), Expr::Int(v) if *v < 0);
+            if needs_parens {
+                out.push('(');
+                write_expr(out, inner, 0);
+                out.push(')');
+            } else {
+                write_expr(out, inner, u8::MAX);
+            }
+        }
+        Expr::Binary(op, a, b) => {
+            let prec = op.precedence();
+            let need_parens = prec < parent_prec;
+            if need_parens {
+                out.push('(');
+            }
+            write_expr(out, a, prec);
+            let _ = write!(out, " {} ", op.symbol());
+            // Right operand gets prec+1: all our binary operators are
+            // left-associative.
+            write_expr(out, b, prec + 1);
+            if need_parens {
+                out.push(')');
+            }
+        }
+    }
+}
+
+fn is_default_size(e: &Expr) -> bool {
+    matches!(e, Expr::Int(8))
+}
+
+fn write_block(out: &mut String, block: &Block, indent: usize) {
+    for stmt in block {
+        write_stmt(out, &stmt.kind, indent);
+    }
+}
+
+fn pad(out: &mut String, indent: usize) {
+    for _ in 0..indent {
+        out.push_str("  ");
+    }
+}
+
+fn write_stmt(out: &mut String, kind: &StmtKind, indent: usize) {
+    pad(out, indent);
+    match kind {
+        StmtKind::Compute { cost } => {
+            let _ = writeln!(out, "compute {};", expr_to_string(cost));
+        }
+        StmtKind::Assign { var, value } => {
+            let _ = writeln!(out, "{var} := {};", expr_to_string(value));
+        }
+        StmtKind::Send { dest, size_bits } => {
+            if is_default_size(size_bits) {
+                let _ = writeln!(out, "send to {};", expr_to_string(dest));
+            } else {
+                let _ = writeln!(
+                    out,
+                    "send to {} size {};",
+                    expr_to_string(dest),
+                    expr_to_string(size_bits)
+                );
+            }
+        }
+        StmtKind::Recv { src } => match src {
+            RecvSrc::Any => {
+                let _ = writeln!(out, "recv from any;");
+            }
+            RecvSrc::Rank(e) => {
+                let _ = writeln!(out, "recv from {};", expr_to_string(e));
+            }
+        },
+        StmtKind::Checkpoint { label } => match label {
+            Some(l) => {
+                let _ = writeln!(out, "checkpoint \"{l}\";");
+            }
+            None => {
+                let _ = writeln!(out, "checkpoint;");
+            }
+        },
+        StmtKind::If {
+            cond,
+            then_branch,
+            else_branch,
+        } => {
+            let _ = writeln!(out, "if {} {{", expr_to_string(cond));
+            write_block(out, then_branch, indent + 1);
+            pad(out, indent);
+            if else_branch.is_empty() {
+                out.push_str("}\n");
+            } else {
+                out.push_str("} else {\n");
+                write_block(out, else_branch, indent + 1);
+                pad(out, indent);
+                out.push_str("}\n");
+            }
+        }
+        StmtKind::While { cond, body } => {
+            let _ = writeln!(out, "while {} {{", expr_to_string(cond));
+            write_block(out, body, indent + 1);
+            pad(out, indent);
+            out.push_str("}\n");
+        }
+        StmtKind::For {
+            var,
+            from,
+            to,
+            body,
+        } => {
+            let _ = writeln!(
+                out,
+                "for {var} in {}..{} {{",
+                expr_to_string(from),
+                expr_to_string(to)
+            );
+            write_block(out, body, indent + 1);
+            pad(out, indent);
+            out.push_str("}\n");
+        }
+        StmtKind::Bcast { root, size_bits } => {
+            if is_default_size(size_bits) {
+                let _ = writeln!(out, "bcast from {};", expr_to_string(root));
+            } else {
+                let _ = writeln!(
+                    out,
+                    "bcast from {} size {};",
+                    expr_to_string(root),
+                    expr_to_string(size_bits)
+                );
+            }
+        }
+        StmtKind::Exchange { peer, size_bits } => {
+            if is_default_size(size_bits) {
+                let _ = writeln!(out, "exchange with {};", expr_to_string(peer));
+            } else {
+                let _ = writeln!(
+                    out,
+                    "exchange with {} size {};",
+                    expr_to_string(peer),
+                    expr_to_string(size_bits)
+                );
+            }
+        }
+    }
+}
+
+/// Renders a whole program as parseable MPSL source.
+///
+/// # Examples
+///
+/// ```
+/// let p = acfc_mpsl::parse("program t; compute 1 + 2 * 3;")?;
+/// let text = acfc_mpsl::to_source(&p);
+/// let q = acfc_mpsl::parse(&text)?;
+/// assert_eq!(p, q);
+/// # Ok::<(), acfc_mpsl::ParseError>(())
+/// ```
+pub fn to_source(p: &Program) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "program {};", p.name);
+    for (name, value) in &p.params {
+        let _ = writeln!(out, "param {name} = {value};");
+    }
+    if !p.vars.is_empty() {
+        let _ = writeln!(out, "var {};", p.vars.join(", "));
+    }
+    write_block(&mut out, &p.body, 0);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    fn roundtrip(src: &str) {
+        let p = parse(src).unwrap();
+        let printed = to_source(&p);
+        let q = parse(&printed).unwrap_or_else(|e| panic!("reparse failed: {e}\n{printed}"));
+        assert_eq!(p, q, "round-trip mismatch for:\n{printed}");
+    }
+
+    #[test]
+    fn roundtrip_simple() {
+        roundtrip("program t; param k = 3; var i, j; compute 1 + 2 * 3; i := (1 + 2) * 3;");
+    }
+
+    #[test]
+    fn roundtrip_control_flow() {
+        roundtrip(
+            "program t; var i;
+             if rank % 2 == 0 { send to rank + 1 size 128; } else { recv from rank - 1; }
+             while i < 4 { checkpoint \"loop\"; i := i + 1; }
+             for i in 0..nprocs { compute i; }",
+        );
+    }
+
+    #[test]
+    fn roundtrip_collectives_and_inputs() {
+        roundtrip("program t; bcast from 0 size 32; exchange with input(1); recv from any;");
+    }
+
+    #[test]
+    fn roundtrip_unary_and_nested_parens() {
+        roundtrip("program t; compute -(1 + 2) * !rank; compute 10 - (3 - 2);");
+    }
+
+    #[test]
+    fn default_size_omitted() {
+        let p = parse("program t; send to 0;").unwrap();
+        let s = to_source(&p);
+        assert!(!s.contains("size"), "{s}");
+        roundtrip("program t; send to 0;");
+    }
+
+    #[test]
+    fn right_associative_parens_preserved() {
+        // 10 - (3 - 2) must NOT print as 10 - 3 - 2.
+        let p = parse("program t; compute 10 - (3 - 2);").unwrap();
+        let s = to_source(&p);
+        assert!(s.contains("10 - (3 - 2)"), "{s}");
+    }
+}

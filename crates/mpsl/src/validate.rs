@@ -1,0 +1,219 @@
+//! Static validation of MPSL programs.
+//!
+//! Catches the mistakes that would otherwise surface as confusing run-time
+//! errors in the simulator or as vacuous analyses: undeclared variables,
+//! use of a variable before any possible assignment, assignment to loop
+//! variables inside their own loop, and empty loop bodies.
+
+use crate::ast::{Block, Expr, Program, RecvSrc, StmtKind};
+use std::collections::HashSet;
+use std::fmt;
+
+/// A single validation diagnostic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ValidateError {
+    /// What is wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ValidateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for ValidateError {}
+
+fn check_expr(
+    e: &Expr,
+    declared: &HashSet<&str>,
+    params: &HashSet<&str>,
+    errors: &mut Vec<ValidateError>,
+) {
+    match e {
+        Expr::Var(v)
+            if !declared.contains(v.as_str()) => {
+                errors.push(ValidateError {
+                    message: format!("use of undeclared variable `{v}`"),
+                });
+            }
+        Expr::Param(p)
+            if !params.contains(p.as_str()) => {
+                errors.push(ValidateError {
+                    message: format!("use of undeclared parameter `{p}`"),
+                });
+            }
+        Expr::Unary(_, inner) => check_expr(inner, declared, params, errors),
+        Expr::Binary(_, a, b) => {
+            check_expr(a, declared, params, errors);
+            check_expr(b, declared, params, errors);
+        }
+        _ => {}
+    }
+}
+
+fn check_block(
+    block: &Block,
+    declared: &HashSet<&str>,
+    params: &HashSet<&str>,
+    loop_vars: &mut Vec<String>,
+    errors: &mut Vec<ValidateError>,
+) {
+    for stmt in block {
+        match &stmt.kind {
+            StmtKind::Compute { cost } => check_expr(cost, declared, params, errors),
+            StmtKind::Assign { var, value } => {
+                if !declared.contains(var.as_str()) {
+                    errors.push(ValidateError {
+                        message: format!("assignment to undeclared variable `{var}`"),
+                    });
+                }
+                if loop_vars.contains(var) {
+                    errors.push(ValidateError {
+                        message: format!(
+                            "assignment to `{var}` inside its own `for` loop would break \
+                             the loop's bounds"
+                        ),
+                    });
+                }
+                check_expr(value, declared, params, errors);
+            }
+            StmtKind::Send { dest, size_bits } => {
+                check_expr(dest, declared, params, errors);
+                check_expr(size_bits, declared, params, errors);
+            }
+            StmtKind::Recv { src } => {
+                if let RecvSrc::Rank(e) = src {
+                    check_expr(e, declared, params, errors);
+                }
+            }
+            StmtKind::Checkpoint { .. } => {}
+            StmtKind::If {
+                cond,
+                then_branch,
+                else_branch,
+            } => {
+                check_expr(cond, declared, params, errors);
+                check_block(then_branch, declared, params, loop_vars, errors);
+                check_block(else_branch, declared, params, loop_vars, errors);
+            }
+            StmtKind::While { cond, body } => {
+                check_expr(cond, declared, params, errors);
+                if body.is_empty() {
+                    errors.push(ValidateError {
+                        message: "`while` loop with empty body can never terminate".into(),
+                    });
+                }
+                check_block(body, declared, params, loop_vars, errors);
+            }
+            StmtKind::For {
+                var,
+                from,
+                to,
+                body,
+            } => {
+                if !declared.contains(var.as_str()) {
+                    errors.push(ValidateError {
+                        message: format!("`for` loop variable `{var}` is not declared"),
+                    });
+                }
+                check_expr(from, declared, params, errors);
+                check_expr(to, declared, params, errors);
+                loop_vars.push(var.clone());
+                check_block(body, declared, params, loop_vars, errors);
+                loop_vars.pop();
+            }
+            StmtKind::Bcast { root, size_bits } => {
+                check_expr(root, declared, params, errors);
+                check_expr(size_bits, declared, params, errors);
+                if root.mentions_rank() || root.mentions_var() {
+                    errors.push(ValidateError {
+                        message: "`bcast` root must be rank-independent (same value in every \
+                                  process)"
+                            .into(),
+                    });
+                }
+            }
+            StmtKind::Exchange { peer, size_bits } => {
+                check_expr(peer, declared, params, errors);
+                check_expr(size_bits, declared, params, errors);
+            }
+        }
+    }
+}
+
+/// Validates a program, returning all diagnostics found.
+///
+/// An empty result means the program is well-formed.
+///
+/// # Examples
+///
+/// ```
+/// let p = acfc_mpsl::parse("program t; x := 1;").unwrap();
+/// let errors = acfc_mpsl::validate(&p);
+/// assert_eq!(errors.len(), 1);
+/// assert!(errors[0].message.contains("undeclared"));
+/// ```
+pub fn validate(p: &Program) -> Vec<ValidateError> {
+    let declared: HashSet<&str> = p.vars.iter().map(|s| s.as_str()).collect();
+    let params: HashSet<&str> = p.params.iter().map(|(n, _)| n.as_str()).collect();
+    let mut errors = Vec::new();
+    let mut loop_vars = Vec::new();
+    check_block(&p.body, &declared, &params, &mut loop_vars, &mut errors);
+    errors
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+    use crate::programs::all_stock;
+
+    #[test]
+    fn stock_programs_validate_cleanly() {
+        for p in all_stock() {
+            let errs = validate(&p);
+            assert!(errs.is_empty(), "{}: {:?}", p.name, errs);
+        }
+    }
+
+    #[test]
+    fn undeclared_var_reported() {
+        let p = parse("program t; compute x;").unwrap();
+        assert_eq!(validate(&p).len(), 1);
+    }
+
+    #[test]
+    fn undeclared_assignment_reported() {
+        let p = parse("program t; y := 3;").unwrap();
+        assert!(validate(&p)[0].message.contains("undeclared"));
+    }
+
+    #[test]
+    fn loop_var_mutation_reported() {
+        let p = parse("program t; var i; for i in 0..3 { i := 0; }").unwrap();
+        assert!(validate(&p)
+            .iter()
+            .any(|e| e.message.contains("own `for` loop")));
+    }
+
+    #[test]
+    fn empty_while_reported() {
+        let p = parse("program t; while 1 { }").unwrap();
+        assert!(validate(&p).iter().any(|e| e.message.contains("empty")));
+    }
+
+    #[test]
+    fn rank_dependent_bcast_root_reported() {
+        let p = parse("program t; bcast from rank;").unwrap();
+        assert!(validate(&p)
+            .iter()
+            .any(|e| e.message.contains("rank-independent")));
+    }
+
+    #[test]
+    fn undeclared_for_var_reported() {
+        let p = parse("program t; for i in 0..3 { compute 1; }").unwrap();
+        assert!(validate(&p).iter().any(|e| e.message.contains("not declared")));
+    }
+}

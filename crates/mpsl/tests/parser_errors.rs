@@ -1,0 +1,104 @@
+//! Exhaustive parser/lexer error-path coverage: every production's
+//! failure mode reports a position and a useful message.
+
+use acfc_mpsl::parse;
+
+fn err(src: &str) -> (String, u32, u32) {
+    let e = parse(src).expect_err(&format!("expected error for: {src}"));
+    (e.message, e.line, e.col)
+}
+
+#[test]
+fn missing_program_header() {
+    let (m, ..) = err("compute 1;");
+    assert!(m.contains("program"), "{m}");
+}
+
+#[test]
+fn missing_program_name() {
+    let (m, ..) = err("program ;");
+    assert!(m.contains("identifier"), "{m}");
+}
+
+#[test]
+fn missing_semicolon_after_header() {
+    let (m, ..) = err("program t compute 1;");
+    assert!(m.contains("`;`"), "{m}");
+}
+
+#[test]
+fn send_requires_to() {
+    let (m, ..) = err("program t; send 0;");
+    assert!(m.contains("`to`"), "{m}");
+}
+
+#[test]
+fn recv_requires_from() {
+    let (m, ..) = err("program t; recv 0;");
+    assert!(m.contains("`from`"), "{m}");
+}
+
+#[test]
+fn exchange_requires_with() {
+    let (m, ..) = err("program t; exchange 1;");
+    assert!(m.contains("`with`"), "{m}");
+}
+
+#[test]
+fn for_requires_in_and_range() {
+    let (m, ..) = err("program t; var i; for i 0..3 { }");
+    assert!(m.contains("`in`"), "{m}");
+    let (m, ..) = err("program t; var i; for i in 0 3 { }");
+    assert!(m.contains("`..`"), "{m}");
+}
+
+#[test]
+fn assignment_requires_walrus() {
+    let (m, ..) = err("program t; var x; x = 3;");
+    assert!(m.contains("`:=`"), "{m}");
+}
+
+#[test]
+fn dangling_expression_operand() {
+    let (m, line, _) = err("program t;\ncompute 1 +;");
+    assert!(m.contains("expression"), "{m}");
+    assert_eq!(line, 2);
+}
+
+#[test]
+fn unbalanced_parens() {
+    let (m, ..) = err("program t; compute (1 + 2;");
+    assert!(m.contains("`)`"), "{m}");
+}
+
+#[test]
+fn input_requires_integer_index() {
+    let (m, ..) = err("program t; compute input(x);");
+    assert!(m.contains("integer"), "{m}");
+}
+
+#[test]
+fn keyword_in_expression_position() {
+    let (m, ..) = err("program t; compute while;");
+    assert!(m.contains("cannot appear in an expression"), "{m}");
+}
+
+#[test]
+fn param_requires_literal_value() {
+    let (m, ..) = err("program t; param k = rank;");
+    assert!(m.contains("integer"), "{m}");
+}
+
+#[test]
+fn column_positions_are_accurate() {
+    let (_, line, col) = err("program t; compute @;");
+    assert_eq!(line, 1);
+    assert_eq!(col, 20);
+}
+
+#[test]
+fn error_display_includes_position() {
+    let e = parse("program t;\n  compute ;").unwrap_err();
+    let shown = e.to_string();
+    assert!(shown.starts_with("2:"), "{shown}");
+}

@@ -1,0 +1,158 @@
+//! Property tests for the MPSL front end: the pretty-printer
+//! round-trips through the parser for arbitrary generated programs, and
+//! the evaluator never panics on arbitrary expressions.
+
+use acfc_mpsl::{eval, expr_to_string, parse, to_source, BinOp, Env, Expr, Program, RecvSrc,
+    Stmt, StmtKind, UnOp};
+use proptest::prelude::*;
+
+fn arb_expr() -> impl Strategy<Value = Expr> {
+    let leaf = prop_oneof![
+        (-100i64..100).prop_map(Expr::Int),
+        Just(Expr::Rank),
+        Just(Expr::NProcs),
+        Just(Expr::Var("x".into())),
+        Just(Expr::Var("loop_v".into())),
+        Just(Expr::Param("p".into())),
+        (0u32..3).prop_map(Expr::Input),
+    ];
+    leaf.prop_recursive(4, 32, 4, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone(), arb_binop())
+                .prop_map(|(a, b, op)| Expr::bin(op, a, b)),
+            // Canonical negation, mirroring the parser: a negated
+            // literal is a literal.
+            inner.clone().prop_map(|e| match e {
+                Expr::Int(v) => Expr::Int(-v),
+                other => Expr::Unary(UnOp::Neg, Box::new(other)),
+            }),
+            inner.prop_map(|e| Expr::Unary(UnOp::Not, Box::new(e))),
+        ]
+    })
+}
+
+fn arb_binop() -> impl Strategy<Value = BinOp> {
+    prop_oneof![
+        Just(BinOp::Add),
+        Just(BinOp::Sub),
+        Just(BinOp::Mul),
+        Just(BinOp::Div),
+        Just(BinOp::Mod),
+        Just(BinOp::Eq),
+        Just(BinOp::Ne),
+        Just(BinOp::Lt),
+        Just(BinOp::Le),
+        Just(BinOp::Gt),
+        Just(BinOp::Ge),
+        Just(BinOp::And),
+        Just(BinOp::Or),
+    ]
+}
+
+fn arb_stmt() -> impl Strategy<Value = Stmt> {
+    let leaf = prop_oneof![
+        arb_expr().prop_map(|cost| Stmt::new(StmtKind::Compute { cost })),
+        arb_expr().prop_map(|value| Stmt::new(StmtKind::Assign {
+            var: "x".into(),
+            value
+        })),
+        (arb_expr(), arb_expr()).prop_map(|(dest, size_bits)| Stmt::new(StmtKind::Send {
+            dest,
+            size_bits
+        })),
+        arb_expr().prop_map(|e| Stmt::new(StmtKind::Recv {
+            src: RecvSrc::Rank(e)
+        })),
+        Just(Stmt::new(StmtKind::Recv { src: RecvSrc::Any })),
+        proptest::option::of("[a-z]{1,8}( [a-z]{1,8}){0,2}")
+            .prop_map(|label| Stmt::new(StmtKind::Checkpoint { label })),
+        (arb_expr(), arb_expr()).prop_map(|(root, size_bits)| {
+            // bcast roots must be rank-independent; force a literal.
+            let _ = root;
+            Stmt::new(StmtKind::Bcast {
+                root: Expr::Int(0),
+                size_bits,
+            })
+        }),
+        arb_expr().prop_map(|peer| Stmt::new(StmtKind::Exchange {
+            peer,
+            size_bits: Expr::Int(8)
+        })),
+    ];
+    leaf.prop_recursive(3, 24, 4, |inner| {
+        prop_oneof![
+            (
+                arb_expr(),
+                prop::collection::vec(inner.clone(), 0..3),
+                prop::collection::vec(inner.clone(), 0..3)
+            )
+                .prop_map(|(cond, then_branch, else_branch)| Stmt::new(StmtKind::If {
+                    cond,
+                    then_branch,
+                    else_branch
+                })),
+            (arb_expr(), prop::collection::vec(inner.clone(), 1..3)).prop_map(
+                |(cond, body)| Stmt::new(StmtKind::While { cond, body })
+            ),
+            (arb_expr(), arb_expr(), prop::collection::vec(inner, 1..3)).prop_map(
+                |(from, to, body)| Stmt::new(StmtKind::For {
+                    var: "loop_v".into(),
+                    from,
+                    to,
+                    body
+                })
+            ),
+        ]
+    })
+}
+
+fn arb_program() -> impl Strategy<Value = Program> {
+    prop::collection::vec(arb_stmt(), 0..6).prop_map(|body| {
+        Program::new(
+            "prop",
+            vec![("p".into(), 7)],
+            vec!["x".into(), "loop_v".into()],
+            body,
+        )
+    })
+}
+
+proptest! {
+    #[test]
+    fn pretty_print_round_trips(p in arb_program()) {
+        let printed = to_source(&p);
+        let reparsed = parse(&printed)
+            .unwrap_or_else(|e| panic!("reparse failed: {e}\n{printed}"));
+        prop_assert_eq!(&reparsed, &p, "\n--- printed ---\n{}", printed);
+        // And printing is a fixpoint.
+        prop_assert_eq!(to_source(&reparsed), printed);
+    }
+
+    #[test]
+    fn expr_rendering_round_trips(e in arb_expr()) {
+        let text = format!("program t; param p = 7; compute {};", expr_to_string(&e));
+        let p = parse(&text).unwrap_or_else(|err| panic!("{err}\n{text}"));
+        let StmtKind::Compute { cost } = &p.body[0].kind else { panic!() };
+        prop_assert_eq!(cost, &e, "\n{}", text);
+    }
+
+    #[test]
+    fn eval_never_panics(e in arb_expr(), rank in 0i64..16, n in 1i64..16) {
+        let mut env = Env::new(rank, n);
+        env.params.insert("p".into(), 7);
+        env.vars.insert("x".into(), 3);
+        env.vars.insert("loop_v".into(), 1);
+        env.inputs = vec![1, 2, 3];
+        // Any Result is fine; panics are not.
+        let _ = eval(&e, &env);
+    }
+
+    #[test]
+    fn renumber_is_stable_and_dense(p in arb_program()) {
+        let mut ids = Vec::new();
+        p.visit(&mut |s| ids.push(s.id.0));
+        // Pre-order dense numbering from zero.
+        let expected: Vec<u32> = (0..ids.len() as u32).collect();
+        prop_assert_eq!(ids, expected);
+    }
+}

@@ -1,0 +1,59 @@
+//! # The paper's stochastic performance model (§4)
+//!
+//! Everything needed to regenerate the evaluation of *Agbaria & Sanders
+//! (ICDCS 2005)*:
+//!
+//! * [`markov`] — a general absorbing-Markov-chain expected-cost solver;
+//! * [`interval`] — the Figure-7 interval model: closed-form `Γ`,
+//!   the explicit chain as a cross-check, and the overhead ratio
+//!   `r = Γ/T − 1` in both of the paper's algebraic forms;
+//! * [`protocols`] — per-protocol total overheads
+//!   (`M(SaS) = 5(n−1)(w_m+8w_b)`, `M(C-L) = 2n(n−1)(w_m+8w_b)`,
+//!   appl-driven `M = C = 0`) and the `λ(n)` scaling;
+//! * [`sweep`] — the Figure 8 and Figure 9 series;
+//! * [`montecarlo`] — an independent stochastic simulation of the
+//!   renewal process, validating the analytic model;
+//! * [`tuning`] — the overhead-minimising checkpoint interval `T*` and
+//!   parameter sensitivities (§4: `T` and `n` are the user-programmable
+//!   knobs);
+//! * [`twolevel`] — the two-level recovery scheme of the paper's
+//!   refs [24, 25] (cheap local checkpoints + periodic stable-storage
+//!   ones), as an extension experiment.
+//!
+//! ```
+//! use acfc_perfmodel::{figure8, figure8_default_ns, ModelParams};
+//!
+//! let rows = figure8(&ModelParams::default(), &figure8_default_ns());
+//! // Figure 8's qualitative content: the application-driven protocol
+//! // has the lowest overhead ratio at every process count.
+//! assert!(rows.iter().all(|r| r.app_driven < r.sas && r.app_driven < r.chandy_lamport));
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod interval;
+pub mod markov;
+pub mod montecarlo;
+pub mod protocols;
+pub mod sweep;
+pub mod tuning;
+pub mod twolevel;
+
+pub use interval::{
+    conditional_mean_ttf, gamma_closed_form, gamma_markov, overhead_ratio,
+    overhead_ratio_paper_form, IntervalParams,
+};
+pub use markov::MarkovChain;
+pub use montecarlo::{simulate_interval, McEstimate};
+pub use protocols::{ModelParams, ModelProtocol};
+pub use sweep::{
+    figure8, figure8_default_ns, figure9, figure9_default_wms, to_tsv, Row,
+};
+pub use tuning::{
+    optimal_interval_for, optimal_interval_search, sensitivity, OptimalInterval, Sensitivity,
+};
+pub use twolevel::{
+    optimal_k, overhead_ratio_analytic as twolevel_ratio_analytic,
+    overhead_ratio_monte_carlo as twolevel_ratio_monte_carlo, single_level_ratio, TwoLevelParams,
+};

@@ -1,0 +1,193 @@
+//! A small absorbing-Markov-chain solver.
+//!
+//! The paper evaluates its protocol with the expected cost of reaching
+//! the sink state of a 3-state Markov chain (Figure 7). This module
+//! provides the general machinery: a chain with transition
+//! probabilities and per-transition expected costs, and the expected
+//! total cost to absorption solved by Gaussian elimination on
+//! `(I − Q)·x = c` (where `Q` is the transient-to-transient transition
+//! matrix and `c[s] = Σ_t P(s,t)·W(s,t)` the expected one-step cost).
+
+/// A Markov chain with expected transition costs.
+#[derive(Debug, Clone)]
+pub struct MarkovChain {
+    n: usize,
+    // transitions[s] = (target, probability, expected cost)
+    transitions: Vec<Vec<(usize, f64, f64)>>,
+}
+
+impl MarkovChain {
+    /// A chain with `n` states and no transitions.
+    pub fn new(n: usize) -> MarkovChain {
+        MarkovChain {
+            n,
+            transitions: vec![Vec::new(); n],
+        }
+    }
+
+    /// Number of states.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// `true` if the chain has no states.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Adds a transition `from → to` with probability `p` and expected
+    /// sojourn/transition cost `w`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-range states, `p ∉ [0, 1]`, or non-finite `w`.
+    pub fn transition(&mut self, from: usize, to: usize, p: f64, w: f64) {
+        assert!(from < self.n && to < self.n, "state out of range");
+        assert!((0.0..=1.0).contains(&p) && p.is_finite(), "bad probability");
+        assert!(w.is_finite(), "bad cost");
+        self.transitions[from].push((to, p, w));
+    }
+
+    /// Checks that every state's outgoing probabilities sum to 1
+    /// (within `1e-9`), except states with no transitions (absorbing).
+    pub fn validate(&self) -> Result<(), String> {
+        for (s, ts) in self.transitions.iter().enumerate() {
+            if ts.is_empty() {
+                continue;
+            }
+            let total: f64 = ts.iter().map(|&(_, p, _)| p).sum();
+            if (total - 1.0).abs() > 1e-9 {
+                return Err(format!("state {s}: probabilities sum to {total}"));
+            }
+        }
+        Ok(())
+    }
+
+    /// Expected total cost from `start` until reaching `sink`.
+    ///
+    /// Solves the linear system
+    /// `x[s] = Σ_t P(s,t)·(W(s,t) + x[t])`, `x[sink] = 0`,
+    /// by Gaussian elimination with partial pivoting.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the chain fails [`MarkovChain::validate`], if `sink`
+    /// is unreachable (singular system), or on out-of-range states.
+    pub fn expected_cost(&self, start: usize, sink: usize) -> f64 {
+        assert!(start < self.n && sink < self.n, "state out of range");
+        self.validate().expect("invalid chain");
+        let n = self.n;
+        // Build (I - Q) x = c over all states, pinning x[sink] = 0.
+        let mut a = vec![vec![0.0f64; n + 1]; n];
+        #[allow(clippy::needless_range_loop)]
+        for s in 0..n {
+            if s == sink {
+                a[s][s] = 1.0;
+                a[s][n] = 0.0;
+                continue;
+            }
+            a[s][s] = 1.0;
+            let mut c = 0.0;
+            for &(t, p, w) in &self.transitions[s] {
+                a[s][t] -= p;
+                c += p * w;
+            }
+            a[s][n] = c;
+        }
+        // Gaussian elimination with partial pivoting.
+        for col in 0..n {
+            let pivot = (col..n)
+                .max_by(|&i, &j| a[i][col].abs().partial_cmp(&a[j][col].abs()).unwrap())
+                .unwrap();
+            // Success probabilities can be astronomically small (e.g.
+            // e^{-λ(T+R+L)} at high failure rates), so accept any
+            // nonzero pivot; only exact zero means the sink is
+            // unreachable.
+            assert!(
+                a[pivot][col].abs() > 0.0,
+                "singular system: sink unreachable from some state"
+            );
+            a.swap(col, pivot);
+            for row in 0..n {
+                if row != col {
+                    let f = a[row][col] / a[col][col];
+                    if f != 0.0 {
+                        #[allow(clippy::needless_range_loop)]
+                        for k in col..=n {
+                            a[row][k] -= f * a[col][k];
+                        }
+                    }
+                }
+            }
+        }
+        a[start][n] / a[start][start]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_chain_sums_costs() {
+        // 0 -> 1 -> 2, costs 3 and 4.
+        let mut c = MarkovChain::new(3);
+        c.transition(0, 1, 1.0, 3.0);
+        c.transition(1, 2, 1.0, 4.0);
+        assert!((c.expected_cost(0, 2) - 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn geometric_retry() {
+        // 0 -> sink with prob q, retry (self loop) with prob 1-q, both
+        // cost 1. Expected steps = 1/q.
+        let q = 0.25;
+        let mut c = MarkovChain::new(2);
+        c.transition(0, 1, q, 1.0);
+        c.transition(0, 0, 1.0 - q, 1.0);
+        assert!((c.expected_cost(0, 1) - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn branching_chain() {
+        // 0 -> 1 (0.5, cost 2) -> 3; 0 -> 2 (0.5, cost 4) -> 3.
+        let mut c = MarkovChain::new(4);
+        c.transition(0, 1, 0.5, 2.0);
+        c.transition(0, 2, 0.5, 4.0);
+        c.transition(1, 3, 1.0, 1.0);
+        c.transition(2, 3, 1.0, 1.0);
+        assert!((c.expected_cost(0, 3) - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cost_from_sink_is_zero() {
+        let mut c = MarkovChain::new(2);
+        c.transition(0, 1, 1.0, 5.0);
+        assert_eq!(c.expected_cost(1, 1), 0.0);
+    }
+
+    #[test]
+    fn validate_rejects_bad_probabilities() {
+        let mut c = MarkovChain::new(2);
+        c.transition(0, 1, 0.5, 1.0);
+        assert!(c.validate().is_err());
+        c.transition(0, 0, 0.5, 1.0);
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "singular")]
+    fn unreachable_sink_panics() {
+        let mut c = MarkovChain::new(3);
+        c.transition(0, 0, 1.0, 1.0); // 0 never reaches 2
+        c.transition(1, 2, 1.0, 1.0);
+        let _ = c.expected_cost(0, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "bad probability")]
+    fn negative_probability_panics() {
+        let mut c = MarkovChain::new(2);
+        c.transition(0, 1, -0.1, 1.0);
+    }
+}

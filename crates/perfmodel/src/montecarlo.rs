@@ -1,0 +1,145 @@
+//! Monte-Carlo cross-validation of the interval model.
+//!
+//! Simulates the renewal process behind Figure 7 directly — draw
+//! exponential failure times, re-run intervals after failures with the
+//! `T+R+L` exposure — and compares the sample mean of the interval
+//! completion time against the analytic `Γ`. This is the E3 experiment
+//! of `EXPERIMENTS.md`: the model and an independent stochastic
+//! simulation agree to within Monte-Carlo error.
+
+use crate::interval::IntervalParams;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Result of a Monte-Carlo estimation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct McEstimate {
+    /// Sample mean of the interval completion time.
+    pub mean: f64,
+    /// Sample standard deviation.
+    pub std_dev: f64,
+    /// Standard error of the mean.
+    pub std_err: f64,
+    /// Number of trials.
+    pub trials: usize,
+}
+
+fn draw_exp(rng: &mut SmallRng, lambda: f64) -> f64 {
+    let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    -u.ln() / lambda
+}
+
+/// Simulates `trials` checkpoint intervals and returns the sample
+/// statistics of their completion time.
+///
+/// # Panics
+///
+/// Panics on invalid parameters or `trials == 0`.
+pub fn simulate_interval(p: &IntervalParams, trials: usize, seed: u64) -> McEstimate {
+    p.check();
+    assert!(trials > 0, "need at least one trial");
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let exposure1 = p.t + p.o_total;
+    let exposure2 = p.t + p.r_recovery + p.l_total;
+    let mut sum = 0.0f64;
+    let mut sum_sq = 0.0f64;
+    for _ in 0..trials {
+        let mut elapsed = 0.0f64;
+        // First attempt: exposure T+O.
+        let mut ttf = draw_exp(&mut rng, p.lambda);
+        if ttf >= exposure1 {
+            elapsed += exposure1;
+        } else {
+            elapsed += ttf;
+            // Retry loop from the recovery state with exposure T+R+L.
+            loop {
+                ttf = draw_exp(&mut rng, p.lambda);
+                if ttf >= exposure2 {
+                    elapsed += exposure2;
+                    break;
+                }
+                elapsed += ttf;
+            }
+        }
+        sum += elapsed;
+        sum_sq += elapsed * elapsed;
+    }
+    let n = trials as f64;
+    let mean = sum / n;
+    let var = (sum_sq / n - mean * mean).max(0.0) * n / (n - 1.0).max(1.0);
+    let std_dev = var.sqrt();
+    McEstimate {
+        mean,
+        std_dev,
+        std_err: std_dev / n.sqrt(),
+        trials,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interval::gamma_markov;
+
+    fn params(lambda: f64) -> IntervalParams {
+        IntervalParams {
+            lambda,
+            t: 300.0,
+            o_total: 1.78,
+            l_total: 4.292,
+            r_recovery: 3.32,
+        }
+    }
+
+    #[test]
+    fn monte_carlo_matches_the_chain_at_moderate_rate() {
+        // λ(T+O) ≈ 0.3: failures are common enough to exercise the
+        // retry path.
+        let p = params(1e-3);
+        let est = simulate_interval(&p, 200_000, 42);
+        let exact = gamma_markov(&p);
+        let err = (est.mean - exact).abs();
+        assert!(
+            err < 4.0 * est.std_err + 1e-9,
+            "MC {} vs exact {} (stderr {})",
+            est.mean,
+            exact,
+            est.std_err
+        );
+        // Agreement within 1%.
+        assert!(err / exact < 0.01);
+    }
+
+    #[test]
+    fn monte_carlo_matches_at_low_rate() {
+        let p = params(1e-5);
+        let est = simulate_interval(&p, 100_000, 7);
+        let exact = gamma_markov(&p);
+        assert!((est.mean - exact).abs() / exact < 0.01);
+    }
+
+    #[test]
+    fn failure_free_limit_is_t_plus_o() {
+        // λ so small that failures essentially never happen.
+        let p = params(1e-12);
+        let est = simulate_interval(&p, 1_000, 3);
+        assert!((est.mean - (p.t + p.o_total)).abs() < 1e-6);
+        assert!(est.std_dev < 1e-6);
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let p = params(1e-3);
+        let a = simulate_interval(&p, 10_000, 9);
+        let b = simulate_interval(&p, 10_000, 9);
+        assert_eq!(a, b);
+        let c = simulate_interval(&p, 10_000, 10);
+        assert_ne!(a.mean, c.mean);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one trial")]
+    fn zero_trials_rejected() {
+        let _ = simulate_interval(&params(1e-3), 0, 1);
+    }
+}

@@ -1,0 +1,134 @@
+//! Figure sweeps: the series behind Figures 8 and 9.
+
+use crate::protocols::{ModelParams, ModelProtocol};
+
+/// One row of a figure: the x-value plus the overhead ratio of each
+/// protocol (appl-driven, SaS, C-L).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Row {
+    /// The x-axis value (`n` for Figure 8, `w_m` seconds for Figure 9).
+    pub x: f64,
+    /// Overhead ratio of the application-driven protocol.
+    pub app_driven: f64,
+    /// Overhead ratio of SaS.
+    pub sas: f64,
+    /// Overhead ratio of C-L.
+    pub chandy_lamport: f64,
+}
+
+/// Figure 8 — overhead ratio vs. number of processes.
+pub fn figure8(params: &ModelParams, n_values: &[usize]) -> Vec<Row> {
+    n_values
+        .iter()
+        .map(|&n| Row {
+            x: n as f64,
+            app_driven: params.ratio(ModelProtocol::AppDriven, n),
+            sas: params.ratio(ModelProtocol::SyncAndStop, n),
+            chandy_lamport: params.ratio(ModelProtocol::ChandyLamport, n),
+        })
+        .collect()
+}
+
+/// The default Figure-8 x-axis: powers of two from 2 to 512.
+pub fn figure8_default_ns() -> Vec<usize> {
+    (1..=9).map(|k| 1usize << k).collect()
+}
+
+/// Figure 9 — overhead ratio vs. message setup time `w_m` (seconds) at
+/// fixed `n`.
+pub fn figure9(params: &ModelParams, n: usize, w_m_values: &[f64]) -> Vec<Row> {
+    w_m_values
+        .iter()
+        .map(|&wm| {
+            let p = ModelParams {
+                w_m: wm,
+                ..*params
+            };
+            Row {
+                x: wm,
+                app_driven: p.ratio(ModelProtocol::AppDriven, n),
+                sas: p.ratio(ModelProtocol::SyncAndStop, n),
+                chandy_lamport: p.ratio(ModelProtocol::ChandyLamport, n),
+            }
+        })
+        .collect()
+}
+
+/// The default Figure-9 x-axis: `w_m ∈ {0, 0.1, …, 1.0}` seconds.
+pub fn figure9_default_wms() -> Vec<f64> {
+    (0..=10).map(|k| k as f64 * 0.1).collect()
+}
+
+/// Renders rows as a TSV table with a header.
+pub fn to_tsv(x_label: &str, rows: &[Row]) -> String {
+    let mut out = format!("{x_label}\tappl-driven\tSaS\tC-L\n");
+    for r in rows {
+        let x = if r.x.fract() == 0.0 {
+            format!("{}", r.x as i64)
+        } else {
+            format!("{:.3}", r.x)
+        };
+        out.push_str(&format!(
+            "{x}\t{:.6e}\t{:.6e}\t{:.6e}\n",
+            r.app_driven, r.sas, r.chandy_lamport
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure8_series_shapes() {
+        let rows = figure8(&ModelParams::default(), &figure8_default_ns());
+        assert_eq!(rows.len(), 9);
+        // Monotone in n for every protocol; appl-driven lowest.
+        for w in rows.windows(2) {
+            assert!(w[1].app_driven > w[0].app_driven);
+            assert!(w[1].sas > w[0].sas);
+            assert!(w[1].chandy_lamport > w[0].chandy_lamport);
+        }
+        for r in &rows {
+            assert!(r.app_driven < r.sas && r.app_driven < r.chandy_lamport, "{r:?}");
+            if r.x >= 4.0 {
+                assert!(r.sas < r.chandy_lamport, "{r:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn figure9_series_shapes() {
+        let rows = figure9(&ModelParams::default(), 64, &figure9_default_wms());
+        assert_eq!(rows.len(), 11);
+        let first = &rows[0];
+        for r in &rows {
+            // appl-driven flat.
+            assert!((r.app_driven - first.app_driven).abs() < 1e-15);
+        }
+        for w in rows.windows(2) {
+            assert!(w[1].sas > w[0].sas);
+            assert!(w[1].chandy_lamport > w[0].chandy_lamport);
+        }
+    }
+
+    #[test]
+    fn tsv_renders_header_and_rows() {
+        let rows = figure8(&ModelParams::default(), &[2, 4]);
+        let tsv = to_tsv("n", &rows);
+        let lines: Vec<&str> = tsv.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].starts_with("n\tappl-driven"));
+        assert!(lines[1].starts_with("2\t"));
+    }
+
+    #[test]
+    fn default_axes() {
+        assert_eq!(figure8_default_ns(), vec![2, 4, 8, 16, 32, 64, 128, 256, 512]);
+        let wms = figure9_default_wms();
+        assert_eq!(wms.len(), 11);
+        assert_eq!(wms[0], 0.0);
+        assert!((wms[10] - 1.0).abs() < 1e-12);
+    }
+}

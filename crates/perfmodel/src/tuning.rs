@@ -1,0 +1,226 @@
+//! Tuning the user-programmable parameters.
+//!
+//! §4: *"With any checkpointing and recovery mechanisms, `T` and `n`
+//! are the only parameters that a user can program."* This module finds
+//! the overhead-minimising checkpoint interval `T*` for a protocol at a
+//! given scale (by golden-section search on the exact ratio, with
+//! Young's `√(2·O/λ)` as the classical first-order comparison point)
+//! and quantifies the model's sensitivity to each parameter.
+
+use crate::interval::{overhead_ratio, IntervalParams};
+use crate::protocols::{ModelParams, ModelProtocol};
+
+/// The result of an interval optimisation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OptimalInterval {
+    /// The minimising interval `T*`, seconds.
+    pub t_star: f64,
+    /// The overhead ratio at `T*`.
+    pub ratio: f64,
+    /// Young's first-order approximation `√(2·O/λ)`, for comparison.
+    pub young: f64,
+}
+
+/// Minimises `r(T)` over `T ∈ [lo, hi]` by golden-section search.
+///
+/// The ratio is strictly unimodal in `T` (checkpointing too often pays
+/// overhead, too rarely pays failure re-execution), so the search
+/// converges to the global minimum.
+///
+/// # Panics
+///
+/// Panics if the bracket is invalid or parameters are out of range.
+pub fn optimal_interval_search(
+    lambda: f64,
+    o_total: f64,
+    l_total: f64,
+    r_recovery: f64,
+    lo: f64,
+    hi: f64,
+) -> OptimalInterval {
+    assert!(lo > 0.0 && hi > lo, "invalid bracket");
+    // Keep the bracket inside f64's exponential range: e^{λ(T+O)}
+    // overflows past λT ≈ 709, and an infinite plateau defeats the
+    // golden-section comparisons.
+    let hi = hi.min(600.0 / lambda);
+    assert!(hi > lo, "bracket collapsed by the overflow guard");
+    let ratio_at = |t: f64| {
+        overhead_ratio(&IntervalParams {
+            lambda,
+            t,
+            o_total,
+            l_total,
+            r_recovery,
+        })
+    };
+    let phi = (5f64.sqrt() - 1.0) / 2.0;
+    let (mut a, mut b) = (lo, hi);
+    let mut c = b - phi * (b - a);
+    let mut d = a + phi * (b - a);
+    let (mut fc, mut fd) = (ratio_at(c), ratio_at(d));
+    for _ in 0..200 {
+        if (b - a) < 1e-9 * (1.0 + a.abs()) {
+            break;
+        }
+        if fc < fd {
+            b = d;
+            d = c;
+            fd = fc;
+            c = b - phi * (b - a);
+            fc = ratio_at(c);
+        } else {
+            a = c;
+            c = d;
+            fc = fd;
+            d = a + phi * (b - a);
+            fd = ratio_at(d);
+        }
+    }
+    let t_star = (a + b) / 2.0;
+    OptimalInterval {
+        t_star,
+        ratio: ratio_at(t_star),
+        young: (2.0 * o_total / lambda).sqrt(),
+    }
+}
+
+/// Optimal interval for a protocol at `n` processes under `params`.
+pub fn optimal_interval_for(params: &ModelParams, protocol: ModelProtocol, n: usize) -> OptimalInterval {
+    let ip = params.interval_params(protocol, n);
+    optimal_interval_search(
+        ip.lambda,
+        ip.o_total,
+        ip.l_total,
+        ip.r_recovery,
+        1.0,
+        1.0e7,
+    )
+}
+
+/// Relative sensitivity `(∂r/∂x)·(x/r)` of the overhead ratio to each
+/// parameter, by central differences — which knob matters most at the
+/// operating point.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Sensitivity {
+    /// To the failure rate `λ`.
+    pub lambda: f64,
+    /// To the interval `T`.
+    pub t: f64,
+    /// To the total checkpoint overhead `O`.
+    pub o_total: f64,
+    /// To the total latency `L`.
+    pub l_total: f64,
+    /// To the recovery overhead `R`.
+    pub r_recovery: f64,
+}
+
+/// Computes the elasticities of `r` at `p`.
+pub fn sensitivity(p: &IntervalParams) -> Sensitivity {
+    let base = overhead_ratio(p);
+    let rel = 1e-5;
+    let elast = |bump: &dyn Fn(f64) -> IntervalParams, x: f64| {
+        let h = x * rel;
+        let up = overhead_ratio(&bump(x + h));
+        let down = overhead_ratio(&bump(x - h));
+        (up - down) / (2.0 * h) * (x / base)
+    };
+    Sensitivity {
+        lambda: elast(&|v| IntervalParams { lambda: v, ..*p }, p.lambda),
+        t: elast(&|v| IntervalParams { t: v, ..*p }, p.t),
+        o_total: elast(&|v| IntervalParams { o_total: v, ..*p }, p.o_total),
+        l_total: elast(&|v| IntervalParams { l_total: v, ..*p }, p.l_total),
+        r_recovery: elast(&|v| IntervalParams { r_recovery: v, ..*p }, p.r_recovery),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base() -> IntervalParams {
+        IntervalParams {
+            lambda: 1e-4,
+            t: 300.0,
+            o_total: 1.78,
+            l_total: 4.292,
+            r_recovery: 3.32,
+        }
+    }
+
+    #[test]
+    fn search_beats_or_ties_youngs_formula() {
+        let p = base();
+        let opt = optimal_interval_search(
+            p.lambda, p.o_total, p.l_total, p.r_recovery, 1.0, 1e6,
+        );
+        let young_ratio = overhead_ratio(&IntervalParams {
+            t: opt.young,
+            ..p
+        });
+        assert!(opt.ratio <= young_ratio + 1e-12);
+        // In this regime Young's approximation is close to optimal.
+        assert!((opt.t_star - opt.young).abs() / opt.young < 0.2,
+            "t*={}, young={}", opt.t_star, opt.young);
+    }
+
+    #[test]
+    fn optimum_is_interior_and_stationary() {
+        let p = base();
+        let opt = optimal_interval_search(
+            p.lambda, p.o_total, p.l_total, p.r_recovery, 1.0, 1e6,
+        );
+        let at = |t: f64| overhead_ratio(&IntervalParams { t, ..p });
+        assert!(at(opt.t_star * 0.5) > opt.ratio);
+        assert!(at(opt.t_star * 2.0) > opt.ratio);
+    }
+
+    #[test]
+    fn higher_failure_rate_shortens_the_optimal_interval() {
+        let p = base();
+        let a = optimal_interval_search(1e-5, p.o_total, p.l_total, p.r_recovery, 1.0, 1e7);
+        let b = optimal_interval_search(1e-3, p.o_total, p.l_total, p.r_recovery, 1.0, 1e7);
+        assert!(b.t_star < a.t_star);
+    }
+
+    #[test]
+    fn coordinated_protocols_have_longer_optimal_intervals() {
+        // Higher per-checkpoint overhead pushes the optimal interval up.
+        let params = ModelParams::default();
+        let app = optimal_interval_for(&params, ModelProtocol::AppDriven, 64);
+        let cl = optimal_interval_for(&params, ModelProtocol::ChandyLamport, 64);
+        assert!(cl.t_star > app.t_star);
+        assert!(cl.ratio > app.ratio);
+    }
+
+    #[test]
+    fn sensitivities_have_the_expected_signs() {
+        let s = sensitivity(&base());
+        assert!(s.lambda > 0.0, "more failures, more overhead");
+        assert!(s.o_total > 0.0);
+        assert!(s.l_total > 0.0);
+        assert!(s.r_recovery > 0.0);
+        // At λ = 10⁻⁴ the optimal interval is T* ≈ √(2O/λ) ≈ 189 s,
+        // so the paper's T = 300 s sits *above* the optimum and
+        // lengthening it increases the ratio.
+        assert!(s.t > 0.0, "T above optimum: ∂r/∂T > 0 ({})", s.t);
+    }
+
+    #[test]
+    fn sensitivity_is_zero_in_t_at_the_optimum() {
+        let p = base();
+        let opt = optimal_interval_search(
+            p.lambda, p.o_total, p.l_total, p.r_recovery, 1.0, 1e6,
+        );
+        let s = sensitivity(&IntervalParams {
+            t: opt.t_star,
+            ..p
+        });
+        assert!(s.t.abs() < 1e-3, "stationary at the optimum: {}", s.t);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid bracket")]
+    fn bad_bracket_rejected() {
+        let _ = optimal_interval_search(1e-4, 1.0, 1.0, 1.0, 10.0, 5.0);
+    }
+}

@@ -1,0 +1,279 @@
+//! Two-level failure recovery (the paper's refs [24, 25], Vaidya).
+//!
+//! The paper's model charges every checkpoint the full stable-storage
+//! cost. Vaidya's two-level scheme — cited by the paper for its
+//! checkpoint-latency treatment — uses **cheap level-1 checkpoints**
+//! (e.g. local disk or a buddy process) that tolerate common
+//! single-process failures, and **expensive level-2 checkpoints**
+//! (stable storage) every `k` intervals that tolerate catastrophic
+//! failures. This module reproduces that scheme as an extension:
+//!
+//! * a first-order analytic overhead ratio (valid for `λ·T ≪ 1`, the
+//!   regime of the paper's constants),
+//! * an exact Monte-Carlo simulation of the renewal process,
+//! * a search for the optimal level-2 period `k*`.
+//!
+//! The application-driven placement composes naturally with the scheme:
+//! level-1 checkpoints are the analysis-placed statements; every `k`-th
+//! instance is flushed to stable storage. No coordination is added
+//! either way.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Parameters of the two-level scheme (seconds; rates per second).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TwoLevelParams {
+    /// Rate of single-process (level-1-recoverable) failures.
+    pub lambda_single: f64,
+    /// Rate of catastrophic (level-2-recoverable) failures.
+    pub lambda_cat: f64,
+    /// Useful execution time per interval `T`.
+    pub t: f64,
+    /// Level-1 checkpoint overhead `o₁`.
+    pub o1: f64,
+    /// Level-2 checkpoint overhead `o₂ ≥ o₁`.
+    pub o2: f64,
+    /// Recovery overhead from a level-1 checkpoint.
+    pub r1: f64,
+    /// Recovery overhead from a level-2 checkpoint.
+    pub r2: f64,
+    /// Level-2 period: every `k`-th checkpoint is level-2.
+    pub k: u32,
+}
+
+impl TwoLevelParams {
+    /// Validates the parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics on non-finite, negative, or inconsistent values
+    /// (`o2 < o1`, `k == 0`).
+    pub fn check(&self) {
+        assert!(self.lambda_single >= 0.0 && self.lambda_single.is_finite());
+        assert!(self.lambda_cat >= 0.0 && self.lambda_cat.is_finite());
+        assert!(
+            self.lambda_single + self.lambda_cat > 0.0,
+            "need some failures to model"
+        );
+        assert!(self.t > 0.0 && self.t.is_finite(), "T must be positive");
+        assert!(self.o1 >= 0.0 && self.o2 >= self.o1, "need o2 >= o1 >= 0");
+        assert!(self.r1 >= 0.0 && self.r2 >= 0.0);
+        assert!(self.k >= 1, "k must be at least 1");
+    }
+
+    /// Mean checkpoint overhead per interval:
+    /// `((k−1)·o₁ + o₂)/k`.
+    pub fn mean_overhead(&self) -> f64 {
+        ((self.k as f64 - 1.0) * self.o1 + self.o2) / self.k as f64
+    }
+}
+
+/// First-order analytic overhead ratio of the two-level scheme.
+///
+/// For `λ(T+O) ≪ 1`:
+///
+/// * checkpointing cost per interval: `Ō = ((k−1)o₁ + o₂)/k`;
+/// * a single-process failure loses on average half an interval and
+///   pays `r₁`: expected `λ₁(T+Ō)·((T+Ō)/2 + r₁)` per interval;
+/// * a catastrophic failure rolls back to the last level-2 checkpoint,
+///   on average `(k−1)/2` whole intervals plus half the current one,
+///   and pays `r₂`.
+///
+/// `r = Ō/T + λ₁(T+Ō)((T+Ō)/2 + r₁)/T + λ₂(T+Ō)((k·(T+Ō))/2 + r₂)/T`
+/// (with the mean catastrophic rollback `((k−1) + 1)/2 = k/2`
+/// intervals under a uniformly random position in the level-2 cycle).
+pub fn overhead_ratio_analytic(p: &TwoLevelParams) -> f64 {
+    p.check();
+    let o = p.mean_overhead();
+    let interval = p.t + o;
+    let single = p.lambda_single * interval * (interval / 2.0 + p.r1);
+    let cat = p.lambda_cat * interval * (p.k as f64 * interval / 2.0 + p.r2);
+    (o + single + cat) / p.t
+}
+
+/// Monte-Carlo estimate of the overhead ratio: simulates `cycles`
+/// level-2 cycles of the renewal process exactly (single failures roll
+/// back to the latest checkpoint of either level; catastrophic failures
+/// to the cycle start) and reports `elapsed/useful − 1`.
+///
+/// # Panics
+///
+/// Panics on invalid parameters or `cycles == 0`.
+pub fn overhead_ratio_monte_carlo(p: &TwoLevelParams, cycles: usize, seed: u64) -> f64 {
+    p.check();
+    assert!(cycles > 0, "need at least one cycle");
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let total_rate = p.lambda_single + p.lambda_cat;
+    let draw_ttf = |rng: &mut SmallRng| -> (f64, bool) {
+        let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+        let ttf = -u.ln() / total_rate;
+        let cat = rng.gen_bool(p.lambda_cat / total_rate);
+        (ttf, cat)
+    };
+    let mut elapsed = 0.0f64;
+    let mut useful = 0.0f64;
+    for _ in 0..cycles {
+        // One cycle: k intervals; the k-th checkpoint is level-2.
+        let mut interval_idx = 0u32;
+        // Work completed within the current cycle (protected by level-1
+        // checkpoints only).
+        while interval_idx < p.k {
+            let o = if interval_idx + 1 == p.k { p.o2 } else { p.o1 };
+            let exposure = p.t + o;
+            let (ttf, cat) = draw_ttf(&mut rng);
+            if ttf >= exposure {
+                elapsed += exposure;
+                useful += p.t;
+                interval_idx += 1;
+            } else if !cat {
+                // Single failure: lose the partial interval, pay r1,
+                // retry the same interval.
+                elapsed += ttf + p.r1;
+            } else {
+                // Catastrophic: back to the cycle's start (the last
+                // level-2 checkpoint); all the cycle's useful work so
+                // far must be redone.
+                elapsed += ttf + p.r2;
+                useful -= interval_idx as f64 * p.t;
+                interval_idx = 0;
+            }
+        }
+    }
+    elapsed / useful - 1.0
+}
+
+/// Searches `k ∈ [1, k_max]` for the period minimising the analytic
+/// ratio.
+pub fn optimal_k(p: &TwoLevelParams, k_max: u32) -> (u32, f64) {
+    assert!(k_max >= 1);
+    (1..=k_max)
+        .map(|k| {
+            let ratio = overhead_ratio_analytic(&TwoLevelParams { k, ..*p });
+            (k, ratio)
+        })
+        .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite ratios"))
+        .expect("nonempty range")
+}
+
+/// The single-level baseline with the same constants: every checkpoint
+/// is level-2 (`k = 1`).
+pub fn single_level_ratio(p: &TwoLevelParams) -> f64 {
+    overhead_ratio_analytic(&TwoLevelParams { k: 1, ..*p })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Paper-flavoured constants: cheap local checkpoints, expensive
+    /// stable-storage ones, single failures 50× more common than
+    /// catastrophic ones.
+    fn base() -> TwoLevelParams {
+        TwoLevelParams {
+            lambda_single: 5e-5,
+            lambda_cat: 1e-6,
+            t: 300.0,
+            o1: 0.2,
+            o2: 1.78,
+            r1: 0.5,
+            r2: 3.32,
+            k: 8,
+        }
+    }
+
+    #[test]
+    fn analytic_matches_monte_carlo() {
+        let p = base();
+        let analytic = overhead_ratio_analytic(&p);
+        let mc = overhead_ratio_monte_carlo(&p, 60_000, 42);
+        assert!(
+            (analytic - mc).abs() / analytic < 0.08,
+            "analytic {analytic} vs MC {mc}"
+        );
+    }
+
+    #[test]
+    fn two_level_beats_single_level_when_cat_failures_are_rare() {
+        let p = base();
+        let two = overhead_ratio_analytic(&p);
+        let one = single_level_ratio(&p);
+        assert!(
+            two < one,
+            "two-level {two} should beat single-level {one} (o2 ≫ o1, λ_cat ≪ λ_single)"
+        );
+        // And the Monte Carlo agrees on the direction.
+        let two_mc = overhead_ratio_monte_carlo(&p, 40_000, 7);
+        let one_mc =
+            overhead_ratio_monte_carlo(&TwoLevelParams { k: 1, ..p }, 40_000, 7);
+        assert!(two_mc < one_mc);
+    }
+
+    #[test]
+    fn optimal_k_is_interior_and_beats_the_edges() {
+        let p = base();
+        let (k_star, best) = optimal_k(&p, 200);
+        assert!(k_star > 1, "expensive o2 should push k* above 1");
+        assert!(k_star < 200, "catastrophic rollback should bound k*");
+        assert!(best <= single_level_ratio(&p));
+        assert!(
+            best <= overhead_ratio_analytic(&TwoLevelParams { k: 200, ..p })
+        );
+    }
+
+    #[test]
+    fn more_catastrophic_failures_shrink_k_star() {
+        let p = base();
+        let (k_rare, _) = optimal_k(&p, 500);
+        let (k_common, _) = optimal_k(
+            &TwoLevelParams {
+                lambda_cat: 1e-4,
+                ..p
+            },
+            500,
+        );
+        assert!(
+            k_common < k_rare,
+            "λ_cat ↑ should shorten the level-2 period ({k_common} vs {k_rare})"
+        );
+    }
+
+    #[test]
+    fn k_equal_one_degenerates_to_all_level_two() {
+        let p = TwoLevelParams { k: 1, ..base() };
+        assert!((p.mean_overhead() - p.o2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mean_overhead_interpolates() {
+        let p = base();
+        let m = p.mean_overhead();
+        assert!(m > p.o1 && m < p.o2);
+        let almost_all_cheap = TwoLevelParams { k: 1000, ..p };
+        assert!((almost_all_cheap.mean_overhead() - p.o1).abs() < 0.01);
+    }
+
+    #[test]
+    fn monte_carlo_deterministic_per_seed() {
+        let p = base();
+        let a = overhead_ratio_monte_carlo(&p, 5_000, 3);
+        let b = overhead_ratio_monte_carlo(&p, 5_000, 3);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "k must be at least 1")]
+    fn zero_k_rejected() {
+        let _ = overhead_ratio_analytic(&TwoLevelParams { k: 0, ..base() });
+    }
+
+    #[test]
+    #[should_panic(expected = "need o2 >= o1")]
+    fn inverted_overheads_rejected() {
+        let _ = overhead_ratio_analytic(&TwoLevelParams {
+            o1: 2.0,
+            o2: 1.0,
+            ..base()
+        });
+    }
+}

@@ -1,0 +1,119 @@
+//! Property tests over the performance model: the paper's two algebraic
+//! forms of the overhead ratio agree for arbitrary parameters, the
+//! closed form equals the chain, the ratio respects its monotonicities,
+//! and the Monte-Carlo estimator converges.
+
+use acfc_perfmodel::{
+    gamma_closed_form, gamma_markov, overhead_ratio, overhead_ratio_paper_form,
+    simulate_interval, IntervalParams, ModelParams, ModelProtocol,
+};
+use proptest::prelude::*;
+
+fn arb_params() -> impl Strategy<Value = IntervalParams> {
+    (
+        1e-7f64..1e-3,
+        10.0f64..2000.0,
+        0.0f64..20.0,
+        0.0f64..20.0,
+        0.0f64..20.0,
+    )
+        .prop_map(|(lambda, t, o, l_extra, r)| IntervalParams {
+            lambda,
+            t,
+            o_total: o,
+            // Keep L ≥ O (latency includes the overhead in practice).
+            l_total: o + l_extra,
+            r_recovery: r,
+        })
+}
+
+proptest! {
+    #[test]
+    fn paper_forms_agree_everywhere(p in arb_params()) {
+        let a = overhead_ratio(&p);
+        let b = overhead_ratio_paper_form(&p);
+        prop_assert!((a - b).abs() <= 1e-9 * (1.0 + a.abs()), "{a} vs {b}");
+    }
+
+    #[test]
+    fn closed_form_equals_chain_in_plotted_regime(p in arb_params()) {
+        // Restrict to the regime where 1-(1-p) double rounding is
+        // negligible (λ·exposure < 5).
+        prop_assume!(p.lambda * (p.t + p.r_recovery + p.l_total) < 5.0);
+        let cf = gamma_closed_form(&p);
+        let mk = gamma_markov(&p);
+        prop_assert!((cf - mk).abs() / mk < 1e-6, "{cf} vs {mk}");
+    }
+
+    #[test]
+    fn ratio_exceeds_the_failure_free_floor(p in arb_params()) {
+        // r ≥ O/T with equality only as λ→0.
+        let r = overhead_ratio(&p);
+        prop_assert!(r >= p.o_total / p.t - 1e-12);
+    }
+
+    #[test]
+    fn ratio_monotone_in_each_overhead(p in arb_params()) {
+        let base = overhead_ratio(&p);
+        let more_o = overhead_ratio(&IntervalParams {
+            o_total: p.o_total + 1.0,
+            l_total: p.l_total + 1.0, // keep L ≥ O
+            ..p
+        });
+        let more_r = overhead_ratio(&IntervalParams {
+            r_recovery: p.r_recovery + 1.0,
+            ..p
+        });
+        let more_lambda = overhead_ratio(&IntervalParams {
+            lambda: p.lambda * 1.5,
+            ..p
+        });
+        prop_assert!(more_o > base);
+        prop_assert!(more_r > base);
+        prop_assert!(more_lambda > base);
+    }
+
+    #[test]
+    fn gamma_is_finite_and_above_t(p in arb_params()) {
+        prop_assume!(p.lambda * (p.t + p.r_recovery + p.l_total) < 600.0);
+        let g = gamma_closed_form(&p);
+        prop_assert!(g.is_finite());
+        prop_assert!(g > p.t);
+    }
+
+    #[test]
+    fn monte_carlo_tracks_the_closed_form(
+        lambda_exp in -6.0f64..-3.0,
+        seed in 0u64..100,
+    ) {
+        let p = IntervalParams {
+            lambda: 10f64.powf(lambda_exp),
+            t: 300.0,
+            o_total: 1.78,
+            l_total: 4.292,
+            r_recovery: 3.32,
+        };
+        let est = simulate_interval(&p, 20_000, seed);
+        let exact = gamma_closed_form(&p);
+        // 6 standard errors + a small absolute slack.
+        prop_assert!(
+            (est.mean - exact).abs() < 6.0 * est.std_err + 1e-6 * exact,
+            "MC {} vs exact {} (stderr {})",
+            est.mean, exact, est.std_err
+        );
+    }
+}
+
+#[test]
+fn protocol_ordering_is_stable_across_the_whole_figure8_range() {
+    let m = ModelParams::default();
+    for n in 2..=512usize {
+        let app = m.ratio(ModelProtocol::AppDriven, n);
+        let sas = m.ratio(ModelProtocol::SyncAndStop, n);
+        let cl = m.ratio(ModelProtocol::ChandyLamport, n);
+        assert!(app < sas && app < cl, "n={n}");
+        if n >= 4 {
+            assert!(sas < cl, "n={n}");
+        }
+    }
+}

@@ -1,0 +1,143 @@
+//! Communication-induced checkpointing (CIC), index-based.
+//!
+//! The third family in the paper's taxonomy (§1): processes checkpoint
+//! on local timers, but every application message piggybacks the
+//! sender's checkpoint index; a receiver whose index lags behind the
+//! piggybacked one is **forced** to checkpoint before consuming the
+//! message (the classic Briatico–Ciuffoletti–Simoncini index-based
+//! protocol). This keeps same-index cuts consistent without
+//! coordination messages — at the price of unplanned forced
+//! checkpoints, whose count grows with communication density.
+
+use acfc_sim::{Hooks, RecvAction, SimTime, TimerCheckpoints};
+
+/// Index-based CIC hooks: timer-driven basic checkpoints plus forced
+/// checkpoints on lagging receives.
+#[derive(Debug, Clone)]
+pub struct IndexBasedCic {
+    timers: TimerCheckpoints,
+}
+
+impl IndexBasedCic {
+    /// Basic (timer) checkpoints every `interval_us`, with process `p`
+    /// phase-shifted by `p · skew_us` (skew is what makes forced
+    /// checkpoints happen at all; perfectly aligned timers never lag).
+    pub fn new(nprocs: usize, interval_us: u64, skew_us: u64) -> IndexBasedCic {
+        IndexBasedCic {
+            timers: TimerCheckpoints::new(nprocs, interval_us, skew_us),
+        }
+    }
+}
+
+impl Hooks for IndexBasedCic {
+    fn piggyback(&mut self, _p: usize, ckpt_seq: u64, _now: SimTime) -> u64 {
+        ckpt_seq
+    }
+
+    fn on_recv(&mut self, _p: usize, piggyback: u64, own_seq: u64, _now: SimTime) -> RecvAction {
+        if piggyback > own_seq {
+            RecvAction::ForceCheckpointFirst
+        } else {
+            RecvAction::Deliver
+        }
+    }
+
+    fn take_app_checkpoint(&mut self, _p: usize, _now: SimTime) -> bool {
+        false
+    }
+
+    fn timer_checkpoint_due(&mut self, p: usize, now: SimTime) -> bool {
+        self.timers.timer_checkpoint_due(p, now)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::depgraph::{max_consistent_line_of, IntervalIndex};
+    use acfc_sim::{compile, run_with_hooks, SimConfig};
+
+    #[test]
+    fn skewed_timers_force_checkpoints() {
+        let p = acfc_mpsl::programs::ring(8, 2048);
+        let cfg = SimConfig::new(4);
+        let mut hooks = IndexBasedCic::new(4, 25_000, 9_000);
+        let t = run_with_hooks(&compile(&p), &cfg, &mut hooks);
+        assert!(t.completed());
+        assert!(t.metrics.timer_checkpoints > 0);
+        assert!(
+            t.metrics.forced_checkpoints > 0,
+            "skewed CIC must force checkpoints"
+        );
+        assert_eq!(t.metrics.app_checkpoints, 0);
+        assert_eq!(t.metrics.control_messages, 0, "CIC piggybacks, no extra messages");
+    }
+
+    #[test]
+    fn forced_checkpoints_precede_the_triggering_recv() {
+        let p = acfc_mpsl::programs::pingpong(6);
+        let cfg = SimConfig::new(2);
+        let mut hooks = IndexBasedCic::new(2, 15_000, 8_000);
+        let t = run_with_hooks(&compile(&p), &cfg, &mut hooks);
+        assert!(t.completed());
+        // Index invariant (the BCS property): no received message may
+        // carry an index greater than the receiver's at receive time.
+        let idx = IntervalIndex::from_trace(&t);
+        for m in t.live_messages() {
+            if let Some(rs) = m.recv_step {
+                let recv_index = idx.interval_of(m.to, rs);
+                assert!(
+                    recv_index >= m.piggyback,
+                    "receive at index {recv_index} consumed index-{} message",
+                    m.piggyback
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn same_index_cuts_are_consistent() {
+        // The protocol's guarantee: the aligned cut at the minimum
+        // common index is a recovery line.
+        let p = acfc_mpsl::programs::stencil_1d(8);
+        let cfg = SimConfig::new(4);
+        let mut hooks = IndexBasedCic::new(4, 20_000, 6_000);
+        let t = run_with_hooks(&compile(&p), &cfg, &mut hooks);
+        assert!(t.completed());
+        let depth = t.aligned_depth() as u64;
+        assert!(depth > 0, "workload must checkpoint");
+        // Every aligned cut is consistent under the catch-up rule...
+        for i in 1..=depth {
+            assert!(
+                acfc_sim::consistency::cut_consistency(&t, &vec![i; t.nprocs]),
+                "aligned cut {i} inconsistent under CIC"
+            );
+        }
+        // ...and therefore the maximal consistent line dominates the
+        // deepest aligned cut (consistent cuts are closed under join).
+        let line = max_consistent_line_of(&t);
+        for p in 0..t.nprocs {
+            assert!(line[p] >= depth, "line {line:?} vs aligned depth {depth}");
+        }
+    }
+
+    #[test]
+    fn dense_communication_forces_more() {
+        let cfg = SimConfig::new(4);
+        let sparse = {
+            let p = acfc_mpsl::programs::ring(4, 64);
+            let mut hooks = IndexBasedCic::new(4, 25_000, 9_000);
+            run_with_hooks(&compile(&p), &cfg, &mut hooks)
+        };
+        let dense = {
+            let p = acfc_mpsl::programs::jacobi(12);
+            let mut hooks = IndexBasedCic::new(4, 25_000, 9_000);
+            run_with_hooks(&compile(&p), &cfg, &mut hooks)
+        };
+        assert!(sparse.completed() && dense.completed());
+        assert!(
+            dense.metrics.forced_checkpoints >= sparse.metrics.forced_checkpoints,
+            "denser communication should not force fewer checkpoints"
+        );
+    }
+}

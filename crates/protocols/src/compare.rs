@@ -1,0 +1,329 @@
+//! Head-to-head protocol comparison on the simulator.
+//!
+//! The paper compares protocols analytically (§4, Figures 8–9); this
+//! module runs the same comparison *empirically*: each protocol
+//! executes the same workload on the same simulated network and cost
+//! model, with the same injected failures, and reports its measured
+//! overhead ratio `r = Γ/T_bare − 1` against a bare run with
+//! checkpointing disabled entirely.
+
+use crate::app_driven::AppDriven;
+use crate::chandy_lamport::ChandyLamport;
+use crate::cic::IndexBasedCic;
+use crate::sas::SyncAndStop;
+use crate::uncoordinated::{uncoordinated_hooks, uncoordinated_picker};
+use acfc_mpsl::Program;
+use acfc_sim::{
+    compile, run_with_failures, run_with_hooks, CutPicker, FailurePlan, Hooks, SimConfig,
+    SimTime, Trace,
+};
+
+/// The protocols under comparison.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ProtocolKind {
+    /// The paper's coordination-free protocol (offline analysis).
+    AppDriven,
+    /// Independent local timers, rollback-propagation recovery.
+    Uncoordinated,
+    /// Synchronise-and-stop coordinated waves.
+    SyncAndStop,
+    /// Chandy–Lamport snapshot waves.
+    ChandyLamport,
+    /// Index-based communication-induced checkpointing.
+    IndexCic,
+}
+
+impl ProtocolKind {
+    /// All protocols, in the paper's presentation order.
+    pub fn all() -> [ProtocolKind; 5] {
+        [
+            ProtocolKind::AppDriven,
+            ProtocolKind::Uncoordinated,
+            ProtocolKind::SyncAndStop,
+            ProtocolKind::ChandyLamport,
+            ProtocolKind::IndexCic,
+        ]
+    }
+
+    /// Display name matching the paper's figures ("appl-driven" etc.).
+    pub fn name(self) -> &'static str {
+        match self {
+            ProtocolKind::AppDriven => "appl-driven",
+            ProtocolKind::Uncoordinated => "uncoordinated",
+            ProtocolKind::SyncAndStop => "SaS",
+            ProtocolKind::ChandyLamport => "C-L",
+            ProtocolKind::IndexCic => "CIC",
+        }
+    }
+}
+
+/// Parameters of a comparison run.
+#[derive(Debug, Clone)]
+pub struct CompareConfig {
+    /// The simulator configuration (network + cost model + seed).
+    pub sim: SimConfig,
+    /// Checkpoint interval `T` for timer/wave protocols, µs.
+    pub interval_us: u64,
+    /// Timer skew for uncoordinated/CIC, µs.
+    pub skew_us: u64,
+    /// Failure plan (empty = failure-free comparison).
+    pub failures: FailurePlan,
+}
+
+impl CompareConfig {
+    /// A comparison at `n` processes with interval `interval_us` and no
+    /// failures.
+    pub fn new(n: usize, interval_us: u64) -> CompareConfig {
+        CompareConfig {
+            sim: SimConfig::new(n),
+            interval_us,
+            skew_us: interval_us / 3,
+            failures: FailurePlan::none(),
+        }
+    }
+}
+
+/// Measured statistics for one protocol on one workload.
+#[derive(Debug, Clone)]
+pub struct RunStats {
+    /// Which protocol.
+    pub protocol: ProtocolKind,
+    /// Whether the run completed.
+    pub completed: bool,
+    /// Makespan in seconds.
+    pub makespan_secs: f64,
+    /// Bare (no checkpointing, no failures) makespan in seconds.
+    pub bare_secs: f64,
+    /// Measured overhead ratio `makespan/bare − 1`.
+    pub overhead_ratio: f64,
+    /// Total checkpoints taken (all triggers).
+    pub checkpoints: u64,
+    /// Forced checkpoints (CIC).
+    pub forced: u64,
+    /// Protocol control messages.
+    pub control_messages: u64,
+    /// Protocol control bits.
+    pub control_bits: u64,
+    /// Time stalled in checkpoint overhead + coordination, µs.
+    pub ckpt_stall_us: u64,
+    /// Failures survived.
+    pub failures: u64,
+    /// Work lost to rollbacks, µs.
+    pub lost_us: u64,
+    /// Largest per-process rollback depth over all failures
+    /// (checkpoints discarded).
+    pub max_rollback_depth: u64,
+}
+
+/// Hooks that disable checkpointing entirely (the bare baseline).
+#[derive(Debug, Clone, Copy, Default)]
+struct NoCheckpointing;
+
+impl Hooks for NoCheckpointing {
+    fn take_app_checkpoint(&mut self, _p: usize, _now: SimTime) -> bool {
+        false
+    }
+}
+
+fn stats_from(protocol: ProtocolKind, trace: &Trace, bare_secs: f64) -> RunStats {
+    let m = &trace.metrics;
+    let makespan = trace.makespan_secs();
+    let max_rollback_depth = trace
+        .failures
+        .iter()
+        .flat_map(|f| {
+            f.latest_seq
+                .iter()
+                .zip(&f.restored_seq)
+                .map(|(&latest, restored)| latest - restored.unwrap_or(0))
+        })
+        .max()
+        .unwrap_or(0);
+    RunStats {
+        protocol,
+        completed: trace.completed(),
+        makespan_secs: makespan,
+        bare_secs,
+        overhead_ratio: makespan / bare_secs - 1.0,
+        checkpoints: m.app_checkpoints
+            + m.timer_checkpoints
+            + m.forced_checkpoints
+            + m.coordinated_checkpoints,
+        forced: m.forced_checkpoints,
+        control_messages: m.control_messages,
+        control_bits: m.control_bits,
+        ckpt_stall_us: m.ckpt_stall_us,
+        failures: m.failures,
+        lost_us: trace.failures.iter().map(|f| f.lost_us).sum(),
+        max_rollback_depth,
+    }
+}
+
+/// Runs `protocol` on `program` under `config` and returns its stats.
+///
+/// The application-driven protocol runs the *transformed* program from
+/// the offline analysis; every other protocol runs the original (their
+/// own schedules replace the application's checkpoint statements). The
+/// bare baseline disables checkpoints and failures.
+///
+/// # Panics
+///
+/// Panics if the application-driven analysis fails on the program.
+pub fn run_protocol(program: &Program, protocol: ProtocolKind, config: &CompareConfig) -> RunStats {
+    let n = config.sim.nprocs;
+    let bare = {
+        let mut hooks = NoCheckpointing;
+        run_with_hooks(&compile(program), &config.sim, &mut hooks)
+    };
+    let bare_secs = bare.makespan_secs();
+    let trace = match protocol {
+        ProtocolKind::AppDriven => {
+            let ad = AppDriven::prepare(program, n.min(acfc_core::attr::MAX_ANALYSIS_RANKS))
+                .unwrap_or_else(|e| panic!("analysis failed: {e}"));
+            let mut hooks = ad.hooks();
+            run_with_failures(
+                &ad.compiled,
+                &config.sim,
+                &mut hooks,
+                config.failures.clone(),
+                ad.picker(),
+            )
+        }
+        ProtocolKind::Uncoordinated => {
+            let mut hooks = uncoordinated_hooks(n, config.interval_us, config.skew_us);
+            run_with_failures(
+                &compile(program),
+                &config.sim,
+                &mut hooks,
+                config.failures.clone(),
+                uncoordinated_picker(),
+            )
+        }
+        ProtocolKind::SyncAndStop => {
+            let mut hooks = SyncAndStop::new(n, config.interval_us, config.sim.net.clone());
+            run_with_failures(
+                &compile(program),
+                &config.sim,
+                &mut hooks,
+                config.failures.clone(),
+                CutPicker::LatestPerProcess,
+            )
+        }
+        ProtocolKind::ChandyLamport => {
+            let mut hooks = ChandyLamport::new(n, config.interval_us, config.sim.net.clone());
+            run_with_failures(
+                &compile(program),
+                &config.sim,
+                &mut hooks,
+                config.failures.clone(),
+                CutPicker::LatestPerProcess,
+            )
+        }
+        ProtocolKind::IndexCic => {
+            let mut hooks = IndexBasedCic::new(n, config.interval_us, config.skew_us);
+            run_with_failures(
+                &compile(program),
+                &config.sim,
+                &mut hooks,
+                config.failures.clone(),
+                CutPicker::AlignedSeq,
+            )
+        }
+    };
+    stats_from(protocol, &trace, bare_secs)
+}
+
+/// Runs every protocol on the workload; returns stats in
+/// [`ProtocolKind::all`] order.
+pub fn compare_all(program: &Program, config: &CompareConfig) -> Vec<RunStats> {
+    ProtocolKind::all()
+        .into_iter()
+        .map(|k| run_protocol(program, k, config))
+        .collect()
+}
+
+/// Renders stats as an aligned text table (one row per protocol).
+pub fn render_table(stats: &[RunStats]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<14} {:>9} {:>9} {:>9} {:>7} {:>7} {:>9} {:>6} {:>9}\n",
+        "protocol", "makespan", "bare", "ratio", "ckpts", "forced", "ctrl-msgs", "fails", "lost-ms"
+    ));
+    for s in stats {
+        out.push_str(&format!(
+            "{:<14} {:>8.3}s {:>8.3}s {:>9.4} {:>7} {:>7} {:>9} {:>6} {:>9.1}\n",
+            s.protocol.name(),
+            s.makespan_secs,
+            s.bare_secs,
+            s.overhead_ratio,
+            s.checkpoints,
+            s.forced,
+            s.control_messages,
+            s.failures,
+            s.lost_us as f64 / 1000.0,
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn workload() -> Program {
+        acfc_mpsl::programs::jacobi(6)
+    }
+
+    #[test]
+    fn all_protocols_complete_failure_free() {
+        let cfg = CompareConfig::new(4, 60_000);
+        let stats = compare_all(&workload(), &cfg);
+        assert_eq!(stats.len(), 5);
+        for s in &stats {
+            assert!(s.completed, "{} did not complete", s.protocol.name());
+            assert!(s.overhead_ratio >= 0.0, "{}: {}", s.protocol.name(), s.overhead_ratio);
+        }
+        let table = render_table(&stats);
+        assert!(table.contains("appl-driven"));
+        assert!(table.lines().count() >= 6);
+    }
+
+    #[test]
+    fn app_driven_has_no_control_traffic_and_others_do() {
+        let cfg = CompareConfig::new(4, 60_000);
+        let stats = compare_all(&workload(), &cfg);
+        let by = |k: ProtocolKind| stats.iter().find(|s| s.protocol == k).unwrap();
+        assert_eq!(by(ProtocolKind::AppDriven).control_messages, 0);
+        assert_eq!(by(ProtocolKind::Uncoordinated).control_messages, 0);
+        assert!(by(ProtocolKind::SyncAndStop).control_messages > 0);
+        assert!(by(ProtocolKind::ChandyLamport).control_messages > 0);
+        // C-L floods more markers than SaS exchanges control messages
+        // (2n(n-1) vs 5(n-1)) once n > 3.
+        assert!(
+            by(ProtocolKind::ChandyLamport).control_messages
+                > by(ProtocolKind::SyncAndStop).control_messages
+        );
+    }
+
+    #[test]
+    fn comparison_with_failures_still_completes() {
+        let mut cfg = CompareConfig::new(2, 40_000);
+        cfg.failures = FailurePlan::at(vec![(SimTime::from_millis(150), 0)]);
+        for s in compare_all(&workload(), &cfg) {
+            assert!(s.completed, "{} failed", s.protocol.name());
+            assert_eq!(s.failures, 1, "{}", s.protocol.name());
+            assert!(s.lost_us > 0, "{} lost no work?", s.protocol.name());
+        }
+    }
+
+    #[test]
+    fn app_driven_rollback_depth_is_bounded_by_one_wave() {
+        // Aligned straight-cut recovery never discards more than the
+        // skew between processes: at most 1 for lock-step Jacobi.
+        let mut cfg = CompareConfig::new(2, 40_000);
+        cfg.failures = FailurePlan::at(vec![(SimTime::from_millis(200), 1)]);
+        let s = run_protocol(&workload(), ProtocolKind::AppDriven, &cfg);
+        assert!(s.completed);
+        assert!(s.max_rollback_depth <= 1, "{}", s.max_rollback_depth);
+    }
+}

@@ -1,0 +1,126 @@
+//! Domino-effect analysis.
+//!
+//! §1 of the paper motivates against uncoordinated checkpointing with
+//! the *domino effect*: independent checkpoints can be pairwise
+//! orphaned so that rollback propagation cascades, in the worst case to
+//! the initial states. This module quantifies the effect on traces and
+//! provides a canonical adversarial workload that exhibits it, used by
+//! the `domino_effect` example and the E2 experiment.
+
+use crate::depgraph::{max_consistent_line_of, rollback_depths};
+use acfc_mpsl::{parse, Program};
+use acfc_sim::Trace;
+
+/// Summary of the domino behaviour of one trace.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DominoReport {
+    /// Live checkpoints per process.
+    pub counts: Vec<u64>,
+    /// The maximal consistent line (checkpoints kept per process).
+    pub line: Vec<u64>,
+    /// Checkpoints discarded per process.
+    pub depths: Vec<u64>,
+    /// `true` if some process must restart from its initial state
+    /// despite having taken checkpoints.
+    pub full_restart: bool,
+}
+
+/// Analyses the domino behaviour of a finished trace.
+pub fn domino_report(trace: &Trace) -> DominoReport {
+    let counts: Vec<u64> = trace
+        .checkpoint_counts()
+        .into_iter()
+        .map(|c| c as u64)
+        .collect();
+    let line = max_consistent_line_of(trace);
+    let depths = rollback_depths(trace);
+    let full_restart = counts
+        .iter()
+        .zip(&line)
+        .any(|(&c, &l)| c > 0 && l == 0);
+    DominoReport {
+        counts,
+        line,
+        depths,
+        full_restart,
+    }
+}
+
+/// The canonical domino workload — the classic request/reply zigzag:
+/// per round, rank 0 checkpoints, sends a request, and awaits the
+/// reply; rank 1 receives the request, checkpoints, and replies. Every
+/// straight cut is orphaned by a request and every staggered cut by a
+/// reply, so rollback propagation cascades to the initial state (the
+/// textbook domino effect).
+pub fn domino_stream(rounds: i64) -> Program {
+    parse(&format!(
+        "program domino_stream;
+         param rounds = {rounds};
+         var i;
+         for i in 0..rounds {{
+           if rank == 0 {{
+             checkpoint \"pre-request\";
+             compute 10;
+             send to 1 size 128;
+             recv from 1;
+           }} else {{
+             if rank == 1 {{
+               recv from 0;
+               checkpoint \"mid-exchange\";
+               compute 10;
+               send to 0 size 128;
+             }} else {{
+               compute 20;
+               checkpoint;
+             }}
+           }}
+         }}"
+    ))
+    .expect("domino_stream parses")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::app_driven::AppDriven;
+    use acfc_sim::{compile, run, SimConfig};
+
+    #[test]
+    fn domino_stream_cascades_to_start() {
+        let p = domino_stream(8);
+        let t = run(&compile(&p), &SimConfig::new(2));
+        assert!(t.completed());
+        let rep = domino_report(&t);
+        assert_eq!(rep.counts, vec![8, 8]);
+        assert!(rep.full_restart, "{rep:?}");
+        assert_eq!(rep.line[1], 0, "{rep:?}");
+        assert_eq!(rep.depths[1], 8);
+        assert!(rep.line[0] <= 1, "{rep:?}");
+    }
+
+    #[test]
+    fn analysis_eliminates_the_domino_effect() {
+        // After the paper's transformation, every straight cut is a
+        // recovery line, so the maximal line keeps all checkpoints.
+        let p = domino_stream(8);
+        let ad = AppDriven::prepare(&p, 4).unwrap();
+        let t = run(&ad.compiled, &SimConfig::new(2));
+        assert!(t.completed());
+        let rep = domino_report(&t);
+        assert!(!rep.full_restart, "{rep:?}");
+        assert!(
+            rep.depths.iter().all(|&d| d == 0),
+            "no rollback propagation after analysis: {rep:?}"
+        );
+    }
+
+    #[test]
+    fn uniform_placement_has_no_domino() {
+        let p = acfc_mpsl::programs::jacobi(5);
+        let t = run(&compile(&p), &SimConfig::new(4));
+        let rep = domino_report(&t);
+        assert!(!rep.full_restart);
+        assert_eq!(rep.depths, vec![0, 0, 0, 0]);
+        assert_eq!(rep.counts, rep.line);
+    }
+}

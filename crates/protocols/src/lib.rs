@@ -1,0 +1,55 @@
+//! # Distributed checkpointing protocols on the ACFC simulator
+//!
+//! The paper positions its coordination-free approach against the three
+//! classic families of distributed checkpointing (§1) and compares
+//! analytically against the coordinated ones (§4.1). This crate makes
+//! the comparison executable — every protocol runs real workloads on
+//! the `acfc-sim` engine through its [`Hooks`](acfc_sim::Hooks):
+//!
+//! * [`app_driven`] — the paper's protocol: offline analysis
+//!   (`acfc-core`), **no** runtime mechanism at all, straight-cut
+//!   recovery;
+//! * [`uncoordinated`] — independent timers + rollback-propagation
+//!   recovery over the dependency graph ([`depgraph`]), exhibiting the
+//!   domino effect ([`domino`]);
+//! * [`sas`] — synchronise-and-stop coordinated waves,
+//!   `M(SaS) = 5(n−1)(w_m + 8·w_b)`;
+//! * [`chandy_lamport`] — distributed snapshots,
+//!   `M(C-L) = 2n(n−1)(w_m + 8·w_b)`;
+//! * [`cic`] — index-based communication-induced checkpointing with
+//!   forced checkpoints;
+//! * [`compare`] — the head-to-head harness producing measured
+//!   overhead ratios (the empirical companion to Figures 8–9).
+//!
+//! ```
+//! use acfc_protocols::compare::{compare_all, CompareConfig, ProtocolKind};
+//!
+//! let program = acfc_mpsl::programs::jacobi(5);
+//! let stats = compare_all(&program, &CompareConfig::new(4, 60_000));
+//! let app = stats.iter().find(|s| s.protocol == ProtocolKind::AppDriven).unwrap();
+//! // The paper's claim: zero protocol traffic.
+//! assert_eq!(app.control_messages, 0);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod app_driven;
+pub mod chandy_lamport;
+pub mod cic;
+pub mod compare;
+pub mod depgraph;
+pub mod domino;
+pub mod sas;
+pub mod sweep;
+pub mod uncoordinated;
+
+pub use app_driven::AppDriven;
+pub use chandy_lamport::{cl_control_messages, cl_message_overhead_us, ChandyLamport};
+pub use cic::IndexBasedCic;
+pub use compare::{compare_all, render_table, run_protocol, CompareConfig, ProtocolKind, RunStats};
+pub use depgraph::{max_consistent_line, max_consistent_line_of, rollback_depths, IntervalIndex};
+pub use domino::{domino_report, domino_stream, DominoReport};
+pub use sas::{sas_control_messages, sas_message_overhead_us, SyncAndStop};
+pub use sweep::{empirical_sweep, render_sweep, SweepConfig, SweepRow};
+pub use uncoordinated::{uncoordinated_hooks, uncoordinated_picker};

@@ -1,0 +1,158 @@
+//! Empirical protocol sweeps on the message-level simulator — the
+//! measured companion to the analytic Figure 8.
+//!
+//! The paper's Figure 8 evaluates the protocols through the §4 model;
+//! this module runs the same comparison on the simulator, sweeping the
+//! process count (with a failure rate scaled per the paper's
+//! `λ(n) ∝ n`) and reporting the *measured* overhead ratio of each
+//! protocol against a bare, checkpoint-free run.
+
+use crate::compare::{run_protocol, CompareConfig, ProtocolKind, RunStats};
+use acfc_mpsl::{programs, Program};
+use acfc_sim::{FailurePlan, SimConfig, SimTime};
+use std::fmt::Write;
+
+/// Configuration of an empirical sweep.
+#[derive(Debug, Clone)]
+pub struct SweepConfig {
+    /// Process counts to sweep.
+    pub ns: Vec<usize>,
+    /// Checkpoint interval for the timer/wave protocols, µs.
+    pub interval_us: u64,
+    /// Per-process failure rate per *second of simulated time*; the
+    /// plan is drawn over the failure-free makespan (so the expected
+    /// failure count grows with `n`, matching the paper's scaling).
+    pub lambda_per_proc: f64,
+    /// Base RNG seed.
+    pub seed: u64,
+    /// Workload factory (receives `n`, returns the program to run).
+    pub workload: fn(usize) -> Program,
+}
+
+impl Default for SweepConfig {
+    fn default() -> SweepConfig {
+        SweepConfig {
+            ns: vec![2, 4, 8],
+            interval_us: 60_000,
+            lambda_per_proc: 1.0, // ~1 failure/s of simulated time/proc
+            seed: 0xACFC,
+            workload: |_| programs::jacobi(10),
+        }
+    }
+}
+
+/// One sweep row: a protocol's stats at one `n`.
+#[derive(Debug, Clone)]
+pub struct SweepRow {
+    /// Process count.
+    pub n: usize,
+    /// Measured stats.
+    pub stats: RunStats,
+}
+
+/// Runs the sweep: for each `n`, each protocol runs the same workload
+/// with the same failure plan (drawn at rate `n·λ` over a horizon of
+/// roughly the failure-free makespan).
+pub fn empirical_sweep(config: &SweepConfig) -> Vec<SweepRow> {
+    let mut rows = Vec::new();
+    for &n in &config.ns {
+        let program = (config.workload)(n);
+        // Probe the failure-free makespan to size the failure horizon.
+        let probe = acfc_sim::run(
+            &acfc_sim::compile(&program),
+            &SimConfig::new(n).with_seed(config.seed),
+        );
+        let horizon = SimTime(probe.finished_at.as_micros().max(1));
+        let plan = FailurePlan::exponential(
+            n,
+            config.lambda_per_proc,
+            horizon,
+            config.seed ^ n as u64,
+        );
+        let mut cc = CompareConfig::new(n, config.interval_us);
+        cc.sim = cc.sim.with_seed(config.seed);
+        cc.failures = plan;
+        for kind in ProtocolKind::all() {
+            rows.push(SweepRow {
+                n,
+                stats: run_protocol(&program, kind, &cc),
+            });
+        }
+    }
+    rows
+}
+
+/// Renders the sweep as a TSV table (`n`, protocol, ratio, checkpoints,
+/// forced, control messages, failures, lost ms).
+pub fn render_sweep(rows: &[SweepRow]) -> String {
+    let mut out = String::from("n\tprotocol\tratio\tckpts\tforced\tctrl_msgs\tfails\tlost_ms\n");
+    for r in rows {
+        let s = &r.stats;
+        let _ = writeln!(
+            out,
+            "{}\t{}\t{:.4}\t{}\t{}\t{}\t{}\t{:.1}",
+            r.n,
+            s.protocol.name(),
+            s.overhead_ratio,
+            s.checkpoints,
+            s.forced,
+            s.control_messages,
+            s.failures,
+            s.lost_us as f64 / 1000.0
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_produces_all_rows_and_completes() {
+        let config = SweepConfig {
+            ns: vec![2, 4],
+            lambda_per_proc: 0.5,
+            ..SweepConfig::default()
+        };
+        let rows = empirical_sweep(&config);
+        assert_eq!(rows.len(), 2 * 5);
+        for r in &rows {
+            assert!(
+                r.stats.completed,
+                "{} at n={} did not complete",
+                r.stats.protocol.name(),
+                r.n
+            );
+            assert!(r.stats.overhead_ratio.is_finite());
+        }
+        let tsv = render_sweep(&rows);
+        assert_eq!(tsv.lines().count(), 11);
+        assert!(tsv.contains("appl-driven"));
+    }
+
+    #[test]
+    fn control_traffic_grows_with_n_for_coordinated_protocols_only() {
+        let config = SweepConfig {
+            ns: vec![2, 6],
+            lambda_per_proc: 0.2,
+            ..SweepConfig::default()
+        };
+        let rows = empirical_sweep(&config);
+        let get = |n: usize, k: ProtocolKind| {
+            rows.iter()
+                .find(|r| r.n == n && r.stats.protocol == k)
+                .unwrap()
+        };
+        assert_eq!(get(2, ProtocolKind::AppDriven).stats.control_messages, 0);
+        assert_eq!(get(6, ProtocolKind::AppDriven).stats.control_messages, 0);
+        assert!(
+            get(6, ProtocolKind::ChandyLamport).stats.control_messages
+                > get(2, ProtocolKind::ChandyLamport).stats.control_messages
+        );
+        assert!(
+            get(6, ProtocolKind::SyncAndStop).stats.control_messages
+                > get(2, ProtocolKind::SyncAndStop).stats.control_messages
+        );
+    }
+}

@@ -1,0 +1,88 @@
+//! The uncoordinated baseline.
+//!
+//! Every process checkpoints on its own timer, completely independently
+//! (§1's second family). There is zero checkpoint-time overhead beyond
+//! the checkpoints themselves — but nothing guarantees the latest
+//! checkpoints are consistent, so recovery must run rollback
+//! propagation over the dependency graph and may cascade (the domino
+//! effect).
+
+use crate::depgraph::{max_consistent_line, IntervalIndex};
+use acfc_sim::{CutPicker, TimerCheckpoints};
+
+/// Hooks for the uncoordinated protocol: independent, skewed timers;
+/// application checkpoint statements suppressed.
+pub fn uncoordinated_hooks(nprocs: usize, interval_us: u64, skew_us: u64) -> TimerCheckpoints {
+    TimerCheckpoints::new(nprocs, interval_us, skew_us)
+}
+
+/// The uncoordinated recovery-line picker: on failure, compute the
+/// **maximal consistent global checkpoint** by rollback propagation and
+/// restore it (possibly all the way back to the initial states).
+pub fn uncoordinated_picker() -> CutPicker {
+    CutPicker::Custom(Box::new(|view| {
+        let index = IntervalIndex::from_view(view);
+        let line = max_consistent_line(&index, view.messages.iter());
+        line.into_iter()
+            .map(|keep| if keep == 0 { None } else { Some(keep) })
+            .collect()
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use acfc_sim::{
+        compile, run_with_failures, FailurePlan, SimConfig, SimTime,
+    };
+
+    #[test]
+    fn recovery_uses_a_consistent_line_and_completes() {
+        let p = acfc_mpsl::programs::jacobi(6);
+        let cfg = SimConfig::new(3);
+        let mut hooks = uncoordinated_hooks(3, 20_000, 7_000);
+        let plan = FailurePlan::at(vec![(SimTime::from_millis(150), 1)]);
+        let t = run_with_failures(
+            &compile(&p),
+            &cfg,
+            &mut hooks,
+            plan,
+            uncoordinated_picker(),
+        );
+        assert!(t.completed(), "{:?}", t.outcome);
+        assert_eq!(t.failures.len(), 1);
+        // The restored line never exceeds what each process had.
+        let f = &t.failures[0];
+        assert_eq!(f.restored_seq.len(), 3);
+    }
+
+    #[test]
+    fn domino_prone_workload_restarts_from_scratch() {
+        // One-way stream with unlucky skew: the receiver's checkpoints
+        // are always orphaned, so recovery falls back to the start.
+        let p = acfc_mpsl::parse(
+            "program stream; var i;
+             for i in 0..8 {
+               if rank == 0 { compute 10; send to 1 size 64; }
+               if rank == 1 { recv from 0; compute 1; }
+             }",
+        )
+        .unwrap();
+        let cfg = SimConfig::new(2);
+        // Rank 0 checkpoints right after sending (skew places its timer
+        // just after each send); rank 1 just after receiving.
+        let mut hooks = uncoordinated_hooks(2, 11_000, 2_000);
+        let plan = FailurePlan::at(vec![(SimTime::from_millis(60), 0)]);
+        let t = run_with_failures(
+            &compile(&p),
+            &cfg,
+            &mut hooks,
+            plan,
+            uncoordinated_picker(),
+        );
+        assert!(t.completed(), "{:?}", t.outcome);
+        assert_eq!(t.failures.len(), 1);
+        // Whatever line was picked, lost work is nonzero.
+        assert!(t.failures[0].lost_us > 0);
+    }
+}

@@ -1,0 +1,328 @@
+//! Compilation of MPSL programs to a flat instruction sequence.
+//!
+//! The simulator does not interpret the AST directly: structured control
+//! flow is compiled to jumps so that per-process execution state is a
+//! single program counter plus a variable store — which is exactly what a
+//! checkpoint snapshot needs to capture.
+
+use acfc_mpsl::{BinOp, Block, Expr, Program, RecvSrc, StmtId, StmtKind};
+
+/// One executable instruction.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Instr {
+    /// Local computation costing `cost` (expression value, in
+    /// milliseconds of simulated time).
+    Compute {
+        /// Cost expression.
+        cost: Expr,
+        /// Originating statement.
+        stmt: StmtId,
+    },
+    /// Variable assignment.
+    Assign {
+        /// Target variable.
+        var: String,
+        /// Right-hand side.
+        value: Expr,
+        /// Originating statement.
+        stmt: StmtId,
+    },
+    /// Send a message.
+    Send {
+        /// Destination rank expression.
+        dest: Expr,
+        /// Size in bits.
+        size_bits: Expr,
+        /// Originating statement.
+        stmt: StmtId,
+    },
+    /// Blocking receive.
+    Recv {
+        /// Source spec.
+        src: RecvSrc,
+        /// Originating statement.
+        stmt: StmtId,
+    },
+    /// Take a checkpoint.
+    Checkpoint {
+        /// Originating statement (the paper's static checkpoint node id).
+        stmt: StmtId,
+        /// Optional label.
+        label: Option<String>,
+    },
+    /// Unconditional jump.
+    Jump {
+        /// Target pc.
+        target: usize,
+    },
+    /// Jump when the condition evaluates to zero.
+    JumpIfFalse {
+        /// Condition.
+        cond: Expr,
+        /// Target pc when false.
+        target: usize,
+        /// Originating statement.
+        stmt: StmtId,
+    },
+    /// Normal termination.
+    Halt,
+}
+
+/// A compiled program: the shared instruction sequence every process
+/// executes (SPMD), plus metadata.
+#[derive(Debug, Clone)]
+pub struct Compiled {
+    /// Program name.
+    pub name: String,
+    /// Flat code; `Halt` terminated.
+    pub code: Vec<Instr>,
+    /// Default parameter bindings from the program header.
+    pub params: Vec<(String, i64)>,
+    /// Declared variables (all initialised to 0).
+    pub vars: Vec<String>,
+}
+
+impl Compiled {
+    /// Number of instructions.
+    pub fn len(&self) -> usize {
+        self.code.len()
+    }
+
+    /// `true` when the program is just `Halt`.
+    pub fn is_empty(&self) -> bool {
+        self.code.len() <= 1
+    }
+}
+
+/// Compiles a program. Collectives are lowered first (on a clone).
+///
+/// # Examples
+///
+/// ```
+/// let p = acfc_mpsl::parse("program t; var i; for i in 0..2 { checkpoint; }").unwrap();
+/// let c = acfc_sim::compile(&p);
+/// assert!(c.code.iter().any(|i| matches!(i, acfc_sim::Instr::Checkpoint { .. })));
+/// ```
+pub fn compile(program: &Program) -> Compiled {
+    let mut lowered = program.clone();
+    if lowered.has_collectives() {
+        lowered.lower_collectives();
+    }
+    let mut code = Vec::new();
+    emit_block(&mut code, &lowered.body);
+    code.push(Instr::Halt);
+    Compiled {
+        name: lowered.name.clone(),
+        code,
+        params: lowered.params.clone(),
+        vars: lowered.vars.clone(),
+    }
+}
+
+fn emit_block(code: &mut Vec<Instr>, block: &Block) {
+    for stmt in block {
+        let sid = stmt.id;
+        match &stmt.kind {
+            StmtKind::Compute { cost } => code.push(Instr::Compute {
+                cost: cost.clone(),
+                stmt: sid,
+            }),
+            StmtKind::Assign { var, value } => code.push(Instr::Assign {
+                var: var.clone(),
+                value: value.clone(),
+                stmt: sid,
+            }),
+            StmtKind::Send { dest, size_bits } => code.push(Instr::Send {
+                dest: dest.clone(),
+                size_bits: size_bits.clone(),
+                stmt: sid,
+            }),
+            StmtKind::Recv { src } => code.push(Instr::Recv {
+                src: src.clone(),
+                stmt: sid,
+            }),
+            StmtKind::Checkpoint { label } => code.push(Instr::Checkpoint {
+                stmt: sid,
+                label: label.clone(),
+            }),
+            StmtKind::If {
+                cond,
+                then_branch,
+                else_branch,
+            } => {
+                let jif_at = code.len();
+                code.push(Instr::JumpIfFalse {
+                    cond: cond.clone(),
+                    target: usize::MAX,
+                    stmt: sid,
+                });
+                emit_block(code, then_branch);
+                if else_branch.is_empty() {
+                    let after = code.len();
+                    patch_jif(code, jif_at, after);
+                } else {
+                    let jmp_at = code.len();
+                    code.push(Instr::Jump { target: usize::MAX });
+                    let else_start = code.len();
+                    patch_jif(code, jif_at, else_start);
+                    emit_block(code, else_branch);
+                    let after = code.len();
+                    patch_jump(code, jmp_at, after);
+                }
+            }
+            StmtKind::While { cond, body } => {
+                let check_at = code.len();
+                code.push(Instr::JumpIfFalse {
+                    cond: cond.clone(),
+                    target: usize::MAX,
+                    stmt: sid,
+                });
+                emit_block(code, body);
+                code.push(Instr::Jump { target: check_at });
+                let after = code.len();
+                patch_jif(code, check_at, after);
+            }
+            StmtKind::For {
+                var,
+                from,
+                to,
+                body,
+            } => {
+                code.push(Instr::Assign {
+                    var: var.clone(),
+                    value: from.clone(),
+                    stmt: sid,
+                });
+                let check_at = code.len();
+                code.push(Instr::JumpIfFalse {
+                    cond: Expr::bin(BinOp::Lt, Expr::Var(var.clone()), to.clone()),
+                    target: usize::MAX,
+                    stmt: sid,
+                });
+                emit_block(code, body);
+                code.push(Instr::Assign {
+                    var: var.clone(),
+                    value: Expr::bin(BinOp::Add, Expr::Var(var.clone()), Expr::Int(1)),
+                    stmt: sid,
+                });
+                code.push(Instr::Jump { target: check_at });
+                let after = code.len();
+                patch_jif(code, check_at, after);
+            }
+            StmtKind::Bcast { .. } | StmtKind::Exchange { .. } => {
+                unreachable!("collectives lowered before compilation")
+            }
+        }
+    }
+}
+
+fn patch_jif(code: &mut [Instr], at: usize, to: usize) {
+    if let Instr::JumpIfFalse { target, .. } = &mut code[at] {
+        *target = to;
+    } else {
+        unreachable!("patch_jif on non-JumpIfFalse");
+    }
+}
+
+fn patch_jump(code: &mut [Instr], at: usize, to: usize) {
+    if let Instr::Jump { target } = &mut code[at] {
+        *target = to;
+    } else {
+        unreachable!("patch_jump on non-Jump");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use acfc_mpsl::parse;
+
+    fn compile_src(src: &str) -> Compiled {
+        compile(&parse(src).unwrap())
+    }
+
+    #[test]
+    fn straight_line_compiles_in_order() {
+        let c = compile_src("program t; compute 1; checkpoint; send to 0;");
+        assert!(matches!(c.code[0], Instr::Compute { .. }));
+        assert!(matches!(c.code[1], Instr::Checkpoint { .. }));
+        assert!(matches!(c.code[2], Instr::Send { .. }));
+        assert!(matches!(c.code[3], Instr::Halt));
+    }
+
+    #[test]
+    fn if_else_jumps_are_patched() {
+        let c = compile_src("program t; if rank == 0 { compute 1; } else { compute 2; } checkpoint;");
+        // 0: JIF -> 3 (else), 1: compute, 2: Jump -> 4, 3: compute, 4: chkpt
+        let Instr::JumpIfFalse { target, .. } = &c.code[0] else {
+            panic!()
+        };
+        assert_eq!(*target, 3);
+        let Instr::Jump { target } = &c.code[2] else {
+            panic!()
+        };
+        assert_eq!(*target, 4);
+        assert!(matches!(c.code[4], Instr::Checkpoint { .. }));
+    }
+
+    #[test]
+    fn if_without_else_falls_through() {
+        let c = compile_src("program t; if rank == 0 { compute 1; } checkpoint;");
+        let Instr::JumpIfFalse { target, .. } = &c.code[0] else {
+            panic!()
+        };
+        assert_eq!(*target, 2);
+        assert!(matches!(c.code[2], Instr::Checkpoint { .. }));
+    }
+
+    #[test]
+    fn while_loops_back_to_check() {
+        let c = compile_src("program t; var i; while i < 2 { i := i + 1; } checkpoint;");
+        // 0: JIF -> 3, 1: assign, 2: Jump -> 0, 3: chkpt
+        let Instr::JumpIfFalse { target, .. } = &c.code[0] else {
+            panic!()
+        };
+        assert_eq!(*target, 3);
+        let Instr::Jump { target } = &c.code[2] else {
+            panic!()
+        };
+        assert_eq!(*target, 0);
+    }
+
+    #[test]
+    fn for_desugars_with_init_and_incr() {
+        let c = compile_src("program t; var i; for i in 0..3 { compute 1; }");
+        assert!(matches!(c.code[0], Instr::Assign { .. })); // init
+        assert!(matches!(c.code[1], Instr::JumpIfFalse { .. }));
+        assert!(matches!(c.code[2], Instr::Compute { .. }));
+        assert!(matches!(c.code[3], Instr::Assign { .. })); // incr
+        assert!(matches!(c.code[4], Instr::Jump { .. }));
+        assert!(matches!(c.code[5], Instr::Halt));
+    }
+
+    #[test]
+    fn no_unpatched_targets_in_stock_programs() {
+        for p in acfc_mpsl::programs::all_stock() {
+            let c = compile(&p);
+            for (pc, instr) in c.code.iter().enumerate() {
+                let target = match instr {
+                    Instr::Jump { target } => Some(*target),
+                    Instr::JumpIfFalse { target, .. } => Some(*target),
+                    _ => None,
+                };
+                if let Some(t) = target {
+                    assert!(t <= c.code.len(), "{}: pc {pc} target {t} wild", p.name);
+                    assert_ne!(t, usize::MAX, "{}: pc {pc} unpatched", p.name);
+                }
+            }
+            assert!(matches!(c.code.last(), Some(Instr::Halt)));
+        }
+    }
+
+    #[test]
+    fn collectives_compile_to_point_to_point() {
+        let c = compile_src("program t; exchange with rank + 1 size 64;");
+        assert!(c.code.iter().any(|i| matches!(i, Instr::Send { .. })));
+        assert!(c.code.iter().any(|i| matches!(i, Instr::Recv { .. })));
+    }
+}

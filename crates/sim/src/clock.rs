@@ -1,0 +1,182 @@
+//! Vector clocks.
+//!
+//! The paper's safety property (Definition 2.1) is stated in terms of
+//! Lamport's happened-before relation. Vector clocks characterise it
+//! exactly: for events `e`, `f` in a trace, `e → f` iff `VC(e) < VC(f)`
+//! (componentwise ≤ with at least one strict). The simulator stamps
+//! every send, receive, and checkpoint event with a vector clock, and the
+//! consistency checker compares checkpoint stamps pairwise.
+
+use std::cmp::Ordering;
+use std::fmt;
+
+/// A vector clock over `n` processes.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct VectorClock(Vec<u64>);
+
+impl VectorClock {
+    /// The zero clock for `n` processes.
+    pub fn new(n: usize) -> VectorClock {
+        VectorClock(vec![0; n])
+    }
+
+    /// Number of components.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// `true` if the clock has no components.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// Component for process `p`.
+    pub fn get(&self, p: usize) -> u64 {
+        self.0[p]
+    }
+
+    /// Ticks process `p`'s own component (call on every local event).
+    pub fn tick(&mut self, p: usize) {
+        self.0[p] += 1;
+    }
+
+    /// Merges in a received clock: componentwise max. (The receiver must
+    /// also [`tick`](Self::tick) its own component.)
+    pub fn merge(&mut self, other: &VectorClock) {
+        assert_eq!(self.0.len(), other.0.len(), "clock size mismatch");
+        for (a, b) in self.0.iter_mut().zip(&other.0) {
+            *a = (*a).max(*b);
+        }
+    }
+
+    /// Causal comparison:
+    ///
+    /// * `Some(Ordering::Less)` — `self` happened before `other`
+    /// * `Some(Ordering::Greater)` — `other` happened before `self`
+    /// * `Some(Ordering::Equal)` — identical stamps (same event)
+    /// * `None` — concurrent
+    pub fn causal_cmp(&self, other: &VectorClock) -> Option<Ordering> {
+        assert_eq!(self.0.len(), other.0.len(), "clock size mismatch");
+        let mut le = true;
+        let mut ge = true;
+        for (a, b) in self.0.iter().zip(&other.0) {
+            if a < b {
+                ge = false;
+            }
+            if a > b {
+                le = false;
+            }
+        }
+        match (le, ge) {
+            (true, true) => Some(Ordering::Equal),
+            (true, false) => Some(Ordering::Less),
+            (false, true) => Some(Ordering::Greater),
+            (false, false) => None,
+        }
+    }
+
+    /// `true` iff `self` happened strictly before `other`.
+    pub fn happened_before(&self, other: &VectorClock) -> bool {
+        self.causal_cmp(other) == Some(Ordering::Less)
+    }
+
+    /// `true` iff neither stamp happened before the other.
+    pub fn concurrent_with(&self, other: &VectorClock) -> bool {
+        self.causal_cmp(other).is_none()
+    }
+
+    /// The raw components.
+    pub fn components(&self) -> &[u64] {
+        &self.0
+    }
+}
+
+impl fmt::Display for VectorClock {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "⟨")?;
+        for (i, v) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{v}")?;
+        }
+        write!(f, "⟩")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_clocks_are_equal() {
+        let a = VectorClock::new(3);
+        let b = VectorClock::new(3);
+        assert_eq!(a.causal_cmp(&b), Some(Ordering::Equal));
+    }
+
+    #[test]
+    fn tick_makes_strictly_later() {
+        let a = VectorClock::new(2);
+        let mut b = a.clone();
+        b.tick(0);
+        assert!(a.happened_before(&b));
+        assert!(!b.happened_before(&a));
+        assert_eq!(b.get(0), 1);
+    }
+
+    #[test]
+    fn independent_ticks_are_concurrent() {
+        let mut a = VectorClock::new(2);
+        let mut b = VectorClock::new(2);
+        a.tick(0);
+        b.tick(1);
+        assert!(a.concurrent_with(&b));
+        assert!(b.concurrent_with(&a));
+    }
+
+    #[test]
+    fn message_transfer_creates_order() {
+        // p0: e1 (send). p1: merge + tick (recv) = e2. e1 -> e2.
+        let mut p0 = VectorClock::new(2);
+        p0.tick(0); // send event stamp
+        let sent = p0.clone();
+        let mut p1 = VectorClock::new(2);
+        p1.merge(&sent);
+        p1.tick(1); // recv event stamp
+        assert!(sent.happened_before(&p1));
+    }
+
+    #[test]
+    fn merge_is_componentwise_max() {
+        let mut a = VectorClock::new(3);
+        a.tick(0);
+        a.tick(0);
+        let mut b = VectorClock::new(3);
+        b.tick(1);
+        a.merge(&b);
+        assert_eq!(a.components(), &[2, 1, 0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "size mismatch")]
+    fn size_mismatch_panics() {
+        let a = VectorClock::new(2);
+        let b = VectorClock::new(3);
+        let _ = a.causal_cmp(&b);
+    }
+
+    #[test]
+    fn transitivity_spot_check() {
+        let mut a = VectorClock::new(2);
+        a.tick(0);
+        let mut b = a.clone();
+        b.tick(0);
+        let mut c = b.clone();
+        c.merge(&b);
+        c.tick(1);
+        assert!(a.happened_before(&b));
+        assert!(b.happened_before(&c));
+        assert!(a.happened_before(&c));
+    }
+}

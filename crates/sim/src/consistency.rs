@@ -1,0 +1,191 @@
+//! Cut-consistency checking.
+//!
+//! Definition 2.1 of the paper: a cut of checkpoints `S` (one per
+//! process) is a **recovery line** iff there are no `C, C' ∈ S` with
+//! `C →hb C'`. Two equivalent checkers are provided:
+//!
+//! * [`cut_consistency`] — pairwise vector-clock comparison (`C → C'`
+//!   iff `VC(C) < VC(C')`), the production checker;
+//! * [`cut_consistency_oracle`] — the orphan-message definition: the cut
+//!   is inconsistent iff some message was received before the receiver's
+//!   cut checkpoint but sent after the sender's. Used by property tests
+//!   to cross-validate the vector clocks.
+//!
+//! Both operate on a [`Trace`] plus a cut given as per-process
+//! checkpoint sequence numbers.
+
+use crate::trace::{CheckpointRecord, Trace};
+
+/// A violation: checkpoint of `earlier_proc` happened before checkpoint
+/// of `later_proc` within the cut.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CutViolation {
+    /// The process whose cut checkpoint is causally earlier.
+    pub earlier_proc: usize,
+    /// The process whose cut checkpoint is causally later.
+    pub later_proc: usize,
+}
+
+/// Resolves a cut (`seq` per process; must exist) to checkpoint records.
+///
+/// Returns `None` if any process lacks a live checkpoint with that seq.
+pub fn resolve_cut<'t>(trace: &'t Trace, cut: &[u64]) -> Option<Vec<&'t CheckpointRecord>> {
+    assert_eq!(cut.len(), trace.nprocs, "cut arity mismatch");
+    let mut out = Vec::with_capacity(trace.nprocs);
+    for (p, &seq) in cut.iter().enumerate() {
+        let c = trace
+            .checkpoints
+            .iter()
+            .find(|c| c.proc == p && !c.rolled_back && c.seq == seq)?;
+        out.push(c);
+    }
+    Some(out)
+}
+
+/// Vector-clock consistency check of an explicit cut of records.
+///
+/// Returns all ordered pairs (violations); empty = recovery line.
+pub fn cut_violations(cut: &[&CheckpointRecord]) -> Vec<CutViolation> {
+    let mut out = Vec::new();
+    for a in cut {
+        for b in cut {
+            if a.proc != b.proc && a.vc.happened_before(&b.vc) {
+                out.push(CutViolation {
+                    earlier_proc: a.proc,
+                    later_proc: b.proc,
+                });
+            }
+        }
+    }
+    out
+}
+
+/// `true` iff the cut (given as per-process `seq`s) is a recovery line,
+/// by vector clocks.
+///
+/// # Panics
+///
+/// Panics if the cut does not exist in the trace.
+pub fn cut_consistency(trace: &Trace, cut: &[u64]) -> bool {
+    let records = resolve_cut(trace, cut).expect("cut must exist in trace");
+    cut_violations(&records).is_empty()
+}
+
+/// Oracle checker via orphan messages: the cut is inconsistent iff some
+/// live message `m` satisfies
+/// `recv_step(m) ≤ step(cut[to])` **and** `send_step(m) > step(cut[from])`.
+///
+/// # Panics
+///
+/// Panics if the cut does not exist in the trace.
+pub fn cut_consistency_oracle(trace: &Trace, cut: &[u64]) -> bool {
+    let records = resolve_cut(trace, cut).expect("cut must exist in trace");
+    let cut_step: Vec<u64> = records.iter().map(|c| c.step).collect();
+    for m in trace.live_messages() {
+        if let Some(rs) = m.recv_step {
+            let received_before = rs <= cut_step[m.to];
+            let sent_after = m.send_step > cut_step[m.from];
+            if received_before && sent_after {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// Checks every *straight cut* of the trace (Definition 2.2/2.3: the
+/// collection of the `i`-th checkpoints of every process, for each `i`
+/// up to the aligned depth). Returns the list of `i` whose cut is
+/// **not** a recovery line; empty means the paper's guarantee held for
+/// this execution.
+pub fn straight_cut_failures(trace: &Trace) -> Vec<u64> {
+    let depth = trace.aligned_depth() as u64;
+    let mut bad = Vec::new();
+    for i in 1..=depth {
+        let cut = vec![i; trace.nprocs];
+        if !cut_consistency(trace, &cut) {
+            bad.push(i);
+        }
+    }
+    bad
+}
+
+/// `true` iff every straight cut of the trace is a recovery line.
+pub fn all_straight_cuts_consistent(trace: &Trace) -> bool {
+    straight_cut_failures(trace).is_empty()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bytecode::compile;
+    use crate::config::SimConfig;
+    use crate::engine::run;
+    use acfc_mpsl::programs;
+
+    #[test]
+    fn uniform_jacobi_straight_cuts_are_recovery_lines() {
+        // Figure 1: uniform placement => every straight cut consistent.
+        let t = run(&compile(&programs::jacobi(4)), &SimConfig::new(4));
+        assert!(t.completed());
+        assert!(all_straight_cuts_consistent(&t));
+    }
+
+    #[test]
+    fn odd_even_jacobi_straight_cuts_violate() {
+        // Figures 2/3: odd/even placement => straight cuts inconsistent.
+        let t = run(&compile(&programs::jacobi_odd_even(4)), &SimConfig::new(4));
+        assert!(t.completed());
+        let bad = straight_cut_failures(&t);
+        assert!(!bad.is_empty(), "expected Figure-3 style violations");
+    }
+
+    #[test]
+    fn oracle_agrees_with_vector_clocks_on_stock_programs() {
+        for p in programs::all_stock() {
+            let t = run(
+                &compile(&p),
+                &SimConfig::new(4).with_inputs(vec![2, 5]),
+            );
+            if !t.completed() {
+                continue;
+            }
+            for i in 1..=t.aligned_depth() as u64 {
+                let cut = vec![i; t.nprocs];
+                assert_eq!(
+                    cut_consistency(&t, &cut),
+                    cut_consistency_oracle(&t, &cut),
+                    "{} cut {i}: VC and orphan oracle disagree",
+                    p.name
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn violations_identify_direction() {
+        let t = run(&compile(&programs::pingpong_skewed(2)), &SimConfig::new(2));
+        assert!(t.completed());
+        let cut = resolve_cut(&t, &[1, 1]).unwrap();
+        let v = cut_violations(&cut);
+        assert!(!v.is_empty());
+        // Rank 0 checkpoints before serving; rank 1 after returning:
+        // 0's checkpoint happens before 1's.
+        assert!(v
+            .iter()
+            .any(|x| x.earlier_proc == 0 && x.later_proc == 1));
+    }
+
+    #[test]
+    fn missing_cut_resolves_to_none() {
+        let t = run(&compile(&programs::jacobi(2)), &SimConfig::new(2));
+        assert!(resolve_cut(&t, &[99, 99]).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "cut must exist")]
+    fn consistency_on_missing_cut_panics() {
+        let t = run(&compile(&programs::jacobi(2)), &SimConfig::new(2));
+        let _ = cut_consistency(&t, &[99, 99]);
+    }
+}

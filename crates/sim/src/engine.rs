@@ -1,0 +1,1015 @@
+//! The discrete-event simulation engine.
+//!
+//! Executes a compiled SPMD program on `n` simulated processes over
+//! reliable FIFO channels (the paper's system model, §2): asynchronous
+//! sends, *blocking* receives, deterministic per-process transition
+//! functions, vector-clock stamping of every send/receive/checkpoint
+//! event, optional failure injection with coordinated rollback, and
+//! protocol customisation via [`Hooks`].
+//!
+//! Determinism: given the same program, configuration, hooks, and
+//! failure plan, a run is bit-for-bit reproducible (the only randomness
+//! is the seeded network jitter).
+
+use crate::bytecode::{Compiled, Instr};
+use crate::clock::VectorClock;
+use crate::config::SimConfig;
+use crate::failure::{CutPicker, FailurePlan};
+use crate::hooks::{Hooks, NoHooks, RecvAction};
+use crate::time::SimTime;
+use crate::trace::{
+    CheckpointRecord, CkptTrigger, FailureRecord, MessageRecord, Metrics, MsgId, Outcome,
+    Snapshot, Trace,
+};
+use acfc_mpsl::{eval, Env, EvalError, Expr, RecvSrc, StmtId};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
+
+/// Runs `compiled` under `config` with the application-driven behaviour
+/// (no protocol hooks, no failures).
+///
+/// # Examples
+///
+/// ```
+/// let p = acfc_mpsl::programs::jacobi(3);
+/// let trace = acfc_sim::run(&acfc_sim::compile(&p), &acfc_sim::SimConfig::new(4));
+/// assert!(trace.completed());
+/// assert_eq!(trace.checkpoint_counts(), vec![3, 3, 3, 3]);
+/// ```
+pub fn run(compiled: &Compiled, config: &SimConfig) -> Trace {
+    let mut hooks = NoHooks;
+    run_with_hooks(compiled, config, &mut hooks)
+}
+
+/// Runs with protocol hooks and no failures.
+pub fn run_with_hooks(compiled: &Compiled, config: &SimConfig, hooks: &mut dyn Hooks) -> Trace {
+    Engine::new(compiled, config, hooks, FailurePlan::none(), CutPicker::AlignedSeq).run()
+}
+
+/// Runs with hooks, injected failures, and the given recovery-line
+/// picker.
+pub fn run_with_failures(
+    compiled: &Compiled,
+    config: &SimConfig,
+    hooks: &mut dyn Hooks,
+    plan: FailurePlan,
+    picker: CutPicker,
+) -> Trace {
+    Engine::new(compiled, config, hooks, plan, picker).run()
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Ev {
+    /// Resume execution of a process (with its rollback epoch).
+    Ready { p: usize, epoch: u64 },
+    /// Network delivery of a message (with its re-delivery token).
+    Arrive { msg: usize, token: u64 },
+    /// Injected failure of a process.
+    Fail { p: usize },
+}
+
+struct HeapEv {
+    key: Reverse<(u64, u64)>, // (time_us, tiebreak_seq)
+    ev: Ev,
+}
+
+impl PartialEq for HeapEv {
+    fn eq(&self, other: &Self) -> bool {
+        self.key == other.key
+    }
+}
+impl Eq for HeapEv {}
+impl PartialOrd for HeapEv {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for HeapEv {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.key.cmp(&other.key)
+    }
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum PState {
+    Ready,
+    Blocked {
+        src: Option<usize>,
+        stmt: StmtId,
+        since: SimTime,
+    },
+    Halted,
+}
+
+struct Proc {
+    env: Env,
+    pc: usize,
+    vc: VectorClock,
+    state: PState,
+    ckpt_seq: u64,
+    stmt_instances: std::collections::HashMap<u32, u64>,
+    step: u64,
+    executed: u64,
+    now: SimTime,
+}
+
+struct Engine<'a> {
+    compiled: &'a Compiled,
+    config: &'a SimConfig,
+    hooks: &'a mut dyn Hooks,
+    picker: CutPicker,
+    procs: Vec<Proc>,
+    epochs: Vec<u64>,
+    heap: BinaryHeap<HeapEv>,
+    heap_seq: u64,
+    // inbox[to][from] = delivered-but-unconsumed message indices (FIFO).
+    inbox: Vec<Vec<VecDeque<usize>>>,
+    // chan_last[from*n + to] = last delivery time on the channel (FIFO).
+    chan_last: Vec<SimTime>,
+    msg_token: Vec<u64>,
+    messages: Vec<MessageRecord>,
+    checkpoints: Vec<CheckpointRecord>,
+    failures: Vec<FailureRecord>,
+    metrics: Metrics,
+    rng: SmallRng,
+    outcome: Option<Outcome>,
+    max_time: SimTime,
+    inline_budget: u32,
+}
+
+const INLINE_BUDGET: u32 = 256;
+
+impl<'a> Engine<'a> {
+    fn new(
+        compiled: &'a Compiled,
+        config: &'a SimConfig,
+        hooks: &'a mut dyn Hooks,
+        plan: FailurePlan,
+        picker: CutPicker,
+    ) -> Engine<'a> {
+        let n = config.nprocs;
+        assert!(n >= 1, "need at least one process");
+        let mut params: std::collections::HashMap<String, i64> =
+            compiled.params.iter().cloned().collect();
+        for (k, v) in &config.param_overrides {
+            params.insert(k.clone(), *v);
+        }
+        let procs = (0..n)
+            .map(|rank| {
+                let mut env = Env::new(rank as i64, n as i64);
+                env.params = params.clone();
+                env.inputs = config.inputs.clone();
+                for v in &compiled.vars {
+                    env.vars.insert(v.clone(), 0);
+                }
+                Proc {
+                    env,
+                    pc: 0,
+                    vc: VectorClock::new(n),
+                    state: PState::Ready,
+                    ckpt_seq: 0,
+                    stmt_instances: std::collections::HashMap::new(),
+                    step: 0,
+                    executed: 0,
+                    now: SimTime::ZERO,
+                }
+            })
+            .collect();
+        let mut engine = Engine {
+            compiled,
+            config,
+            hooks,
+            picker,
+            procs,
+            epochs: vec![0; n],
+            heap: BinaryHeap::new(),
+            heap_seq: 0,
+            inbox: vec![vec![VecDeque::new(); n]; n],
+            chan_last: vec![SimTime::ZERO; n * n],
+            msg_token: Vec::new(),
+            messages: Vec::new(),
+            checkpoints: Vec::new(),
+            failures: Vec::new(),
+            metrics: Metrics::default(),
+            rng: SmallRng::seed_from_u64(config.seed),
+            outcome: None,
+            max_time: SimTime::ZERO,
+            inline_budget: INLINE_BUDGET,
+        };
+        for p in 0..n {
+            engine.push(SimTime::ZERO, Ev::Ready { p, epoch: 0 });
+        }
+        for &(t, p) in plan.events() {
+            engine.push(t, Ev::Fail { p });
+        }
+        engine
+    }
+
+    fn push(&mut self, t: SimTime, ev: Ev) {
+        self.heap_seq += 1;
+        self.heap.push(HeapEv {
+            key: Reverse((t.as_micros(), self.heap_seq)),
+            ev,
+        });
+    }
+
+    fn note_time(&mut self, t: SimTime) {
+        if t > self.max_time {
+            self.max_time = t;
+        }
+    }
+
+    fn run(mut self) -> Trace {
+        while let Some(HeapEv { key, ev }) = self.heap.pop() {
+            if self.outcome.is_some() {
+                break;
+            }
+            let t = SimTime(key.0 .0);
+            self.note_time(t);
+            match ev {
+                Ev::Ready { p, epoch } => {
+                    if epoch == self.epochs[p] && self.procs[p].state == PState::Ready {
+                        self.execute(p, t);
+                    }
+                }
+                Ev::Arrive { msg, token } => {
+                    if token == self.msg_token[msg]
+                        && !self.messages[msg].rolled_back
+                        && self.messages[msg].delivered_at.is_none()
+                    {
+                        self.deliver(msg, t);
+                    }
+                }
+                Ev::Fail { p } => self.handle_failure(p, t),
+            }
+        }
+        let outcome = self.outcome.take().unwrap_or_else(|| {
+            let blocked: Vec<usize> = self
+                .procs
+                .iter()
+                .enumerate()
+                .filter(|(_, q)| !matches!(q.state, PState::Halted))
+                .map(|(i, _)| i)
+                .collect();
+            if blocked.is_empty() {
+                Outcome::Completed
+            } else {
+                Outcome::Deadlock(blocked)
+            }
+        });
+        Trace {
+            nprocs: self.config.nprocs,
+            program: self.compiled.name.clone(),
+            messages: self.messages,
+            checkpoints: self.checkpoints,
+            failures: self.failures,
+            proc_end: self.procs.iter().map(|p| p.now).collect(),
+            finished_at: self.max_time,
+            metrics: self.metrics,
+            outcome,
+        }
+    }
+
+    fn runtime_error(&mut self, p: usize, e: impl std::fmt::Display) {
+        self.outcome = Some(Outcome::RuntimeError(p, e.to_string()));
+    }
+
+    fn eval_in(&self, p: usize, expr: &Expr) -> Result<i64, EvalError> {
+        eval(expr, &self.procs[p].env)
+    }
+
+    fn resolve_rank(&mut self, p: usize, expr: &Expr) -> Option<usize> {
+        match self.eval_in(p, expr) {
+            Ok(v) if v >= 0 && (v as usize) < self.config.nprocs => Some(v as usize),
+            Ok(v) => {
+                self.runtime_error(p, format!("rank expression evaluated to {v}, out of range"));
+                None
+            }
+            Err(e) => {
+                self.runtime_error(p, e);
+                None
+            }
+        }
+    }
+
+    /// Executes instructions of `p` starting at simulated time `t` until
+    /// the process blocks, halts, yields after a time-consuming
+    /// instruction, or exhausts the inline budget.
+    fn execute(&mut self, p: usize, t: SimTime) {
+        let mut now = t;
+        let mut inline = 0u32;
+        loop {
+            if self.outcome.is_some() {
+                return;
+            }
+            if self.procs[p].executed >= self.config.max_steps_per_proc {
+                self.outcome = Some(Outcome::StepLimit(p));
+                return;
+            }
+            if self.hooks.timer_checkpoint_due(p, now) {
+                // Timer checkpoints count toward the step budget so a
+                // protocol whose stall exceeds its interval (and would
+                // otherwise checkpoint forever without executing a
+                // single instruction) trips the runaway guard instead
+                // of looping.
+                self.procs[p].executed += 1;
+                let trigger = self.hooks.timer_trigger(p);
+                self.take_checkpoint(p, None, None, trigger, &mut now);
+                self.yield_ready(p, now);
+                return;
+            }
+            inline += 1;
+            if inline > self.inline_budget {
+                self.yield_ready(p, now);
+                return;
+            }
+            let pc = self.procs[p].pc;
+            let instr = self.compiled.code[pc].clone();
+            self.procs[p].executed += 1;
+            match instr {
+                Instr::Compute { cost, .. } => {
+                    let c = match self.eval_in(p, &cost) {
+                        Ok(v) if v >= 0 => v as u64,
+                        Ok(v) => {
+                            self.runtime_error(p, format!("negative compute cost {v}"));
+                            return;
+                        }
+                        Err(e) => {
+                            self.runtime_error(p, e);
+                            return;
+                        }
+                    };
+                    now += c * self.config.cost.compute_unit_us
+                        + self.config.cost.instr_overhead_us;
+                    self.procs[p].pc = pc + 1;
+                    self.yield_ready(p, now);
+                    return;
+                }
+                Instr::Assign { var, value, .. } => {
+                    match self.eval_in(p, &value) {
+                        Ok(v) => {
+                            self.procs[p].env.vars.insert(var, v);
+                        }
+                        Err(e) => {
+                            self.runtime_error(p, e);
+                            return;
+                        }
+                    }
+                    now += self.config.cost.instr_overhead_us;
+                    self.procs[p].pc = pc + 1;
+                }
+                Instr::Jump { target } => {
+                    now += self.config.cost.instr_overhead_us;
+                    self.procs[p].pc = target;
+                }
+                Instr::JumpIfFalse { cond, target, .. } => {
+                    let v = match self.eval_in(p, &cond) {
+                        Ok(v) => v,
+                        Err(e) => {
+                            self.runtime_error(p, e);
+                            return;
+                        }
+                    };
+                    now += self.config.cost.instr_overhead_us;
+                    self.procs[p].pc = if v == 0 { target } else { pc + 1 };
+                }
+                Instr::Send {
+                    dest,
+                    size_bits,
+                    stmt,
+                } => {
+                    let Some(to) = self.resolve_rank(p, &dest) else {
+                        return;
+                    };
+                    let bits = match self.eval_in(p, &size_bits) {
+                        Ok(v) if v >= 0 => v as u64,
+                        Ok(v) => {
+                            self.runtime_error(p, format!("negative message size {v}"));
+                            return;
+                        }
+                        Err(e) => {
+                            self.runtime_error(p, e);
+                            return;
+                        }
+                    };
+                    self.do_send(p, to, bits, stmt, now);
+                    now += self.config.cost.send_overhead_us;
+                    self.procs[p].pc = pc + 1;
+                }
+                Instr::Recv { src, stmt } => {
+                    let want: Option<usize> = match &src {
+                        RecvSrc::Any => None,
+                        RecvSrc::Rank(e) => {
+                            let Some(s) = self.resolve_rank(p, e) else {
+                                return;
+                            };
+                            Some(s)
+                        }
+                    };
+                    if let Some(m) = self.pick_inbox(p, want) {
+                        now = self.consume_message(p, m, stmt, now);
+                        self.procs[p].pc = pc + 1;
+                        if self.outcome.is_some() {
+                            return;
+                        }
+                    } else {
+                        self.procs[p].state = PState::Blocked {
+                            src: want,
+                            stmt,
+                            since: now,
+                        };
+                        self.procs[p].now = now;
+                        self.note_time(now);
+                        return;
+                    }
+                }
+                Instr::Checkpoint { stmt, label } => {
+                    self.procs[p].pc = pc + 1;
+                    if self.hooks.take_app_checkpoint(p, now) {
+                        self.take_checkpoint(
+                            p,
+                            Some(stmt),
+                            label,
+                            CkptTrigger::AppStatement,
+                            &mut now,
+                        );
+                        self.yield_ready(p, now);
+                        return;
+                    } else {
+                        now += self.config.cost.instr_overhead_us;
+                    }
+                }
+                Instr::Halt => {
+                    self.procs[p].state = PState::Halted;
+                    self.procs[p].now = now;
+                    self.note_time(now);
+                    return;
+                }
+            }
+        }
+    }
+
+    fn yield_ready(&mut self, p: usize, now: SimTime) {
+        self.procs[p].now = now;
+        self.note_time(now);
+        let epoch = self.epochs[p];
+        self.push(now, Ev::Ready { p, epoch });
+    }
+
+    fn do_send(&mut self, p: usize, to: usize, bits: u64, stmt: StmtId, now: SimTime) {
+        let proc = &mut self.procs[p];
+        proc.vc.tick(p);
+        proc.step += 1;
+        let piggyback = self.hooks.piggyback(p, self.procs[p].ckpt_seq, now);
+        let jitter = if self.config.net.jitter_us > 0 {
+            self.rng.gen_range(0..=self.config.net.jitter_us)
+        } else {
+            0
+        };
+        let delay = self.config.net.base_delay_us(bits) + jitter;
+        let sent_at = now + self.config.cost.send_overhead_us;
+        let chan = p * self.config.nprocs + to;
+        let deliver_at = SimTime(
+            (sent_at.as_micros() + delay).max(self.chan_last[chan].as_micros()),
+        );
+        self.chan_last[chan] = deliver_at;
+        let id = MsgId(self.messages.len() as u64);
+        let idx = self.messages.len();
+        self.messages.push(MessageRecord {
+            id,
+            from: p,
+            to,
+            size_bits: bits,
+            send_stmt: stmt,
+            sent_at,
+            send_vc: self.procs[p].vc.clone(),
+            send_step: self.procs[p].step,
+            piggyback,
+            delivered_at: None,
+            recv_at: None,
+            recv_vc: None,
+            recv_step: None,
+            recv_stmt: None,
+            rolled_back: false,
+        });
+        self.msg_token.push(0);
+        self.metrics.app_messages += 1;
+        self.metrics.app_bits += bits;
+        self.push(deliver_at, Ev::Arrive { msg: idx, token: 0 });
+    }
+
+    /// Picks the next consumable message for `p` from `want` (None =
+    /// any). FIFO per channel; for `any`, earliest delivery wins
+    /// (ties: lowest sender rank).
+    fn pick_inbox(&mut self, p: usize, want: Option<usize>) -> Option<usize> {
+        match want {
+            Some(s) => self.inbox[p][s].pop_front(),
+            None => {
+                let mut best: Option<(SimTime, usize)> = None;
+                for s in 0..self.config.nprocs {
+                    if let Some(&m) = self.inbox[p][s].front() {
+                        let at = self.messages[m].delivered_at.expect("inboxed => delivered");
+                        if best.is_none_or(|(bt, _)| at < bt) {
+                            best = Some((at, s));
+                        }
+                    }
+                }
+                best.map(|(_, s)| self.inbox[p][s].pop_front().expect("nonempty"))
+            }
+        }
+    }
+
+    /// Completes a receive of message `m` by process `p` at local time
+    /// `at`; returns the time after the receive (and any forced
+    /// checkpoint).
+    fn consume_message(&mut self, p: usize, m: usize, stmt: StmtId, at: SimTime) -> SimTime {
+        let mut now = at;
+        let piggyback = self.messages[m].piggyback;
+        // A protocol may need several forced checkpoints to catch up
+        // (e.g. index-based CIC when the sender is multiple indices
+        // ahead); re-consult the hooks with the updated sequence number
+        // until they are satisfied, with a generous runaway guard.
+        let mut guard = 0u32;
+        loop {
+            let own_seq = self.procs[p].ckpt_seq;
+            if self.hooks.on_recv(p, piggyback, own_seq, now) != RecvAction::ForceCheckpointFirst {
+                break;
+            }
+            self.take_checkpoint(p, None, None, CkptTrigger::Forced, &mut now);
+            guard += 1;
+            assert!(
+                guard < 100_000,
+                "hooks demanded forced checkpoints without converging"
+            );
+        }
+        let send_vc = self.messages[m].send_vc.clone();
+        let proc = &mut self.procs[p];
+        proc.vc.merge(&send_vc);
+        proc.vc.tick(p);
+        proc.step += 1;
+        now += self.config.cost.instr_overhead_us;
+        let rec = &mut self.messages[m];
+        rec.recv_at = Some(now);
+        rec.recv_vc = Some(self.procs[p].vc.clone());
+        rec.recv_step = Some(self.procs[p].step);
+        rec.recv_stmt = Some(stmt);
+        now
+    }
+
+    fn take_checkpoint(
+        &mut self,
+        p: usize,
+        stmt: Option<StmtId>,
+        label: Option<String>,
+        trigger: CkptTrigger,
+        now: &mut SimTime,
+    ) {
+        let coord = self.hooks.coordination_cost(p, *now);
+        let proc = &mut self.procs[p];
+        proc.vc.tick(p);
+        proc.step += 1;
+        proc.ckpt_seq += 1;
+        let instance = match stmt {
+            Some(sid) => {
+                let e = proc.stmt_instances.entry(sid.0).or_insert(0);
+                *e += 1;
+                *e
+            }
+            None => 0,
+        };
+        let start = *now;
+        let stall = self.config.cost.ckpt_overhead_us + coord.stall_us;
+        let snapshot = Snapshot {
+            pc: proc.pc,
+            vars: proc.env.vars.clone(),
+            vc: proc.vc.clone(),
+            ckpt_seq: proc.ckpt_seq,
+            stmt_instances: proc.stmt_instances.clone(),
+            step: proc.step,
+        };
+        self.checkpoints.push(CheckpointRecord {
+            proc: p,
+            seq: proc.ckpt_seq,
+            stmt,
+            instance,
+            label,
+            trigger,
+            start,
+            durable_at: start + self.config.cost.ckpt_latency_us + coord.stall_us,
+            vc: proc.vc.clone(),
+            step: proc.step,
+            snapshot,
+            rolled_back: false,
+        });
+        *now = start + stall;
+        self.metrics.ckpt_stall_us += stall;
+        self.metrics.control_messages += coord.control_messages;
+        self.metrics.control_bits += coord.control_bits;
+        match trigger {
+            CkptTrigger::AppStatement => self.metrics.app_checkpoints += 1,
+            CkptTrigger::Timer => self.metrics.timer_checkpoints += 1,
+            CkptTrigger::Forced => self.metrics.forced_checkpoints += 1,
+            CkptTrigger::Coordinated => self.metrics.coordinated_checkpoints += 1,
+        }
+    }
+
+    fn deliver(&mut self, m: usize, t: SimTime) {
+        self.messages[m].delivered_at = Some(t);
+        let to = self.messages[m].to;
+        let from = self.messages[m].from;
+        self.inbox[to][from].push_back(m);
+        // Unblock a matching waiter.
+        let (want, stmt, since) = match self.procs[to].state {
+            PState::Blocked { src, stmt, since } => (src, stmt, since),
+            _ => return,
+        };
+        if want.is_some() && want != Some(from) {
+            return;
+        }
+        let m2 = self
+            .pick_inbox(to, want)
+            .expect("arrival just enqueued a candidate");
+        let at = SimTime(t.as_micros().max(since.as_micros()));
+        self.metrics.recv_blocked_us += at - since;
+        self.procs[to].state = PState::Ready;
+        let done = self.consume_message(to, m2, stmt, at);
+        if self.outcome.is_some() {
+            return;
+        }
+        self.procs[to].pc += 1;
+        self.yield_ready(to, done);
+    }
+
+    fn handle_failure(&mut self, p: usize, t: SimTime) {
+        // A failure of an already-halted process (or after global
+        // completion) is ignored.
+        if matches!(self.procs[p].state, PState::Halted)
+            && self
+                .procs
+                .iter()
+                .all(|q| matches!(q.state, PState::Halted))
+        {
+            return;
+        }
+        self.metrics.failures += 1;
+        let live: Vec<Vec<CheckpointRecord>> = (0..self.config.nprocs)
+            .map(|q| {
+                self.checkpoints
+                    .iter()
+                    .filter(|c| c.proc == q && !c.rolled_back)
+                    .cloned()
+                    .collect()
+            })
+            .collect();
+        let view = crate::failure::RecoveryView {
+            live: &live,
+            messages: &self.messages,
+        };
+        let picked = self.picker.pick(&view);
+        // Cut positions (per-process step numbers).
+        let mut cut_step = vec![0u64; self.config.nprocs];
+        let mut restored: Vec<Option<CheckpointRecord>> = vec![None; self.config.nprocs];
+        for q in 0..self.config.nprocs {
+            if let Some(seq) = picked[q] {
+                let c = live[q]
+                    .iter()
+                    .find(|c| c.seq == seq)
+                    .unwrap_or_else(|| panic!("picker chose missing seq {seq} for proc {q}"))
+                    .clone();
+                cut_step[q] = c.snapshot.step;
+                restored[q] = Some(c);
+            }
+        }
+        // Lost work accounting.
+        let mut lost_us = 0u64;
+        #[allow(clippy::needless_range_loop)]
+        for q in 0..self.config.nprocs {
+            let back_to = restored[q].as_ref().map(|c| c.start).unwrap_or(SimTime::ZERO);
+            lost_us += self.procs[q].now.saturating_sub(back_to).as_micros();
+        }
+        // Mark rolled-back records.
+        for c in &mut self.checkpoints {
+            if !c.rolled_back && c.step > cut_step[c.proc] {
+                c.rolled_back = true;
+            }
+        }
+        let resume = t + self.config.cost.recovery_us;
+        self.metrics.recovery_us += self.config.cost.recovery_us * self.config.nprocs as u64;
+        let mut redeliveries: Vec<(usize, SimTime)> = Vec::new();
+        for (i, m) in self.messages.iter_mut().enumerate() {
+            if m.rolled_back {
+                continue;
+            }
+            if m.send_step > cut_step[m.from] {
+                // The send is undone.
+                m.rolled_back = true;
+                continue;
+            }
+            let received_before_cut =
+                m.recv_step.is_some_and(|rs| rs <= cut_step[m.to]);
+            if !received_before_cut {
+                // In transit at the cut: will be re-delivered.
+                m.delivered_at = None;
+                m.recv_at = None;
+                m.recv_vc = None;
+                m.recv_step = None;
+                m.recv_stmt = None;
+                self.msg_token[i] += 1;
+                redeliveries.push((i, resume));
+            }
+        }
+        // Clear channel state.
+        for q in 0..self.config.nprocs {
+            for s in 0..self.config.nprocs {
+                self.inbox[q][s].clear();
+            }
+        }
+        for c in self.chan_last.iter_mut() {
+            *c = SimTime::ZERO;
+        }
+        // Re-schedule in-flight deliveries (fresh jitter, FIFO per
+        // channel preserved by delivery-time monotonicity below).
+        redeliveries.sort_by_key(|&(i, _)| (self.messages[i].from, self.messages[i].send_step));
+        for (i, at) in redeliveries {
+            let m = &self.messages[i];
+            let jitter = if self.config.net.jitter_us > 0 {
+                self.rng.gen_range(0..=self.config.net.jitter_us)
+            } else {
+                0
+            };
+            let chan = m.from * self.config.nprocs + m.to;
+            let deliver_at = SimTime(
+                (at.as_micros() + self.config.net.base_delay_us(m.size_bits) + jitter)
+                    .max(self.chan_last[chan].as_micros()),
+            );
+            self.chan_last[chan] = deliver_at;
+            let token = self.msg_token[i];
+            self.push(deliver_at, Ev::Arrive { msg: i, token });
+        }
+        // Restore processes.
+        #[allow(clippy::needless_range_loop)]
+        for q in 0..self.config.nprocs {
+            self.epochs[q] += 1;
+            let proc = &mut self.procs[q];
+            match &restored[q] {
+                Some(c) => {
+                    proc.pc = c.snapshot.pc;
+                    proc.env.vars = c.snapshot.vars.clone();
+                    proc.vc = c.snapshot.vc.clone();
+                    proc.ckpt_seq = c.snapshot.ckpt_seq;
+                    proc.stmt_instances = c.snapshot.stmt_instances.clone();
+                    proc.step = c.snapshot.step;
+                }
+                None => {
+                    proc.pc = 0;
+                    for v in proc.env.vars.values_mut() {
+                        *v = 0;
+                    }
+                    proc.vc = VectorClock::new(self.config.nprocs);
+                    proc.ckpt_seq = 0;
+                    proc.stmt_instances.clear();
+                    proc.step = 0;
+                }
+            }
+            proc.state = PState::Ready;
+            proc.now = resume;
+            let epoch = self.epochs[q];
+            self.push(resume, Ev::Ready { p: q, epoch });
+        }
+        let latest_seq: Vec<u64> = live
+            .iter()
+            .map(|v| v.last().map(|c| c.seq).unwrap_or(0))
+            .collect();
+        self.failures.push(FailureRecord {
+            proc: p,
+            at: t,
+            restored_seq: picked,
+            latest_seq,
+            lost_us,
+        });
+        self.note_time(resume);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bytecode::compile;
+    use acfc_mpsl::{parse, programs};
+
+    fn quick(src: &str, n: usize) -> Trace {
+        run(&compile(&parse(src).unwrap()), &SimConfig::new(n))
+    }
+
+    #[test]
+    fn empty_program_completes() {
+        let t = quick("program t; compute 1;", 2);
+        assert!(t.completed());
+        assert_eq!(t.metrics.app_messages, 0);
+    }
+
+    #[test]
+    fn single_message_delivered_in_order() {
+        let t = quick(
+            "program t; if rank == 0 { send to 1 size 1000; } else { if rank == 1 { recv from 0; } }",
+            2,
+        );
+        assert!(t.completed());
+        assert_eq!(t.messages.len(), 1);
+        let m = &t.messages[0];
+        assert!(m.is_received());
+        assert!(m.recv_at.unwrap() > m.sent_at);
+        assert!(m.send_vc.happened_before(m.recv_vc.as_ref().unwrap()));
+    }
+
+    #[test]
+    fn fifo_order_preserved_per_channel() {
+        let t = quick(
+            "program t; var i;
+             if rank == 0 {
+               for i in 0..5 { send to 1 size 10000; }
+             } else {
+               if rank == 1 { for i in 0..5 { recv from 0; } }
+             }",
+            2,
+        );
+        assert!(t.completed());
+        let mut recvs: Vec<(SimTime, u64)> = t
+            .messages
+            .iter()
+            .map(|m| (m.recv_at.unwrap(), m.send_step))
+            .collect();
+        recvs.sort();
+        let steps: Vec<u64> = recvs.iter().map(|&(_, s)| s).collect();
+        let mut sorted = steps.clone();
+        sorted.sort();
+        assert_eq!(steps, sorted, "receives out of send order");
+    }
+
+    #[test]
+    fn blocking_recv_waits_for_sender() {
+        let t = quick(
+            "program t;
+             if rank == 0 { compute 100; send to 1 size 8; } else {
+               if rank == 1 { recv from 0; } }",
+            2,
+        );
+        assert!(t.completed());
+        assert!(t.metrics.recv_blocked_us > 0);
+    }
+
+    #[test]
+    fn unmatched_recv_deadlocks() {
+        let t = quick("program t; if rank == 0 { recv from 1; }", 2);
+        assert_eq!(t.outcome, Outcome::Deadlock(vec![0]));
+    }
+
+    #[test]
+    fn runtime_error_on_bad_rank() {
+        let t = quick("program t; send to 99;", 2);
+        assert!(matches!(t.outcome, Outcome::RuntimeError(_, _)));
+    }
+
+    #[test]
+    fn step_limit_stops_infinite_loop() {
+        let mut cfg = SimConfig::new(1);
+        cfg.max_steps_per_proc = 1000;
+        let t = run(&compile(&parse("program t; while 1 { compute 0; }").unwrap()), &cfg);
+        assert!(matches!(t.outcome, Outcome::StepLimit(0)));
+    }
+
+    #[test]
+    fn jacobi_runs_and_checkpoints() {
+        let t = run(&compile(&programs::jacobi(4)), &SimConfig::new(4));
+        assert!(t.completed(), "{:?}", t.outcome);
+        assert_eq!(t.checkpoint_counts(), vec![4, 4, 4, 4]);
+        assert_eq!(t.metrics.app_checkpoints, 16);
+        // 2 sends per proc per iteration.
+        assert_eq!(t.metrics.app_messages, 4 * 4 * 2);
+        assert_eq!(t.aligned_depth(), 4);
+        assert!(t.straight_cut(4).is_some());
+        assert!(t.straight_cut(5).is_none());
+    }
+
+    #[test]
+    fn all_stock_programs_complete() {
+        for p in programs::all_stock() {
+            // fig6 requires even nprocs; use 4 everywhere.
+            let t = run(&compile(&p), &SimConfig::new(4).with_inputs(vec![3, 7]));
+            assert!(t.completed(), "{}: {:?}", p.name, t.outcome);
+        }
+    }
+
+    #[test]
+    fn determinism_same_seed_same_trace() {
+        let p = programs::jacobi_odd_even(3);
+        let c = compile(&p);
+        let t1 = run(&c, &SimConfig::new(4).with_seed(9));
+        let t2 = run(&c, &SimConfig::new(4).with_seed(9));
+        assert_eq!(t1.finished_at, t2.finished_at);
+        assert_eq!(t1.messages.len(), t2.messages.len());
+        for (a, b) in t1.messages.iter().zip(&t2.messages) {
+            assert_eq!(a.sent_at, b.sent_at);
+            assert_eq!(a.recv_at, b.recv_at);
+        }
+    }
+
+    #[test]
+    fn different_seed_changes_timing() {
+        let p = programs::jacobi(3);
+        let c = compile(&p);
+        let t1 = run(&c, &SimConfig::new(4).with_seed(1));
+        let t2 = run(&c, &SimConfig::new(4).with_seed(2));
+        // Jitter differs; makespan almost surely differs.
+        assert_ne!(t1.finished_at, t2.finished_at);
+    }
+
+    #[test]
+    fn vector_clocks_order_checkpoints_causally() {
+        let t = run(&compile(&programs::pingpong_skewed(2)), &SimConfig::new(2));
+        assert!(t.completed());
+        // Rank 0 checkpoints before its send; rank 1 after its recv:
+        // same-iteration checkpoints must be causally ordered.
+        let c0 = t.live_checkpoints(0);
+        let c1 = t.live_checkpoints(1);
+        assert!(c0[0].vc.happened_before(&c1[0].vc));
+    }
+
+    #[test]
+    fn recv_any_consumes_everything() {
+        let t = quick(
+            "program t;
+             if rank == 0 { recv from any; recv from any; } else { send to 0 size 64; }",
+            3,
+        );
+        assert!(t.completed());
+        assert!(t.messages.iter().all(|m| m.is_received()));
+    }
+
+    #[test]
+    fn failure_rolls_back_and_completes() {
+        let p = programs::jacobi(5);
+        let c = compile(&p);
+        let cfg = SimConfig::new(2);
+        // Fail rank 0 mid-run.
+        let plan = FailurePlan::at(vec![(SimTime::from_millis(200), 0)]);
+        let mut hooks = NoHooks;
+        let t = run_with_failures(&c, &cfg, &mut hooks, plan, CutPicker::AlignedSeq);
+        assert!(t.completed(), "{:?}", t.outcome);
+        assert_eq!(t.metrics.failures, 1);
+        assert_eq!(t.failures.len(), 1);
+        // Final live state: every process finished all 5 checkpoints.
+        assert_eq!(t.checkpoint_counts(), vec![5, 5]);
+        // Some checkpoints were rolled back or re-executed.
+        let failure_free = run(&c, &cfg);
+        assert!(t.finished_at > failure_free.finished_at);
+    }
+
+    #[test]
+    fn failure_before_any_checkpoint_restarts_from_scratch() {
+        let p = programs::jacobi(2);
+        let c = compile(&p);
+        let cfg = SimConfig::new(2);
+        let plan = FailurePlan::at(vec![(SimTime::from_micros(100), 1)]);
+        let mut hooks = NoHooks;
+        let t = run_with_failures(&c, &cfg, &mut hooks, plan, CutPicker::AlignedSeq);
+        assert!(t.completed(), "{:?}", t.outcome);
+        assert_eq!(t.failures[0].restored_seq, vec![None, None]);
+        assert_eq!(t.checkpoint_counts(), vec![2, 2]);
+    }
+
+    #[test]
+    fn repeated_failures_still_complete() {
+        let p = programs::ring(4, 256);
+        let c = compile(&p);
+        let cfg = SimConfig::new(3);
+        // ring(4) with 25 ms sweeps finishes in ~100 ms failure-free;
+        // early, closely spaced failures all land inside the
+        // (rollback-extended) run.
+        let plan = FailurePlan::at(vec![
+            (SimTime::from_millis(30), 0),
+            (SimTime::from_millis(60), 1),
+            (SimTime::from_millis(90), 2),
+        ]);
+        let mut hooks = NoHooks;
+        let t = run_with_failures(&c, &cfg, &mut hooks, plan, CutPicker::AlignedSeq);
+        assert!(t.completed(), "{:?}", t.outcome);
+        assert_eq!(t.metrics.failures, 3);
+        assert_eq!(t.checkpoint_counts(), vec![4, 4, 4]);
+    }
+
+    #[test]
+    fn timer_hooks_generate_checkpoints() {
+        use crate::hooks::TimerCheckpoints;
+        let p = programs::jacobi(4);
+        let c = compile(&p);
+        let cfg = SimConfig::new(2);
+        let mut hooks = TimerCheckpoints::new(2, 10_000, 1_000);
+        let t = run_with_hooks(&c, &cfg, &mut hooks);
+        assert!(t.completed());
+        assert_eq!(t.metrics.app_checkpoints, 0, "app statements suppressed");
+        assert!(t.metrics.timer_checkpoints > 0);
+    }
+}

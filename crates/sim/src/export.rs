@@ -1,0 +1,187 @@
+//! Plain-text export of traces.
+//!
+//! The simulator's traces are the evidence base for every claim in this
+//! reproduction; these exporters render them as TSV (for spreadsheets
+//! and plotting) and as a space-time diagram description, so a run can
+//! be inspected without writing Rust. No serialisation dependency is
+//! used on purpose — the formats are trivial and stable.
+
+use crate::trace::{CkptTrigger, Trace};
+use std::fmt::Write;
+
+/// Messages as TSV: one row per message with send/receive timing.
+pub fn messages_tsv(trace: &Trace) -> String {
+    let mut out =
+        String::from("id\tfrom\tto\tbits\tsent_s\tdelivered_s\treceived_s\tpiggyback\trolled_back\n");
+    for m in &trace.messages {
+        let fmt_opt = |t: Option<crate::time::SimTime>| {
+            t.map(|x| format!("{:.6}", x.as_secs_f64()))
+                .unwrap_or_else(|| "-".into())
+        };
+        let _ = writeln!(
+            out,
+            "{}\t{}\t{}\t{}\t{:.6}\t{}\t{}\t{}\t{}",
+            m.id.0,
+            m.from,
+            m.to,
+            m.size_bits,
+            m.sent_at.as_secs_f64(),
+            fmt_opt(m.delivered_at),
+            fmt_opt(m.recv_at),
+            m.piggyback,
+            m.rolled_back,
+        );
+    }
+    out
+}
+
+fn trigger_tag(t: CkptTrigger) -> &'static str {
+    match t {
+        CkptTrigger::AppStatement => "app",
+        CkptTrigger::Timer => "timer",
+        CkptTrigger::Forced => "forced",
+        CkptTrigger::Coordinated => "coordinated",
+    }
+}
+
+/// Checkpoints as TSV: one row per checkpoint with its vector clock.
+pub fn checkpoints_tsv(trace: &Trace) -> String {
+    let mut out = String::from("proc\tseq\ttrigger\tlabel\tstart_s\tdurable_s\tvc\trolled_back\n");
+    for c in &trace.checkpoints {
+        let _ = writeln!(
+            out,
+            "{}\t{}\t{}\t{}\t{:.6}\t{:.6}\t{}\t{}",
+            c.proc,
+            c.seq,
+            trigger_tag(c.trigger),
+            c.label.as_deref().unwrap_or("-"),
+            c.start.as_secs_f64(),
+            c.durable_at.as_secs_f64(),
+            c.vc,
+            c.rolled_back,
+        );
+    }
+    out
+}
+
+/// A compact, human-readable run summary.
+pub fn summary(trace: &Trace) -> String {
+    let m = &trace.metrics;
+    let mut out = String::new();
+    let _ = writeln!(out, "program:    {}", trace.program);
+    let _ = writeln!(out, "processes:  {}", trace.nprocs);
+    let _ = writeln!(out, "outcome:    {:?}", trace.outcome);
+    let _ = writeln!(out, "makespan:   {:.6}s", trace.makespan_secs());
+    let _ = writeln!(
+        out,
+        "messages:   {} app ({} bits), {} control ({} bits)",
+        m.app_messages, m.app_bits, m.control_messages, m.control_bits
+    );
+    let _ = writeln!(
+        out,
+        "checkpoints: {} app, {} timer, {} forced, {} coordinated",
+        m.app_checkpoints, m.timer_checkpoints, m.forced_checkpoints, m.coordinated_checkpoints
+    );
+    let _ = writeln!(
+        out,
+        "stall:      {:.3}ms checkpointing, {:.3}ms blocked in recv",
+        m.ckpt_stall_us as f64 / 1000.0,
+        m.recv_blocked_us as f64 / 1000.0
+    );
+    let _ = writeln!(
+        out,
+        "failures:   {} (recovery charged {:.3}ms)",
+        m.failures,
+        m.recovery_us as f64 / 1000.0
+    );
+    let _ = writeln!(out, "ckpts/proc: {:?}", trace.checkpoint_counts());
+    out
+}
+
+/// A textual space-time diagram: per process, the ordered timeline of
+/// its sends (`s→q`), receives (`r←p`), and checkpoints (`C#`), in the
+/// style of the paper's execution figures (Figures 3, 5, 6).
+pub fn spacetime(trace: &Trace) -> String {
+    #[derive(PartialEq, PartialOrd)]
+    struct Entry(f64, String);
+    let mut lanes: Vec<Vec<Entry>> = (0..trace.nprocs).map(|_| Vec::new()).collect();
+    for m in trace.live_messages() {
+        lanes[m.from].push(Entry(
+            m.sent_at.as_secs_f64(),
+            format!("s→{}", m.to),
+        ));
+        if let Some(at) = m.recv_at {
+            lanes[m.to].push(Entry(at.as_secs_f64(), format!("r←{}", m.from)));
+        }
+    }
+    for c in trace.checkpoints.iter().filter(|c| !c.rolled_back) {
+        lanes[c.proc].push(Entry(c.start.as_secs_f64(), format!("C{}", c.seq)));
+    }
+    let mut out = String::new();
+    for (p, lane) in lanes.iter_mut().enumerate() {
+        lane.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite times"));
+        let _ = write!(out, "P{p}:");
+        for Entry(_, tag) in lane.iter() {
+            let _ = write!(out, " {tag}");
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bytecode::compile;
+    use crate::config::SimConfig;
+    use crate::engine::run;
+    use acfc_mpsl::programs;
+
+    fn trace() -> Trace {
+        run(&compile(&programs::pingpong(2)), &SimConfig::new(2))
+    }
+
+    #[test]
+    fn messages_tsv_has_row_per_message() {
+        let t = trace();
+        let tsv = messages_tsv(&t);
+        assert_eq!(tsv.lines().count(), t.messages.len() + 1);
+        assert!(tsv.starts_with("id\tfrom\tto"));
+        // Every live message was received: no dangling "-" receive.
+        for line in tsv.lines().skip(1) {
+            assert!(!line.contains("\t-\t-\t"), "{line}");
+        }
+    }
+
+    #[test]
+    fn checkpoints_tsv_has_row_per_checkpoint() {
+        let t = trace();
+        let tsv = checkpoints_tsv(&t);
+        assert_eq!(tsv.lines().count(), t.checkpoints.len() + 1);
+        assert!(tsv.contains("app"));
+        assert!(tsv.contains('⟨'), "vector clocks rendered");
+    }
+
+    #[test]
+    fn summary_mentions_the_essentials() {
+        let t = trace();
+        let s = summary(&t);
+        assert!(s.contains("pingpong"));
+        assert!(s.contains("Completed"));
+        assert!(s.contains("ckpts/proc"));
+    }
+
+    #[test]
+    fn spacetime_orders_each_lane() {
+        let t = trace();
+        let st = spacetime(&t);
+        let lines: Vec<&str> = st.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].starts_with("P0:"));
+        // Rank 0 serves first: its first event is the send.
+        assert!(lines[0].contains("s→1"));
+        assert!(lines[1].contains("r←0"));
+        // Checkpoints appear once per iteration.
+        assert_eq!(lines[0].matches('C').count(), 2);
+    }
+}

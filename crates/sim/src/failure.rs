@@ -1,0 +1,240 @@
+//! Failure injection and recovery-line selection.
+//!
+//! Failures follow the paper's model (§4): each process fails
+//! independently with an exponentially distributed time-to-failure of
+//! rate `λ`. On a failure the engine performs a *coordinated rollback*:
+//! every process is restored to the checkpoint chosen by a
+//! [`CutPicker`], in-transit messages at the cut are re-delivered, and
+//! everyone resumes after the recovery overhead `R`.
+
+use crate::time::SimTime;
+use crate::trace::{CheckpointRecord, MessageRecord};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// A schedule of failures to inject: `(time, process)` pairs.
+#[derive(Debug, Clone, Default)]
+pub struct FailurePlan {
+    events: Vec<(SimTime, usize)>,
+}
+
+impl FailurePlan {
+    /// No failures.
+    pub fn none() -> FailurePlan {
+        FailurePlan::default()
+    }
+
+    /// An explicit list of `(time, process)` failures.
+    pub fn at(mut events: Vec<(SimTime, usize)>) -> FailurePlan {
+        events.sort();
+        FailurePlan { events }
+    }
+
+    /// Draws failures with per-process exponential rate
+    /// `lambda_per_sec` over `[0, horizon]`, seeded and deterministic.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lambda_per_sec` is not finite and positive.
+    pub fn exponential(
+        nprocs: usize,
+        lambda_per_sec: f64,
+        horizon: SimTime,
+        seed: u64,
+    ) -> FailurePlan {
+        assert!(
+            lambda_per_sec.is_finite() && lambda_per_sec > 0.0,
+            "lambda must be positive"
+        );
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut events = Vec::new();
+        for p in 0..nprocs {
+            let mut t = 0.0f64;
+            loop {
+                let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+                t += -u.ln() / lambda_per_sec;
+                let us = (t * 1e6) as u64;
+                if us > horizon.as_micros() {
+                    break;
+                }
+                events.push((SimTime(us), p));
+            }
+        }
+        events.sort();
+        FailurePlan { events }
+    }
+
+    /// The planned failures, time-ordered.
+    pub fn events(&self) -> &[(SimTime, usize)] {
+        &self.events
+    }
+
+    /// Number of planned failures.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// `true` when no failures are planned.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+}
+
+/// What a recovery-line picker sees at failure time.
+#[derive(Debug)]
+pub struct RecoveryView<'t> {
+    /// Live checkpoints per process, in `seq` order.
+    pub live: &'t [Vec<CheckpointRecord>],
+    /// All messages so far (check `rolled_back` before using a record).
+    pub messages: &'t [MessageRecord],
+}
+
+/// The signature of a [`CutPicker::Custom`] recovery-line function.
+pub type PickerFn = Box<dyn Fn(&RecoveryView<'_>) -> Vec<Option<u64>> + Send + Sync>;
+
+/// Chooses the recovery line (one checkpoint `seq` per process, `None`
+/// meaning "roll back to the initial state") given each process's live
+/// checkpoints.
+pub enum CutPicker {
+    /// The paper's straight-cut recovery: every process rolls back to
+    /// its `i`-th checkpoint, where `i` is the largest index at which
+    /// **all** processes have a checkpoint. This is the recovery the
+    /// application-driven analysis guarantees to be consistent.
+    AlignedSeq,
+    /// Every process rolls back to its own latest checkpoint. This is
+    /// what coordinated protocols (SaS, C-L) guarantee to be consistent
+    /// because their checkpoints form synchronized waves.
+    LatestPerProcess,
+    /// Custom selection (e.g. the maximal-consistent-line computation
+    /// used by the uncoordinated baseline).
+    Custom(PickerFn),
+}
+
+impl std::fmt::Debug for CutPicker {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CutPicker::AlignedSeq => write!(f, "AlignedSeq"),
+            CutPicker::LatestPerProcess => write!(f, "LatestPerProcess"),
+            CutPicker::Custom(_) => write!(f, "Custom(..)"),
+        }
+    }
+}
+
+impl CutPicker {
+    /// Applies the picker.
+    pub fn pick(&self, view: &RecoveryView<'_>) -> Vec<Option<u64>> {
+        let live = view.live;
+        match self {
+            CutPicker::AlignedSeq => {
+                let depth = live.iter().map(|v| v.len() as u64).min().unwrap_or(0);
+                if depth == 0 {
+                    vec![None; live.len()]
+                } else {
+                    vec![Some(depth); live.len()]
+                }
+            }
+            CutPicker::LatestPerProcess => live
+                .iter()
+                .map(|v| v.last().map(|c| c.seq))
+                .collect(),
+            CutPicker::Custom(f) => {
+                let picked = f(view);
+                assert_eq!(picked.len(), live.len(), "picker returned wrong arity");
+                picked
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clock::VectorClock;
+    use crate::trace::{CkptTrigger, Snapshot};
+    use std::collections::HashMap;
+
+    fn ckpt(proc: usize, seq: u64) -> CheckpointRecord {
+        CheckpointRecord {
+            proc,
+            seq,
+            stmt: None,
+            instance: 0,
+            label: None,
+            trigger: CkptTrigger::AppStatement,
+            start: SimTime::ZERO,
+            durable_at: SimTime::ZERO,
+            vc: VectorClock::new(2),
+            step: seq,
+            snapshot: Snapshot {
+                pc: 0,
+                vars: HashMap::new(),
+                vc: VectorClock::new(2),
+                ckpt_seq: seq,
+                stmt_instances: HashMap::new(),
+                step: seq,
+            },
+            rolled_back: false,
+        }
+    }
+
+    #[test]
+    fn exponential_plan_is_deterministic_and_sorted() {
+        let a = FailurePlan::exponential(4, 0.5, SimTime::from_secs(100), 42);
+        let b = FailurePlan::exponential(4, 0.5, SimTime::from_secs(100), 42);
+        assert_eq!(a.events(), b.events());
+        assert!(a.events().windows(2).all(|w| w[0].0 <= w[1].0));
+        let c = FailurePlan::exponential(4, 0.5, SimTime::from_secs(100), 43);
+        assert_ne!(a.events(), c.events());
+    }
+
+    #[test]
+    fn exponential_rate_roughly_matches() {
+        // rate 1/s over 200s for 1 process: expect ~200 failures.
+        let plan = FailurePlan::exponential(1, 1.0, SimTime::from_secs(200), 7);
+        let n = plan.len() as f64;
+        assert!((140.0..260.0).contains(&n), "{n}");
+    }
+
+    #[test]
+    fn aligned_seq_uses_min_depth() {
+        let live = vec![
+            vec![ckpt(0, 1), ckpt(0, 2), ckpt(0, 3)],
+            vec![ckpt(1, 1), ckpt(1, 2)],
+        ];
+        assert_eq!(CutPicker::AlignedSeq.pick(&RecoveryView { live: &live, messages: &[] }), vec![Some(2), Some(2)]);
+    }
+
+    #[test]
+    fn aligned_seq_empty_means_initial() {
+        let live = vec![vec![ckpt(0, 1)], vec![]];
+        assert_eq!(CutPicker::AlignedSeq.pick(&RecoveryView { live: &live, messages: &[] }), vec![None, None]);
+    }
+
+    #[test]
+    fn latest_per_process() {
+        let live = vec![vec![ckpt(0, 1), ckpt(0, 2)], vec![]];
+        assert_eq!(
+            CutPicker::LatestPerProcess.pick(&RecoveryView { live: &live, messages: &[] }),
+            vec![Some(2), None]
+        );
+    }
+
+    #[test]
+    fn custom_picker_invoked() {
+        let picker = CutPicker::Custom(Box::new(|view| vec![None; view.live.len()]));
+        let live = vec![vec![ckpt(0, 1)]];
+        assert_eq!(picker.pick(&RecoveryView { live: &live, messages: &[] }), vec![None]);
+    }
+
+    #[test]
+    fn explicit_plan_sorts() {
+        let plan = FailurePlan::at(vec![
+            (SimTime::from_secs(5), 1),
+            (SimTime::from_secs(2), 0),
+        ]);
+        assert_eq!(plan.events()[0].1, 0);
+        assert_eq!(plan.len(), 2);
+        assert!(!plan.is_empty());
+        assert!(FailurePlan::none().is_empty());
+    }
+}

@@ -1,0 +1,202 @@
+//! Post-hoc trace statistics: where did the time go, and who talked to
+//! whom. Used by the examples and benches to report utilisation
+//! breakdowns alongside the paper's overhead ratios.
+
+use crate::time::SimTime;
+use crate::trace::Trace;
+use std::fmt::Write;
+
+/// Per-process time breakdown (microseconds).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ProcBreakdown {
+    /// Time blocked waiting in `recv`.
+    pub blocked_us: u64,
+    /// Time stalled taking checkpoints (o per checkpoint, from records).
+    pub ckpt_us: u64,
+    /// End of the process's activity.
+    pub end_us: u64,
+}
+
+/// Aggregated trace statistics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceStats {
+    /// Per-process breakdowns.
+    pub procs: Vec<ProcBreakdown>,
+    /// `traffic[from][to]` = live bits sent on the channel.
+    pub traffic_bits: Vec<Vec<u64>>,
+    /// Live message count.
+    pub messages: u64,
+    /// Mean network latency of received live messages, µs.
+    pub mean_latency_us: f64,
+    /// Maximum network latency, µs.
+    pub max_latency_us: u64,
+    /// Mean interval between consecutive checkpoints of the same
+    /// process, µs (0 if fewer than two checkpoints anywhere).
+    pub mean_ckpt_interval_us: f64,
+}
+
+/// Computes statistics over the live events of a trace.
+pub fn trace_stats(trace: &Trace) -> TraceStats {
+    let n = trace.nprocs;
+    let mut procs = vec![ProcBreakdown::default(); n];
+    for (p, breakdown) in procs.iter_mut().enumerate() {
+        breakdown.end_us = trace.proc_end[p].as_micros();
+    }
+    let mut traffic_bits = vec![vec![0u64; n]; n];
+    let mut messages = 0u64;
+    let mut lat_sum = 0u128;
+    let mut lat_n = 0u64;
+    let mut lat_max = 0u64;
+    for m in trace.live_messages() {
+        traffic_bits[m.from][m.to] += m.size_bits;
+        messages += 1;
+        if let Some(at) = m.recv_at {
+            let lat = at.saturating_sub(m.sent_at).as_micros();
+            lat_sum += lat as u128;
+            lat_n += 1;
+            lat_max = lat_max.max(lat);
+            // Blocked time approximation: receive completion minus
+            // delivery is bookkeeping; the engine's metric holds the
+            // exact number. Here we attribute per process from the
+            // trace where possible.
+        }
+    }
+    // Checkpoint stall per process and inter-checkpoint intervals.
+    let mut interval_sum = 0u128;
+    let mut interval_n = 0u64;
+    #[allow(clippy::needless_range_loop)]
+    for p in 0..n {
+        let ckpts = trace.live_checkpoints(p);
+        for c in &ckpts {
+            // The per-record stall is `durable - start` capped by the
+            // configured overhead; the precise stall (o + coordination)
+            // is in the metrics aggregate. Use start-to-durable as the
+            // storage-latency view.
+            procs[p].ckpt_us += c.durable_at.saturating_sub(c.start).as_micros();
+        }
+        for w in ckpts.windows(2) {
+            interval_sum += (w[1].start.saturating_sub(w[0].start)).as_micros() as u128;
+            interval_n += 1;
+        }
+    }
+    // Engine-exact blocked time is global; attribute it evenly as an
+    // upper-level summary (per-process blocked time would need
+    // per-event records, which the trace intentionally keeps lean).
+    let per_proc_blocked = trace.metrics.recv_blocked_us / n as u64;
+    for b in &mut procs {
+        b.blocked_us = per_proc_blocked;
+    }
+    TraceStats {
+        procs,
+        traffic_bits,
+        messages,
+        mean_latency_us: if lat_n > 0 {
+            lat_sum as f64 / lat_n as f64
+        } else {
+            0.0
+        },
+        max_latency_us: lat_max,
+        mean_ckpt_interval_us: if interval_n > 0 {
+            interval_sum as f64 / interval_n as f64
+        } else {
+            0.0
+        },
+    }
+}
+
+/// Renders statistics as text.
+pub fn render_stats(stats: &TraceStats) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "messages: {} (mean latency {:.1} µs, max {} µs); mean checkpoint interval {:.1} ms",
+        stats.messages,
+        stats.mean_latency_us,
+        stats.max_latency_us,
+        stats.mean_ckpt_interval_us / 1000.0
+    );
+    for (p, b) in stats.procs.iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "P{p}: active to {:.3}s, ~{:.1} ms blocked in recv, {:.1} ms in checkpoint latency",
+            SimTime(b.end_us).as_secs_f64(),
+            b.blocked_us as f64 / 1000.0,
+            b.ckpt_us as f64 / 1000.0
+        );
+    }
+    let _ = writeln!(out, "traffic (bits):");
+    for (from, row) in stats.traffic_bits.iter().enumerate() {
+        let _ = write!(out, "  P{from} ->");
+        for (to, bits) in row.iter().enumerate() {
+            if *bits > 0 {
+                let _ = write!(out, " P{to}:{bits}");
+            }
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bytecode::compile;
+    use crate::config::SimConfig;
+    use crate::engine::run;
+    use acfc_mpsl::programs;
+
+    #[test]
+    fn ring_traffic_matrix_is_a_ring() {
+        let t = run(&compile(&programs::ring(4, 1000)), &SimConfig::new(4));
+        let s = trace_stats(&t);
+        assert_eq!(s.messages, 16);
+        for p in 0..4usize {
+            let right = (p + 1) % 4;
+            assert_eq!(s.traffic_bits[p][right], 4 * 1000);
+            // Nothing off-ring.
+            for q in 0..4 {
+                if q != right {
+                    assert_eq!(s.traffic_bits[p][q], 0, "({p},{q})");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn latencies_are_positive_and_bounded() {
+        let t = run(&compile(&programs::jacobi(3)), &SimConfig::new(4));
+        let s = trace_stats(&t);
+        assert!(s.mean_latency_us > 0.0);
+        assert!(s.max_latency_us as f64 >= s.mean_latency_us);
+        // Base delay is setup 100µs + ~4µs transmission (+ jitter ≤ 20 + FIFO queueing).
+        assert!(s.mean_latency_us >= 100.0);
+    }
+
+    #[test]
+    fn checkpoint_intervals_reflect_iteration_cadence() {
+        let t = run(&compile(&programs::jacobi(5)), &SimConfig::new(2));
+        let s = trace_stats(&t);
+        // One checkpoint per ~50ms sweep (+ exchange + o).
+        assert!(s.mean_ckpt_interval_us > 50_000.0);
+        assert!(s.mean_ckpt_interval_us < 80_000.0, "{}", s.mean_ckpt_interval_us);
+    }
+
+    #[test]
+    fn render_is_complete() {
+        let t = run(&compile(&programs::pingpong(2)), &SimConfig::new(2));
+        let text = render_stats(&trace_stats(&t));
+        assert!(text.contains("messages: 4"));
+        assert!(text.contains("P0 ->"));
+        assert!(text.contains("P1 -> P0:"));
+    }
+
+    #[test]
+    fn no_messages_means_zero_latency() {
+        let p = acfc_mpsl::parse("program t; compute 5; checkpoint;").unwrap();
+        let t = run(&compile(&p), &SimConfig::new(2));
+        let s = trace_stats(&t);
+        assert_eq!(s.messages, 0);
+        assert_eq!(s.mean_latency_us, 0.0);
+        assert_eq!(s.mean_ckpt_interval_us, 0.0);
+    }
+}

@@ -1,0 +1,113 @@
+//! Simulated time.
+//!
+//! The engine is a discrete-event simulator; time is a `u64` count of
+//! **microseconds** since the start of the run. Microsecond resolution is
+//! fine-grained enough for the paper's parameters (checkpoint overheads
+//! are seconds, message setup times are milliseconds) while keeping the
+//! arithmetic exact and the runs bit-for-bit reproducible.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// A point in simulated time (microseconds since run start).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimTime(pub u64);
+
+impl SimTime {
+    /// Time zero.
+    pub const ZERO: SimTime = SimTime(0);
+
+    /// Builds a time from whole seconds.
+    pub fn from_secs(s: u64) -> SimTime {
+        SimTime(s * 1_000_000)
+    }
+
+    /// Builds a time from milliseconds.
+    pub fn from_millis(ms: u64) -> SimTime {
+        SimTime(ms * 1_000)
+    }
+
+    /// Builds a time from microseconds.
+    pub fn from_micros(us: u64) -> SimTime {
+        SimTime(us)
+    }
+
+    /// The value in microseconds.
+    pub fn as_micros(self) -> u64 {
+        self.0
+    }
+
+    /// The value in (fractional) seconds.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e6
+    }
+
+    /// Saturating difference.
+    pub fn saturating_sub(self, other: SimTime) -> SimTime {
+        SimTime(self.0.saturating_sub(other.0))
+    }
+}
+
+impl Add<u64> for SimTime {
+    type Output = SimTime;
+    fn add(self, us: u64) -> SimTime {
+        SimTime(self.0 + us)
+    }
+}
+
+impl AddAssign<u64> for SimTime {
+    fn add_assign(&mut self, us: u64) {
+        self.0 += us;
+    }
+}
+
+impl Sub for SimTime {
+    type Output = u64;
+    fn sub(self, other: SimTime) -> u64 {
+        self.0
+            .checked_sub(other.0)
+            .expect("SimTime subtraction underflow")
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.6}s", self.as_secs_f64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions() {
+        assert_eq!(SimTime::from_secs(2).as_micros(), 2_000_000);
+        assert_eq!(SimTime::from_millis(3).as_micros(), 3_000);
+        assert_eq!(SimTime::from_micros(7).as_micros(), 7);
+        assert!((SimTime::from_millis(1500).as_secs_f64() - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let t = SimTime::from_micros(10);
+        assert_eq!((t + 5).as_micros(), 15);
+        let mut u = t;
+        u += 2;
+        assert_eq!(u.as_micros(), 12);
+        assert_eq!(u - t, 2);
+        assert_eq!(t.saturating_sub(u), SimTime::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "underflow")]
+    fn sub_underflow_panics() {
+        let _ = SimTime(1) - SimTime(2);
+    }
+
+    #[test]
+    fn ordering_and_display() {
+        assert!(SimTime(1) < SimTime(2));
+        assert_eq!(SimTime::from_secs(1).to_string(), "1.000000s");
+    }
+}

@@ -1,0 +1,68 @@
+//! Tuning the user-programmable knobs (§4: "`T` and `n` are the only
+//! parameters that a user can program"): the overhead-minimising
+//! checkpoint interval per protocol, the sensitivity of the overhead
+//! ratio to each model parameter, and the two-level recovery extension.
+//!
+//! ```text
+//! cargo run --example interval_tuning
+//! ```
+
+use acfc::perfmodel::{
+    optimal_interval_for, optimal_k, sensitivity, single_level_ratio, twolevel_ratio_analytic,
+    IntervalParams, ModelParams, ModelProtocol, TwoLevelParams,
+};
+
+fn main() {
+    let params = ModelParams::default();
+
+    println!("optimal checkpoint interval T* per protocol (golden-section on the exact ratio):");
+    println!("{:<14} {:>6} {:>12} {:>12} {:>12}", "protocol", "n", "T* (s)", "Young (s)", "r(T*)");
+    for n in [8usize, 64, 256] {
+        for proto in ModelProtocol::all() {
+            let opt = optimal_interval_for(&params, proto, n);
+            println!(
+                "{:<14} {:>6} {:>12.1} {:>12.1} {:>12.4e}",
+                proto.name(),
+                n,
+                opt.t_star,
+                opt.young,
+                opt.ratio
+            );
+        }
+    }
+
+    println!("\nsensitivity of r to each parameter at the paper's operating point");
+    println!("(elasticities: +1 means a 1% parameter increase raises r by ~1%):");
+    let p = IntervalParams {
+        lambda: params.lambda(64),
+        t: params.t,
+        o_total: params.o,
+        l_total: params.l,
+        r_recovery: params.r_recovery,
+    };
+    let s = sensitivity(&p);
+    println!("  dr/dλ: {:+.4}   dr/dT: {:+.4}   dr/dO: {:+.4}   dr/dL: {:+.4}   dr/dR: {:+.4}",
+        s.lambda, s.t, s.o_total, s.l_total, s.r_recovery);
+
+    println!("\ntwo-level recovery (refs [24, 25]): cheap local checkpoints,");
+    println!("stable storage every k-th — overhead ratio vs. k:");
+    let tl = TwoLevelParams {
+        lambda_single: 5e-5,
+        lambda_cat: 1e-6,
+        t: 300.0,
+        o1: 0.2,
+        o2: params.o,
+        r1: 0.5,
+        r2: params.r_recovery,
+        k: 1,
+    };
+    println!("  single-level (k=1): {:.4e}", single_level_ratio(&tl));
+    for k in [2u32, 4, 8, 16, 32] {
+        println!(
+            "  k = {k:>2}:             {:.4e}",
+            twolevel_ratio_analytic(&TwoLevelParams { k, ..tl })
+        );
+    }
+    let (k_star, best) = optimal_k(&tl, 256);
+    println!("  optimum: k* = {k_star} with ratio {best:.4e}");
+}

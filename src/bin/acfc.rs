@@ -1,0 +1,296 @@
+//! The `acfc` command-line tool.
+//!
+//! ```text
+//! acfc check   <file.mpsl> [--nprocs N]          # parse, validate, check Condition 1
+//! acfc analyze <file.mpsl> [--nprocs N] [--emit] [--dot]
+//! acfc run     <file.mpsl> [--nprocs N] [--seed S] [--analyze] [--input V]...
+//! acfc mpmd    <name> <file.mpsl@FIRST[-LAST]>... # combine MPMD roles into SPMD
+//! acfc figures                                    # regenerate Figures 8 and 9
+//! ```
+//!
+//! `check` reports whether the program's checkpoint placement already
+//! guarantees recovery lines; `analyze` runs the full three-phase
+//! pipeline and prints the report (`--emit` prints the transformed
+//! source, `--dot` the extended CFG in Graphviz form); `run` executes
+//! on the simulator and verifies every straight cut.
+
+use acfc::cfg::build_cfg;
+use acfc::core::{
+    analyze, analyze_iddep, check_condition1, compute_attrs, index_checkpoints, match_send_recv,
+    AnalysisConfig, ExtendedCfg, LoopPolicy, MatchingMode,
+};
+use acfc::mpsl::{parse, to_source, validate};
+use acfc::perfmodel::{
+    figure8, figure8_default_ns, figure9, figure9_default_wms, to_tsv, ModelParams,
+};
+use acfc::sim::{compile, consistency, run, SimConfig};
+use std::process::ExitCode;
+
+struct Args {
+    positional: Vec<String>,
+    nprocs: usize,
+    seed: u64,
+    emit: bool,
+    dot: bool,
+    do_analyze: bool,
+    inputs: Vec<i64>,
+    failure_rate: Option<f64>,
+    trace: bool,
+}
+
+fn parse_args(mut argv: std::env::Args) -> Result<(String, Args), String> {
+    let _ = argv.next();
+    let cmd = argv.next().ok_or_else(usage)?;
+    let mut args = Args {
+        positional: Vec::new(),
+        nprocs: 4,
+        seed: 0xACFC,
+        emit: false,
+        dot: false,
+        do_analyze: false,
+        inputs: Vec::new(),
+        failure_rate: None,
+        trace: false,
+    };
+    let mut it = argv.peekable();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--nprocs" | "-n" => {
+                args.nprocs = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or("--nprocs needs a number")?;
+            }
+            "--seed" => {
+                args.seed = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or("--seed needs a number")?;
+            }
+            "--input" => {
+                args.inputs.push(
+                    it.next()
+                        .and_then(|v| v.parse().ok())
+                        .ok_or("--input needs a number")?,
+                );
+            }
+            "--failure-rate" => {
+                args.failure_rate = Some(
+                    it.next()
+                        .and_then(|v| v.parse().ok())
+                        .ok_or("--failure-rate needs a number (per second)")?,
+                );
+            }
+            "--emit" => args.emit = true,
+            "--dot" => args.dot = true,
+            "--trace" => args.trace = true,
+            "--analyze" => args.do_analyze = true,
+            flag if flag.starts_with('-') => return Err(format!("unknown flag {flag}")),
+            _ => args.positional.push(a),
+        }
+    }
+    Ok((cmd, args))
+}
+
+fn usage() -> String {
+    "usage: acfc <check|analyze|run|mpmd|figures> [file.mpsl] [--nprocs N] [--seed S] \
+     [--emit] [--dot] [--trace] [--analyze] [--input V]... [--failure-rate L]"
+        .to_string()
+}
+
+fn load(args: &Args) -> Result<acfc::mpsl::Program, String> {
+    let path = args
+        .positional
+        .first()
+        .ok_or("missing program file argument")?;
+    let src = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let program = parse(&src).map_err(|e| format!("{path}:{e}"))?;
+    let errors = validate(&program);
+    if !errors.is_empty() {
+        let msgs: Vec<String> = errors.iter().map(|e| e.to_string()).collect();
+        return Err(format!("{path}: {}", msgs.join("; ")));
+    }
+    Ok(program)
+}
+
+fn cmd_check(args: &Args) -> Result<(), String> {
+    let program = load(args)?;
+    let (cfg, lowered) = build_cfg(&program);
+    let iddep = analyze_iddep(&cfg, &lowered);
+    let attrs = compute_attrs(&cfg, args.nprocs, &iddep);
+    let matching = match_send_recv(&cfg, &attrs, &iddep, MatchingMode::FifoOrdered);
+    let index = index_checkpoints(&cfg, &lowered);
+    let g = ExtendedCfg::build(cfg, &matching);
+    let violations = check_condition1(&g, &index, LoopPolicy::Optimized);
+    println!(
+        "{}: {} checkpoint statement(s), {} message edge(s) at n={}",
+        program.name,
+        program.checkpoint_ids().len(),
+        g.message_edges.len(),
+        args.nprocs
+    );
+    if violations.is_empty() {
+        println!("OK: every straight cut of checkpoints is a recovery line (Condition 1 holds)");
+        Ok(())
+    } else {
+        println!("UNSAFE: {} Condition-1 violation(s):", violations.len());
+        print!("{}", acfc::core::explain_violations(&g, &violations));
+        println!("run `acfc analyze` to relocate the checkpoints");
+        Err("placement is unsafe".into())
+    }
+}
+
+fn analysis_config(args: &Args) -> AnalysisConfig {
+    let mut cfg = AnalysisConfig::for_nprocs(args.nprocs);
+    if let Some(rate) = args.failure_rate {
+        // The Phase-I insertion interval follows Young's formula from
+        // the failure rate (per second → per cost unit, 1 unit = 1 ms).
+        if let Some(ic) = &mut cfg.insertion {
+            ic.failure_rate_per_unit = rate / 1000.0;
+        }
+    }
+    cfg
+}
+
+fn cmd_analyze(args: &Args) -> Result<(), String> {
+    let program = load(args)?;
+    let analysis = analyze(&program, &analysis_config(args))
+        .map_err(|e| e.to_string())?;
+    print!("{}", analysis.report());
+    if args.emit {
+        println!("--- transformed program ---");
+        print!("{}", to_source(&analysis.program));
+    }
+    if args.dot {
+        println!("--- extended CFG (Graphviz) ---");
+        print!("{}", analysis.to_dot());
+    }
+    Ok(())
+}
+
+fn cmd_run(args: &Args) -> Result<(), String> {
+    let mut program = load(args)?;
+    if args.do_analyze {
+        let analysis = analyze(&program, &analysis_config(args))
+            .map_err(|e| e.to_string())?;
+        program = analysis.program;
+    }
+    let cfg = SimConfig::new(args.nprocs)
+        .with_seed(args.seed)
+        .with_inputs(args.inputs.clone());
+    let trace = run(&compile(&program), &cfg);
+    println!(
+        "{}: n={} seed={} -> {:?} in {:.4}s simulated",
+        program.name,
+        args.nprocs,
+        args.seed,
+        trace.outcome,
+        trace.makespan_secs()
+    );
+    println!(
+        "messages: {} ({} bits); checkpoints per process: {:?}",
+        trace.metrics.app_messages,
+        trace.metrics.app_bits,
+        trace.checkpoint_counts()
+    );
+    if args.trace {
+        println!("--- summary ---\n{}", acfc::sim::summary(&trace));
+        println!("--- space-time diagram ---\n{}", acfc::sim::spacetime(&trace));
+    }
+    if !trace.completed() {
+        return Err("run did not complete".into());
+    }
+    let bad = consistency::straight_cut_failures(&trace);
+    if bad.is_empty() {
+        println!(
+            "every straight cut (1..={}) is a recovery line",
+            trace.aligned_depth()
+        );
+        Ok(())
+    } else {
+        println!("straight cuts {bad:?} are NOT recovery lines");
+        Err("inconsistent straight cuts".into())
+    }
+}
+
+/// `acfc mpmd <name> <file@spec>...` — combine per-role programs
+/// (the paper's §3 MPMD remark) and print the resulting SPMD program.
+/// A spec is `FIRST` (single rank), `FIRST-LAST`, or `FIRST-` (rest).
+fn cmd_mpmd(args: &Args) -> Result<(), String> {
+    use acfc::mpsl::mpmd::{combine, Role};
+    let name = args.positional.first().ok_or("missing output program name")?;
+    if args.positional.len() < 3 {
+        return Err("need at least two role files (file.mpsl@SPEC)".into());
+    }
+    let mut roles = Vec::new();
+    for spec in &args.positional[1..] {
+        let (path, ranks) = spec
+            .split_once('@')
+            .ok_or_else(|| format!("role `{spec}` must be file.mpsl@FIRST[-LAST]"))?;
+        let src = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+        let program = parse(&src).map_err(|e| format!("{path}:{e}"))?;
+        let role = match ranks.split_once('-') {
+            None => {
+                let first: i64 = ranks.parse().map_err(|_| format!("bad rank in `{spec}`"))?;
+                Role::new(program, first, first)
+            }
+            Some((first, "")) => Role::rest(
+                program,
+                first.parse().map_err(|_| format!("bad rank in `{spec}`"))?,
+            ),
+            Some((first, last)) => Role::new(
+                program,
+                first.parse().map_err(|_| format!("bad rank in `{spec}`"))?,
+                last.parse().map_err(|_| format!("bad rank in `{spec}`"))?,
+            ),
+        };
+        roles.push(role);
+    }
+    let combined = combine(name, roles).map_err(|e| e.to_string())?;
+    let errors = validate(&combined);
+    if !errors.is_empty() {
+        let msgs: Vec<String> = errors.iter().map(|e| e.to_string()).collect();
+        return Err(format!("combined program invalid: {}", msgs.join("; ")));
+    }
+    print!("{}", to_source(&combined));
+    Ok(())
+}
+
+fn cmd_figures() {
+    let params = ModelParams::default();
+    println!("# Figure 8 — overhead ratio vs. number of processes");
+    print!("{}", to_tsv("n", &figure8(&params, &figure8_default_ns())));
+    println!("# Figure 9 — overhead ratio vs. w_m (n = 64)");
+    print!(
+        "{}",
+        to_tsv("w_m", &figure9(&params, 64, &figure9_default_wms()))
+    );
+}
+
+fn main() -> ExitCode {
+    let (cmd, args) = match parse_args(std::env::args()) {
+        Ok(x) => x,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::from(2);
+        }
+    };
+    let result = match cmd.as_str() {
+        "check" => cmd_check(&args),
+        "analyze" => cmd_analyze(&args),
+        "run" => cmd_run(&args),
+        "mpmd" => cmd_mpmd(&args),
+        "figures" => {
+            cmd_figures();
+            Ok(())
+        }
+        other => Err(format!("unknown command `{other}`\n{}", usage())),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,166 @@
+//! One assertion per figure of the paper — the reproduction index.
+//!
+//! | Figure | What it shows | Checked here by |
+//! |--------|---------------|-----------------|
+//! | 1 | uniform Jacobi: straight cuts are recovery lines | simulation |
+//! | 2 | odd/even Jacobi CFG: two `C₁` nodes in different arms | CFG structure |
+//! | 3 | an execution whose straight cut is inconsistent | simulation |
+//! | 4 | the extended CFG's message edges cross the parity arms | Phase II |
+//! | 5 | straight-line cross-arm path ⇒ violation | Condition 1 |
+//! | 6 | back-edge path with a loopless endpoint ⇒ violation | Condition 1 |
+//! | 7 | the interval Markov chain and its closed form agree | perfmodel |
+//! | 8 | overhead ratio vs. n: appl-driven lowest, all growing | perfmodel |
+//! | 9 | overhead ratio vs. w_m: appl-driven flat, others growing | perfmodel |
+
+use acfc_cfg::build_cfg;
+use acfc_core::{
+    analyze, analyze_iddep, check_condition1, compute_attrs, index_checkpoints, match_send_recv,
+    AnalysisConfig, ExtendedCfg, LoopPolicy, MatchingMode,
+};
+use acfc_mpsl::programs;
+use acfc_perfmodel::{
+    figure8, figure8_default_ns, figure9, figure9_default_wms, gamma_closed_form, gamma_markov,
+    IntervalParams, ModelParams,
+};
+use acfc_sim::{compile, consistency, run, SimConfig};
+
+#[test]
+fn figure_1_uniform_jacobi_is_safe_as_written() {
+    let p = programs::jacobi(6);
+    let analysis = analyze(&p, &AnalysisConfig::for_nprocs(8)).unwrap();
+    assert!(analysis.was_already_safe(), "Figure 1 needs no repair");
+    for n in [2usize, 4, 8] {
+        let t = run(&compile(&p), &SimConfig::new(n));
+        assert!(t.completed());
+        assert!(consistency::all_straight_cuts_consistent(&t));
+    }
+}
+
+#[test]
+fn figure_2_odd_even_jacobi_has_two_c1_nodes() {
+    let p = programs::jacobi_odd_even(6);
+    let (cfg, lowered) = build_cfg(&p);
+    let idx = index_checkpoints(&cfg, &lowered);
+    let chks = cfg.checkpoint_nodes();
+    assert_eq!(chks.len(), 2);
+    for c in &chks {
+        assert_eq!((idx.ranges[c].min, idx.ranges[c].max), (1, 1));
+    }
+}
+
+#[test]
+fn figure_3_execution_with_inconsistent_straight_cut() {
+    let p = programs::jacobi_odd_even(6);
+    let t = run(&compile(&p), &SimConfig::new(4));
+    assert!(t.completed());
+    let bad = consistency::straight_cut_failures(&t);
+    assert!(!bad.is_empty(), "Figure 3's inconsistency must appear");
+    // The direction matches the figure: even ranks' checkpoints happen
+    // before the odd ranks' same-index checkpoints.
+    let cut = consistency::resolve_cut(&t, &[bad[0]; 4]).unwrap();
+    let v = consistency::cut_violations(&cut);
+    assert!(v.iter().all(|x| x.earlier_proc % 2 == 0 && x.later_proc % 2 == 1));
+}
+
+#[test]
+fn figure_4_message_edges_cross_the_parity_arms() {
+    let p = programs::jacobi_odd_even(6);
+    let (cfg, lowered) = build_cfg(&p);
+    let iddep = analyze_iddep(&cfg, &lowered);
+    let attrs = compute_attrs(&cfg, 8, &iddep);
+    let m = match_send_recv(&cfg, &attrs, &iddep, MatchingMode::FifoOrdered);
+    assert!(!m.edges.is_empty());
+    assert!(m.unmatched_recvs.is_empty());
+    for e in &m.edges {
+        let s_even = attrs.of(e.send).contains(0);
+        let r_even = attrs.of(e.recv).contains(0);
+        assert_ne!(s_even, r_even, "Figure 4's edges cross the arms");
+    }
+}
+
+#[test]
+fn figure_5_forward_cross_path_is_a_violation() {
+    let p = programs::fig5();
+    let (cfg, lowered) = build_cfg(&p);
+    let iddep = analyze_iddep(&cfg, &lowered);
+    let attrs = compute_attrs(&cfg, 8, &iddep);
+    let m = match_send_recv(&cfg, &attrs, &iddep, MatchingMode::FifoOrdered);
+    let idx = index_checkpoints(&cfg, &lowered);
+    let g = ExtendedCfg::build(cfg, &m);
+    let v = check_condition1(&g, &idx, LoopPolicy::Optimized);
+    assert_eq!(v.len(), 1);
+    assert!(!v[0].only_via_back_edge);
+    // And the execution confirms it.
+    let t = run(&compile(&p), &SimConfig::new(4));
+    assert!(!consistency::all_straight_cuts_consistent(&t));
+}
+
+#[test]
+fn figure_6_back_edge_path_is_a_violation() {
+    let p = programs::fig6(4);
+    let (cfg, lowered) = build_cfg(&p);
+    let iddep = analyze_iddep(&cfg, &lowered);
+    let attrs = compute_attrs(&cfg, 8, &iddep);
+    let m = match_send_recv(&cfg, &attrs, &iddep, MatchingMode::FifoOrdered);
+    let idx = index_checkpoints(&cfg, &lowered);
+    let g = ExtendedCfg::build(cfg, &m);
+    let v = check_condition1(&g, &idx, LoopPolicy::Optimized);
+    assert_eq!(v.len(), 1, "{v:?}");
+    assert!(
+        v[0].only_via_back_edge,
+        "Figure 6's path crosses the loop's backward edge"
+    );
+    // The paper: if B fails right after a send, R₁ is not a recovery
+    // line — the latest same-index checkpoints are causally ordered.
+    let t = run(&compile(&p), &SimConfig::new(2));
+    assert!(t.completed());
+    let a_latest = t.live_checkpoints(0).last().unwrap().vc.clone();
+    let b_latest = t.live_checkpoints(1).last().unwrap().vc.clone();
+    assert!(
+        b_latest.happened_before(&a_latest),
+        "B's checkpoint precedes A's latest"
+    );
+}
+
+#[test]
+fn figure_7_chain_and_closed_form_agree() {
+    let p = IntervalParams {
+        lambda: 1e-4,
+        t: 300.0,
+        o_total: 1.78,
+        l_total: 4.292,
+        r_recovery: 3.32,
+    };
+    let cf = gamma_closed_form(&p);
+    let mk = gamma_markov(&p);
+    assert!((cf - mk).abs() / mk < 1e-9);
+    // Γ exceeds T+O (failures only add time).
+    assert!(cf > p.t + p.o_total);
+}
+
+#[test]
+fn figure_8_shape() {
+    let rows = figure8(&ModelParams::default(), &figure8_default_ns());
+    for w in rows.windows(2) {
+        assert!(w[1].app_driven > w[0].app_driven, "growing in n");
+        assert!(w[1].sas > w[0].sas);
+        assert!(w[1].chandy_lamport > w[0].chandy_lamport);
+    }
+    for r in &rows {
+        assert!(r.app_driven < r.sas, "appl-driven lowest (n={})", r.x);
+        assert!(r.app_driven < r.chandy_lamport);
+    }
+}
+
+#[test]
+fn figure_9_shape() {
+    let rows = figure9(&ModelParams::default(), 64, &figure9_default_wms());
+    let r0 = rows[0].app_driven;
+    for r in &rows {
+        assert!((r.app_driven - r0).abs() < 1e-15, "appl-driven flat in w_m");
+    }
+    for w in rows.windows(2) {
+        assert!(w[1].sas > w[0].sas, "SaS grows with w_m");
+        assert!(w[1].chandy_lamport > w[0].chandy_lamport, "C-L grows with w_m");
+    }
+}

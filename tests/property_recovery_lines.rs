@@ -1,0 +1,259 @@
+//! Property-based validation of the paper's central theorem (E1 in
+//! `EXPERIMENTS.md`).
+//!
+//! A generator produces random — but deadlock-free by construction —
+//! SPMD programs from a vocabulary of communication idioms (neighbour
+//! exchanges, chain pipelines, gathers, ring shifts) with checkpoints
+//! sprinkled at *adversarial* positions (including the Figure-2 style
+//! parity-dependent placements). Each program is pushed through the
+//! full offline pipeline and then executed on the simulator across
+//! process counts and seeds; the property is Theorem 3.2: **every
+//! straight cut of checkpoints in every execution is a recovery
+//! line** — checked both with vector clocks and with the independent
+//! orphan-message oracle.
+
+use acfc_core::{analyze, AnalysisConfig};
+use acfc_mpsl::builder::{e, BlockBuilder, ProgramBuilder};
+use acfc_mpsl::Program;
+use acfc_sim::consistency::{cut_consistency, cut_consistency_oracle};
+use acfc_sim::{compile, run, SimConfig};
+use proptest::prelude::*;
+
+/// Where to put a checkpoint relative to a communication idiom.
+#[derive(Debug, Clone, Copy)]
+enum CkptPos {
+    None,
+    Before,
+    After,
+}
+
+/// One communication idiom with adversarial checkpoint positions.
+#[derive(Debug, Clone)]
+enum Item {
+    Compute(i64),
+    Checkpoint,
+    /// Jacobi-style neighbour exchange; checkpoint positions may differ
+    /// between even and odd ranks (the Figure-2 hazard).
+    ParityExchange { even: CkptPos, odd: CkptPos },
+    /// One-directional chain `0 → 1 → … → n−1`; optional checkpoints
+    /// for the head (before its send) and the others (after their
+    /// receive) — the skewed-pipeline hazard.
+    Chain { head_ckpt: bool, tail_ckpt: bool },
+    /// Workers send to rank 0, which receives from any.
+    Gather(CkptPos),
+    /// Ring shift: send right, receive from left.
+    RingShift(CkptPos),
+}
+
+fn pos_strategy() -> impl Strategy<Value = CkptPos> {
+    prop_oneof![
+        Just(CkptPos::None),
+        Just(CkptPos::Before),
+        Just(CkptPos::After),
+    ]
+}
+
+fn item_strategy() -> impl Strategy<Value = Item> {
+    prop_oneof![
+        (1i64..20).prop_map(Item::Compute),
+        Just(Item::Checkpoint),
+        (pos_strategy(), pos_strategy())
+            .prop_map(|(even, odd)| Item::ParityExchange { even, odd }),
+        (any::<bool>(), any::<bool>()).prop_map(|(head_ckpt, tail_ckpt)| Item::Chain {
+            head_ckpt,
+            tail_ckpt
+        }),
+        pos_strategy().prop_map(Item::Gather),
+        pos_strategy().prop_map(Item::RingShift),
+    ]
+}
+
+fn emit_ckpt(b: &mut BlockBuilder, pos: CkptPos, when: CkptPos) {
+    if matches!(
+        (pos, when),
+        (CkptPos::Before, CkptPos::Before) | (CkptPos::After, CkptPos::After)
+    ) {
+        b.checkpoint();
+    }
+}
+
+fn emit_item(b: &mut BlockBuilder, item: &Item) {
+    match item {
+        Item::Compute(c) => {
+            b.compute(e::int(*c));
+        }
+        Item::Checkpoint => {
+            b.checkpoint();
+        }
+        Item::ParityExchange { even, odd } => {
+            let comm = |b: &mut BlockBuilder| {
+                b.send(e::right_neighbor(), e::int(512));
+                b.send(e::left_neighbor(), e::int(512));
+                b.recv(e::left_neighbor());
+                b.recv(e::right_neighbor());
+            };
+            let (even, odd) = (*even, *odd);
+            b.if_else(
+                e::rank_is_even(),
+                move |b| {
+                    emit_ckpt(b, even, CkptPos::Before);
+                    comm(b);
+                    emit_ckpt(b, even, CkptPos::After);
+                },
+                move |b| {
+                    emit_ckpt(b, odd, CkptPos::Before);
+                    comm(b);
+                    emit_ckpt(b, odd, CkptPos::After);
+                },
+            );
+        }
+        Item::Chain {
+            head_ckpt,
+            tail_ckpt,
+        } => {
+            let (head, tail) = (*head_ckpt, *tail_ckpt);
+            b.if_else(
+                e::eq(e::rank(), e::int(0)),
+                move |b| {
+                    if head {
+                        b.checkpoint();
+                    }
+                    b.compute(e::int(3));
+                    b.send(e::int(1), e::int(256));
+                },
+                move |b| {
+                    b.recv(e::sub(e::rank(), e::int(1)));
+                    b.compute(e::int(3));
+                    b.if_(e::lt(e::rank(), e::sub(e::nprocs(), e::int(1))), |b| {
+                        b.send(e::add(e::rank(), e::int(1)), e::int(256));
+                    });
+                    if tail {
+                        b.checkpoint();
+                    }
+                },
+            );
+        }
+        Item::Gather(pos) => {
+            // Gather with a release phase: without message tags, a
+            // `recv from any` could otherwise steal a later idiom's
+            // message from a fast peer (a real MPI hazard). Rank 0
+            // releases the workers only after the gather completes, and
+            // FIFO ordering keeps the release ahead of later traffic.
+            let pos = *pos;
+            b.if_else(
+                e::eq(e::rank(), e::int(0)),
+                move |b| {
+                    emit_ckpt(b, pos, CkptPos::Before);
+                    b.for_("j", e::int(0), e::sub(e::nprocs(), e::int(1)), |b| {
+                        b.recv_any();
+                    });
+                    emit_ckpt(b, pos, CkptPos::After);
+                    b.for_("j", e::int(1), e::nprocs(), |b| {
+                        b.send(e::var("j"), e::int(8));
+                    });
+                },
+                move |b| {
+                    b.compute(e::int(2));
+                    b.send(e::int(0), e::int(128));
+                    // Workers checkpoint at the opposite phase: another
+                    // adversarial skew.
+                    emit_ckpt(b, pos, CkptPos::Before);
+                    emit_ckpt(b, pos, CkptPos::After);
+                    b.recv(e::int(0));
+                },
+            );
+        }
+        Item::RingShift(pos) => {
+            let pos = *pos;
+            emit_ckpt(b, pos, CkptPos::Before);
+            b.send(e::right_neighbor(), e::int(64));
+            b.recv(e::left_neighbor());
+            emit_ckpt(b, pos, CkptPos::After);
+        }
+    }
+}
+
+fn build_program(items: &[Item], loop_iters: i64) -> Program {
+    ProgramBuilder::new("generated")
+        .var("i")
+        .var("j")
+        .body(|b| {
+            b.for_("i", e::int(0), e::int(loop_iters), |b| {
+                for item in items {
+                    emit_item(b, item);
+                }
+            });
+        })
+        .build()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        max_shrink_iters: 256,
+        .. ProptestConfig::default()
+    })]
+
+    #[test]
+    fn theorem_3_2_holds_for_random_programs(
+        items in prop::collection::vec(item_strategy(), 1..5),
+        loop_iters in 1i64..4,
+        seed in 0u64..1000,
+    ) {
+        let program = build_program(&items, loop_iters);
+        prop_assume!(!program.checkpoint_ids().is_empty());
+        let analysis = match analyze(&program, &AnalysisConfig::for_nprocs(8)) {
+            Ok(a) => a,
+            Err(err) => {
+                // The pipeline must not fail on this generator's
+                // vocabulary; surface it as a counterexample.
+                return Err(TestCaseError::fail(format!(
+                    "analysis failed: {err}\n{}",
+                    acfc_mpsl::to_source(&program)
+                )));
+            }
+        };
+        for n in [2usize, 4, 5] {
+            let trace = run(
+                &compile(&analysis.program),
+                &SimConfig::new(n).with_seed(seed),
+            );
+            prop_assert!(
+                trace.completed(),
+                "n={n}: {:?}\n{}",
+                trace.outcome,
+                acfc_mpsl::to_source(&analysis.program)
+            );
+            let depth = trace.aligned_depth() as u64;
+            for i in 1..=depth {
+                let cut = vec![i; n];
+                let vc = cut_consistency(&trace, &cut);
+                let oracle = cut_consistency_oracle(&trace, &cut);
+                prop_assert_eq!(vc, oracle, "checkers disagree at cut {}", i);
+                prop_assert!(
+                    vc,
+                    "straight cut {} not a recovery line (n={}):\n{}",
+                    i,
+                    n,
+                    acfc_mpsl::to_source(&analysis.program)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn transformation_preserves_message_behaviour(
+        items in prop::collection::vec(item_strategy(), 1..4),
+        loop_iters in 1i64..3,
+    ) {
+        let program = build_program(&items, loop_iters);
+        prop_assume!(!program.checkpoint_ids().is_empty());
+        let analysis = analyze(&program, &AnalysisConfig::for_nprocs(8))
+            .map_err(|e| TestCaseError::fail(e.to_string()))?;
+        let before = run(&compile(&program), &SimConfig::new(4));
+        let after = run(&compile(&analysis.program), &SimConfig::new(4));
+        prop_assume!(before.completed());
+        prop_assert!(after.completed());
+        prop_assert_eq!(before.metrics.app_messages, after.metrics.app_messages);
+        prop_assert_eq!(before.metrics.app_bits, after.metrics.app_bits);
+    }
+}

@@ -1,0 +1,196 @@
+//! Cross-crate checks of the simulator's semantics against the §2
+//! system model: FIFO channels, blocking receives, happened-before
+//! integrity (vector clocks vs. an independently computed transitive
+//! closure over the trace), determinism, and rollback correctness.
+
+use acfc_mpsl::{parse, programs};
+use acfc_sim::{
+    compile, run, run_with_failures, CutPicker, FailurePlan, NoHooks, SimConfig, SimTime, Trace,
+};
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+/// Independently reconstructs happened-before over live trace events
+/// (process order + message order, transitively closed) and compares it
+/// with the vector clocks on checkpoints.
+fn hb_oracle_agrees(trace: &Trace) {
+    // Events: (proc, step) for sends/recvs/checkpoints.
+    #[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+    struct Ev(usize, u64);
+    let mut events: Vec<Ev> = Vec::new();
+    for m in trace.live_messages() {
+        events.push(Ev(m.from, m.send_step));
+        if let Some(rs) = m.recv_step {
+            events.push(Ev(m.to, rs));
+        }
+    }
+    for c in trace.checkpoints.iter().filter(|c| !c.rolled_back) {
+        events.push(Ev(c.proc, c.step));
+    }
+    events.sort();
+    events.dedup();
+    let idx: HashMap<Ev, usize> = events.iter().copied().zip(0..).collect();
+    let n = events.len();
+    let mut succs: Vec<Vec<usize>> = vec![Vec::new(); n];
+    // Process order: consecutive events of the same process.
+    for w in events.windows(2) {
+        if w[0].0 == w[1].0 {
+            succs[idx[&w[0]]].push(idx[&w[1]]);
+        }
+    }
+    // Message order.
+    for m in trace.live_messages() {
+        if let Some(rs) = m.recv_step {
+            succs[idx[&Ev(m.from, m.send_step)]].push(idx[&Ev(m.to, rs)]);
+        }
+    }
+    let reach = acfc_cfg::Reach::compute(&succs);
+    // Compare against vector clocks for every checkpoint pair.
+    let live: Vec<_> = trace
+        .checkpoints
+        .iter()
+        .filter(|c| !c.rolled_back)
+        .collect();
+    for a in &live {
+        for b in &live {
+            if a.proc == b.proc && a.step == b.step {
+                continue;
+            }
+            let oracle = reach.reachable(idx[&Ev(a.proc, a.step)], idx[&Ev(b.proc, b.step)]);
+            let vc = a.vc.happened_before(&b.vc)
+                || (a.proc == b.proc && a.step < b.step && a.vc == b.vc);
+            assert_eq!(
+                vc, oracle,
+                "hb({:?},{:?}): vc says {vc}, trace closure says {oracle}",
+                (a.proc, a.step),
+                (b.proc, b.step)
+            );
+        }
+    }
+}
+
+#[test]
+fn vector_clocks_match_trace_closure_on_stock_programs() {
+    for p in programs::all_stock() {
+        let t = run(&compile(&p), &SimConfig::new(4).with_inputs(vec![5, 9]));
+        if t.completed() {
+            hb_oracle_agrees(&t);
+        }
+    }
+}
+
+#[test]
+fn vector_clocks_match_trace_closure_after_rollback() {
+    let p = programs::jacobi(6);
+    let plan = FailurePlan::at(vec![(SimTime::from_millis(150), 1)]);
+    let mut hooks = NoHooks;
+    let t = run_with_failures(
+        &compile(&p),
+        &SimConfig::new(3),
+        &mut hooks,
+        plan,
+        CutPicker::AlignedSeq,
+    );
+    assert!(t.completed());
+    assert_eq!(t.metrics.failures, 1);
+    hb_oracle_agrees(&t);
+}
+
+#[test]
+fn fifo_holds_even_with_heavy_jitter() {
+    let src = "program t; var i;
+        if rank == 0 { for i in 0..20 { send to 1 size 100000; } }
+        else { if rank == 1 { for i in 0..20 { recv from 0; } } }";
+    let p = parse(src).unwrap();
+    let mut cfg = SimConfig::new(2).with_seed(1234);
+    cfg.net.jitter_us = 10_000; // jitter far beyond the base delay
+    let t = run(&compile(&p), &cfg);
+    assert!(t.completed());
+    let mut pairs: Vec<(SimTime, u64)> = t
+        .messages
+        .iter()
+        .map(|m| (m.recv_at.unwrap(), m.send_step))
+        .collect();
+    pairs.sort();
+    let send_steps: Vec<u64> = pairs.iter().map(|&(_, s)| s).collect();
+    let mut sorted = send_steps.clone();
+    sorted.sort();
+    assert_eq!(send_steps, sorted, "FIFO violated under jitter");
+}
+
+#[test]
+fn rollback_replay_reaches_identical_final_variable_state() {
+    // Deterministic program: the post-recovery replay must converge to
+    // the same final variable assignment as the failure-free run.
+    let src = "program t; param iters = 6; var i, acc;
+        for i in 0..iters {
+          acc := acc + i * (rank + 1);
+          compute 10;
+          send to (rank + 1) % nprocs size 64;
+          recv from (rank - 1) % nprocs;
+          checkpoint;
+        }";
+    let p = parse(src).unwrap();
+    let c = compile(&p);
+    let cfg = SimConfig::new(3);
+    let clean = run(&c, &cfg);
+    assert!(clean.completed());
+    let plan = FailurePlan::at(vec![
+        (SimTime::from_millis(25), 0),
+        (SimTime::from_millis(55), 2),
+    ]);
+    let mut hooks = NoHooks;
+    let t = run_with_failures(&c, &cfg, &mut hooks, plan, CutPicker::AlignedSeq);
+    assert!(t.completed(), "{:?}", t.outcome);
+    assert_eq!(t.metrics.failures, 2);
+    // Compare final snapshots' variable stores via the last checkpoints.
+    for proc in 0..3 {
+        let last_clean = clean.live_checkpoints(proc).last().unwrap().snapshot.clone();
+        let last_fail = t.live_checkpoints(proc).last().unwrap().snapshot.clone();
+        assert_eq!(
+            last_clean.vars, last_fail.vars,
+            "proc {proc}: replay diverged"
+        );
+        assert_eq!(last_clean.ckpt_seq, last_fail.ckpt_seq);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 64,
+        .. ProptestConfig::default()
+    })]
+
+    #[test]
+    fn determinism_and_consistency_across_seeds(
+        seed in 0u64..10_000,
+        n in 2usize..7,
+        iters in 1i64..6,
+    ) {
+        let p = programs::jacobi(iters);
+        let c = compile(&p);
+        let cfg = SimConfig::new(n).with_seed(seed);
+        let t1 = run(&c, &cfg);
+        let t2 = run(&c, &cfg);
+        prop_assert!(t1.completed());
+        prop_assert_eq!(t1.finished_at, t2.finished_at);
+        prop_assert_eq!(t1.messages.len(), t2.messages.len());
+        prop_assert!(acfc_sim::consistency::all_straight_cuts_consistent(&t1));
+    }
+
+    #[test]
+    fn random_failure_times_never_break_completion(
+        fail_ms in 1u64..400,
+        victim in 0usize..3,
+        seed in 0u64..1000,
+    ) {
+        let p = programs::stencil_1d(5);
+        let c = compile(&p);
+        let cfg = SimConfig::new(3).with_seed(seed);
+        let plan = FailurePlan::at(vec![(SimTime::from_millis(fail_ms), victim)]);
+        let mut hooks = NoHooks;
+        let t = run_with_failures(&c, &cfg, &mut hooks, plan, CutPicker::AlignedSeq);
+        prop_assert!(t.completed(), "{:?}", t.outcome);
+        prop_assert_eq!(t.checkpoint_counts(), vec![5, 5, 5]);
+    }
+}
