@@ -7,8 +7,9 @@
 //! * **Loop policy** — the paper's loop optimization (`Optimized`) vs.
 //!   literal Condition 1 (`Strict`), measured as end-to-end Phase III
 //!   cost on programs where the policies diverge.
-//! * **Reachability backend** — the bitset closure vs. per-query BFS,
-//!   justifying the precomputation.
+//! * **Reachability backend** — the SCC-condensed bitset closure vs.
+//!   the naive per-node BFS build, and closure probes vs. per-query
+//!   BFS, justifying the precomputation.
 
 use acfc_cfg::{build_cfg, find_path, Reach};
 use acfc_core::{
@@ -16,9 +17,10 @@ use acfc_core::{
     MatchingMode, Phase3Config,
 };
 use acfc_mpsl::programs;
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use acfc_util::bench::bench;
+use std::hint::black_box;
 
-fn bench_matching_modes(c: &mut Criterion) {
+fn bench_matching_modes() {
     let p = programs::jacobi_odd_even(10);
     let (cfg, lowered) = build_cfg(&p);
     let iddep = analyze_iddep(&cfg, &lowered);
@@ -28,13 +30,14 @@ fn bench_matching_modes(c: &mut Criterion) {
         ("prefer_unmatched", MatchingMode::PreferUnmatched),
         ("conservative", MatchingMode::Conservative),
     ] {
-        c.bench_function(&format!("matching/{name}"), |b| {
-            b.iter(|| match_send_recv(black_box(&cfg), &attrs, &iddep, mode))
+        let s = bench(&format!("matching/{name}"), 150, || {
+            match_send_recv(black_box(&cfg), &attrs, &iddep, mode)
         });
+        println!("{}", s.render());
     }
 }
 
-fn bench_loop_policies(c: &mut Criterion) {
+fn bench_loop_policies() {
     for (name, policy) in [
         ("optimized", LoopPolicy::Optimized),
         ("strict", LoopPolicy::Strict),
@@ -45,54 +48,59 @@ fn bench_loop_policies(c: &mut Criterion) {
             ..Phase3Config::default()
         };
         let p = programs::pipeline_skewed(8);
-        c.bench_function(&format!("phase3/{name}/pipeline_skewed"), |b| {
-            b.iter(|| {
-                // Strict mode may legitimately fail on some shapes; the
-                // cost of deciding either way is what's measured.
-                let _ = ensure_recovery_lines(black_box(&p), &config);
-            })
+        let s = bench(&format!("phase3/{name}/pipeline_skewed"), 200, || {
+            // Strict mode may legitimately fail on some shapes; the
+            // cost of deciding either way is what's measured.
+            let _ = ensure_recovery_lines(black_box(&p), &config);
         });
+        println!("{}", s.render());
     }
 }
 
-fn bench_reachability(c: &mut Criterion) {
+fn bench_reachability() {
     let (cfg, _) = build_cfg(&programs::bcast_reduce(6));
     let mut adj = vec![Vec::new(); cfg.len()];
     for (a, b, _) in cfg.edges() {
         adj[a.index()].push(b.index());
     }
-    c.bench_function("reach/closure_precompute", |b| {
-        b.iter(|| Reach::compute(black_box(&adj)))
+    let s = bench("reach/closure_precompute_condensed", 150, || {
+        Reach::compute(black_box(&adj))
     });
+    println!("{}", s.render());
+    let s = bench("reach/closure_precompute_naive_bfs", 150, || {
+        Reach::compute_naive(black_box(&adj))
+    });
+    println!("{}", s.render());
     let n = cfg.len();
-    c.bench_function("reach/all_pairs_by_bfs", |b| {
-        b.iter(|| {
-            let mut count = 0usize;
-            for a in 0..n {
-                for t in 0..n {
-                    if find_path(black_box(&adj), a, t, &|_, _| true).is_some() {
-                        count += 1;
-                    }
+    let s = bench("reach/all_pairs_by_bfs", 150, || {
+        let mut count = 0usize;
+        for a in 0..n {
+            for t in 0..n {
+                if find_path(black_box(&adj), a, t, &|_, _| true).is_some() {
+                    count += 1;
                 }
             }
-            count
-        })
+        }
+        count
     });
+    println!("{}", s.render());
     let reach = Reach::compute(&adj);
-    c.bench_function("reach/all_pairs_by_closure", |b| {
-        b.iter(|| {
-            let mut count = 0usize;
-            for a in 0..n {
-                for t in 0..n {
-                    if reach.reachable(a, t) {
-                        count += 1;
-                    }
+    let s = bench("reach/all_pairs_by_closure", 150, || {
+        let mut count = 0usize;
+        for a in 0..n {
+            for t in 0..n {
+                if reach.reachable(a, t) {
+                    count += 1;
                 }
             }
-            count
-        })
+        }
+        count
     });
+    println!("{}", s.render());
 }
 
-criterion_group!(benches, bench_matching_modes, bench_loop_policies, bench_reachability);
-criterion_main!(benches);
+fn main() {
+    bench_matching_modes();
+    bench_loop_policies();
+    bench_reachability();
+}

@@ -4,9 +4,10 @@
 
 use acfc_core::{analyze, AnalysisConfig};
 use acfc_mpsl::programs;
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use acfc_util::bench::bench;
+use std::hint::black_box;
 
-fn bench_analysis(c: &mut Criterion) {
+fn main() {
     let cfg = AnalysisConfig::for_nprocs(8);
     for (name, program) in [
         ("jacobi", programs::jacobi(10)),
@@ -15,20 +16,30 @@ fn bench_analysis(c: &mut Criterion) {
         ("bcast_reduce", programs::bcast_reduce(4)),
         ("master_worker", programs::master_worker(4)),
     ] {
-        c.bench_function(&format!("analyze/{name}"), |b| {
-            b.iter(|| analyze(black_box(&program), &cfg).unwrap())
+        let s = bench(&format!("analyze/{name}"), 200, || {
+            analyze(black_box(&program), &cfg).unwrap()
         });
+        println!("{}", s.render());
     }
     // Scaling in the analysis n (attribute sets are bitmasks; matching
     // enumerates rank pairs).
     let p = programs::jacobi_odd_even(10);
     for n in [4usize, 16, 64] {
         let cfg = AnalysisConfig::for_nprocs(n);
-        c.bench_function(&format!("analyze/jacobi_odd_even/n{n}"), |b| {
-            b.iter(|| analyze(black_box(&p), &cfg).unwrap())
+        let s = bench(&format!("analyze/jacobi_odd_even/n{n}"), 200, || {
+            analyze(black_box(&p), &cfg).unwrap()
         });
+        println!("{}", s.render());
+    }
+    // The incremental-Phase-III knob, isolated.
+    for (name, incremental) in [("incremental", true), ("from_scratch", false)] {
+        let cfg = AnalysisConfig {
+            incremental,
+            ..AnalysisConfig::for_nprocs(8)
+        };
+        let s = bench(&format!("analyze/phase3/{name}"), 200, || {
+            analyze(black_box(&p), &cfg).unwrap()
+        });
+        println!("{}", s.render());
     }
 }
-
-criterion_group!(benches, bench_analysis);
-criterion_main!(benches);

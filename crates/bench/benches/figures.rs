@@ -3,17 +3,17 @@
 //! regression in the model's evaluation cost is visible.
 
 use acfc_perfmodel::{figure8, figure8_default_ns, figure9, figure9_default_wms, ModelParams};
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use acfc_util::bench::bench;
+use std::hint::black_box;
 
-fn bench_figures(c: &mut Criterion) {
+fn main() {
     let params = ModelParams::default();
-    c.bench_function("figure8_full_sweep", |b| {
-        b.iter(|| figure8(black_box(&params), &figure8_default_ns()))
+    let s = bench("figure8_full_sweep", 200, || {
+        figure8(black_box(&params), &figure8_default_ns())
     });
-    c.bench_function("figure9_full_sweep", |b| {
-        b.iter(|| figure9(black_box(&params), 64, &figure9_default_wms()))
+    println!("{}", s.render());
+    let s = bench("figure9_full_sweep", 200, || {
+        figure9(black_box(&params), 64, &figure9_default_wms())
     });
+    println!("{}", s.render());
 }
-
-criterion_group!(benches, bench_figures);
-criterion_main!(benches);

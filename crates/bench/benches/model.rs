@@ -1,10 +1,13 @@
 //! Benchmarks the performance-model primitives: closed-form Γ, the
-//! numeric Markov chain, and the Monte-Carlo interval simulation.
+//! numeric Markov chain, and the Monte-Carlo interval simulation
+//! (sequential and at the configured thread count).
 
 use acfc_perfmodel::{
-    gamma_closed_form, gamma_markov, simulate_interval, IntervalParams,
+    gamma_closed_form, gamma_markov, simulate_interval, simulate_interval_threads, IntervalParams,
 };
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use acfc_util::bench::bench;
+use acfc_util::parallel::configured_threads;
+use std::hint::black_box;
 
 fn params() -> IntervalParams {
     IntervalParams {
@@ -16,18 +19,19 @@ fn params() -> IntervalParams {
     }
 }
 
-fn bench_model(c: &mut Criterion) {
+fn main() {
     let p = params();
-    c.bench_function("gamma_closed_form", |b| {
-        b.iter(|| gamma_closed_form(black_box(&p)))
+    let s = bench("gamma_closed_form", 100, || gamma_closed_form(black_box(&p)));
+    println!("{}", s.render());
+    let s = bench("gamma_markov_chain", 100, || gamma_markov(black_box(&p)));
+    println!("{}", s.render());
+    let s = bench("monte_carlo_100k_seq", 300, || {
+        simulate_interval_threads(black_box(&p), 100_000, 42, 1)
     });
-    c.bench_function("gamma_markov_chain", |b| {
-        b.iter(|| gamma_markov(black_box(&p)))
+    println!("{}", s.render());
+    let threads = configured_threads();
+    let s = bench(&format!("monte_carlo_100k_t{threads}"), 300, || {
+        simulate_interval(black_box(&p), 100_000, 42)
     });
-    c.bench_function("monte_carlo_10k_intervals", |b| {
-        b.iter(|| simulate_interval(black_box(&p), 10_000, 42))
-    });
+    println!("{}", s.render());
 }
-
-criterion_group!(benches, bench_model);
-criterion_main!(benches);

@@ -3,15 +3,17 @@
 
 use acfc_protocols::{max_consistent_line_of, run_protocol, CompareConfig, ProtocolKind};
 use acfc_sim::{compile, run_with_hooks, SimConfig, TimerCheckpoints};
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use acfc_util::bench::bench;
+use std::hint::black_box;
 
-fn bench_protocols(c: &mut Criterion) {
+fn main() {
     let program = acfc_mpsl::programs::jacobi(10);
     let cfg = CompareConfig::new(4, 60_000);
     for kind in ProtocolKind::all() {
-        c.bench_function(&format!("protocol/{}", kind.name()), |b| {
-            b.iter(|| run_protocol(black_box(&program), kind, &cfg))
+        let s = bench(&format!("protocol/{}", kind.name()), 200, || {
+            run_protocol(black_box(&program), kind, &cfg)
         });
+        println!("{}", s.render());
     }
     // Rollback propagation on a long uncoordinated trace.
     let trace = {
@@ -19,10 +21,8 @@ fn bench_protocols(c: &mut Criterion) {
         let mut hooks = TimerCheckpoints::new(4, 10_000, 3_000);
         run_with_hooks(&compile(&p), &SimConfig::new(4), &mut hooks)
     };
-    c.bench_function("recovery/max_consistent_line", |b| {
-        b.iter(|| max_consistent_line_of(black_box(&trace)))
+    let s = bench("recovery/max_consistent_line", 200, || {
+        max_consistent_line_of(black_box(&trace))
     });
+    println!("{}", s.render());
 }
-
-criterion_group!(benches, bench_protocols);
-criterion_main!(benches);

@@ -1,10 +1,13 @@
 //! Benchmarks the discrete-event engine: events per second on the
 //! canonical workloads, with and without failure injection.
 
-use acfc_sim::{compile, run, run_with_failures, CutPicker, FailurePlan, NoHooks, SimConfig, SimTime};
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use acfc_sim::{
+    compile, run, run_with_failures, CutPicker, FailurePlan, NoHooks, SimConfig, SimTime,
+};
+use acfc_util::bench::bench;
+use std::hint::black_box;
 
-fn bench_simulator(c: &mut Criterion) {
+fn main() {
     for (name, program, n) in [
         ("jacobi_n8", acfc_mpsl::programs::jacobi(20), 8usize),
         ("stencil_n16", acfc_mpsl::programs::stencil_1d(20), 16),
@@ -12,30 +15,25 @@ fn bench_simulator(c: &mut Criterion) {
     ] {
         let compiled = compile(&program);
         let cfg = SimConfig::new(n);
-        c.bench_function(&format!("sim/{name}"), |b| {
-            b.iter(|| run(black_box(&compiled), &cfg))
-        });
+        let s = bench(&format!("sim/{name}"), 200, || run(black_box(&compiled), &cfg));
+        println!("{}", s.render());
     }
     // Failure + rollback path.
     let compiled = compile(&acfc_mpsl::programs::jacobi(20));
     let cfg = SimConfig::new(4);
-    c.bench_function("sim/jacobi_n4_with_failures", |b| {
-        b.iter(|| {
-            let mut hooks = NoHooks;
-            let plan = FailurePlan::at(vec![
-                (SimTime::from_millis(300), 0),
-                (SimTime::from_millis(700), 2),
-            ]);
-            run_with_failures(
-                black_box(&compiled),
-                &cfg,
-                &mut hooks,
-                plan,
-                CutPicker::AlignedSeq,
-            )
-        })
+    let s = bench("sim/jacobi_n4_with_failures", 200, || {
+        let mut hooks = NoHooks;
+        let plan = FailurePlan::at(vec![
+            (SimTime::from_millis(300), 0),
+            (SimTime::from_millis(700), 2),
+        ]);
+        run_with_failures(
+            black_box(&compiled),
+            &cfg,
+            &mut hooks,
+            plan,
+            CutPicker::AlignedSeq,
+        )
     });
+    println!("{}", s.render());
 }
-
-criterion_group!(benches, bench_simulator);
-criterion_main!(benches);

@@ -1,0 +1,158 @@
+//! Emits `BENCH_analysis.json`: the perf-trajectory numbers this repo
+//! tracks across PRs.
+//!
+//! Three families of measurements:
+//!
+//! * **Pipeline wall-time** — end-to-end [`acfc_core::analyze`] over
+//!   the stock workloads (the paper's entire offline cost).
+//! * **Phase III throughput** — Algorithm 3.2 relocations per second on
+//!   the repair-heavy workloads, with the [`ReanalysisCache`] replay
+//!   enabled vs. recomputing Phase II from scratch every iteration, and
+//!   against [`acfc_bench::seed_baseline`] (the pre-optimization hot
+//!   path: per-iteration clone + rebuild, naive-BFS closures, per-edge
+//!   Condition-1 scans) on the same move trajectory.
+//! * **Monte-Carlo throughput** — §4 interval-simulation trials per
+//!   second at one thread and at the configured thread count
+//!   (`ACFC_THREADS` overrides), plus the implied speedup.
+//!
+//! Run via `cargo bench-json` (alias in `.cargo/config.toml`); the file
+//! is written to the current directory.
+//!
+//! [`ReanalysisCache`]: acfc_core::ReanalysisCache
+
+use acfc_bench::seed_baseline::seed_ensure_recovery_lines;
+use acfc_core::{analyze, ensure_recovery_lines, AnalysisConfig, Phase3Config};
+use acfc_mpsl::programs;
+use acfc_perfmodel::{simulate_interval_threads, IntervalParams};
+use acfc_util::bench::{bench, Json};
+use acfc_util::parallel::configured_threads;
+use std::hint::black_box;
+
+/// Workloads whose placements Phase III actually has to repair (moves
+/// are performed, so the incremental replay has iterations to save).
+fn repair_heavy() -> Vec<acfc_mpsl::Program> {
+    vec![
+        programs::jacobi_odd_even(10),
+        programs::pipeline_skewed(10),
+        programs::pingpong_skewed(10),
+        programs::fig6(10),
+    ]
+}
+
+/// A Phase-III-heavy workload: `m` sequential odd/even exchange blocks,
+/// each with the Figure 5 misplacement, so Algorithm 3.2 performs `m`
+/// relocations (one iteration each) before the fixpoint.
+fn many_exchanges(m: usize) -> acfc_mpsl::Program {
+    let mut src = String::from("program many_exchanges;\n");
+    for _ in 0..m {
+        src.push_str(
+            "if rank % 2 == 0 { checkpoint; send to rank + 1; recv from rank + 1; }\n\
+             else { recv from rank - 1; checkpoint; send to rank - 1; }\n",
+        );
+    }
+    acfc_mpsl::parse(&src).expect("workload parses")
+}
+
+fn phase3_stats(incremental: bool) -> (f64, f64) {
+    let workloads = repair_heavy();
+    let config = Phase3Config {
+        nprocs: 8,
+        incremental,
+        ..Phase3Config::default()
+    };
+    let mut moves = 0usize;
+    for p in &workloads {
+        moves += ensure_recovery_lines(p, &config)
+            .expect("repairable workload")
+            .moves
+            .len();
+    }
+    let s = bench(
+        if incremental {
+            "phase3/incremental"
+        } else {
+            "phase3/from_scratch"
+        },
+        400,
+        || {
+            for p in &workloads {
+                black_box(ensure_recovery_lines(black_box(p), &config).unwrap());
+            }
+        },
+    );
+    let secs_per_pass = s.median_ns / 1e9;
+    (moves as f64 / secs_per_pass, secs_per_pass)
+}
+
+fn main() {
+    // Pipeline wall-time over every stock workload, one pass.
+    let stock = programs::all_stock();
+    let cfg = AnalysisConfig::for_nprocs(8);
+    let s = bench("pipeline/all_stock", 500, || {
+        for p in &stock {
+            black_box(analyze(black_box(p), &cfg).unwrap());
+        }
+    });
+    let pipeline_ms = s.median_ns / 1e6;
+
+    // Phase III with and without the incremental replay, and the
+    // pre-optimization baseline on the same trajectory.
+    let (moves_per_sec_inc, inc_secs) = phase3_stats(true);
+    let (moves_per_sec_scratch, scratch_secs) = phase3_stats(false);
+    let heavy = many_exchanges(16);
+    let p3cfg = Phase3Config {
+        nprocs: 8,
+        max_iterations: 64,
+        ..Phase3Config::default()
+    };
+    let heavy_moves = ensure_recovery_lines(&heavy, &p3cfg)
+        .expect("repairable")
+        .moves
+        .len();
+    let s = bench("phase3/seed_baseline", 400, || {
+        black_box(seed_ensure_recovery_lines(black_box(&heavy), &p3cfg).unwrap())
+    });
+    let seed_secs = s.median_ns / 1e9;
+    let s = bench("phase3/optimized_heavy", 400, || {
+        black_box(ensure_recovery_lines(black_box(&heavy), &p3cfg).unwrap())
+    });
+    let opt_heavy_secs = s.median_ns / 1e9;
+
+    // Monte-Carlo throughput, sequential vs. configured threads.
+    let p = IntervalParams {
+        lambda: 1e-4,
+        t: 300.0,
+        o_total: 1.78,
+        l_total: 4.292,
+        r_recovery: 3.32,
+    };
+    let trials = 200_000usize;
+    let threads = configured_threads();
+    let s1 = bench("mc/seq", 400, || {
+        simulate_interval_threads(black_box(&p), trials, 42, 1)
+    });
+    let sn = bench("mc/par", 400, || {
+        simulate_interval_threads(black_box(&p), trials, 42, threads)
+    });
+    let mc_seq = trials as f64 / (s1.median_ns / 1e9);
+    let mc_par = trials as f64 / (sn.median_ns / 1e9);
+
+    let json = Json::new()
+        .str("bench", "analysis")
+        .num("pipeline_all_stock_ms", pipeline_ms)
+        .num("pipeline_workloads", stock.len() as f64)
+        .num("phase3_moves_per_sec_incremental", moves_per_sec_inc)
+        .num("phase3_moves_per_sec_from_scratch", moves_per_sec_scratch)
+        .num("phase3_incremental_speedup", scratch_secs / inc_secs)
+        .num("phase3_heavy_moves", heavy_moves as f64)
+        .num("phase3_heavy_seed_baseline_ms", seed_secs * 1e3)
+        .num("phase3_heavy_optimized_ms", opt_heavy_secs * 1e3)
+        .num("phase3_speedup_vs_seed", seed_secs / opt_heavy_secs)
+        .num("mc_trials_per_sec_1_thread", mc_seq)
+        .num(&format!("mc_trials_per_sec_{threads}_threads"), mc_par)
+        .num("mc_thread_speedup", mc_par / mc_seq)
+        .num("mc_threads", threads as f64)
+        .render();
+    std::fs::write("BENCH_analysis.json", &json).expect("write BENCH_analysis.json");
+    println!("{json}");
+}

@@ -2,7 +2,7 @@
 //!
 //! The binaries in `src/bin/` regenerate the paper's evaluation figures
 //! (Figure 8: overhead ratio vs. number of processes; Figure 9:
-//! overhead ratio vs. message setup time), and the Criterion benches in
+//! overhead ratio vs. message setup time), and the wall-clock benches in
 //! `benches/` measure the cost of the library's own machinery. This
 //! library holds the pieces they share: canonical workloads, the
 //! simulator-vs-model validation runs, and plain-text rendering.
@@ -11,6 +11,8 @@ use acfc_mpsl::{programs, Program};
 use acfc_perfmodel::{ModelParams, Row};
 use acfc_protocols::{compare_all, CompareConfig, RunStats};
 use acfc_sim::FailurePlan;
+
+pub mod seed_baseline;
 
 /// The canonical workloads used across binaries and benches.
 pub fn workloads() -> Vec<Program> {

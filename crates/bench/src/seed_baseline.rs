@@ -1,0 +1,349 @@
+//! The pre-optimization Phase III hot path, preserved for benchmarking.
+//!
+//! This module reproduces, against today's public APIs, the analysis
+//! loop as it stood before the performance pass, so `perf_json` can
+//! report a measured before/after on the same workloads:
+//!
+//! * every iteration re-lowers and rebuilds the CFG from a **clone** of
+//!   the program (no [`acfc_cfg::build_cfg_prelowered`]);
+//! * Phase II (ID-dependence, attributes, Algorithm 3.1 matching) is
+//!   recomputed from scratch every iteration (no
+//!   [`acfc_core::ReanalysisCache`]);
+//! * reachability closures use the per-node BFS build
+//!   ([`acfc_cfg::Reach::compute_naive`], the old `Reach::compute`);
+//! * Condition 1's message-crossing probes scan every message edge per
+//!   query (no per-checkpoint message-reach rows).
+//!
+//! The relocation logic (Algorithm 3.2 proper) is byte-for-byte the
+//! same decision procedure, so both implementations walk the identical
+//! move trajectory; only the per-iteration analysis cost differs.
+
+use acfc_cfg::{
+    build_cfg, dominators, find_path, loop_info, Cfg, LoopInfo, NodeId, NodeKind, Reach,
+};
+use acfc_core::{
+    analyze_iddep, compute_attrs, index_checkpoints, match_send_recv, rebalance_checkpoints,
+    CheckpointIndex, LoopPolicy, MessageEdge, Phase3Config,
+};
+use acfc_mpsl::{Block, Program, Stmt, StmtId, StmtKind};
+
+/// The seed's extended CFG: naive-BFS closures, no message-reach rows.
+struct SeedExtended {
+    cfg: Cfg,
+    message_edges: Vec<MessageEdge>,
+    loops: LoopInfo,
+    reach_full: Reach,
+    reach_forward: Reach,
+}
+
+impl SeedExtended {
+    fn build(cfg: Cfg, edges: Vec<MessageEdge>) -> SeedExtended {
+        let loops = loop_info(&cfg);
+        let n = cfg.len();
+        let mut full: Vec<Vec<usize>> = vec![Vec::new(); n];
+        let mut forward: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for (a, b, _) in cfg.edges() {
+            full[a.index()].push(b.index());
+            if !loops.is_back_edge(a, b) {
+                forward[a.index()].push(b.index());
+            }
+        }
+        for e in &edges {
+            full[e.send.index()].push(e.recv.index());
+            forward[e.send.index()].push(e.recv.index());
+        }
+        let reach_full = Reach::compute_naive(&full);
+        let reach_forward = Reach::compute_naive(&forward);
+        SeedExtended {
+            cfg,
+            message_edges: edges,
+            loops,
+            reach_full,
+            reach_forward,
+        }
+    }
+
+    fn reaches(&self, a: NodeId, b: NodeId) -> bool {
+        self.reach_full.reachable(a.index(), b.index())
+    }
+
+    fn reaches_forward(&self, a: NodeId, b: NodeId) -> bool {
+        self.reach_forward.reachable(a.index(), b.index())
+    }
+
+    fn reaches_via_message(&self, a: NodeId, b: NodeId) -> bool {
+        self.message_edges.iter().any(|e| {
+            self.reach_full.reachable_or_eq(a.index(), e.send.index())
+                && self.reach_full.reachable_or_eq(e.recv.index(), b.index())
+        })
+    }
+
+    fn reaches_forward_via_message(&self, a: NodeId, b: NodeId) -> bool {
+        self.message_edges.iter().any(|e| {
+            self.reach_forward.reachable_or_eq(a.index(), e.send.index())
+                && self.reach_forward.reachable_or_eq(e.recv.index(), b.index())
+        })
+    }
+
+    fn adjacency_full(&self) -> Vec<Vec<usize>> {
+        let n = self.cfg.len();
+        let mut adj: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for (a, b, _) in self.cfg.edges() {
+            adj[a.index()].push(b.index());
+        }
+        for e in &self.message_edges {
+            adj[e.send.index()].push(e.recv.index());
+        }
+        adj
+    }
+}
+
+struct SeedViolation {
+    from: NodeId,
+    to: NodeId,
+    index: u32,
+    only_via_back_edge: bool,
+}
+
+fn check_condition1(
+    g: &SeedExtended,
+    index: &CheckpointIndex,
+    policy: LoopPolicy,
+) -> Vec<SeedViolation> {
+    let mut out = Vec::new();
+    let adj_full = g.adjacency_full();
+    for (a, b) in index.same_index_pairs() {
+        for (from, to) in [(a, b), (b, a)] {
+            if !g.reaches_via_message(from, to) {
+                continue;
+            }
+            let forward = g.reaches_forward_via_message(from, to);
+            let violation = match policy {
+                LoopPolicy::Strict => true,
+                LoopPolicy::Optimized => {
+                    forward || !(g.loops.in_loop(from) && g.loops.in_loop(to))
+                }
+            };
+            if !violation {
+                continue;
+            }
+            let shared = index.ranges[&from].min.max(index.ranges[&to].min);
+            // The seed computed a witness path for diagnostics on every
+            // violation; keep the cost in the measurement.
+            let _witness = find_path(&adj_full, from.index(), to.index(), &|_, _| true);
+            out.push(SeedViolation {
+                from,
+                to,
+                index: shared,
+                only_via_back_edge: !forward,
+            });
+        }
+    }
+    out
+}
+
+/// The seed's `ensure_recovery_lines`: full rebuild + full Phase II +
+/// naive closures every iteration. Returns the repaired program and the
+/// number of moves, or `None` when the cap is hit (never on the
+/// workloads perf_json uses).
+pub fn seed_ensure_recovery_lines(
+    program: &Program,
+    config: &Phase3Config,
+) -> Option<(Program, usize)> {
+    let mut current = program.clone();
+    if current.has_collectives() {
+        current.lower_collectives();
+    }
+    let mut moves = 0usize;
+    for _ in 0..config.max_iterations {
+        let (cfg, lowered) = build_cfg(&current);
+        let iddep = analyze_iddep(&cfg, &lowered);
+        let attrs = compute_attrs(&cfg, config.nprocs, &iddep);
+        let matching = match_send_recv(&cfg, &attrs, &iddep, config.matching);
+        let index = index_checkpoints(&cfg, &lowered);
+        let extended = SeedExtended::build(cfg, matching.edges);
+        let violations = check_condition1(&extended, &index, config.policy);
+        let Some(v) = pick_violation(&violations) else {
+            return Some((current, moves));
+        };
+        if !apply_move(&mut current, &extended, v, config) {
+            return None;
+        }
+        moves += 1;
+        rebalance_checkpoints(&mut current);
+    }
+    None
+}
+
+fn pick_violation(violations: &[SeedViolation]) -> Option<&SeedViolation> {
+    violations.iter().min_by_key(|v| (v.index, v.to, v.from))
+}
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum InsertPoint {
+    Before(StmtId),
+    After(StmtId),
+    ProgramStart,
+}
+
+fn apply_move(
+    program: &mut Program,
+    g: &SeedExtended,
+    v: &SeedViolation,
+    config: &Phase3Config,
+) -> bool {
+    let dom = dominators(&g.cfg);
+    let chain = dom.chain(v.to);
+    if chain.is_empty() {
+        return false;
+    }
+    let reaches = |node: NodeId| -> bool {
+        if config.policy == LoopPolicy::Optimized && !v.only_via_back_edge {
+            g.reaches_forward(v.from, node)
+        } else {
+            g.reaches(v.from, node)
+        }
+    };
+    let first_reachable = chain
+        .iter()
+        .position(|&n| reaches(n))
+        .unwrap_or(chain.len() - 1);
+    for j in (1..=first_reachable).rev() {
+        let b = chain[j];
+        if b == v.to {
+            continue;
+        }
+        let Some(point) = insert_point_for(g, b) else {
+            continue;
+        };
+        if relocate(program, g, v.to, point) == Some(true) {
+            return true;
+        }
+    }
+    relocate(program, g, v.to, InsertPoint::ProgramStart) == Some(true)
+}
+
+fn insert_point_for(g: &SeedExtended, b: NodeId) -> Option<InsertPoint> {
+    match (&g.cfg.node(b).kind, g.cfg.node(b).stmt) {
+        (NodeKind::Entry, _) => Some(InsertPoint::ProgramStart),
+        (NodeKind::Exit, _) => None,
+        (NodeKind::Join, Some(sid)) => Some(InsertPoint::After(sid)),
+        (NodeKind::Join, None) => None,
+        (_, Some(sid)) => Some(InsertPoint::Before(sid)),
+        (_, None) => None,
+    }
+}
+
+fn relocate(
+    program: &mut Program,
+    g: &SeedExtended,
+    node: NodeId,
+    point: InsertPoint,
+) -> Option<bool> {
+    let sid = g.cfg.node(node).stmt?;
+    match point {
+        InsertPoint::Before(t) | InsertPoint::After(t) if t == sid => return Some(false),
+        _ => {}
+    }
+    let removed = remove_stmt(&mut program.body, sid)?;
+    if !matches!(removed.kind, StmtKind::Checkpoint { .. }) {
+        return None;
+    }
+    let ok = match point {
+        InsertPoint::Before(t) => insert_rel(&mut program.body, t, removed, false),
+        InsertPoint::After(t) => insert_rel(&mut program.body, t, removed, true),
+        InsertPoint::ProgramStart => {
+            program.body.insert(0, removed);
+            true
+        }
+    };
+    if !ok {
+        return None;
+    }
+    program.renumber();
+    Some(true)
+}
+
+fn remove_stmt(block: &mut Block, id: StmtId) -> Option<Stmt> {
+    if let Some(pos) = block.iter().position(|s| s.id == id) {
+        return Some(block.remove(pos));
+    }
+    for s in block.iter_mut() {
+        let found = match &mut s.kind {
+            StmtKind::If {
+                then_branch,
+                else_branch,
+                ..
+            } => remove_stmt(then_branch, id).or_else(|| remove_stmt(else_branch, id)),
+            StmtKind::While { body, .. } | StmtKind::For { body, .. } => remove_stmt(body, id),
+            _ => None,
+        };
+        if found.is_some() {
+            return found;
+        }
+    }
+    None
+}
+
+fn insert_rel(block: &mut Block, target: StmtId, stmt: Stmt, after: bool) -> bool {
+    if let Some(pos) = block.iter().position(|s| s.id == target) {
+        block.insert(if after { pos + 1 } else { pos }, stmt);
+        return true;
+    }
+    for s in block.iter_mut() {
+        let inner = match &mut s.kind {
+            StmtKind::If {
+                then_branch,
+                else_branch,
+                ..
+            } => {
+                if insert_rel(then_branch, target, stmt.clone(), after) {
+                    true
+                } else {
+                    insert_rel(else_branch, target, stmt.clone(), after)
+                }
+            }
+            StmtKind::While { body, .. } | StmtKind::For { body, .. } => {
+                insert_rel(body, target, stmt.clone(), after)
+            }
+            _ => false,
+        };
+        if inner {
+            return true;
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use acfc_core::ensure_recovery_lines;
+    use acfc_mpsl::{programs, to_source};
+
+    #[test]
+    fn baseline_walks_the_same_trajectory_as_the_optimized_path() {
+        for p in [
+            programs::jacobi_odd_even(4),
+            programs::pipeline_skewed(4),
+            programs::pingpong_skewed(4),
+            programs::fig5(),
+            programs::fig6(4),
+        ] {
+            let config = Phase3Config {
+                nprocs: 8,
+                ..Phase3Config::default()
+            };
+            let (seed_prog, seed_moves) =
+                seed_ensure_recovery_lines(&p, &config).expect("seed baseline repairs");
+            let current = ensure_recovery_lines(&p, &config).expect("optimized path repairs");
+            assert_eq!(seed_moves, current.moves.len(), "{}", p.name);
+            assert_eq!(
+                to_source(&seed_prog),
+                to_source(&current.program),
+                "{}: trajectories diverge",
+                p.name
+            );
+        }
+    }
+}

@@ -39,12 +39,30 @@ pub fn build_cfg(program: &Program) -> (Cfg, Program) {
     if lowered.has_collectives() {
         lowered.lower_collectives();
     }
-    let mut cfg = Cfg::new(lowered.name.clone());
+    let cfg = build_cfg_prelowered(&lowered);
+    (cfg, lowered)
+}
+
+/// Builds the CFG of a program that has **already** had its collectives
+/// lowered, without cloning it. Statement ids on the nodes refer to
+/// `program` itself. This is the hot-loop entry point for Phase III,
+/// which lowers once and then rebuilds the CFG after every checkpoint
+/// relocation.
+///
+/// # Panics
+///
+/// Panics if the program still contains collectives.
+pub fn build_cfg_prelowered(program: &Program) -> Cfg {
+    assert!(
+        !program.has_collectives(),
+        "build_cfg_prelowered requires a collective-free program"
+    );
+    let mut cfg = Cfg::new(program.name.clone());
     let entry = cfg.entry();
-    let last = build_block(&mut cfg, &lowered.body, entry, EdgeLabel::Seq);
+    let last = build_block(&mut cfg, &program.body, entry, EdgeLabel::Seq);
     cfg.add_edge(last.0, cfg.exit(), last.1);
     debug_assert_eq!(cfg.check_invariants(), Ok(()));
-    (cfg, lowered)
+    cfg
 }
 
 /// Translates `block`, chaining from `(pred, label)`; returns the dangling

@@ -42,7 +42,7 @@ pub mod loops;
 pub mod paths;
 pub mod reach;
 
-pub use build::build_cfg;
+pub use build::{build_cfg, build_cfg_prelowered};
 pub use dfs::{dfs, DfsOrders};
 pub use dominators::{dominators, dominators_naive, dominators_with, Dominators};
 pub use dot::{node_label, to_dot};

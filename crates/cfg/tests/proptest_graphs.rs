@@ -1,60 +1,58 @@
 //! Property tests for the CFG machinery on randomly generated
 //! structured programs: the CHK dominator algorithm against the naive
 //! fixpoint, loop/back-edge invariants, reachability against path
-//! finding, and structural invariants of construction.
+//! finding, SCC-condensed closure against the per-node BFS oracle, and
+//! structural invariants of construction.
 
 use acfc_cfg::{
     build_cfg, dominators, dominators_naive, find_path, loop_info, Cfg, NodeId, Reach,
 };
 use acfc_mpsl::{Expr, Program, Stmt, StmtKind};
-use proptest::prelude::*;
+use acfc_util::check::{forall, Gen};
 
 /// Random structured statement trees (control flow only; the leaf
 /// statements don't matter for graph algorithms).
-fn arb_stmt() -> impl Strategy<Value = Stmt> {
-    let leaf = prop_oneof![
-        Just(Stmt::new(StmtKind::Compute { cost: Expr::Int(1) })),
-        Just(Stmt::new(StmtKind::Checkpoint { label: None })),
-        Just(Stmt::new(StmtKind::Send {
+fn arb_stmt(g: &mut Gen, depth: u32) -> Stmt {
+    let leaf = |g: &mut Gen| match g.usize_in(0, 4) {
+        0 => Stmt::new(StmtKind::Compute { cost: Expr::Int(1) }),
+        1 => Stmt::new(StmtKind::Checkpoint { label: None }),
+        2 => Stmt::new(StmtKind::Send {
             dest: Expr::Int(0),
-            size_bits: Expr::Int(8)
-        })),
-        Just(Stmt::new(StmtKind::Recv {
-            src: acfc_mpsl::RecvSrc::Any
-        })),
-    ];
-    leaf.prop_recursive(4, 40, 4, |inner| {
-        prop_oneof![
-            (
-                prop::collection::vec(inner.clone(), 0..4),
-                prop::collection::vec(inner.clone(), 0..4)
-            )
-                .prop_map(|(t, e)| Stmt::new(StmtKind::If {
-                    cond: Expr::Rank,
-                    then_branch: t,
-                    else_branch: e
-                })),
-            prop::collection::vec(inner.clone(), 0..4).prop_map(|body| Stmt::new(
-                StmtKind::While {
-                    cond: Expr::Var("i".into()),
-                    body
-                }
-            )),
-            (prop::collection::vec(inner, 1..4)).prop_map(|body| Stmt::new(StmtKind::For {
-                var: "i".into(),
-                from: Expr::Int(0),
-                to: Expr::Int(3),
-                body
-            })),
-        ]
-    })
+            size_bits: Expr::Int(8),
+        }),
+        _ => Stmt::new(StmtKind::Recv {
+            src: acfc_mpsl::RecvSrc::Any,
+        }),
+    };
+    if depth == 0 || g.prob(0.4) {
+        return leaf(g);
+    }
+    match g.usize_in(0, 3) {
+        0 => Stmt::new(StmtKind::If {
+            cond: Expr::Rank,
+            then_branch: g.vec_of(0, 4, |g| arb_stmt(g, depth - 1)),
+            else_branch: g.vec_of(0, 4, |g| arb_stmt(g, depth - 1)),
+        }),
+        1 => Stmt::new(StmtKind::While {
+            cond: Expr::Var("i".into()),
+            body: g.vec_of(0, 4, |g| arb_stmt(g, depth - 1)),
+        }),
+        _ => Stmt::new(StmtKind::For {
+            var: "i".into(),
+            from: Expr::Int(0),
+            to: Expr::Int(3),
+            body: g.vec_of(1, 4, |g| arb_stmt(g, depth - 1)),
+        }),
+    }
 }
 
-fn arb_cfg() -> impl Strategy<Value = Cfg> {
-    prop::collection::vec(arb_stmt(), 0..8).prop_map(|body| {
-        let p = Program::new("g", vec![], vec!["i".into()], body);
-        build_cfg(&p).0
-    })
+fn arb_body(g: &mut Gen) -> Vec<Stmt> {
+    g.vec_of(0, 8, |g| arb_stmt(g, 4))
+}
+
+fn arb_cfg(g: &mut Gen) -> Cfg {
+    let p = Program::new("g", vec![], vec!["i".into()], arb_body(g));
+    build_cfg(&p).0
 }
 
 fn adjacency(cfg: &Cfg) -> Vec<Vec<usize>> {
@@ -65,91 +63,138 @@ fn adjacency(cfg: &Cfg) -> Vec<Vec<usize>> {
     adj
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig {
-        cases: 64,
-        .. ProptestConfig::default()
-    })]
-
-    #[test]
-    fn construction_invariants_hold(cfg in arb_cfg()) {
-        prop_assert_eq!(cfg.check_invariants(), Ok(()));
+#[test]
+fn construction_invariants_hold() {
+    forall("construction_invariants_hold", 64, |g| {
+        let cfg = arb_cfg(g);
+        assert_eq!(cfg.check_invariants(), Ok(()));
         // Exit reachable from entry.
         let adj = adjacency(&cfg);
         let r = Reach::compute(&adj);
-        prop_assert!(r.reachable_or_eq(cfg.entry().index(), cfg.exit().index()));
-    }
+        assert!(r.reachable_or_eq(cfg.entry().index(), cfg.exit().index()));
+    });
+}
 
-    #[test]
-    fn fast_dominators_match_naive(cfg in arb_cfg()) {
+#[test]
+fn fast_dominators_match_naive() {
+    forall("fast_dominators_match_naive", 64, |g| {
+        let cfg = arb_cfg(g);
         let fast = dominators(&cfg);
         let slow = dominators_naive(&cfg);
         for a in cfg.node_ids() {
             for b in cfg.node_ids() {
-                prop_assert_eq!(
+                assert_eq!(
                     fast.dominates(a, b),
                     slow[b.index()][a.index()],
-                    "dominates({},{})", a, b
+                    "dominates({a},{b})"
                 );
             }
         }
-    }
+    });
+}
 
-    #[test]
-    fn back_edge_targets_are_loop_headers_dominating_their_latch(cfg in arb_cfg()) {
-        let dom = dominators(&cfg);
-        let li = loop_info(&cfg);
-        for &(latch, header, _) in &li.back_edges {
-            prop_assert!(dom.dominates(header, latch));
-        }
-        for l in &li.loops {
-            prop_assert!(l.contains(l.header));
-            prop_assert!(l.contains(l.back_edge.0));
-            // Every member is dominated by the header.
-            for m in cfg.node_ids().filter(|&m| l.contains(m)) {
-                prop_assert!(dom.dominates(l.header, m));
+#[test]
+fn back_edge_targets_are_loop_headers_dominating_their_latch() {
+    forall(
+        "back_edge_targets_are_loop_headers_dominating_their_latch",
+        64,
+        |g| {
+            let cfg = arb_cfg(g);
+            let dom = dominators(&cfg);
+            let li = loop_info(&cfg);
+            for &(latch, header, _) in &li.back_edges {
+                assert!(dom.dominates(header, latch));
             }
-        }
-    }
+            for l in &li.loops {
+                assert!(l.contains(l.header));
+                assert!(l.contains(l.back_edge.0));
+                // Every member is dominated by the header.
+                for m in cfg.node_ids().filter(|&m| l.contains(m)) {
+                    assert!(dom.dominates(l.header, m));
+                }
+            }
+        },
+    );
+}
 
-    #[test]
-    fn reach_agrees_with_path_finding(cfg in arb_cfg()) {
+#[test]
+fn reach_agrees_with_path_finding() {
+    forall("reach_agrees_with_path_finding", 64, |g| {
+        let cfg = arb_cfg(g);
         let adj = adjacency(&cfg);
         let r = Reach::compute(&adj);
         for a in cfg.node_ids() {
             for b in cfg.node_ids() {
                 let has_path = find_path(&adj, a.index(), b.index(), &|_, _| true).is_some();
-                prop_assert_eq!(r.reachable(a.index(), b.index()), has_path,
-                    "reach vs path at ({},{})", a, b);
+                assert_eq!(
+                    r.reachable(a.index(), b.index()),
+                    has_path,
+                    "reach vs path at ({a},{b})"
+                );
             }
         }
-    }
+    });
+}
 
-    #[test]
-    fn dominator_chains_are_consistent(cfg in arb_cfg()) {
+/// The SCC-condensed closure equals the per-node BFS oracle, on raw
+/// random digraphs (not just CFG-shaped ones): arbitrary density, self
+/// loops, unreachable parts, multi-edges.
+#[test]
+fn condensed_closure_matches_naive_bfs_on_random_digraphs() {
+    forall("condensed_closure_matches_naive_bfs", 128, |g| {
+        let n = g.usize_in(1, 40);
+        let mut succs = vec![Vec::new(); n];
+        let density = g.f64_in(0.02, 0.35);
+        for a in 0..n {
+            for b in 0..n {
+                if g.prob(density) {
+                    succs[a].push(b);
+                }
+            }
+            // Occasional duplicate edge to exercise multi-edge handling.
+            if g.prob(0.1) && !succs[a].is_empty() {
+                let dup = succs[a][0];
+                succs[a].push(dup);
+            }
+        }
+        let condensed = Reach::compute(&succs);
+        let naive = Reach::compute_naive(&succs);
+        assert_eq!(condensed.len(), naive.len());
+        for i in 0..n {
+            assert_eq!(condensed.row(i), naive.row(i), "row {i} differs (n={n})");
+        }
+    });
+}
+
+#[test]
+fn dominator_chains_are_consistent() {
+    forall("dominator_chains_are_consistent", 64, |g| {
+        let cfg = arb_cfg(g);
         let dom = dominators(&cfg);
         for n in cfg.node_ids() {
             let chain = dom.chain(n);
             if chain.is_empty() {
                 continue;
             }
-            prop_assert_eq!(chain[0], cfg.entry());
-            prop_assert_eq!(*chain.last().unwrap(), n);
+            assert_eq!(chain[0], cfg.entry());
+            assert_eq!(*chain.last().unwrap(), n);
             for w in chain.windows(2) {
-                prop_assert_eq!(dom.idom(w[1]), Some(w[0]));
-                prop_assert!(dom.dominates(w[0], w[1]));
+                assert_eq!(dom.idom(w[1]), Some(w[0]));
+                assert!(dom.dominates(w[0], w[1]));
             }
         }
-    }
+    });
+}
 
-    #[test]
-    fn checkpoint_nodes_match_statement_count(stmts in prop::collection::vec(arb_stmt(), 0..8)) {
-        let p = Program::new("g", vec![], vec!["i".into()], stmts);
+#[test]
+fn checkpoint_nodes_match_statement_count() {
+    forall("checkpoint_nodes_match_statement_count", 64, |g| {
+        let p = Program::new("g", vec![], vec!["i".into()], arb_body(g));
         let (cfg, lowered) = build_cfg(&p);
-        prop_assert_eq!(cfg.checkpoint_nodes().len(), lowered.checkpoint_ids().len());
-        prop_assert_eq!(cfg.send_nodes().len(), lowered.send_ids().len());
-        prop_assert_eq!(cfg.recv_nodes().len(), lowered.recv_ids().len());
-    }
+        assert_eq!(cfg.checkpoint_nodes().len(), lowered.checkpoint_ids().len());
+        assert_eq!(cfg.send_nodes().len(), lowered.send_ids().len());
+        assert_eq!(cfg.recv_nodes().len(), lowered.recv_ids().len());
+    });
 }
 
 /// The helper `NodeId` ordering is stable under arena growth.

@@ -9,6 +9,7 @@
 
 use crate::matching::{Matching, MessageEdge};
 use acfc_cfg::{loop_info, to_dot, Cfg, LoopInfo, NodeId, Reach};
+use std::collections::HashMap;
 
 /// The extended CFG of a program.
 #[derive(Debug, Clone)]
@@ -24,6 +25,42 @@ pub struct ExtendedCfg {
     /// Reachability over `Ĝ` minus the CFG's backward edges (message
     /// edges retained).
     reach_forward: Reach,
+    /// Per-checkpoint "message-reach" rows over `reach_full`: bit `b`
+    /// of `msg_full[c]` is set iff some message edge `e` satisfies
+    /// `c ⇝= e.send` and `e.recv ⇝= b`. Condition 1 probes these rows
+    /// instead of scanning every message edge per checkpoint pair.
+    msg_full: HashMap<NodeId, Vec<u64>>,
+    /// Same rows over `reach_forward` (no CFG backward edges).
+    msg_forward: HashMap<NodeId, Vec<u64>>,
+}
+
+/// OR-precomputation of the per-checkpoint message-reach rows (see
+/// [`ExtendedCfg::reaches_via_message`]): for each checkpoint `c`, the
+/// union over admissible message edges of `{e.recv} ∪ row(e.recv)` —
+/// whole-row bitset unions via [`Reach::row`], not per-bit probes.
+fn message_rows(
+    checkpoints: &[NodeId],
+    edges: &[MessageEdge],
+    reach: &Reach,
+) -> HashMap<NodeId, Vec<u64>> {
+    let words = reach.row_words();
+    checkpoints
+        .iter()
+        .map(|&c| {
+            let mut row = vec![0u64; words];
+            for e in edges {
+                if !reach.reachable_or_eq(c.index(), e.send.index()) {
+                    continue;
+                }
+                let r = e.recv.index();
+                row[r / 64] |= 1u64 << (r % 64);
+                for (dst, src) in row.iter_mut().zip(reach.row(r)) {
+                    *dst |= src;
+                }
+            }
+            (c, row)
+        })
+        .collect()
 }
 
 impl ExtendedCfg {
@@ -45,12 +82,17 @@ impl ExtendedCfg {
         }
         let reach_full = Reach::compute(&full);
         let reach_forward = Reach::compute(&forward);
+        let checkpoints = cfg.checkpoint_nodes();
+        let msg_full = message_rows(&checkpoints, &matching.edges, &reach_full);
+        let msg_forward = message_rows(&checkpoints, &matching.edges, &reach_forward);
         ExtendedCfg {
             cfg,
             message_edges: matching.edges.clone(),
             loops,
             reach_full,
             reach_forward,
+            msg_full,
+            msg_forward,
         }
     }
 
@@ -73,25 +115,33 @@ impl ExtendedCfg {
     /// message-free CFG paths between checkpoints with disjoint rank
     /// attributes are not cross-process causality.
     pub fn reaches_via_message(&self, a: NodeId, b: NodeId) -> bool {
-        self.message_edges.iter().any(|e| {
-            self.reach_full
-                .reachable_or_eq(a.index(), e.send.index())
-                && self
-                    .reach_full
-                    .reachable_or_eq(e.recv.index(), b.index())
-        })
+        match self.msg_full.get(&a) {
+            // Checkpoint sources (Condition 1's only callers) hit the
+            // precomputed row: a single bit probe.
+            Some(row) => row[b.index() / 64] & (1u64 << (b.index() % 64)) != 0,
+            None => self.message_edges.iter().any(|e| {
+                self.reach_full
+                    .reachable_or_eq(a.index(), e.send.index())
+                    && self
+                        .reach_full
+                        .reachable_or_eq(e.recv.index(), b.index())
+            }),
+        }
     }
 
     /// Like [`ExtendedCfg::reaches_via_message`], using no CFG backward
     /// edges.
     pub fn reaches_forward_via_message(&self, a: NodeId, b: NodeId) -> bool {
-        self.message_edges.iter().any(|e| {
-            self.reach_forward
-                .reachable_or_eq(a.index(), e.send.index())
-                && self
-                    .reach_forward
-                    .reachable_or_eq(e.recv.index(), b.index())
-        })
+        match self.msg_forward.get(&a) {
+            Some(row) => row[b.index() / 64] & (1u64 << (b.index() % 64)) != 0,
+            None => self.message_edges.iter().any(|e| {
+                self.reach_forward
+                    .reachable_or_eq(a.index(), e.send.index())
+                    && self
+                        .reach_forward
+                        .reachable_or_eq(e.recv.index(), b.index())
+            }),
+        }
     }
 
     /// Adjacency of `Ĝ` (all edges) as raw lists, for path finding.
@@ -214,6 +264,37 @@ mod tests {
         assert_eq!(g.message_edges.len(), 1);
         let dot = g.to_dot();
         assert!(dot.contains("style=dashed"));
+    }
+
+    #[test]
+    fn message_rows_agree_with_edge_scan() {
+        let g = extended(
+            "program t; var i;
+             for i in 0..3 {
+               if rank % 2 == 0 { checkpoint; send to rank + 1; recv from rank + 1; }
+               else { recv from rank - 1; checkpoint; send to rank - 1; }
+             }",
+            4,
+        );
+        assert!(!g.message_edges.is_empty());
+        for c in g.cfg.checkpoint_nodes() {
+            for b in g.cfg.node_ids() {
+                let scan_full = g.message_edges.iter().any(|e| {
+                    g.reach_full.reachable_or_eq(c.index(), e.send.index())
+                        && g.reach_full.reachable_or_eq(e.recv.index(), b.index())
+                });
+                assert_eq!(g.reaches_via_message(c, b), scan_full, "full ({c},{b})");
+                let scan_fwd = g.message_edges.iter().any(|e| {
+                    g.reach_forward.reachable_or_eq(c.index(), e.send.index())
+                        && g.reach_forward.reachable_or_eq(e.recv.index(), b.index())
+                });
+                assert_eq!(
+                    g.reaches_forward_via_message(c, b),
+                    scan_fwd,
+                    "forward ({c},{b})"
+                );
+            }
+        }
     }
 
     #[test]

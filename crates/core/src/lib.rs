@@ -51,6 +51,7 @@ pub mod multi_n;
 pub mod phase1;
 pub mod phase3;
 pub mod pipeline;
+pub mod reanalysis;
 
 pub use attr::{compute_attrs, NodeAttrs, RankSet};
 pub use condition::{check_condition1, condition1_holds, LoopPolicy, Violation};
@@ -59,10 +60,11 @@ pub use explain::{explain_cuts, explain_violation, explain_violations};
 pub use extended::ExtendedCfg;
 pub use iddep::{analyze_iddep, analyze_iddep_at, BranchClass, IdDepInfo};
 pub use matching::{match_send_recv, Matching, MatchingMode, MessageEdge};
-pub use multi_n::{analyze_for_all_n, condition1_at, MultiNAnalysis};
+pub use multi_n::{analyze_for_all_n, analyze_for_all_n_threads, condition1_at, MultiNAnalysis};
 pub use phase1::{
     equalize_checkpoints, estimate_program_cost, insert_checkpoints, optimal_interval,
     rebalance_checkpoints, InsertionConfig, InsertionReport,
 };
 pub use phase3::{ensure_recovery_lines, MoveRecord, Phase3Config, Phase3Error, Phase3Result};
 pub use pipeline::{analyze, Analysis, AnalysisConfig, AnalysisError};
+pub use reanalysis::ReanalysisCache;

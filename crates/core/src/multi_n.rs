@@ -23,6 +23,7 @@ use crate::iddep::analyze_iddep;
 use crate::matching::{match_send_recv, MatchingMode};
 use crate::pipeline::{analyze, Analysis, AnalysisConfig, AnalysisError};
 use acfc_mpsl::Program;
+use acfc_util::parallel::{configured_threads, par_map_threads};
 
 /// Condition-1 violations of `program` as written, at `n` processes.
 pub fn condition1_at(
@@ -62,7 +63,10 @@ impl MultiNAnalysis {
 }
 
 /// Runs the pipeline at `reference_n` and re-checks the result at each
-/// count in `all_n`.
+/// count in `all_n`. The per-`n` re-checks are independent and run on
+/// [`configured_threads`] worker threads (`ACFC_THREADS` overrides);
+/// results are collected in `all_n` order, so the report is identical
+/// to the sequential one at any thread count.
 ///
 /// # Errors
 ///
@@ -73,19 +77,39 @@ pub fn analyze_for_all_n(
     all_n: &[usize],
     config: &AnalysisConfig,
 ) -> Result<MultiNAnalysis, AnalysisError> {
+    analyze_for_all_n_threads(program, reference_n, all_n, config, configured_threads())
+}
+
+/// [`analyze_for_all_n`] with an explicit worker-thread count.
+///
+/// # Errors
+///
+/// Propagates pipeline errors from the reference analysis.
+pub fn analyze_for_all_n_threads(
+    program: &Program,
+    reference_n: usize,
+    all_n: &[usize],
+    config: &AnalysisConfig,
+    threads: usize,
+) -> Result<MultiNAnalysis, AnalysisError> {
     let config = AnalysisConfig {
         nprocs: reference_n,
         ..config.clone()
     };
     let analysis = analyze(program, &config)?;
+    let per_n = par_map_threads(all_n, threads, |_, &n| {
+        (
+            n,
+            condition1_at(&analysis.program, n, config.matching, config.policy).len(),
+        )
+    });
     let mut verified_at = Vec::new();
     let mut unsafe_at = Vec::new();
-    for &n in all_n {
-        let v = condition1_at(&analysis.program, n, config.matching, config.policy);
-        if v.is_empty() {
+    for (n, violations) in per_n {
+        if violations == 0 {
             verified_at.push(n);
         } else {
-            unsafe_at.push((n, v.len()));
+            unsafe_at.push((n, violations));
         }
     }
     Ok(MultiNAnalysis {
@@ -148,6 +172,18 @@ mod tests {
         assert!(!at4.is_empty(), "at n=4 the orphan pattern is visible");
         let at2 = condition1_at(&p, 2, MatchingMode::FifoOrdered, LoopPolicy::Optimized);
         assert!(at2.is_empty(), "at n=2 rank 2 never runs");
+    }
+
+    #[test]
+    fn parallel_report_is_identical_to_sequential() {
+        let all_n: Vec<usize> = vec![2, 3, 4, 5, 6, 8, 12, 16];
+        let p = programs::jacobi_odd_even(3);
+        let seq = analyze_for_all_n_threads(&p, 8, &all_n, &cfg(), 1).unwrap();
+        for threads in [2, 4, 8] {
+            let par = analyze_for_all_n_threads(&p, 8, &all_n, &cfg(), threads).unwrap();
+            assert_eq!(par.verified_at, seq.verified_at, "threads={threads}");
+            assert_eq!(par.unsafe_at, seq.unsafe_at, "threads={threads}");
+        }
     }
 
     #[test]

@@ -42,6 +42,10 @@ pub struct AnalysisConfig {
     pub equalize: bool,
     /// Phase III iteration cap.
     pub max_iterations: usize,
+    /// Reuse Phase II results across Algorithm 3.2 iterations via
+    /// [`crate::ReanalysisCache`] (checkpoint moves cannot change the
+    /// communication structure, so the matching replays by ordinal).
+    pub incremental: bool,
 }
 
 impl Default for AnalysisConfig {
@@ -53,6 +57,7 @@ impl Default for AnalysisConfig {
             insertion: Some(InsertionConfig::default()),
             equalize: true,
             max_iterations: 32,
+            incremental: true,
         }
     }
 }
@@ -211,6 +216,7 @@ pub fn analyze(program: &Program, config: &AnalysisConfig) -> Result<Analysis, A
         matching: config.matching,
         policy: config.policy,
         max_iterations: config.max_iterations,
+        incremental: config.incremental,
     };
     let result = ensure_recovery_lines(&prepared, &p3)?;
     let index = index_checkpoints(&result.extended.cfg, &result.program);

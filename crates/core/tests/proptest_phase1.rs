@@ -8,85 +8,100 @@ use acfc_core::phase1::{
     InsertionConfig,
 };
 use acfc_mpsl::{Expr, Program, RecvSrc, Stmt, StmtKind};
-use proptest::prelude::*;
+use acfc_util::check::{forall, Gen};
 
-fn arb_stmt() -> impl Strategy<Value = Stmt> {
-    let leaf = prop_oneof![
-        Just(Stmt::new(StmtKind::Compute { cost: Expr::Int(1) })),
-        Just(Stmt::new(StmtKind::Checkpoint { label: None })),
-        Just(Stmt::new(StmtKind::Send {
+fn arb_stmt(g: &mut Gen, depth: u32) -> Stmt {
+    let leaf = |g: &mut Gen| match g.usize_in(0, 4) {
+        0 => Stmt::new(StmtKind::Compute { cost: Expr::Int(1) }),
+        1 => Stmt::new(StmtKind::Checkpoint { label: None }),
+        2 => Stmt::new(StmtKind::Send {
             dest: Expr::Int(0),
-            size_bits: Expr::Int(8)
-        })),
-        Just(Stmt::new(StmtKind::Recv {
-            src: RecvSrc::Any
-        })),
-    ];
-    leaf.prop_recursive(3, 32, 4, |inner| {
-        prop_oneof![
-            (
-                prop::collection::vec(inner.clone(), 0..4),
-                prop::collection::vec(inner.clone(), 0..4)
-            )
-                .prop_map(|(t, e)| Stmt::new(StmtKind::If {
-                    cond: Expr::Rank,
-                    then_branch: t,
-                    else_branch: e
-                })),
-            prop::collection::vec(inner, 1..4).prop_map(|body| Stmt::new(StmtKind::For {
-                var: "i".into(),
-                from: Expr::Int(0),
-                to: Expr::Int(2),
-                body
-            })),
-        ]
-    })
+            size_bits: Expr::Int(8),
+        }),
+        _ => Stmt::new(StmtKind::Recv { src: RecvSrc::Any }),
+    };
+    if depth == 0 || g.prob(0.4) {
+        return leaf(g);
+    }
+    if g.bool() {
+        Stmt::new(StmtKind::If {
+            cond: Expr::Rank,
+            then_branch: g.vec_of(0, 4, |g| arb_stmt(g, depth - 1)),
+            else_branch: g.vec_of(0, 4, |g| arb_stmt(g, depth - 1)),
+        })
+    } else {
+        Stmt::new(StmtKind::For {
+            var: "i".into(),
+            from: Expr::Int(0),
+            to: Expr::Int(2),
+            body: g.vec_of(1, 4, |g| arb_stmt(g, depth - 1)),
+        })
+    }
 }
 
-fn arb_program() -> impl Strategy<Value = Program> {
-    prop::collection::vec(arb_stmt(), 0..6)
-        .prop_map(|body| Program::new("p1", vec![], vec!["i".into()], body))
+fn arb_program(g: &mut Gen) -> Program {
+    Program::new(
+        "p1",
+        vec![],
+        vec!["i".into()],
+        g.vec_of(0, 6, |g| arb_stmt(g, 3)),
+    )
 }
 
-proptest! {
-    #[test]
-    fn equalize_makes_counts_exact(mut p in arb_program()) {
+#[test]
+fn equalize_makes_counts_exact() {
+    forall("equalize_makes_counts_exact", 256, |g| {
+        let mut p = arb_program(g);
         equalize_checkpoints(&mut p);
         let (min, max) = static_count(&p.body);
-        prop_assert_eq!(min, max);
-    }
+        assert_eq!(min, max);
+    });
+}
 
-    #[test]
-    fn equalize_is_idempotent(mut p in arb_program()) {
+#[test]
+fn equalize_is_idempotent() {
+    forall("equalize_is_idempotent", 256, |g| {
+        let mut p = arb_program(g);
         equalize_checkpoints(&mut p);
         let snapshot = p.clone();
         let added = equalize_checkpoints(&mut p);
-        prop_assert_eq!(added, 0);
-        prop_assert_eq!(p, snapshot);
-    }
+        assert_eq!(added, 0);
+        assert_eq!(p, snapshot);
+    });
+}
 
-    #[test]
-    fn equalize_only_adds(mut p in arb_program()) {
+#[test]
+fn equalize_only_adds() {
+    forall("equalize_only_adds", 256, |g| {
+        let mut p = arb_program(g);
         let before = p.checkpoint_ids().len();
         let added = equalize_checkpoints(&mut p);
-        prop_assert_eq!(p.checkpoint_ids().len(), before + added);
-    }
+        assert_eq!(p.checkpoint_ids().len(), before + added);
+    });
+}
 
-    #[test]
-    fn rebalance_makes_counts_exact_without_net_growth(mut p in arb_program()) {
+#[test]
+fn rebalance_makes_counts_exact_without_net_growth() {
+    forall("rebalance_makes_counts_exact_without_net_growth", 256, |g| {
+        let mut p = arb_program(g);
         let before = p.checkpoint_ids().len();
         let (removed, added) = rebalance_checkpoints(&mut p);
         let (min, max) = static_count(&p.body);
-        prop_assert_eq!(min, max);
-        prop_assert_eq!(p.checkpoint_ids().len(), before - removed + added);
-    }
+        assert_eq!(min, max);
+        assert_eq!(p.checkpoint_ids().len(), before - removed + added);
+    });
+}
 
-    #[test]
-    fn insertion_leaves_checkpointed_programs_alone(mut p in arb_program()) {
-        prop_assume!(!p.checkpoint_ids().is_empty());
+#[test]
+fn insertion_leaves_checkpointed_programs_alone() {
+    forall("insertion_leaves_checkpointed_programs_alone", 256, |g| {
+        let mut p = arb_program(g);
+        if p.checkpoint_ids().is_empty() {
+            return;
+        }
         let before = p.clone();
         let rep = insert_checkpoints(&mut p, &InsertionConfig::default());
-        prop_assert_eq!(rep.inserted, 0);
-        prop_assert_eq!(p, before);
-    }
+        assert_eq!(rep.inserted, 0);
+        assert_eq!(p, before);
+    });
 }

@@ -4,140 +4,154 @@
 
 use acfc_mpsl::{eval, expr_to_string, parse, to_source, BinOp, Env, Expr, Program, RecvSrc,
     Stmt, StmtKind, UnOp};
-use proptest::prelude::*;
+use acfc_util::check::{forall, Gen};
 
-fn arb_expr() -> impl Strategy<Value = Expr> {
-    let leaf = prop_oneof![
-        (-100i64..100).prop_map(Expr::Int),
-        Just(Expr::Rank),
-        Just(Expr::NProcs),
-        Just(Expr::Var("x".into())),
-        Just(Expr::Var("loop_v".into())),
-        Just(Expr::Param("p".into())),
-        (0u32..3).prop_map(Expr::Input),
-    ];
-    leaf.prop_recursive(4, 32, 4, |inner| {
-        prop_oneof![
-            (inner.clone(), inner.clone(), arb_binop())
-                .prop_map(|(a, b, op)| Expr::bin(op, a, b)),
+fn arb_expr(g: &mut Gen, depth: u32) -> Expr {
+    let leaf = |g: &mut Gen| match g.usize_in(0, 7) {
+        0 => Expr::Int(g.i64_in(-100, 100)),
+        1 => Expr::Rank,
+        2 => Expr::NProcs,
+        3 => Expr::Var("x".into()),
+        4 => Expr::Var("loop_v".into()),
+        5 => Expr::Param("p".into()),
+        _ => Expr::Input(g.u64_in(0, 3) as u32),
+    };
+    if depth == 0 || g.prob(0.4) {
+        return leaf(g);
+    }
+    match g.usize_in(0, 3) {
+        0 => {
+            let a = arb_expr(g, depth - 1);
+            let b = arb_expr(g, depth - 1);
+            Expr::bin(arb_binop(g), a, b)
+        }
+        1 => {
             // Canonical negation, mirroring the parser: a negated
             // literal is a literal.
-            inner.clone().prop_map(|e| match e {
+            match arb_expr(g, depth - 1) {
                 Expr::Int(v) => Expr::Int(-v),
                 other => Expr::Unary(UnOp::Neg, Box::new(other)),
-            }),
-            inner.prop_map(|e| Expr::Unary(UnOp::Not, Box::new(e))),
-        ]
-    })
+            }
+        }
+        _ => Expr::Unary(UnOp::Not, Box::new(arb_expr(g, depth - 1))),
+    }
 }
 
-fn arb_binop() -> impl Strategy<Value = BinOp> {
-    prop_oneof![
-        Just(BinOp::Add),
-        Just(BinOp::Sub),
-        Just(BinOp::Mul),
-        Just(BinOp::Div),
-        Just(BinOp::Mod),
-        Just(BinOp::Eq),
-        Just(BinOp::Ne),
-        Just(BinOp::Lt),
-        Just(BinOp::Le),
-        Just(BinOp::Gt),
-        Just(BinOp::Ge),
-        Just(BinOp::And),
-        Just(BinOp::Or),
-    ]
+fn arb_binop(g: &mut Gen) -> BinOp {
+    *g.pick(&[
+        BinOp::Add,
+        BinOp::Sub,
+        BinOp::Mul,
+        BinOp::Div,
+        BinOp::Mod,
+        BinOp::Eq,
+        BinOp::Ne,
+        BinOp::Lt,
+        BinOp::Le,
+        BinOp::Gt,
+        BinOp::Ge,
+        BinOp::And,
+        BinOp::Or,
+    ])
 }
 
-fn arb_stmt() -> impl Strategy<Value = Stmt> {
-    let leaf = prop_oneof![
-        arb_expr().prop_map(|cost| Stmt::new(StmtKind::Compute { cost })),
-        arb_expr().prop_map(|value| Stmt::new(StmtKind::Assign {
+fn arb_label(g: &mut Gen) -> String {
+    let words = g.usize_in(1, 4);
+    (0..words)
+        .map(|_| g.ident(1, 9))
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
+fn arb_stmt(g: &mut Gen, depth: u32) -> Stmt {
+    let leaf = |g: &mut Gen| match g.usize_in(0, 8) {
+        0 => Stmt::new(StmtKind::Compute { cost: arb_expr(g, 3) }),
+        1 => Stmt::new(StmtKind::Assign {
             var: "x".into(),
-            value
-        })),
-        (arb_expr(), arb_expr()).prop_map(|(dest, size_bits)| Stmt::new(StmtKind::Send {
-            dest,
-            size_bits
-        })),
-        arb_expr().prop_map(|e| Stmt::new(StmtKind::Recv {
-            src: RecvSrc::Rank(e)
-        })),
-        Just(Stmt::new(StmtKind::Recv { src: RecvSrc::Any })),
-        proptest::option::of("[a-z]{1,8}( [a-z]{1,8}){0,2}")
-            .prop_map(|label| Stmt::new(StmtKind::Checkpoint { label })),
-        (arb_expr(), arb_expr()).prop_map(|(root, size_bits)| {
-            // bcast roots must be rank-independent; force a literal.
-            let _ = root;
-            Stmt::new(StmtKind::Bcast {
-                root: Expr::Int(0),
-                size_bits,
-            })
+            value: arb_expr(g, 3),
         }),
-        arb_expr().prop_map(|peer| Stmt::new(StmtKind::Exchange {
-            peer,
-            size_bits: Expr::Int(8)
-        })),
-    ];
-    leaf.prop_recursive(3, 24, 4, |inner| {
-        prop_oneof![
-            (
-                arb_expr(),
-                prop::collection::vec(inner.clone(), 0..3),
-                prop::collection::vec(inner.clone(), 0..3)
-            )
-                .prop_map(|(cond, then_branch, else_branch)| Stmt::new(StmtKind::If {
-                    cond,
-                    then_branch,
-                    else_branch
-                })),
-            (arb_expr(), prop::collection::vec(inner.clone(), 1..3)).prop_map(
-                |(cond, body)| Stmt::new(StmtKind::While { cond, body })
-            ),
-            (arb_expr(), arb_expr(), prop::collection::vec(inner, 1..3)).prop_map(
-                |(from, to, body)| Stmt::new(StmtKind::For {
-                    var: "loop_v".into(),
-                    from,
-                    to,
-                    body
-                })
-            ),
-        ]
-    })
+        2 => Stmt::new(StmtKind::Send {
+            dest: arb_expr(g, 3),
+            size_bits: arb_expr(g, 3),
+        }),
+        3 => Stmt::new(StmtKind::Recv {
+            src: RecvSrc::Rank(arb_expr(g, 3)),
+        }),
+        4 => Stmt::new(StmtKind::Recv { src: RecvSrc::Any }),
+        5 => Stmt::new(StmtKind::Checkpoint {
+            label: g.option(0.5, arb_label),
+        }),
+        6 => Stmt::new(StmtKind::Bcast {
+            // bcast roots must be rank-independent; force a literal.
+            root: Expr::Int(0),
+            size_bits: arb_expr(g, 3),
+        }),
+        _ => Stmt::new(StmtKind::Exchange {
+            peer: arb_expr(g, 3),
+            size_bits: Expr::Int(8),
+        }),
+    };
+    if depth == 0 || g.prob(0.4) {
+        return leaf(g);
+    }
+    match g.usize_in(0, 3) {
+        0 => Stmt::new(StmtKind::If {
+            cond: arb_expr(g, 3),
+            then_branch: g.vec_of(0, 3, |g| arb_stmt(g, depth - 1)),
+            else_branch: g.vec_of(0, 3, |g| arb_stmt(g, depth - 1)),
+        }),
+        1 => Stmt::new(StmtKind::While {
+            cond: arb_expr(g, 3),
+            body: g.vec_of(1, 3, |g| arb_stmt(g, depth - 1)),
+        }),
+        _ => Stmt::new(StmtKind::For {
+            var: "loop_v".into(),
+            from: arb_expr(g, 3),
+            to: arb_expr(g, 3),
+            body: g.vec_of(1, 3, |g| arb_stmt(g, depth - 1)),
+        }),
+    }
 }
 
-fn arb_program() -> impl Strategy<Value = Program> {
-    prop::collection::vec(arb_stmt(), 0..6).prop_map(|body| {
-        Program::new(
-            "prop",
-            vec![("p".into(), 7)],
-            vec!["x".into(), "loop_v".into()],
-            body,
-        )
-    })
+fn arb_program(g: &mut Gen) -> Program {
+    Program::new(
+        "prop",
+        vec![("p".into(), 7)],
+        vec!["x".into(), "loop_v".into()],
+        g.vec_of(0, 6, |g| arb_stmt(g, 3)),
+    )
 }
 
-proptest! {
-    #[test]
-    fn pretty_print_round_trips(p in arb_program()) {
+#[test]
+fn pretty_print_round_trips() {
+    forall("pretty_print_round_trips", 256, |g| {
+        let p = arb_program(g);
         let printed = to_source(&p);
         let reparsed = parse(&printed)
             .unwrap_or_else(|e| panic!("reparse failed: {e}\n{printed}"));
-        prop_assert_eq!(&reparsed, &p, "\n--- printed ---\n{}", printed);
+        assert_eq!(&reparsed, &p, "\n--- printed ---\n{printed}");
         // And printing is a fixpoint.
-        prop_assert_eq!(to_source(&reparsed), printed);
-    }
+        assert_eq!(to_source(&reparsed), printed);
+    });
+}
 
-    #[test]
-    fn expr_rendering_round_trips(e in arb_expr()) {
+#[test]
+fn expr_rendering_round_trips() {
+    forall("expr_rendering_round_trips", 256, |g| {
+        let e = arb_expr(g, 4);
         let text = format!("program t; param p = 7; compute {};", expr_to_string(&e));
         let p = parse(&text).unwrap_or_else(|err| panic!("{err}\n{text}"));
         let StmtKind::Compute { cost } = &p.body[0].kind else { panic!() };
-        prop_assert_eq!(cost, &e, "\n{}", text);
-    }
+        assert_eq!(cost, &e, "\n{text}");
+    });
+}
 
-    #[test]
-    fn eval_never_panics(e in arb_expr(), rank in 0i64..16, n in 1i64..16) {
+#[test]
+fn eval_never_panics() {
+    forall("eval_never_panics", 256, |g| {
+        let e = arb_expr(g, 4);
+        let rank = g.i64_in(0, 16);
+        let n = g.i64_in(1, 16);
         let mut env = Env::new(rank, n);
         env.params.insert("p".into(), 7);
         env.vars.insert("x".into(), 3);
@@ -145,14 +159,17 @@ proptest! {
         env.inputs = vec![1, 2, 3];
         // Any Result is fine; panics are not.
         let _ = eval(&e, &env);
-    }
+    });
+}
 
-    #[test]
-    fn renumber_is_stable_and_dense(p in arb_program()) {
+#[test]
+fn renumber_is_stable_and_dense() {
+    forall("renumber_is_stable_and_dense", 256, |g| {
+        let p = arb_program(g);
         let mut ids = Vec::new();
         p.visit(&mut |s| ids.push(s.id.0));
         // Pre-order dense numbering from zero.
         let expected: Vec<u32> = (0..ids.len() as u32).collect();
-        prop_assert_eq!(ids, expected);
-    }
+        assert_eq!(ids, expected);
+    });
 }

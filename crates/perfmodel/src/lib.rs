@@ -45,7 +45,7 @@ pub use interval::{
     overhead_ratio_paper_form, IntervalParams,
 };
 pub use markov::MarkovChain;
-pub use montecarlo::{simulate_interval, McEstimate};
+pub use montecarlo::{simulate_interval, simulate_interval_threads, McEstimate};
 pub use protocols::{ModelParams, ModelProtocol};
 pub use sweep::{
     figure8, figure8_default_ns, figure9, figure9_default_wms, to_tsv, Row,

@@ -6,10 +6,19 @@
 //! completion time against the analytic `Γ`. This is the E3 experiment
 //! of `EXPERIMENTS.md`: the model and an independent stochastic
 //! simulation agree to within Monte-Carlo error.
+//!
+//! ## Determinism under parallelism
+//!
+//! Trials are partitioned into fixed-size **chunks**; chunk `c` always
+//! consumes RNG stream `c` of the seed ([`acfc_util::rng::Rng::stream`])
+//! and chunk partial sums are merged in chunk order. The estimate is
+//! therefore **bit-identical** for a fixed `(trials, seed)` pair at any
+//! thread count — the parallel sweep and the sequential oracle agree
+//! exactly, which the determinism tests pin.
 
 use crate::interval::IntervalParams;
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use acfc_util::parallel::{configured_threads, par_map_threads};
+use acfc_util::rng::Rng;
 
 /// Result of a Monte-Carlo estimation.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -24,46 +33,78 @@ pub struct McEstimate {
     pub trials: usize,
 }
 
-fn draw_exp(rng: &mut SmallRng, lambda: f64) -> f64 {
-    let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
-    -u.ln() / lambda
+/// Trials per RNG stream. Fixed (not derived from the thread count) so
+/// the chunk decomposition — and hence the result — is machine-independent.
+const CHUNK: usize = 4096;
+
+/// One simulated interval completion time.
+fn one_trial(p: &IntervalParams, rng: &mut Rng, exposure1: f64, exposure2: f64) -> f64 {
+    let mut elapsed = 0.0f64;
+    // First attempt: exposure T+O.
+    let mut ttf = rng.exp(p.lambda);
+    if ttf >= exposure1 {
+        elapsed += exposure1;
+    } else {
+        elapsed += ttf;
+        // Retry loop from the recovery state with exposure T+R+L.
+        loop {
+            ttf = rng.exp(p.lambda);
+            if ttf >= exposure2 {
+                elapsed += exposure2;
+                break;
+            }
+            elapsed += ttf;
+        }
+    }
+    elapsed
 }
 
 /// Simulates `trials` checkpoint intervals and returns the sample
-/// statistics of their completion time.
+/// statistics of their completion time, fanning the trial chunks out
+/// over the configured thread count (see the module docs; the result
+/// does not depend on the thread count).
 ///
 /// # Panics
 ///
 /// Panics on invalid parameters or `trials == 0`.
 pub fn simulate_interval(p: &IntervalParams, trials: usize, seed: u64) -> McEstimate {
+    simulate_interval_threads(p, trials, seed, configured_threads())
+}
+
+/// [`simulate_interval`] with an explicit thread count (1 = fully
+/// sequential; used by the determinism tests and the bench harness).
+///
+/// # Panics
+///
+/// Panics on invalid parameters or `trials == 0`.
+pub fn simulate_interval_threads(
+    p: &IntervalParams,
+    trials: usize,
+    seed: u64,
+    threads: usize,
+) -> McEstimate {
     p.check();
     assert!(trials > 0, "need at least one trial");
-    let mut rng = SmallRng::seed_from_u64(seed);
     let exposure1 = p.t + p.o_total;
     let exposure2 = p.t + p.r_recovery + p.l_total;
-    let mut sum = 0.0f64;
-    let mut sum_sq = 0.0f64;
-    for _ in 0..trials {
-        let mut elapsed = 0.0f64;
-        // First attempt: exposure T+O.
-        let mut ttf = draw_exp(&mut rng, p.lambda);
-        if ttf >= exposure1 {
-            elapsed += exposure1;
-        } else {
-            elapsed += ttf;
-            // Retry loop from the recovery state with exposure T+R+L.
-            loop {
-                ttf = draw_exp(&mut rng, p.lambda);
-                if ttf >= exposure2 {
-                    elapsed += exposure2;
-                    break;
-                }
-                elapsed += ttf;
-            }
+    let chunks: Vec<(usize, usize)> = (0..trials.div_ceil(CHUNK))
+        .map(|c| (c, (trials - c * CHUNK).min(CHUNK)))
+        .collect();
+    let partials = par_map_threads(&chunks, threads, |_, &(chunk, len)| {
+        let mut rng = Rng::stream(seed, chunk as u64);
+        let mut sum = 0.0f64;
+        let mut sum_sq = 0.0f64;
+        for _ in 0..len {
+            let elapsed = one_trial(p, &mut rng, exposure1, exposure2);
+            sum += elapsed;
+            sum_sq += elapsed * elapsed;
         }
-        sum += elapsed;
-        sum_sq += elapsed * elapsed;
-    }
+        (sum, sum_sq)
+    });
+    // Ordered merge: chunk order, independent of which thread ran what.
+    let (sum, sum_sq) = partials
+        .into_iter()
+        .fold((0.0f64, 0.0f64), |(a, b), (s, q)| (a + s, b + q));
     let n = trials as f64;
     let mean = sum / n;
     let var = (sum_sq / n - mean * mean).max(0.0) * n / (n - 1.0).max(1.0);
@@ -135,6 +176,20 @@ mod tests {
         assert_eq!(a, b);
         let c = simulate_interval(&p, 10_000, 10);
         assert_ne!(a.mean, c.mean);
+    }
+
+    #[test]
+    fn parallel_is_bit_identical_to_sequential() {
+        let p = params(1e-3);
+        // 5 full chunks + a ragged tail.
+        let trials = 5 * 4096 + 123;
+        let seq = simulate_interval_threads(&p, trials, 42, 1);
+        for threads in [2, 4, 8] {
+            let par = simulate_interval_threads(&p, trials, 42, threads);
+            assert_eq!(seq, par, "threads={threads}");
+            assert_eq!(seq.mean.to_bits(), par.mean.to_bits());
+            assert_eq!(seq.std_dev.to_bits(), par.std_dev.to_bits());
+        }
     }
 
     #[test]

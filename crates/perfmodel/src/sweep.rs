@@ -1,6 +1,12 @@
 //! Figure sweeps: the series behind Figures 8 and 9.
+//!
+//! Rows are independent, so both sweeps evaluate on
+//! [`acfc_util::parallel::par_map`] worker threads (`ACFC_THREADS`
+//! overrides); results come back in x-axis order regardless of thread
+//! count, so regenerated figures are byte-identical.
 
 use crate::protocols::{ModelParams, ModelProtocol};
+use acfc_util::parallel::par_map;
 
 /// One row of a figure: the x-value plus the overhead ratio of each
 /// protocol (appl-driven, SaS, C-L).
@@ -18,15 +24,12 @@ pub struct Row {
 
 /// Figure 8 — overhead ratio vs. number of processes.
 pub fn figure8(params: &ModelParams, n_values: &[usize]) -> Vec<Row> {
-    n_values
-        .iter()
-        .map(|&n| Row {
-            x: n as f64,
-            app_driven: params.ratio(ModelProtocol::AppDriven, n),
-            sas: params.ratio(ModelProtocol::SyncAndStop, n),
-            chandy_lamport: params.ratio(ModelProtocol::ChandyLamport, n),
-        })
-        .collect()
+    par_map(n_values, |_, &n| Row {
+        x: n as f64,
+        app_driven: params.ratio(ModelProtocol::AppDriven, n),
+        sas: params.ratio(ModelProtocol::SyncAndStop, n),
+        chandy_lamport: params.ratio(ModelProtocol::ChandyLamport, n),
+    })
 }
 
 /// The default Figure-8 x-axis: powers of two from 2 to 512.
@@ -37,21 +40,18 @@ pub fn figure8_default_ns() -> Vec<usize> {
 /// Figure 9 — overhead ratio vs. message setup time `w_m` (seconds) at
 /// fixed `n`.
 pub fn figure9(params: &ModelParams, n: usize, w_m_values: &[f64]) -> Vec<Row> {
-    w_m_values
-        .iter()
-        .map(|&wm| {
-            let p = ModelParams {
-                w_m: wm,
-                ..*params
-            };
-            Row {
-                x: wm,
-                app_driven: p.ratio(ModelProtocol::AppDriven, n),
-                sas: p.ratio(ModelProtocol::SyncAndStop, n),
-                chandy_lamport: p.ratio(ModelProtocol::ChandyLamport, n),
-            }
-        })
-        .collect()
+    par_map(w_m_values, |_, &wm| {
+        let p = ModelParams {
+            w_m: wm,
+            ..*params
+        };
+        Row {
+            x: wm,
+            app_driven: p.ratio(ModelProtocol::AppDriven, n),
+            sas: p.ratio(ModelProtocol::SyncAndStop, n),
+            chandy_lamport: p.ratio(ModelProtocol::ChandyLamport, n),
+        }
+    })
 }
 
 /// The default Figure-9 x-axis: `w_m ∈ {0, 0.1, …, 1.0}` seconds.

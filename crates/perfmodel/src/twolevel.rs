@@ -18,8 +18,7 @@
 //! instance is flushed to stable storage. No coordination is added
 //! either way.
 
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use acfc_util::rng::Rng;
 
 /// Parameters of the two-level scheme (seconds; rates per second).
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -103,11 +102,10 @@ pub fn overhead_ratio_analytic(p: &TwoLevelParams) -> f64 {
 pub fn overhead_ratio_monte_carlo(p: &TwoLevelParams, cycles: usize, seed: u64) -> f64 {
     p.check();
     assert!(cycles > 0, "need at least one cycle");
-    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     let total_rate = p.lambda_single + p.lambda_cat;
-    let draw_ttf = |rng: &mut SmallRng| -> (f64, bool) {
-        let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
-        let ttf = -u.ln() / total_rate;
+    let draw_ttf = |rng: &mut Rng| -> (f64, bool) {
+        let ttf = rng.exp(total_rate);
         let cat = rng.gen_bool(p.lambda_cat / total_rate);
         (ttf, cat)
     };

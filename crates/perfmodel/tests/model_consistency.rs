@@ -7,53 +7,63 @@ use acfc_perfmodel::{
     gamma_closed_form, gamma_markov, overhead_ratio, overhead_ratio_paper_form,
     simulate_interval, IntervalParams, ModelParams, ModelProtocol,
 };
-use proptest::prelude::*;
+use acfc_util::check::{forall, Gen};
 
-fn arb_params() -> impl Strategy<Value = IntervalParams> {
-    (
-        1e-7f64..1e-3,
-        10.0f64..2000.0,
-        0.0f64..20.0,
-        0.0f64..20.0,
-        0.0f64..20.0,
-    )
-        .prop_map(|(lambda, t, o, l_extra, r)| IntervalParams {
-            lambda,
-            t,
-            o_total: o,
-            // Keep L ≥ O (latency includes the overhead in practice).
-            l_total: o + l_extra,
-            r_recovery: r,
-        })
+fn arb_params(g: &mut Gen) -> IntervalParams {
+    let lambda = g.f64_in(1e-7, 1e-3);
+    let t = g.f64_in(10.0, 2000.0);
+    let o = g.f64_in(0.0, 20.0);
+    let l_extra = g.f64_in(0.0, 20.0);
+    let r = g.f64_in(0.0, 20.0);
+    IntervalParams {
+        lambda,
+        t,
+        o_total: o,
+        // Keep L ≥ O (latency includes the overhead in practice).
+        l_total: o + l_extra,
+        r_recovery: r,
+    }
 }
 
-proptest! {
-    #[test]
-    fn paper_forms_agree_everywhere(p in arb_params()) {
+#[test]
+fn paper_forms_agree_everywhere() {
+    forall("paper_forms_agree_everywhere", 256, |g| {
+        let p = arb_params(g);
         let a = overhead_ratio(&p);
         let b = overhead_ratio_paper_form(&p);
-        prop_assert!((a - b).abs() <= 1e-9 * (1.0 + a.abs()), "{a} vs {b}");
-    }
+        assert!((a - b).abs() <= 1e-9 * (1.0 + a.abs()), "{a} vs {b}");
+    });
+}
 
-    #[test]
-    fn closed_form_equals_chain_in_plotted_regime(p in arb_params()) {
+#[test]
+fn closed_form_equals_chain_in_plotted_regime() {
+    forall("closed_form_equals_chain_in_plotted_regime", 256, |g| {
+        let p = arb_params(g);
         // Restrict to the regime where 1-(1-p) double rounding is
         // negligible (λ·exposure < 5).
-        prop_assume!(p.lambda * (p.t + p.r_recovery + p.l_total) < 5.0);
+        if p.lambda * (p.t + p.r_recovery + p.l_total) >= 5.0 {
+            return;
+        }
         let cf = gamma_closed_form(&p);
         let mk = gamma_markov(&p);
-        prop_assert!((cf - mk).abs() / mk < 1e-6, "{cf} vs {mk}");
-    }
+        assert!((cf - mk).abs() / mk < 1e-6, "{cf} vs {mk}");
+    });
+}
 
-    #[test]
-    fn ratio_exceeds_the_failure_free_floor(p in arb_params()) {
+#[test]
+fn ratio_exceeds_the_failure_free_floor() {
+    forall("ratio_exceeds_the_failure_free_floor", 256, |g| {
+        let p = arb_params(g);
         // r ≥ O/T with equality only as λ→0.
         let r = overhead_ratio(&p);
-        prop_assert!(r >= p.o_total / p.t - 1e-12);
-    }
+        assert!(r >= p.o_total / p.t - 1e-12);
+    });
+}
 
-    #[test]
-    fn ratio_monotone_in_each_overhead(p in arb_params()) {
+#[test]
+fn ratio_monotone_in_each_overhead() {
+    forall("ratio_monotone_in_each_overhead", 256, |g| {
+        let p = arb_params(g);
         let base = overhead_ratio(&p);
         let more_o = overhead_ratio(&IntervalParams {
             o_total: p.o_total + 1.0,
@@ -68,24 +78,30 @@ proptest! {
             lambda: p.lambda * 1.5,
             ..p
         });
-        prop_assert!(more_o > base);
-        prop_assert!(more_r > base);
-        prop_assert!(more_lambda > base);
-    }
+        assert!(more_o > base);
+        assert!(more_r > base);
+        assert!(more_lambda > base);
+    });
+}
 
-    #[test]
-    fn gamma_is_finite_and_above_t(p in arb_params()) {
-        prop_assume!(p.lambda * (p.t + p.r_recovery + p.l_total) < 600.0);
-        let g = gamma_closed_form(&p);
-        prop_assert!(g.is_finite());
-        prop_assert!(g > p.t);
-    }
+#[test]
+fn gamma_is_finite_and_above_t() {
+    forall("gamma_is_finite_and_above_t", 256, |g| {
+        let p = arb_params(g);
+        if p.lambda * (p.t + p.r_recovery + p.l_total) >= 600.0 {
+            return;
+        }
+        let gamma = gamma_closed_form(&p);
+        assert!(gamma.is_finite());
+        assert!(gamma > p.t);
+    });
+}
 
-    #[test]
-    fn monte_carlo_tracks_the_closed_form(
-        lambda_exp in -6.0f64..-3.0,
-        seed in 0u64..100,
-    ) {
+#[test]
+fn monte_carlo_tracks_the_closed_form() {
+    forall("monte_carlo_tracks_the_closed_form", 32, |g| {
+        let lambda_exp = g.f64_in(-6.0, -3.0);
+        let seed = g.u64_in(0, 100);
         let p = IntervalParams {
             lambda: 10f64.powf(lambda_exp),
             t: 300.0,
@@ -96,12 +112,14 @@ proptest! {
         let est = simulate_interval(&p, 20_000, seed);
         let exact = gamma_closed_form(&p);
         // 6 standard errors + a small absolute slack.
-        prop_assert!(
+        assert!(
             (est.mean - exact).abs() < 6.0 * est.std_err + 1e-6 * exact,
             "MC {} vs exact {} (stderr {})",
-            est.mean, exact, est.std_err
+            est.mean,
+            exact,
+            est.std_err
         );
-    }
+    });
 }
 
 #[test]

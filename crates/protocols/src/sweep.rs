@@ -10,6 +10,7 @@
 use crate::compare::{run_protocol, CompareConfig, ProtocolKind, RunStats};
 use acfc_mpsl::{programs, Program};
 use acfc_sim::{FailurePlan, SimConfig, SimTime};
+use acfc_util::parallel::par_map;
 use std::fmt::Write;
 
 /// Configuration of an empirical sweep.
@@ -53,9 +54,14 @@ pub struct SweepRow {
 /// Runs the sweep: for each `n`, each protocol runs the same workload
 /// with the same failure plan (drawn at rate `n·λ` over a horizon of
 /// roughly the failure-free makespan).
+///
+/// The per-`n` columns are independent — everything inside one is
+/// derived from `config.seed` and `n` — so they run on
+/// [`acfc_util::parallel::par_map`] worker threads (`ACFC_THREADS`
+/// overrides) and are flattened back in `ns` order: the report is
+/// identical at any thread count.
 pub fn empirical_sweep(config: &SweepConfig) -> Vec<SweepRow> {
-    let mut rows = Vec::new();
-    for &n in &config.ns {
+    let columns = par_map(&config.ns, |_, &n| {
         let program = (config.workload)(n);
         // Probe the failure-free makespan to size the failure horizon.
         let probe = acfc_sim::run(
@@ -72,14 +78,15 @@ pub fn empirical_sweep(config: &SweepConfig) -> Vec<SweepRow> {
         let mut cc = CompareConfig::new(n, config.interval_us);
         cc.sim = cc.sim.with_seed(config.seed);
         cc.failures = plan;
-        for kind in ProtocolKind::all() {
-            rows.push(SweepRow {
+        ProtocolKind::all()
+            .into_iter()
+            .map(|kind| SweepRow {
                 n,
                 stats: run_protocol(&program, kind, &cc),
-            });
-        }
-    }
-    rows
+            })
+            .collect::<Vec<_>>()
+    });
+    columns.into_iter().flatten().collect()
 }
 
 /// Renders the sweep as a TSV table (`n`, protocol, ratio, checkpoints,

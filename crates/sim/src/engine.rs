@@ -22,8 +22,7 @@ use crate::trace::{
     Snapshot, Trace,
 };
 use acfc_mpsl::{eval, Env, EvalError, Expr, RecvSrc, StmtId};
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use acfc_util::rng::Rng;
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, VecDeque};
 
@@ -133,7 +132,7 @@ struct Engine<'a> {
     checkpoints: Vec<CheckpointRecord>,
     failures: Vec<FailureRecord>,
     metrics: Metrics,
-    rng: SmallRng,
+    rng: Rng,
     outcome: Option<Outcome>,
     max_time: SimTime,
     inline_budget: u32,
@@ -193,7 +192,7 @@ impl<'a> Engine<'a> {
             checkpoints: Vec::new(),
             failures: Vec::new(),
             metrics: Metrics::default(),
-            rng: SmallRng::seed_from_u64(config.seed),
+            rng: Rng::seed_from_u64(config.seed),
             outcome: None,
             max_time: SimTime::ZERO,
             inline_budget: INLINE_BUDGET,
@@ -464,7 +463,7 @@ impl<'a> Engine<'a> {
         proc.step += 1;
         let piggyback = self.hooks.piggyback(p, self.procs[p].ckpt_seq, now);
         let jitter = if self.config.net.jitter_us > 0 {
-            self.rng.gen_range(0..=self.config.net.jitter_us)
+            self.rng.gen_u64_inclusive(self.config.net.jitter_us)
         } else {
             0
         };
@@ -735,7 +734,7 @@ impl<'a> Engine<'a> {
         for (i, at) in redeliveries {
             let m = &self.messages[i];
             let jitter = if self.config.net.jitter_us > 0 {
-                self.rng.gen_range(0..=self.config.net.jitter_us)
+                self.rng.gen_u64_inclusive(self.config.net.jitter_us)
             } else {
                 0
             };

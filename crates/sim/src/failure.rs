@@ -9,8 +9,7 @@
 
 use crate::time::SimTime;
 use crate::trace::{CheckpointRecord, MessageRecord};
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use acfc_util::rng::Rng;
 
 /// A schedule of failures to inject: `(time, process)` pairs.
 #[derive(Debug, Clone, Default)]
@@ -46,13 +45,12 @@ impl FailurePlan {
             lambda_per_sec.is_finite() && lambda_per_sec > 0.0,
             "lambda must be positive"
         );
-        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut rng = Rng::seed_from_u64(seed);
         let mut events = Vec::new();
         for p in 0..nprocs {
             let mut t = 0.0f64;
             loop {
-                let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
-                t += -u.ln() / lambda_per_sec;
+                t += rng.exp(lambda_per_sec);
                 let us = (t * 1e6) as u64;
                 if us > horizon.as_micros() {
                     break;

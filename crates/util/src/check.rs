@@ -1,0 +1,221 @@
+//! A miniature property-test harness.
+//!
+//! Replaces the former `proptest` dev-dependency with something the
+//! repo owns: a seeded generator handle ([`Gen`]) plus a [`forall`]
+//! runner. There is no shrinking — instead every case is **replayable**:
+//! a failing case panics with its case number, and
+//! `ACFC_CHECK_CASE=<n>` re-runs exactly that case (with
+//! `ACFC_CHECK_SEED` overriding the base seed when set). Case streams
+//! are derived per-case via [`crate::rng::Rng::stream`], so inserting
+//! draws inside one case never perturbs the others.
+//!
+//! `ACFC_CHECK_CASES` scales the case count globally (e.g. a longer
+//! nightly run).
+
+use crate::rng::Rng;
+
+/// The per-case random source handed to a property.
+#[derive(Debug)]
+pub struct Gen {
+    rng: Rng,
+    /// The case number within the `forall` run (for diagnostics).
+    pub case: u32,
+}
+
+impl Gen {
+    /// A generator over an explicit RNG (for standalone use).
+    pub fn from_rng(rng: Rng, case: u32) -> Gen {
+        Gen { rng, case }
+    }
+
+    /// Uniform `usize` in `lo..hi`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    pub fn usize_in(&mut self, lo: usize, hi: usize) -> usize {
+        assert!(lo < hi, "empty range {lo}..{hi}");
+        lo + self.rng.gen_index(hi - lo)
+    }
+
+    /// Uniform `i64` in `lo..hi`.
+    pub fn i64_in(&mut self, lo: i64, hi: i64) -> i64 {
+        self.rng.gen_i64_range(lo, hi)
+    }
+
+    /// Uniform `u64` in `lo..hi`.
+    pub fn u64_in(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo < hi, "empty range {lo}..{hi}");
+        lo + self.rng.gen_u64_inclusive(hi - lo - 1)
+    }
+
+    /// Uniform `f64` in `[lo, hi)`.
+    pub fn f64_in(&mut self, lo: f64, hi: f64) -> f64 {
+        self.rng.gen_f64_range(lo, hi)
+    }
+
+    /// A fair coin.
+    pub fn bool(&mut self) -> bool {
+        self.rng.next_u64() & 1 == 1
+    }
+
+    /// `true` with probability `p`.
+    pub fn prob(&mut self, p: f64) -> bool {
+        self.rng.gen_bool(p)
+    }
+
+    /// Picks one element of a non-empty slice.
+    pub fn pick<'a, T>(&mut self, options: &'a [T]) -> &'a T {
+        &options[self.rng.gen_index(options.len())]
+    }
+
+    /// Chooses a variant index given `weights` (like `prop_oneof!` with
+    /// weights); returns the selected index.
+    pub fn weighted(&mut self, weights: &[u32]) -> usize {
+        let total: u64 = weights.iter().map(|&w| w as u64).sum();
+        assert!(total > 0, "all weights zero");
+        let mut x = self.rng.gen_u64_inclusive(total - 1);
+        for (i, &w) in weights.iter().enumerate() {
+            if x < w as u64 {
+                return i;
+            }
+            x -= w as u64;
+        }
+        unreachable!()
+    }
+
+    /// Builds a vector of `usize_in(lo, hi)` elements via `f`.
+    pub fn vec_of<T>(&mut self, lo: usize, hi: usize, mut f: impl FnMut(&mut Gen) -> T) -> Vec<T> {
+        let len = if lo == hi { lo } else { self.usize_in(lo, hi) };
+        (0..len).map(|_| f(self)).collect()
+    }
+
+    /// `Some(f(g))` with probability `p`.
+    pub fn option<T>(&mut self, p: f64, f: impl FnOnce(&mut Gen) -> T) -> Option<T> {
+        if self.prob(p) {
+            Some(f(self))
+        } else {
+            None
+        }
+    }
+
+    /// A lowercase ASCII identifier of length `lo..hi`.
+    pub fn ident(&mut self, lo: usize, hi: usize) -> String {
+        let len = self.usize_in(lo.max(1), hi.max(2));
+        (0..len)
+            .map(|_| (b'a' + self.rng.gen_index(26) as u8) as char)
+            .collect()
+    }
+}
+
+fn env_u32(name: &str) -> Option<u32> {
+    std::env::var(name).ok()?.trim().parse().ok()
+}
+
+fn env_u64(name: &str) -> Option<u64> {
+    std::env::var(name).ok()?.trim().parse().ok()
+}
+
+/// Derives a stable base seed from the property name (so adding a
+/// property never shifts another's cases).
+fn base_seed(name: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64; // FNV-1a
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    h
+}
+
+/// Runs `property` for `cases` independently seeded cases. On failure
+/// the panic message names the case; re-run just that case with
+/// `ACFC_CHECK_CASE=<n>`. `ACFC_CHECK_CASES` multiplies the case count
+/// by `<value>/100` (percent), `ACFC_CHECK_SEED` overrides the base
+/// seed derived from `name`.
+pub fn forall(name: &str, cases: u32, mut property: impl FnMut(&mut Gen)) {
+    let seed = env_u64("ACFC_CHECK_SEED").unwrap_or_else(|| base_seed(name));
+    if let Some(case) = env_u32("ACFC_CHECK_CASE") {
+        let mut g = Gen::from_rng(Rng::stream(seed, case as u64), case);
+        property(&mut g);
+        return;
+    }
+    let scaled = match env_u32("ACFC_CHECK_CASES") {
+        Some(pct) => ((cases as u64 * pct as u64) / 100).max(1) as u32,
+        None => cases,
+    };
+    for case in 0..scaled {
+        let mut g = Gen::from_rng(Rng::stream(seed, case as u64), case);
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            property(&mut g);
+        }));
+        if let Err(payload) = outcome {
+            eprintln!(
+                "property `{name}` failed at case {case}/{scaled} \
+                 (replay: ACFC_CHECK_CASE={case} ACFC_CHECK_SEED={seed})"
+            );
+            std::panic::resume_unwind(payload);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forall_runs_every_case() {
+        let mut seen = Vec::new();
+        forall("count", 10, |g| seen.push(g.case));
+        assert_eq!(seen, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn cases_are_independent_of_draw_count() {
+        // Case 3's draws are identical whether earlier cases draw a lot
+        // or a little: streams are derived per case, not chained.
+        let mut a = Vec::new();
+        forall("indep", 5, |g| {
+            if g.case < 3 {
+                let _ = g.usize_in(0, 100);
+            }
+            a.push(g.i64_in(0, 1_000_000));
+        });
+        let mut b = Vec::new();
+        forall("indep", 5, |g| {
+            b.push(g.i64_in(0, 1_000_000));
+        });
+        assert_eq!(a[3..], b[3..]);
+    }
+
+    #[test]
+    fn failing_case_is_reported() {
+        let result = std::panic::catch_unwind(|| {
+            forall("boom", 20, |g| assert!(g.case != 7));
+        });
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn weighted_respects_zero_weight() {
+        forall("weights", 50, |g| {
+            let i = g.weighted(&[1, 0, 3]);
+            assert_ne!(i, 1);
+        });
+    }
+
+    #[test]
+    fn generator_helpers_stay_in_bounds() {
+        forall("bounds", 100, |g| {
+            let v = g.vec_of(0, 5, |g| g.usize_in(2, 9));
+            assert!(v.len() < 5);
+            assert!(v.iter().all(|&x| (2..9).contains(&x)));
+            let s = g.ident(1, 8);
+            assert!(!s.is_empty() && s.len() < 8);
+            assert!(s.bytes().all(|b| b.is_ascii_lowercase()));
+            let o = g.option(0.5, |g| g.f64_in(0.0, 1.0));
+            if let Some(x) = o {
+                assert!((0.0..1.0).contains(&x));
+            }
+        });
+    }
+}

@@ -1,0 +1,127 @@
+//! Scoped-thread fan-out without external crates.
+//!
+//! The analysis and evaluation sweeps are embarrassingly parallel
+//! (per-`n` re-checks, Monte-Carlo chunks, figure rows), so a work-list
+//! over `std::thread::scope` is all that is needed. The helpers here
+//! preserve **input order** in the output and are deterministic as long
+//! as the per-item closure is (thread assignment never leaks into the
+//! result).
+//!
+//! The thread count comes from, in priority order:
+//!
+//! 1. the explicit `threads` argument ([`par_map_threads`]),
+//! 2. the `ACFC_THREADS` environment variable,
+//! 3. [`std::thread::available_parallelism`].
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// The fan-out width used by [`par_map`]: `ACFC_THREADS` if set and
+/// positive, otherwise the machine's available parallelism (1 if even
+/// that is unknown).
+pub fn configured_threads() -> usize {
+    if let Ok(v) = std::env::var("ACFC_THREADS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n >= 1 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Maps `f` over `items` on [`configured_threads`] threads, returning
+/// results in input order. See [`par_map_threads`].
+pub fn par_map<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    par_map_threads(items, configured_threads(), f)
+}
+
+/// Maps `f(index, item)` over `items` on up to `threads` OS threads
+/// (scoped; no detached threads survive the call), returning results in
+/// **input order**. With `threads <= 1`, runs inline with no thread
+/// machinery at all — the sequential and parallel paths execute the
+/// same closure on the same items, so any deterministic `f` yields
+/// identical output at every thread count.
+///
+/// Work is distributed by an atomic cursor (dynamic load balancing), so
+/// heterogeneous item costs — e.g. Phase-III re-analysis at different
+/// `n` — don't serialise on the slowest chunk.
+pub fn par_map_threads<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let workers = threads.min(items.len());
+    if workers <= 1 {
+        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+    }
+    let slots: Mutex<Vec<Option<R>>> = Mutex::new((0..items.len()).map(|_| None).collect());
+    let cursor = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                if i >= items.len() {
+                    break;
+                }
+                let value = f(i, &items[i]);
+                slots.lock().expect("no worker panicked")[i] = Some(value);
+            });
+        }
+    });
+    slots
+        .into_inner()
+        .expect("no worker panicked")
+        .into_iter()
+        .map(|slot| slot.expect("worker filled every slot"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_input_order() {
+        let items: Vec<usize> = (0..1000).collect();
+        let out = par_map_threads(&items, 8, |i, &x| {
+            assert_eq!(i, x);
+            x * 2
+        });
+        assert_eq!(out, items.iter().map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn sequential_and_parallel_agree() {
+        let items: Vec<u64> = (0..257).collect();
+        let seq = par_map_threads(&items, 1, |_, &x| x.wrapping_mul(0x9E3779B97F4A7C15));
+        let par = par_map_threads(&items, 4, |_, &x| x.wrapping_mul(0x9E3779B97F4A7C15));
+        assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn empty_and_singleton_inputs() {
+        let none: Vec<i32> = vec![];
+        assert!(par_map_threads(&none, 4, |_, &x| x).is_empty());
+        assert_eq!(par_map_threads(&[7], 4, |_, &x| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn configured_threads_is_positive() {
+        assert!(configured_threads() >= 1);
+    }
+
+    #[test]
+    fn more_threads_than_items_is_fine() {
+        let out = par_map_threads(&[1, 2, 3], 64, |_, &x| x);
+        assert_eq!(out, vec![1, 2, 3]);
+    }
+}

@@ -17,7 +17,7 @@ use acfc_mpsl::builder::{e, BlockBuilder, ProgramBuilder};
 use acfc_mpsl::Program;
 use acfc_sim::consistency::{cut_consistency, cut_consistency_oracle};
 use acfc_sim::{compile, run, SimConfig};
-use proptest::prelude::*;
+use acfc_util::check::{forall, Gen};
 
 /// Where to put a checkpoint relative to a communication idiom.
 #[derive(Debug, Clone, Copy)]
@@ -45,27 +45,25 @@ enum Item {
     RingShift(CkptPos),
 }
 
-fn pos_strategy() -> impl Strategy<Value = CkptPos> {
-    prop_oneof![
-        Just(CkptPos::None),
-        Just(CkptPos::Before),
-        Just(CkptPos::After),
-    ]
+fn arb_pos(g: &mut Gen) -> CkptPos {
+    *g.pick(&[CkptPos::None, CkptPos::Before, CkptPos::After])
 }
 
-fn item_strategy() -> impl Strategy<Value = Item> {
-    prop_oneof![
-        (1i64..20).prop_map(Item::Compute),
-        Just(Item::Checkpoint),
-        (pos_strategy(), pos_strategy())
-            .prop_map(|(even, odd)| Item::ParityExchange { even, odd }),
-        (any::<bool>(), any::<bool>()).prop_map(|(head_ckpt, tail_ckpt)| Item::Chain {
-            head_ckpt,
-            tail_ckpt
-        }),
-        pos_strategy().prop_map(Item::Gather),
-        pos_strategy().prop_map(Item::RingShift),
-    ]
+fn arb_item(g: &mut Gen) -> Item {
+    match g.usize_in(0, 6) {
+        0 => Item::Compute(g.i64_in(1, 20)),
+        1 => Item::Checkpoint,
+        2 => Item::ParityExchange {
+            even: arb_pos(g),
+            odd: arb_pos(g),
+        },
+        3 => Item::Chain {
+            head_ckpt: g.bool(),
+            tail_ckpt: g.bool(),
+        },
+        4 => Item::Gather(arb_pos(g)),
+        _ => Item::RingShift(arb_pos(g)),
+    }
 }
 
 fn emit_ckpt(b: &mut BlockBuilder, pos: CkptPos, when: CkptPos) {
@@ -187,37 +185,31 @@ fn build_program(items: &[Item], loop_iters: i64) -> Program {
         .build()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig {
-        max_shrink_iters: 256,
-        .. ProptestConfig::default()
-    })]
-
-    #[test]
-    fn theorem_3_2_holds_for_random_programs(
-        items in prop::collection::vec(item_strategy(), 1..5),
-        loop_iters in 1i64..4,
-        seed in 0u64..1000,
-    ) {
+#[test]
+fn theorem_3_2_holds_for_random_programs() {
+    forall("theorem_3_2_holds_for_random_programs", 256, |g| {
+        let items = g.vec_of(1, 5, arb_item);
+        let loop_iters = g.i64_in(1, 4);
+        let seed = g.u64_in(0, 1000);
         let program = build_program(&items, loop_iters);
-        prop_assume!(!program.checkpoint_ids().is_empty());
-        let analysis = match analyze(&program, &AnalysisConfig::for_nprocs(8)) {
-            Ok(a) => a,
-            Err(err) => {
-                // The pipeline must not fail on this generator's
-                // vocabulary; surface it as a counterexample.
-                return Err(TestCaseError::fail(format!(
+        if program.checkpoint_ids().is_empty() {
+            return;
+        }
+        let analysis = analyze(&program, &AnalysisConfig::for_nprocs(8))
+            // The pipeline must not fail on this generator's
+            // vocabulary; surface it as a counterexample.
+            .unwrap_or_else(|err| {
+                panic!(
                     "analysis failed: {err}\n{}",
                     acfc_mpsl::to_source(&program)
-                )));
-            }
-        };
+                )
+            });
         for n in [2usize, 4, 5] {
             let trace = run(
                 &compile(&analysis.program),
                 &SimConfig::new(n).with_seed(seed),
             );
-            prop_assert!(
+            assert!(
                 trace.completed(),
                 "n={n}: {:?}\n{}",
                 trace.outcome,
@@ -228,8 +220,8 @@ proptest! {
                 let cut = vec![i; n];
                 let vc = cut_consistency(&trace, &cut);
                 let oracle = cut_consistency_oracle(&trace, &cut);
-                prop_assert_eq!(vc, oracle, "checkers disagree at cut {}", i);
-                prop_assert!(
+                assert_eq!(vc, oracle, "checkers disagree at cut {i}");
+                assert!(
                     vc,
                     "straight cut {} not a recovery line (n={}):\n{}",
                     i,
@@ -238,22 +230,27 @@ proptest! {
                 );
             }
         }
-    }
+    });
+}
 
-    #[test]
-    fn transformation_preserves_message_behaviour(
-        items in prop::collection::vec(item_strategy(), 1..4),
-        loop_iters in 1i64..3,
-    ) {
+#[test]
+fn transformation_preserves_message_behaviour() {
+    forall("transformation_preserves_message_behaviour", 256, |g| {
+        let items = g.vec_of(1, 4, arb_item);
+        let loop_iters = g.i64_in(1, 3);
         let program = build_program(&items, loop_iters);
-        prop_assume!(!program.checkpoint_ids().is_empty());
-        let analysis = analyze(&program, &AnalysisConfig::for_nprocs(8))
-            .map_err(|e| TestCaseError::fail(e.to_string()))?;
+        if program.checkpoint_ids().is_empty() {
+            return;
+        }
+        let analysis =
+            analyze(&program, &AnalysisConfig::for_nprocs(8)).expect("analysis failed");
         let before = run(&compile(&program), &SimConfig::new(4));
         let after = run(&compile(&analysis.program), &SimConfig::new(4));
-        prop_assume!(before.completed());
-        prop_assert!(after.completed());
-        prop_assert_eq!(before.metrics.app_messages, after.metrics.app_messages);
-        prop_assert_eq!(before.metrics.app_bits, after.metrics.app_bits);
-    }
+        if !before.completed() {
+            return;
+        }
+        assert!(after.completed());
+        assert_eq!(before.metrics.app_messages, after.metrics.app_messages);
+        assert_eq!(before.metrics.app_bits, after.metrics.app_bits);
+    });
 }

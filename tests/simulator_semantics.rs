@@ -7,7 +7,7 @@ use acfc_mpsl::{parse, programs};
 use acfc_sim::{
     compile, run, run_with_failures, CutPicker, FailurePlan, NoHooks, SimConfig, SimTime, Trace,
 };
-use proptest::prelude::*;
+use acfc_util::check::forall;
 use std::collections::HashMap;
 
 /// Independently reconstructs happened-before over live trace events
@@ -155,42 +155,37 @@ fn rollback_replay_reaches_identical_final_variable_state() {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig {
-        cases: 64,
-        .. ProptestConfig::default()
-    })]
-
-    #[test]
-    fn determinism_and_consistency_across_seeds(
-        seed in 0u64..10_000,
-        n in 2usize..7,
-        iters in 1i64..6,
-    ) {
+#[test]
+fn determinism_and_consistency_across_seeds() {
+    forall("determinism_and_consistency_across_seeds", 64, |g| {
+        let seed = g.u64_in(0, 10_000);
+        let n = g.usize_in(2, 7);
+        let iters = g.i64_in(1, 6);
         let p = programs::jacobi(iters);
         let c = compile(&p);
         let cfg = SimConfig::new(n).with_seed(seed);
         let t1 = run(&c, &cfg);
         let t2 = run(&c, &cfg);
-        prop_assert!(t1.completed());
-        prop_assert_eq!(t1.finished_at, t2.finished_at);
-        prop_assert_eq!(t1.messages.len(), t2.messages.len());
-        prop_assert!(acfc_sim::consistency::all_straight_cuts_consistent(&t1));
-    }
+        assert!(t1.completed());
+        assert_eq!(t1.finished_at, t2.finished_at);
+        assert_eq!(t1.messages.len(), t2.messages.len());
+        assert!(acfc_sim::consistency::all_straight_cuts_consistent(&t1));
+    });
+}
 
-    #[test]
-    fn random_failure_times_never_break_completion(
-        fail_ms in 1u64..400,
-        victim in 0usize..3,
-        seed in 0u64..1000,
-    ) {
+#[test]
+fn random_failure_times_never_break_completion() {
+    forall("random_failure_times_never_break_completion", 64, |g| {
+        let fail_ms = g.u64_in(1, 400);
+        let victim = g.usize_in(0, 3);
+        let seed = g.u64_in(0, 1000);
         let p = programs::stencil_1d(5);
         let c = compile(&p);
         let cfg = SimConfig::new(3).with_seed(seed);
         let plan = FailurePlan::at(vec![(SimTime::from_millis(fail_ms), victim)]);
         let mut hooks = NoHooks;
         let t = run_with_failures(&c, &cfg, &mut hooks, plan, CutPicker::AlignedSeq);
-        prop_assert!(t.completed(), "{:?}", t.outcome);
-        prop_assert_eq!(t.checkpoint_counts(), vec![5, 5, 5]);
-    }
+        assert!(t.completed(), "{:?}", t.outcome);
+        assert_eq!(t.checkpoint_counts(), vec![5, 5, 5]);
+    });
 }
