@@ -154,8 +154,7 @@ pub fn seed_ensure_recovery_lines(
     if current.has_collectives() {
         current.lower_collectives();
     }
-    let mut moves = 0usize;
-    for _ in 0..config.max_iterations {
+    for (moves, _) in (0..config.max_iterations).enumerate() {
         let (cfg, lowered) = build_cfg(&current);
         let iddep = analyze_iddep(&cfg, &lowered);
         let attrs = compute_attrs(&cfg, config.nprocs, &iddep);
@@ -169,7 +168,6 @@ pub fn seed_ensure_recovery_lines(
         if !apply_move(&mut current, &extended, v, config) {
             return None;
         }
-        moves += 1;
         rebalance_checkpoints(&mut current);
     }
     None

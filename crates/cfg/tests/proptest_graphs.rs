@@ -145,16 +145,16 @@ fn condensed_closure_matches_naive_bfs_on_random_digraphs() {
         let n = g.usize_in(1, 40);
         let mut succs = vec![Vec::new(); n];
         let density = g.f64_in(0.02, 0.35);
-        for a in 0..n {
+        for row in &mut succs {
             for b in 0..n {
                 if g.prob(density) {
-                    succs[a].push(b);
+                    row.push(b);
                 }
             }
             // Occasional duplicate edge to exercise multi-edge handling.
-            if g.prob(0.1) && !succs[a].is_empty() {
-                let dup = succs[a][0];
-                succs[a].push(dup);
+            if g.prob(0.1) && !row.is_empty() {
+                let dup = row[0];
+                row.push(dup);
             }
         }
         let condensed = Reach::compute(&succs);

@@ -69,7 +69,8 @@ impl Env {
     }
 }
 
-fn apply_bin(op: BinOp, a: i64, b: i64) -> Result<i64, EvalError> {
+#[inline]
+pub(crate) fn apply_bin(op: BinOp, a: i64, b: i64) -> Result<i64, EvalError> {
     let bool_to_i = |b: bool| i64::from(b);
     Ok(match op {
         BinOp::Add => a.checked_add(b).ok_or(EvalError::Overflow)?,

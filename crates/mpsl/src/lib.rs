@@ -44,6 +44,7 @@ pub mod ast;
 pub mod builder;
 pub mod expr;
 pub mod lexer;
+pub mod lowered;
 pub mod mpmd;
 pub mod parser;
 pub mod pretty;
@@ -52,6 +53,7 @@ pub mod validate;
 
 pub use ast::{BinOp, Block, Expr, Program, RecvSrc, Stmt, StmtId, StmtKind, UnOp};
 pub use expr::{eval, rank_eval, Env, EvalError, RankEnv, RankVal};
+pub use lowered::{eval_ops, lower_expr, Op, SlotEnv, SlotResolver};
 pub use lexer::{lex, LexError};
 pub use parser::{parse, ParseError};
 pub use pretty::{expr_to_string, to_source};

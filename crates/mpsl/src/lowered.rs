@@ -1,0 +1,411 @@
+//! Expression lowering: flat, constant-folded postfix op arrays over
+//! slot-interned names.
+//!
+//! The tree-walking evaluator in [`crate::expr`] resolves every variable
+//! and parameter through a `HashMap<String, i64>` and recurses through
+//! `Box`ed subtrees — fine for the offline analysis, far too slow for a
+//! simulator stepping hundreds of millions of instructions. This module
+//! lowers an [`Expr`] into a flat [`Op`] array in postfix order:
+//!
+//! * names become dense **slot indices** (the caller supplies a
+//!   [`SlotResolver`] that interns them),
+//! * constant subtrees are folded at lowering time (only when folding
+//!   cannot change error behaviour: division by zero, overflow, and
+//!   unbound names still surface at evaluation time, in the same
+//!   left-to-right order as the recursive evaluator),
+//! * evaluation ([`eval_ops`]) is a non-recursive stack machine over a
+//!   caller-provided scratch buffer — no hashing, no allocation on the
+//!   hot path, and a fast path for the ubiquitous single-op expression.
+//!
+//! Error semantics are bit-compatible with [`crate::eval`]: the same
+//! [`EvalError`] values in the same order for the same inputs.
+
+use crate::ast::{BinOp, Expr, UnOp};
+use crate::expr::{apply_bin, EvalError};
+
+/// One postfix operation of a lowered expression.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Op {
+    /// Push a constant.
+    Const(i64),
+    /// Push the evaluating process's rank.
+    Rank,
+    /// Push the number of processes.
+    NProcs,
+    /// Push variable slot `0` of the per-process state; errors with
+    /// [`EvalError::UnboundVar`] while the slot is unbound.
+    Load(u32),
+    /// Push parameter slot `0` of the shared parameter table; errors
+    /// with [`EvalError::UnboundParam`] if the slot has no binding.
+    Param(u32),
+    /// Push `inputs[k]`, erroring with [`EvalError::MissingInput`].
+    Input(u32),
+    /// Negate the top of stack (checked).
+    Neg,
+    /// Logical not of the top of stack.
+    Not,
+    /// Apply a binary operator to the top two stack values.
+    Bin(BinOp),
+}
+
+/// Interns variable and parameter names into dense slot indices during
+/// lowering. Implementations decide the slot layout (e.g. declared
+/// variables first); lowering only requires that equal names map to
+/// equal slots.
+pub trait SlotResolver {
+    /// Slot for variable `name` (interning it if new).
+    fn var_slot(&mut self, name: &str) -> u32;
+    /// Slot for parameter `name` (interning it if new).
+    fn param_slot(&mut self, name: &str) -> u32;
+}
+
+/// Lowers `expr` to postfix ops appended to `out`, interning names via
+/// `resolver` and folding constant subtrees whose evaluation cannot
+/// fail.
+pub fn lower_expr(expr: &Expr, resolver: &mut dyn SlotResolver, out: &mut Vec<Op>) {
+    match expr {
+        Expr::Int(v) => out.push(Op::Const(*v)),
+        Expr::Rank => out.push(Op::Rank),
+        Expr::NProcs => out.push(Op::NProcs),
+        Expr::Var(v) => out.push(Op::Load(resolver.var_slot(v))),
+        Expr::Param(p) => out.push(Op::Param(resolver.param_slot(p))),
+        Expr::Input(k) => out.push(Op::Input(*k)),
+        Expr::Unary(op, a) => {
+            let start = out.len();
+            lower_expr(a, resolver, out);
+            if let Some(v) = single_const(out, start) {
+                let folded = match op {
+                    UnOp::Neg => v.checked_neg(),
+                    UnOp::Not => Some(i64::from(v == 0)),
+                };
+                if let Some(f) = folded {
+                    out[start] = Op::Const(f);
+                    return;
+                }
+            }
+            out.push(match op {
+                UnOp::Neg => Op::Neg,
+                UnOp::Not => Op::Not,
+            });
+        }
+        Expr::Binary(op, a, b) => {
+            let a_start = out.len();
+            lower_expr(a, resolver, out);
+            let a_const = single_const(out, a_start);
+            let b_start = out.len();
+            lower_expr(b, resolver, out);
+            let b_const = single_const(out, b_start);
+            if let (Some(x), Some(y)) = (a_const, b_const) {
+                if let Ok(v) = apply_bin(*op, x, y) {
+                    out.truncate(a_start);
+                    out.push(Op::Const(v));
+                    return;
+                }
+            }
+            out.push(Op::Bin(*op));
+        }
+    }
+}
+
+/// The value of the subexpression starting at `start`, if it lowered to
+/// exactly one `Const` op.
+fn single_const(out: &[Op], start: usize) -> Option<i64> {
+    match out[start..] {
+        [Op::Const(v)] => Some(v),
+        _ => None,
+    }
+}
+
+/// Everything a lowered expression needs at evaluation time. Variable
+/// state is a flat slice (plus a per-slot bound flag reproducing the
+/// "read before any assignment" error of the map-based evaluator);
+/// parameters are a shared `Option` table; name tables are only
+/// consulted to construct error values.
+#[derive(Debug)]
+pub struct SlotEnv<'a> {
+    /// Rank of the evaluating process.
+    pub rank: i64,
+    /// Total number of processes.
+    pub nprocs: i64,
+    /// Per-process variable values, indexed by [`Op::Load`] slot.
+    pub vars: &'a [i64],
+    /// Whether each variable slot is bound (declared, or assigned at
+    /// least once).
+    pub bound: &'a [bool],
+    /// Variable slot names (for [`EvalError::UnboundVar`]).
+    pub var_names: &'a [String],
+    /// Parameter values, indexed by [`Op::Param`] slot; `None` = unbound.
+    pub params: &'a [Option<i64>],
+    /// Parameter slot names (for [`EvalError::UnboundParam`]).
+    pub param_names: &'a [String],
+    /// Program input data.
+    pub inputs: &'a [i64],
+}
+
+/// Evaluates a lowered postfix op array against `env`, using `stack` as
+/// scratch (cleared on entry; reuse one buffer across calls to avoid
+/// allocation).
+///
+/// # Errors
+///
+/// Exactly the errors of [`crate::eval`] on the equivalent tree, in the
+/// same order.
+#[inline]
+pub fn eval_ops(ops: &[Op], env: &SlotEnv<'_>, stack: &mut Vec<i64>) -> Result<i64, EvalError> {
+    // Fast path: the overwhelmingly common single-op expression
+    // (a literal, a loop variable, a parameter).
+    if let [op] = ops {
+        return leaf(*op, env);
+    }
+    // Fast path: `leaf ⊕ leaf` (`i < n`, `i + 1`, `rank - 1`, …). A
+    // trailing `Bin` in a three-op array forces both operands to be
+    // leaves, and left-before-right matches the tree evaluator's error
+    // order.
+    if let [a, b, Op::Bin(bin)] = ops {
+        return apply_bin(*bin, leaf(*a, env)?, leaf(*b, env)?);
+    }
+    stack.clear();
+    for &op in ops {
+        let v = match op {
+            Op::Neg => {
+                let a = stack.pop().expect("lowered ops are well-formed");
+                a.checked_neg().ok_or(EvalError::Overflow)?
+            }
+            Op::Not => {
+                let a = stack.pop().expect("lowered ops are well-formed");
+                i64::from(a == 0)
+            }
+            Op::Bin(bin) => {
+                let b = stack.pop().expect("lowered ops are well-formed");
+                let a = stack.pop().expect("lowered ops are well-formed");
+                apply_bin(bin, a, b)?
+            }
+            leaf_op => leaf(leaf_op, env)?,
+        };
+        stack.push(v);
+    }
+    Ok(stack.pop().expect("lowered ops produce one value"))
+}
+
+#[inline(always)]
+fn leaf(op: Op, env: &SlotEnv<'_>) -> Result<i64, EvalError> {
+    Ok(match op {
+        Op::Const(v) => v,
+        Op::Rank => env.rank,
+        Op::NProcs => env.nprocs,
+        Op::Load(s) => {
+            let s = s as usize;
+            if !env.bound[s] {
+                return Err(EvalError::UnboundVar(env.var_names[s].clone()));
+            }
+            env.vars[s]
+        }
+        Op::Param(s) => {
+            let s = s as usize;
+            env.params[s].ok_or_else(|| EvalError::UnboundParam(env.param_names[s].clone()))?
+        }
+        Op::Input(k) => env
+            .inputs
+            .get(k as usize)
+            .copied()
+            .ok_or(EvalError::MissingInput(k))?,
+        Op::Neg | Op::Not | Op::Bin(_) => unreachable!("leaf() called on a non-leaf op"),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::Expr as E;
+    use crate::expr::{eval, Env};
+    use std::collections::HashMap;
+
+    /// A resolver over fixed tables, for tests.
+    struct Tables {
+        vars: Vec<String>,
+        params: Vec<String>,
+    }
+
+    impl SlotResolver for Tables {
+        fn var_slot(&mut self, name: &str) -> u32 {
+            match self.vars.iter().position(|v| v == name) {
+                Some(i) => i as u32,
+                None => {
+                    self.vars.push(name.to_string());
+                    (self.vars.len() - 1) as u32
+                }
+            }
+        }
+        fn param_slot(&mut self, name: &str) -> u32 {
+            match self.params.iter().position(|v| v == name) {
+                Some(i) => i as u32,
+                None => {
+                    self.params.push(name.to_string());
+                    (self.params.len() - 1) as u32
+                }
+            }
+        }
+    }
+
+    fn lower(e: &E) -> (Vec<Op>, Tables) {
+        let mut t = Tables {
+            vars: Vec::new(),
+            params: Vec::new(),
+        };
+        let mut ops = Vec::new();
+        lower_expr(e, &mut t, &mut ops);
+        (ops, t)
+    }
+
+    /// Evaluates both ways against equivalent environments and asserts
+    /// the results (value or error) are identical.
+    fn agree(e: &E, env: &Env) {
+        let (ops, t) = lower(e);
+        let vars: Vec<i64> = t
+            .vars
+            .iter()
+            .map(|v| env.vars.get(v).copied().unwrap_or(0))
+            .collect();
+        let bound: Vec<bool> = t.vars.iter().map(|v| env.vars.contains_key(v)).collect();
+        let params: Vec<Option<i64>> = t.params.iter().map(|p| env.params.get(p).copied()).collect();
+        let slot_env = SlotEnv {
+            rank: env.rank,
+            nprocs: env.nprocs,
+            vars: &vars,
+            bound: &bound,
+            var_names: &t.vars,
+            params: &params,
+            param_names: &t.params,
+            inputs: &env.inputs,
+        };
+        let mut stack = Vec::new();
+        assert_eq!(eval(e, env), eval_ops(&ops, &slot_env, &mut stack), "{e:?}");
+    }
+
+    #[test]
+    fn constant_subtrees_fold() {
+        let e = E::bin(
+            BinOp::Add,
+            E::bin(BinOp::Mul, E::Int(2), E::Int(3)),
+            E::Int(1),
+        );
+        let (ops, _) = lower(&e);
+        assert_eq!(ops, vec![Op::Const(7)]);
+    }
+
+    #[test]
+    fn failing_folds_are_left_for_runtime() {
+        // 1/0 must stay a runtime error, not fold or vanish.
+        let e = E::bin(BinOp::Div, E::Int(1), E::Int(0));
+        let (ops, _) = lower(&e);
+        assert_eq!(ops.len(), 3);
+        let env = Env::new(0, 4);
+        agree(&e, &env);
+        // Overflow likewise.
+        let e = E::bin(BinOp::Add, E::Int(i64::MAX), E::Int(1));
+        let (ops, _) = lower(&e);
+        assert_eq!(ops.len(), 3);
+        agree(&e, &env);
+    }
+
+    #[test]
+    fn rank_expressions_match_tree_eval() {
+        let env = Env::new(3, 8);
+        let e = E::bin(
+            BinOp::Mod,
+            E::bin(BinOp::Sub, E::Rank, E::Int(1)),
+            E::NProcs,
+        );
+        agree(&e, &env);
+        let e = E::bin(
+            BinOp::Eq,
+            E::bin(BinOp::Mod, E::Rank, E::Int(2)),
+            E::Int(0),
+        );
+        agree(&e, &env);
+    }
+
+    #[test]
+    fn vars_params_inputs_match_tree_eval() {
+        let mut env = Env::new(1, 4);
+        env.vars.insert("i".into(), 5);
+        env.params.insert("iters".into(), 10);
+        env.inputs = vec![42];
+        for e in [
+            E::bin(BinOp::Lt, E::Var("i".into()), E::Param("iters".into())),
+            E::bin(BinOp::Add, E::Input(0), E::Var("i".into())),
+            E::Var("missing".into()),
+            E::Param("missing".into()),
+            E::Input(3),
+        ] {
+            agree(&e, &env);
+        }
+    }
+
+    #[test]
+    fn unary_ops_match_tree_eval() {
+        let mut env = Env::new(2, 4);
+        env.vars.insert("x".into(), -7);
+        for e in [
+            E::Unary(UnOp::Neg, Box::new(E::Var("x".into()))),
+            E::Unary(UnOp::Not, Box::new(E::Var("x".into()))),
+            E::Unary(UnOp::Not, Box::new(E::Int(0))),
+            E::Unary(UnOp::Neg, Box::new(E::Int(i64::MIN))),
+        ] {
+            agree(&e, &env);
+        }
+    }
+
+    #[test]
+    fn error_order_is_left_to_right() {
+        // (1/0) + unbound: the division error wins, as in tree eval.
+        let env = Env::new(0, 4);
+        let e = E::bin(
+            BinOp::Add,
+            E::bin(BinOp::Div, E::Int(1), E::Int(0)),
+            E::Var("nope".into()),
+        );
+        agree(&e, &env);
+        assert_eq!(eval(&e, &env), Err(EvalError::DivideByZero));
+    }
+
+    #[test]
+    fn folding_ignores_error_masking_operators() {
+        // 0 * (1/0): no algebraic folding — the runtime error survives.
+        let env = Env::new(0, 4);
+        let e = E::bin(
+            BinOp::Mul,
+            E::Int(0),
+            E::bin(BinOp::Div, E::Int(1), E::Int(0)),
+        );
+        agree(&e, &env);
+        assert_eq!(eval(&e, &env), Err(EvalError::DivideByZero));
+    }
+
+    #[test]
+    fn deep_mixed_expression_agrees() {
+        let mut env = Env::new(5, 8);
+        env.vars.insert("i".into(), 3);
+        env.params.insert("n".into(), 100);
+        let mut maps = HashMap::new();
+        maps.insert("i", 3i64);
+        // ((rank + i) % nprocs) * (n - 2) + (4 / 2)
+        let e = E::bin(
+            BinOp::Add,
+            E::bin(
+                BinOp::Mul,
+                E::bin(
+                    BinOp::Mod,
+                    E::bin(BinOp::Add, E::Rank, E::Var("i".into())),
+                    E::NProcs,
+                ),
+                E::bin(BinOp::Sub, E::Param("n".into()), E::Int(2)),
+            ),
+            E::bin(BinOp::Div, E::Int(4), E::Int(2)),
+        );
+        agree(&e, &env);
+        // The 4/2 folded away.
+        let (ops, _) = lower(&e);
+        assert!(ops.contains(&Op::Const(2)));
+    }
+}

@@ -123,6 +123,10 @@ impl Hooks for NoCheckpointing {
     fn take_app_checkpoint(&mut self, _p: usize, _now: SimTime) -> bool {
         false
     }
+
+    fn uses_timers(&mut self) -> bool {
+        false
+    }
 }
 
 fn stats_from(protocol: ProtocolKind, trace: &Trace, bare_secs: f64) -> RunStats {

@@ -4,8 +4,25 @@
 //! flow is compiled to jumps so that per-process execution state is a
 //! single program counter plus a variable store — which is exactly what a
 //! checkpoint snapshot needs to capture.
+//!
+//! Compilation produces two parallel representations of the same code:
+//!
+//! * [`Instr`] — the AST-carrying form, kept as the analysis-facing
+//!   surface (expressions are inspectable trees, names are strings);
+//! * [`LowInstr`] — the **lowered** form the engine executes: `Copy`
+//!   instructions whose expressions are [`ExprRef`] ranges into one
+//!   shared constant-folded postfix [`Op`] pool, and whose variable and
+//!   parameter names are interned into dense slot indices
+//!   ([`Compiled::var_names`] / [`Compiled::param_names`]).
+//!
+//! The two arrays are index-for-index identical (`lowered[pc]` lowers
+//! `code[pc]`), so program counters — including the `pc` captured in
+//! checkpoint snapshots — mean the same thing in both.
 
+use acfc_mpsl::lowered::{lower_expr, Op, SlotResolver};
 use acfc_mpsl::{BinOp, Block, Expr, Program, RecvSrc, StmtId, StmtKind};
+use std::collections::HashMap;
+use std::sync::Arc;
 
 /// One executable instruction.
 #[derive(Debug, Clone, PartialEq)]
@@ -68,6 +85,92 @@ pub enum Instr {
     Halt,
 }
 
+/// A range of a [`Compiled::ops`] pool holding one lowered expression
+/// in postfix order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExprRef {
+    /// First op index.
+    pub start: u32,
+    /// Number of ops.
+    pub len: u32,
+}
+
+impl ExprRef {
+    /// The ops of this expression within `pool`.
+    #[inline]
+    pub fn ops<'a>(&self, pool: &'a [Op]) -> &'a [Op] {
+        &pool[self.start as usize..(self.start + self.len) as usize]
+    }
+}
+
+/// Sentinel for "no label" in [`LowInstr::Checkpoint`].
+pub const NO_LABEL: u32 = u32::MAX;
+
+/// Lowered receive source.
+#[derive(Debug, Clone, Copy)]
+pub enum LowSrc {
+    /// Receive from any sender.
+    Any,
+    /// Receive from the rank this expression evaluates to.
+    Rank(ExprRef),
+}
+
+/// One lowered instruction: the `Copy` mirror of [`Instr`] the engine
+/// steps without cloning. Statement ids are kept only where the engine
+/// records them (sends, receives, checkpoints).
+#[derive(Debug, Clone, Copy)]
+pub enum LowInstr {
+    /// Local computation costing `cost` expression value.
+    Compute {
+        /// Cost expression.
+        cost: ExprRef,
+    },
+    /// Assignment to variable slot `var`.
+    Assign {
+        /// Target variable slot.
+        var: u32,
+        /// Right-hand side.
+        value: ExprRef,
+    },
+    /// Send a message.
+    Send {
+        /// Destination rank expression.
+        dest: ExprRef,
+        /// Size in bits.
+        size_bits: ExprRef,
+        /// Originating statement.
+        stmt: StmtId,
+    },
+    /// Blocking receive.
+    Recv {
+        /// Source spec.
+        src: LowSrc,
+        /// Originating statement.
+        stmt: StmtId,
+    },
+    /// Take a checkpoint.
+    Checkpoint {
+        /// Originating statement.
+        stmt: StmtId,
+        /// Index into [`Compiled::labels`], or [`NO_LABEL`].
+        label: u32,
+    },
+    /// Unconditional jump.
+    Jump {
+        /// Target pc.
+        target: u32,
+    },
+    /// Jump when the condition evaluates to zero.
+    JumpIfFalse {
+        /// Condition.
+        cond: ExprRef,
+        /// Target pc when false.
+        target: u32,
+    },
+    /// Normal termination.
+    Halt,
+}
+
 /// A compiled program: the shared instruction sequence every process
 /// executes (SPMD), plus metadata.
 #[derive(Debug, Clone)]
@@ -80,6 +183,24 @@ pub struct Compiled {
     pub params: Vec<(String, i64)>,
     /// Declared variables (all initialised to 0).
     pub vars: Vec<String>,
+    /// Lowered code, index-for-index parallel to [`Compiled::code`].
+    pub lowered: Vec<LowInstr>,
+    /// The shared postfix op pool [`ExprRef`]s point into.
+    pub ops: Vec<Op>,
+    /// Variable slot names: the declared variables first (in
+    /// declaration order), then any undeclared names the code assigns
+    /// or reads.
+    pub var_names: Arc<[String]>,
+    /// Parameter slot names: declared parameters first, then any
+    /// undeclared names the code references.
+    pub param_names: Vec<String>,
+    /// Checkpoint label table ([`LowInstr::Checkpoint`] indexes this).
+    /// `Arc<str>` so recording a labelled checkpoint is a refcount
+    /// bump, not a heap copy.
+    pub labels: Vec<Arc<str>>,
+    /// One past the largest statement id appearing in the code (the
+    /// size of dense per-statement tables).
+    pub stmt_limit: u32,
 }
 
 impl Compiled {
@@ -104,18 +225,164 @@ impl Compiled {
 /// assert!(c.code.iter().any(|i| matches!(i, acfc_sim::Instr::Checkpoint { .. })));
 /// ```
 pub fn compile(program: &Program) -> Compiled {
-    let mut lowered = program.clone();
-    if lowered.has_collectives() {
-        lowered.lower_collectives();
+    let mut source = program.clone();
+    if source.has_collectives() {
+        source.lower_collectives();
     }
     let mut code = Vec::new();
-    emit_block(&mut code, &lowered.body);
+    emit_block(&mut code, &source.body);
     code.push(Instr::Halt);
+    let mut interner = Interner::new(
+        source.vars.iter().cloned(),
+        source.params.iter().map(|(name, _)| name.clone()),
+    );
+    let mut ops = Vec::new();
+    let mut labels = Vec::new();
+    let mut stmt_limit = 0u32;
+    let lowered = code
+        .iter()
+        .map(|instr| lower_instr(instr, &mut interner, &mut ops, &mut labels, &mut stmt_limit))
+        .collect();
     Compiled {
-        name: lowered.name.clone(),
+        name: source.name.clone(),
         code,
-        params: lowered.params.clone(),
-        vars: lowered.vars.clone(),
+        params: source.params.clone(),
+        vars: source.vars.clone(),
+        lowered,
+        ops,
+        var_names: interner.var_names.into(),
+        param_names: interner.param_names,
+        labels,
+        stmt_limit,
+    }
+}
+
+/// Interns names to dense slots during lowering; declared names get the
+/// leading slots so the engine can mark exactly that prefix as bound at
+/// start-up.
+struct Interner {
+    var_names: Vec<String>,
+    var_index: HashMap<String, u32>,
+    param_names: Vec<String>,
+    param_index: HashMap<String, u32>,
+}
+
+impl Interner {
+    fn new(
+        declared_vars: impl Iterator<Item = String>,
+        declared_params: impl Iterator<Item = String>,
+    ) -> Interner {
+        let mut interner = Interner {
+            var_names: Vec::new(),
+            var_index: HashMap::new(),
+            param_names: Vec::new(),
+            param_index: HashMap::new(),
+        };
+        for v in declared_vars {
+            interner.var_slot(&v);
+        }
+        for p in declared_params {
+            interner.param_slot(&p);
+        }
+        interner
+    }
+}
+
+impl SlotResolver for Interner {
+    fn var_slot(&mut self, name: &str) -> u32 {
+        if let Some(&slot) = self.var_index.get(name) {
+            return slot;
+        }
+        let slot = self.var_names.len() as u32;
+        self.var_names.push(name.to_string());
+        self.var_index.insert(name.to_string(), slot);
+        slot
+    }
+
+    fn param_slot(&mut self, name: &str) -> u32 {
+        if let Some(&slot) = self.param_index.get(name) {
+            return slot;
+        }
+        let slot = self.param_names.len() as u32;
+        self.param_names.push(name.to_string());
+        self.param_index.insert(name.to_string(), slot);
+        slot
+    }
+}
+
+fn lower_instr(
+    instr: &Instr,
+    interner: &mut Interner,
+    ops: &mut Vec<Op>,
+    labels: &mut Vec<Arc<str>>,
+    stmt_limit: &mut u32,
+) -> LowInstr {
+    let mut expr = |e: &Expr| -> ExprRef {
+        let start = ops.len() as u32;
+        lower_expr(e, interner, ops);
+        ExprRef {
+            start,
+            len: ops.len() as u32 - start,
+        }
+    };
+    let mut note_stmt = |sid: StmtId| *stmt_limit = (*stmt_limit).max(sid.0 + 1);
+    match instr {
+        Instr::Compute { cost, stmt } => {
+            note_stmt(*stmt);
+            LowInstr::Compute { cost: expr(cost) }
+        }
+        Instr::Assign { var, value, stmt } => {
+            note_stmt(*stmt);
+            let value = expr(value);
+            LowInstr::Assign {
+                var: interner.var_slot(var),
+                value,
+            }
+        }
+        Instr::Send {
+            dest,
+            size_bits,
+            stmt,
+        } => {
+            note_stmt(*stmt);
+            LowInstr::Send {
+                dest: expr(dest),
+                size_bits: expr(size_bits),
+                stmt: *stmt,
+            }
+        }
+        Instr::Recv { src, stmt } => {
+            note_stmt(*stmt);
+            LowInstr::Recv {
+                src: match src {
+                    RecvSrc::Any => LowSrc::Any,
+                    RecvSrc::Rank(e) => LowSrc::Rank(expr(e)),
+                },
+                stmt: *stmt,
+            }
+        }
+        Instr::Checkpoint { stmt, label } => {
+            note_stmt(*stmt);
+            let label = match label {
+                Some(text) => {
+                    labels.push(text.as_str().into());
+                    (labels.len() - 1) as u32
+                }
+                None => NO_LABEL,
+            };
+            LowInstr::Checkpoint { stmt: *stmt, label }
+        }
+        Instr::Jump { target } => LowInstr::Jump {
+            target: *target as u32,
+        },
+        Instr::JumpIfFalse { cond, target, stmt } => {
+            note_stmt(*stmt);
+            LowInstr::JumpIfFalse {
+                cond: expr(cond),
+                target: *target as u32,
+            }
+        }
+        Instr::Halt => LowInstr::Halt,
     }
 }
 

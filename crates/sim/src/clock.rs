@@ -9,42 +9,81 @@
 
 use std::cmp::Ordering;
 use std::fmt;
+use std::hash::{Hash, Hasher};
+
+/// Component counts up to this stay inline (no heap allocation), so
+/// cloning a clock into a message or checkpoint record is a plain
+/// memcpy for every bench-sized process count.
+const INLINE: usize = 8;
+
+/// Clock storage: a fixed inline buffer for small process counts, a
+/// `Vec` beyond that. Simulation traces stamp every send, receive, and
+/// checkpoint with (several) clock clones, so keeping the common case
+/// allocation-free is a measurable share of engine throughput.
+#[derive(Clone)]
+enum Repr {
+    Small { len: u8, buf: [u64; INLINE] },
+    Heap(Vec<u64>),
+}
 
 /// A vector clock over `n` processes.
-#[derive(Debug, Clone, PartialEq, Eq, Hash)]
-pub struct VectorClock(Vec<u64>);
+#[derive(Clone)]
+pub struct VectorClock(Repr);
 
 impl VectorClock {
     /// The zero clock for `n` processes.
     pub fn new(n: usize) -> VectorClock {
-        VectorClock(vec![0; n])
+        if n <= INLINE {
+            VectorClock(Repr::Small {
+                len: n as u8,
+                buf: [0; INLINE],
+            })
+        } else {
+            VectorClock(Repr::Heap(vec![0; n]))
+        }
+    }
+
+    fn as_slice(&self) -> &[u64] {
+        match &self.0 {
+            Repr::Small { len, buf } => &buf[..*len as usize],
+            Repr::Heap(v) => v,
+        }
+    }
+
+    fn as_mut_slice(&mut self) -> &mut [u64] {
+        match &mut self.0 {
+            Repr::Small { len, buf } => &mut buf[..*len as usize],
+            Repr::Heap(v) => v,
+        }
     }
 
     /// Number of components.
     pub fn len(&self) -> usize {
-        self.0.len()
+        self.as_slice().len()
     }
 
     /// `true` if the clock has no components.
     pub fn is_empty(&self) -> bool {
-        self.0.is_empty()
+        self.as_slice().is_empty()
     }
 
     /// Component for process `p`.
     pub fn get(&self, p: usize) -> u64 {
-        self.0[p]
+        self.as_slice()[p]
     }
 
     /// Ticks process `p`'s own component (call on every local event).
     pub fn tick(&mut self, p: usize) {
-        self.0[p] += 1;
+        self.as_mut_slice()[p] += 1;
     }
 
     /// Merges in a received clock: componentwise max. (The receiver must
     /// also [`tick`](Self::tick) its own component.)
     pub fn merge(&mut self, other: &VectorClock) {
-        assert_eq!(self.0.len(), other.0.len(), "clock size mismatch");
-        for (a, b) in self.0.iter_mut().zip(&other.0) {
+        let b = other.as_slice();
+        let a = self.as_mut_slice();
+        assert_eq!(a.len(), b.len(), "clock size mismatch");
+        for (a, b) in a.iter_mut().zip(b) {
             *a = (*a).max(*b);
         }
     }
@@ -56,10 +95,11 @@ impl VectorClock {
     /// * `Some(Ordering::Equal)` — identical stamps (same event)
     /// * `None` — concurrent
     pub fn causal_cmp(&self, other: &VectorClock) -> Option<Ordering> {
-        assert_eq!(self.0.len(), other.0.len(), "clock size mismatch");
+        let (x, y) = (self.as_slice(), other.as_slice());
+        assert_eq!(x.len(), y.len(), "clock size mismatch");
         let mut le = true;
         let mut ge = true;
-        for (a, b) in self.0.iter().zip(&other.0) {
+        for (a, b) in x.iter().zip(y) {
             if a < b {
                 ge = false;
             }
@@ -87,14 +127,33 @@ impl VectorClock {
 
     /// The raw components.
     pub fn components(&self) -> &[u64] {
-        &self.0
+        self.as_slice()
+    }
+}
+
+impl PartialEq for VectorClock {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+impl Eq for VectorClock {}
+
+impl Hash for VectorClock {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.as_slice().hash(state);
+    }
+}
+
+impl fmt::Debug for VectorClock {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_tuple("VectorClock").field(&self.as_slice()).finish()
     }
 }
 
 impl fmt::Display for VectorClock {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "⟨")?;
-        for (i, v) in self.0.iter().enumerate() {
+        for (i, v) in self.as_slice().iter().enumerate() {
             if i > 0 {
                 write!(f, ",")?;
             }

@@ -11,20 +11,21 @@
 //! failure plan, a run is bit-for-bit reproducible (the only randomness
 //! is the seeded network jitter).
 
-use crate::bytecode::{Compiled, Instr};
+use crate::bytecode::{Compiled, ExprRef, LowInstr, LowSrc, NO_LABEL};
 use crate::clock::VectorClock;
 use crate::config::SimConfig;
 use crate::failure::{CutPicker, FailurePlan};
-use crate::hooks::{Hooks, NoHooks, RecvAction};
+use crate::hooks::{CoordinationCost, Hooks, NoHooks, RecvAction};
 use crate::time::SimTime;
 use crate::trace::{
     CheckpointRecord, CkptTrigger, FailureRecord, MessageRecord, Metrics, MsgId, Outcome,
-    Snapshot, Trace,
+    Snapshot, StmtInstances, Trace, VarStore,
 };
-use acfc_mpsl::{eval, Env, EvalError, Expr, RecvSrc, StmtId};
+use acfc_mpsl::lowered::{eval_ops, Op, SlotEnv};
+use acfc_mpsl::{EvalError, StmtId};
 use acfc_util::rng::Rng;
-use std::cmp::Reverse;
-use std::collections::{BinaryHeap, VecDeque};
+use std::collections::VecDeque;
+use std::sync::Arc;
 
 /// Runs `compiled` under `config` with the application-driven behaviour
 /// (no protocol hooks, no failures).
@@ -69,26 +70,9 @@ enum Ev {
     Fail { p: usize },
 }
 
-struct HeapEv {
-    key: Reverse<(u64, u64)>, // (time_us, tiebreak_seq)
+struct QueuedEv {
+    key: (u64, u64), // (time_us, tiebreak_seq)
     ev: Ev,
-}
-
-impl PartialEq for HeapEv {
-    fn eq(&self, other: &Self) -> bool {
-        self.key == other.key
-    }
-}
-impl Eq for HeapEv {}
-impl PartialOrd for HeapEv {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl Ord for HeapEv {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        self.key.cmp(&other.key)
-    }
 }
 
 #[derive(Debug, Clone, PartialEq)]
@@ -103,12 +87,22 @@ enum PState {
 }
 
 struct Proc {
-    env: Env,
+    /// Variable values, indexed by the compile-time slot table.
+    vars: Vec<i64>,
+    /// Whether each slot is bound (declared, or assigned at least
+    /// once); reads of unbound slots are runtime errors, exactly as
+    /// lookups in the map-based store were.
+    bound: Vec<bool>,
+    /// Shared copy of `bound` handed to snapshots; invalidated on the
+    /// rare false→true flip so the common checkpoint clones a refcount
+    /// instead of a vector.
+    bound_arc: Option<Arc<[bool]>>,
     pc: usize,
     vc: VectorClock,
     state: PState,
     ckpt_seq: u64,
-    stmt_instances: std::collections::HashMap<u32, u64>,
+    /// Instance counters indexed densely by statement id.
+    stmt_instances: Vec<u64>,
     step: u64,
     executed: u64,
     now: SimTime,
@@ -121,7 +115,13 @@ struct Engine<'a> {
     picker: CutPicker,
     procs: Vec<Proc>,
     epochs: Vec<u64>,
-    heap: BinaryHeap<HeapEv>,
+    /// Pending events, sorted by key ascending. Keys are unique (the
+    /// seq tiebreak), so popping the front yields exactly the order a
+    /// binary heap keyed on `Reverse(key)` would. A deque because both
+    /// hot paths are ends: the next event pops from the front, and a
+    /// newly scheduled event is usually the latest and lands at the
+    /// back — both O(1), with no heap sift and no insertion memmove.
+    queue: VecDeque<QueuedEv>,
     heap_seq: u64,
     // inbox[to][from] = delivered-but-unconsumed message indices (FIFO).
     inbox: Vec<Vec<VecDeque<usize>>>,
@@ -136,6 +136,17 @@ struct Engine<'a> {
     outcome: Option<Outcome>,
     max_time: SimTime,
     inline_budget: u32,
+    /// Parameter values by slot, shared by all processes (parameters
+    /// are rank-independent); `None` = referenced but never bound.
+    params: Vec<Option<i64>>,
+    /// Scratch stack reused by every expression evaluation.
+    eval_stack: Vec<i64>,
+    /// Snapshot of [`Hooks::uses_timers`]; when `false` the
+    /// per-instruction timer poll is elided.
+    use_timer_hook: bool,
+    /// Snapshot of [`Hooks::passive`]; when `true` the per-message and
+    /// per-checkpoint hook dispatch is skipped.
+    passive_hooks: bool,
 }
 
 const INLINE_BUDGET: u32 = 256;
@@ -150,32 +161,45 @@ impl<'a> Engine<'a> {
     ) -> Engine<'a> {
         let n = config.nprocs;
         assert!(n >= 1, "need at least one process");
-        let mut params: std::collections::HashMap<String, i64> =
-            compiled.params.iter().cloned().collect();
-        for (k, v) in &config.param_overrides {
-            params.insert(k.clone(), *v);
+        // Parameter slots: program defaults, then config overrides
+        // (later overrides win, as map insertion order did).
+        let mut params: Vec<Option<i64>> = vec![None; compiled.param_names.len()];
+        let slot_of = |name: &str| compiled.param_names.iter().position(|p| p == name);
+        for (k, v) in &compiled.params {
+            if let Some(s) = slot_of(k) {
+                params[s] = Some(*v);
+            }
         }
+        for (k, v) in &config.param_overrides {
+            if let Some(s) = slot_of(k) {
+                params[s] = Some(*v);
+            }
+        }
+        // Declared variables occupy the leading slots and start bound
+        // (initialised to 0); undeclared names bind on first assign.
+        let nslots = compiled.var_names.len();
+        let declared = compiled.vars.len();
         let procs = (0..n)
-            .map(|rank| {
-                let mut env = Env::new(rank as i64, n as i64);
-                env.params = params.clone();
-                env.inputs = config.inputs.clone();
-                for v in &compiled.vars {
-                    env.vars.insert(v.clone(), 0);
-                }
+            .map(|_| {
+                let mut bound = vec![false; nslots];
+                bound[..declared].fill(true);
                 Proc {
-                    env,
+                    vars: vec![0; nslots],
+                    bound,
+                    bound_arc: None,
                     pc: 0,
                     vc: VectorClock::new(n),
                     state: PState::Ready,
                     ckpt_seq: 0,
-                    stmt_instances: std::collections::HashMap::new(),
+                    stmt_instances: vec![0; compiled.stmt_limit as usize],
                     step: 0,
                     executed: 0,
                     now: SimTime::ZERO,
                 }
             })
             .collect();
+        let use_timer_hook = hooks.uses_timers();
+        let passive_hooks = hooks.passive();
         let mut engine = Engine {
             compiled,
             config,
@@ -183,19 +207,27 @@ impl<'a> Engine<'a> {
             picker,
             procs,
             epochs: vec![0; n],
-            heap: BinaryHeap::new(),
+            queue: VecDeque::with_capacity(256),
             heap_seq: 0,
             inbox: vec![vec![VecDeque::new(); n]; n],
             chan_last: vec![SimTime::ZERO; n * n],
-            msg_token: Vec::new(),
-            messages: Vec::new(),
-            checkpoints: Vec::new(),
+            // Records embed inline vector clocks, so Vec doubling
+            // re-copies them wholesale; start large enough that
+            // typical runs never regrow (profiling showed realloc
+            // memcpy as the single largest engine cost otherwise).
+            msg_token: Vec::with_capacity(1024),
+            messages: Vec::with_capacity(384),
+            checkpoints: Vec::with_capacity(192),
             failures: Vec::new(),
             metrics: Metrics::default(),
             rng: Rng::seed_from_u64(config.seed),
             outcome: None,
             max_time: SimTime::ZERO,
             inline_budget: INLINE_BUDGET,
+            params,
+            eval_stack: Vec::new(),
+            use_timer_hook,
+            passive_hooks,
         };
         for p in 0..n {
             engine.push(SimTime::ZERO, Ev::Ready { p, epoch: 0 });
@@ -208,10 +240,16 @@ impl<'a> Engine<'a> {
 
     fn push(&mut self, t: SimTime, ev: Ev) {
         self.heap_seq += 1;
-        self.heap.push(HeapEv {
-            key: Reverse((t.as_micros(), self.heap_seq)),
-            ev,
-        });
+        let key = (t.as_micros(), self.heap_seq);
+        // Newly scheduled events are usually the latest (message
+        // deliveries at now + delay): O(1), no search. The seq tiebreak
+        // makes a tie later than everything queued, so `>=` stays sorted.
+        if self.queue.back().is_none_or(|e| e.key < key) {
+            self.queue.push_back(QueuedEv { key, ev });
+        } else {
+            let i = self.queue.partition_point(|e| e.key < key);
+            self.queue.insert(i, QueuedEv { key, ev });
+        }
     }
 
     fn note_time(&mut self, t: SimTime) {
@@ -221,11 +259,11 @@ impl<'a> Engine<'a> {
     }
 
     fn run(mut self) -> Trace {
-        while let Some(HeapEv { key, ev }) = self.heap.pop() {
+        while let Some(QueuedEv { key, ev }) = self.queue.pop_front() {
             if self.outcome.is_some() {
                 break;
             }
-            let t = SimTime(key.0 .0);
+            let t = SimTime(key.0);
             self.note_time(t);
             match ev {
                 Ev::Ready { p, epoch } => {
@@ -258,6 +296,7 @@ impl<'a> Engine<'a> {
                 Outcome::Deadlock(blocked)
             }
         });
+        self.metrics.instructions = self.procs.iter().map(|p| p.executed).sum();
         Trace {
             nprocs: self.config.nprocs,
             program: self.compiled.name.clone(),
@@ -275,12 +314,39 @@ impl<'a> Engine<'a> {
         self.outcome = Some(Outcome::RuntimeError(p, e.to_string()));
     }
 
-    fn eval_in(&self, p: usize, expr: &Expr) -> Result<i64, EvalError> {
-        eval(expr, &self.procs[p].env)
+    fn eval_ref(&mut self, p: usize, r: ExprRef) -> Result<i64, EvalError> {
+        let compiled = self.compiled;
+        let proc = &self.procs[p];
+        // The two dominant shapes — a folded constant and a plain
+        // variable read — need none (or almost none) of the SlotEnv,
+        // so resolve them before paying for its construction.
+        match r.ops(&compiled.ops) {
+            [Op::Const(v)] => return Ok(*v),
+            [Op::Load(s)] => {
+                let s = *s as usize;
+                return if proc.bound[s] {
+                    Ok(proc.vars[s])
+                } else {
+                    Err(EvalError::UnboundVar(compiled.var_names[s].clone()))
+                };
+            }
+            _ => {}
+        }
+        let env = SlotEnv {
+            rank: p as i64,
+            nprocs: self.config.nprocs as i64,
+            vars: &proc.vars,
+            bound: &proc.bound,
+            var_names: &compiled.var_names,
+            params: &self.params,
+            param_names: &compiled.param_names,
+            inputs: &self.config.inputs,
+        };
+        eval_ops(r.ops(&compiled.ops), &env, &mut self.eval_stack)
     }
 
-    fn resolve_rank(&mut self, p: usize, expr: &Expr) -> Option<usize> {
-        match self.eval_in(p, expr) {
+    fn resolve_rank(&mut self, p: usize, expr: ExprRef) -> Option<usize> {
+        match self.eval_ref(p, expr) {
             Ok(v) if v >= 0 && (v as usize) < self.config.nprocs => Some(v as usize),
             Ok(v) => {
                 self.runtime_error(p, format!("rank expression evaluated to {v}, out of range"));
@@ -299,15 +365,19 @@ impl<'a> Engine<'a> {
     fn execute(&mut self, p: usize, t: SimTime) {
         let mut now = t;
         let mut inline = 0u32;
+        // Hoisted loop invariants: `&mut self` calls in the body defeat
+        // the optimizer's own load hoisting.
+        let max_steps = self.config.max_steps_per_proc;
+        let instr_us = self.config.cost.instr_overhead_us;
         loop {
             if self.outcome.is_some() {
                 return;
             }
-            if self.procs[p].executed >= self.config.max_steps_per_proc {
+            if self.procs[p].executed >= max_steps {
                 self.outcome = Some(Outcome::StepLimit(p));
                 return;
             }
-            if self.hooks.timer_checkpoint_due(p, now) {
+            if self.use_timer_hook && self.hooks.timer_checkpoint_due(p, now) {
                 // Timer checkpoints count toward the step budget so a
                 // protocol whose stall exceeds its interval (and would
                 // otherwise checkpoint forever without executing a
@@ -316,6 +386,10 @@ impl<'a> Engine<'a> {
                 self.procs[p].executed += 1;
                 let trigger = self.hooks.timer_trigger(p);
                 self.take_checkpoint(p, None, None, trigger, &mut now);
+                if self.can_run_ahead(now) {
+                    self.mark_progress(p, now);
+                    continue;
+                }
                 self.yield_ready(p, now);
                 return;
             }
@@ -325,11 +399,11 @@ impl<'a> Engine<'a> {
                 return;
             }
             let pc = self.procs[p].pc;
-            let instr = self.compiled.code[pc].clone();
+            let instr = self.compiled.lowered[pc];
             self.procs[p].executed += 1;
             match instr {
-                Instr::Compute { cost, .. } => {
-                    let c = match self.eval_in(p, &cost) {
+                LowInstr::Compute { cost } => {
+                    let c = match self.eval_ref(p, cost) {
                         Ok(v) if v >= 0 => v as u64,
                         Ok(v) => {
                             self.runtime_error(p, format!("negative compute cost {v}"));
@@ -343,46 +417,55 @@ impl<'a> Engine<'a> {
                     now += c * self.config.cost.compute_unit_us
                         + self.config.cost.instr_overhead_us;
                     self.procs[p].pc = pc + 1;
+                    if self.can_run_ahead(now) {
+                        self.mark_progress(p, now);
+                        continue;
+                    }
                     self.yield_ready(p, now);
                     return;
                 }
-                Instr::Assign { var, value, .. } => {
-                    match self.eval_in(p, &value) {
+                LowInstr::Assign { var, value } => {
+                    match self.eval_ref(p, value) {
                         Ok(v) => {
-                            self.procs[p].env.vars.insert(var, v);
+                            let proc = &mut self.procs[p];
+                            proc.vars[var as usize] = v;
+                            if !proc.bound[var as usize] {
+                                proc.bound[var as usize] = true;
+                                proc.bound_arc = None;
+                            }
                         }
                         Err(e) => {
                             self.runtime_error(p, e);
                             return;
                         }
                     }
-                    now += self.config.cost.instr_overhead_us;
+                    now += instr_us;
                     self.procs[p].pc = pc + 1;
                 }
-                Instr::Jump { target } => {
-                    now += self.config.cost.instr_overhead_us;
-                    self.procs[p].pc = target;
+                LowInstr::Jump { target } => {
+                    now += instr_us;
+                    self.procs[p].pc = target as usize;
                 }
-                Instr::JumpIfFalse { cond, target, .. } => {
-                    let v = match self.eval_in(p, &cond) {
+                LowInstr::JumpIfFalse { cond, target } => {
+                    let v = match self.eval_ref(p, cond) {
                         Ok(v) => v,
                         Err(e) => {
                             self.runtime_error(p, e);
                             return;
                         }
                     };
-                    now += self.config.cost.instr_overhead_us;
-                    self.procs[p].pc = if v == 0 { target } else { pc + 1 };
+                    now += instr_us;
+                    self.procs[p].pc = if v == 0 { target as usize } else { pc + 1 };
                 }
-                Instr::Send {
+                LowInstr::Send {
                     dest,
                     size_bits,
                     stmt,
                 } => {
-                    let Some(to) = self.resolve_rank(p, &dest) else {
+                    let Some(to) = self.resolve_rank(p, dest) else {
                         return;
                     };
-                    let bits = match self.eval_in(p, &size_bits) {
+                    let bits = match self.eval_ref(p, size_bits) {
                         Ok(v) if v >= 0 => v as u64,
                         Ok(v) => {
                             self.runtime_error(p, format!("negative message size {v}"));
@@ -397,10 +480,10 @@ impl<'a> Engine<'a> {
                     now += self.config.cost.send_overhead_us;
                     self.procs[p].pc = pc + 1;
                 }
-                Instr::Recv { src, stmt } => {
-                    let want: Option<usize> = match &src {
-                        RecvSrc::Any => None,
-                        RecvSrc::Rank(e) => {
+                LowInstr::Recv { src, stmt } => {
+                    let want: Option<usize> = match src {
+                        LowSrc::Any => None,
+                        LowSrc::Rank(e) => {
                             let Some(s) = self.resolve_rank(p, e) else {
                                 return;
                             };
@@ -424,9 +507,16 @@ impl<'a> Engine<'a> {
                         return;
                     }
                 }
-                Instr::Checkpoint { stmt, label } => {
+                LowInstr::Checkpoint { stmt, label } => {
                     self.procs[p].pc = pc + 1;
-                    if self.hooks.take_app_checkpoint(p, now) {
+                    if self.passive_hooks || self.hooks.take_app_checkpoint(p, now) {
+                        // Label strings are materialised only when a
+                        // checkpoint is actually recorded.
+                        let label = if label == NO_LABEL {
+                            None
+                        } else {
+                            Some(self.compiled.labels[label as usize].clone())
+                        };
                         self.take_checkpoint(
                             p,
                             Some(stmt),
@@ -434,13 +524,17 @@ impl<'a> Engine<'a> {
                             CkptTrigger::AppStatement,
                             &mut now,
                         );
+                        if self.can_run_ahead(now) {
+                            self.mark_progress(p, now);
+                            continue;
+                        }
                         self.yield_ready(p, now);
                         return;
                     } else {
-                        now += self.config.cost.instr_overhead_us;
+                        now += instr_us;
                     }
                 }
-                Instr::Halt => {
+                LowInstr::Halt => {
                     self.procs[p].state = PState::Halted;
                     self.procs[p].now = now;
                     self.note_time(now);
@@ -448,6 +542,24 @@ impl<'a> Engine<'a> {
                 }
             }
         }
+    }
+
+    /// `true` when no queued event is due at or before `now`: the
+    /// running process may then keep executing inline, because the
+    /// yield-then-pop round trip through the heap would pop the very
+    /// `Ready` event it pushed (ties break by push order, so only a
+    /// strictly later heap top guarantees this). Skipping the round
+    /// trip leaves the popped event sequence — and hence the trace —
+    /// unchanged.
+    fn can_run_ahead(&self, now: SimTime) -> bool {
+        self.queue.front().is_none_or(|e| e.key.0 > now.as_micros())
+    }
+
+    /// The bookkeeping of [`Self::yield_ready`] without the heap round
+    /// trip, for the [`Self::can_run_ahead`] fast path.
+    fn mark_progress(&mut self, p: usize, now: SimTime) {
+        self.procs[p].now = now;
+        self.note_time(now);
     }
 
     fn yield_ready(&mut self, p: usize, now: SimTime) {
@@ -461,7 +573,11 @@ impl<'a> Engine<'a> {
         let proc = &mut self.procs[p];
         proc.vc.tick(p);
         proc.step += 1;
-        let piggyback = self.hooks.piggyback(p, self.procs[p].ckpt_seq, now);
+        let piggyback = if self.passive_hooks {
+            self.procs[p].ckpt_seq
+        } else {
+            self.hooks.piggyback(p, self.procs[p].ckpt_seq, now)
+        };
         let jitter = if self.config.net.jitter_us > 0 {
             self.rng.gen_u64_inclusive(self.config.net.jitter_us)
         } else {
@@ -531,7 +647,7 @@ impl<'a> Engine<'a> {
         // ahead); re-consult the hooks with the updated sequence number
         // until they are satisfied, with a generous runaway guard.
         let mut guard = 0u32;
-        loop {
+        while !self.passive_hooks {
             let own_seq = self.procs[p].ckpt_seq;
             if self.hooks.on_recv(p, piggyback, own_seq, now) != RecvAction::ForceCheckpointFirst {
                 break;
@@ -543,16 +659,17 @@ impl<'a> Engine<'a> {
                 "hooks demanded forced checkpoints without converging"
             );
         }
-        let send_vc = self.messages[m].send_vc.clone();
+        // Disjoint borrows: the sender's clock is read from the message
+        // records while the receiver's is updated in place — no clone.
         let proc = &mut self.procs[p];
-        proc.vc.merge(&send_vc);
+        proc.vc.merge(&self.messages[m].send_vc);
         proc.vc.tick(p);
         proc.step += 1;
         now += self.config.cost.instr_overhead_us;
         let rec = &mut self.messages[m];
         rec.recv_at = Some(now);
-        rec.recv_vc = Some(self.procs[p].vc.clone());
-        rec.recv_step = Some(self.procs[p].step);
+        rec.recv_vc = Some(proc.vc.clone());
+        rec.recv_step = Some(proc.step);
         rec.recv_stmt = Some(stmt);
         now
     }
@@ -561,18 +678,23 @@ impl<'a> Engine<'a> {
         &mut self,
         p: usize,
         stmt: Option<StmtId>,
-        label: Option<String>,
+        label: Option<Arc<str>>,
         trigger: CkptTrigger,
         now: &mut SimTime,
     ) {
-        let coord = self.hooks.coordination_cost(p, *now);
+        let coord = if self.passive_hooks {
+            CoordinationCost::default()
+        } else {
+            self.hooks.coordination_cost(p, *now)
+        };
+        let compiled = self.compiled;
         let proc = &mut self.procs[p];
         proc.vc.tick(p);
         proc.step += 1;
         proc.ckpt_seq += 1;
         let instance = match stmt {
             Some(sid) => {
-                let e = proc.stmt_instances.entry(sid.0).or_insert(0);
+                let e = &mut proc.stmt_instances[sid.0 as usize];
                 *e += 1;
                 *e
             }
@@ -582,10 +704,17 @@ impl<'a> Engine<'a> {
         let stall = self.config.cost.ckpt_overhead_us + coord.stall_us;
         let snapshot = Snapshot {
             pc: proc.pc,
-            vars: proc.env.vars.clone(),
+            vars: VarStore {
+                names: compiled.var_names.clone(),
+                values: proc.vars.clone(),
+                bound: proc
+                    .bound_arc
+                    .get_or_insert_with(|| proc.bound.as_slice().into())
+                    .clone(),
+            },
             vc: proc.vc.clone(),
             ckpt_seq: proc.ckpt_seq,
-            stmt_instances: proc.stmt_instances.clone(),
+            stmt_instances: StmtInstances(proc.stmt_instances.clone()),
             step: proc.step,
         };
         self.checkpoints.push(CheckpointRecord {
@@ -638,7 +767,12 @@ impl<'a> Engine<'a> {
             return;
         }
         self.procs[to].pc += 1;
-        self.yield_ready(to, done);
+        if self.can_run_ahead(done) {
+            self.mark_progress(to, done);
+            self.execute(to, done);
+        } else {
+            self.yield_ready(to, done);
+        }
     }
 
     fn handle_failure(&mut self, p: usize, t: SimTime) {
@@ -653,39 +787,50 @@ impl<'a> Engine<'a> {
             return;
         }
         self.metrics.failures += 1;
-        let live: Vec<Vec<CheckpointRecord>> = (0..self.config.nprocs)
-            .map(|q| {
-                self.checkpoints
-                    .iter()
-                    .filter(|c| c.proc == q && !c.rolled_back)
-                    .cloned()
-                    .collect()
-            })
-            .collect();
+        let nprocs = self.config.nprocs;
+        // The recovery view borrows the checkpoint records in place —
+        // no per-failure cloning of snapshots.
+        let mut live: Vec<Vec<&CheckpointRecord>> = vec![Vec::new(); nprocs];
+        for c in &self.checkpoints {
+            if !c.rolled_back {
+                live[c.proc].push(c);
+            }
+        }
         let view = crate::failure::RecoveryView {
             live: &live,
             messages: &self.messages,
         };
         let picked = self.picker.pick(&view);
-        // Cut positions (per-process step numbers).
-        let mut cut_step = vec![0u64; self.config.nprocs];
-        let mut restored: Vec<Option<CheckpointRecord>> = vec![None; self.config.nprocs];
-        for q in 0..self.config.nprocs {
-            if let Some(seq) = picked[q] {
-                let c = live[q]
-                    .iter()
-                    .find(|c| c.seq == seq)
-                    .unwrap_or_else(|| panic!("picker chose missing seq {seq} for proc {q}"))
-                    .clone();
-                cut_step[q] = c.snapshot.step;
-                restored[q] = Some(c);
+        let latest_seq: Vec<u64> = live
+            .iter()
+            .map(|v| v.last().map(|c| c.seq).unwrap_or(0))
+            .collect();
+        drop(live);
+        // Cut positions (per-process step numbers) and the restored
+        // checkpoints, kept as indices so the records can be mutated
+        // (rollback marking) before the restore reads them back.
+        let mut cut_step = vec![0u64; nprocs];
+        let mut restored: Vec<Option<usize>> = vec![None; nprocs];
+        for (i, c) in self.checkpoints.iter().enumerate() {
+            if !c.rolled_back && picked[c.proc] == Some(c.seq) {
+                cut_step[c.proc] = c.snapshot.step;
+                restored[c.proc] = Some(i);
             }
+        }
+        for q in 0..nprocs {
+            assert!(
+                picked[q].is_none() || restored[q].is_some(),
+                "picker chose missing seq {:?} for proc {q}",
+                picked[q]
+            );
         }
         // Lost work accounting.
         let mut lost_us = 0u64;
         #[allow(clippy::needless_range_loop)]
-        for q in 0..self.config.nprocs {
-            let back_to = restored[q].as_ref().map(|c| c.start).unwrap_or(SimTime::ZERO);
+        for q in 0..nprocs {
+            let back_to = restored[q]
+                .map(|i| self.checkpoints[i].start)
+                .unwrap_or(SimTime::ZERO);
             lost_us += self.procs[q].now.saturating_sub(back_to).as_micros();
         }
         // Mark rolled-back records.
@@ -747,28 +892,32 @@ impl<'a> Engine<'a> {
             let token = self.msg_token[i];
             self.push(deliver_at, Ev::Arrive { msg: i, token });
         }
-        // Restore processes.
+        // Restore processes. `clone_from` reuses each process's
+        // existing buffers instead of allocating fresh ones.
         #[allow(clippy::needless_range_loop)]
-        for q in 0..self.config.nprocs {
+        for q in 0..nprocs {
             self.epochs[q] += 1;
             let proc = &mut self.procs[q];
-            match &restored[q] {
-                Some(c) => {
-                    proc.pc = c.snapshot.pc;
-                    proc.env.vars = c.snapshot.vars.clone();
-                    proc.vc = c.snapshot.vc.clone();
-                    proc.ckpt_seq = c.snapshot.ckpt_seq;
-                    proc.stmt_instances = c.snapshot.stmt_instances.clone();
-                    proc.step = c.snapshot.step;
+            match restored[q] {
+                Some(i) => {
+                    let snap = &self.checkpoints[i].snapshot;
+                    proc.pc = snap.pc;
+                    proc.vars.clone_from(&snap.vars.values);
+                    proc.bound.copy_from_slice(&snap.vars.bound);
+                    proc.bound_arc = Some(snap.vars.bound.clone());
+                    proc.vc.clone_from(&snap.vc);
+                    proc.ckpt_seq = snap.ckpt_seq;
+                    proc.stmt_instances.clone_from(&snap.stmt_instances.0);
+                    proc.step = snap.step;
                 }
                 None => {
                     proc.pc = 0;
-                    for v in proc.env.vars.values_mut() {
-                        *v = 0;
-                    }
-                    proc.vc = VectorClock::new(self.config.nprocs);
+                    // As with the map-based store, values reset to 0
+                    // but binding state is untouched.
+                    proc.vars.fill(0);
+                    proc.vc = VectorClock::new(nprocs);
                     proc.ckpt_seq = 0;
-                    proc.stmt_instances.clear();
+                    proc.stmt_instances.fill(0);
                     proc.step = 0;
                 }
             }
@@ -777,10 +926,6 @@ impl<'a> Engine<'a> {
             let epoch = self.epochs[q];
             self.push(resume, Ev::Ready { p: q, epoch });
         }
-        let latest_seq: Vec<u64> = live
-            .iter()
-            .map(|v| v.last().map(|c| c.seq).unwrap_or(0))
-            .collect();
         self.failures.push(FailureRecord {
             proc: p,
             at: t,

@@ -78,11 +78,13 @@ impl FailurePlan {
     }
 }
 
-/// What a recovery-line picker sees at failure time.
+/// What a recovery-line picker sees at failure time. The checkpoint
+/// records are borrowed from the engine's trace in place (building a
+/// view is O(checkpoints) pointer pushes, not a deep copy).
 #[derive(Debug)]
 pub struct RecoveryView<'t> {
     /// Live checkpoints per process, in `seq` order.
-    pub live: &'t [Vec<CheckpointRecord>],
+    pub live: &'t [Vec<&'t CheckpointRecord>],
     /// All messages so far (check `rolled_back` before using a record).
     pub messages: &'t [MessageRecord],
 }
@@ -148,8 +150,7 @@ impl CutPicker {
 mod tests {
     use super::*;
     use crate::clock::VectorClock;
-    use crate::trace::{CkptTrigger, Snapshot};
-    use std::collections::HashMap;
+    use crate::trace::{CkptTrigger, Snapshot, StmtInstances, VarStore};
 
     fn ckpt(proc: usize, seq: u64) -> CheckpointRecord {
         CheckpointRecord {
@@ -165,14 +166,20 @@ mod tests {
             step: seq,
             snapshot: Snapshot {
                 pc: 0,
-                vars: HashMap::new(),
+                vars: VarStore::from_pairs([]),
                 vc: VectorClock::new(2),
                 ckpt_seq: seq,
-                stmt_instances: HashMap::new(),
+                stmt_instances: StmtInstances::default(),
                 step: seq,
             },
             rolled_back: false,
         }
+    }
+
+    /// Borrowed view of owned per-process checkpoint lists, as the
+    /// engine builds at failure time.
+    fn as_view(owned: &[Vec<CheckpointRecord>]) -> Vec<Vec<&CheckpointRecord>> {
+        owned.iter().map(|v| v.iter().collect()).collect()
     }
 
     #[test]
@@ -199,18 +206,21 @@ mod tests {
             vec![ckpt(0, 1), ckpt(0, 2), ckpt(0, 3)],
             vec![ckpt(1, 1), ckpt(1, 2)],
         ];
+        let live = as_view(&live);
         assert_eq!(CutPicker::AlignedSeq.pick(&RecoveryView { live: &live, messages: &[] }), vec![Some(2), Some(2)]);
     }
 
     #[test]
     fn aligned_seq_empty_means_initial() {
         let live = vec![vec![ckpt(0, 1)], vec![]];
+        let live = as_view(&live);
         assert_eq!(CutPicker::AlignedSeq.pick(&RecoveryView { live: &live, messages: &[] }), vec![None, None]);
     }
 
     #[test]
     fn latest_per_process() {
         let live = vec![vec![ckpt(0, 1), ckpt(0, 2)], vec![]];
+        let live = as_view(&live);
         assert_eq!(
             CutPicker::LatestPerProcess.pick(&RecoveryView { live: &live, messages: &[] }),
             vec![Some(2), None]
@@ -221,6 +231,7 @@ mod tests {
     fn custom_picker_invoked() {
         let picker = CutPicker::Custom(Box::new(|view| vec![None; view.live.len()]));
         let live = vec![vec![ckpt(0, 1)]];
+        let live = as_view(&live);
         assert_eq!(picker.pick(&RecoveryView { live: &live, messages: &[] }), vec![None]);
     }
 

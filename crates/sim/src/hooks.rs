@@ -63,6 +63,28 @@ pub trait Hooks {
         false
     }
 
+    /// Whether [`Hooks::timer_checkpoint_due`] can ever return `true`.
+    /// Queried once per run: when `false`, the engine elides the
+    /// per-instruction timer poll entirely. The default is
+    /// conservatively `true` — an implementation that never schedules
+    /// timer checkpoints may override this to `false` as a pure
+    /// optimisation, and forgetting to do so only costs the poll.
+    fn uses_timers(&mut self) -> bool {
+        true
+    }
+
+    /// Whether every customisation point keeps its default behaviour.
+    /// Queried once per run: when `true`, the engine skips the dynamic
+    /// hook dispatch on the per-message and per-checkpoint hot paths
+    /// and inlines the defaults (deliver, piggyback the sequence
+    /// number, honour application checkpoints, charge nothing).
+    /// [`NoHooks`] — the paper's application-driven protocol — answers
+    /// `true`; an implementation overriding any other method must leave
+    /// this `false` (the default).
+    fn passive(&mut self) -> bool {
+        false
+    }
+
     /// The trigger recorded for checkpoints fired by
     /// [`Hooks::timer_checkpoint_due`]. Coordinated protocols (SaS,
     /// Chandy–Lamport) override this to
@@ -84,7 +106,15 @@ pub trait Hooks {
 #[derive(Debug, Clone, Copy, Default)]
 pub struct NoHooks;
 
-impl Hooks for NoHooks {}
+impl Hooks for NoHooks {
+    fn uses_timers(&mut self) -> bool {
+        false
+    }
+
+    fn passive(&mut self) -> bool {
+        true
+    }
+}
 
 /// A simple timer-driven schedule: take a local checkpoint every
 /// `interval_us`, optionally skewed per process, ignoring application

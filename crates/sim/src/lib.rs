@@ -58,12 +58,12 @@ pub use bytecode::{compile, Compiled, Instr};
 pub use clock::VectorClock;
 pub use config::{CostModel, NetworkModel, SimConfig};
 pub use engine::{run, run_with_failures, run_with_hooks};
-pub use export::{checkpoints_tsv, messages_tsv, spacetime, summary};
+pub use export::{checkpoints_tsv, golden, messages_tsv, spacetime, summary};
 pub use stats::{render_stats, trace_stats, ProcBreakdown, TraceStats};
 pub use failure::{CutPicker, FailurePlan, PickerFn, RecoveryView};
 pub use hooks::{CoordinationCost, Hooks, NoHooks, RecvAction, TimerCheckpoints};
 pub use time::SimTime;
 pub use trace::{
     CheckpointRecord, CkptTrigger, FailureRecord, MessageRecord, Metrics, MsgId, Outcome,
-    Snapshot, Trace,
+    Snapshot, StmtInstances, Trace, VarStore,
 };

@@ -9,7 +9,7 @@
 use crate::clock::VectorClock;
 use crate::time::SimTime;
 use acfc_mpsl::StmtId;
-use std::collections::HashMap;
+use std::sync::Arc;
 
 /// Identifier of a message within a trace (index into
 /// [`Trace::messages`]).
@@ -30,21 +30,174 @@ pub enum CkptTrigger {
     Coordinated,
 }
 
+/// A slot-interned variable store: the engine keeps per-process state
+/// as a flat value vector indexed by the compile-time name→slot table
+/// (shared via `Arc`, so snapshotting clones two small vectors and
+/// bumps a refcount instead of rebuilding a hash map).
+///
+/// A slot is *bound* once the variable is declared or first assigned;
+/// unbound slots exist (an undeclared name can appear in the code) but
+/// are invisible to iteration, comparison, and lookup — exactly the
+/// observable behaviour of the map-based store this replaces.
+#[derive(Debug, Clone)]
+pub struct VarStore {
+    pub(crate) names: Arc<[String]>,
+    pub(crate) values: Vec<i64>,
+    pub(crate) bound: Arc<[bool]>,
+}
+
+impl VarStore {
+    /// Builds a store from explicit `(name, value)` bindings (all
+    /// bound). Intended for tests and out-of-crate engine baselines.
+    pub fn from_pairs(pairs: impl IntoIterator<Item = (String, i64)>) -> VarStore {
+        let (names, values): (Vec<String>, Vec<i64>) = pairs.into_iter().unzip();
+        let bound = vec![true; names.len()].into();
+        VarStore {
+            names: names.into(),
+            values,
+            bound,
+        }
+    }
+
+    /// The value bound to `name`, if any.
+    pub fn get(&self, name: &str) -> Option<i64> {
+        self.names
+            .iter()
+            .position(|n| n == name)
+            .filter(|&i| self.bound[i])
+            .map(|i| self.values[i])
+    }
+
+    /// Iterates over the bound `(name, value)` pairs in slot order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, i64)> + '_ {
+        self.names
+            .iter()
+            .zip(&self.values)
+            .zip(self.bound.iter())
+            .filter(|&(_, &b)| b)
+            .map(|((n, &v), _)| (n.as_str(), v))
+    }
+
+    /// Number of bound variables.
+    pub fn len(&self) -> usize {
+        self.bound.iter().filter(|&&b| b).count()
+    }
+
+    /// `true` when no variable is bound.
+    pub fn is_empty(&self) -> bool {
+        !self.bound.iter().any(|&b| b)
+    }
+}
+
+impl std::ops::Index<&str> for VarStore {
+    type Output = i64;
+
+    fn index(&self, name: &str) -> &i64 {
+        let i = self
+            .names
+            .iter()
+            .position(|n| n == name)
+            .unwrap_or_else(|| panic!("no variable named {name:?}"));
+        assert!(self.bound[i], "variable {name:?} is unbound");
+        &self.values[i]
+    }
+}
+
+/// Set-semantics equality: two stores are equal iff they bind the same
+/// names to the same values, regardless of slot layout.
+impl PartialEq for VarStore {
+    fn eq(&self, other: &VarStore) -> bool {
+        let mut a: Vec<(&str, i64)> = self.iter().collect();
+        let mut b: Vec<(&str, i64)> = other.iter().collect();
+        a.sort_unstable();
+        b.sort_unstable();
+        a == b
+    }
+}
+
+impl Eq for VarStore {}
+
+/// Per-statement instance counters, indexed densely by statement id
+/// (statement ids are small and contiguous per program, so a flat
+/// vector replaces the former `HashMap<u32, u64>`).
+#[derive(Debug, Clone, Default)]
+pub struct StmtInstances(pub(crate) Vec<u64>);
+
+impl StmtInstances {
+    /// Builds counters from explicit `(stmt_id, count)` pairs. Intended
+    /// for tests and out-of-crate engine baselines.
+    pub fn from_pairs(pairs: impl IntoIterator<Item = (u32, u64)>) -> StmtInstances {
+        let mut v = Vec::new();
+        for (id, count) in pairs {
+            let id = id as usize;
+            if id >= v.len() {
+                v.resize(id + 1, 0);
+            }
+            v[id] = count;
+        }
+        StmtInstances(v)
+    }
+
+    /// The instance count of statement `id` (0 if never executed).
+    pub fn get(&self, id: u32) -> u64 {
+        self.0.get(id as usize).copied().unwrap_or(0)
+    }
+
+    /// The non-zero `(stmt_id, count)` pairs in id order.
+    pub fn iter_nonzero(&self) -> impl Iterator<Item = (u32, u64)> + '_ {
+        self.0
+            .iter()
+            .enumerate()
+            .filter(|&(_, &c)| c > 0)
+            .map(|(i, &c)| (i as u32, c))
+    }
+}
+
+/// Equality over the non-zero counters (a trailing run of zero slots is
+/// indistinguishable from absent slots).
+impl PartialEq for StmtInstances {
+    fn eq(&self, other: &StmtInstances) -> bool {
+        self.iter_nonzero().eq(other.iter_nonzero())
+    }
+}
+
+impl Eq for StmtInstances {}
+
 /// A restorable process snapshot captured at a checkpoint.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Snapshot {
     /// Program counter (index into the compiled code).
     pub pc: usize,
     /// Variable store.
-    pub vars: HashMap<String, i64>,
+    pub vars: VarStore,
     /// Vector clock at the checkpoint.
     pub vc: VectorClock,
     /// Dynamic checkpoint count at (and including) this checkpoint.
     pub ckpt_seq: u64,
     /// Per-statement instance counters.
-    pub stmt_instances: HashMap<u32, u64>,
+    pub stmt_instances: StmtInstances,
     /// Per-process event step counter at the checkpoint.
     pub step: u64,
+}
+
+impl Snapshot {
+    /// Variable bindings sorted by name (canonical order for exports
+    /// and golden-trace pins, independent of the storage layout).
+    pub fn vars_sorted(&self) -> Vec<(String, i64)> {
+        let mut v: Vec<(String, i64)> = self
+            .vars
+            .iter()
+            .map(|(k, x)| (k.to_string(), x))
+            .collect();
+        v.sort();
+        v
+    }
+
+    /// Non-zero per-statement instance counters sorted by statement id
+    /// (canonical order, independent of the storage layout).
+    pub fn stmt_instances_sorted(&self) -> Vec<(u32, u64)> {
+        self.stmt_instances.iter_nonzero().collect()
+    }
 }
 
 /// One recorded message.
@@ -106,7 +259,7 @@ pub struct CheckpointRecord {
     /// (1-based); 0 for protocol-generated checkpoints.
     pub instance: u64,
     /// Optional label from the source.
-    pub label: Option<String>,
+    pub label: Option<Arc<str>>,
     /// What triggered it.
     pub trigger: CkptTrigger,
     /// When the checkpoint began.
@@ -170,6 +323,10 @@ pub struct Metrics {
     pub failures: u64,
     /// Total µs charged as recovery overhead.
     pub recovery_us: u64,
+    /// Instructions retired across all processes, including work
+    /// replayed after rollbacks (the denominator of events/sec; not
+    /// part of the golden-trace pin format).
+    pub instructions: u64,
 }
 
 /// How a run ended.

@@ -65,6 +65,7 @@ impl Rng {
     }
 
     /// Next 64-bit output.
+    #[inline]
     pub fn next_u64(&mut self) -> u64 {
         let result = self.s[0]
             .wrapping_add(self.s[3])
@@ -82,6 +83,7 @@ impl Rng {
 
     /// Uniform in `0..=hi` (inclusive), unbiased via Lemire-style
     /// rejection on the widened multiply.
+    #[inline]
     pub fn gen_u64_inclusive(&mut self, hi: u64) -> u64 {
         if hi == u64::MAX {
             return self.next_u64();
