@@ -13,8 +13,8 @@
 
 use acfc_cfg::{build_cfg, find_path, Reach};
 use acfc_core::{
-    analyze_iddep, compute_attrs, ensure_recovery_lines, match_send_recv, LoopPolicy,
-    MatchingMode, Phase3Config,
+    analyze_iddep, compute_attrs, ensure_recovery_lines, match_send_recv, LoopPolicy, MatchingMode,
+    Phase3Config,
 };
 use acfc_mpsl::programs;
 use acfc_util::bench::bench;

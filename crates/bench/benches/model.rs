@@ -21,7 +21,9 @@ fn params() -> IntervalParams {
 
 fn main() {
     let p = params();
-    let s = bench("gamma_closed_form", 100, || gamma_closed_form(black_box(&p)));
+    let s = bench("gamma_closed_form", 100, || {
+        gamma_closed_form(black_box(&p))
+    });
     println!("{}", s.render());
     let s = bench("gamma_markov_chain", 100, || gamma_markov(black_box(&p)));
     println!("{}", s.render());

@@ -11,11 +11,17 @@ fn main() {
     for (name, program, n) in [
         ("jacobi_n8", acfc_mpsl::programs::jacobi(20), 8usize),
         ("stencil_n16", acfc_mpsl::programs::stencil_1d(20), 16),
-        ("master_worker_n8", acfc_mpsl::programs::master_worker(10), 8),
+        (
+            "master_worker_n8",
+            acfc_mpsl::programs::master_worker(10),
+            8,
+        ),
     ] {
         let compiled = compile(&program);
         let cfg = SimConfig::new(n);
-        let s = bench(&format!("sim/{name}"), 200, || run(black_box(&compiled), &cfg));
+        let s = bench(&format!("sim/{name}"), 200, || {
+            run(black_box(&compiled), &cfg)
+        });
         println!("{}", s.render());
     }
     // Failure + rollback path.

@@ -32,10 +32,20 @@ fn main() {
     let flat = rows
         .windows(2)
         .all(|w| (w[0].app_driven - w[1].app_driven).abs() < 1e-15);
-    let growing = rows.windows(2).all(|w| w[1].sas > w[0].sas && w[1].chandy_lamport > w[0].chandy_lamport);
+    let growing = rows
+        .windows(2)
+        .all(|w| w[1].sas > w[0].sas && w[1].chandy_lamport > w[0].chandy_lamport);
     println!(
         "# appl-driven flat: {}; SaS and C-L growing: {}",
-        if flat { "yes (matches the paper)" } else { "NO" },
-        if growing { "yes (matches the paper)" } else { "NO" },
+        if flat {
+            "yes (matches the paper)"
+        } else {
+            "NO"
+        },
+        if growing {
+            "yes (matches the paper)"
+        } else {
+            "NO"
+        },
     );
 }

@@ -35,7 +35,7 @@ use acfc_bench::sim_baseline;
 use acfc_core::{analyze, ensure_recovery_lines, AnalysisConfig, Phase3Config};
 use acfc_mpsl::programs;
 use acfc_perfmodel::{simulate_interval_threads, IntervalParams};
-use acfc_sim::{compile, CutPicker, FailurePlan, NoHooks, SimConfig, SimTime};
+use acfc_sim::{compile, CutPicker, FailurePlan, NoHooks, SimConfig, SimObs, SimTime};
 use acfc_util::bench::{bench, Json};
 use acfc_util::parallel::configured_threads;
 use std::hint::black_box;
@@ -164,16 +164,53 @@ fn sim_workload(
     (events, per_sec(best_baseline), per_sec(best_lowered))
 }
 
+/// Measures what the per-run [`SimObs`] collector costs on `jacobi_n8`:
+/// observed (counters mode) vs unobserved runs. The unobserved path —
+/// the default in every bench and CLI run — pays only a never-taken
+/// `Option` branch per probe, so this fully-enabled delta is a
+/// conservative upper bound on the cost of instrumentation when
+/// disabled.
+///
+/// Each sample times a *single* run (~100µs) and the two variants
+/// alternate; taking the min over many samples finds a quiet scheduler
+/// window for each, which min-of-multi-millisecond-batches cannot on a
+/// noisy shared host (observed batch-vs-batch swings exceed 30% both
+/// ways there).
+fn obs_overhead_pct() -> f64 {
+    let compiled = compile(&programs::jacobi(20));
+    let cfg = SimConfig::new(8);
+    let mut best_plain = u128::MAX;
+    let mut best_observed = u128::MAX;
+    for _ in 0..1500 {
+        let t = std::time::Instant::now();
+        black_box(acfc_sim::run(&compiled, &cfg));
+        best_plain = best_plain.min(t.elapsed().as_nanos());
+        let mut obs = SimObs::counters();
+        let t = std::time::Instant::now();
+        black_box(acfc_sim::run_observed(&compiled, &cfg, &mut obs));
+        best_observed = best_observed.min(t.elapsed().as_nanos());
+    }
+    (best_observed as f64 / best_plain as f64 - 1.0) * 100.0
+}
+
 /// Emits `BENCH_sim.json`: events/sec for the lowered engine vs the
 /// pre-lowering baseline on the `benches/simulator.rs` workloads.
 fn emit_bench_sim() {
     type Workload<'a> = (&'a str, acfc_mpsl::Program, usize, &'a [(SimTime, usize)]);
-    let fail_plan = [(SimTime::from_millis(300), 0), (SimTime::from_millis(700), 2)];
+    let fail_plan = [
+        (SimTime::from_millis(300), 0),
+        (SimTime::from_millis(700), 2),
+    ];
     let workloads: [Workload; 4] = [
         ("jacobi_n8", programs::jacobi(20), 8, &[]),
         ("stencil_n16", programs::stencil_1d(20), 16, &[]),
         ("master_worker_n8", programs::master_worker(10), 8, &[]),
-        ("jacobi_n4_with_failures", programs::jacobi(20), 4, &fail_plan),
+        (
+            "jacobi_n4_with_failures",
+            programs::jacobi(20),
+            4,
+            &fail_plan,
+        ),
     ];
     let mut json = Json::new().str("bench", "sim");
     for (name, program, n, failures) in &workloads {
@@ -184,7 +221,13 @@ fn emit_bench_sim() {
             .num(&format!("{name}_events_per_sec"), lowered)
             .num(&format!("{name}_speedup"), lowered / base);
     }
-    let json = json.render();
+    let overhead = obs_overhead_pct();
+    assert!(
+        overhead < 2.0,
+        "SimObs overhead {overhead:.2}% exceeds the 2% budget \
+         (and the disabled path must cost strictly less)"
+    );
+    let json = json.num("obs_overhead_pct", overhead).render();
     std::fs::write("BENCH_sim.json", &json).expect("write BENCH_sim.json");
     println!("{json}");
 }
@@ -256,7 +299,7 @@ fn main() {
         trials as f64 / (sn.median_ns / 1e9)
     };
 
-    let json = Json::new()
+    let mut json = Json::new()
         .str("bench", "analysis")
         .num("pipeline_all_stock_ms", pipeline_ms)
         .num("pipeline_workloads", stock.len() as f64)
@@ -267,11 +310,36 @@ fn main() {
         .num("phase3_heavy_seed_baseline_ms", seed_secs * 1e3)
         .num("phase3_heavy_optimized_ms", opt_heavy_secs * 1e3)
         .num("phase3_speedup_vs_seed", seed_secs / opt_heavy_secs)
-        .num("mc_trials_per_sec_1_thread", mc_seq)
-        .num(&format!("mc_trials_per_sec_{threads}_threads"), mc_par)
+        .num("mc_trials_per_sec_1_thread", mc_seq);
+    // At one thread the parallel measurement IS the sequential one —
+    // emitting `mc_trials_per_sec_1_threads` as well would duplicate
+    // the canonical key above under a near-identical name.
+    if threads > 1 {
+        json = json.num(&format!("mc_trials_per_sec_{threads}_threads"), mc_par);
+    }
+    let json = json
         .num("mc_thread_speedup", mc_par / mc_seq)
         .num("mc_threads", threads as f64)
         .render();
     std::fs::write("BENCH_analysis.json", &json).expect("write BENCH_analysis.json");
     println!("{json}");
+
+    // One fully instrumented pass (analysis + observed run of the
+    // jacobi_n8 workload) so the bench output ends with the obs
+    // counter/histogram table. With the `obs` feature compiled out the
+    // registry stays empty and the render says so.
+    acfc_obs::reset();
+    acfc_obs::set_enabled(true);
+    let p = programs::jacobi(20);
+    let a = analyze(&p, &AnalysisConfig::for_nprocs(8)).expect("stock workload analyzes");
+    let mut obs = SimObs::counters();
+    black_box(acfc_sim::run_observed(
+        &compile(&a.program),
+        &SimConfig::new(8),
+        &mut obs,
+    ));
+    obs.publish();
+    acfc_obs::set_enabled(false);
+    println!("--- obs counter summary (jacobi_n8 analysis + run) ---");
+    print!("{}", acfc_obs::render(&acfc_obs::snapshot()));
 }

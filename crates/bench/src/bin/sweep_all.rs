@@ -10,8 +10,8 @@
 use acfc_bench::{empirical_comparison, paper_params, render_figure};
 use acfc_perfmodel::{
     figure8, figure8_default_ns, figure9, figure9_default_wms, gamma_closed_form, optimal_k,
-    simulate_interval, single_level_ratio, twolevel_ratio_analytic, IntervalParams,
-    ModelProtocol, TwoLevelParams,
+    simulate_interval, single_level_ratio, twolevel_ratio_analytic, IntervalParams, ModelProtocol,
+    TwoLevelParams,
 };
 use acfc_protocols::render_table;
 

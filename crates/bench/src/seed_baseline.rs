@@ -80,8 +80,11 @@ impl SeedExtended {
 
     fn reaches_forward_via_message(&self, a: NodeId, b: NodeId) -> bool {
         self.message_edges.iter().any(|e| {
-            self.reach_forward.reachable_or_eq(a.index(), e.send.index())
-                && self.reach_forward.reachable_or_eq(e.recv.index(), b.index())
+            self.reach_forward
+                .reachable_or_eq(a.index(), e.send.index())
+                && self
+                    .reach_forward
+                    .reachable_or_eq(e.recv.index(), b.index())
         })
     }
 
@@ -120,9 +123,7 @@ fn check_condition1(
             let forward = g.reaches_forward_via_message(from, to);
             let violation = match policy {
                 LoopPolicy::Strict => true,
-                LoopPolicy::Optimized => {
-                    forward || !(g.loops.in_loop(from) && g.loops.in_loop(to))
-                }
+                LoopPolicy::Optimized => forward || !(g.loops.in_loop(from) && g.loops.in_loop(to)),
             };
             if !violation {
                 continue;

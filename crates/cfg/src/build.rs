@@ -67,7 +67,12 @@ pub fn build_cfg_prelowered(program: &Program) -> Cfg {
 
 /// Translates `block`, chaining from `(pred, label)`; returns the dangling
 /// tail `(node, label)` that the caller must connect onward.
-fn build_block(cfg: &mut Cfg, block: &Block, pred: NodeId, label: EdgeLabel) -> (NodeId, EdgeLabel) {
+fn build_block(
+    cfg: &mut Cfg,
+    block: &Block,
+    pred: NodeId,
+    label: EdgeLabel,
+) -> (NodeId, EdgeLabel) {
     let mut cursor = (pred, label);
     for stmt in block {
         let sid = Some(stmt.id);
@@ -260,7 +265,10 @@ mod tests {
         let p = parse("program t; while 0 { }").unwrap();
         let (cfg, _) = build_cfg(&p);
         let b = cfg.branch_nodes()[0];
-        assert!(cfg.succs(b).iter().any(|&(to, _)| to == b), "self back edge");
+        assert!(
+            cfg.succs(b).iter().any(|&(to, _)| to == b),
+            "self back edge"
+        );
     }
 
     #[test]

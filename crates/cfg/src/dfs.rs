@@ -33,7 +33,7 @@ pub fn dfs(cfg: &Cfg) -> DfsOrders {
     let mut preorder = Vec::with_capacity(n);
     let mut postorder = Vec::with_capacity(n);
     let mut state = vec![0u8; n]; // 0 = unvisited, 1 = on stack, 2 = done
-    // Each stack frame: (node, next successor index to try).
+                                  // Each stack frame: (node, next successor index to try).
     let mut stack: Vec<(NodeId, usize)> = vec![(cfg.entry(), 0)];
     state[cfg.entry().index()] = 1;
     preorder.push(cfg.entry());

@@ -432,12 +432,7 @@ mod tests {
     #[test]
     fn branch_and_join_classification() {
         let mut cfg = Cfg::new("t");
-        let b = cfg.add_node(
-            NodeKind::Branch {
-                cond: Expr::Int(1),
-            },
-            None,
-        );
+        let b = cfg.add_node(NodeKind::Branch { cond: Expr::Int(1) }, None);
         let j = cfg.add_node(NodeKind::Join, None);
         cfg.add_edge(cfg.entry(), b, EdgeLabel::Seq);
         cfg.add_edge(b, j, EdgeLabel::True);

@@ -6,8 +6,8 @@
 //! which checkpoint nodes live inside loops and which Ĝ-paths cross
 //! backward edges.
 
-use crate::dominators::{dominators_with, Dominators};
 use crate::dfs::dfs;
+use crate::dominators::{dominators_with, Dominators};
 use crate::graph::{Cfg, EdgeLabel, NodeId};
 
 /// A natural loop: its header and member set.
@@ -199,8 +199,7 @@ mod tests {
 
     #[test]
     fn back_edge_membership_query() {
-        let (cfg, _) =
-            build_cfg(&parse("program t; var i; while i < 3 { i := i + 1; }").unwrap());
+        let (cfg, _) = build_cfg(&parse("program t; var i; while i < 3 { i := i + 1; }").unwrap());
         let li = loop_info(&cfg);
         let (a, b, _) = li.back_edges[0];
         assert!(li.is_back_edge(a, b));

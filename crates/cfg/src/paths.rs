@@ -178,11 +178,7 @@ mod tests {
         for i in 0..4 {
             let a = 1 + 2 * i;
             let b = 2 + 2 * i;
-            let next: Vec<usize> = if i == 3 {
-                vec![9]
-            } else {
-                vec![a + 2, b + 2]
-            };
+            let next: Vec<usize> = if i == 3 { vec![9] } else { vec![a + 2, b + 2] };
             succs.push(next.clone()); // a
             succs.push(next); // b
         }

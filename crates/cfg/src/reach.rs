@@ -101,10 +101,16 @@ impl Reach {
     /// bitset row per component, filled in reverse topological order by
     /// OR-ing successor-component rows.
     pub fn compute(succs: &[Vec<usize>]) -> Reach {
+        acfc_obs::count("cfg/reach/computes", 1);
         let n = succs.len();
         let words = n.div_ceil(64);
+        acfc_obs::count("cfg/reach/nodes", n as u64);
         if n == 0 {
-            return Reach { n, words, rows: Vec::new() };
+            return Reach {
+                n,
+                words,
+                rows: Vec::new(),
+            };
         }
         let (comp, comps) = tarjan_scc(succs);
         let s = comps.len();
@@ -115,8 +121,7 @@ impl Reach {
         for (c, members) in comps.iter().enumerate() {
             // A node reaches itself iff it lies on a cycle: the SCC is
             // non-trivial, or it has a self-loop.
-            let cyclic =
-                members.len() > 1 || succs[members[0]].iter().any(|&t| t == members[0]);
+            let cyclic = members.len() > 1 || succs[members[0]].iter().any(|&t| t == members[0]);
             if cyclic {
                 for &m in members {
                     scc_rows[c * words + m / 64] |= 1u64 << (m % 64);
@@ -330,7 +335,9 @@ mod tests {
         // Deterministic pseudo-random graphs via a simple LCG.
         let mut state = 0x243F_6A88_85A3_08D3u64;
         let mut next = move || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             state >> 33
         };
         for _ in 0..20 {

@@ -4,9 +4,7 @@
 //! finding, SCC-condensed closure against the per-node BFS oracle, and
 //! structural invariants of construction.
 
-use acfc_cfg::{
-    build_cfg, dominators, dominators_naive, find_path, loop_info, Cfg, NodeId, Reach,
-};
+use acfc_cfg::{build_cfg, dominators, dominators_naive, find_path, loop_info, Cfg, NodeId, Reach};
 use acfc_mpsl::{Expr, Program, Stmt, StmtKind};
 use acfc_util::check::{forall, Gen};
 

@@ -30,7 +30,10 @@ impl RankSet {
     /// The empty set for `n` ranks.
     pub fn empty(n: usize) -> RankSet {
         assert!(n <= MAX_ANALYSIS_RANKS, "analysis supports n ≤ 128");
-        RankSet { bits: 0, n: n as u32 }
+        RankSet {
+            bits: 0,
+            n: n as u32,
+        }
     }
 
     /// The full set `{0, …, n−1}`.

@@ -77,16 +77,12 @@ pub fn check_condition1(
             let forward = g.reaches_forward_via_message(from, to);
             let violation = match policy {
                 LoopPolicy::Strict => true,
-                LoopPolicy::Optimized => {
-                    forward || !(g.loops.in_loop(from) && g.loops.in_loop(to))
-                }
+                LoopPolicy::Optimized => forward || !(g.loops.in_loop(from) && g.loops.in_loop(to)),
             };
             if !violation {
                 continue;
             }
-            let shared = index.ranges[&from]
-                .min
-                .max(index.ranges[&to].min);
+            let shared = index.ranges[&from].min.max(index.ranges[&to].min);
             let witness = find_path(&adj_full, from.index(), to.index(), &|_, _| true)
                 .map(|p| p.into_iter().map(|i| NodeId(i as u32)).collect())
                 .unwrap_or_default();

@@ -44,7 +44,10 @@ pub fn explain_violation(g: &ExtendedCfg, v: &Violation) -> String {
         let _ = write!(out, "{}", node_label(&g.cfg, n));
     }
     let _ = writeln!(out, "⟩");
-    let _ = writeln!(out, "  (⇒ marks a message edge; Algorithm 3.2 will move the later checkpoint back)");
+    let _ = writeln!(
+        out,
+        "  (⇒ marks a message edge; Algorithm 3.2 will move the later checkpoint back)"
+    );
     out
 }
 
@@ -55,10 +58,7 @@ pub fn explain_violations(g: &ExtendedCfg, violations: &[Violation]) -> String {
                 recovery line in any further execution.\n"
             .to_string();
     }
-    violations
-        .iter()
-        .map(|v| explain_violation(g, v))
-        .collect()
+    violations.iter().map(|v| explain_violation(g, v)).collect()
 }
 
 /// Renders the straight-cut structure: which checkpoint nodes form each

@@ -120,11 +120,8 @@ impl ExtendedCfg {
             // precomputed row: a single bit probe.
             Some(row) => row[b.index() / 64] & (1u64 << (b.index() % 64)) != 0,
             None => self.message_edges.iter().any(|e| {
-                self.reach_full
-                    .reachable_or_eq(a.index(), e.send.index())
-                    && self
-                        .reach_full
-                        .reachable_or_eq(e.recv.index(), b.index())
+                self.reach_full.reachable_or_eq(a.index(), e.send.index())
+                    && self.reach_full.reachable_or_eq(e.recv.index(), b.index())
             }),
         }
     }

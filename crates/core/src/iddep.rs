@@ -105,10 +105,8 @@ pub fn analyze_iddep_at(cfg: &Cfg, program: &Program, sample_n: usize) -> IdDepI
             }
         }
     }
-    let envs: Vec<HashMap<String, Expr>> = envs
-        .into_iter()
-        .map(|e| e.unwrap_or_default())
-        .collect();
+    let envs: Vec<HashMap<String, Expr>> =
+        envs.into_iter().map(|e| e.unwrap_or_default()).collect();
     // Classify branches.
     let mut classes = HashMap::new();
     for b in cfg.branch_nodes() {
@@ -215,9 +213,7 @@ mod tests {
 
     #[test]
     fn propagated_rank_var_is_id_dependent() {
-        let (cfg, info) = info_for(
-            "program t; var me; me := rank % 2; if me == 0 { compute 1; }",
-        );
+        let (cfg, info) = info_for("program t; var me; me := rank % 2; if me == 0 { compute 1; }");
         let b = cfg.branch_nodes()[0];
         assert_eq!(info.branch_class(b), Some(BranchClass::IdDependent));
         // The environment at the branch resolves `me`.

@@ -295,13 +295,13 @@ fn match_fifo_ordered(cfg: &Cfg, attrs: &NodeAttrs, iddep: &IdDepInfo) -> Matchi
     let mut witnesses: Vec<MatchWitness> = Vec::new();
     let mut seen: std::collections::HashSet<(NodeId, NodeId)> = std::collections::HashSet::new();
     let push = |edges: &mut Vec<MessageEdge>,
-                    witnesses: &mut Vec<MatchWitness>,
-                    seen: &mut std::collections::HashSet<(NodeId, NodeId)>,
-                    s: NodeId,
-                    r: NodeId,
-                    p: usize,
-                    q: usize,
-                    irregular: bool| {
+                witnesses: &mut Vec<MatchWitness>,
+                seen: &mut std::collections::HashSet<(NodeId, NodeId)>,
+                s: NodeId,
+                r: NodeId,
+                p: usize,
+                q: usize,
+                irregular: bool| {
         if seen.insert((s, r)) {
             edges.push(MessageEdge { send: s, recv: r });
             witnesses.push(MatchWitness {
@@ -353,8 +353,8 @@ fn match_fifo_ordered(cfg: &Cfg, attrs: &NodeAttrs, iddep: &IdDepInfo) -> Matchi
             if chan_sends.is_empty() || chan_recvs.is_empty() {
                 continue;
             }
-            let all_exact = chan_sends.iter().all(|&(_, e)| e)
-                && chan_recvs.iter().all(|&(_, e)| e);
+            let all_exact =
+                chan_sends.iter().all(|&(_, e)| e) && chan_recvs.iter().all(|&(_, e)| e);
             if all_exact && chan_sends.len() == chan_recvs.len() {
                 // FIFO positional pairing.
                 for (&(s, _), &(r, _)) in chan_sends.iter().zip(&chan_recvs) {
@@ -380,8 +380,7 @@ fn match_fifo_ordered(cfg: &Cfg, attrs: &NodeAttrs, iddep: &IdDepInfo) -> Matchi
             }
         }
     }
-    let matched: std::collections::HashSet<NodeId> =
-        edges.iter().map(|e| e.recv).collect();
+    let matched: std::collections::HashSet<NodeId> = edges.iter().map(|e| e.recv).collect();
     let unmatched_recvs = recvs
         .iter()
         .copied()
@@ -539,11 +538,7 @@ mod tests {
         for e in &m.edges {
             let s_even = attrs.of(e.send).contains(0);
             let r_even = attrs.of(e.recv).contains(0);
-            assert_ne!(
-                s_even, r_even,
-                "edge {:?} does not cross parity arms",
-                e
-            );
+            assert_ne!(s_even, r_even, "edge {:?} does not cross parity arms", e);
         }
     }
 

@@ -149,8 +149,7 @@ mod tests {
         let p = programs::jacobi_odd_even(3);
         for n in [2usize, 4, 16] {
             assert!(
-                !condition1_at(&p, n, MatchingMode::FifoOrdered, LoopPolicy::Optimized)
-                    .is_empty(),
+                !condition1_at(&p, n, MatchingMode::FifoOrdered, LoopPolicy::Optimized).is_empty(),
                 "n={n}"
             );
         }
@@ -188,13 +187,7 @@ mod tests {
 
     #[test]
     fn multi_n_report_structure() {
-        let r = analyze_for_all_n(
-            &programs::pipeline_skewed(3),
-            8,
-            &[2, 4, 6],
-            &cfg(),
-        )
-        .unwrap();
+        let r = analyze_for_all_n(&programs::pipeline_skewed(3), 8, &[2, 4, 6], &cfg()).unwrap();
         assert!(r.safe_everywhere());
         assert!(!r.analysis.moves.is_empty());
         assert_eq!(r.verified_at.len(), 3);

@@ -33,7 +33,7 @@ pub struct InsertionConfig {
 impl Default for InsertionConfig {
     fn default() -> InsertionConfig {
         InsertionConfig {
-            ckpt_overhead_units: 1_780.0, // the paper's o = 1.78 s
+            ckpt_overhead_units: 1_780.0,            // the paper's o = 1.78 s
             failure_rate_per_unit: 1.23e-6 / 1000.0, // λ = 1.23e-6 /s
             default_trip_count: 10,
             comm_cost_units: 1.0,
@@ -111,9 +111,9 @@ fn stmt_cost(stmt: &Stmt, params: &Params, cfg: &InsertionConfig) -> f64 {
         StmtKind::While { body, .. } => {
             cfg.default_trip_count as f64 * block_cost(body, params, cfg)
         }
-        StmtKind::For {
-            from, to, body, ..
-        } => trip_count(from, to, params, cfg) * block_cost(body, params, cfg),
+        StmtKind::For { from, to, body, .. } => {
+            trip_count(from, to, params, cfg) * block_cost(body, params, cfg)
+        }
     }
 }
 
@@ -152,12 +152,13 @@ pub fn insert_checkpoints(program: &mut Program, cfg: &InsertionConfig) -> Inser
     for (stmt, loop_total) in program.body.iter_mut().zip(totals) {
         match &mut stmt.kind {
             StmtKind::While { body, .. } | StmtKind::For { body, .. }
-                if loop_total >= target / 2.0 => {
-                    body.push(Stmt::new(StmtKind::Checkpoint {
-                        label: Some("phase1".into()),
-                    }));
-                    inserted += 1;
-                }
+                if loop_total >= target / 2.0 =>
+            {
+                body.push(Stmt::new(StmtKind::Checkpoint {
+                    label: Some("phase1".into()),
+                }));
+                inserted += 1;
+            }
             _ => {}
         }
     }
@@ -386,10 +387,7 @@ mod tests {
 
     #[test]
     fn branch_cost_takes_max_arm() {
-        let p = parse(
-            "program t; if rank == 0 { compute 10; } else { compute 4; }",
-        )
-        .unwrap();
+        let p = parse("program t; if rank == 0 { compute 10; } else { compute 4; }").unwrap();
         let cfg = InsertionConfig::default();
         assert!((estimate_program_cost(&p, &cfg) - 10.0).abs() < 1e-9);
     }

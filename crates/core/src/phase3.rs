@@ -139,6 +139,7 @@ pub fn ensure_recovery_lines(
     // rebuilt per move.
     let mut cache: Option<ReanalysisCache> = None;
     for _ in 0..config.max_iterations {
+        acfc_obs::count("core/phase3/iterations", 1);
         let cfg = build_cfg_prelowered(&current);
         let matching = phase2_matching(&cfg, &current, config, &mut cache);
         let index = index_checkpoints(&cfg, &current);
@@ -179,10 +180,7 @@ pub fn ensure_recovery_lines(
     let first = &violations[0];
     Err(Phase3Error::Unrepairable {
         residual: violations.len(),
-        detail: format!(
-            "S_{}: path {} -> {}",
-            first.index, first.from, first.to
-        ),
+        detail: format!("S_{}: path {} -> {}", first.index, first.from, first.to),
     })
 }
 
@@ -197,20 +195,20 @@ fn phase2_matching(
 ) -> Matching {
     if config.incremental {
         if let Some(m) = cache.as_ref().and_then(|c| c.matching_for(cfg)) {
+            acfc_obs::count("core/reanalysis_cache/hits", 1);
             return m;
         }
     }
-    let (fresh, matching) =
-        ReanalysisCache::compute(cfg, lowered, config.nprocs, config.matching);
+    acfc_obs::count("core/reanalysis_cache/misses", 1);
+    let _span = acfc_obs::span("core/phase2/matching");
+    let (fresh, matching) = ReanalysisCache::compute(cfg, lowered, config.nprocs, config.matching);
     *cache = Some(fresh);
     matching
 }
 
 /// Deterministic violation choice: smallest index, then node ids.
 fn pick_violation(violations: &[Violation]) -> Option<&Violation> {
-    violations
-        .iter()
-        .min_by_key(|v| (v.index, v.to, v.from))
+    violations.iter().min_by_key(|v| (v.index, v.to, v.from))
 }
 
 /// Where to insert the relocated checkpoint statement in the AST.
@@ -327,9 +325,8 @@ fn relocate(
         InsertPoint::Before(t) | InsertPoint::After(t) if t == sid => return Ok(false),
         _ => {}
     }
-    let removed = remove_stmt(&mut program.body, sid).ok_or_else(|| {
-        Phase3Error::EditFailed(format!("checkpoint statement {sid} not found"))
-    })?;
+    let removed = remove_stmt(&mut program.body, sid)
+        .ok_or_else(|| Phase3Error::EditFailed(format!("checkpoint statement {sid} not found")))?;
     if !matches!(removed.kind, StmtKind::Checkpoint { .. }) {
         return Err(Phase3Error::EditFailed(format!(
             "statement {sid} is not a checkpoint"
@@ -556,8 +553,8 @@ mod tests {
                 nprocs: 4,
                 ..Phase3Config::default()
             };
-            let r = ensure_recovery_lines(&p, &config)
-                .unwrap_or_else(|e| panic!("{}: {e}", p.name));
+            let r =
+                ensure_recovery_lines(&p, &config).unwrap_or_else(|e| panic!("{}: {e}", p.name));
             verify_condition1(&r, 4, LoopPolicy::Optimized);
         }
     }

@@ -191,6 +191,7 @@ impl From<Phase3Error> for AnalysisError {
 /// # Ok::<(), acfc_core::AnalysisError>(())
 /// ```
 pub fn analyze(program: &Program, config: &AnalysisConfig) -> Result<Analysis, AnalysisError> {
+    let _pipeline = acfc_obs::span("core/analyze");
     let errors = acfc_mpsl::validate(program);
     if !errors.is_empty() {
         return Err(AnalysisError::Invalid(errors));
@@ -201,15 +202,21 @@ pub fn analyze(program: &Program, config: &AnalysisConfig) -> Result<Analysis, A
     }
     let original = prepared.clone();
     // Phase I.
-    let inserted = match &config.insertion {
-        Some(ic) => insert_checkpoints(&mut prepared, ic).inserted,
-        None => 0,
+    let (inserted, equalized) = {
+        let _phase1 = acfc_obs::span("core/phase1");
+        let inserted = match &config.insertion {
+            Some(ic) => insert_checkpoints(&mut prepared, ic).inserted,
+            None => 0,
+        };
+        let equalized = if config.equalize {
+            equalize_checkpoints(&mut prepared)
+        } else {
+            0
+        };
+        (inserted, equalized)
     };
-    let equalized = if config.equalize {
-        equalize_checkpoints(&mut prepared)
-    } else {
-        0
-    };
+    acfc_obs::count("core/phase1/inserted", inserted as u64);
+    acfc_obs::count("core/phase1/equalized", equalized as u64);
     // Phases II + III.
     let p3 = Phase3Config {
         nprocs: config.nprocs,
@@ -218,7 +225,11 @@ pub fn analyze(program: &Program, config: &AnalysisConfig) -> Result<Analysis, A
         max_iterations: config.max_iterations,
         incremental: config.incremental,
     };
-    let result = ensure_recovery_lines(&prepared, &p3)?;
+    let result = {
+        let _phase23 = acfc_obs::span("core/phase2_3");
+        ensure_recovery_lines(&prepared, &p3)?
+    };
+    acfc_obs::count("core/phase3/moves", result.moves.len() as u64);
     let index = index_checkpoints(&result.extended.cfg, &result.program);
     Ok(Analysis {
         program: result.program,

@@ -155,8 +155,8 @@ mod tests {
         // Simulate an Algorithm 3.2 edit: pull the first checkpoint
         // statement out of wherever it is and put it at program start.
         let ckpt_ids = lowered.checkpoint_ids();
-        let moved = crate::phase3::remove_stmt(&mut lowered.body, ckpt_ids[0])
-            .expect("checkpoint exists");
+        let moved =
+            crate::phase3::remove_stmt(&mut lowered.body, ckpt_ids[0]).expect("checkpoint exists");
         lowered.body.insert(0, moved);
         lowered.renumber();
         let cfg2 = build_cfg_prelowered(&lowered);

@@ -70,9 +70,7 @@ fn golden_fig6_hoists_a_out_of_the_loop() {
     let got = transformed(&programs::fig6(5));
     // Checkpoint A leaves the loop (the paper's noted consequence);
     // checkpoint B stays put.
-    let before_loop = got
-        .find("checkpoint \"A\"")
-        .expect("A present");
+    let before_loop = got.find("checkpoint \"A\"").expect("A present");
     let loop_start = got.find("for i in").expect("loop present");
     assert!(
         before_loop < loop_start,

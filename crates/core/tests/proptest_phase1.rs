@@ -4,8 +4,7 @@
 //! program that already has checkpoints.
 
 use acfc_core::phase1::{
-    equalize_checkpoints, insert_checkpoints, rebalance_checkpoints, static_count,
-    InsertionConfig,
+    equalize_checkpoints, insert_checkpoints, rebalance_checkpoints, static_count, InsertionConfig,
 };
 use acfc_mpsl::{Expr, Program, RecvSrc, Stmt, StmtKind};
 use acfc_util::check::{forall, Gen};
@@ -82,14 +81,18 @@ fn equalize_only_adds() {
 
 #[test]
 fn rebalance_makes_counts_exact_without_net_growth() {
-    forall("rebalance_makes_counts_exact_without_net_growth", 256, |g| {
-        let mut p = arb_program(g);
-        let before = p.checkpoint_ids().len();
-        let (removed, added) = rebalance_checkpoints(&mut p);
-        let (min, max) = static_count(&p.body);
-        assert_eq!(min, max);
-        assert_eq!(p.checkpoint_ids().len(), before - removed + added);
-    });
+    forall(
+        "rebalance_makes_counts_exact_without_net_growth",
+        256,
+        |g| {
+            let mut p = arb_program(g);
+            let before = p.checkpoint_ids().len();
+            let (removed, added) = rebalance_checkpoints(&mut p);
+            let (min, max) = static_count(&p.body);
+            assert_eq!(min, max);
+            assert_eq!(p.checkpoint_ids().len(), before - removed + added);
+        },
+    );
 }
 
 #[test]

@@ -173,10 +173,9 @@ impl Expr {
 
     fn collect_vars<'a>(&'a self, out: &mut Vec<&'a str>) {
         match self {
-            Expr::Var(v)
-                if !out.contains(&v.as_str()) => {
-                    out.push(v);
-                }
+            Expr::Var(v) if !out.contains(&v.as_str()) => {
+                out.push(v);
+            }
             Expr::Unary(_, e) => e.collect_vars(out),
             Expr::Binary(_, a, b) => {
                 a.collect_vars(out);
@@ -392,9 +391,7 @@ impl Program {
                         walk(then_branch, next);
                         walk(else_branch, next);
                     }
-                    StmtKind::While { body, .. } | StmtKind::For { body, .. } => {
-                        walk(body, next)
-                    }
+                    StmtKind::While { body, .. } | StmtKind::For { body, .. } => walk(body, next),
                     _ => {}
                 }
             }
@@ -516,10 +513,7 @@ impl Program {
 
     /// The default value of parameter `name`, if declared.
     pub fn param(&self, name: &str) -> Option<i64> {
-        self.params
-            .iter()
-            .find(|(n, _)| n == name)
-            .map(|(_, v)| *v)
+        self.params.iter().find(|(n, _)| n == name).map(|(_, v)| *v)
     }
 
     /// Replaces the default value of parameter `name`, returning `false`
@@ -559,11 +553,7 @@ impl Program {
                             from: Expr::Int(0),
                             to: Expr::NProcs,
                             body: vec![Stmt::new(StmtKind::If {
-                                cond: Expr::bin(
-                                    BinOp::Ne,
-                                    Expr::Var(loopvar.clone()),
-                                    Expr::Rank,
-                                ),
+                                cond: Expr::bin(BinOp::Ne, Expr::Var(loopvar.clone()), Expr::Rank),
                                 then_branch: vec![Stmt::new(StmtKind::Send {
                                     dest: Expr::Var(loopvar.clone()),
                                     size_bits: size_bits.clone(),
@@ -659,7 +649,11 @@ mod tests {
                     value: Expr::Int(0),
                 }),
                 Stmt::new(StmtKind::While {
-                    cond: Expr::bin(BinOp::Lt, Expr::Var("i".into()), Expr::Param("iters".into())),
+                    cond: Expr::bin(
+                        BinOp::Lt,
+                        Expr::Var("i".into()),
+                        Expr::Param("iters".into()),
+                    ),
                     body: vec![
                         Stmt::new(StmtKind::Compute { cost: Expr::Int(1) }),
                         Stmt::new(StmtKind::Checkpoint { label: None }),

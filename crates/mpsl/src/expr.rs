@@ -248,7 +248,11 @@ mod tests {
     #[test]
     fn euclidean_mod_wraps_negative() {
         let env = Env::new(0, 4);
-        let e = E::bin(BinOp::Mod, E::bin(BinOp::Sub, E::Rank, E::Int(1)), E::NProcs);
+        let e = E::bin(
+            BinOp::Mod,
+            E::bin(BinOp::Sub, E::Rank, E::Int(1)),
+            E::NProcs,
+        );
         assert_eq!(eval(&e, &env).unwrap(), 3);
     }
 
@@ -285,11 +289,7 @@ mod tests {
     #[test]
     fn comparison_and_logic() {
         let env = Env::new(2, 4);
-        let even = E::bin(
-            BinOp::Eq,
-            E::bin(BinOp::Mod, E::Rank, E::Int(2)),
-            E::Int(0),
-        );
+        let even = E::bin(BinOp::Eq, E::bin(BinOp::Mod, E::Rank, E::Int(2)), E::Int(0));
         assert_eq!(eval(&even, &env).unwrap(), 1);
         let not = E::Unary(UnOp::Not, Box::new(even));
         assert_eq!(eval(&not, &env).unwrap(), 0);
@@ -316,7 +316,11 @@ mod tests {
             params: &params,
             var_exprs: &vars,
         };
-        let e = E::bin(BinOp::Mod, E::bin(BinOp::Add, E::Rank, E::Int(1)), E::NProcs);
+        let e = E::bin(
+            BinOp::Mod,
+            E::bin(BinOp::Add, E::Rank, E::Int(1)),
+            E::NProcs,
+        );
         assert_eq!(rank_eval(&e, &env), RankVal::Known(4));
         assert_eq!(rank_eval(&E::Var("x".into()), &env), RankVal::Unknown);
         assert_eq!(rank_eval(&E::Input(0), &env), RankVal::Irregular);
@@ -326,10 +330,7 @@ mod tests {
     fn rank_eval_resolves_var_exprs() {
         let params = HashMap::new();
         let mut vars = HashMap::new();
-        vars.insert(
-            "left".to_string(),
-            E::bin(BinOp::Sub, E::Rank, E::Int(1)),
-        );
+        vars.insert("left".to_string(), E::bin(BinOp::Sub, E::Rank, E::Int(1)));
         let env = RankEnv {
             rank: 5,
             nprocs: 8,

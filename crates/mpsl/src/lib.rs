@@ -53,8 +53,8 @@ pub mod validate;
 
 pub use ast::{BinOp, Block, Expr, Program, RecvSrc, Stmt, StmtId, StmtKind, UnOp};
 pub use expr::{eval, rank_eval, Env, EvalError, RankEnv, RankVal};
-pub use lowered::{eval_ops, lower_expr, Op, SlotEnv, SlotResolver};
 pub use lexer::{lex, LexError};
+pub use lowered::{eval_ops, lower_expr, Op, SlotEnv, SlotResolver};
 pub use parser::{parse, ParseError};
 pub use pretty::{expr_to_string, to_source};
 pub use validate::{validate, ValidateError};

@@ -267,7 +267,11 @@ mod tests {
             .map(|v| env.vars.get(v).copied().unwrap_or(0))
             .collect();
         let bound: Vec<bool> = t.vars.iter().map(|v| env.vars.contains_key(v)).collect();
-        let params: Vec<Option<i64>> = t.params.iter().map(|p| env.params.get(p).copied()).collect();
+        let params: Vec<Option<i64>> = t
+            .params
+            .iter()
+            .map(|p| env.params.get(p).copied())
+            .collect();
         let slot_env = SlotEnv {
             rank: env.rank,
             nprocs: env.nprocs,
@@ -317,11 +321,7 @@ mod tests {
             E::NProcs,
         );
         agree(&e, &env);
-        let e = E::bin(
-            BinOp::Eq,
-            E::bin(BinOp::Mod, E::Rank, E::Int(2)),
-            E::Int(0),
-        );
+        let e = E::bin(BinOp::Eq, E::bin(BinOp::Mod, E::Rank, E::Int(2)), E::Int(0));
         agree(&e, &env);
     }
 

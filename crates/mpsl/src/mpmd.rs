@@ -84,9 +84,8 @@ fn rename_vars(program: &mut Program, prefix: &str) {
         .map(|(a, b)| (a.as_str(), b.as_str()))
         .collect();
     program.vars = renames.iter().map(|(_, b)| b.clone()).collect();
-    let subst = |e: &Expr| {
-        e.substitute(&|name| lookup.get(name).map(|n| Expr::Var((*n).to_string())))
-    };
+    let subst =
+        |e: &Expr| e.substitute(&|name| lookup.get(name).map(|n| Expr::Var((*n).to_string())));
     program.visit_mut(&mut |s| match &mut s.kind {
         StmtKind::Compute { cost } => *cost = subst(cost),
         StmtKind::Assign { var, value } => {
@@ -274,10 +273,7 @@ mod tests {
         let StmtKind::If { cond, .. } = &combined.body[0].kind else {
             panic!()
         };
-        assert_eq!(
-            *cond,
-            Expr::bin(BinOp::Eq, Expr::Rank, Expr::Int(0))
-        );
+        assert_eq!(*cond, Expr::bin(BinOp::Eq, Expr::Rank, Expr::Int(0)));
         // Variables are role-prefixed, so the two `j`s don't collide.
         assert!(combined.vars.contains(&"r0_j".to_string()));
         assert!(combined.vars.contains(&"r1_j".to_string()));

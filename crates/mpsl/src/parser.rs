@@ -61,8 +61,27 @@ impl From<LexError> for ParseError {
 }
 
 const RESERVED: &[&str] = &[
-    "program", "param", "var", "compute", "send", "recv", "checkpoint", "if", "else", "while",
-    "for", "in", "to", "from", "with", "size", "any", "rank", "nprocs", "input", "bcast",
+    "program",
+    "param",
+    "var",
+    "compute",
+    "send",
+    "recv",
+    "checkpoint",
+    "if",
+    "else",
+    "while",
+    "for",
+    "in",
+    "to",
+    "from",
+    "with",
+    "size",
+    "any",
+    "rank",
+    "nprocs",
+    "input",
+    "bcast",
     "exchange",
 ];
 

@@ -36,10 +36,8 @@ fn write_expr(out: &mut String, e: &Expr, parent_prec: u8) {
             // unaries and negative literals need parentheses so that
             // e.g. `-(-1)` does not print as `--1` (which would re-lex
             // as two minus tokens).
-            let needs_parens = matches!(
-                inner.as_ref(),
-                Expr::Binary(..) | Expr::Unary(..)
-            ) || matches!(inner.as_ref(), Expr::Int(v) if *v < 0);
+            let needs_parens = matches!(inner.as_ref(), Expr::Binary(..) | Expr::Unary(..))
+                || matches!(inner.as_ref(), Expr::Int(v) if *v < 0);
             if needs_parens {
                 out.push('(');
                 write_expr(out, inner, 0);

@@ -31,18 +31,16 @@ fn check_expr(
     errors: &mut Vec<ValidateError>,
 ) {
     match e {
-        Expr::Var(v)
-            if !declared.contains(v.as_str()) => {
-                errors.push(ValidateError {
-                    message: format!("use of undeclared variable `{v}`"),
-                });
-            }
-        Expr::Param(p)
-            if !params.contains(p.as_str()) => {
-                errors.push(ValidateError {
-                    message: format!("use of undeclared parameter `{p}`"),
-                });
-            }
+        Expr::Var(v) if !declared.contains(v.as_str()) => {
+            errors.push(ValidateError {
+                message: format!("use of undeclared variable `{v}`"),
+            });
+        }
+        Expr::Param(p) if !params.contains(p.as_str()) => {
+            errors.push(ValidateError {
+                message: format!("use of undeclared parameter `{p}`"),
+            });
+        }
         Expr::Unary(_, inner) => check_expr(inner, declared, params, errors),
         Expr::Binary(_, a, b) => {
             check_expr(a, declared, params, errors);
@@ -214,6 +212,8 @@ mod tests {
     #[test]
     fn undeclared_for_var_reported() {
         let p = parse("program t; for i in 0..3 { compute 1; }").unwrap();
-        assert!(validate(&p).iter().any(|e| e.message.contains("not declared")));
+        assert!(validate(&p)
+            .iter()
+            .any(|e| e.message.contains("not declared")));
     }
 }

@@ -2,8 +2,10 @@
 //! round-trips through the parser for arbitrary generated programs, and
 //! the evaluator never panics on arbitrary expressions.
 
-use acfc_mpsl::{eval, expr_to_string, parse, to_source, BinOp, Env, Expr, Program, RecvSrc,
-    Stmt, StmtKind, UnOp};
+use acfc_mpsl::{
+    eval, expr_to_string, parse, to_source, BinOp, Env, Expr, Program, RecvSrc, Stmt, StmtKind,
+    UnOp,
+};
 use acfc_util::check::{forall, Gen};
 
 fn arb_expr(g: &mut Gen, depth: u32) -> Expr {
@@ -65,7 +67,9 @@ fn arb_label(g: &mut Gen) -> String {
 
 fn arb_stmt(g: &mut Gen, depth: u32) -> Stmt {
     let leaf = |g: &mut Gen| match g.usize_in(0, 8) {
-        0 => Stmt::new(StmtKind::Compute { cost: arb_expr(g, 3) }),
+        0 => Stmt::new(StmtKind::Compute {
+            cost: arb_expr(g, 3),
+        }),
         1 => Stmt::new(StmtKind::Assign {
             var: "x".into(),
             value: arb_expr(g, 3),
@@ -127,8 +131,7 @@ fn pretty_print_round_trips() {
     forall("pretty_print_round_trips", 256, |g| {
         let p = arb_program(g);
         let printed = to_source(&p);
-        let reparsed = parse(&printed)
-            .unwrap_or_else(|e| panic!("reparse failed: {e}\n{printed}"));
+        let reparsed = parse(&printed).unwrap_or_else(|e| panic!("reparse failed: {e}\n{printed}"));
         assert_eq!(&reparsed, &p, "\n--- printed ---\n{printed}");
         // And printing is a fixpoint.
         assert_eq!(to_source(&reparsed), printed);
@@ -141,7 +144,9 @@ fn expr_rendering_round_trips() {
         let e = arb_expr(g, 4);
         let text = format!("program t; param p = 7; compute {};", expr_to_string(&e));
         let p = parse(&text).unwrap_or_else(|err| panic!("{err}\n{text}"));
-        let StmtKind::Compute { cost } = &p.body[0].kind else { panic!() };
+        let StmtKind::Compute { cost } = &p.body[0].kind else {
+            panic!()
+        };
         assert_eq!(cost, &e, "\n{text}");
     });
 }

@@ -1,0 +1,61 @@
+//! # Observability core for ACFC
+//!
+//! The workspace's perf story (SCC-condensed reachability, the
+//! incremental Phase III, the lowered-bytecode engine) was built on
+//! end-to-end wall-clock numbers; this crate adds the *interior* view:
+//! where the time goes inside an analysis pass, and where simulated
+//! time goes inside a run. It is deliberately zero-dependency and
+//! two-layered:
+//!
+//! * **Compile-time layer** — the `enabled` cargo feature. Without it,
+//!   [`count`], [`record`], and [`span`] compile to inline empty
+//!   no-ops and the registry is permanently empty, so instrumented hot
+//!   paths carry literally no code. Downstream crates expose this as
+//!   their own `obs` feature.
+//! * **Runtime layer** — [`set_enabled`]. Even when compiled in,
+//!   probes first check one relaxed atomic; the disabled cost is a
+//!   single predictable branch, preserving the `NoHooks` simulator hot
+//!   path (~16M events/s) and the analysis throughput numbers.
+//!
+//! The pieces:
+//!
+//! * [`Counter`] / [`Histogram`] / [`LocalHist`] — relaxed-atomic
+//!   monotone counters, fixed 64-bucket power-of-two histograms, and a
+//!   non-atomic histogram twin for exclusively-owned collectors.
+//!   Always compiled (the simulator's per-run collector uses them
+//!   directly, unmetered by the global flag).
+//! * the **registry** — a process-global, thread-safe, hierarchical
+//!   (slash-separated names) table behind [`count`], [`record`],
+//!   [`snapshot`], and [`reset`].
+//! * [`span`] — RAII wall-clock timers. Each span records its duration
+//!   into the registry histogram of the same name and appends a
+//!   begin/end pair to a global timeline for Perfetto export
+//!   ([`take_wall_spans`], [`perfetto::wall_spans_trace`]).
+//! * [`perfetto`] — a Chrome-trace-format (`traceEvents`) JSON writer
+//!   with structural validation (balanced B/E, per-track monotone
+//!   timestamps), loadable in <https://ui.perfetto.dev>.
+//! * [`report`] — plain-text rendering of a [`Snapshot`] for
+//!   `acfc report` and the bench harness.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod metrics;
+pub mod perfetto;
+pub mod report;
+pub mod span;
+
+pub use metrics::{
+    count, record, reset, set_enabled, snapshot, Counter, HistSnapshot, Histogram, LocalHist,
+    Snapshot,
+};
+pub use perfetto::TraceBuilder;
+pub use report::render;
+pub use span::{span, take_wall_spans, SpanGuard, WallSpan};
+
+/// `true` when instrumentation is both compiled in (`enabled` feature)
+/// and switched on at runtime via [`set_enabled`].
+#[inline]
+pub fn enabled() -> bool {
+    metrics::runtime_enabled()
+}

@@ -1,0 +1,97 @@
+//! Plain-text rendering of a metrics [`Snapshot`].
+//!
+//! Used by `acfc report` and the bench harness to print a quick
+//! counter/histogram table without leaving the terminal.
+
+use crate::metrics::Snapshot;
+use std::fmt::Write as _;
+
+/// Renders counters and histograms as two aligned tables. Counters
+/// print `name  value`; histograms print count, mean, p50/p90 upper
+/// bounds (power-of-two bucket bounds, so approximate), and max.
+pub fn render(snap: &Snapshot) -> String {
+    let mut out = String::new();
+    if !snap.counters.is_empty() {
+        out.push_str("counters\n");
+        let w = snap
+            .counters
+            .iter()
+            .map(|(n, _)| n.len())
+            .max()
+            .unwrap_or(0);
+        for (name, value) in &snap.counters {
+            let _ = writeln!(out, "  {name:<w$}  {value:>12}");
+        }
+    }
+    if !snap.histograms.is_empty() {
+        if !out.is_empty() {
+            out.push('\n');
+        }
+        out.push_str("histograms (µs unless noted; p50/p90 are bucket upper bounds)\n");
+        let w = snap
+            .histograms
+            .iter()
+            .map(|(n, _)| n.len())
+            .max()
+            .unwrap_or(0)
+            .max("name".len());
+        let _ = writeln!(
+            out,
+            "  {:<w$}  {:>10}  {:>12}  {:>12}  {:>12}  {:>12}",
+            "name", "count", "mean", "p50≤", "p90≤", "max"
+        );
+        for (name, h) in &snap.histograms {
+            let _ = writeln!(
+                out,
+                "  {:<w$}  {:>10}  {:>12.1}  {:>12}  {:>12}  {:>12}",
+                name,
+                h.count,
+                h.mean(),
+                h.quantile_bound(0.50),
+                h.quantile_bound(0.90),
+                h.max
+            );
+        }
+    }
+    if out.is_empty() {
+        out.push_str("(no metrics recorded)\n");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::{HistSnapshot, Snapshot};
+
+    #[test]
+    fn renders_counters_and_histograms() {
+        let mut h = HistSnapshot {
+            buckets: vec![0; crate::metrics::BUCKETS],
+            count: 3,
+            sum: 6,
+            max: 3,
+        };
+        h.buckets[1] = 1; // value 1
+        h.buckets[2] = 2; // values 2..=3
+        let snap = Snapshot {
+            counters: vec![("sim/messages_delivered".into(), 42)],
+            histograms: vec![("sim/msg_latency_us".into(), h)],
+        };
+        let text = render(&snap);
+        assert!(text.contains("counters"));
+        assert!(text.contains("sim/messages_delivered"));
+        assert!(text.contains("42"));
+        assert!(text.contains("sim/msg_latency_us"));
+        assert!(text.contains("p90≤"));
+    }
+
+    #[test]
+    fn empty_snapshot_renders_placeholder() {
+        let snap = Snapshot {
+            counters: vec![],
+            histograms: vec![],
+        };
+        assert!(render(&snap).contains("no metrics recorded"));
+    }
+}

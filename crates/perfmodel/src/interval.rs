@@ -89,12 +89,7 @@ pub fn gamma_markov(p: &IntervalParams) -> f64 {
     chain.transition(0, 2, p_ok1, exposure1);
     chain.transition(0, 1, 1.0 - p_ok1, conditional_mean_ttf(p.lambda, exposure1));
     chain.transition(1, 2, p_ok2, exposure2);
-    chain.transition(
-        1,
-        1,
-        1.0 - p_ok2,
-        conditional_mean_ttf(p.lambda, exposure2),
-    );
+    chain.transition(1, 1, 1.0 - p_ok2, conditional_mean_ttf(p.lambda, exposure2));
     chain.expected_cost(0, 2)
 }
 
@@ -135,10 +130,7 @@ mod tests {
         // (the conditional-TTF terms cancel algebraically), so in the
         // paper's plotted regime the two agree to numerical accuracy.
         for lambda in [1e-7, 1e-5, 1e-3] {
-            let p = IntervalParams {
-                lambda,
-                ..params()
-            };
+            let p = IntervalParams { lambda, ..params() };
             let cf = gamma_closed_form(&p);
             let mk = gamma_markov(&p);
             assert!(
@@ -162,10 +154,7 @@ mod tests {
     #[test]
     fn paper_ratio_form_is_identical() {
         for lambda in [1e-8, 1e-6, 1e-4, 1e-2] {
-            let p = IntervalParams {
-                lambda,
-                ..params()
-            };
+            let p = IntervalParams { lambda, ..params() };
             let a = overhead_ratio(&p);
             let b = overhead_ratio_paper_form(&p);
             assert!((a - b).abs() <= 1e-12 * (1.0 + a.abs()), "{a} vs {b}");
@@ -191,10 +180,7 @@ mod tests {
     fn ratio_monotone_in_lambda() {
         let mut last = -1.0;
         for lambda in [1e-7, 1e-6, 1e-5, 1e-4, 1e-3] {
-            let r = overhead_ratio(&IntervalParams {
-                lambda,
-                ..params()
-            });
+            let r = overhead_ratio(&IntervalParams { lambda, ..params() });
             assert!(r > last, "not monotone at λ={lambda}");
             last = r;
         }
@@ -245,9 +231,6 @@ mod tests {
     #[test]
     #[should_panic(expected = "T must be positive")]
     fn zero_t_rejected() {
-        let _ = gamma_closed_form(&IntervalParams {
-            t: 0.0,
-            ..params()
-        });
+        let _ = gamma_closed_form(&IntervalParams { t: 0.0, ..params() });
     }
 }

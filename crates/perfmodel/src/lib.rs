@@ -47,9 +47,7 @@ pub use interval::{
 pub use markov::MarkovChain;
 pub use montecarlo::{simulate_interval, simulate_interval_threads, McEstimate};
 pub use protocols::{ModelParams, ModelProtocol};
-pub use sweep::{
-    figure8, figure8_default_ns, figure9, figure9_default_wms, to_tsv, Row,
-};
+pub use sweep::{figure8, figure8_default_ns, figure9, figure9_default_wms, to_tsv, Row};
 pub use tuning::{
     optimal_interval_for, optimal_interval_search, sensitivity, OptimalInterval, Sensitivity,
 };

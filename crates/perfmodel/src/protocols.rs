@@ -168,10 +168,11 @@ mod tests {
         let m = ModelParams::default();
         let unit = m.control_msg_cost();
         assert_eq!(m.message_overhead(ModelProtocol::AppDriven, 64), 0.0);
-        assert!((m.message_overhead(ModelProtocol::SyncAndStop, 64) - 5.0 * 63.0 * unit).abs() < 1e-12);
         assert!(
-            (m.message_overhead(ModelProtocol::ChandyLamport, 64) - 2.0 * 64.0 * 63.0 * unit)
-                .abs()
+            (m.message_overhead(ModelProtocol::SyncAndStop, 64) - 5.0 * 63.0 * unit).abs() < 1e-12
+        );
+        assert!(
+            (m.message_overhead(ModelProtocol::ChandyLamport, 64) - 2.0 * 64.0 * 63.0 * unit).abs()
                 < 1e-12
         );
     }
@@ -194,9 +195,7 @@ mod tests {
             }
         }
         // The crossover itself is part of the model's shape.
-        assert!(
-            m.ratio(ModelProtocol::ChandyLamport, 2) < m.ratio(ModelProtocol::SyncAndStop, 2)
-        );
+        assert!(m.ratio(ModelProtocol::ChandyLamport, 2) < m.ratio(ModelProtocol::SyncAndStop, 2));
     }
 
     #[test]

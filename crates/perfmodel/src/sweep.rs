@@ -41,10 +41,7 @@ pub fn figure8_default_ns() -> Vec<usize> {
 /// fixed `n`.
 pub fn figure9(params: &ModelParams, n: usize, w_m_values: &[f64]) -> Vec<Row> {
     par_map(w_m_values, |_, &wm| {
-        let p = ModelParams {
-            w_m: wm,
-            ..*params
-        };
+        let p = ModelParams { w_m: wm, ..*params };
         Row {
             x: wm,
             app_driven: p.ratio(ModelProtocol::AppDriven, n),
@@ -91,7 +88,10 @@ mod tests {
             assert!(w[1].chandy_lamport > w[0].chandy_lamport);
         }
         for r in &rows {
-            assert!(r.app_driven < r.sas && r.app_driven < r.chandy_lamport, "{r:?}");
+            assert!(
+                r.app_driven < r.sas && r.app_driven < r.chandy_lamport,
+                "{r:?}"
+            );
             if r.x >= 4.0 {
                 assert!(r.sas < r.chandy_lamport, "{r:?}");
             }
@@ -125,7 +125,10 @@ mod tests {
 
     #[test]
     fn default_axes() {
-        assert_eq!(figure8_default_ns(), vec![2, 4, 8, 16, 32, 64, 128, 256, 512]);
+        assert_eq!(
+            figure8_default_ns(),
+            vec![2, 4, 8, 16, 32, 64, 128, 256, 512]
+        );
         let wms = figure9_default_wms();
         assert_eq!(wms.len(), 11);
         assert_eq!(wms[0], 0.0);

@@ -85,16 +85,13 @@ pub fn optimal_interval_search(
 }
 
 /// Optimal interval for a protocol at `n` processes under `params`.
-pub fn optimal_interval_for(params: &ModelParams, protocol: ModelProtocol, n: usize) -> OptimalInterval {
+pub fn optimal_interval_for(
+    params: &ModelParams,
+    protocol: ModelProtocol,
+    n: usize,
+) -> OptimalInterval {
     let ip = params.interval_params(protocol, n);
-    optimal_interval_search(
-        ip.lambda,
-        ip.o_total,
-        ip.l_total,
-        ip.r_recovery,
-        1.0,
-        1.0e7,
-    )
+    optimal_interval_search(ip.lambda, ip.o_total, ip.l_total, ip.r_recovery, 1.0, 1.0e7)
 }
 
 /// Relative sensitivity `(∂r/∂x)·(x/r)` of the overhead ratio to each
@@ -129,7 +126,13 @@ pub fn sensitivity(p: &IntervalParams) -> Sensitivity {
         t: elast(&|v| IntervalParams { t: v, ..*p }, p.t),
         o_total: elast(&|v| IntervalParams { o_total: v, ..*p }, p.o_total),
         l_total: elast(&|v| IntervalParams { l_total: v, ..*p }, p.l_total),
-        r_recovery: elast(&|v| IntervalParams { r_recovery: v, ..*p }, p.r_recovery),
+        r_recovery: elast(
+            &|v| IntervalParams {
+                r_recovery: v,
+                ..*p
+            },
+            p.r_recovery,
+        ),
     }
 }
 
@@ -150,25 +153,22 @@ mod tests {
     #[test]
     fn search_beats_or_ties_youngs_formula() {
         let p = base();
-        let opt = optimal_interval_search(
-            p.lambda, p.o_total, p.l_total, p.r_recovery, 1.0, 1e6,
-        );
-        let young_ratio = overhead_ratio(&IntervalParams {
-            t: opt.young,
-            ..p
-        });
+        let opt = optimal_interval_search(p.lambda, p.o_total, p.l_total, p.r_recovery, 1.0, 1e6);
+        let young_ratio = overhead_ratio(&IntervalParams { t: opt.young, ..p });
         assert!(opt.ratio <= young_ratio + 1e-12);
         // In this regime Young's approximation is close to optimal.
-        assert!((opt.t_star - opt.young).abs() / opt.young < 0.2,
-            "t*={}, young={}", opt.t_star, opt.young);
+        assert!(
+            (opt.t_star - opt.young).abs() / opt.young < 0.2,
+            "t*={}, young={}",
+            opt.t_star,
+            opt.young
+        );
     }
 
     #[test]
     fn optimum_is_interior_and_stationary() {
         let p = base();
-        let opt = optimal_interval_search(
-            p.lambda, p.o_total, p.l_total, p.r_recovery, 1.0, 1e6,
-        );
+        let opt = optimal_interval_search(p.lambda, p.o_total, p.l_total, p.r_recovery, 1.0, 1e6);
         let at = |t: f64| overhead_ratio(&IntervalParams { t, ..p });
         assert!(at(opt.t_star * 0.5) > opt.ratio);
         assert!(at(opt.t_star * 2.0) > opt.ratio);
@@ -208,13 +208,8 @@ mod tests {
     #[test]
     fn sensitivity_is_zero_in_t_at_the_optimum() {
         let p = base();
-        let opt = optimal_interval_search(
-            p.lambda, p.o_total, p.l_total, p.r_recovery, 1.0, 1e6,
-        );
-        let s = sensitivity(&IntervalParams {
-            t: opt.t_star,
-            ..p
-        });
+        let opt = optimal_interval_search(p.lambda, p.o_total, p.l_total, p.r_recovery, 1.0, 1e6);
+        let s = sensitivity(&IntervalParams { t: opt.t_star, ..p });
         assert!(s.t.abs() < 1e-3, "stationary at the optimum: {}", s.t);
     }
 

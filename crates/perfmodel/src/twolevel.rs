@@ -202,8 +202,7 @@ mod tests {
         );
         // And the Monte Carlo agrees on the direction.
         let two_mc = overhead_ratio_monte_carlo(&p, 40_000, 7);
-        let one_mc =
-            overhead_ratio_monte_carlo(&TwoLevelParams { k: 1, ..p }, 40_000, 7);
+        let one_mc = overhead_ratio_monte_carlo(&TwoLevelParams { k: 1, ..p }, 40_000, 7);
         assert!(two_mc < one_mc);
     }
 
@@ -214,9 +213,7 @@ mod tests {
         assert!(k_star > 1, "expensive o2 should push k* above 1");
         assert!(k_star < 200, "catastrophic rollback should bound k*");
         assert!(best <= single_level_ratio(&p));
-        assert!(
-            best <= overhead_ratio_analytic(&TwoLevelParams { k: 200, ..p })
-        );
+        assert!(best <= overhead_ratio_analytic(&TwoLevelParams { k: 200, ..p }));
     }
 
     #[test]

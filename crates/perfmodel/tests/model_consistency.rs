@@ -4,8 +4,8 @@
 //! and the Monte-Carlo estimator converges.
 
 use acfc_perfmodel::{
-    gamma_closed_form, gamma_markov, overhead_ratio, overhead_ratio_paper_form,
-    simulate_interval, IntervalParams, ModelParams, ModelProtocol,
+    gamma_closed_form, gamma_markov, overhead_ratio, overhead_ratio_paper_form, simulate_interval,
+    IntervalParams, ModelParams, ModelProtocol,
 };
 use acfc_util::check::{forall, Gen};
 

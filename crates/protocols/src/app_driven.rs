@@ -84,7 +84,11 @@ mod tests {
         // The restored cuts were aligned: same seq in every process.
         for f in &t.failures {
             let seqs: Vec<_> = f.restored_seq.iter().flatten().collect();
-            assert!(seqs.windows(2).all(|w| w[0] == w[1]), "{:?}", f.restored_seq);
+            assert!(
+                seqs.windows(2).all(|w| w[0] == w[1]),
+                "{:?}",
+                f.restored_seq
+            );
         }
     }
 

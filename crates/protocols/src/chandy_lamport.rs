@@ -86,6 +86,16 @@ impl Hooks for ChandyLamport {
     }
 
     fn coordination_cost(&mut self, p: usize, _now: SimTime) -> CoordinationCost {
+        acfc_obs::count(
+            "protocols/chandy_lamport/channel_record_us",
+            self.channel_record_us,
+        );
+        if p == 0 {
+            acfc_obs::count(
+                "protocols/chandy_lamport/marker_messages",
+                cl_control_messages(self.nprocs),
+            );
+        }
         CoordinationCost {
             stall_us: self.channel_record_us,
             control_messages: if p == 0 {

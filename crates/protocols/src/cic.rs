@@ -36,6 +36,7 @@ impl Hooks for IndexBasedCic {
 
     fn on_recv(&mut self, _p: usize, piggyback: u64, own_seq: u64, _now: SimTime) -> RecvAction {
         if piggyback > own_seq {
+            acfc_obs::count("protocols/cic/forced_checkpoints", 1);
             RecvAction::ForceCheckpointFirst
         } else {
             RecvAction::Deliver
@@ -70,7 +71,10 @@ mod tests {
             "skewed CIC must force checkpoints"
         );
         assert_eq!(t.metrics.app_checkpoints, 0);
-        assert_eq!(t.metrics.control_messages, 0, "CIC piggybacks, no extra messages");
+        assert_eq!(
+            t.metrics.control_messages, 0,
+            "CIC piggybacks, no extra messages"
+        );
     }
 
     #[test]

@@ -14,8 +14,8 @@ use crate::sas::SyncAndStop;
 use crate::uncoordinated::{uncoordinated_hooks, uncoordinated_picker};
 use acfc_mpsl::Program;
 use acfc_sim::{
-    compile, run_with_failures, run_with_hooks, CutPicker, FailurePlan, Hooks, SimConfig,
-    SimTime, Trace,
+    compile, run_with_failures, run_with_hooks, CutPicker, FailurePlan, Hooks, SimConfig, SimTime,
+    Trace,
 };
 
 /// The protocols under comparison.
@@ -285,7 +285,12 @@ mod tests {
         assert_eq!(stats.len(), 5);
         for s in &stats {
             assert!(s.completed, "{} did not complete", s.protocol.name());
-            assert!(s.overhead_ratio >= 0.0, "{}: {}", s.protocol.name(), s.overhead_ratio);
+            assert!(
+                s.overhead_ratio >= 0.0,
+                "{}: {}",
+                s.protocol.name(),
+                s.overhead_ratio
+            );
         }
         let table = render_table(&stats);
         assert!(table.contains("appl-driven"));

@@ -27,13 +27,7 @@ impl IntervalIndex {
     pub fn from_trace(trace: &Trace) -> IntervalIndex {
         IntervalIndex {
             ckpt_steps: (0..trace.nprocs)
-                .map(|p| {
-                    trace
-                        .live_checkpoints(p)
-                        .iter()
-                        .map(|c| c.step)
-                        .collect()
-                })
+                .map(|p| trace.live_checkpoints(p).iter().map(|c| c.step).collect())
                 .collect(),
         }
     }

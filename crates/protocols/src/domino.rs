@@ -34,10 +34,7 @@ pub fn domino_report(trace: &Trace) -> DominoReport {
         .collect();
     let line = max_consistent_line_of(trace);
     let depths = rollback_depths(trace);
-    let full_restart = counts
-        .iter()
-        .zip(&line)
-        .any(|(&c, &l)| c > 0 && l == 0);
+    let full_restart = counts.iter().zip(&line).any(|(&c, &l)| c > 0 && l == 0);
     DominoReport {
         counts,
         line,

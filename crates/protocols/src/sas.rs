@@ -86,6 +86,13 @@ impl Hooks for SyncAndStop {
     }
 
     fn coordination_cost(&mut self, p: usize, _now: SimTime) -> CoordinationCost {
+        acfc_obs::count("protocols/sas/coordination_stall_us", self.sync_stall_us);
+        if p == 0 {
+            acfc_obs::count(
+                "protocols/sas/control_messages",
+                sas_control_messages(self.nprocs),
+            );
+        }
         CoordinationCost {
             stall_us: self.sync_stall_us,
             // Charge the wave's control traffic once, on the coordinator.
@@ -154,10 +161,7 @@ mod tests {
             .filter(|c| c.proc == 0 && !c.rolled_back)
             .count() as u64;
         assert_eq!(t.metrics.control_messages, waves * sas_control_messages(4));
-        assert_eq!(
-            t.metrics.control_bits,
-            waves * sas_control_messages(4) * 8
-        );
+        assert_eq!(t.metrics.control_bits, waves * sas_control_messages(4) * 8);
     }
 
     #[test]

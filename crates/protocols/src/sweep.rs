@@ -69,12 +69,8 @@ pub fn empirical_sweep(config: &SweepConfig) -> Vec<SweepRow> {
             &SimConfig::new(n).with_seed(config.seed),
         );
         let horizon = SimTime(probe.finished_at.as_micros().max(1));
-        let plan = FailurePlan::exponential(
-            n,
-            config.lambda_per_proc,
-            horizon,
-            config.seed ^ n as u64,
-        );
+        let plan =
+            FailurePlan::exponential(n, config.lambda_per_proc, horizon, config.seed ^ n as u64);
         let mut cc = CompareConfig::new(n, config.interval_us);
         cc.sim = cc.sim.with_seed(config.seed);
         cc.failures = plan;

@@ -32,9 +32,7 @@ pub fn uncoordinated_picker() -> CutPicker {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use acfc_sim::{
-        compile, run_with_failures, FailurePlan, SimConfig, SimTime,
-    };
+    use acfc_sim::{compile, run_with_failures, FailurePlan, SimConfig, SimTime};
 
     #[test]
     fn recovery_uses_a_consistent_line_and_completes() {
@@ -42,13 +40,7 @@ mod tests {
         let cfg = SimConfig::new(3);
         let mut hooks = uncoordinated_hooks(3, 20_000, 7_000);
         let plan = FailurePlan::at(vec![(SimTime::from_millis(150), 1)]);
-        let t = run_with_failures(
-            &compile(&p),
-            &cfg,
-            &mut hooks,
-            plan,
-            uncoordinated_picker(),
-        );
+        let t = run_with_failures(&compile(&p), &cfg, &mut hooks, plan, uncoordinated_picker());
         assert!(t.completed(), "{:?}", t.outcome);
         assert_eq!(t.failures.len(), 1);
         // The restored line never exceeds what each process had.
@@ -73,13 +65,7 @@ mod tests {
         // just after each send); rank 1 just after receiving.
         let mut hooks = uncoordinated_hooks(2, 11_000, 2_000);
         let plan = FailurePlan::at(vec![(SimTime::from_millis(60), 0)]);
-        let t = run_with_failures(
-            &compile(&p),
-            &cfg,
-            &mut hooks,
-            plan,
-            uncoordinated_picker(),
-        );
+        let t = run_with_failures(&compile(&p), &cfg, &mut hooks, plan, uncoordinated_picker());
         assert!(t.completed(), "{:?}", t.outcome);
         assert_eq!(t.failures.len(), 1);
         // Whatever line was picked, lost work is nonzero.

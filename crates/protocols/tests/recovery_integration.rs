@@ -102,7 +102,13 @@ fn cic_survives_a_failure_storm_with_aligned_recovery() {
     let p = programs::jacobi(8);
     let cfg = SimConfig::new(3);
     let mut hooks = IndexBasedCic::new(3, 40_000, 13_000);
-    let t = run_with_failures(&compile(&p), &cfg, &mut hooks, storm(), CutPicker::AlignedSeq);
+    let t = run_with_failures(
+        &compile(&p),
+        &cfg,
+        &mut hooks,
+        storm(),
+        CutPicker::AlignedSeq,
+    );
     assert!(t.completed(), "{:?}", t.outcome);
     assert_eq!(t.metrics.failures, 3);
     restored_lines_consistent(&t);

@@ -519,7 +519,8 @@ mod tests {
 
     #[test]
     fn if_else_jumps_are_patched() {
-        let c = compile_src("program t; if rank == 0 { compute 1; } else { compute 2; } checkpoint;");
+        let c =
+            compile_src("program t; if rank == 0 { compute 1; } else { compute 2; } checkpoint;");
         // 0: JIF -> 3 (else), 1: compute, 2: Jump -> 4, 3: compute, 4: chkpt
         let Instr::JumpIfFalse { target, .. } = &c.code[0] else {
             panic!()

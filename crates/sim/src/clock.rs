@@ -146,7 +146,9 @@ impl Hash for VectorClock {
 
 impl fmt::Debug for VectorClock {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.debug_tuple("VectorClock").field(&self.as_slice()).finish()
+        f.debug_tuple("VectorClock")
+            .field(&self.as_slice())
+            .finish()
     }
 }
 

@@ -143,10 +143,7 @@ mod tests {
     #[test]
     fn oracle_agrees_with_vector_clocks_on_stock_programs() {
         for p in programs::all_stock() {
-            let t = run(
-                &compile(&p),
-                &SimConfig::new(4).with_inputs(vec![2, 5]),
-            );
+            let t = run(&compile(&p), &SimConfig::new(4).with_inputs(vec![2, 5]));
             if !t.completed() {
                 continue;
             }
@@ -171,9 +168,7 @@ mod tests {
         assert!(!v.is_empty());
         // Rank 0 checkpoints before serving; rank 1 after returning:
         // 0's checkpoint happens before 1's.
-        assert!(v
-            .iter()
-            .any(|x| x.earlier_proc == 0 && x.later_proc == 1));
+        assert!(v.iter().any(|x| x.earlier_proc == 0 && x.later_proc == 1));
     }
 
     #[test]

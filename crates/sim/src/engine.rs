@@ -16,10 +16,11 @@ use crate::clock::VectorClock;
 use crate::config::SimConfig;
 use crate::failure::{CutPicker, FailurePlan};
 use crate::hooks::{CoordinationCost, Hooks, NoHooks, RecvAction};
+use crate::obs::SimObs;
 use crate::time::SimTime;
 use crate::trace::{
-    CheckpointRecord, CkptTrigger, FailureRecord, MessageRecord, Metrics, MsgId, Outcome,
-    Snapshot, StmtInstances, Trace, VarStore,
+    CheckpointRecord, CkptTrigger, FailureRecord, MessageRecord, Metrics, MsgId, Outcome, Snapshot,
+    StmtInstances, Trace, VarStore,
 };
 use acfc_mpsl::lowered::{eval_ops, Op, SlotEnv};
 use acfc_mpsl::{EvalError, StmtId};
@@ -45,7 +46,15 @@ pub fn run(compiled: &Compiled, config: &SimConfig) -> Trace {
 
 /// Runs with protocol hooks and no failures.
 pub fn run_with_hooks(compiled: &Compiled, config: &SimConfig, hooks: &mut dyn Hooks) -> Trace {
-    Engine::new(compiled, config, hooks, FailurePlan::none(), CutPicker::AlignedSeq).run()
+    Engine::new(
+        compiled,
+        config,
+        hooks,
+        FailurePlan::none(),
+        CutPicker::AlignedSeq,
+        None,
+    )
+    .run()
 }
 
 /// Runs with hooks, injected failures, and the given recovery-line
@@ -57,7 +66,36 @@ pub fn run_with_failures(
     plan: FailurePlan,
     picker: CutPicker,
 ) -> Trace {
-    Engine::new(compiled, config, hooks, plan, picker).run()
+    Engine::new(compiled, config, hooks, plan, picker, None).run()
+}
+
+/// Runs like [`run`] while filling the per-run [`SimObs`] collector
+/// (counters, histograms, and — in timeline mode — the interval data
+/// behind the simulated-time Perfetto export).
+pub fn run_observed(compiled: &Compiled, config: &SimConfig, obs: &mut SimObs) -> Trace {
+    let mut hooks = NoHooks;
+    Engine::new(
+        compiled,
+        config,
+        &mut hooks,
+        FailurePlan::none(),
+        CutPicker::AlignedSeq,
+        Some(obs),
+    )
+    .run()
+}
+
+/// Fully general observed run: hooks, failure plan, recovery-line
+/// picker, and a [`SimObs`] collector.
+pub fn run_observed_with(
+    compiled: &Compiled,
+    config: &SimConfig,
+    hooks: &mut dyn Hooks,
+    plan: FailurePlan,
+    picker: CutPicker,
+    obs: &mut SimObs,
+) -> Trace {
+    Engine::new(compiled, config, hooks, plan, picker, Some(obs)).run()
 }
 
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -147,6 +185,9 @@ struct Engine<'a> {
     /// Snapshot of [`Hooks::passive`]; when `true` the per-message and
     /// per-checkpoint hook dispatch is skipped.
     passive_hooks: bool,
+    /// Opt-in per-run observability collector; `None` (the default
+    /// entry points) costs one never-taken branch per probe.
+    obs: Option<&'a mut SimObs>,
 }
 
 const INLINE_BUDGET: u32 = 256;
@@ -158,9 +199,13 @@ impl<'a> Engine<'a> {
         hooks: &'a mut dyn Hooks,
         plan: FailurePlan,
         picker: CutPicker,
+        mut obs: Option<&'a mut SimObs>,
     ) -> Engine<'a> {
         let n = config.nprocs;
         assert!(n >= 1, "need at least one process");
+        if let Some(o) = obs.as_deref_mut() {
+            o.ensure_procs(n);
+        }
         // Parameter slots: program defaults, then config overrides
         // (later overrides win, as map insertion order did).
         let mut params: Vec<Option<i64>> = vec![None; compiled.param_names.len()];
@@ -228,6 +273,7 @@ impl<'a> Engine<'a> {
             eval_stack: Vec::new(),
             use_timer_hook,
             passive_hooks,
+            obs,
         };
         for p in 0..n {
             engine.push(SimTime::ZERO, Ev::Ready { p, epoch: 0 });
@@ -265,6 +311,10 @@ impl<'a> Engine<'a> {
             }
             let t = SimTime(key.0);
             self.note_time(t);
+            if let Some(o) = self.obs.as_deref_mut() {
+                o.events_processed += 1;
+                o.queue_depth.record(self.queue.len() as u64);
+            }
             match ev {
                 Ev::Ready { p, epoch } => {
                     if epoch == self.epochs[p] && self.procs[p].state == PState::Ready {
@@ -414,8 +464,11 @@ impl<'a> Engine<'a> {
                             return;
                         }
                     };
-                    now += c * self.config.cost.compute_unit_us
-                        + self.config.cost.instr_overhead_us;
+                    now +=
+                        c * self.config.cost.compute_unit_us + self.config.cost.instr_overhead_us;
+                    if let Some(o) = self.obs.as_deref_mut() {
+                        o.per_proc[p].compute_us += c * self.config.cost.compute_unit_us;
+                    }
                     self.procs[p].pc = pc + 1;
                     if self.can_run_ahead(now) {
                         self.mark_progress(p, now);
@@ -556,10 +609,14 @@ impl<'a> Engine<'a> {
     }
 
     /// The bookkeeping of [`Self::yield_ready`] without the heap round
-    /// trip, for the [`Self::can_run_ahead`] fast path.
+    /// trip, for the [`Self::can_run_ahead`] fast path. Every caller is
+    /// a run-ahead hit, so the counter lives here.
     fn mark_progress(&mut self, p: usize, now: SimTime) {
         self.procs[p].now = now;
         self.note_time(now);
+        if let Some(o) = self.obs.as_deref_mut() {
+            o.run_ahead_hits += 1;
+        }
     }
 
     fn yield_ready(&mut self, p: usize, now: SimTime) {
@@ -586,9 +643,8 @@ impl<'a> Engine<'a> {
         let delay = self.config.net.base_delay_us(bits) + jitter;
         let sent_at = now + self.config.cost.send_overhead_us;
         let chan = p * self.config.nprocs + to;
-        let deliver_at = SimTime(
-            (sent_at.as_micros() + delay).max(self.chan_last[chan].as_micros()),
-        );
+        let deliver_at =
+            SimTime((sent_at.as_micros() + delay).max(self.chan_last[chan].as_micros()));
         self.chan_last[chan] = deliver_at;
         let id = MsgId(self.messages.len() as u64);
         let idx = self.messages.len();
@@ -671,6 +727,11 @@ impl<'a> Engine<'a> {
         rec.recv_vc = Some(proc.vc.clone());
         rec.recv_step = Some(proc.step);
         rec.recv_stmt = Some(stmt);
+        let sent_at = rec.sent_at;
+        if let Some(o) = self.obs.as_deref_mut() {
+            o.msg_latency_us
+                .record(now.saturating_sub(sent_at).as_micros());
+        }
         now
     }
 
@@ -732,6 +793,9 @@ impl<'a> Engine<'a> {
             rolled_back: false,
         });
         *now = start + stall;
+        if let Some(o) = self.obs.as_deref_mut() {
+            o.on_ckpt_stall(p, start.as_micros(), now.as_micros());
+        }
         self.metrics.ckpt_stall_us += stall;
         self.metrics.control_messages += coord.control_messages;
         self.metrics.control_bits += coord.control_bits;
@@ -748,6 +812,9 @@ impl<'a> Engine<'a> {
         let to = self.messages[m].to;
         let from = self.messages[m].from;
         self.inbox[to][from].push_back(m);
+        if let Some(o) = self.obs.as_deref_mut() {
+            o.messages_delivered += 1;
+        }
         // Unblock a matching waiter.
         let (want, stmt, since) = match self.procs[to].state {
             PState::Blocked { src, stmt, since } => (src, stmt, since),
@@ -761,6 +828,9 @@ impl<'a> Engine<'a> {
             .expect("arrival just enqueued a candidate");
         let at = SimTime(t.as_micros().max(since.as_micros()));
         self.metrics.recv_blocked_us += at - since;
+        if let Some(o) = self.obs.as_deref_mut() {
+            o.on_blocked(to, since.as_micros(), at.as_micros());
+        }
         self.procs[to].state = PState::Ready;
         let done = self.consume_message(to, m2, stmt, at);
         if self.outcome.is_some() {
@@ -779,10 +849,7 @@ impl<'a> Engine<'a> {
         // A failure of an already-halted process (or after global
         // completion) is ignored.
         if matches!(self.procs[p].state, PState::Halted)
-            && self
-                .procs
-                .iter()
-                .all(|q| matches!(q.state, PState::Halted))
+            && self.procs.iter().all(|q| matches!(q.state, PState::Halted))
         {
             return;
         }
@@ -851,8 +918,7 @@ impl<'a> Engine<'a> {
                 m.rolled_back = true;
                 continue;
             }
-            let received_before_cut =
-                m.recv_step.is_some_and(|rs| rs <= cut_step[m.to]);
+            let received_before_cut = m.recv_step.is_some_and(|rs| rs <= cut_step[m.to]);
             if !received_before_cut {
                 // In transit at the cut: will be re-delivered.
                 m.delivered_at = None;
@@ -1020,7 +1086,10 @@ mod tests {
     fn step_limit_stops_infinite_loop() {
         let mut cfg = SimConfig::new(1);
         cfg.max_steps_per_proc = 1000;
-        let t = run(&compile(&parse("program t; while 1 { compute 0; }").unwrap()), &cfg);
+        let t = run(
+            &compile(&parse("program t; while 1 { compute 0; }").unwrap()),
+            &cfg,
+        );
         assert!(matches!(t.outcome, Outcome::StepLimit(0)));
     }
 

@@ -11,8 +11,9 @@ use std::fmt::Write;
 
 /// Messages as TSV: one row per message with send/receive timing.
 pub fn messages_tsv(trace: &Trace) -> String {
-    let mut out =
-        String::from("id\tfrom\tto\tbits\tsent_s\tdelivered_s\treceived_s\tpiggyback\trolled_back\n");
+    let mut out = String::from(
+        "id\tfrom\tto\tbits\tsent_s\tdelivered_s\treceived_s\tpiggyback\trolled_back\n",
+    );
     for m in &trace.messages {
         let fmt_opt = |t: Option<crate::time::SimTime>| {
             t.map(|x| format!("{:.6}", x.as_secs_f64()))
@@ -119,7 +120,11 @@ pub fn golden(trace: &Trace) -> String {
     let _ = writeln!(
         out,
         "proc_end_us={:?}",
-        trace.proc_end.iter().map(|t| t.as_micros()).collect::<Vec<_>>()
+        trace
+            .proc_end
+            .iter()
+            .map(|t| t.as_micros())
+            .collect::<Vec<_>>()
     );
     let m = &trace.metrics;
     let _ = writeln!(
@@ -157,9 +162,16 @@ pub fn golden(trace: &Trace) -> String {
             msg.piggyback,
             opt_t(msg.delivered_at),
             opt_t(msg.recv_at),
-            msg.recv_vc.as_ref().map(|v| v.to_string()).unwrap_or_else(|| "-".into()),
-            msg.recv_step.map(|s| s.to_string()).unwrap_or_else(|| "-".into()),
-            msg.recv_stmt.map(|s| s.to_string()).unwrap_or_else(|| "-".into()),
+            msg.recv_vc
+                .as_ref()
+                .map(|v| v.to_string())
+                .unwrap_or_else(|| "-".into()),
+            msg.recv_step
+                .map(|s| s.to_string())
+                .unwrap_or_else(|| "-".into()),
+            msg.recv_stmt
+                .map(|s| s.to_string())
+                .unwrap_or_else(|| "-".into()),
             msg.rolled_back,
         );
     }
@@ -222,10 +234,7 @@ pub fn spacetime(trace: &Trace) -> String {
     struct Entry(f64, String);
     let mut lanes: Vec<Vec<Entry>> = (0..trace.nprocs).map(|_| Vec::new()).collect();
     for m in trace.live_messages() {
-        lanes[m.from].push(Entry(
-            m.sent_at.as_secs_f64(),
-            format!("s→{}", m.to),
-        ));
+        lanes[m.from].push(Entry(m.sent_at.as_secs_f64(), format!("s→{}", m.to)));
         if let Some(at) = m.recv_at {
             lanes[m.to].push(Entry(at.as_secs_f64(), format!("r←{}", m.from)));
         }

@@ -133,10 +133,7 @@ impl CutPicker {
                     vec![Some(depth); live.len()]
                 }
             }
-            CutPicker::LatestPerProcess => live
-                .iter()
-                .map(|v| v.last().map(|c| c.seq))
-                .collect(),
+            CutPicker::LatestPerProcess => live.iter().map(|v| v.last().map(|c| c.seq)).collect(),
             CutPicker::Custom(f) => {
                 let picked = f(view);
                 assert_eq!(picked.len(), live.len(), "picker returned wrong arity");
@@ -207,14 +204,26 @@ mod tests {
             vec![ckpt(1, 1), ckpt(1, 2)],
         ];
         let live = as_view(&live);
-        assert_eq!(CutPicker::AlignedSeq.pick(&RecoveryView { live: &live, messages: &[] }), vec![Some(2), Some(2)]);
+        assert_eq!(
+            CutPicker::AlignedSeq.pick(&RecoveryView {
+                live: &live,
+                messages: &[]
+            }),
+            vec![Some(2), Some(2)]
+        );
     }
 
     #[test]
     fn aligned_seq_empty_means_initial() {
         let live = vec![vec![ckpt(0, 1)], vec![]];
         let live = as_view(&live);
-        assert_eq!(CutPicker::AlignedSeq.pick(&RecoveryView { live: &live, messages: &[] }), vec![None, None]);
+        assert_eq!(
+            CutPicker::AlignedSeq.pick(&RecoveryView {
+                live: &live,
+                messages: &[]
+            }),
+            vec![None, None]
+        );
     }
 
     #[test]
@@ -222,7 +231,10 @@ mod tests {
         let live = vec![vec![ckpt(0, 1), ckpt(0, 2)], vec![]];
         let live = as_view(&live);
         assert_eq!(
-            CutPicker::LatestPerProcess.pick(&RecoveryView { live: &live, messages: &[] }),
+            CutPicker::LatestPerProcess.pick(&RecoveryView {
+                live: &live,
+                messages: &[]
+            }),
             vec![Some(2), None]
         );
     }
@@ -232,15 +244,18 @@ mod tests {
         let picker = CutPicker::Custom(Box::new(|view| vec![None; view.live.len()]));
         let live = vec![vec![ckpt(0, 1)]];
         let live = as_view(&live);
-        assert_eq!(picker.pick(&RecoveryView { live: &live, messages: &[] }), vec![None]);
+        assert_eq!(
+            picker.pick(&RecoveryView {
+                live: &live,
+                messages: &[]
+            }),
+            vec![None]
+        );
     }
 
     #[test]
     fn explicit_plan_sorts() {
-        let plan = FailurePlan::at(vec![
-            (SimTime::from_secs(5), 1),
-            (SimTime::from_secs(2), 0),
-        ]);
+        let plan = FailurePlan::at(vec![(SimTime::from_secs(5), 1), (SimTime::from_secs(2), 0)]);
         assert_eq!(plan.events()[0].1, 0);
         assert_eq!(plan.len(), 2);
         assert!(!plan.is_empty());

@@ -173,13 +173,13 @@ mod tests {
     fn nohooks_defaults() {
         let mut h = NoHooks;
         assert_eq!(h.piggyback(0, 7, SimTime::ZERO), 7);
-        assert_eq!(
-            h.on_recv(0, 3, 1, SimTime::ZERO),
-            RecvAction::Deliver
-        );
+        assert_eq!(h.on_recv(0, 3, 1, SimTime::ZERO), RecvAction::Deliver);
         assert!(h.take_app_checkpoint(0, SimTime::ZERO));
         assert!(!h.timer_checkpoint_due(0, SimTime::ZERO));
-        assert_eq!(h.coordination_cost(0, SimTime::ZERO), CoordinationCost::default());
+        assert_eq!(
+            h.coordination_cost(0, SimTime::ZERO),
+            CoordinationCost::default()
+        );
     }
 
     #[test]

@@ -49,21 +49,25 @@ pub mod consistency;
 pub mod engine;
 pub mod export;
 pub mod failure;
-pub mod stats;
 pub mod hooks;
+pub mod obs;
+pub mod perfetto;
+pub mod stats;
 pub mod time;
 pub mod trace;
 
 pub use bytecode::{compile, Compiled, Instr};
 pub use clock::VectorClock;
 pub use config::{CostModel, NetworkModel, SimConfig};
-pub use engine::{run, run_with_failures, run_with_hooks};
+pub use engine::{run, run_observed, run_observed_with, run_with_failures, run_with_hooks};
 pub use export::{checkpoints_tsv, golden, messages_tsv, spacetime, summary};
-pub use stats::{render_stats, trace_stats, ProcBreakdown, TraceStats};
 pub use failure::{CutPicker, FailurePlan, PickerFn, RecoveryView};
 pub use hooks::{CoordinationCost, Hooks, NoHooks, RecvAction, TimerCheckpoints};
+pub use obs::{ProcObs, SimObs};
+pub use perfetto::{timeline, timeline_json};
+pub use stats::{render_stats, trace_stats, ProcBreakdown, TraceStats};
 pub use time::SimTime;
 pub use trace::{
-    CheckpointRecord, CkptTrigger, FailureRecord, MessageRecord, Metrics, MsgId, Outcome,
-    Snapshot, StmtInstances, Trace, VarStore,
+    CheckpointRecord, CkptTrigger, FailureRecord, MessageRecord, Metrics, MsgId, Outcome, Snapshot,
+    StmtInstances, Trace, VarStore,
 };

@@ -1,0 +1,136 @@
+//! Per-run simulator observability.
+//!
+//! [`SimObs`] is an explicit, opt-in collector threaded through the
+//! engine ([`crate::run_observed`]): unlike the process-global registry
+//! in `acfc-obs`, it is plain owned state scoped to one run, so
+//! concurrent runs (the parameter sweeps, the Monte Carlo driver)
+//! never share or contend. A run without a collector pays only a
+//! never-taken `Option` branch per probe — the `NoHooks` hot path is
+//! unchanged.
+//!
+//! Two collection levels:
+//!
+//! * **counters** ([`SimObs::counters`]) — scalar totals (events
+//!   popped, run-ahead hits, deliveries) plus per-process time
+//!   breakdowns and two histograms (event-queue depth, message
+//!   latency).
+//! * **timeline** ([`SimObs::timeline`]) — additionally keeps the
+//!   per-process blocked and checkpoint-stall intervals needed to
+//!   render a simulated-time Perfetto track per process
+//!   ([`crate::perfetto::timeline_json`]).
+
+use acfc_obs::LocalHist;
+
+/// Per-process simulated-time totals (microseconds).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ProcObs {
+    /// Simulated time spent in `compute` statements.
+    pub compute_us: u64,
+    /// Simulated time blocked waiting in `recv`.
+    pub blocked_us: u64,
+    /// Simulated time stalled taking checkpoints (overhead `o` plus
+    /// any protocol coordination stall).
+    pub ckpt_us: u64,
+}
+
+/// A half-open simulated-time interval `[start_us, end_us)` on one
+/// process's timeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Interval {
+    /// Owning process rank.
+    pub proc: usize,
+    /// Start, µs of simulated time.
+    pub start_us: u64,
+    /// End, µs of simulated time.
+    pub end_us: u64,
+}
+
+/// Opt-in per-run collector. Construct with [`SimObs::counters`] or
+/// [`SimObs::timeline`] and pass to [`crate::run_observed`].
+#[derive(Debug, Default)]
+pub struct SimObs {
+    /// Whether to keep per-interval timeline data (blocked and
+    /// checkpoint slices) in addition to the scalar totals.
+    pub keep_timeline: bool,
+    /// Events popped off the simulation queue.
+    pub events_processed: u64,
+    /// Times the engine kept executing inline instead of a queue
+    /// round-trip (the run-ahead fast path).
+    pub run_ahead_hits: u64,
+    /// Messages delivered to an inbox.
+    pub messages_delivered: u64,
+    /// Per-process simulated-time totals.
+    pub per_proc: Vec<ProcObs>,
+    /// Queue depth sampled at every event pop (non-atomic: the
+    /// collector is exclusively owned by one single-threaded run, so
+    /// recording is plain integer arithmetic).
+    pub queue_depth: LocalHist,
+    /// Message latency (receive completion minus send), µs — the same
+    /// definition as [`crate::stats::TraceStats::mean_latency_us`].
+    pub msg_latency_us: LocalHist,
+    /// Blocked-in-`recv` intervals (timeline mode only).
+    pub blocked: Vec<Interval>,
+    /// Checkpoint-stall intervals (timeline mode only).
+    pub ckpts: Vec<Interval>,
+}
+
+impl SimObs {
+    /// Scalar counters and histograms only.
+    pub fn counters() -> SimObs {
+        SimObs::default()
+    }
+
+    /// Counters plus the per-process interval data needed for the
+    /// simulated-time Perfetto export.
+    pub fn timeline() -> SimObs {
+        SimObs {
+            keep_timeline: true,
+            ..SimObs::default()
+        }
+    }
+
+    pub(crate) fn ensure_procs(&mut self, n: usize) {
+        if self.per_proc.len() < n {
+            self.per_proc.resize(n, ProcObs::default());
+        }
+    }
+
+    pub(crate) fn on_blocked(&mut self, proc: usize, start_us: u64, end_us: u64) {
+        self.per_proc[proc].blocked_us += end_us - start_us;
+        if self.keep_timeline && end_us > start_us {
+            self.blocked.push(Interval {
+                proc,
+                start_us,
+                end_us,
+            });
+        }
+    }
+
+    pub(crate) fn on_ckpt_stall(&mut self, proc: usize, start_us: u64, end_us: u64) {
+        self.per_proc[proc].ckpt_us += end_us - start_us;
+        if self.keep_timeline && end_us > start_us {
+            self.ckpts.push(Interval {
+                proc,
+                start_us,
+                end_us,
+            });
+        }
+    }
+
+    /// Mirrors the scalar totals into the process-global `acfc-obs`
+    /// registry (no-op unless the `obs` feature is compiled in and the
+    /// runtime flag is on), so `acfc report` shows simulator counters
+    /// next to the analysis spans.
+    pub fn publish(&self) {
+        acfc_obs::count("sim/events_processed", self.events_processed);
+        acfc_obs::count("sim/run_ahead_hits", self.run_ahead_hits);
+        acfc_obs::count("sim/messages_delivered", self.messages_delivered);
+        for t in &self.per_proc {
+            acfc_obs::count("sim/compute_us", t.compute_us);
+            acfc_obs::count("sim/blocked_us", t.blocked_us);
+            acfc_obs::count("sim/ckpt_stall_us", t.ckpt_us);
+        }
+        acfc_obs::record("sim/queue_depth_max", self.queue_depth.snap().max);
+        acfc_obs::record("sim/msg_latency_us_max", self.msg_latency_us.snap().max);
+    }
+}

@@ -1,0 +1,208 @@
+//! Simulated-time Perfetto timeline export.
+//!
+//! Renders one run as a Chrome-trace JSON document with **simulated
+//! time on the x-axis** (`SimTime` is already microseconds, the trace
+//! format's native unit): one track per simulated process carrying
+//! `compute` / `blocked` / `checkpoint` slices, a flow arrow per
+//! delivered message (send → receive), and a global instant marker at
+//! each straight cut `S_i` — the same picture as the paper's Fig. 4
+//! process timelines, but interactive.
+//!
+//! Needs a [`SimObs`] in timeline mode from the same run: the trace
+//! alone does not keep blocked intervals (the engine's blocked-time
+//! metric is a scalar), and re-deriving them would duplicate engine
+//! logic.
+
+use crate::obs::{Interval, SimObs};
+use crate::trace::Trace;
+use acfc_obs::TraceBuilder;
+
+/// The `pid` under which all simulated-process tracks are grouped.
+const SIM_PID: u64 = 1;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Kind {
+    Blocked,
+    Ckpt,
+    Compute,
+}
+
+impl Kind {
+    fn name(self) -> &'static str {
+        match self {
+            Kind::Blocked => "blocked",
+            Kind::Ckpt => "checkpoint",
+            Kind::Compute => "compute",
+        }
+    }
+}
+
+/// One track event before emission: slices open/close plus flow
+/// endpoints, mergeable into a single time-sorted stream per track.
+#[derive(Debug, Clone, Copy)]
+enum TrackEv<'a> {
+    Begin(u64, Kind),
+    End(u64),
+    Flow(u64, bool /* start */, u64 /* id */, &'a str),
+}
+
+impl TrackEv<'_> {
+    fn ts(&self) -> u64 {
+        match *self {
+            TrackEv::Begin(ts, _) | TrackEv::End(ts) | TrackEv::Flow(ts, _, _, _) => ts,
+        }
+    }
+
+    /// Tie order at equal timestamps: close the previous slice, then
+    /// flow endpoints, then open the next slice — keeps adjacent
+    /// slices from nesting and flows bound between them.
+    fn rank(&self) -> u8 {
+        match self {
+            TrackEv::End(_) => 0,
+            TrackEv::Flow(..) => 1,
+            TrackEv::Begin(..) => 2,
+        }
+    }
+}
+
+/// Builds the simulated-time trace for `trace`, using the blocked and
+/// checkpoint intervals collected in `obs` (must be from the same run,
+/// in [`SimObs::timeline`] mode). The returned builder validates
+/// structurally; call `.render()` for the JSON document.
+pub fn timeline(trace: &Trace, obs: &SimObs) -> TraceBuilder {
+    let n = trace.nprocs;
+    let mut tb = TraceBuilder::new();
+    tb.process_name(SIM_PID, &format!("{} (simulated time)", trace.program));
+
+    // Non-overlapping busy intervals per process, then compute slices
+    // as the gaps up to the process's last activity.
+    let mut per_proc: Vec<Vec<(u64, u64, Kind)>> = vec![Vec::new(); n];
+    for &Interval {
+        proc,
+        start_us,
+        end_us,
+    } in &obs.blocked
+    {
+        per_proc[proc].push((start_us, end_us, Kind::Blocked));
+    }
+    for &Interval {
+        proc,
+        start_us,
+        end_us,
+    } in &obs.ckpts
+    {
+        per_proc[proc].push((start_us, end_us, Kind::Ckpt));
+    }
+
+    let mut flows: Vec<Vec<TrackEv>> = vec![Vec::new(); n];
+    for m in trace.live_messages() {
+        let Some(recv_at) = m.recv_at else { continue };
+        let id = m.id.0;
+        flows[m.from].push(TrackEv::Flow(m.sent_at.as_micros(), true, id, "msg"));
+        flows[m.to].push(TrackEv::Flow(recv_at.as_micros(), false, id, "msg"));
+    }
+
+    for (p, mut busy) in per_proc.into_iter().enumerate() {
+        tb.thread_name(SIM_PID, p as u64, &format!("P{p}"));
+        busy.sort_unstable_by_key(|&(s, e, _)| (s, e));
+        let end = trace.proc_end[p].as_micros();
+        let mut evs: Vec<TrackEv> = Vec::with_capacity(busy.len() * 2 + flows[p].len());
+        let mut cursor = 0u64;
+        for (s, e, kind) in busy {
+            debug_assert!(s >= cursor, "busy intervals overlap on P{p}");
+            if s > cursor {
+                evs.push(TrackEv::Begin(cursor, Kind::Compute));
+                evs.push(TrackEv::End(s));
+            }
+            evs.push(TrackEv::Begin(s, kind));
+            evs.push(TrackEv::End(e));
+            cursor = e;
+        }
+        if end > cursor {
+            evs.push(TrackEv::Begin(cursor, Kind::Compute));
+            evs.push(TrackEv::End(end));
+        }
+        evs.append(&mut flows[p]);
+        evs.sort_by_key(|e| (e.ts(), e.rank()));
+        for ev in evs {
+            match ev {
+                TrackEv::Begin(ts, kind) => tb.begin(SIM_PID, p as u64, ts, kind.name(), "sim"),
+                TrackEv::End(ts) => tb.end(SIM_PID, p as u64, ts),
+                TrackEv::Flow(ts, true, id, name) => tb.flow_start(SIM_PID, p as u64, ts, name, id),
+                TrackEv::Flow(ts, false, id, name) => tb.flow_end(SIM_PID, p as u64, ts, name, id),
+            }
+        }
+    }
+
+    // Recovery lines: one global marker per straight cut S_i, at the
+    // time its latest member checkpoint starts (the earliest moment
+    // the cut exists on every process). They live on a dedicated track
+    // so marker timestamps never interleave with slice ordering; cut
+    // times are monotone in `i`, satisfying the track's ordering.
+    let marker_tid = n as u64;
+    tb.thread_name(SIM_PID, marker_tid, "recovery lines");
+    for i in 1..=trace.aligned_depth() as u64 {
+        if let Some(cut) = trace.straight_cut(i) {
+            let at = cut.iter().map(|c| c.start.as_micros()).max().unwrap_or(0);
+            tb.instant(SIM_PID, marker_tid, at, &format!("recovery line S{i}"), 'g');
+        }
+    }
+    tb
+}
+
+/// Convenience: builds, validates, and renders the timeline JSON.
+/// Panics if the constructed trace is structurally invalid (an engine
+/// or collector bug, not user error).
+pub fn timeline_json(trace: &Trace, obs: &SimObs) -> String {
+    let tb = timeline(trace, obs);
+    if let Err(e) = tb.validate() {
+        panic!("simulated-time trace failed validation: {e}");
+    }
+    tb.render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bytecode::compile;
+    use crate::config::SimConfig;
+    use crate::engine::run_observed;
+    use acfc_mpsl::programs;
+
+    #[test]
+    fn jacobi_timeline_validates_and_has_tracks() {
+        let c = compile(&programs::jacobi(4));
+        let mut obs = SimObs::timeline();
+        let trace = run_observed(&c, &SimConfig::new(4), &mut obs);
+        assert!(trace.completed());
+        let tb = timeline(&trace, &obs);
+        assert!(tb.validate().is_ok(), "{:?}", tb.validate());
+        let json = tb.render();
+        for p in 0..4 {
+            assert!(json.contains(&format!("\"P{p}\"")), "track P{p} present");
+        }
+        assert!(json.contains("\"checkpoint\""));
+        assert!(json.contains("\"blocked\""));
+        assert!(json.contains("\"compute\""));
+        // Jacobi aligns 4 checkpoint depths → 4 recovery-line markers.
+        for i in 1..=4 {
+            assert!(json.contains(&format!("recovery line S{i}")));
+        }
+        // One flow arrow (s + f) per received message.
+        let starts = json.matches("\"ph\": \"s\"").count();
+        let ends = json.matches("\"ph\": \"f\"").count();
+        assert_eq!(starts, trace.messages.len());
+        assert_eq!(ends, starts);
+    }
+
+    #[test]
+    fn counters_mode_yields_empty_timeline_slices() {
+        let c = compile(&programs::pingpong(2));
+        let mut obs = SimObs::counters();
+        let trace = run_observed(&c, &SimConfig::new(2), &mut obs);
+        assert!(trace.completed());
+        assert!(obs.blocked.is_empty());
+        assert!(obs.ckpts.is_empty());
+        assert!(obs.per_proc.iter().any(|p| p.blocked_us > 0));
+    }
+}

@@ -178,7 +178,11 @@ mod tests {
         let s = trace_stats(&t);
         // One checkpoint per ~50ms sweep (+ exchange + o).
         assert!(s.mean_ckpt_interval_us > 50_000.0);
-        assert!(s.mean_ckpt_interval_us < 80_000.0, "{}", s.mean_ckpt_interval_us);
+        assert!(
+            s.mean_ckpt_interval_us < 80_000.0,
+            "{}",
+            s.mean_ckpt_interval_us
+        );
     }
 
     #[test]
@@ -188,6 +192,83 @@ mod tests {
         assert!(text.contains("messages: 4"));
         assert!(text.contains("P0 ->"));
         assert!(text.contains("P1 -> P0:"));
+    }
+
+    /// Pins [`trace_stats`] on a hand-computed deterministic trace:
+    /// `pingpong(2)` at 2 procs with jitter zeroed.
+    ///
+    /// Per message (64 bits): the receiver is already blocked when the
+    /// message arrives, so `recv_at − sent_at` is exactly the network
+    /// delay plus one instruction overhead —
+    /// `setup (100) + 64·1ns/1000 (0) + instr (1) = 101 µs`.
+    /// Per checkpoint: `durable_at − start = ckpt_latency = 4000 µs`,
+    /// one checkpoint per iteration per process.
+    #[test]
+    fn pinned_stats_on_jitter_free_pingpong() {
+        let mut cfg = SimConfig::new(2);
+        cfg.net.jitter_us = 0;
+        let t = run(&compile(&programs::pingpong(2)), &cfg);
+        assert!(t.completed());
+        let s = trace_stats(&t);
+        // 2 iterations × (ping + pong).
+        assert_eq!(s.messages, 4);
+        assert_eq!(s.mean_latency_us, 101.0);
+        assert_eq!(s.max_latency_us, 101);
+        // 2 × 64 bits each way, nothing else.
+        assert_eq!(s.traffic_bits[0][1], 128);
+        assert_eq!(s.traffic_bits[1][0], 128);
+        assert_eq!(s.traffic_bits[0][0], 0);
+        assert_eq!(s.traffic_bits[1][1], 0);
+        // One checkpoint per iteration per proc, each 4000 µs to
+        // stable storage.
+        for p in 0..2 {
+            assert_eq!(s.procs[p].ckpt_us, 2 * 4000, "P{p}");
+            assert!(s.procs[p].end_us > 0);
+            // Blocked time is the engine-exact total attributed evenly.
+            assert_eq!(s.procs[p].blocked_us, t.metrics.recv_blocked_us / 2);
+        }
+        // Both procs checkpoint once per ~round-trip; the interval is
+        // at least one round trip (2 × 101 µs) plus the 2000 µs
+        // checkpoint stall of the previous iteration.
+        assert!(s.mean_ckpt_interval_us > 2.0 * 101.0 + 2000.0);
+    }
+
+    /// The per-run [`SimObs`] counters and the post-hoc [`trace_stats`]
+    /// are two independent derivations of the same run; where they
+    /// measure the same quantity they must agree exactly.
+    #[test]
+    fn obs_counters_agree_with_trace_stats() {
+        use crate::engine::run_observed;
+        use crate::obs::SimObs;
+        let compiled = compile(&programs::jacobi(5));
+        let cfg = SimConfig::new(4);
+        let mut obs = SimObs::counters();
+        let t = run_observed(&compiled, &cfg, &mut obs);
+        assert!(t.completed());
+        let s = trace_stats(&t);
+
+        // Every live message was delivered and consumed exactly once.
+        assert_eq!(obs.messages_delivered, s.messages);
+        let lat = obs.msg_latency_us.snap();
+        assert_eq!(lat.count, s.messages);
+        assert_eq!(lat.mean(), s.mean_latency_us);
+        assert_eq!(lat.max, s.max_latency_us);
+
+        // Blocked time: the collector attributes per process what the
+        // engine metric accumulates globally, at the same probe site.
+        let blocked: u64 = obs.per_proc.iter().map(|p| p.blocked_us).sum();
+        assert_eq!(blocked, t.metrics.recv_blocked_us);
+
+        // Checkpoint stalls: obs records o + coordination per
+        // checkpoint, the metric the same total.
+        let ckpt: u64 = obs.per_proc.iter().map(|p| p.ckpt_us).sum();
+        assert_eq!(ckpt, t.metrics.ckpt_stall_us);
+
+        // The engine popped at least one event per delivered message
+        // and ran ahead at least once on this workload.
+        assert!(obs.events_processed >= obs.messages_delivered);
+        assert!(obs.run_ahead_hits > 0);
+        assert!(obs.queue_depth.snap().count == obs.events_processed);
     }
 
     #[test]

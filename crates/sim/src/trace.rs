@@ -184,11 +184,7 @@ impl Snapshot {
     /// Variable bindings sorted by name (canonical order for exports
     /// and golden-trace pins, independent of the storage layout).
     pub fn vars_sorted(&self) -> Vec<(String, i64)> {
-        let mut v: Vec<(String, i64)> = self
-            .vars
-            .iter()
-            .map(|(k, x)| (k.to_string(), x))
-            .collect();
+        let mut v: Vec<(String, i64)> = self.vars.iter().map(|(k, x)| (k.to_string(), x)).collect();
         v.sort();
         v
     }

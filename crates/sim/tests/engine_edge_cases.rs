@@ -14,7 +14,10 @@ fn self_send_is_delivered() {
     for m in &t.messages {
         assert_eq!(m.from, m.to);
         assert!(m.is_received());
-        assert!(m.recv_at.unwrap() > m.sent_at, "network delay still applies");
+        assert!(
+            m.recv_at.unwrap() > m.sent_at,
+            "network delay still applies"
+        );
     }
 }
 
@@ -105,10 +108,7 @@ fn long_sequential_program_respects_inline_yields() {
 
 #[test]
 fn division_by_zero_reports_the_process() {
-    let p = parse(
-        "program t; var x; if rank == 1 { x := 1 / (rank - 1); } compute 1;",
-    )
-    .unwrap();
+    let p = parse("program t; var x; if rank == 1 { x := 1 / (rank - 1); } compute 1;").unwrap();
     let t = run(&compile(&p), &SimConfig::new(3));
     match t.outcome {
         Outcome::RuntimeError(1, msg) => assert!(msg.contains("zero"), "{msg}"),

@@ -113,7 +113,8 @@ impl Json {
     /// Adds a string field (escaping quotes and backslashes).
     pub fn str(mut self, key: &str, value: &str) -> Json {
         let escaped = value.replace('\\', "\\\\").replace('"', "\\\"");
-        self.fields.push((key.to_string(), format!("\"{escaped}\"")));
+        self.fields
+            .push((key.to_string(), format!("\"{escaped}\"")));
         self
     }
 

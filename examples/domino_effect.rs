@@ -63,7 +63,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     assert!(rep.depths.iter().all(|&d| d == 0));
 
     let mut hooks = ad.hooks();
-    let t = run_with_failures(&ad.compiled, &SimConfig::new(2), &mut hooks, plan, ad.picker());
+    let t = run_with_failures(
+        &ad.compiled,
+        &SimConfig::new(2),
+        &mut hooks,
+        plan,
+        ad.picker(),
+    );
     assert!(t.completed());
     let f = &t.failures[0];
     println!(

@@ -16,7 +16,10 @@ fn main() {
     let params = ModelParams::default();
 
     println!("optimal checkpoint interval T* per protocol (golden-section on the exact ratio):");
-    println!("{:<14} {:>6} {:>12} {:>12} {:>12}", "protocol", "n", "T* (s)", "Young (s)", "r(T*)");
+    println!(
+        "{:<14} {:>6} {:>12} {:>12} {:>12}",
+        "protocol", "n", "T* (s)", "Young (s)", "r(T*)"
+    );
     for n in [8usize, 64, 256] {
         for proto in ModelProtocol::all() {
             let opt = optimal_interval_for(&params, proto, n);
@@ -41,8 +44,10 @@ fn main() {
         r_recovery: params.r_recovery,
     };
     let s = sensitivity(&p);
-    println!("  dr/dλ: {:+.4}   dr/dT: {:+.4}   dr/dO: {:+.4}   dr/dL: {:+.4}   dr/dR: {:+.4}",
-        s.lambda, s.t, s.o_total, s.l_total, s.r_recovery);
+    println!(
+        "  dr/dλ: {:+.4}   dr/dT: {:+.4}   dr/dO: {:+.4}   dr/dL: {:+.4}   dr/dR: {:+.4}",
+        s.lambda, s.t, s.o_total, s.l_total, s.r_recovery
+    );
 
     println!("\ntwo-level recovery (refs [24, 25]): cheap local checkpoints,");
     println!("stable storage every k-th — overhead ratio vs. k:");

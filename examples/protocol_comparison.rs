@@ -22,7 +22,10 @@ fn main() {
     let program = programs::jacobi(10);
     let mut cfg = CompareConfig::new(n, 80_000);
     cfg.failures = FailurePlan::at(vec![(SimTime::from_millis(300), 0)]);
-    println!("workload: {} at n={n}, one failure at t=300ms\n", program.name);
+    println!(
+        "workload: {} at n={n}, one failure at t=300ms\n",
+        program.name
+    );
     let stats = compare_all(&program, &cfg);
     print!("{}", render_table(&stats));
 
@@ -48,7 +51,7 @@ fn main() {
     // Utilisation breakdown of the application-driven run.
     {
         use acfc_protocols::AppDriven;
-        use acfc_sim::{run, trace_stats, render_stats};
+        use acfc_sim::{render_stats, run, trace_stats};
         let ad = AppDriven::prepare(&program, n.min(128)).expect("analysis");
         let t = run(&ad.compiled, &acfc_sim::SimConfig::new(n));
         println!("\nappl-driven utilisation (failure-free):");

@@ -45,7 +45,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 2. Run the paper's three-phase offline analysis.
     let analysis = analyze(&program, &AnalysisConfig::for_nprocs(8))?;
     println!("\n--- analysis report ---\n{}", analysis.report());
-    println!("--- transformed program ---\n{}", to_source(&analysis.program));
+    println!(
+        "--- transformed program ---\n{}",
+        to_source(&analysis.program)
+    );
 
     // 3. Run the transformed program: no coordination, and every
     // straight cut is now a recovery line.

@@ -2,8 +2,10 @@
 //!
 //! ```text
 //! acfc check   <file.mpsl> [--nprocs N]          # parse, validate, check Condition 1
-//! acfc analyze <file.mpsl> [--nprocs N] [--emit] [--dot]
+//! acfc analyze <file.mpsl> [--nprocs N] [--emit] [--dot] [--profile out.json]
 //! acfc run     <file.mpsl> [--nprocs N] [--seed S] [--analyze] [--input V]...
+//!              [--profile out.json]
+//! acfc report  <file.mpsl> [--nprocs N] [--seed S] # counter/histogram summary
 //! acfc mpmd    <name> <file.mpsl@FIRST[-LAST]>... # combine MPMD roles into SPMD
 //! acfc figures                                    # regenerate Figures 8 and 9
 //! ```
@@ -13,6 +15,14 @@
 //! pipeline and prints the report (`--emit` prints the transformed
 //! source, `--dot` the extended CFG in Graphviz form); `run` executes
 //! on the simulator and verifies every straight cut.
+//!
+//! `--profile` writes a Chrome-trace-format JSON file loadable in
+//! <https://ui.perfetto.dev>: for `run`, a **simulated-time** timeline
+//! (one track per process with compute/blocked/checkpoint slices,
+//! message flow arrows, and a marker per recovery line — the paper's
+//! Fig. 4 as an interactive view); for `analyze`, the **wall-clock**
+//! spans of the analysis pipeline. `report` runs analysis + simulation
+//! with full instrumentation on and prints the counter table.
 
 use acfc::cfg::build_cfg;
 use acfc::core::{
@@ -23,7 +33,7 @@ use acfc::mpsl::{parse, to_source, validate};
 use acfc::perfmodel::{
     figure8, figure8_default_ns, figure9, figure9_default_wms, to_tsv, ModelParams,
 };
-use acfc::sim::{compile, consistency, run, SimConfig};
+use acfc::sim::{compile, consistency, run, run_observed, SimConfig, SimObs};
 use std::process::ExitCode;
 
 struct Args {
@@ -36,6 +46,7 @@ struct Args {
     inputs: Vec<i64>,
     failure_rate: Option<f64>,
     trace: bool,
+    profile: Option<String>,
 }
 
 fn parse_args(mut argv: std::env::Args) -> Result<(String, Args), String> {
@@ -51,6 +62,7 @@ fn parse_args(mut argv: std::env::Args) -> Result<(String, Args), String> {
         inputs: Vec::new(),
         failure_rate: None,
         trace: false,
+        profile: None,
     };
     let mut it = argv.peekable();
     while let Some(a) = it.next() {
@@ -81,6 +93,9 @@ fn parse_args(mut argv: std::env::Args) -> Result<(String, Args), String> {
                         .ok_or("--failure-rate needs a number (per second)")?,
                 );
             }
+            "--profile" => {
+                args.profile = Some(it.next().ok_or("--profile needs an output path")?);
+            }
             "--emit" => args.emit = true,
             "--dot" => args.dot = true,
             "--trace" => args.trace = true,
@@ -93,8 +108,9 @@ fn parse_args(mut argv: std::env::Args) -> Result<(String, Args), String> {
 }
 
 fn usage() -> String {
-    "usage: acfc <check|analyze|run|mpmd|figures> [file.mpsl] [--nprocs N] [--seed S] \
-     [--emit] [--dot] [--trace] [--analyze] [--input V]... [--failure-rate L]"
+    "usage: acfc <check|analyze|run|report|mpmd|figures> [file.mpsl] [--nprocs N] [--seed S] \
+     [--emit] [--dot] [--trace] [--analyze] [--input V]... [--failure-rate L] \
+     [--profile out.json]"
         .to_string()
 }
 
@@ -154,8 +170,11 @@ fn analysis_config(args: &Args) -> AnalysisConfig {
 
 fn cmd_analyze(args: &Args) -> Result<(), String> {
     let program = load(args)?;
-    let analysis = analyze(&program, &analysis_config(args))
-        .map_err(|e| e.to_string())?;
+    if args.profile.is_some() {
+        acfc::obs::set_enabled(true);
+        let _ = acfc::obs::take_wall_spans(); // start from a clean log
+    }
+    let analysis = analyze(&program, &analysis_config(args)).map_err(|e| e.to_string())?;
     print!("{}", analysis.report());
     if args.emit {
         println!("--- transformed program ---");
@@ -165,20 +184,39 @@ fn cmd_analyze(args: &Args) -> Result<(), String> {
         println!("--- extended CFG (Graphviz) ---");
         print!("{}", analysis.to_dot());
     }
+    if let Some(path) = &args.profile {
+        acfc::obs::set_enabled(false);
+        let spans = acfc::obs::take_wall_spans();
+        let tb = acfc::obs::perfetto::wall_spans_trace(&spans);
+        tb.validate()
+            .map_err(|e| format!("profile trace invalid: {e}"))?;
+        std::fs::write(path, tb.render()).map_err(|e| format!("{path}: {e}"))?;
+        println!(
+            "wrote {} wall-clock span(s) to {path} (load in https://ui.perfetto.dev)",
+            spans.len()
+        );
+        if spans.is_empty() {
+            println!("note: binary built without the `obs` feature; spans are compiled out");
+        }
+    }
     Ok(())
 }
 
 fn cmd_run(args: &Args) -> Result<(), String> {
     let mut program = load(args)?;
     if args.do_analyze {
-        let analysis = analyze(&program, &analysis_config(args))
-            .map_err(|e| e.to_string())?;
+        let analysis = analyze(&program, &analysis_config(args)).map_err(|e| e.to_string())?;
         program = analysis.program;
     }
     let cfg = SimConfig::new(args.nprocs)
         .with_seed(args.seed)
         .with_inputs(args.inputs.clone());
-    let trace = run(&compile(&program), &cfg);
+    let compiled = compile(&program);
+    let mut obs = args.profile.as_ref().map(|_| SimObs::timeline());
+    let trace = match obs.as_mut() {
+        Some(o) => run_observed(&compiled, &cfg, o),
+        None => run(&compiled, &cfg),
+    };
     println!(
         "{}: n={} seed={} -> {:?} in {:.4}s simulated",
         program.name,
@@ -195,7 +233,26 @@ fn cmd_run(args: &Args) -> Result<(), String> {
     );
     if args.trace {
         println!("--- summary ---\n{}", acfc::sim::summary(&trace));
-        println!("--- space-time diagram ---\n{}", acfc::sim::spacetime(&trace));
+        println!(
+            "--- space-time diagram ---\n{}",
+            acfc::sim::spacetime(&trace)
+        );
+    }
+    if let (Some(path), Some(o)) = (&args.profile, obs.as_ref()) {
+        let tb = acfc::sim::timeline(&trace, o);
+        tb.validate()
+            .map_err(|e| format!("profile trace invalid: {e}"))?;
+        std::fs::write(path, tb.render()).map_err(|e| format!("{path}: {e}"))?;
+        println!(
+            "wrote simulated-time timeline ({} process track(s), {} message arrow(s), \
+             {} recovery line(s)) to {path} (load in https://ui.perfetto.dev)",
+            trace.nprocs,
+            trace
+                .live_messages()
+                .filter(|m| m.recv_at.is_some())
+                .count(),
+            trace.aligned_depth()
+        );
     }
     if !trace.completed() {
         return Err("run did not complete".into());
@@ -213,12 +270,60 @@ fn cmd_run(args: &Args) -> Result<(), String> {
     }
 }
 
+/// `acfc report` — run the full pipeline (analysis + simulation) with
+/// instrumentation on and print the registry counter/histogram table
+/// plus the per-run simulator summary.
+fn cmd_report(args: &Args) -> Result<(), String> {
+    let program = load(args)?;
+    acfc::obs::reset();
+    acfc::obs::set_enabled(true);
+    let analysis = analyze(&program, &analysis_config(args)).map_err(|e| e.to_string())?;
+    let cfg = SimConfig::new(args.nprocs)
+        .with_seed(args.seed)
+        .with_inputs(args.inputs.clone());
+    let mut obs = SimObs::counters();
+    let trace = run_observed(&compile(&analysis.program), &cfg, &mut obs);
+    obs.publish();
+    acfc::obs::set_enabled(false);
+    println!(
+        "{}: n={} seed={} -> {:?} in {:.4}s simulated",
+        analysis.program.name,
+        args.nprocs,
+        args.seed,
+        trace.outcome,
+        trace.makespan_secs()
+    );
+    println!("\n--- simulator ---");
+    println!(
+        "events processed: {} | run-ahead hits: {} | messages delivered: {}",
+        obs.events_processed, obs.run_ahead_hits, obs.messages_delivered
+    );
+    for (p, t) in obs.per_proc.iter().enumerate() {
+        println!(
+            "P{p}: compute {:.1} ms, blocked {:.1} ms, checkpoint stall {:.1} ms",
+            t.compute_us as f64 / 1000.0,
+            t.blocked_us as f64 / 1000.0,
+            t.ckpt_us as f64 / 1000.0
+        );
+    }
+    let snap = acfc::obs::snapshot();
+    println!("\n--- metrics registry ---");
+    print!("{}", acfc::obs::render(&snap));
+    if snap.counters.is_empty() && snap.histograms.is_empty() {
+        println!("note: binary built without the `obs` feature; registry metrics are compiled out");
+    }
+    Ok(())
+}
+
 /// `acfc mpmd <name> <file@spec>...` — combine per-role programs
 /// (the paper's §3 MPMD remark) and print the resulting SPMD program.
 /// A spec is `FIRST` (single rank), `FIRST-LAST`, or `FIRST-` (rest).
 fn cmd_mpmd(args: &Args) -> Result<(), String> {
     use acfc::mpsl::mpmd::{combine, Role};
-    let name = args.positional.first().ok_or("missing output program name")?;
+    let name = args
+        .positional
+        .first()
+        .ok_or("missing output program name")?;
     if args.positional.len() < 3 {
         return Err("need at least two role files (file.mpsl@SPEC)".into());
     }
@@ -279,6 +384,7 @@ fn main() -> ExitCode {
         "check" => cmd_check(&args),
         "analyze" => cmd_analyze(&args),
         "run" => cmd_run(&args),
+        "report" => cmd_report(&args),
         "mpmd" => cmd_mpmd(&args),
         "figures" => {
             cmd_figures();

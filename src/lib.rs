@@ -18,6 +18,7 @@
 //! | [`sim`] | deterministic message-passing simulator with failures |
 //! | [`protocols`] | baselines: uncoordinated, SaS, C-L, CIC; recovery lines |
 //! | [`perfmodel`] | the §4 stochastic model; Figures 8 and 9 |
+//! | [`obs`] | spans, counters, histograms, Perfetto trace export |
 //!
 //! ```
 //! use acfc::core::{analyze, AnalysisConfig};
@@ -37,6 +38,7 @@
 pub use acfc_cfg as cfg;
 pub use acfc_core as core;
 pub use acfc_mpsl as mpsl;
+pub use acfc_obs as obs;
 pub use acfc_perfmodel as perfmodel;
 pub use acfc_protocols as protocols;
 pub use acfc_sim as sim;

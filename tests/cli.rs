@@ -46,7 +46,10 @@ fn check_rejects_the_odd_even_jacobi_with_explanation() {
     let text = stdout(&out);
     assert!(text.contains("UNSAFE"), "{text}");
     assert!(text.contains("recovery line"), "{text}");
-    assert!(text.contains('⇒'), "explanation shows the message edge: {text}");
+    assert!(
+        text.contains('⇒'),
+        "explanation shows the message edge: {text}"
+    );
 }
 
 #[test]
@@ -119,13 +122,7 @@ fn missing_file_reports_cleanly() {
 
 #[test]
 fn trace_flag_prints_spacetime() {
-    let out = acfc(&[
-        "run",
-        "programs/jacobi.mpsl",
-        "--nprocs",
-        "2",
-        "--trace",
-    ]);
+    let out = acfc(&["run", "programs/jacobi.mpsl", "--nprocs", "2", "--trace"]);
     assert!(out.status.success());
     let text = stdout(&out);
     assert!(text.contains("space-time diagram"));
@@ -141,19 +138,17 @@ fn mpmd_combines_role_files_into_checkable_spmd() {
         "programs/role_master.mpsl@0",
         "programs/role_worker.mpsl@1-",
     ]);
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let text = stdout(&out);
     assert!(text.starts_with("program gather;"), "{text}");
     // The combined output is itself analyzable end to end.
     let tmp = std::env::temp_dir().join("acfc_cli_mpmd.mpsl");
     std::fs::write(&tmp, &text).unwrap();
-    let run = acfc(&[
-        "run",
-        tmp.to_str().unwrap(),
-        "--analyze",
-        "--nprocs",
-        "4",
-    ]);
+    let run = acfc(&["run", tmp.to_str().unwrap(), "--analyze", "--nprocs", "4"]);
     assert!(run.status.success(), "{}", stdout(&run));
     assert!(stdout(&run).contains("every straight cut"));
 }

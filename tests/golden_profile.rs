@@ -1,0 +1,99 @@
+//! Golden pin for the simulated-time Perfetto exporter.
+//!
+//! A 2-process ping-pong is small enough to eyeball in the Perfetto UI
+//! yet exercises every event type the exporter emits: metadata, the
+//! three slice kinds (compute / blocked / checkpoint), flow arrows for
+//! both message directions, and recovery-line markers. The rendered
+//! JSON is compared byte-for-byte against a pinned snapshot — the
+//! engine is deterministic, so any divergence is an intentional
+//! exporter or collector change.
+//!
+//! Regenerate (only on an *intentional* format change) with:
+//!
+//! ```text
+//! GOLDEN_REGEN=1 cargo test --test golden_profile
+//! ```
+
+use acfc_sim::{compile, run_observed, timeline, SimConfig, SimObs};
+use std::path::PathBuf;
+
+fn golden_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden/pingpong_profile.json")
+}
+
+fn render_profile() -> String {
+    let compiled = compile(&acfc_mpsl::programs::pingpong(2));
+    let mut obs = SimObs::timeline();
+    let trace = run_observed(&compiled, &SimConfig::new(2), &mut obs);
+    assert!(trace.completed());
+    let tb = timeline(&trace, &obs);
+    tb.validate().expect("structurally valid trace");
+    tb.render()
+}
+
+#[test]
+fn pingpong_profile_matches_pinned_snapshot() {
+    let rendered = render_profile();
+    let path = golden_path();
+    if std::env::var("GOLDEN_REGEN").is_ok() {
+        std::fs::write(&path, &rendered).expect("write pin");
+        return;
+    }
+    let pinned = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("missing pin {}: {e}", path.display()));
+    if rendered != pinned {
+        let line = rendered
+            .lines()
+            .zip(pinned.lines())
+            .position(|(a, b)| a != b)
+            .map(|i| i + 1)
+            .unwrap_or_else(|| rendered.lines().count().min(pinned.lines().count()) + 1);
+        panic!("pingpong profile diverged from pin at line {line}");
+    }
+}
+
+/// Structural invariants, independent of the byte-exact pin: every
+/// track's begin/end events balance and its timestamps never go
+/// backwards in emission order.
+#[test]
+fn pingpong_profile_is_balanced_and_monotone() {
+    let rendered = render_profile();
+    let mut depth: std::collections::BTreeMap<u64, i64> = Default::default();
+    let mut last_ts: std::collections::BTreeMap<u64, i64> = Default::default();
+    let mut slices = 0u32;
+    for line in rendered.lines() {
+        let field = |key: &str| -> Option<&str> {
+            let pat = format!("\"{key}\": ");
+            let rest = &line[line.find(&pat)? + pat.len()..];
+            Some(rest[..rest.find([',', '}']).unwrap_or(rest.len())].trim_matches('"'))
+        };
+        let Some(ph) = field("ph") else { continue };
+        if ph == "M" {
+            continue;
+        }
+        let tid: u64 = field("tid").unwrap().parse().unwrap();
+        let ts: i64 = field("ts").unwrap().parse().unwrap();
+        assert!(
+            ts >= *last_ts.get(&tid).unwrap_or(&0),
+            "track {tid}: ts {ts} went backwards"
+        );
+        last_ts.insert(tid, ts);
+        match ph {
+            "B" => {
+                *depth.entry(tid).or_insert(0) += 1;
+                slices += 1;
+            }
+            "E" => {
+                let d = depth.entry(tid).or_insert(0);
+                *d -= 1;
+                assert!(*d >= 0, "track {tid}: E without matching B");
+            }
+            _ => {}
+        }
+    }
+    assert!(slices > 0, "profile contains slices");
+    assert!(
+        depth.values().all(|&d| d == 0),
+        "unbalanced B/E per track: {depth:?}"
+    );
+}

@@ -59,7 +59,9 @@ fn figure_3_execution_with_inconsistent_straight_cut() {
     // before the odd ranks' same-index checkpoints.
     let cut = consistency::resolve_cut(&t, &[bad[0]; 4]).unwrap();
     let v = consistency::cut_violations(&cut);
-    assert!(v.iter().all(|x| x.earlier_proc % 2 == 0 && x.later_proc % 2 == 1));
+    assert!(v
+        .iter()
+        .all(|x| x.earlier_proc % 2 == 0 && x.later_proc % 2 == 1));
 }
 
 #[test]
@@ -161,6 +163,9 @@ fn figure_9_shape() {
     }
     for w in rows.windows(2) {
         assert!(w[1].sas > w[0].sas, "SaS grows with w_m");
-        assert!(w[1].chandy_lamport > w[0].chandy_lamport, "C-L grows with w_m");
+        assert!(
+            w[1].chandy_lamport > w[0].chandy_lamport,
+            "C-L grows with w_m"
+        );
     }
 }

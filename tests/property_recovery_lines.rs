@@ -34,11 +34,17 @@ enum Item {
     Checkpoint,
     /// Jacobi-style neighbour exchange; checkpoint positions may differ
     /// between even and odd ranks (the Figure-2 hazard).
-    ParityExchange { even: CkptPos, odd: CkptPos },
+    ParityExchange {
+        even: CkptPos,
+        odd: CkptPos,
+    },
     /// One-directional chain `0 → 1 → … → n−1`; optional checkpoints
     /// for the head (before its send) and the others (after their
     /// receive) — the skewed-pipeline hazard.
-    Chain { head_ckpt: bool, tail_ckpt: bool },
+    Chain {
+        head_ckpt: bool,
+        tail_ckpt: bool,
+    },
     /// Workers send to rank 0, which receives from any.
     Gather(CkptPos),
     /// Ring shift: send right, receive from left.
@@ -199,10 +205,7 @@ fn theorem_3_2_holds_for_random_programs() {
             // The pipeline must not fail on this generator's
             // vocabulary; surface it as a counterexample.
             .unwrap_or_else(|err| {
-                panic!(
-                    "analysis failed: {err}\n{}",
-                    acfc_mpsl::to_source(&program)
-                )
+                panic!("analysis failed: {err}\n{}", acfc_mpsl::to_source(&program))
             });
         for n in [2usize, 4, 5] {
             let trace = run(
@@ -242,8 +245,7 @@ fn transformation_preserves_message_behaviour() {
         if program.checkpoint_ids().is_empty() {
             return;
         }
-        let analysis =
-            analyze(&program, &AnalysisConfig::for_nprocs(8)).expect("analysis failed");
+        let analysis = analyze(&program, &AnalysisConfig::for_nprocs(8)).expect("analysis failed");
         let before = run(&compile(&program), &SimConfig::new(4));
         let after = run(&compile(&analysis.program), &SimConfig::new(4));
         if !before.completed() {

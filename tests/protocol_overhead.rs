@@ -52,7 +52,10 @@ fn cl_message_count_matches_formula_across_n() {
 fn quadratic_vs_linear_growth() {
     // Doubling n roughly quadruples C-L's per-wave traffic but only
     // doubles SaS's.
-    assert_eq!(cl_control_messages(8) / cl_control_messages(4), 4 * 7 / (2 * 3));
+    assert_eq!(
+        cl_control_messages(8) / cl_control_messages(4),
+        4 * 7 / (2 * 3)
+    );
     assert!(cl_control_messages(16) > 2 * sas_control_messages(16));
     assert_eq!(sas_control_messages(9) - sas_control_messages(8), 5);
 }

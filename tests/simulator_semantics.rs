@@ -60,7 +60,8 @@ fn hb_oracle_agrees(trace: &Trace) {
             let vc = a.vc.happened_before(&b.vc)
                 || (a.proc == b.proc && a.step < b.step && a.vc == b.vc);
             assert_eq!(
-                vc, oracle,
+                vc,
+                oracle,
                 "hb({:?},{:?}): vc says {vc}, trace closure says {oracle}",
                 (a.proc, a.step),
                 (b.proc, b.step)
@@ -145,7 +146,12 @@ fn rollback_replay_reaches_identical_final_variable_state() {
     assert_eq!(t.metrics.failures, 2);
     // Compare final snapshots' variable stores via the last checkpoints.
     for proc in 0..3 {
-        let last_clean = clean.live_checkpoints(proc).last().unwrap().snapshot.clone();
+        let last_clean = clean
+            .live_checkpoints(proc)
+            .last()
+            .unwrap()
+            .snapshot
+            .clone();
         let last_fail = t.live_checkpoints(proc).last().unwrap().snapshot.clone();
         assert_eq!(
             last_clean.vars, last_fail.vars,
