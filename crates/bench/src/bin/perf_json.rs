@@ -171,26 +171,38 @@ fn sim_workload(
 /// conservative upper bound on the cost of instrumentation when
 /// disabled.
 ///
-/// Each sample times a *single* run (~100µs) and the two variants
-/// alternate; taking the min over many samples finds a quiet scheduler
-/// window for each, which min-of-multi-millisecond-batches cannot on a
-/// noisy shared host (observed batch-vs-batch swings exceed 30% both
-/// ways there).
+/// Each sample times one plain run and one observed run back to back,
+/// and the estimate is the *median of the per-pair ratios*. Adjacent
+/// runs share the same frequency/thermal state, so each ratio cancels
+/// the drift that wrecks independent-min estimators on a noisy shared
+/// host: min(observed)/min(plain) picks its two minima from different
+/// quiet windows and was observed to swing 1–8% run to run here, while
+/// the paired median reproduces to a few tenths of a percent. The run
+/// itself must also be long enough that the 2% budget sits well above
+/// timer quantization — jacobi(200) (~2ms, budget ~40µs) rather than
+/// jacobi(20) (~100µs, budget under 2µs). The whole measurement is
+/// repeated three times and the best (smallest) median wins: a window
+/// of sustained interference inflates every pair in it, and the repeat
+/// is how we find a window without one.
 fn obs_overhead_pct() -> f64 {
-    let compiled = compile(&programs::jacobi(20));
+    let compiled = compile(&programs::jacobi(200));
     let cfg = SimConfig::new(8);
-    let mut best_plain = u128::MAX;
-    let mut best_observed = u128::MAX;
-    for _ in 0..1500 {
-        let t = std::time::Instant::now();
-        black_box(acfc_sim::run(&compiled, &cfg));
-        best_plain = best_plain.min(t.elapsed().as_nanos());
-        let mut obs = SimObs::counters();
-        let t = std::time::Instant::now();
-        black_box(acfc_sim::run_observed(&compiled, &cfg, &mut obs));
-        best_observed = best_observed.min(t.elapsed().as_nanos());
-    }
-    (best_observed as f64 / best_plain as f64 - 1.0) * 100.0
+    let median_pct = || {
+        let mut ratios = Vec::with_capacity(400);
+        for _ in 0..400 {
+            let t = std::time::Instant::now();
+            black_box(acfc_sim::run(&compiled, &cfg));
+            let plain = t.elapsed().as_nanos();
+            let mut obs = SimObs::counters();
+            let t = std::time::Instant::now();
+            black_box(acfc_sim::run_observed(&compiled, &cfg, &mut obs));
+            let observed = t.elapsed().as_nanos();
+            ratios.push(observed as f64 / plain as f64);
+        }
+        ratios.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+        (ratios[ratios.len() / 2] - 1.0) * 100.0
+    };
+    (0..3).map(|_| median_pct()).fold(f64::INFINITY, f64::min)
 }
 
 /// Emits `BENCH_sim.json`: events/sec for the lowered engine vs the
@@ -221,6 +233,30 @@ fn emit_bench_sim() {
             .num(&format!("{name}_events_per_sec"), lowered)
             .num(&format!("{name}_speedup"), lowered / base);
     }
+    // Histogram-native percentile bounds from one observed jacobi_n8
+    // run (deterministic: fixed seed, no failures) — the trajectory
+    // file tracks the engine's latency/queue/interval distributions,
+    // not just throughput means.
+    let mut obs = SimObs::counters();
+    let trace = acfc_sim::run_observed(
+        &compile(&programs::jacobi(20)),
+        &SimConfig::new(8),
+        &mut obs,
+    );
+    assert!(trace.completed());
+    let lat = obs.msg_latency_us.percentiles();
+    let qd = obs.queue_depth.percentiles();
+    let ci = obs.ckpt_interval_us.percentiles();
+    json = json
+        .num("jacobi_n8_msg_latency_p50_us", lat.p50 as f64)
+        .num("jacobi_n8_msg_latency_p90_us", lat.p90 as f64)
+        .num("jacobi_n8_msg_latency_p99_us", lat.p99 as f64)
+        .num("jacobi_n8_queue_depth_p50", qd.p50 as f64)
+        .num("jacobi_n8_queue_depth_p90", qd.p90 as f64)
+        .num("jacobi_n8_queue_depth_p99", qd.p99 as f64)
+        .num("jacobi_n8_ckpt_interval_p50_us", ci.p50 as f64)
+        .num("jacobi_n8_ckpt_interval_p90_us", ci.p90 as f64)
+        .num("jacobi_n8_ckpt_interval_p99_us", ci.p99 as f64);
     let overhead = obs_overhead_pct();
     assert!(
         overhead < 2.0,

@@ -23,7 +23,7 @@ use crate::iddep::analyze_iddep;
 use crate::matching::{match_send_recv, MatchingMode};
 use crate::pipeline::{analyze, Analysis, AnalysisConfig, AnalysisError};
 use acfc_mpsl::Program;
-use acfc_util::parallel::{configured_threads, par_map_threads};
+use acfc_util::parallel::{configured_threads, par_map_threads_labeled};
 
 /// Condition-1 violations of `program` as written, at `n` processes.
 pub fn condition1_at(
@@ -97,7 +97,7 @@ pub fn analyze_for_all_n_threads(
         ..config.clone()
     };
     let analysis = analyze(program, &config)?;
-    let per_n = par_map_threads(all_n, threads, |_, &n| {
+    let per_n = par_map_threads_labeled(all_n, threads, Some("multi_n"), |_, &n| {
         (
             n,
             condition1_at(&analysis.program, n, config.matching, config.policy).len(),

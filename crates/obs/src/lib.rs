@@ -47,11 +47,11 @@ pub mod span;
 
 pub use metrics::{
     count, record, reset, set_enabled, snapshot, Counter, HistSnapshot, Histogram, LocalHist,
-    Snapshot,
+    Quantiles, Snapshot,
 };
 pub use perfetto::TraceBuilder;
 pub use report::render;
-pub use span::{span, take_wall_spans, SpanGuard, WallSpan};
+pub use span::{span, take_wall_spans, thread_labels, SpanGuard, WallSpan};
 
 /// `true` when instrumentation is both compiled in (`enabled` feature)
 /// and switched on at runtime via [`set_enabled`].

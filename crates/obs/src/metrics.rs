@@ -159,6 +159,11 @@ impl LocalHist {
         }
     }
 
+    /// The p50/p90/p99 bucket bounds (see [`HistSnapshot::percentiles`]).
+    pub fn percentiles(&self) -> Quantiles {
+        self.snap().percentiles()
+    }
+
     /// Resets all buckets.
     pub fn reset(&mut self) {
         *self = LocalHist::new();
@@ -206,6 +211,20 @@ impl HistSnapshot {
         self.max
     }
 
+    /// The p50/p90/p99 bucket bounds in one struct — the shape every
+    /// dashboard column and `BENCH_*.json` field uses. Each value is a
+    /// [`quantile_bound`](HistSnapshot::quantile_bound): the exclusive
+    /// upper edge of the bucket holding that quantile, so it is within
+    /// a factor of two of the exact order statistic (pinned by the
+    /// differential test in `tests/quantile_differential.rs`).
+    pub fn percentiles(&self) -> Quantiles {
+        Quantiles {
+            p50: self.quantile_bound(0.50),
+            p90: self.quantile_bound(0.90),
+            p99: self.quantile_bound(0.99),
+        }
+    }
+
     /// The non-empty `(bucket_lower_bound, count)` pairs.
     pub fn nonzero(&self) -> Vec<(u64, u64)> {
         self.buckets
@@ -215,6 +234,18 @@ impl HistSnapshot {
             .map(|(i, &c)| (if i == 0 { 0 } else { 1u64 << (i - 1) }, c))
             .collect()
     }
+}
+
+/// Histogram-derived p50/p90/p99 bucket bounds (µs, counts — whatever
+/// the histogram recorded). Zero when the histogram is empty.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Quantiles {
+    /// Median bucket bound.
+    pub p50: u64,
+    /// 90th-percentile bucket bound.
+    pub p90: u64,
+    /// 99th-percentile bucket bound.
+    pub p99: u64,
 }
 
 /// A point-in-time copy of the whole registry, name-sorted (the

@@ -318,15 +318,20 @@ impl TraceBuilder {
 /// Converts completed wall-clock spans into a one-process trace (one
 /// track per recording thread). Spans on a thread form a properly
 /// nested forest (RAII guarantees it), re-emitted here as balanced
-/// `B`/`E` pairs via a stack sweep.
+/// `B`/`E` pairs via a stack sweep. Tracks of labeled worker threads
+/// (see [`crate::span::thread_labels`]) are named by their label.
 pub fn wall_spans_trace(spans: &[WallSpan]) -> TraceBuilder {
+    let labels = crate::span::thread_labels();
     let mut tb = TraceBuilder::new();
     tb.process_name(0, "acfc (wall clock)");
     let mut tids: Vec<u64> = spans.iter().map(|s| s.tid).collect();
     tids.sort_unstable();
     tids.dedup();
     for &tid in &tids {
-        tb.thread_name(0, tid, &format!("thread {tid}"));
+        match labels.iter().find(|(t, _)| *t == tid) {
+            Some((_, label)) => tb.thread_name(0, tid, label),
+            None => tb.thread_name(0, tid, &format!("thread {tid}")),
+        }
         let mut mine: Vec<&WallSpan> = spans.iter().filter(|s| s.tid == tid).collect();
         // Outer spans first at equal starts (the longer one encloses).
         mine.sort_by_key(|s| (s.start_us, u64::MAX - s.end_us));

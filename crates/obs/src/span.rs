@@ -40,10 +40,28 @@ mod imp {
         LOG.get_or_init(|| Mutex::new(Vec::new()))
     }
 
+    fn labels() -> &'static Mutex<Vec<(u64, String)>> {
+        static LABELS: OnceLock<Mutex<Vec<(u64, String)>>> = OnceLock::new();
+        LABELS.get_or_init(|| Mutex::new(Vec::new()))
+    }
+
     fn this_tid() -> u64 {
         static NEXT: AtomicU64 = AtomicU64::new(0);
         thread_local! {
-            static TID: u64 = NEXT.fetch_add(1, Relaxed);
+            static TID: u64 = {
+                let tid = NEXT.fetch_add(1, Relaxed);
+                // Capture the OS thread name once, at dense-tid
+                // assignment, so Perfetto tracks of labeled worker
+                // threads (util::parallel::par_map_labeled) render as
+                // "sweep-3" instead of "thread 7".
+                if let Some(name) = std::thread::current().name() {
+                    labels()
+                        .lock()
+                        .expect("obs label map poisoned")
+                        .push((tid, name.to_string()));
+                }
+                tid
+            };
         }
         TID.with(|t| *t)
     }
@@ -87,6 +105,10 @@ mod imp {
     pub fn take_wall_spans() -> Vec<WallSpan> {
         std::mem::take(&mut *log().lock().expect("obs span log poisoned"))
     }
+
+    pub fn thread_labels() -> Vec<(u64, String)> {
+        labels().lock().expect("obs label map poisoned").clone()
+    }
 }
 
 #[cfg(not(feature = "enabled"))]
@@ -105,6 +127,10 @@ mod imp {
     pub fn take_wall_spans() -> Vec<WallSpan> {
         Vec::new()
     }
+
+    pub fn thread_labels() -> Vec<(u64, String)> {
+        Vec::new()
+    }
 }
 
 pub use imp::SpanGuard;
@@ -121,6 +147,14 @@ pub fn span(name: &'static str) -> SpanGuard {
 /// only newer spans.
 pub fn take_wall_spans() -> Vec<WallSpan> {
     imp::take_wall_spans()
+}
+
+/// `(tid, label)` for every recording thread that had an OS thread
+/// name when its dense tid was assigned, in assignment order. Labels
+/// are never drained: tids are process-lifetime, so the map only
+/// grows. Empty when the `enabled` feature is off.
+pub fn thread_labels() -> Vec<(u64, String)> {
+    imp::thread_labels()
 }
 
 #[cfg(all(test, feature = "enabled"))]

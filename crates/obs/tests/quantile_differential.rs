@@ -1,0 +1,149 @@
+//! Differential pin of the histogram quantiles: [`LocalHist`]'s
+//! p50/p90/p99 bucket bounds against the *exact* order statistics of
+//! the same samples kept in a sorted `Vec<u64>`.
+//!
+//! The histogram buckets by bit length (bucket `i` spans
+//! `[2^(i−1), 2^i)`), so a quantile bound can never be exact — but it
+//! is provably tight: the returned bound is the exclusive upper edge
+//! of the bucket containing the exact order statistic, hence
+//! `exact < bound ≤ 2·exact` for every nonzero exact quantile. This
+//! test pins that factor-of-two envelope over seeded uniform, bimodal,
+//! and single-bucket-degenerate samples, so any bucketing or
+//! cumulative-scan regression (off-by-one in the target index,
+//! wrong bucket edge) shows up as a broken bound, not a silent drift.
+
+use acfc_obs::{HistSnapshot, LocalHist};
+
+/// xoshiro-free splitmix64: deterministic, no dependencies, good
+/// enough to scatter samples across buckets.
+struct SplitMix(u64);
+
+impl SplitMix {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    }
+}
+
+/// The exact `q`-quantile under the same convention the histogram
+/// scan uses: the `ceil(q·count).max(1)`-th smallest sample.
+fn exact_quantile(sorted: &[u64], q: f64) -> u64 {
+    assert!(!sorted.is_empty());
+    let target = (q * sorted.len() as f64).ceil().max(1.0) as usize;
+    sorted[target - 1]
+}
+
+/// Records every sample into a `LocalHist` and asserts the bucket
+/// bound brackets the exact quantile within the power-of-two envelope
+/// for each of p50/p90/p99.
+fn check_differential(name: &str, samples: &[u64]) {
+    let mut hist = LocalHist::new();
+    for &v in samples {
+        hist.record(v);
+    }
+    let mut sorted = samples.to_vec();
+    sorted.sort_unstable();
+    let snap: HistSnapshot = hist.snap();
+    assert_eq!(snap.count, samples.len() as u64, "{name}: count");
+    assert_eq!(snap.max, *sorted.last().unwrap(), "{name}: max");
+    let qs = snap.percentiles();
+    for (q, bound) in [(0.50, qs.p50), (0.90, qs.p90), (0.99, qs.p99)] {
+        assert_eq!(
+            bound,
+            snap.quantile_bound(q),
+            "{name}: percentiles() and quantile_bound({q}) disagree"
+        );
+        let exact = exact_quantile(&sorted, q);
+        if exact == 0 {
+            assert_eq!(bound, 0, "{name} q={q}: zero quantile must stay zero");
+        } else {
+            assert!(
+                bound > exact,
+                "{name} q={q}: bound {bound} not above exact {exact}"
+            );
+            assert!(
+                bound <= 2 * exact,
+                "{name} q={q}: bound {bound} exceeds 2x exact {exact} \
+                 (bucket-induced relative error above 100%)"
+            );
+        }
+    }
+}
+
+#[test]
+fn uniform_samples_stay_in_the_power_of_two_envelope() {
+    let mut rng = SplitMix(0xACFC_0001);
+    for round in 0..8 {
+        let n = 500 + 700 * round;
+        let samples: Vec<u64> = (0..n).map(|_| rng.next() % 1_000_000).collect();
+        check_differential(&format!("uniform round {round}"), &samples);
+    }
+}
+
+#[test]
+fn bimodal_samples_with_a_heavy_tail() {
+    // 90% fast-path values near 100, 10% tail near 10^6 — the shape of
+    // a latency distribution whose p99 a mean would hide entirely.
+    let mut rng = SplitMix(0xACFC_0002);
+    for round in 0..8 {
+        let samples: Vec<u64> = (0..4000)
+            .map(|_| {
+                if rng.next().is_multiple_of(10) {
+                    900_000 + rng.next() % 200_000
+                } else {
+                    80 + rng.next() % 40
+                }
+            })
+            .collect();
+        check_differential(&format!("bimodal round {round}"), &samples);
+        // The tail actually registers: p99 lands in the slow mode while
+        // p50 stays in the fast one.
+        let mut hist = LocalHist::new();
+        for &v in &samples {
+            hist.record(v);
+        }
+        let q = hist.percentiles();
+        assert!(q.p50 <= 128, "p50 {} escaped the fast mode", q.p50);
+        assert!(q.p99 >= 900_000, "p99 {} missed the tail", q.p99);
+    }
+}
+
+#[test]
+fn degenerate_single_bucket_samples() {
+    // Every sample in one bucket: all three quantiles collapse onto
+    // that bucket's upper edge and still satisfy the envelope.
+    let mut rng = SplitMix(0xACFC_0003);
+    let constant: Vec<u64> = vec![100; 1000];
+    check_differential("constant 100", &constant);
+    let one_bucket: Vec<u64> = (0..1000).map(|_| 64 + rng.next() % 64).collect();
+    check_differential("bucket [64,128)", &one_bucket);
+    let mut hist = LocalHist::new();
+    for &v in &one_bucket {
+        hist.record(v);
+    }
+    let q = hist.percentiles();
+    assert_eq!((q.p50, q.p90, q.p99), (128, 128, 128));
+}
+
+#[test]
+fn zeros_and_small_values_hit_the_exact_buckets() {
+    // Bucket 0 is exactly {0} and bucket 1 exactly {1}: quantiles over
+    // tiny values are exact, not just bounded.
+    let samples: Vec<u64> = std::iter::repeat_n(0u64, 600)
+        .chain(std::iter::repeat_n(1u64, 400))
+        .collect();
+    let mut hist = LocalHist::new();
+    for &v in &samples {
+        hist.record(v);
+    }
+    let q = hist.percentiles();
+    assert_eq!(q.p50, 0, "600 of 1000 samples are zero");
+    assert_eq!(q.p90, 2, "p90 falls in bucket [1,2)");
+    let mut sorted = samples.clone();
+    sorted.sort_unstable();
+    assert_eq!(exact_quantile(&sorted, 0.5), 0);
+    assert_eq!(exact_quantile(&sorted, 0.9), 1);
+}

@@ -17,7 +17,7 @@
 //! exactly, which the determinism tests pin.
 
 use crate::interval::IntervalParams;
-use acfc_util::parallel::{configured_threads, par_map_threads};
+use acfc_util::parallel::{configured_threads, par_map_threads_labeled};
 use acfc_util::rng::Rng;
 
 /// Result of a Monte-Carlo estimation.
@@ -90,7 +90,7 @@ pub fn simulate_interval_threads(
     let chunks: Vec<(usize, usize)> = (0..trials.div_ceil(CHUNK))
         .map(|c| (c, (trials - c * CHUNK).min(CHUNK)))
         .collect();
-    let partials = par_map_threads(&chunks, threads, |_, &(chunk, len)| {
+    let partials = par_map_threads_labeled(&chunks, threads, Some("mc"), |_, &(chunk, len)| {
         let mut rng = Rng::stream(seed, chunk as u64);
         let mut sum = 0.0f64;
         let mut sum_sq = 0.0f64;

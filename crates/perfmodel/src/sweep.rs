@@ -6,7 +6,7 @@
 //! count, so regenerated figures are byte-identical.
 
 use crate::protocols::{ModelParams, ModelProtocol};
-use acfc_util::parallel::par_map;
+use acfc_util::parallel::par_map_labeled;
 
 /// One row of a figure: the x-value plus the overhead ratio of each
 /// protocol (appl-driven, SaS, C-L).
@@ -24,7 +24,7 @@ pub struct Row {
 
 /// Figure 8 — overhead ratio vs. number of processes.
 pub fn figure8(params: &ModelParams, n_values: &[usize]) -> Vec<Row> {
-    par_map(n_values, |_, &n| Row {
+    par_map_labeled(n_values, "fig8", |_, &n| Row {
         x: n as f64,
         app_driven: params.ratio(ModelProtocol::AppDriven, n),
         sas: params.ratio(ModelProtocol::SyncAndStop, n),
@@ -40,7 +40,7 @@ pub fn figure8_default_ns() -> Vec<usize> {
 /// Figure 9 — overhead ratio vs. message setup time `w_m` (seconds) at
 /// fixed `n`.
 pub fn figure9(params: &ModelParams, n: usize, w_m_values: &[f64]) -> Vec<Row> {
-    par_map(w_m_values, |_, &wm| {
+    par_map_labeled(w_m_values, "fig9", |_, &wm| {
         let p = ModelParams { w_m: wm, ..*params };
         Row {
             x: wm,

@@ -10,12 +10,14 @@
 use crate::app_driven::AppDriven;
 use crate::chandy_lamport::ChandyLamport;
 use crate::cic::IndexBasedCic;
+use crate::depgraph::max_consistent_picker;
 use crate::sas::SyncAndStop;
 use crate::uncoordinated::{uncoordinated_hooks, uncoordinated_picker};
 use acfc_mpsl::Program;
+use acfc_obs::{HistSnapshot, Quantiles};
 use acfc_sim::{
-    compile, run_with_failures, run_with_hooks, CutPicker, FailurePlan, Hooks, SimConfig, SimTime,
-    Trace,
+    compile, run_observed_with, run_with_hooks, CutPicker, FailurePlan, Hooks, SimConfig, SimObs,
+    SimTime, Trace,
 };
 
 /// The protocols under comparison.
@@ -106,6 +108,11 @@ pub struct RunStats {
     pub control_bits: u64,
     /// Time stalled in checkpoint overhead + coordination, µs.
     pub ckpt_stall_us: u64,
+    /// Coordination-only share of [`ckpt_stall_us`](RunStats::ckpt_stall_us)
+    /// (wave round-trips, marker floods) — zero for the
+    /// application-driven protocol, which is the paper's headline claim
+    /// as a measured column.
+    pub coord_stall_us: u64,
     /// Failures survived.
     pub failures: u64,
     /// Work lost to rollbacks, µs.
@@ -113,6 +120,29 @@ pub struct RunStats {
     /// Largest per-process rollback depth over all failures
     /// (checkpoints discarded).
     pub max_rollback_depth: u64,
+    /// Message-latency histogram (µs) from the observed run.
+    pub latency: HistSnapshot,
+    /// Event-queue depth histogram sampled at every pop.
+    pub queue_depth: HistSnapshot,
+    /// Interval between consecutive checkpoint starts, µs.
+    pub ckpt_interval: HistSnapshot,
+}
+
+impl RunStats {
+    /// p50/p90/p99 upper bounds of message latency, µs.
+    pub fn latency_percentiles(&self) -> Quantiles {
+        self.latency.percentiles()
+    }
+
+    /// p50/p90/p99 upper bounds of event-queue depth.
+    pub fn queue_depth_percentiles(&self) -> Quantiles {
+        self.queue_depth.percentiles()
+    }
+
+    /// p50/p90/p99 upper bounds of the checkpoint interval, µs.
+    pub fn ckpt_interval_percentiles(&self) -> Quantiles {
+        self.ckpt_interval.percentiles()
+    }
 }
 
 /// Hooks that disable checkpointing entirely (the bare baseline).
@@ -129,7 +159,7 @@ impl Hooks for NoCheckpointing {
     }
 }
 
-fn stats_from(protocol: ProtocolKind, trace: &Trace, bare_secs: f64) -> RunStats {
+fn stats_from(protocol: ProtocolKind, trace: &Trace, obs: &SimObs, bare_secs: f64) -> RunStats {
     let m = &trace.metrics;
     let makespan = trace.makespan_secs();
     let max_rollback_depth = trace
@@ -157,9 +187,13 @@ fn stats_from(protocol: ProtocolKind, trace: &Trace, bare_secs: f64) -> RunStats
         control_messages: m.control_messages,
         control_bits: m.control_bits,
         ckpt_stall_us: m.ckpt_stall_us,
+        coord_stall_us: m.coord_stall_us,
         failures: m.failures,
         lost_us: trace.failures.iter().map(|f| f.lost_us).sum(),
         max_rollback_depth,
+        latency: obs.msg_latency_us.snap(),
+        queue_depth: obs.queue_depth.snap(),
+        ckpt_interval: obs.ckpt_interval_us.snap(),
     }
 }
 
@@ -174,67 +208,106 @@ fn stats_from(protocol: ProtocolKind, trace: &Trace, bare_secs: f64) -> RunStats
 ///
 /// Panics if the application-driven analysis fails on the program.
 pub fn run_protocol(program: &Program, protocol: ProtocolKind, config: &CompareConfig) -> RunStats {
-    let n = config.sim.nprocs;
     let bare = {
         let mut hooks = NoCheckpointing;
         run_with_hooks(&compile(program), &config.sim, &mut hooks)
     };
     let bare_secs = bare.makespan_secs();
-    let trace = match protocol {
+    let mut obs = SimObs::counters();
+    let trace = run_protocol_observed(program, protocol, config, &mut obs);
+    stats_from(protocol, &trace, &obs, bare_secs)
+}
+
+/// Runs `protocol` with a timeline-mode collector and returns both the
+/// trace and the collector — the inputs one
+/// [`acfc_sim::MergedRun`] track group of the merged Perfetto export
+/// needs.
+///
+/// # Panics
+///
+/// Panics if the application-driven analysis fails on the program.
+pub fn run_protocol_timeline(
+    program: &Program,
+    protocol: ProtocolKind,
+    config: &CompareConfig,
+) -> (Trace, SimObs) {
+    let mut obs = SimObs::timeline();
+    let trace = run_protocol_observed(program, protocol, config, &mut obs);
+    (trace, obs)
+}
+
+/// The shared protocol dispatch: one observed run under `protocol`.
+fn run_protocol_observed(
+    program: &Program,
+    protocol: ProtocolKind,
+    config: &CompareConfig,
+    obs: &mut SimObs,
+) -> Trace {
+    let n = config.sim.nprocs;
+    match protocol {
         ProtocolKind::AppDriven => {
             let ad = AppDriven::prepare(program, n.min(acfc_core::attr::MAX_ANALYSIS_RANKS))
                 .unwrap_or_else(|e| panic!("analysis failed: {e}"));
             let mut hooks = ad.hooks();
-            run_with_failures(
+            run_observed_with(
                 &ad.compiled,
                 &config.sim,
                 &mut hooks,
                 config.failures.clone(),
                 ad.picker(),
+                obs,
             )
         }
         ProtocolKind::Uncoordinated => {
             let mut hooks = uncoordinated_hooks(n, config.interval_us, config.skew_us);
-            run_with_failures(
+            run_observed_with(
                 &compile(program),
                 &config.sim,
                 &mut hooks,
                 config.failures.clone(),
                 uncoordinated_picker(),
+                obs,
             )
         }
         ProtocolKind::SyncAndStop => {
             let mut hooks = SyncAndStop::new(n, config.interval_us, config.sim.net.clone());
-            run_with_failures(
+            // The simulator approximates the wave stop with a stall, so
+            // in-flight messages can straddle a wave boundary on
+            // asymmetric workloads; restoring the maximal consistent
+            // line over the wave checkpoints (= latest-per-process when
+            // the wave is tight) keeps recovery orphan-free.
+            run_observed_with(
                 &compile(program),
                 &config.sim,
                 &mut hooks,
                 config.failures.clone(),
-                CutPicker::LatestPerProcess,
+                max_consistent_picker(),
+                obs,
             )
         }
         ProtocolKind::ChandyLamport => {
             let mut hooks = ChandyLamport::new(n, config.interval_us, config.sim.net.clone());
-            run_with_failures(
+            run_observed_with(
                 &compile(program),
                 &config.sim,
                 &mut hooks,
                 config.failures.clone(),
-                CutPicker::LatestPerProcess,
+                max_consistent_picker(),
+                obs,
             )
         }
         ProtocolKind::IndexCic => {
             let mut hooks = IndexBasedCic::new(n, config.interval_us, config.skew_us);
-            run_with_failures(
+            run_observed_with(
                 &compile(program),
                 &config.sim,
                 &mut hooks,
                 config.failures.clone(),
                 CutPicker::AlignedSeq,
+                obs,
             )
         }
-    };
-    stats_from(protocol, &trace, bare_secs)
+    }
 }
 
 /// Runs every protocol on the workload; returns stats in
@@ -246,16 +319,29 @@ pub fn compare_all(program: &Program, config: &CompareConfig) -> Vec<RunStats> {
         .collect()
 }
 
-/// Renders stats as an aligned text table (one row per protocol).
+/// Renders stats as an aligned text table (one row per protocol):
+/// makespans and overhead ratio, checkpoint/control counters, the
+/// coordination-stall column, and message-latency percentile bounds.
 pub fn render_table(stats: &[RunStats]) -> String {
     let mut out = String::new();
     out.push_str(&format!(
-        "{:<14} {:>9} {:>9} {:>9} {:>7} {:>7} {:>9} {:>6} {:>9}\n",
-        "protocol", "makespan", "bare", "ratio", "ckpts", "forced", "ctrl-msgs", "fails", "lost-ms"
+        "{:<14} {:>9} {:>9} {:>9} {:>7} {:>7} {:>9} {:>9} {:>6} {:>9} {:>17}\n",
+        "protocol",
+        "makespan",
+        "bare",
+        "ratio",
+        "ckpts",
+        "forced",
+        "ctrl-msgs",
+        "coord-ms",
+        "fails",
+        "lost-ms",
+        "lat-p50/p90/p99"
     ));
     for s in stats {
+        let q = s.latency_percentiles();
         out.push_str(&format!(
-            "{:<14} {:>8.3}s {:>8.3}s {:>9.4} {:>7} {:>7} {:>9} {:>6} {:>9.1}\n",
+            "{:<14} {:>8.3}s {:>8.3}s {:>9.4} {:>7} {:>7} {:>9} {:>9.1} {:>6} {:>9.1} {:>17}\n",
             s.protocol.name(),
             s.makespan_secs,
             s.bare_secs,
@@ -263,11 +349,47 @@ pub fn render_table(stats: &[RunStats]) -> String {
             s.checkpoints,
             s.forced,
             s.control_messages,
+            s.coord_stall_us as f64 / 1000.0,
             s.failures,
             s.lost_us as f64 / 1000.0,
+            format!("{}/{}/{}µs", q.p50, q.p90, q.p99),
         ));
     }
     out
+}
+
+/// Serialises one run's stats as a flat JSON object (keys stable, for
+/// the machine-readable comparison artifact).
+pub fn stats_json(n: usize, s: &RunStats) -> String {
+    let lat = s.latency_percentiles();
+    let qd = s.queue_depth_percentiles();
+    let ci = s.ckpt_interval_percentiles();
+    acfc_util::bench::Json::new()
+        .num("n", n as f64)
+        .str("protocol", s.protocol.name())
+        .num("completed", if s.completed { 1.0 } else { 0.0 })
+        .num("makespan_secs", s.makespan_secs)
+        .num("bare_secs", s.bare_secs)
+        .num("overhead_ratio", s.overhead_ratio)
+        .num("checkpoints", s.checkpoints as f64)
+        .num("forced_checkpoints", s.forced as f64)
+        .num("control_messages", s.control_messages as f64)
+        .num("control_bits", s.control_bits as f64)
+        .num("ckpt_stall_us", s.ckpt_stall_us as f64)
+        .num("coord_stall_us", s.coord_stall_us as f64)
+        .num("failures", s.failures as f64)
+        .num("lost_us", s.lost_us as f64)
+        .num("max_rollback_depth", s.max_rollback_depth as f64)
+        .num("msg_latency_p50_us", lat.p50 as f64)
+        .num("msg_latency_p90_us", lat.p90 as f64)
+        .num("msg_latency_p99_us", lat.p99 as f64)
+        .num("queue_depth_p50", qd.p50 as f64)
+        .num("queue_depth_p90", qd.p90 as f64)
+        .num("queue_depth_p99", qd.p99 as f64)
+        .num("ckpt_interval_p50_us", ci.p50 as f64)
+        .num("ckpt_interval_p90_us", ci.p90 as f64)
+        .num("ckpt_interval_p99_us", ci.p99 as f64)
+        .render()
 }
 
 #[cfg(test)]
@@ -294,7 +416,52 @@ mod tests {
         }
         let table = render_table(&stats);
         assert!(table.contains("appl-driven"));
+        assert!(table.contains("coord-ms"));
+        assert!(table.contains("lat-p50/p90/p99"));
         assert!(table.lines().count() >= 6);
+        // Every run observed the same workload's messages, so the
+        // latency histograms are populated and their percentile bounds
+        // are ordered.
+        for s in &stats {
+            assert!(s.latency.count > 0, "{}", s.protocol.name());
+            let q = s.latency_percentiles();
+            assert!(q.p50 <= q.p90 && q.p90 <= q.p99);
+            assert!(s.queue_depth.count > 0);
+        }
+    }
+
+    #[test]
+    fn coordination_stall_separates_coordinated_from_free() {
+        let cfg = CompareConfig::new(4, 60_000);
+        let stats = compare_all(&workload(), &cfg);
+        let by = |k: ProtocolKind| stats.iter().find(|s| s.protocol == k).unwrap();
+        assert_eq!(by(ProtocolKind::AppDriven).coord_stall_us, 0);
+        assert_eq!(by(ProtocolKind::Uncoordinated).coord_stall_us, 0);
+        assert!(by(ProtocolKind::SyncAndStop).coord_stall_us > 0);
+        assert!(by(ProtocolKind::ChandyLamport).coord_stall_us > 0);
+        // The coordination share never exceeds the total stall.
+        for s in &stats {
+            assert!(s.coord_stall_us <= s.ckpt_stall_us, "{}", s.protocol.name());
+        }
+    }
+
+    #[test]
+    fn stats_json_carries_percentile_fields() {
+        let cfg = CompareConfig::new(2, 60_000);
+        let s = run_protocol(&workload(), ProtocolKind::AppDriven, &cfg);
+        let json = stats_json(2, &s);
+        for key in [
+            "\"protocol\": \"appl-driven\"",
+            "\"forced_checkpoints\"",
+            "\"control_messages\"",
+            "\"coord_stall_us\"",
+            "\"msg_latency_p50_us\"",
+            "\"msg_latency_p99_us\"",
+            "\"queue_depth_p90\"",
+            "\"ckpt_interval_p99_us\"",
+        ] {
+            assert!(json.contains(key), "missing {key} in {json}");
+        }
     }
 
     #[test]

@@ -109,6 +109,22 @@ pub fn max_consistent_line_of(trace: &Trace) -> Vec<u64> {
     max_consistent_line(&index, trace.messages.iter())
 }
 
+/// A [`CutPicker`] that restores the maximal consistent line over the
+/// live checkpoints, by rollback propagation. Coincides with
+/// latest-per-process whenever the latest checkpoints already form a
+/// recovery line (a tight coordinated wave), and backs off the minimal
+/// amount when they do not — so a protocol using it never restores an
+/// orphaning line, whatever its checkpoint schedule.
+pub fn max_consistent_picker() -> acfc_sim::CutPicker {
+    acfc_sim::CutPicker::Custom(Box::new(|view| {
+        let index = IntervalIndex::from_view(view);
+        let line = max_consistent_line(&index, view.messages.iter());
+        line.into_iter()
+            .map(|keep| if keep == 0 { None } else { Some(keep) })
+            .collect()
+    }))
+}
+
 /// Rollback depth per process implied by the maximal consistent line:
 /// how many of its checkpoints each process must discard. A depth that
 /// reaches the checkpoint count means full restart — the domino effect.

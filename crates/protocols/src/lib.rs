@@ -47,9 +47,17 @@ pub mod uncoordinated;
 pub use app_driven::AppDriven;
 pub use chandy_lamport::{cl_control_messages, cl_message_overhead_us, ChandyLamport};
 pub use cic::IndexBasedCic;
-pub use compare::{compare_all, render_table, run_protocol, CompareConfig, ProtocolKind, RunStats};
-pub use depgraph::{max_consistent_line, max_consistent_line_of, rollback_depths, IntervalIndex};
+pub use compare::{
+    compare_all, render_table, run_protocol, run_protocol_timeline, stats_json, CompareConfig,
+    ProtocolKind, RunStats,
+};
+pub use depgraph::{
+    max_consistent_line, max_consistent_line_of, max_consistent_picker, rollback_depths,
+    IntervalIndex,
+};
 pub use domino::{domino_report, domino_stream, DominoReport};
 pub use sas::{sas_control_messages, sas_message_overhead_us, SyncAndStop};
-pub use sweep::{empirical_sweep, render_sweep, SweepConfig, SweepRow};
+pub use sweep::{
+    empirical_sweep, empirical_sweep_with, render_sweep, render_sweep_json, SweepConfig, SweepRow,
+};
 pub use uncoordinated::{uncoordinated_hooks, uncoordinated_picker};

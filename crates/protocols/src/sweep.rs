@@ -7,10 +7,10 @@
 //! `λ(n) ∝ n`) and reporting the *measured* overhead ratio of each
 //! protocol against a bare, checkpoint-free run.
 
-use crate::compare::{run_protocol, CompareConfig, ProtocolKind, RunStats};
+use crate::compare::{run_protocol, stats_json, CompareConfig, ProtocolKind, RunStats};
 use acfc_mpsl::{programs, Program};
 use acfc_sim::{FailurePlan, SimConfig, SimTime};
-use acfc_util::parallel::par_map;
+use acfc_util::parallel::par_map_labeled;
 use std::fmt::Write;
 
 /// Configuration of an empirical sweep.
@@ -61,8 +61,19 @@ pub struct SweepRow {
 /// overrides) and are flattened back in `ns` order: the report is
 /// identical at any thread count.
 pub fn empirical_sweep(config: &SweepConfig) -> Vec<SweepRow> {
-    let columns = par_map(&config.ns, |_, &n| {
-        let program = (config.workload)(n);
+    empirical_sweep_with(config, &config.workload)
+}
+
+/// Like [`empirical_sweep`] but with a caller-supplied workload
+/// closure, so a program loaded at runtime (the `acfc compare --sweep`
+/// path) can be swept without fitting the `fn(usize) -> Program`
+/// factory shape.
+pub fn empirical_sweep_with(
+    config: &SweepConfig,
+    workload: &(dyn Fn(usize) -> Program + Sync),
+) -> Vec<SweepRow> {
+    let columns = par_map_labeled(&config.ns, "sweep", |_, &n| {
+        let program = workload(n);
         // Probe the failure-free makespan to size the failure horizon.
         let probe = acfc_sim::run(
             &acfc_sim::compile(&program),
@@ -86,25 +97,54 @@ pub fn empirical_sweep(config: &SweepConfig) -> Vec<SweepRow> {
 }
 
 /// Renders the sweep as a TSV table (`n`, protocol, ratio, checkpoints,
-/// forced, control messages, failures, lost ms).
+/// forced, control messages, coordination stall, failures, lost ms,
+/// latency percentile bounds).
 pub fn render_sweep(rows: &[SweepRow]) -> String {
-    let mut out = String::from("n\tprotocol\tratio\tckpts\tforced\tctrl_msgs\tfails\tlost_ms\n");
+    let mut out = String::from(
+        "n\tprotocol\tratio\tckpts\tforced\tctrl_msgs\tcoord_ms\tfails\tlost_ms\t\
+         lat_p50_us\tlat_p90_us\tlat_p99_us\n",
+    );
     for r in rows {
         let s = &r.stats;
+        let q = s.latency_percentiles();
         let _ = writeln!(
             out,
-            "{}\t{}\t{:.4}\t{}\t{}\t{}\t{}\t{:.1}",
+            "{}\t{}\t{:.4}\t{}\t{}\t{}\t{:.1}\t{}\t{:.1}\t{}\t{}\t{}",
             r.n,
             s.protocol.name(),
             s.overhead_ratio,
             s.checkpoints,
             s.forced,
             s.control_messages,
+            s.coord_stall_us as f64 / 1000.0,
             s.failures,
-            s.lost_us as f64 / 1000.0
+            s.lost_us as f64 / 1000.0,
+            q.p50,
+            q.p90,
+            q.p99,
         );
     }
     out
+}
+
+/// Serialises the sweep as one machine-readable JSON document: the
+/// workload name plus a `runs` array with one flat object per
+/// (`n`, protocol) pair — the artifact behind `acfc compare --sweep
+/// --json`.
+pub fn render_sweep_json(workload: &str, rows: &[SweepRow]) -> String {
+    let runs: Vec<String> = rows
+        .iter()
+        .map(|r| {
+            stats_json(r.n, &r.stats)
+                .lines()
+                .collect::<Vec<_>>()
+                .join(" ")
+        })
+        .collect();
+    acfc_util::bench::Json::new()
+        .str("workload", workload)
+        .raw("runs", format!("[\n  {}\n  ]", runs.join(",\n  ")))
+        .render()
 }
 
 #[cfg(test)]
@@ -132,6 +172,44 @@ mod tests {
         let tsv = render_sweep(&rows);
         assert_eq!(tsv.lines().count(), 11);
         assert!(tsv.contains("appl-driven"));
+        assert!(tsv.contains("coord_ms"));
+        assert!(tsv.contains("lat_p99_us"));
+    }
+
+    #[test]
+    fn sweep_json_lists_every_run_with_percentiles() {
+        let config = SweepConfig {
+            ns: vec![2],
+            lambda_per_proc: 0.2,
+            ..SweepConfig::default()
+        };
+        let rows = empirical_sweep(&config);
+        let json = render_sweep_json("jacobi", &rows);
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains("\"workload\": \"jacobi\""));
+        for kind in ProtocolKind::all() {
+            assert!(json.contains(&format!("\"protocol\": \"{}\"", kind.name())));
+        }
+        assert_eq!(json.matches("\"msg_latency_p99_us\"").count(), 5);
+        assert_eq!(json.matches("\"coord_stall_us\"").count(), 5);
+    }
+
+    #[test]
+    fn sweep_with_runtime_workload_matches_factory_sweep() {
+        let config = SweepConfig {
+            ns: vec![2],
+            lambda_per_proc: 0.5,
+            ..SweepConfig::default()
+        };
+        let a = empirical_sweep(&config);
+        let b = empirical_sweep_with(&config, &|_| programs::jacobi(10));
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.n, y.n);
+            assert_eq!(x.stats.protocol, y.stats.protocol);
+            assert_eq!(x.stats.makespan_secs, y.stats.makespan_secs);
+            assert_eq!(x.stats.control_messages, y.stats.control_messages);
+        }
     }
 
     #[test]

@@ -7,7 +7,6 @@
 //! propagation over the dependency graph and may cascade (the domino
 //! effect).
 
-use crate::depgraph::{max_consistent_line, IntervalIndex};
 use acfc_sim::{CutPicker, TimerCheckpoints};
 
 /// Hooks for the uncoordinated protocol: independent, skewed timers;
@@ -20,13 +19,7 @@ pub fn uncoordinated_hooks(nprocs: usize, interval_us: u64, skew_us: u64) -> Tim
 /// **maximal consistent global checkpoint** by rollback propagation and
 /// restore it (possibly all the way back to the initial states).
 pub fn uncoordinated_picker() -> CutPicker {
-    CutPicker::Custom(Box::new(|view| {
-        let index = IntervalIndex::from_view(view);
-        let line = max_consistent_line(&index, view.messages.iter());
-        line.into_iter()
-            .map(|keep| if keep == 0 { None } else { Some(keep) })
-            .collect()
-    }))
+    crate::depgraph::max_consistent_picker()
 }
 
 #[cfg(test)]

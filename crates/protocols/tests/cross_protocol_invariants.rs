@@ -1,0 +1,137 @@
+//! Cross-protocol invariants behind the comparison dashboard: the
+//! numbers `acfc compare` tabulates are only meaningful if the
+//! protocols actually behave as labeled. Pins, over seeded workloads
+//! and failure plans:
+//!
+//! * the application-driven protocol is *coordination-free as
+//!   measured* — zero forced checkpoints, zero control messages, zero
+//!   coordination stall;
+//! * the coordinated baselines really do coordinate — nonzero control
+//!   traffic (SaS, C-L) or forced checkpoints (CIC);
+//! * every protocol's restored recovery lines pass the
+//!   `acfc_sim::consistency` checkers (vector-clock violations and the
+//!   orphan-message oracle agree: no orphans).
+
+use acfc_mpsl::{programs, Program};
+use acfc_protocols::{run_protocol, run_protocol_timeline, CompareConfig, ProtocolKind};
+use acfc_sim::{consistency, FailurePlan, SimTime, Trace};
+
+/// Seeded workloads: (program, nprocs) pairs with distinct
+/// communication shapes.
+fn workloads() -> Vec<(Program, usize)> {
+    vec![
+        (programs::jacobi(8), 4),
+        (programs::stencil_1d(6), 4),
+        (programs::master_worker(6), 4),
+    ]
+}
+
+/// A fixed three-failure storm that reliably forces rollbacks on the
+/// workloads above.
+fn storm() -> FailurePlan {
+    FailurePlan::at(vec![
+        (SimTime::from_millis(90), 0),
+        (SimTime::from_millis(210), 1),
+        (SimTime::from_millis(330), 2),
+    ])
+}
+
+fn seeded_config(n: usize, seed: u64) -> CompareConfig {
+    let mut cfg = CompareConfig::new(n, 60_000);
+    cfg.sim = cfg.sim.with_seed(seed);
+    cfg.failures = FailurePlan::exponential(n, 1.0, SimTime::from_millis(400), seed);
+    cfg
+}
+
+#[test]
+fn app_driven_is_coordination_free_on_every_seeded_workload() {
+    for (program, n) in workloads() {
+        for seed in [1u64, 7, 42] {
+            let cfg = seeded_config(n, seed);
+            let s = run_protocol(&program, ProtocolKind::AppDriven, &cfg);
+            let ctx = format!("{} n={n} seed={seed}", program.name);
+            assert!(s.completed, "{ctx}: did not complete");
+            assert_eq!(s.forced, 0, "{ctx}: forced checkpoints");
+            assert_eq!(s.control_messages, 0, "{ctx}: control messages");
+            assert_eq!(s.control_bits, 0, "{ctx}: control bits");
+            assert_eq!(s.coord_stall_us, 0, "{ctx}: coordination stall");
+        }
+    }
+}
+
+#[test]
+fn coordinated_baselines_pay_measurable_coordination() {
+    for (program, n) in workloads() {
+        let cfg = seeded_config(n, 3);
+        let ctx = &program.name;
+        let sas = run_protocol(&program, ProtocolKind::SyncAndStop, &cfg);
+        assert!(sas.completed && sas.control_messages > 0, "{ctx}: SaS");
+        assert!(sas.coord_stall_us > 0, "{ctx}: SaS stall");
+        let cl = run_protocol(&program, ProtocolKind::ChandyLamport, &cfg);
+        assert!(cl.completed && cl.control_messages > 0, "{ctx}: C-L");
+        // CIC coordinates through the data plane instead: piggybacked
+        // indices force checkpoints but send no extra messages.
+        let cic = run_protocol(&program, ProtocolKind::IndexCic, &cfg);
+        assert!(cic.completed, "{ctx}: CIC");
+        assert_eq!(cic.control_messages, 0, "{ctx}: CIC piggybacks only");
+        assert!(cic.forced > 0, "{ctx}: CIC forced checkpoints");
+    }
+}
+
+/// Checks every failure's restored line that survives to the end of
+/// the run (later failures can discard a restored checkpoint, in which
+/// case the cut no longer resolves); returns how many were checked.
+fn restored_lines_pass_consistency(trace: &Trace, ctx: &str) -> usize {
+    let mut checked = 0;
+    for f in &trace.failures {
+        let Some(cut): Option<Vec<u64>> = f.restored_seq.iter().copied().collect() else {
+            continue; // a process restored to its initial state
+        };
+        let Some(records) = consistency::resolve_cut(trace, &cut) else {
+            continue;
+        };
+        let violations = consistency::cut_violations(&records);
+        assert!(
+            violations.is_empty(),
+            "{ctx}: restored line {cut:?} at {:?} has clock violations: {violations:?}",
+            f.at
+        );
+        assert!(
+            consistency::cut_consistency_oracle(trace, &cut),
+            "{ctx}: restored line {cut:?} at {:?} orphans a message",
+            f.at
+        );
+        checked += 1;
+    }
+    checked
+}
+
+#[test]
+fn every_protocols_recovery_line_is_consistent() {
+    let mut checked = 0;
+    for (program, n) in workloads() {
+        for kind in ProtocolKind::all() {
+            let mut cfg = CompareConfig::new(n, 60_000);
+            cfg.failures = storm();
+            let (trace, _obs) = run_protocol_timeline(&program, kind, &cfg);
+            let ctx = format!("{} under {}", program.name, kind.name());
+            assert!(trace.completed(), "{ctx}: did not complete");
+            assert_eq!(trace.metrics.failures, 3, "{ctx}");
+            checked += restored_lines_pass_consistency(&trace, &ctx);
+            if kind == ProtocolKind::AppDriven {
+                // The paper's guarantee is stronger for app-driven:
+                // *every* straight cut is a recovery line, not just the
+                // ones recovery happened to use.
+                assert!(
+                    consistency::all_straight_cuts_consistent(&trace),
+                    "{ctx}: straight cuts {:?}",
+                    consistency::straight_cut_failures(&trace)
+                );
+            }
+        }
+    }
+    assert!(
+        checked >= 10,
+        "only {checked} restored lines were checkable — storm too weak"
+    );
+}

@@ -188,6 +188,14 @@ struct Engine<'a> {
     /// Opt-in per-run observability collector; `None` (the default
     /// entry points) costs one never-taken branch per probe.
     obs: Option<&'a mut SimObs>,
+    /// Events popped off the queue — counted unconditionally (one
+    /// plain add beats an `Option` branch in the hot loop) and copied
+    /// into [`SimObs`] when a collector is attached.
+    events_processed: u64,
+    /// Run-ahead fast-path hits, same unconditional scheme.
+    run_ahead_hits: u64,
+    /// Per-process simulated compute µs, same unconditional scheme.
+    compute_us: Vec<u64>,
 }
 
 const INLINE_BUDGET: u32 = 256;
@@ -274,6 +282,9 @@ impl<'a> Engine<'a> {
             use_timer_hook,
             passive_hooks,
             obs,
+            events_processed: 0,
+            run_ahead_hits: 0,
+            compute_us: vec![0; n],
         };
         for p in 0..n {
             engine.push(SimTime::ZERO, Ev::Ready { p, epoch: 0 });
@@ -311,9 +322,11 @@ impl<'a> Engine<'a> {
             }
             let t = SimTime(key.0);
             self.note_time(t);
-            if let Some(o) = self.obs.as_deref_mut() {
-                o.events_processed += 1;
-                o.queue_depth.record(self.queue.len() as u64);
+            self.events_processed += 1;
+            if self.events_processed & 7 == 0 {
+                if let Some(o) = self.obs.as_deref_mut() {
+                    o.queue_depth.record(self.queue.len() as u64);
+                }
             }
             match ev {
                 Ev::Ready { p, epoch } => {
@@ -347,6 +360,13 @@ impl<'a> Engine<'a> {
             }
         });
         self.metrics.instructions = self.procs.iter().map(|p| p.executed).sum();
+        if let Some(o) = self.obs.as_deref_mut() {
+            o.events_processed += self.events_processed;
+            o.run_ahead_hits += self.run_ahead_hits;
+            for (p, &us) in self.compute_us.iter().enumerate() {
+                o.per_proc[p].compute_us += us;
+            }
+        }
         Trace {
             nprocs: self.config.nprocs,
             program: self.compiled.name.clone(),
@@ -466,9 +486,7 @@ impl<'a> Engine<'a> {
                     };
                     now +=
                         c * self.config.cost.compute_unit_us + self.config.cost.instr_overhead_us;
-                    if let Some(o) = self.obs.as_deref_mut() {
-                        o.per_proc[p].compute_us += c * self.config.cost.compute_unit_us;
-                    }
+                    self.compute_us[p] += c * self.config.cost.compute_unit_us;
                     self.procs[p].pc = pc + 1;
                     if self.can_run_ahead(now) {
                         self.mark_progress(p, now);
@@ -614,9 +632,7 @@ impl<'a> Engine<'a> {
     fn mark_progress(&mut self, p: usize, now: SimTime) {
         self.procs[p].now = now;
         self.note_time(now);
-        if let Some(o) = self.obs.as_deref_mut() {
-            o.run_ahead_hits += 1;
-        }
+        self.run_ahead_hits += 1;
     }
 
     fn yield_ready(&mut self, p: usize, now: SimTime) {
@@ -797,6 +813,7 @@ impl<'a> Engine<'a> {
             o.on_ckpt_stall(p, start.as_micros(), now.as_micros());
         }
         self.metrics.ckpt_stall_us += stall;
+        self.metrics.coord_stall_us += coord.stall_us;
         self.metrics.control_messages += coord.control_messages;
         self.metrics.control_bits += coord.control_bits;
         match trigger {

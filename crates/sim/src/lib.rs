@@ -64,7 +64,7 @@ pub use export::{checkpoints_tsv, golden, messages_tsv, spacetime, summary};
 pub use failure::{CutPicker, FailurePlan, PickerFn, RecoveryView};
 pub use hooks::{CoordinationCost, Hooks, NoHooks, RecvAction, TimerCheckpoints};
 pub use obs::{ProcObs, SimObs};
-pub use perfetto::{timeline, timeline_json};
+pub use perfetto::{merged_timeline, merged_timeline_json, timeline, timeline_json, MergedRun};
 pub use stats::{render_stats, trace_stats, ProcBreakdown, TraceStats};
 pub use time::SimTime;
 pub use trace::{

@@ -70,9 +70,82 @@ impl TrackEv<'_> {
 /// in [`SimObs::timeline`] mode). The returned builder validates
 /// structurally; call `.render()` for the JSON document.
 pub fn timeline(trace: &Trace, obs: &SimObs) -> TraceBuilder {
-    let n = trace.nprocs;
     let mut tb = TraceBuilder::new();
-    tb.process_name(SIM_PID, &format!("{} (simulated time)", trace.program));
+    emit_run(
+        &mut tb,
+        SIM_PID,
+        &format!("{} (simulated time)", trace.program),
+        trace,
+        obs,
+        0,
+    );
+    tb
+}
+
+/// One labeled run of a multi-protocol comparison, ready for
+/// [`merged_timeline`].
+#[derive(Debug)]
+pub struct MergedRun<'a> {
+    /// Track-group label (typically the protocol name).
+    pub label: &'a str,
+    /// The run's trace.
+    pub trace: &'a Trace,
+    /// The run's collector, in [`SimObs::timeline`] mode.
+    pub obs: &'a SimObs,
+}
+
+/// Merges several runs of the *same* program — one per protocol — into
+/// a single Perfetto document: one `pid` (track group) per protocol,
+/// each with the identical per-process track structure the
+/// single-run [`timeline`] emits. Loading the result shows the
+/// "coordination-free vs coordinated" story in one tab: the same
+/// workload's timelines stacked, stalls and extra checkpoints lining
+/// up against the app-driven baseline.
+///
+/// Flow-arrow ids are namespaced per run so message arrows never
+/// alias across protocols.
+pub fn merged_timeline(runs: &[MergedRun<'_>]) -> TraceBuilder {
+    let mut tb = TraceBuilder::new();
+    let mut flow_base = 0u64;
+    for (i, run) in runs.iter().enumerate() {
+        let pid = i as u64 + 1;
+        emit_run(
+            &mut tb,
+            pid,
+            &format!("{} — {}", run.label, run.trace.program),
+            run.trace,
+            run.obs,
+            flow_base,
+        );
+        flow_base += run.trace.messages.len() as u64;
+    }
+    tb
+}
+
+/// Convenience: builds, validates, and renders the merged JSON.
+/// Panics on a structurally invalid trace (an exporter bug, not user
+/// error), like [`timeline_json`].
+pub fn merged_timeline_json(runs: &[MergedRun<'_>]) -> String {
+    let tb = merged_timeline(runs);
+    if let Err(e) = tb.validate() {
+        panic!("merged simulated-time trace failed validation: {e}");
+    }
+    tb.render()
+}
+
+/// Emits one run's tracks under `pid`, offsetting flow ids by
+/// `flow_base` (message ids are indices into `trace.messages`, so a
+/// base of the preceding runs' message counts keeps ids disjoint).
+fn emit_run(
+    tb: &mut TraceBuilder,
+    pid: u64,
+    title: &str,
+    trace: &Trace,
+    obs: &SimObs,
+    flow_base: u64,
+) {
+    let n = trace.nprocs;
+    tb.process_name(pid, title);
 
     // Non-overlapping busy intervals per process, then compute slices
     // as the gaps up to the process's last activity.
@@ -97,13 +170,13 @@ pub fn timeline(trace: &Trace, obs: &SimObs) -> TraceBuilder {
     let mut flows: Vec<Vec<TrackEv>> = vec![Vec::new(); n];
     for m in trace.live_messages() {
         let Some(recv_at) = m.recv_at else { continue };
-        let id = m.id.0;
+        let id = flow_base + m.id.0;
         flows[m.from].push(TrackEv::Flow(m.sent_at.as_micros(), true, id, "msg"));
         flows[m.to].push(TrackEv::Flow(recv_at.as_micros(), false, id, "msg"));
     }
 
     for (p, mut busy) in per_proc.into_iter().enumerate() {
-        tb.thread_name(SIM_PID, p as u64, &format!("P{p}"));
+        tb.thread_name(pid, p as u64, &format!("P{p}"));
         busy.sort_unstable_by_key(|&(s, e, _)| (s, e));
         let end = trace.proc_end[p].as_micros();
         let mut evs: Vec<TrackEv> = Vec::with_capacity(busy.len() * 2 + flows[p].len());
@@ -126,10 +199,10 @@ pub fn timeline(trace: &Trace, obs: &SimObs) -> TraceBuilder {
         evs.sort_by_key(|e| (e.ts(), e.rank()));
         for ev in evs {
             match ev {
-                TrackEv::Begin(ts, kind) => tb.begin(SIM_PID, p as u64, ts, kind.name(), "sim"),
-                TrackEv::End(ts) => tb.end(SIM_PID, p as u64, ts),
-                TrackEv::Flow(ts, true, id, name) => tb.flow_start(SIM_PID, p as u64, ts, name, id),
-                TrackEv::Flow(ts, false, id, name) => tb.flow_end(SIM_PID, p as u64, ts, name, id),
+                TrackEv::Begin(ts, kind) => tb.begin(pid, p as u64, ts, kind.name(), "sim"),
+                TrackEv::End(ts) => tb.end(pid, p as u64, ts),
+                TrackEv::Flow(ts, true, id, name) => tb.flow_start(pid, p as u64, ts, name, id),
+                TrackEv::Flow(ts, false, id, name) => tb.flow_end(pid, p as u64, ts, name, id),
             }
         }
     }
@@ -140,14 +213,13 @@ pub fn timeline(trace: &Trace, obs: &SimObs) -> TraceBuilder {
     // so marker timestamps never interleave with slice ordering; cut
     // times are monotone in `i`, satisfying the track's ordering.
     let marker_tid = n as u64;
-    tb.thread_name(SIM_PID, marker_tid, "recovery lines");
+    tb.thread_name(pid, marker_tid, "recovery lines");
     for i in 1..=trace.aligned_depth() as u64 {
         if let Some(cut) = trace.straight_cut(i) {
             let at = cut.iter().map(|c| c.start.as_micros()).max().unwrap_or(0);
-            tb.instant(SIM_PID, marker_tid, at, &format!("recovery line S{i}"), 'g');
+            tb.instant(pid, marker_tid, at, &format!("recovery line S{i}"), 'g');
         }
     }
-    tb
 }
 
 /// Convenience: builds, validates, and renders the timeline JSON.
@@ -193,6 +265,36 @@ mod tests {
         let ends = json.matches("\"ph\": \"f\"").count();
         assert_eq!(starts, trace.messages.len());
         assert_eq!(ends, starts);
+    }
+
+    #[test]
+    fn merged_timeline_keeps_runs_disjoint_and_valid() {
+        let c = compile(&programs::pingpong(2));
+        let mut runs = Vec::new();
+        for _ in 0..3 {
+            let mut obs = SimObs::timeline();
+            let trace = run_observed(&c, &SimConfig::new(2), &mut obs);
+            assert!(trace.completed());
+            runs.push((trace, obs));
+        }
+        let labeled: Vec<MergedRun> = runs
+            .iter()
+            .zip(["appl-driven", "SaS", "C-L"])
+            .map(|((trace, obs), label)| MergedRun { label, trace, obs })
+            .collect();
+        let tb = merged_timeline(&labeled);
+        assert!(tb.validate().is_ok(), "{:?}", tb.validate());
+        let json = tb.render();
+        // One pid per protocol, each labeled with protocol + program.
+        for (i, label) in ["appl-driven", "SaS", "C-L"].iter().enumerate() {
+            assert!(json.contains(&format!("\"pid\": {}", i + 1)));
+            assert!(json.contains(&format!("{} — {}", label, runs[i].0.program)));
+        }
+        // Every run's flow arrows survive: ids are offset per run, so
+        // identical traces still contribute distinct arrows.
+        let total_msgs: usize = runs.iter().map(|(t, _)| t.messages.len()).sum();
+        assert_eq!(json.matches("\"ph\": \"s\"").count(), total_msgs);
+        assert_eq!(json.matches("\"ph\": \"f\"").count(), total_msgs);
     }
 
     #[test]

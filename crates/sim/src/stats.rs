@@ -4,6 +4,7 @@
 
 use crate::time::SimTime;
 use crate::trace::Trace;
+use acfc_obs::{HistSnapshot, LocalHist, Quantiles};
 use std::fmt::Write;
 
 /// Per-process time breakdown (microseconds).
@@ -33,6 +34,28 @@ pub struct TraceStats {
     /// Mean interval between consecutive checkpoints of the same
     /// process, µs (0 if fewer than two checkpoints anywhere).
     pub mean_ckpt_interval_us: f64,
+    /// Full latency distribution of received live messages, µs —
+    /// power-of-two buckets carrying p50/p90/p99
+    /// ([`HistSnapshot::percentiles`]) so tail regressions are visible,
+    /// not just mean shifts. `latency.mean()` equals
+    /// [`mean_latency_us`](TraceStats::mean_latency_us) and
+    /// `latency.max` equals [`max_latency_us`](TraceStats::max_latency_us).
+    pub latency: HistSnapshot,
+    /// Full distribution of start-to-start intervals between
+    /// consecutive live checkpoints of the same process, µs.
+    pub ckpt_interval: HistSnapshot,
+}
+
+impl TraceStats {
+    /// p50/p90/p99 bucket bounds of the message latency, µs.
+    pub fn latency_percentiles(&self) -> Quantiles {
+        self.latency.percentiles()
+    }
+
+    /// p50/p90/p99 bucket bounds of the checkpoint interval, µs.
+    pub fn ckpt_interval_percentiles(&self) -> Quantiles {
+        self.ckpt_interval.percentiles()
+    }
 }
 
 /// Computes statistics over the live events of a trace.
@@ -47,6 +70,7 @@ pub fn trace_stats(trace: &Trace) -> TraceStats {
     let mut lat_sum = 0u128;
     let mut lat_n = 0u64;
     let mut lat_max = 0u64;
+    let mut latency = LocalHist::new();
     for m in trace.live_messages() {
         traffic_bits[m.from][m.to] += m.size_bits;
         messages += 1;
@@ -55,6 +79,7 @@ pub fn trace_stats(trace: &Trace) -> TraceStats {
             lat_sum += lat as u128;
             lat_n += 1;
             lat_max = lat_max.max(lat);
+            latency.record(lat);
             // Blocked time approximation: receive completion minus
             // delivery is bookkeeping; the engine's metric holds the
             // exact number. Here we attribute per process from the
@@ -64,6 +89,7 @@ pub fn trace_stats(trace: &Trace) -> TraceStats {
     // Checkpoint stall per process and inter-checkpoint intervals.
     let mut interval_sum = 0u128;
     let mut interval_n = 0u64;
+    let mut ckpt_interval = LocalHist::new();
     #[allow(clippy::needless_range_loop)]
     for p in 0..n {
         let ckpts = trace.live_checkpoints(p);
@@ -75,8 +101,10 @@ pub fn trace_stats(trace: &Trace) -> TraceStats {
             procs[p].ckpt_us += c.durable_at.saturating_sub(c.start).as_micros();
         }
         for w in ckpts.windows(2) {
-            interval_sum += (w[1].start.saturating_sub(w[0].start)).as_micros() as u128;
+            let gap = (w[1].start.saturating_sub(w[0].start)).as_micros();
+            interval_sum += gap as u128;
             interval_n += 1;
+            ckpt_interval.record(gap);
         }
     }
     // Engine-exact blocked time is global; attribute it evenly as an
@@ -101,6 +129,8 @@ pub fn trace_stats(trace: &Trace) -> TraceStats {
         } else {
             0.0
         },
+        latency: latency.snap(),
+        ckpt_interval: ckpt_interval.snap(),
     }
 }
 
@@ -114,6 +144,18 @@ pub fn render_stats(stats: &TraceStats) -> String {
         stats.mean_latency_us,
         stats.max_latency_us,
         stats.mean_ckpt_interval_us / 1000.0
+    );
+    let lat = stats.latency_percentiles();
+    let ivl = stats.ckpt_interval_percentiles();
+    let _ = writeln!(
+        out,
+        "latency p50/p90/p99 < {}/{}/{} µs; checkpoint interval p50/p90/p99 < {:.1}/{:.1}/{:.1} ms",
+        lat.p50,
+        lat.p90,
+        lat.p99,
+        ivl.p50 as f64 / 1000.0,
+        ivl.p90 as f64 / 1000.0,
+        ivl.p99 as f64 / 1000.0
     );
     for (p, b) in stats.procs.iter().enumerate() {
         let _ = writeln!(
@@ -231,6 +273,19 @@ mod tests {
         // at least one round trip (2 × 101 µs) plus the 2000 µs
         // checkpoint stall of the previous iteration.
         assert!(s.mean_ckpt_interval_us > 2.0 * 101.0 + 2000.0);
+        // Histogram-native view agrees with the scalar pins: every
+        // latency is exactly 101 µs, so all three percentiles land on
+        // the [64,128) bucket's upper edge.
+        assert_eq!(s.latency.count, 4);
+        assert_eq!(s.latency.mean(), s.mean_latency_us);
+        assert_eq!(s.latency.max, s.max_latency_us);
+        let q = s.latency_percentiles();
+        assert_eq!((q.p50, q.p90, q.p99), (128, 128, 128));
+        // One interval per process (2 checkpoints each).
+        assert_eq!(s.ckpt_interval.count, 2);
+        assert_eq!(s.ckpt_interval.mean(), s.mean_ckpt_interval_us);
+        let q = s.ckpt_interval_percentiles();
+        assert!(q.p50 > 0 && q.p50 <= q.p99);
     }
 
     /// The per-run [`SimObs`] counters and the post-hoc [`trace_stats`]
@@ -253,6 +308,16 @@ mod tests {
         assert_eq!(lat.count, s.messages);
         assert_eq!(lat.mean(), s.mean_latency_us);
         assert_eq!(lat.max, s.max_latency_us);
+        // Bucket-for-bucket: the online histogram and the post-hoc one
+        // saw the identical multiset of latencies, so the percentiles
+        // agree exactly too.
+        assert_eq!(lat, s.latency);
+        assert_eq!(lat.percentiles(), s.latency_percentiles());
+
+        // Checkpoint intervals: failure-free, so the online
+        // (all-checkpoints) and post-hoc (live-checkpoints) interval
+        // histograms are the same distribution.
+        assert_eq!(obs.ckpt_interval_us.snap(), s.ckpt_interval);
 
         // Blocked time: the collector attributes per process what the
         // engine metric accumulates globally, at the same probe site.
@@ -268,7 +333,8 @@ mod tests {
         // and ran ahead at least once on this workload.
         assert!(obs.events_processed >= obs.messages_delivered);
         assert!(obs.run_ahead_hits > 0);
-        assert!(obs.queue_depth.snap().count == obs.events_processed);
+        // Queue depth is systematically sampled at 1-in-8 event pops.
+        assert_eq!(obs.queue_depth.snap().count, obs.events_processed / 8);
     }
 
     #[test]

@@ -313,6 +313,13 @@ pub struct Metrics {
     /// Total µs processes spent stalled in checkpoint overhead
     /// (including coordination stall charged by hooks).
     pub ckpt_stall_us: u64,
+    /// The coordination-only share of [`ckpt_stall_us`]: stall charged
+    /// by protocol hooks over and above the intrinsic overhead `o`.
+    /// Zero for the application-driven protocol — the dashboard column
+    /// that makes "coordination-free" a measured number.
+    ///
+    /// [`ckpt_stall_us`]: Metrics::ckpt_stall_us
+    pub coord_stall_us: u64,
     /// Total µs processes spent blocked in `recv`.
     pub recv_blocked_us: u64,
     /// Number of failures injected.

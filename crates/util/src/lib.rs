@@ -24,5 +24,7 @@ pub mod parallel;
 pub mod rng;
 
 pub use check::{forall, Gen};
-pub use parallel::{configured_threads, par_map, par_map_threads};
+pub use parallel::{
+    configured_threads, par_map, par_map_labeled, par_map_threads, par_map_threads_labeled,
+};
 pub use rng::Rng;

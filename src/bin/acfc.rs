@@ -8,6 +8,8 @@
 //! acfc report  <file.mpsl> [--nprocs N] [--seed S] # counter/histogram summary
 //! acfc mpmd    <name> <file.mpsl@FIRST[-LAST]>... # combine MPMD roles into SPMD
 //! acfc figures                                    # regenerate Figures 8 and 9
+//! acfc compare <file.mpsl> [--nprocs N] [--sweep] [--seed S] [--failure-rate L]
+//!              [--json out.json] [--profile out.json]
 //! ```
 //!
 //! `check` reports whether the program's checkpoint placement already
@@ -23,6 +25,15 @@
 //! Fig. 4 as an interactive view); for `analyze`, the **wall-clock**
 //! spans of the analysis pipeline. `report` runs analysis + simulation
 //! with full instrumentation on and prints the counter table.
+//!
+//! `compare` runs the same program under every checkpointing protocol
+//! (app-driven, uncoordinated, SaS, Chandy–Lamport, CIC) and tabulates
+//! the measured counters — forced checkpoints, control messages,
+//! coordination stalls — plus message-latency percentile bounds.
+//! `--sweep` repeats the comparison over n ∈ {2, 4, 8} with
+//! failure plans scaled per the paper's `λ(n) ∝ n`; `--json` writes
+//! the machine-readable artifact and `--profile` a merged Perfetto
+//! timeline with one track group per protocol.
 
 use acfc::cfg::build_cfg;
 use acfc::core::{
@@ -47,6 +58,8 @@ struct Args {
     failure_rate: Option<f64>,
     trace: bool,
     profile: Option<String>,
+    sweep: bool,
+    json: Option<String>,
 }
 
 fn parse_args(mut argv: std::env::Args) -> Result<(String, Args), String> {
@@ -63,6 +76,8 @@ fn parse_args(mut argv: std::env::Args) -> Result<(String, Args), String> {
         failure_rate: None,
         trace: false,
         profile: None,
+        sweep: false,
+        json: None,
     };
     let mut it = argv.peekable();
     while let Some(a) = it.next() {
@@ -96,6 +111,10 @@ fn parse_args(mut argv: std::env::Args) -> Result<(String, Args), String> {
             "--profile" => {
                 args.profile = Some(it.next().ok_or("--profile needs an output path")?);
             }
+            "--json" => {
+                args.json = Some(it.next().ok_or("--json needs an output path")?);
+            }
+            "--sweep" => args.sweep = true,
             "--emit" => args.emit = true,
             "--dot" => args.dot = true,
             "--trace" => args.trace = true,
@@ -108,9 +127,9 @@ fn parse_args(mut argv: std::env::Args) -> Result<(String, Args), String> {
 }
 
 fn usage() -> String {
-    "usage: acfc <check|analyze|run|report|mpmd|figures> [file.mpsl] [--nprocs N] [--seed S] \
-     [--emit] [--dot] [--trace] [--analyze] [--input V]... [--failure-rate L] \
-     [--profile out.json]"
+    "usage: acfc <check|analyze|run|report|mpmd|figures|compare> [file.mpsl] [--nprocs N] \
+     [--seed S] [--emit] [--dot] [--trace] [--analyze] [--sweep] [--input V]... \
+     [--failure-rate L] [--json out.json] [--profile out.json]"
         .to_string()
 }
 
@@ -361,6 +380,76 @@ fn cmd_mpmd(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+/// `acfc compare` — the protocol-comparison dashboard: one table (and
+/// optionally one JSON artifact and one merged Perfetto timeline) with
+/// every protocol's measured coordination cost on the same workload.
+fn cmd_compare(args: &Args) -> Result<(), String> {
+    use acfc::protocols::{
+        compare_all, render_sweep_json, render_table, run_protocol_timeline, CompareConfig,
+        ProtocolKind, SweepRow,
+    };
+    use acfc::sim::{FailurePlan, MergedRun, SimTime};
+    let program = load(args)?;
+    let ns: Vec<usize> = if args.sweep {
+        vec![2, 4, 8]
+    } else {
+        vec![args.nprocs]
+    };
+    let mut rows: Vec<SweepRow> = Vec::new();
+    for &n in &ns {
+        let mut cc = CompareConfig::new(n, 60_000);
+        cc.sim = cc.sim.with_seed(args.seed).with_inputs(args.inputs.clone());
+        if let Some(rate) = args.failure_rate {
+            if rate > 0.0 {
+                // Size the failure horizon from a bare probe run, like
+                // the empirical sweep (expected failures ∝ n·rate).
+                let probe = run(&compile(&program), &cc.sim);
+                let horizon = SimTime(probe.finished_at.as_micros().max(1));
+                cc.failures = FailurePlan::exponential(n, rate, horizon, args.seed ^ n as u64);
+            }
+        }
+        let stats = compare_all(&program, &cc);
+        println!("== {} at n = {n} ==", program.name);
+        print!("{}", render_table(&stats));
+        rows.extend(stats.into_iter().map(|s| SweepRow { n, stats: s }));
+    }
+    if let Some(path) = &args.json {
+        std::fs::write(path, render_sweep_json(&program.name, &rows))
+            .map_err(|e| format!("{path}: {e}"))?;
+        println!("wrote comparison JSON ({} run(s)) to {path}", rows.len());
+    }
+    if let Some(path) = &args.profile {
+        // Merge one timeline run per protocol at the largest n into a
+        // single document: one pid (track group) per protocol.
+        let n = *ns.iter().max().expect("ns nonempty");
+        let mut cc = CompareConfig::new(n, 60_000);
+        cc.sim = cc.sim.with_seed(args.seed).with_inputs(args.inputs.clone());
+        let runs: Vec<(ProtocolKind, _, _)> = ProtocolKind::all()
+            .into_iter()
+            .map(|kind| {
+                let (trace, obs) = run_protocol_timeline(&program, kind, &cc);
+                (kind, trace, obs)
+            })
+            .collect();
+        let merged: Vec<MergedRun> = runs
+            .iter()
+            .map(|(kind, trace, obs)| MergedRun {
+                label: kind.name(),
+                trace,
+                obs,
+            })
+            .collect();
+        let json = acfc::sim::merged_timeline_json(&merged);
+        std::fs::write(path, json).map_err(|e| format!("{path}: {e}"))?;
+        println!(
+            "wrote merged timeline ({} protocol track group(s) at n={n}) to {path} \
+             (load in https://ui.perfetto.dev)",
+            merged.len()
+        );
+    }
+    Ok(())
+}
+
 fn cmd_figures() {
     let params = ModelParams::default();
     println!("# Figure 8 — overhead ratio vs. number of processes");
@@ -386,6 +475,7 @@ fn main() -> ExitCode {
         "run" => cmd_run(&args),
         "report" => cmd_report(&args),
         "mpmd" => cmd_mpmd(&args),
+        "compare" => cmd_compare(&args),
         "figures" => {
             cmd_figures();
             Ok(())

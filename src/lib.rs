@@ -19,6 +19,7 @@
 //! | [`protocols`] | baselines: uncoordinated, SaS, C-L, CIC; recovery lines |
 //! | [`perfmodel`] | the §4 stochastic model; Figures 8 and 9 |
 //! | [`obs`] | spans, counters, histograms, Perfetto trace export |
+//! | [`util`] | scoped-thread fan-out, bench harness, JSON writer |
 //!
 //! ```
 //! use acfc::core::{analyze, AnalysisConfig};
@@ -42,3 +43,4 @@ pub use acfc_obs as obs;
 pub use acfc_perfmodel as perfmodel;
 pub use acfc_protocols as protocols;
 pub use acfc_sim as sim;
+pub use acfc_util as util;

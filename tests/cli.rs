@@ -107,6 +107,81 @@ fn figures_prints_both_series() {
 }
 
 #[test]
+fn compare_prints_the_dashboard_table() {
+    let out = acfc(&["compare", "programs/jacobi.mpsl", "--nprocs", "2"]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = stdout(&out);
+    for needle in [
+        "appl-driven",
+        "uncoordinated",
+        "SaS",
+        "C-L",
+        "CIC",
+        "forced",
+        "ctrl-msgs",
+        "coord-ms",
+        "lat-p50/p90/p99",
+    ] {
+        assert!(text.contains(needle), "missing {needle}: {text}");
+    }
+}
+
+#[test]
+fn compare_sweep_emits_one_table_per_n_and_a_json_artifact() {
+    let json_path = std::env::temp_dir().join("acfc_cli_compare_sweep.json");
+    let out = acfc(&[
+        "compare",
+        "programs/jacobi.mpsl",
+        "--sweep",
+        "--json",
+        json_path.to_str().unwrap(),
+    ]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = stdout(&out);
+    for n in [2, 4, 8] {
+        assert!(text.contains(&format!("n = {n}")), "{text}");
+    }
+    assert!(text.contains("wrote comparison JSON (15 run(s))"), "{text}");
+    let json = std::fs::read_to_string(&json_path).expect("JSON artifact written");
+    assert!(json.contains("\"workload\": \"jacobi\""));
+    assert_eq!(json.matches("\"protocol\": \"appl-driven\"").count(), 3);
+    assert_eq!(json.matches("\"msg_latency_p99_us\"").count(), 15);
+    assert_eq!(json.matches("\"coord_stall_us\"").count(), 15);
+    assert_eq!(json.matches("\"forced_checkpoints\"").count(), 15);
+}
+
+#[test]
+fn compare_profile_writes_a_merged_timeline() {
+    let path = std::env::temp_dir().join("acfc_cli_compare_profile.json");
+    let out = acfc(&[
+        "compare",
+        "programs/jacobi.mpsl",
+        "--nprocs",
+        "2",
+        "--profile",
+        path.to_str().unwrap(),
+    ]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(stdout(&out).contains("5 protocol track group(s)"));
+    let json = std::fs::read_to_string(&path).expect("profile written");
+    for pid in 1..=5 {
+        assert!(json.contains(&format!("\"pid\": {pid}")), "pid {pid}");
+    }
+}
+
+#[test]
 fn unknown_command_fails_with_usage() {
     let out = acfc(&["bogus"]);
     assert!(!out.status.success());

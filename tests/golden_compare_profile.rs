@@ -1,0 +1,140 @@
+//! Golden pin for the merged multi-protocol Perfetto export behind
+//! `acfc compare --profile`.
+//!
+//! A 2-process ping-pong under all five protocols: small enough to
+//! inspect in the Perfetto UI, yet it exercises the merge logic the
+//! single-run golden (`golden_profile.rs`) cannot — one pid per
+//! protocol, per-run flow-id namespacing, and shared track structure
+//! across groups. Byte-exact against the pinned snapshot; the engine
+//! and the analysis are deterministic, so any divergence is an
+//! intentional exporter, collector, or protocol-schedule change.
+//!
+//! Regenerate (only on an *intentional* change) with:
+//!
+//! ```text
+//! GOLDEN_REGEN=1 cargo test --test golden_compare_profile
+//! ```
+
+use acfc::protocols::{run_protocol_timeline, CompareConfig, ProtocolKind};
+use acfc::sim::{merged_timeline_json, MergedRun};
+use std::path::PathBuf;
+
+fn golden_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden/compare_profile.json")
+}
+
+fn render_merged_profile() -> String {
+    let program = acfc::mpsl::programs::pingpong(2);
+    let cfg = CompareConfig::new(2, 60_000);
+    let runs: Vec<(ProtocolKind, _, _)> = ProtocolKind::all()
+        .into_iter()
+        .map(|kind| {
+            let (trace, obs) = run_protocol_timeline(&program, kind, &cfg);
+            assert!(trace.completed(), "{} did not complete", kind.name());
+            (kind, trace, obs)
+        })
+        .collect();
+    let merged: Vec<MergedRun> = runs
+        .iter()
+        .map(|(kind, trace, obs)| MergedRun {
+            label: kind.name(),
+            trace,
+            obs,
+        })
+        .collect();
+    merged_timeline_json(&merged)
+}
+
+#[test]
+fn merged_compare_profile_matches_pinned_snapshot() {
+    let rendered = render_merged_profile();
+    let path = golden_path();
+    if std::env::var("GOLDEN_REGEN").is_ok() {
+        std::fs::write(&path, &rendered).expect("write pin");
+        return;
+    }
+    let pinned = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("missing pin {}: {e}", path.display()));
+    if rendered != pinned {
+        let line = rendered
+            .lines()
+            .zip(pinned.lines())
+            .position(|(a, b)| a != b)
+            .map(|i| i + 1)
+            .unwrap_or_else(|| rendered.lines().count().min(pinned.lines().count()) + 1);
+        panic!("merged compare profile diverged from pin at line {line}");
+    }
+}
+
+/// Structural invariants independent of the byte-exact pin: every
+/// (pid, tid) track balances its begin/end slices and never rewinds
+/// its timestamps, every protocol contributes a track group, and flow
+/// ids pair up exactly once globally.
+#[test]
+fn merged_compare_profile_is_balanced_monotone_and_flow_paired() {
+    use std::collections::BTreeMap;
+    let rendered = render_merged_profile();
+    let mut depth: BTreeMap<(u64, u64), i64> = Default::default();
+    let mut last_ts: BTreeMap<(u64, u64), i64> = Default::default();
+    let mut flows: BTreeMap<u64, (u32, u32)> = Default::default();
+    let mut pids: std::collections::BTreeSet<u64> = Default::default();
+    for line in rendered.lines() {
+        let field = |key: &str| -> Option<&str> {
+            let pat = format!("\"{key}\": ");
+            let rest = &line[line.find(&pat)? + pat.len()..];
+            Some(rest[..rest.find([',', '}']).unwrap_or(rest.len())].trim_matches('"'))
+        };
+        let Some(ph) = field("ph") else { continue };
+        if ph == "M" {
+            continue;
+        }
+        let pid: u64 = field("pid").unwrap().parse().unwrap();
+        let tid: u64 = field("tid").unwrap().parse().unwrap();
+        let ts: i64 = field("ts").unwrap().parse().unwrap();
+        pids.insert(pid);
+        let track = (pid, tid);
+        assert!(
+            ts >= *last_ts.get(&track).unwrap_or(&0),
+            "track {track:?}: ts {ts} went backwards"
+        );
+        last_ts.insert(track, ts);
+        match ph {
+            "B" => *depth.entry(track).or_insert(0) += 1,
+            "E" => {
+                let d = depth.entry(track).or_insert(0);
+                *d -= 1;
+                assert!(*d >= 0, "track {track:?}: E without matching B");
+            }
+            "s" => {
+                flows
+                    .entry(field("id").unwrap().parse().unwrap())
+                    .or_default()
+                    .0 += 1
+            }
+            "f" => {
+                flows
+                    .entry(field("id").unwrap().parse().unwrap())
+                    .or_default()
+                    .1 += 1
+            }
+            _ => {}
+        }
+    }
+    assert_eq!(
+        pids.len(),
+        ProtocolKind::all().len(),
+        "one track group per protocol: {pids:?}"
+    );
+    assert!(
+        depth.values().all(|&d| d == 0),
+        "unbalanced B/E per track: {depth:?}"
+    );
+    assert!(!flows.is_empty(), "merged profile carries flow arrows");
+    for (id, &(starts, ends)) in &flows {
+        assert_eq!(
+            (starts, ends),
+            (1, 1),
+            "flow {id} must pair exactly once globally"
+        );
+    }
+}

@@ -1,0 +1,53 @@
+//! Worker-thread labels flow end to end: `util::parallel`'s labeled
+//! fan-out names its scoped threads, the obs span log registers each
+//! recording thread's name at tid assignment, and the wall-clock
+//! Perfetto export titles the tracks with those labels — so a
+//! `--profile` of a parallel sweep shows `sweep-0`, `sweep-1`, …
+//! instead of anonymous thread numbers.
+
+use acfc::util::par_map_threads_labeled;
+
+#[test]
+fn labeled_worker_tids_appear_in_the_span_dump() {
+    acfc::obs::set_enabled(true);
+    let _ = acfc::obs::take_wall_spans(); // start from a clean log
+    let items: Vec<u64> = (0..8).collect();
+    let out = par_map_threads_labeled(&items, 4, Some("labelsweep"), |_, &i| {
+        let _g = acfc::obs::span("labelsweep/work");
+        i * 2
+    });
+    acfc::obs::set_enabled(false);
+    assert_eq!(out, vec![0, 2, 4, 6, 8, 10, 12, 14]);
+
+    let spans = acfc::obs::take_wall_spans();
+    let labels = acfc::obs::thread_labels();
+    let worker_spans: Vec<_> = spans
+        .iter()
+        .filter(|s| s.name == "labelsweep/work")
+        .collect();
+    assert_eq!(worker_spans.len(), 8, "one span per item");
+    for s in &worker_spans {
+        let (_, label) = labels
+            .iter()
+            .find(|(tid, _)| *tid == s.tid)
+            .unwrap_or_else(|| panic!("tid {} has no registered label", s.tid));
+        assert!(
+            label.starts_with("labelsweep-"),
+            "tid {} labeled {label:?}, expected a labelsweep-k worker name",
+            s.tid
+        );
+    }
+
+    // The wall-clock Perfetto export titles those tracks by label.
+    let tb = acfc::obs::perfetto::wall_spans_trace(
+        &worker_spans
+            .iter()
+            .map(|s| (*s).clone())
+            .collect::<Vec<_>>(),
+    );
+    tb.validate().expect("structurally valid trace");
+    assert!(
+        tb.render().contains("labelsweep-"),
+        "track names carry the worker label"
+    );
+}
