@@ -8,7 +8,7 @@ use std::hint::black_box;
 
 fn main() {
     let program = acfc_mpsl::programs::jacobi(10);
-    let cfg = CompareConfig::new(4, 60_000);
+    let cfg = CompareConfig::builder(4).build().unwrap();
     for kind in ProtocolKind::all() {
         let s = bench(&format!("protocol/{}", kind.name()), 200, || {
             run_protocol(black_box(&program), kind, &cfg)

@@ -1,21 +1,25 @@
 //! The empirical companion to Figure 8: the same protocol comparison,
 //! measured on the message-level simulator instead of the analytic
 //! model — sweeping the process count with per-process failure
-//! injection scaled as the paper scales `λ(n)`.
+//! injection scaled as the paper scales `λ(n)`, three seeds per cell
+//! aggregated into mean ± 95% CI rows.
 //!
 //! ```text
 //! cargo run --release -p acfc-bench --bin empirical_fig8
 //! ```
 
-use acfc_protocols::{empirical_sweep, render_sweep, SweepConfig};
+use acfc_protocols::{run_sweep, RowSink, SweepPlan, TableSink};
 
 fn main() {
-    let config = SweepConfig {
-        ns: vec![2, 4, 8, 16],
-        lambda_per_proc: 0.8,
-        ..SweepConfig::default()
-    };
+    let plan = SweepPlan::builder()
+        .ns([2usize, 4, 8, 16])
+        .seeds_per_cell(3)
+        .failure_rates([0.8])
+        .build()
+        .expect("static plan is valid");
     println!("# Empirical Figure-8 companion (simulator-measured overhead ratios)");
     println!("# workload: jacobi(10); failures ~ Exp(n * 0.8/s of simulated time)");
-    print!("{}", render_sweep(&empirical_sweep(&config)));
+    let mut table = TableSink::new(std::io::stdout());
+    let mut sinks: [&mut dyn RowSink; 1] = [&mut table];
+    run_sweep(&plan, &mut sinks);
 }

@@ -35,6 +35,7 @@ use acfc_bench::sim_baseline;
 use acfc_core::{analyze, ensure_recovery_lines, AnalysisConfig, Phase3Config};
 use acfc_mpsl::programs;
 use acfc_perfmodel::{simulate_interval_threads, IntervalParams};
+use acfc_protocols::{run_sweep, CollectSink, SweepPlan};
 use acfc_sim::{compile, CutPicker, FailurePlan, NoHooks, SimConfig, SimObs, SimTime};
 use acfc_util::bench::{bench, Json};
 use acfc_util::parallel::configured_threads;
@@ -257,6 +258,33 @@ fn emit_bench_sim() {
         .num("jacobi_n8_ckpt_interval_p50_us", ci.p50 as f64)
         .num("jacobi_n8_ckpt_interval_p90_us", ci.p90 as f64)
         .num("jacobi_n8_ckpt_interval_p99_us", ci.p99 as f64);
+    // Sweep-engine trajectory: cell throughput on a small replicated
+    // matrix (2 process counts × 1 failure rate × 5 protocols, 3 seeds
+    // per cell) plus a representative interval width — the mean 95% CI
+    // half-width of the overhead ratio across the aggregate rows. The
+    // width tracks the seed-to-seed variance the aggregation machinery
+    // exists to quantify; a jump means the protocols got noisier or the
+    // accumulator regressed.
+    let plan = SweepPlan::builder()
+        .ns([2usize, 4])
+        .seeds_per_cell(3)
+        .failure_rates([1.0])
+        .build()
+        .expect("static sweep plan is valid");
+    let mut collect = CollectSink::default();
+    let summary = run_sweep(&plan, &mut [&mut collect]);
+    let mean_ci_width = collect
+        .rows
+        .iter()
+        .filter_map(|r| r.overhead_ratio.ci95_half)
+        .sum::<f64>()
+        / collect.rows.len() as f64;
+    assert!(mean_ci_width.is_finite());
+    json = json
+        .num("sweep_cells", summary.cells as f64)
+        .num("sweep_trials", summary.trials as f64)
+        .num("sweep_cells_per_sec", summary.cells_per_sec())
+        .num("sweep_overhead_ratio_mean_ci95", mean_ci_width);
     let overhead = obs_overhead_pct();
     assert!(
         overhead < 2.0,

@@ -39,9 +39,14 @@ pub fn render_figure(title: &str, x_label: &str, rows: &[Row]) -> String {
 /// processes with one injected failure.
 pub fn empirical_comparison(n: usize, seed: u64) -> Vec<RunStats> {
     let program = programs::jacobi(8);
-    let mut cfg = CompareConfig::new(n, 60_000);
-    cfg.sim = cfg.sim.with_seed(seed);
-    cfg.failures = FailurePlan::at(vec![(acfc_sim::SimTime::from_millis(250), 0)]);
+    let cfg = CompareConfig::builder(n)
+        .seed(seed)
+        .failures(FailurePlan::at(vec![(
+            acfc_sim::SimTime::from_millis(250),
+            0,
+        )]))
+        .build()
+        .unwrap();
     compare_all(&program, &cfg)
 }
 

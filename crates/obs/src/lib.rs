@@ -36,6 +36,9 @@
 //!   timestamps), loadable in <https://ui.perfetto.dev>.
 //! * [`report`] — plain-text rendering of a [`Snapshot`] for
 //!   `acfc report` and the bench harness.
+//! * [`stats`] — [`CiAccum`]/[`CiSummary`], a mergeable Welford
+//!   accumulator producing mean/stddev/95% CI for replicated-trial
+//!   sweeps (the scalar complement of `LocalHist::merge`).
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -44,6 +47,7 @@ pub mod metrics;
 pub mod perfetto;
 pub mod report;
 pub mod span;
+pub mod stats;
 
 pub use metrics::{
     count, record, reset, set_enabled, snapshot, Counter, HistSnapshot, Histogram, LocalHist,
@@ -52,6 +56,7 @@ pub use metrics::{
 pub use perfetto::TraceBuilder;
 pub use report::render;
 pub use span::{span, take_wall_spans, thread_labels, SpanGuard, WallSpan};
+pub use stats::{t_critical_95, CiAccum, CiSummary};
 
 /// `true` when instrumentation is both compiled in (`enabled` feature)
 /// and switched on at runtime via [`set_enabled`].

@@ -164,6 +164,22 @@ impl LocalHist {
         self.snap().percentiles()
     }
 
+    /// Folds `other` into `self` bucket-for-bucket: afterwards `self`
+    /// holds the distribution of the union of both observation
+    /// multisets. The merge is exact (buckets are aligned by
+    /// construction), which is what makes per-trial histograms
+    /// poolable across a sweep cell's seed replicas.
+    pub fn merge(&mut self, other: &LocalHist) {
+        for (b, &o) in self.buckets.iter_mut().zip(&other.buckets) {
+            *b += o;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        if other.max > self.max {
+            self.max = other.max;
+        }
+    }
+
     /// Resets all buckets.
     pub fn reset(&mut self) {
         *self = LocalHist::new();
@@ -171,7 +187,7 @@ impl LocalHist {
 }
 
 /// A point-in-time copy of a [`Histogram`].
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct HistSnapshot {
     /// Per-bucket counts (see [`Histogram::bucket_of`]).
     pub buckets: Vec<u64>,
@@ -222,6 +238,24 @@ impl HistSnapshot {
             p50: self.quantile_bound(0.50),
             p90: self.quantile_bound(0.90),
             p99: self.quantile_bound(0.99),
+        }
+    }
+
+    /// Folds `other` into `self` (same semantics as
+    /// [`LocalHist::merge`]); snapshots of different lengths — e.g. the
+    /// empty [`HistSnapshot::default`] accumulator — align on bucket
+    /// index, so merging into an empty snapshot copies `other`.
+    pub fn merge(&mut self, other: &HistSnapshot) {
+        if self.buckets.len() < other.buckets.len() {
+            self.buckets.resize(other.buckets.len(), 0);
+        }
+        for (b, &o) in self.buckets.iter_mut().zip(&other.buckets) {
+            *b += o;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        if other.max > self.max {
+            self.max = other.max;
         }
     }
 
@@ -447,6 +481,31 @@ mod tests {
         assert_eq!(s.quantile_bound(0.0), 0);
         assert_eq!(s.quantile_bound(0.5), 4); // 3rd of 5 obs is in [2,4)
         assert_eq!(s.quantile_bound(1.0), 128);
+    }
+
+    #[test]
+    fn merged_histograms_equal_jointly_recorded_one() {
+        let mut a = LocalHist::new();
+        let mut b = LocalHist::new();
+        let mut joint = LocalHist::new();
+        for v in [0u64, 1, 5, 9, 100] {
+            a.record(v);
+            joint.record(v);
+        }
+        for v in [2u64, 3, 1000, 9] {
+            b.record(v);
+            joint.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a, joint);
+        assert_eq!(a.snap(), joint.snap());
+        // Snapshot-level merge agrees, including into the empty default.
+        let mut s = HistSnapshot::default();
+        s.merge(&LocalHist::new().snap());
+        assert_eq!(s.count, 0);
+        let mut s = HistSnapshot::default();
+        s.merge(&b.snap());
+        assert_eq!(s, b.snap());
     }
 
     #[test]

@@ -1,0 +1,164 @@
+//! Differential pin of the sweep CI accumulator: [`CiAccum`] (one-pass
+//! Welford + Chan-style merge) must agree with a straightforward
+//! two-pass mean/stddev on generated data, and the degenerate cases a
+//! real sweep hits (`seeds = 1`, all trials identical) must degrade to
+//! *absent* confidence intervals — never NaN.
+
+use acfc_obs::{t_critical_95, CiAccum};
+
+/// Minimal deterministic generator (64-bit LCG, MMIX constants) so the
+/// test needs no dev-dependencies. Yields f64s in roughly [-scale, scale].
+struct Lcg(u64);
+
+impl Lcg {
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self
+            .0
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        self.0
+    }
+
+    fn next_f64(&mut self, scale: f64) -> f64 {
+        // Top 53 bits -> [0, 1), then centre.
+        let u = (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        (u - 0.5) * 2.0 * scale
+    }
+}
+
+/// The reference implementation: textbook two-pass mean and sample
+/// stddev, plus the same t-table for the interval.
+fn two_pass(xs: &[f64]) -> (f64, f64, Option<f64>) {
+    let n = xs.len() as f64;
+    if xs.is_empty() {
+        return (0.0, 0.0, None);
+    }
+    let mean = xs.iter().sum::<f64>() / n;
+    if xs.len() < 2 {
+        return (mean, 0.0, None);
+    }
+    let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / (n - 1.0);
+    let sd = var.sqrt();
+    let ci = t_critical_95(xs.len() as u64 - 1) * sd / n.sqrt();
+    (mean, sd, Some(ci))
+}
+
+fn assert_close(a: f64, b: f64, tol: f64, what: &str) {
+    assert!(
+        (a - b).abs() <= tol * (1.0 + b.abs()),
+        "{what}: one-pass {a} vs two-pass {b}"
+    );
+}
+
+#[test]
+fn welford_matches_two_pass_on_generated_data() {
+    let mut rng = Lcg(0xACFC_5EED);
+    // Sweep-realistic sample sizes, including the tiny ones where the
+    // t-correction matters most.
+    for &n in &[2usize, 3, 5, 10, 33, 100, 1000] {
+        for (case, scale, offset) in [
+            ("centred", 1.0, 0.0),
+            ("latency-like", 5_000.0, 20_000.0),
+            // Large common offset: the classic catastrophic-cancellation
+            // trap for naive sum-of-squares; Welford must hold up.
+            ("offset-heavy", 1.0, 1.0e9),
+        ] {
+            let xs: Vec<f64> = (0..n).map(|_| rng.next_f64(scale) + offset).collect();
+            let mut acc = CiAccum::new();
+            for &x in &xs {
+                acc.push(x);
+            }
+            let (mean, sd, ci) = two_pass(&xs);
+            let s = acc.summary();
+            let what = format!("{case} n={n}");
+            assert_eq!(s.count, n as u64, "{what}");
+            assert_close(s.mean, mean, 1e-9, &format!("{what} mean"));
+            assert_close(s.stddev, sd, 1e-6, &format!("{what} stddev"));
+            match (s.ci95_half, ci) {
+                (Some(a), Some(b)) => assert_close(a, b, 1e-6, &format!("{what} ci95")),
+                (a, b) => assert_eq!(a, b, "{what} ci presence"),
+            }
+            assert!(
+                s.mean.is_finite() && s.stddev.is_finite(),
+                "{what}: NaN leak"
+            );
+        }
+    }
+}
+
+#[test]
+fn chunked_merge_matches_flat_accumulation() {
+    let mut rng = Lcg(42);
+    let xs: Vec<f64> = (0..257).map(|_| rng.next_f64(300.0) + 1_000.0).collect();
+    let mut flat = CiAccum::new();
+    for &x in &xs {
+        flat.push(x);
+    }
+    // Deliberately ragged chunking, including a 1-element and an empty
+    // logical chunk, mirroring work-stealing splits across sweep workers.
+    for chunk_sizes in [
+        vec![257],
+        vec![1, 256],
+        vec![64, 64, 64, 65],
+        vec![100, 0, 157],
+    ] {
+        let mut merged = CiAccum::new();
+        let mut off = 0usize;
+        for sz in chunk_sizes {
+            let mut part = CiAccum::new();
+            for &x in &xs[off..off + sz] {
+                part.push(x);
+            }
+            off += sz;
+            merged.merge(&part);
+        }
+        assert_eq!(off, xs.len());
+        assert_eq!(merged.count(), flat.count());
+        assert_close(merged.mean(), flat.mean(), 1e-12, "merged mean");
+        assert_close(merged.stddev(), flat.stddev(), 1e-9, "merged stddev");
+    }
+}
+
+#[test]
+fn seeds_one_reports_absent_interval_not_nan() {
+    let mut acc = CiAccum::new();
+    acc.push(123.456);
+    let s = acc.summary();
+    assert_eq!(s.count, 1);
+    assert_eq!(s.mean, 123.456);
+    assert_eq!(s.stddev, 0.0);
+    assert_eq!(s.ci95_half, None, "seeds=1 must report CI as absent");
+    assert!(!s.mean.is_nan() && !s.stddev.is_nan());
+    // Rendered cell: bare mean, no ± suffix, no NaN text.
+    let cell = s.render(3);
+    assert_eq!(cell, "123.456");
+    assert!(!cell.contains("NaN"));
+}
+
+#[test]
+fn all_identical_trials_give_zero_width_interval() {
+    for &n in &[2usize, 5, 17] {
+        let mut acc = CiAccum::new();
+        for _ in 0..n {
+            acc.push(-7.25);
+        }
+        let s = acc.summary();
+        assert_eq!(s.mean, -7.25);
+        assert_eq!(s.stddev, 0.0);
+        assert_eq!(
+            s.ci95_half,
+            Some(0.0),
+            "identical trials (n={n}) have a defined zero-width CI"
+        );
+        assert!(!s.render(2).contains("NaN"));
+    }
+}
+
+#[test]
+fn empty_accumulator_is_well_defined() {
+    let s = CiAccum::new().summary();
+    assert_eq!(s.count, 0);
+    assert_eq!(s.mean, 0.0);
+    assert_eq!(s.stddev, 0.0);
+    assert_eq!(s.ci95_half, None);
+}

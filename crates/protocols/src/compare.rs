@@ -59,7 +59,61 @@ impl ProtocolKind {
     }
 }
 
-/// Parameters of a comparison run.
+/// Largest process count the comparison machinery accepts. Matches the
+/// paper's evaluation range (§5 scales to 64 ranks) and keeps the
+/// offline analysis (`MAX_ANALYSIS_RANKS`) comfortably ahead of the
+/// simulated fleet.
+pub const MAX_COMPARE_PROCS: usize = 64;
+
+/// A validation failure from [`CompareConfig::builder`] or
+/// [`SweepPlan::builder`](crate::sweep::SweepPlan::builder) — typed, so
+/// callers can match on *what* is wrong instead of parsing a panic
+/// string, and nothing is silently clamped.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ConfigError {
+    /// Process count was 0.
+    ZeroProcs,
+    /// Process count exceeds [`MAX_COMPARE_PROCS`].
+    TooManyProcs {
+        /// The requested process count.
+        n: usize,
+        /// The supported maximum.
+        max: usize,
+    },
+    /// Checkpoint interval was 0 µs (timer/wave protocols would spin).
+    ZeroInterval,
+    /// A sweep was given no process counts.
+    EmptyNs,
+    /// A sweep was given zero seeds per cell.
+    ZeroSeeds,
+    /// A failure rate was negative or not finite.
+    BadFailureRate(f64),
+    /// A sweep was given no workloads.
+    NoWorkloads,
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConfigError::ZeroProcs => write!(f, "process count must be at least 1"),
+            ConfigError::TooManyProcs { n, max } => {
+                write!(f, "process count {n} exceeds the supported maximum {max}")
+            }
+            ConfigError::ZeroInterval => write!(f, "checkpoint interval must be at least 1 µs"),
+            ConfigError::EmptyNs => write!(f, "sweep needs at least one process count"),
+            ConfigError::ZeroSeeds => write!(f, "sweep needs at least one seed per cell"),
+            ConfigError::BadFailureRate(r) => {
+                write!(f, "failure rate must be finite and non-negative, got {r}")
+            }
+            ConfigError::NoWorkloads => write!(f, "sweep needs at least one workload"),
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+/// Parameters of a comparison run. Construct via
+/// [`CompareConfig::builder`].
 #[derive(Debug, Clone)]
 pub struct CompareConfig {
     /// The simulator configuration (network + cost model + seed).
@@ -73,15 +127,92 @@ pub struct CompareConfig {
 }
 
 impl CompareConfig {
-    /// A comparison at `n` processes with interval `interval_us` and no
-    /// failures.
-    pub fn new(n: usize, interval_us: u64) -> CompareConfig {
-        CompareConfig {
-            sim: SimConfig::new(n),
-            interval_us,
-            skew_us: interval_us / 3,
+    /// Starts building a comparison at `n` processes. Defaults: 60 ms
+    /// interval, skew = interval/3, simulator seed `0xACFC`, no
+    /// failures. Validation happens at
+    /// [`build`](CompareConfigBuilder::build).
+    pub fn builder(n: usize) -> CompareConfigBuilder {
+        CompareConfigBuilder {
+            n,
+            interval_us: 60_000,
+            skew_us: None,
+            seed: None,
             failures: FailurePlan::none(),
         }
+    }
+
+    /// A comparison at `n` processes with interval `interval_us` and no
+    /// failures.
+    #[deprecated(since = "0.2.0", note = "use `CompareConfig::builder(n)` instead")]
+    pub fn new(n: usize, interval_us: u64) -> CompareConfig {
+        CompareConfig::builder(n)
+            .interval_us(interval_us)
+            .build()
+            .expect("legacy CompareConfig::new with invalid parameters")
+    }
+}
+
+/// Builder for [`CompareConfig`]: named setters over positional fields,
+/// with validation ([`ConfigError`]) at [`build`](Self::build) instead
+/// of silent clamping at use sites.
+#[derive(Debug, Clone)]
+pub struct CompareConfigBuilder {
+    n: usize,
+    interval_us: u64,
+    skew_us: Option<u64>,
+    seed: Option<u64>,
+    failures: FailurePlan,
+}
+
+impl CompareConfigBuilder {
+    /// Checkpoint interval `T` for timer/wave protocols, µs.
+    pub fn interval_us(mut self, interval_us: u64) -> Self {
+        self.interval_us = interval_us;
+        self
+    }
+
+    /// Timer skew for uncoordinated/CIC, µs (default: interval/3).
+    pub fn skew_us(mut self, skew_us: u64) -> Self {
+        self.skew_us = Some(skew_us);
+        self
+    }
+
+    /// Simulator RNG seed (jitter; default `0xACFC`).
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = Some(seed);
+        self
+    }
+
+    /// Failure plan to inject (default: none).
+    pub fn failures(mut self, failures: FailurePlan) -> Self {
+        self.failures = failures;
+        self
+    }
+
+    /// Validates and produces the config.
+    pub fn build(self) -> Result<CompareConfig, ConfigError> {
+        if self.n == 0 {
+            return Err(ConfigError::ZeroProcs);
+        }
+        if self.n > MAX_COMPARE_PROCS {
+            return Err(ConfigError::TooManyProcs {
+                n: self.n,
+                max: MAX_COMPARE_PROCS,
+            });
+        }
+        if self.interval_us == 0 {
+            return Err(ConfigError::ZeroInterval);
+        }
+        let mut sim = SimConfig::new(self.n);
+        if let Some(seed) = self.seed {
+            sim = sim.with_seed(seed);
+        }
+        Ok(CompareConfig {
+            sim,
+            interval_us: self.interval_us,
+            skew_us: self.skew_us.unwrap_or(self.interval_us / 3),
+            failures: self.failures,
+        })
     }
 }
 
@@ -143,6 +274,42 @@ impl RunStats {
     pub fn ckpt_interval_percentiles(&self) -> Quantiles {
         self.ckpt_interval.percentiles()
     }
+
+    /// The run's stats as a flat JSON object (stable keys; `n` is the
+    /// process count of the run). Returned as a
+    /// [`Json`](acfc_util::bench::Json) builder so callers pick the
+    /// layout — `render()` for pretty artifacts, `render_line()` for
+    /// JSONL streams — instead of re-parsing a pre-rendered string.
+    pub fn json(&self, n: usize) -> acfc_util::bench::Json {
+        let lat = self.latency_percentiles();
+        let qd = self.queue_depth_percentiles();
+        let ci = self.ckpt_interval_percentiles();
+        acfc_util::bench::Json::new()
+            .num("n", n as f64)
+            .str("protocol", self.protocol.name())
+            .num("completed", if self.completed { 1.0 } else { 0.0 })
+            .num("makespan_secs", self.makespan_secs)
+            .num("bare_secs", self.bare_secs)
+            .num("overhead_ratio", self.overhead_ratio)
+            .num("checkpoints", self.checkpoints as f64)
+            .num("forced_checkpoints", self.forced as f64)
+            .num("control_messages", self.control_messages as f64)
+            .num("control_bits", self.control_bits as f64)
+            .num("ckpt_stall_us", self.ckpt_stall_us as f64)
+            .num("coord_stall_us", self.coord_stall_us as f64)
+            .num("failures", self.failures as f64)
+            .num("lost_us", self.lost_us as f64)
+            .num("max_rollback_depth", self.max_rollback_depth as f64)
+            .num("msg_latency_p50_us", lat.p50 as f64)
+            .num("msg_latency_p90_us", lat.p90 as f64)
+            .num("msg_latency_p99_us", lat.p99 as f64)
+            .num("queue_depth_p50", qd.p50 as f64)
+            .num("queue_depth_p90", qd.p90 as f64)
+            .num("queue_depth_p99", qd.p99 as f64)
+            .num("ckpt_interval_p50_us", ci.p50 as f64)
+            .num("ckpt_interval_p90_us", ci.p90 as f64)
+            .num("ckpt_interval_p99_us", ci.p99 as f64)
+    }
 }
 
 /// Hooks that disable checkpointing entirely (the bare baseline).
@@ -197,6 +364,16 @@ fn stats_from(protocol: ProtocolKind, trace: &Trace, obs: &SimObs, bare_secs: f6
     }
 }
 
+/// Makespan in seconds of `program` with checkpointing disabled and no
+/// failures — the `T_bare` denominator of every overhead ratio. Split
+/// out so sweep cells that share a (workload, n, seed) baseline compute
+/// it once and fan the value out to all five protocols via
+/// [`run_protocol_against`].
+pub fn bare_makespan(program: &Program, sim: &SimConfig) -> f64 {
+    let mut hooks = NoCheckpointing;
+    run_with_hooks(&compile(program), sim, &mut hooks).makespan_secs()
+}
+
 /// Runs `protocol` on `program` under `config` and returns its stats.
 ///
 /// The application-driven protocol runs the *transformed* program from
@@ -208,11 +385,22 @@ fn stats_from(protocol: ProtocolKind, trace: &Trace, obs: &SimObs, bare_secs: f6
 ///
 /// Panics if the application-driven analysis fails on the program.
 pub fn run_protocol(program: &Program, protocol: ProtocolKind, config: &CompareConfig) -> RunStats {
-    let bare = {
-        let mut hooks = NoCheckpointing;
-        run_with_hooks(&compile(program), &config.sim, &mut hooks)
-    };
-    let bare_secs = bare.makespan_secs();
+    let bare_secs = bare_makespan(program, &config.sim);
+    run_protocol_against(program, protocol, config, bare_secs)
+}
+
+/// Like [`run_protocol`] but against a caller-supplied bare makespan
+/// (from [`bare_makespan`]), skipping the redundant baseline run.
+///
+/// # Panics
+///
+/// Panics if the application-driven analysis fails on the program.
+pub fn run_protocol_against(
+    program: &Program,
+    protocol: ProtocolKind,
+    config: &CompareConfig,
+    bare_secs: f64,
+) -> RunStats {
     let mut obs = SimObs::counters();
     let trace = run_protocol_observed(program, protocol, config, &mut obs);
     stats_from(protocol, &trace, &obs, bare_secs)
@@ -360,36 +548,9 @@ pub fn render_table(stats: &[RunStats]) -> String {
 
 /// Serialises one run's stats as a flat JSON object (keys stable, for
 /// the machine-readable comparison artifact).
+#[deprecated(since = "0.2.0", note = "use `RunStats::json(n).render()` instead")]
 pub fn stats_json(n: usize, s: &RunStats) -> String {
-    let lat = s.latency_percentiles();
-    let qd = s.queue_depth_percentiles();
-    let ci = s.ckpt_interval_percentiles();
-    acfc_util::bench::Json::new()
-        .num("n", n as f64)
-        .str("protocol", s.protocol.name())
-        .num("completed", if s.completed { 1.0 } else { 0.0 })
-        .num("makespan_secs", s.makespan_secs)
-        .num("bare_secs", s.bare_secs)
-        .num("overhead_ratio", s.overhead_ratio)
-        .num("checkpoints", s.checkpoints as f64)
-        .num("forced_checkpoints", s.forced as f64)
-        .num("control_messages", s.control_messages as f64)
-        .num("control_bits", s.control_bits as f64)
-        .num("ckpt_stall_us", s.ckpt_stall_us as f64)
-        .num("coord_stall_us", s.coord_stall_us as f64)
-        .num("failures", s.failures as f64)
-        .num("lost_us", s.lost_us as f64)
-        .num("max_rollback_depth", s.max_rollback_depth as f64)
-        .num("msg_latency_p50_us", lat.p50 as f64)
-        .num("msg_latency_p90_us", lat.p90 as f64)
-        .num("msg_latency_p99_us", lat.p99 as f64)
-        .num("queue_depth_p50", qd.p50 as f64)
-        .num("queue_depth_p90", qd.p90 as f64)
-        .num("queue_depth_p99", qd.p99 as f64)
-        .num("ckpt_interval_p50_us", ci.p50 as f64)
-        .num("ckpt_interval_p90_us", ci.p90 as f64)
-        .num("ckpt_interval_p99_us", ci.p99 as f64)
-        .render()
+    s.json(n).render()
 }
 
 #[cfg(test)]
@@ -402,7 +563,7 @@ mod tests {
 
     #[test]
     fn all_protocols_complete_failure_free() {
-        let cfg = CompareConfig::new(4, 60_000);
+        let cfg = CompareConfig::builder(4).build().unwrap();
         let stats = compare_all(&workload(), &cfg);
         assert_eq!(stats.len(), 5);
         for s in &stats {
@@ -432,7 +593,7 @@ mod tests {
 
     #[test]
     fn coordination_stall_separates_coordinated_from_free() {
-        let cfg = CompareConfig::new(4, 60_000);
+        let cfg = CompareConfig::builder(4).build().unwrap();
         let stats = compare_all(&workload(), &cfg);
         let by = |k: ProtocolKind| stats.iter().find(|s| s.protocol == k).unwrap();
         assert_eq!(by(ProtocolKind::AppDriven).coord_stall_us, 0);
@@ -447,9 +608,9 @@ mod tests {
 
     #[test]
     fn stats_json_carries_percentile_fields() {
-        let cfg = CompareConfig::new(2, 60_000);
+        let cfg = CompareConfig::builder(2).build().unwrap();
         let s = run_protocol(&workload(), ProtocolKind::AppDriven, &cfg);
-        let json = stats_json(2, &s);
+        let json = s.json(2).render();
         for key in [
             "\"protocol\": \"appl-driven\"",
             "\"forced_checkpoints\"",
@@ -466,7 +627,7 @@ mod tests {
 
     #[test]
     fn app_driven_has_no_control_traffic_and_others_do() {
-        let cfg = CompareConfig::new(4, 60_000);
+        let cfg = CompareConfig::builder(4).build().unwrap();
         let stats = compare_all(&workload(), &cfg);
         let by = |k: ProtocolKind| stats.iter().find(|s| s.protocol == k).unwrap();
         assert_eq!(by(ProtocolKind::AppDriven).control_messages, 0);
@@ -483,7 +644,10 @@ mod tests {
 
     #[test]
     fn comparison_with_failures_still_completes() {
-        let mut cfg = CompareConfig::new(2, 40_000);
+        let mut cfg = CompareConfig::builder(2)
+            .interval_us(40_000)
+            .build()
+            .unwrap();
         cfg.failures = FailurePlan::at(vec![(SimTime::from_millis(150), 0)]);
         for s in compare_all(&workload(), &cfg) {
             assert!(s.completed, "{} failed", s.protocol.name());
@@ -496,10 +660,73 @@ mod tests {
     fn app_driven_rollback_depth_is_bounded_by_one_wave() {
         // Aligned straight-cut recovery never discards more than the
         // skew between processes: at most 1 for lock-step Jacobi.
-        let mut cfg = CompareConfig::new(2, 40_000);
+        let mut cfg = CompareConfig::builder(2)
+            .interval_us(40_000)
+            .build()
+            .unwrap();
         cfg.failures = FailurePlan::at(vec![(SimTime::from_millis(200), 1)]);
         let s = run_protocol(&workload(), ProtocolKind::AppDriven, &cfg);
         assert!(s.completed);
         assert!(s.max_rollback_depth <= 1, "{}", s.max_rollback_depth);
+    }
+
+    #[test]
+    fn builder_applies_defaults_and_setters() {
+        let cfg = CompareConfig::builder(4).build().unwrap();
+        assert_eq!(cfg.sim.nprocs, 4);
+        assert_eq!(cfg.interval_us, 60_000);
+        assert_eq!(cfg.skew_us, 20_000);
+        assert_eq!(cfg.sim.seed, 0xACFC);
+        let cfg = CompareConfig::builder(8)
+            .interval_us(30_000)
+            .skew_us(5_000)
+            .seed(7)
+            .build()
+            .unwrap();
+        assert_eq!(cfg.sim.nprocs, 8);
+        assert_eq!(cfg.interval_us, 30_000);
+        assert_eq!(cfg.skew_us, 5_000);
+        assert_eq!(cfg.sim.seed, 7);
+    }
+
+    #[test]
+    fn builder_rejects_invalid_parameters_with_typed_errors() {
+        assert_eq!(
+            CompareConfig::builder(0).build().unwrap_err(),
+            ConfigError::ZeroProcs
+        );
+        assert_eq!(
+            CompareConfig::builder(65).build().unwrap_err(),
+            ConfigError::TooManyProcs { n: 65, max: 64 }
+        );
+        assert_eq!(
+            CompareConfig::builder(2)
+                .interval_us(0)
+                .build()
+                .unwrap_err(),
+            ConfigError::ZeroInterval
+        );
+        // The boundary value itself is accepted, not clamped.
+        assert!(CompareConfig::builder(MAX_COMPARE_PROCS).build().is_ok());
+        // Errors render as readable sentences for CLI surfaces.
+        let msg = ConfigError::TooManyProcs { n: 65, max: 64 }.to_string();
+        assert!(msg.contains("65") && msg.contains("64"), "{msg}");
+    }
+
+    /// The one-release compatibility shims still behave like the new
+    /// API underneath.
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_shims_delegate_to_the_builders() {
+        let legacy = CompareConfig::new(3, 45_000);
+        let built = CompareConfig::builder(3)
+            .interval_us(45_000)
+            .build()
+            .unwrap();
+        assert_eq!(legacy.sim.nprocs, built.sim.nprocs);
+        assert_eq!(legacy.interval_us, built.interval_us);
+        assert_eq!(legacy.skew_us, built.skew_us);
+        let s = run_protocol(&workload(), ProtocolKind::AppDriven, &legacy);
+        assert_eq!(stats_json(3, &s), s.json(3).render());
     }
 }

@@ -25,7 +25,8 @@
 //! use acfc_protocols::compare::{compare_all, CompareConfig, ProtocolKind};
 //!
 //! let program = acfc_mpsl::programs::jacobi(5);
-//! let stats = compare_all(&program, &CompareConfig::new(4, 60_000));
+//! let config = CompareConfig::builder(4).interval_us(60_000).build().unwrap();
+//! let stats = compare_all(&program, &config);
 //! let app = stats.iter().find(|s| s.protocol == ProtocolKind::AppDriven).unwrap();
 //! // The paper's claim: zero protocol traffic.
 //! assert_eq!(app.control_messages, 0);
@@ -47,9 +48,12 @@ pub mod uncoordinated;
 pub use app_driven::AppDriven;
 pub use chandy_lamport::{cl_control_messages, cl_message_overhead_us, ChandyLamport};
 pub use cic::IndexBasedCic;
+#[allow(deprecated)]
+pub use compare::stats_json;
 pub use compare::{
-    compare_all, render_table, run_protocol, run_protocol_timeline, stats_json, CompareConfig,
-    ProtocolKind, RunStats,
+    bare_makespan, compare_all, render_table, run_protocol, run_protocol_against,
+    run_protocol_timeline, CompareConfig, CompareConfigBuilder, ConfigError, ProtocolKind,
+    RunStats, MAX_COMPARE_PROCS,
 };
 pub use depgraph::{
     max_consistent_line, max_consistent_line_of, max_consistent_picker, rollback_depths,
@@ -57,7 +61,11 @@ pub use depgraph::{
 };
 pub use domino::{domino_report, domino_stream, DominoReport};
 pub use sas::{sas_control_messages, sas_message_overhead_us, SyncAndStop};
+#[allow(deprecated)]
+pub use sweep::{empirical_sweep, empirical_sweep_with, render_sweep_json, SweepConfig};
 pub use sweep::{
-    empirical_sweep, empirical_sweep_with, render_sweep, render_sweep_json, SweepConfig, SweepRow,
+    render_agg_json, render_sweep, run_sweep, run_sweep_threads, AggRow, CellSpec, CollectSink,
+    JsonlSink, Progress, ProgressSink, RowSink, SweepArtifact, SweepPlan, SweepPlanBuilder,
+    SweepRow, SweepSummary, TableSink, Workload,
 };
 pub use uncoordinated::{uncoordinated_hooks, uncoordinated_picker};

@@ -1,19 +1,803 @@
-//! Empirical protocol sweeps on the message-level simulator — the
-//! measured companion to the analytic Figure 8.
+//! Scale-out empirical protocol sweeps with seed replication and
+//! streaming aggregation — the measured companion to the analytic
+//! Figure 8, at evaluation scale.
 //!
-//! The paper's Figure 8 evaluates the protocols through the §4 model;
-//! this module runs the same comparison on the simulator, sweeping the
-//! process count (with a failure rate scaled per the paper's
-//! `λ(n) ∝ n`) and reporting the *measured* overhead ratio of each
-//! protocol against a bare, checkpoint-free run.
+//! The paper's §5 argument is that application-driven checkpointing
+//! wins precisely as the process count and failure intensity grow; a
+//! single seeded run per point cannot support that claim. Following the
+//! replicated-trial methodology of checkpoint-interval studies (Daly;
+//! Plank & Thomason), a [`SweepPlan`] describes a full evaluation
+//! matrix — process counts up to `n = 64`, a failure-rate grid, a
+//! workload matrix, and a seeds-per-cell replication factor — and
+//! [`run_sweep`] executes it cell by cell on the labeled worker pool,
+//! aggregating each cell's trials into mean/stddev/95% CI
+//! ([`acfc_obs::CiAccum`]) and pooling latency histograms via
+//! `LocalHist` merging.
+//!
+//! A *cell* is one `(workload, n, λ, protocol)` point; its trials
+//! differ only in derived seeds, and every protocol in a
+//! `(workload, n, λ)` column faces the **identical failure plans** —
+//! the seeds deliberately exclude the protocol, so cross-protocol
+//! deltas are paired, not confounded.
+//!
+//! Results stream through the [`RowSink`] trait instead of being
+//! buffered: workers hand finished cells to a reorder buffer
+//! ([`acfc_util::parallel::par_for_each_ordered_labeled`]) that emits
+//! rows in plan order as the prefix completes, so the built-in sinks
+//! ([`TableSink`], [`JsonlSink`], [`ProgressSink`]) observe the same
+//! byte stream at any `ACFC_THREADS` — streaming *and* bit-identical.
 
-use crate::compare::{run_protocol, stats_json, CompareConfig, ProtocolKind, RunStats};
+use crate::compare::{
+    bare_makespan, run_protocol_against, CompareConfig, ConfigError, ProtocolKind, RunStats,
+    MAX_COMPARE_PROCS,
+};
 use acfc_mpsl::{programs, Program};
+use acfc_obs::{CiAccum, CiSummary, HistSnapshot};
 use acfc_sim::{FailurePlan, SimConfig, SimTime};
-use acfc_util::parallel::par_map_labeled;
-use std::fmt::Write;
+use acfc_util::bench::Json;
+use acfc_util::parallel::{configured_threads, par_for_each_ordered_labeled, par_map_labeled};
+use acfc_util::rng::mix64;
+use std::fmt::Write as _;
+use std::sync::Arc;
+use std::time::Instant;
 
-/// Configuration of an empirical sweep.
+/// A named workload: a factory from process count to program, so one
+/// sweep can rank protocols across several applications (the paper's
+/// workload matrix).
+#[derive(Clone)]
+pub struct Workload {
+    name: String,
+    make: Arc<dyn Fn(usize) -> Program + Send + Sync>,
+}
+
+impl Workload {
+    /// A workload built from a factory closure.
+    pub fn new(
+        name: impl Into<String>,
+        make: impl Fn(usize) -> Program + Send + Sync + 'static,
+    ) -> Workload {
+        Workload {
+            name: name.into(),
+            make: Arc::new(make),
+        }
+    }
+
+    /// The default evaluation workload: 10-iteration Jacobi.
+    pub fn jacobi() -> Workload {
+        Workload::new("jacobi", |_| programs::jacobi(10))
+    }
+
+    /// The workload's display name (used in rows and artifacts).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Instantiates the program for `n` processes.
+    pub fn program(&self, n: usize) -> Program {
+        (self.make)(n)
+    }
+}
+
+impl std::fmt::Debug for Workload {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Workload")
+            .field("name", &self.name)
+            .finish()
+    }
+}
+
+/// A validated sweep evaluation matrix. Construct via
+/// [`SweepPlan::builder`]; fields are private so every plan that exists
+/// went through validation.
+#[derive(Debug, Clone)]
+pub struct SweepPlan {
+    ns: Vec<usize>,
+    seeds_per_cell: u64,
+    lambdas: Vec<f64>,
+    workloads: Vec<Workload>,
+    interval_us: u64,
+    seed: u64,
+}
+
+/// Builder for [`SweepPlan`] — named setters, explicit defaults, and
+/// typed [`ConfigError`]s at [`build`](Self::build) instead of silent
+/// clamping.
+#[derive(Debug, Clone)]
+pub struct SweepPlanBuilder {
+    ns: Vec<usize>,
+    seeds_per_cell: u64,
+    lambdas: Vec<f64>,
+    workloads: Option<Vec<Workload>>,
+    interval_us: u64,
+    seed: u64,
+}
+
+impl SweepPlan {
+    /// Starts a plan with the defaults: `ns = [2, 4, 8]`, 3 seeds per
+    /// cell, failure-rate grid `[1.0]` (per-process failures/sec of
+    /// simulated time), 60 ms checkpoint interval, base seed `0xACFC`,
+    /// and the [`Workload::jacobi`] workload if none is added.
+    pub fn builder() -> SweepPlanBuilder {
+        SweepPlanBuilder {
+            ns: vec![2, 4, 8],
+            seeds_per_cell: 3,
+            lambdas: vec![1.0],
+            workloads: None,
+            interval_us: 60_000,
+            seed: 0xACFC,
+        }
+    }
+
+    /// Process counts, in sweep order.
+    pub fn ns(&self) -> &[usize] {
+        &self.ns
+    }
+
+    /// Seeded trials aggregated into each cell.
+    pub fn seeds_per_cell(&self) -> u64 {
+        self.seeds_per_cell
+    }
+
+    /// The per-process failure-rate grid (failures per second of
+    /// simulated time; `0.0` = failure-free column).
+    pub fn failure_rates(&self) -> &[f64] {
+        &self.lambdas
+    }
+
+    /// The workload matrix.
+    pub fn workloads(&self) -> &[Workload] {
+        &self.workloads
+    }
+
+    /// Checkpoint interval for the timer/wave protocols, µs.
+    pub fn interval_us(&self) -> u64 {
+        self.interval_us
+    }
+
+    /// Base RNG seed all trial seeds derive from.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Every cell of the matrix in plan order: workload-major, then
+    /// process count, then failure rate, then protocol — the order rows
+    /// stream out of [`run_sweep`].
+    pub fn cells(&self) -> Vec<CellSpec> {
+        let mut cells = Vec::with_capacity(self.total_cells());
+        for (w, _) in self.workloads.iter().enumerate() {
+            for &n in &self.ns {
+                for &lambda in &self.lambdas {
+                    for protocol in ProtocolKind::all() {
+                        cells.push(CellSpec {
+                            index: cells.len(),
+                            workload: w,
+                            n,
+                            lambda,
+                            protocol,
+                        });
+                    }
+                }
+            }
+        }
+        cells
+    }
+
+    /// Number of cells in the matrix.
+    pub fn total_cells(&self) -> usize {
+        self.workloads.len() * self.ns.len() * self.lambdas.len() * ProtocolKind::all().len()
+    }
+
+    /// Number of simulator trials the plan will run (cells × seeds),
+    /// not counting the shared bare-baseline runs.
+    pub fn total_trials(&self) -> u64 {
+        self.total_cells() as u64 * self.seeds_per_cell
+    }
+
+    /// The simulator seed of one trial. Derived from
+    /// `(workload, n, trial)` only — deliberately independent of both
+    /// the failure rate and the protocol, so every cell in a
+    /// `(workload, n)` block replays the same jittered network and the
+    /// shared bare baseline is exact for all of them.
+    fn sim_seed(&self, w: usize, n: usize, trial: u64) -> u64 {
+        mix64(self.seed ^ mix64(((w as u64) << 48) | ((n as u64) << 32) | trial))
+    }
+
+    /// The failure-plan seed of one trial: the sim seed refined by the
+    /// failure-rate index. Protocol-independent, so all five protocols
+    /// in a `(workload, n, λ)` column face identical failure plans.
+    fn fail_seed(&self, w: usize, n: usize, lambda_idx: usize, trial: u64) -> u64 {
+        mix64(self.sim_seed(w, n, trial) ^ ((lambda_idx as u64 + 1) << 56))
+    }
+}
+
+impl SweepPlanBuilder {
+    /// Process counts to sweep (kept in the given order).
+    pub fn ns(mut self, ns: impl Into<Vec<usize>>) -> Self {
+        self.ns = ns.into();
+        self
+    }
+
+    /// Seeded trials per cell.
+    pub fn seeds_per_cell(mut self, seeds: u64) -> Self {
+        self.seeds_per_cell = seeds;
+        self
+    }
+
+    /// Replaces the failure-rate grid (per-process failures per second
+    /// of simulated time; `0.0` = a failure-free column). An empty grid
+    /// is rejected at build.
+    pub fn failure_rates(mut self, lambdas: impl Into<Vec<f64>>) -> Self {
+        self.lambdas = lambdas.into();
+        self
+    }
+
+    /// Adds one workload to the matrix.
+    pub fn workload(mut self, w: Workload) -> Self {
+        self.workloads.get_or_insert_with(Vec::new).push(w);
+        self
+    }
+
+    /// Replaces the workload matrix.
+    pub fn workloads(mut self, ws: Vec<Workload>) -> Self {
+        self.workloads = Some(ws);
+        self
+    }
+
+    /// Checkpoint interval for the timer/wave protocols, µs.
+    pub fn interval_us(mut self, interval_us: u64) -> Self {
+        self.interval_us = interval_us;
+        self
+    }
+
+    /// Base RNG seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Validates and produces the plan.
+    pub fn build(self) -> Result<SweepPlan, ConfigError> {
+        if self.ns.is_empty() {
+            return Err(ConfigError::EmptyNs);
+        }
+        for &n in &self.ns {
+            if n == 0 {
+                return Err(ConfigError::ZeroProcs);
+            }
+            if n > MAX_COMPARE_PROCS {
+                return Err(ConfigError::TooManyProcs {
+                    n,
+                    max: MAX_COMPARE_PROCS,
+                });
+            }
+        }
+        if self.seeds_per_cell == 0 {
+            return Err(ConfigError::ZeroSeeds);
+        }
+        if self.interval_us == 0 {
+            return Err(ConfigError::ZeroInterval);
+        }
+        if self.lambdas.is_empty() {
+            return Err(ConfigError::BadFailureRate(f64::NAN));
+        }
+        for &l in &self.lambdas {
+            if !l.is_finite() || l < 0.0 {
+                return Err(ConfigError::BadFailureRate(l));
+            }
+        }
+        let workloads = match self.workloads {
+            None => vec![Workload::jacobi()],
+            Some(ws) if ws.is_empty() => return Err(ConfigError::NoWorkloads),
+            Some(ws) => ws,
+        };
+        Ok(SweepPlan {
+            ns: self.ns,
+            seeds_per_cell: self.seeds_per_cell,
+            lambdas: self.lambdas,
+            workloads,
+            interval_us: self.interval_us,
+            seed: self.seed,
+        })
+    }
+}
+
+/// One cell of the sweep matrix: the coordinates a worker needs to run
+/// its trials.
+#[derive(Debug, Clone)]
+pub struct CellSpec {
+    /// Position in plan order (the streaming emission order).
+    pub index: usize,
+    /// Index into [`SweepPlan::workloads`].
+    pub workload: usize,
+    /// Process count.
+    pub n: usize,
+    /// Per-process failure rate (failures/sec of simulated time).
+    pub lambda: f64,
+    /// Protocol under test.
+    pub protocol: ProtocolKind,
+}
+
+/// One aggregate sweep row: a cell's seeded trials reduced to
+/// mean/stddev/95% CI per metric plus the pooled latency histogram.
+#[derive(Debug, Clone)]
+pub struct AggRow {
+    /// Workload name.
+    pub workload: String,
+    /// Process count.
+    pub n: usize,
+    /// Per-process failure rate.
+    pub lambda: f64,
+    /// Protocol.
+    pub protocol: ProtocolKind,
+    /// Trials aggregated.
+    pub seeds: u64,
+    /// Trials that completed.
+    pub completed: u64,
+    /// Overhead ratio `makespan/bare − 1`.
+    pub overhead_ratio: CiSummary,
+    /// Total checkpoints taken.
+    pub checkpoints: CiSummary,
+    /// Forced (communication-induced) checkpoints.
+    pub forced: CiSummary,
+    /// Protocol control messages.
+    pub control_messages: CiSummary,
+    /// Coordination-only stall, ms.
+    pub coord_stall_ms: CiSummary,
+    /// Failures injected and survived.
+    pub failures: CiSummary,
+    /// Work lost to rollbacks, ms.
+    pub lost_ms: CiSummary,
+    /// Per-trial latency p50 bound, µs.
+    pub lat_p50_us: CiSummary,
+    /// Per-trial latency p99 bound, µs.
+    pub lat_p99_us: CiSummary,
+    /// Latency histogram pooled across all trials
+    /// ([`HistSnapshot::merge`]): percentiles of the union multiset,
+    /// complementing the per-trial CI columns.
+    pub latency: HistSnapshot,
+}
+
+fn ci_json(s: &CiSummary) -> Json {
+    let j = Json::new().num("mean", s.mean).num("stddev", s.stddev);
+    match s.ci95_half {
+        // Absent (seeds = 1) stays absent in the artifact — no NaN, no
+        // sentinel zero a reader could mistake for a tight interval.
+        Some(ci) => j.num("ci95", ci),
+        None => j,
+    }
+}
+
+impl AggRow {
+    /// Aggregates one cell's trials. `stats` must all come from the
+    /// same `(workload, n, λ, protocol)` cell, in trial order (the
+    /// accumulation order is part of the bit-determinism pin).
+    pub fn from_trials(workload: &str, cell: &CellSpec, seeds: u64, stats: &[RunStats]) -> AggRow {
+        let mut overhead = CiAccum::new();
+        let mut checkpoints = CiAccum::new();
+        let mut forced = CiAccum::new();
+        let mut control = CiAccum::new();
+        let mut coord = CiAccum::new();
+        let mut failures = CiAccum::new();
+        let mut lost = CiAccum::new();
+        let mut lat_p50 = CiAccum::new();
+        let mut lat_p99 = CiAccum::new();
+        let mut latency = HistSnapshot::default();
+        let mut completed = 0u64;
+        for s in stats {
+            completed += u64::from(s.completed);
+            overhead.push(s.overhead_ratio);
+            checkpoints.push(s.checkpoints as f64);
+            forced.push(s.forced as f64);
+            control.push(s.control_messages as f64);
+            coord.push(s.coord_stall_us as f64 / 1000.0);
+            failures.push(s.failures as f64);
+            lost.push(s.lost_us as f64 / 1000.0);
+            let q = s.latency_percentiles();
+            lat_p50.push(q.p50 as f64);
+            lat_p99.push(q.p99 as f64);
+            latency.merge(&s.latency);
+        }
+        AggRow {
+            workload: workload.to_string(),
+            n: cell.n,
+            lambda: cell.lambda,
+            protocol: cell.protocol,
+            seeds,
+            completed,
+            overhead_ratio: overhead.summary(),
+            checkpoints: checkpoints.summary(),
+            forced: forced.summary(),
+            control_messages: control.summary(),
+            coord_stall_ms: coord.summary(),
+            failures: failures.summary(),
+            lost_ms: lost.summary(),
+            lat_p50_us: lat_p50.summary(),
+            lat_p99_us: lat_p99.summary(),
+            latency,
+        }
+    }
+
+    /// The row as a flat-ish JSON object: scalar coordinates plus one
+    /// `{mean, stddev, ci95}` object per metric (`ci95` absent when
+    /// seeds < 2), and pooled-histogram percentile bounds. Render with
+    /// `render_line()` for JSONL.
+    pub fn json(&self) -> Json {
+        let pool = self.latency.percentiles();
+        Json::new()
+            .str("workload", &self.workload)
+            .num("n", self.n as f64)
+            .num("lambda", self.lambda)
+            .str("protocol", self.protocol.name())
+            .num("seeds", self.seeds as f64)
+            .num("completed", self.completed as f64)
+            .raw(
+                "overhead_ratio",
+                ci_json(&self.overhead_ratio).render_line(),
+            )
+            .raw("checkpoints", ci_json(&self.checkpoints).render_line())
+            .raw("forced_checkpoints", ci_json(&self.forced).render_line())
+            .raw(
+                "control_messages",
+                ci_json(&self.control_messages).render_line(),
+            )
+            .raw(
+                "coord_stall_ms",
+                ci_json(&self.coord_stall_ms).render_line(),
+            )
+            .raw("failures", ci_json(&self.failures).render_line())
+            .raw("lost_ms", ci_json(&self.lost_ms).render_line())
+            .raw("lat_p50_us", ci_json(&self.lat_p50_us).render_line())
+            .raw("lat_p99_us", ci_json(&self.lat_p99_us).render_line())
+            .num("lat_pool_p50_us", pool.p50 as f64)
+            .num("lat_pool_p99_us", pool.p99 as f64)
+    }
+}
+
+/// Streaming progress for a sink: how far the emission has got.
+#[derive(Debug, Clone, Copy)]
+pub struct Progress {
+    /// Rows emitted so far, including the current one.
+    pub emitted: usize,
+    /// Total rows the plan will emit.
+    pub total: usize,
+    /// Wall-clock seconds since the sweep started.
+    pub elapsed_secs: f64,
+}
+
+/// End-of-sweep totals.
+#[derive(Debug, Clone, Copy)]
+pub struct SweepSummary {
+    /// Cells executed.
+    pub cells: usize,
+    /// Simulator trials executed (cells × seeds, excluding baselines).
+    pub trials: u64,
+    /// Wall-clock seconds for the whole sweep.
+    pub elapsed_secs: f64,
+}
+
+impl SweepSummary {
+    /// Sweep throughput in cells per second.
+    pub fn cells_per_sec(&self) -> f64 {
+        self.cells as f64 / self.elapsed_secs.max(1e-9)
+    }
+}
+
+/// A consumer of aggregate sweep rows, fed **in plan order, as cells
+/// complete** — the streaming replacement for buffer-everything sweep
+/// results. Rows arrive on the caller's thread, so sinks may hold
+/// writers and mutable state without synchronisation.
+pub trait RowSink {
+    /// Called once before any row, with the plan about to run.
+    fn begin(&mut self, _plan: &SweepPlan) {}
+
+    /// Called once per cell, in plan order.
+    fn row(&mut self, row: &AggRow, progress: &Progress);
+
+    /// Called once after the last row.
+    fn finish(&mut self, _summary: &SweepSummary) {}
+}
+
+/// Renders rows as an aligned, CI-annotated text table (`mean±ci95`
+/// cells), streamed line by line.
+pub struct TableSink<W: std::io::Write> {
+    out: W,
+}
+
+impl<W: std::io::Write> TableSink<W> {
+    /// A table sink writing to `out`.
+    pub fn new(out: W) -> TableSink<W> {
+        TableSink { out }
+    }
+
+    /// Consumes the sink, returning the writer.
+    pub fn into_inner(self) -> W {
+        self.out
+    }
+}
+
+impl<W: std::io::Write> RowSink for TableSink<W> {
+    fn begin(&mut self, _plan: &SweepPlan) {
+        let _ = writeln!(
+            self.out,
+            "{:<10} {:>3} {:>5} {:<14} {:>15} {:>13} {:>11} {:>13} {:>13} {:>9} {:>13} {:>11} {:>11}",
+            "workload",
+            "n",
+            "λ",
+            "protocol",
+            "ratio",
+            "ckpts",
+            "forced",
+            "ctrl-msgs",
+            "coord-ms",
+            "fails",
+            "lost-ms",
+            "lat-p50-µs",
+            "lat-p99-µs",
+        );
+    }
+
+    fn row(&mut self, r: &AggRow, _progress: &Progress) {
+        let _ = writeln!(
+            self.out,
+            "{:<10} {:>3} {:>5.2} {:<14} {:>15} {:>13} {:>11} {:>13} {:>13} {:>9} {:>13} {:>11} {:>11}",
+            r.workload,
+            r.n,
+            r.lambda,
+            r.protocol.name(),
+            r.overhead_ratio.render(3),
+            r.checkpoints.render(1),
+            r.forced.render(1),
+            r.control_messages.render(1),
+            r.coord_stall_ms.render(1),
+            r.failures.render(1),
+            r.lost_ms.render(1),
+            r.lat_p50_us.render(0),
+            r.lat_p99_us.render(0),
+        );
+    }
+
+    fn finish(&mut self, summary: &SweepSummary) {
+        let _ = writeln!(
+            self.out,
+            "{} cells, {} trials in {:.1}s ({:.2} cells/s)",
+            summary.cells,
+            summary.trials,
+            summary.elapsed_secs,
+            summary.cells_per_sec()
+        );
+    }
+}
+
+/// Writes one compact JSON object per row (JSONL), flushing after every
+/// line so the artifact grows while the sweep runs.
+pub struct JsonlSink<W: std::io::Write> {
+    out: W,
+}
+
+impl<W: std::io::Write> JsonlSink<W> {
+    /// A JSONL sink writing to `out`.
+    pub fn new(out: W) -> JsonlSink<W> {
+        JsonlSink { out }
+    }
+
+    /// Consumes the sink, returning the writer.
+    pub fn into_inner(self) -> W {
+        self.out
+    }
+}
+
+impl<W: std::io::Write> RowSink for JsonlSink<W> {
+    fn row(&mut self, r: &AggRow, _progress: &Progress) {
+        let _ = writeln!(self.out, "{}", r.json().render_line());
+        let _ = self.out.flush();
+    }
+}
+
+/// Narrates progress with an ETA extrapolated from the cells done so
+/// far — pointed at stderr, it keeps long sweeps honest without
+/// touching the machine-readable streams.
+pub struct ProgressSink<W: std::io::Write> {
+    out: W,
+}
+
+impl<W: std::io::Write> ProgressSink<W> {
+    /// A progress narrator writing to `out`.
+    pub fn new(out: W) -> ProgressSink<W> {
+        ProgressSink { out }
+    }
+}
+
+impl<W: std::io::Write> RowSink for ProgressSink<W> {
+    fn begin(&mut self, plan: &SweepPlan) {
+        let _ = writeln!(
+            self.out,
+            "sweep: {} cells × {} seeds = {} trials",
+            plan.total_cells(),
+            plan.seeds_per_cell(),
+            plan.total_trials()
+        );
+    }
+
+    fn row(&mut self, _r: &AggRow, p: &Progress) {
+        let eta = if p.emitted > 0 {
+            p.elapsed_secs / p.emitted as f64 * (p.total - p.emitted) as f64
+        } else {
+            0.0
+        };
+        let _ = writeln!(
+            self.out,
+            "sweep: {}/{} cells ({:.0}%), {:.1}s elapsed, eta {:.1}s",
+            p.emitted,
+            p.total,
+            p.emitted as f64 * 100.0 / p.total.max(1) as f64,
+            p.elapsed_secs,
+            eta
+        );
+        let _ = self.out.flush();
+    }
+
+    fn finish(&mut self, s: &SweepSummary) {
+        let _ = writeln!(
+            self.out,
+            "sweep: done — {} cells in {:.1}s ({:.2} cells/s)",
+            s.cells,
+            s.elapsed_secs,
+            s.cells_per_sec()
+        );
+    }
+}
+
+/// Buffers rows in memory — for callers (benches, tests) that want the
+/// aggregate rows as values rather than a byte stream.
+#[derive(Debug, Default)]
+pub struct CollectSink {
+    /// The rows, in plan order.
+    pub rows: Vec<AggRow>,
+}
+
+impl RowSink for CollectSink {
+    fn row(&mut self, r: &AggRow, _progress: &Progress) {
+        self.rows.push(r.clone());
+    }
+}
+
+/// Executes the plan on [`configured_threads`] workers
+/// (`ACFC_THREADS` overrides), streaming aggregate rows to every sink
+/// in plan order. See [`run_sweep_threads`].
+pub fn run_sweep(plan: &SweepPlan, sinks: &mut [&mut dyn RowSink]) -> SweepSummary {
+    run_sweep_threads(plan, configured_threads(), sinks)
+}
+
+/// [`run_sweep`] with an explicit worker count.
+///
+/// Two phases, both on labeled scoped threads:
+///
+/// 1. **Baselines** (`sweep-base-k` workers): for every
+///    `(workload, n)` block, each trial's bare (checkpoint-free,
+///    failure-free) run — the overhead denominator *and* the failure
+///    horizon. Computed once per block and shared by all its λ × 5
+///    protocol cells, instead of once per protocol run.
+/// 2. **Cells** (`sweep-k` workers): work-stealing over
+///    [`SweepPlan::cells`]; each worker runs its cell's trials in trial
+///    order and reduces them to an [`AggRow`] locally. Finished rows
+///    flow through a reorder buffer to the sinks in plan order, so the
+///    emitted stream is bit-identical at any thread count while still
+///    streaming during the run.
+pub fn run_sweep_threads(
+    plan: &SweepPlan,
+    threads: usize,
+    sinks: &mut [&mut dyn RowSink],
+) -> SweepSummary {
+    let t0 = Instant::now();
+    for sink in sinks.iter_mut() {
+        sink.begin(plan);
+    }
+
+    // Phase 1: shared per-(workload, n) baselines, one entry per trial:
+    // (bare makespan secs, failure horizon µs).
+    let blocks: Vec<(usize, usize)> = (0..plan.workloads.len())
+        .flat_map(|w| plan.ns.iter().map(move |&n| (w, n)))
+        .collect();
+    let baselines: Vec<Vec<(f64, u64)>> = par_map_labeled(&blocks, "sweep-base", |_, &(w, n)| {
+        let program = plan.workloads[w].program(n);
+        (0..plan.seeds_per_cell)
+            .map(|trial| {
+                let sim = SimConfig::new(n).with_seed(plan.sim_seed(w, n, trial));
+                let bare = bare_makespan(&program, &sim);
+                (bare, (bare * 1e6) as u64)
+            })
+            .collect()
+    });
+    let baseline_of = |w: usize, n: usize| {
+        let b = blocks
+            .iter()
+            .position(|&(bw, bn)| bw == w && bn == n)
+            .expect("cell block exists");
+        &baselines[b]
+    };
+
+    // Phase 2: the cells, streamed through the reorder buffer.
+    let cells = plan.cells();
+    let total = cells.len();
+    let mut emitted = 0usize;
+    par_for_each_ordered_labeled(
+        &cells,
+        threads,
+        "sweep",
+        |_, cell| {
+            let workload = &plan.workloads[cell.workload];
+            let program = workload.program(cell.n);
+            let lambda_idx = plan
+                .lambdas
+                .iter()
+                .position(|&l| l == cell.lambda)
+                .expect("cell lambda is on the grid");
+            let base = baseline_of(cell.workload, cell.n);
+            let stats: Vec<RunStats> = (0..plan.seeds_per_cell)
+                .map(|trial| {
+                    let (bare_secs, horizon_us) = base[trial as usize];
+                    let failures = if cell.lambda > 0.0 {
+                        FailurePlan::exponential(
+                            cell.n,
+                            cell.lambda,
+                            SimTime(horizon_us.max(1)),
+                            plan.fail_seed(cell.workload, cell.n, lambda_idx, trial),
+                        )
+                    } else {
+                        FailurePlan::none()
+                    };
+                    let cc = CompareConfig::builder(cell.n)
+                        .interval_us(plan.interval_us)
+                        .seed(plan.sim_seed(cell.workload, cell.n, trial))
+                        .failures(failures)
+                        .build()
+                        .expect("plan validation covers the config");
+                    run_protocol_against(&program, cell.protocol, &cc, bare_secs)
+                })
+                .collect();
+            AggRow::from_trials(workload.name(), cell, plan.seeds_per_cell, &stats)
+        },
+        |_, row| {
+            emitted += 1;
+            let progress = Progress {
+                emitted,
+                total,
+                elapsed_secs: t0.elapsed().as_secs_f64(),
+            };
+            for sink in sinks.iter_mut() {
+                sink.row(&row, &progress);
+            }
+        },
+    );
+
+    let summary = SweepSummary {
+        cells: total,
+        trials: plan.total_trials(),
+        elapsed_secs: t0.elapsed().as_secs_f64(),
+    };
+    for sink in sinks.iter_mut() {
+        sink.finish(&summary);
+    }
+    summary
+}
+
+/// Serialises aggregate rows as one JSON document (a `rows` array of
+/// [`AggRow::json`] objects) — the buffered counterpart of the JSONL
+/// stream for `--json` consumers.
+pub fn render_agg_json(rows: &[AggRow]) -> String {
+    let body: Vec<String> = rows.iter().map(|r| r.json().render_line()).collect();
+    Json::new()
+        .num("rows_len", rows.len() as f64)
+        .raw("rows", format!("[\n  {}\n  ]", body.join(",\n  ")))
+        .render()
+}
+
+// ---------------------------------------------------------------------
+// Single-seed legacy sweep (one release of compatibility shims).
+// ---------------------------------------------------------------------
+
+/// Configuration of a single-seed empirical sweep.
+#[deprecated(since = "0.2.0", note = "use `SweepPlan::builder()` instead")]
 #[derive(Debug, Clone)]
 pub struct SweepConfig {
     /// Process counts to sweep.
@@ -30,6 +814,7 @@ pub struct SweepConfig {
     pub workload: fn(usize) -> Program,
 }
 
+#[allow(deprecated)]
 impl Default for SweepConfig {
     fn default() -> SweepConfig {
         SweepConfig {
@@ -42,7 +827,7 @@ impl Default for SweepConfig {
     }
 }
 
-/// One sweep row: a protocol's stats at one `n`.
+/// One sweep row: a protocol's stats at one `n` (single seed).
 #[derive(Debug, Clone)]
 pub struct SweepRow {
     /// Process count.
@@ -51,23 +836,26 @@ pub struct SweepRow {
     pub stats: RunStats,
 }
 
-/// Runs the sweep: for each `n`, each protocol runs the same workload
-/// with the same failure plan (drawn at rate `n·λ` over a horizon of
-/// roughly the failure-free makespan).
-///
-/// The per-`n` columns are independent — everything inside one is
-/// derived from `config.seed` and `n` — so they run on
-/// [`acfc_util::parallel::par_map`] worker threads (`ACFC_THREADS`
-/// overrides) and are flattened back in `ns` order: the report is
-/// identical at any thread count.
+/// Runs the single-seed sweep: for each `n`, each protocol runs the
+/// same workload with the same failure plan (drawn at rate `n·λ` over a
+/// horizon of roughly the failure-free makespan).
+#[deprecated(
+    since = "0.2.0",
+    note = "use `run_sweep` with a `SweepPlan` (seed replication + CIs) instead"
+)]
+#[allow(deprecated)]
 pub fn empirical_sweep(config: &SweepConfig) -> Vec<SweepRow> {
     empirical_sweep_with(config, &config.workload)
 }
 
 /// Like [`empirical_sweep`] but with a caller-supplied workload
-/// closure, so a program loaded at runtime (the `acfc compare --sweep`
-/// path) can be swept without fitting the `fn(usize) -> Program`
-/// factory shape.
+/// closure, so a program loaded at runtime can be swept without fitting
+/// the `fn(usize) -> Program` factory shape.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `run_sweep` with a `SweepPlan` (seed replication + CIs) instead"
+)]
+#[allow(deprecated)]
 pub fn empirical_sweep_with(
     config: &SweepConfig,
     workload: &(dyn Fn(usize) -> Program + Sync),
@@ -75,30 +863,31 @@ pub fn empirical_sweep_with(
     let columns = par_map_labeled(&config.ns, "sweep", |_, &n| {
         let program = workload(n);
         // Probe the failure-free makespan to size the failure horizon.
-        let probe = acfc_sim::run(
-            &acfc_sim::compile(&program),
-            &SimConfig::new(n).with_seed(config.seed),
-        );
-        let horizon = SimTime(probe.finished_at.as_micros().max(1));
+        let sim = SimConfig::new(n).with_seed(config.seed);
+        let horizon_secs = bare_makespan(&program, &sim);
+        let horizon = SimTime(((horizon_secs * 1e6) as u64).max(1));
         let plan =
             FailurePlan::exponential(n, config.lambda_per_proc, horizon, config.seed ^ n as u64);
-        let mut cc = CompareConfig::new(n, config.interval_us);
-        cc.sim = cc.sim.with_seed(config.seed);
-        cc.failures = plan;
+        let cc = CompareConfig::builder(n)
+            .interval_us(config.interval_us)
+            .seed(config.seed)
+            .failures(plan)
+            .build()
+            .expect("legacy sweep config was invalid");
         ProtocolKind::all()
             .into_iter()
             .map(|kind| SweepRow {
                 n,
-                stats: run_protocol(&program, kind, &cc),
+                stats: crate::compare::run_protocol(&program, kind, &cc),
             })
             .collect::<Vec<_>>()
     });
     columns.into_iter().flatten().collect()
 }
 
-/// Renders the sweep as a TSV table (`n`, protocol, ratio, checkpoints,
-/// forced, control messages, coordination stall, failures, lost ms,
-/// latency percentile bounds).
+/// Renders single-seed rows as a TSV table (`n`, protocol, ratio,
+/// checkpoints, forced, control messages, coordination stall, failures,
+/// lost ms, latency percentile bounds).
 pub fn render_sweep(rows: &[SweepRow]) -> String {
     let mut out = String::from(
         "n\tprotocol\tratio\tckpts\tforced\tctrl_msgs\tcoord_ms\tfails\tlost_ms\t\
@@ -127,84 +916,304 @@ pub fn render_sweep(rows: &[SweepRow]) -> String {
     out
 }
 
-/// Serialises the sweep as one machine-readable JSON document: the
-/// workload name plus a `runs` array with one flat object per
-/// (`n`, protocol) pair — the artifact behind `acfc compare --sweep
-/// --json`.
+/// The machine-readable single-seed comparison artifact: a workload
+/// name plus one flat stats object per (`n`, protocol) run — typed,
+/// where the former free function took a loose string and a slice.
+#[derive(Debug, Clone)]
+pub struct SweepArtifact {
+    /// Workload display name.
+    pub workload: String,
+    /// The runs, in row order.
+    pub runs: Vec<SweepRow>,
+}
+
+impl SweepArtifact {
+    /// Bundles rows under a workload name.
+    pub fn new(workload: impl Into<String>, runs: Vec<SweepRow>) -> SweepArtifact {
+        SweepArtifact {
+            workload: workload.into(),
+            runs,
+        }
+    }
+
+    /// Serialises the artifact as one JSON document (same schema the
+    /// former `render_sweep_json` emitted: `workload` plus a `runs`
+    /// array of flat per-run objects).
+    pub fn to_json(&self) -> String {
+        let runs: Vec<String> = self
+            .runs
+            .iter()
+            .map(|r| {
+                r.stats
+                    .json(r.n)
+                    .render()
+                    .lines()
+                    .collect::<Vec<_>>()
+                    .join(" ")
+            })
+            .collect();
+        Json::new()
+            .str("workload", &self.workload)
+            .raw("runs", format!("[\n  {}\n  ]", runs.join(",\n  ")))
+            .render()
+    }
+}
+
+/// Serialises the sweep as one machine-readable JSON document.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `SweepArtifact::new(...).to_json()` instead"
+)]
 pub fn render_sweep_json(workload: &str, rows: &[SweepRow]) -> String {
-    let runs: Vec<String> = rows
-        .iter()
-        .map(|r| {
-            stats_json(r.n, &r.stats)
-                .lines()
-                .collect::<Vec<_>>()
-                .join(" ")
-        })
-        .collect();
-    acfc_util::bench::Json::new()
-        .str("workload", workload)
-        .raw("runs", format!("[\n  {}\n  ]", runs.join(",\n  ")))
-        .render()
+    SweepArtifact::new(workload, rows.to_vec()).to_json()
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
 
+    fn tiny_plan(seeds: u64) -> SweepPlan {
+        SweepPlan::builder()
+            .ns([2usize, 3])
+            .seeds_per_cell(seeds)
+            .failure_rates([0.0, 0.5])
+            .seed(7)
+            .build()
+            .unwrap()
+    }
+
     #[test]
-    fn sweep_produces_all_rows_and_completes() {
+    fn builder_defaults_and_validation() {
+        let plan = SweepPlan::builder().build().unwrap();
+        assert_eq!(plan.ns(), &[2, 4, 8]);
+        assert_eq!(plan.seeds_per_cell(), 3);
+        assert_eq!(plan.failure_rates(), &[1.0]);
+        assert_eq!(plan.workloads().len(), 1);
+        assert_eq!(plan.workloads()[0].name(), "jacobi");
+        assert_eq!(plan.interval_us(), 60_000);
+        assert_eq!(plan.total_cells(), 3 * 5);
+        assert_eq!(plan.total_trials(), 45);
+
+        assert_eq!(
+            SweepPlan::builder().ns(Vec::new()).build().unwrap_err(),
+            ConfigError::EmptyNs
+        );
+        assert_eq!(
+            SweepPlan::builder().ns([0usize]).build().unwrap_err(),
+            ConfigError::ZeroProcs
+        );
+        assert_eq!(
+            SweepPlan::builder().ns([128usize]).build().unwrap_err(),
+            ConfigError::TooManyProcs { n: 128, max: 64 }
+        );
+        assert_eq!(
+            SweepPlan::builder().seeds_per_cell(0).build().unwrap_err(),
+            ConfigError::ZeroSeeds
+        );
+        assert_eq!(
+            SweepPlan::builder().interval_us(0).build().unwrap_err(),
+            ConfigError::ZeroInterval
+        );
+        assert_eq!(
+            SweepPlan::builder()
+                .failure_rates([-1.0])
+                .build()
+                .unwrap_err(),
+            ConfigError::BadFailureRate(-1.0)
+        );
+        assert_eq!(
+            SweepPlan::builder()
+                .workloads(Vec::new())
+                .build()
+                .unwrap_err(),
+            ConfigError::NoWorkloads
+        );
+    }
+
+    #[test]
+    fn cells_enumerate_workload_major_plan_order() {
+        let plan = tiny_plan(1);
+        let cells = plan.cells();
+        assert_eq!(cells.len(), 2 * 2 * 5);
+        // Order: n-major over λ over protocol (single workload).
+        assert_eq!(cells[0].n, 2);
+        assert_eq!(cells[0].lambda, 0.0);
+        assert_eq!(cells[0].protocol, ProtocolKind::AppDriven);
+        assert_eq!(cells[4].protocol, ProtocolKind::IndexCic);
+        assert_eq!(cells[5].lambda, 0.5);
+        assert_eq!(cells[10].n, 3);
+        for (i, c) in cells.iter().enumerate() {
+            assert_eq!(c.index, i);
+        }
+    }
+
+    #[test]
+    fn sweep_streams_rows_in_plan_order_with_cis() {
+        let plan = tiny_plan(3);
+        let mut collect = CollectSink::default();
+        let mut table = TableSink::new(Vec::new());
+        let summary = run_sweep_threads(&plan, 2, &mut [&mut collect, &mut table]);
+        assert_eq!(summary.cells, plan.total_cells());
+        assert_eq!(summary.trials, plan.total_trials());
+        assert!(summary.cells_per_sec() > 0.0);
+        assert_eq!(collect.rows.len(), plan.total_cells());
+        for (row, cell) in collect.rows.iter().zip(plan.cells()) {
+            assert_eq!(row.n, cell.n);
+            assert_eq!(row.protocol, cell.protocol);
+            assert_eq!(row.lambda, cell.lambda);
+            assert_eq!(row.seeds, 3);
+            assert_eq!(row.completed, 3, "{} n={}", row.protocol.name(), row.n);
+            // 3 seeds ⇒ every CI column is present (never NaN).
+            for ci in [
+                &row.overhead_ratio,
+                &row.forced,
+                &row.control_messages,
+                &row.coord_stall_ms,
+                &row.lat_p50_us,
+                &row.lat_p99_us,
+            ] {
+                assert_eq!(ci.count, 3);
+                assert!(ci.mean.is_finite() && ci.stddev.is_finite());
+                assert!(ci.ci95_half.is_some());
+            }
+            // Pooled histogram holds all three trials' messages.
+            assert!(row.latency.count > 0);
+        }
+        let text = String::from_utf8(table.out).unwrap();
+        assert!(text.contains("lat-p99-µs"));
+        assert!(text.contains("appl-driven"));
+        assert!(text.contains("cells/s"));
+        // Failure-free λ=0 rows really saw no failures.
+        let free = &collect.rows[0];
+        assert_eq!(free.lambda, 0.0);
+        assert_eq!(free.failures.mean, 0.0);
+    }
+
+    #[test]
+    fn seeds_one_rows_report_absent_cis() {
+        let plan = SweepPlan::builder()
+            .ns([2usize])
+            .seeds_per_cell(1)
+            .failure_rates([0.0])
+            .build()
+            .unwrap();
+        let mut collect = CollectSink::default();
+        let mut jsonl = JsonlSink::new(Vec::new());
+        run_sweep_threads(&plan, 1, &mut [&mut collect, &mut jsonl]);
+        assert_eq!(collect.rows.len(), 5);
+        for row in &collect.rows {
+            assert_eq!(row.overhead_ratio.ci95_half, None);
+            assert_eq!(row.lat_p99_us.ci95_half, None);
+        }
+        let text = String::from_utf8(jsonl.out).unwrap();
+        assert_eq!(text.lines().count(), 5);
+        assert!(!text.contains("NaN"));
+        assert!(!text.contains("ci95"));
+        assert!(text.contains("\"lat_pool_p50_us\""));
+    }
+
+    #[test]
+    fn protocols_in_a_column_share_failure_plans() {
+        // Same (workload, n, λ, trial) ⇒ the failure seed is identical
+        // for every protocol (it simply isn't an input), and differs
+        // across trials and λ indices.
+        let plan = tiny_plan(2);
+        let a = plan.fail_seed(0, 2, 1, 0);
+        assert_eq!(a, plan.fail_seed(0, 2, 1, 0));
+        assert_ne!(a, plan.fail_seed(0, 2, 1, 1));
+        assert_ne!(a, plan.fail_seed(0, 2, 0, 0));
+        assert_ne!(a, plan.fail_seed(0, 3, 1, 0));
+        // Failure counts paired: every protocol row in one (n, λ>0)
+        // column reports the same mean failure count.
+        let mut collect = CollectSink::default();
+        run_sweep_threads(&plan, 2, &mut [&mut collect]);
+        let failing: Vec<&AggRow> = collect
+            .rows
+            .iter()
+            .filter(|r| r.n == 2 && r.lambda > 0.0)
+            .collect();
+        assert_eq!(failing.len(), 5);
+        for r in &failing {
+            assert_eq!(
+                r.failures.mean,
+                failing[0].failures.mean,
+                "{} saw a different failure plan",
+                r.protocol.name()
+            );
+        }
+    }
+
+    #[test]
+    fn progress_sink_narrates_and_jsonl_grows_per_row() {
+        let plan = SweepPlan::builder()
+            .ns([2usize])
+            .seeds_per_cell(1)
+            .failure_rates([0.0])
+            .build()
+            .unwrap();
+        let mut progress = ProgressSink::new(Vec::new());
+        let mut jsonl = JsonlSink::new(Vec::new());
+        run_sweep_threads(&plan, 1, &mut [&mut progress, &mut jsonl]);
+        let text = String::from_utf8(progress.out).unwrap();
+        assert!(text.contains("5 cells × 1 seeds"));
+        assert!(text.contains("1/5 cells"));
+        assert!(text.contains("5/5 cells"));
+        assert!(text.contains("done"));
+        for line in String::from_utf8(jsonl.out).unwrap().lines() {
+            assert!(line.starts_with('{') && line.ends_with('}'), "{line}");
+        }
+    }
+
+    #[test]
+    fn multi_workload_matrix_labels_rows() {
+        let plan = SweepPlan::builder()
+            .ns([2usize])
+            .seeds_per_cell(1)
+            .failure_rates([0.0])
+            .workload(Workload::jacobi())
+            .workload(Workload::new("pingpong", |_| programs::pingpong(4)))
+            .build()
+            .unwrap();
+        let mut collect = CollectSink::default();
+        run_sweep_threads(&plan, 2, &mut [&mut collect]);
+        assert_eq!(collect.rows.len(), 10);
+        assert!(collect.rows[..5].iter().all(|r| r.workload == "jacobi"));
+        assert!(collect.rows[5..].iter().all(|r| r.workload == "pingpong"));
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn legacy_sweep_shims_still_produce_rows_and_matching_artifact() {
         let config = SweepConfig {
-            ns: vec![2, 4],
+            ns: vec![2],
             lambda_per_proc: 0.5,
             ..SweepConfig::default()
         };
         let rows = empirical_sweep(&config);
-        assert_eq!(rows.len(), 2 * 5);
+        assert_eq!(rows.len(), 5);
         for r in &rows {
             assert!(
                 r.stats.completed,
-                "{} at n={} did not complete",
-                r.stats.protocol.name(),
-                r.n
+                "{} did not complete",
+                r.stats.protocol.name()
             );
             assert!(r.stats.overhead_ratio.is_finite());
         }
         let tsv = render_sweep(&rows);
-        assert_eq!(tsv.lines().count(), 11);
+        assert_eq!(tsv.lines().count(), 6);
         assert!(tsv.contains("appl-driven"));
-        assert!(tsv.contains("coord_ms"));
-        assert!(tsv.contains("lat_p99_us"));
-    }
-
-    #[test]
-    fn sweep_json_lists_every_run_with_percentiles() {
-        let config = SweepConfig {
-            ns: vec![2],
-            lambda_per_proc: 0.2,
-            ..SweepConfig::default()
-        };
-        let rows = empirical_sweep(&config);
+        // The deprecated free function and the typed artifact emit the
+        // same bytes.
         let json = render_sweep_json("jacobi", &rows);
-        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert_eq!(json, SweepArtifact::new("jacobi", rows.clone()).to_json());
         assert!(json.contains("\"workload\": \"jacobi\""));
         for kind in ProtocolKind::all() {
             assert!(json.contains(&format!("\"protocol\": \"{}\"", kind.name())));
         }
         assert_eq!(json.matches("\"msg_latency_p99_us\"").count(), 5);
-        assert_eq!(json.matches("\"coord_stall_us\"").count(), 5);
-    }
-
-    #[test]
-    fn sweep_with_runtime_workload_matches_factory_sweep() {
-        let config = SweepConfig {
-            ns: vec![2],
-            lambda_per_proc: 0.5,
-            ..SweepConfig::default()
-        };
-        let a = empirical_sweep(&config);
+        // And the runtime-workload variant matches the factory sweep.
         let b = empirical_sweep_with(&config, &|_| programs::jacobi(10));
-        assert_eq!(a.len(), b.len());
-        for (x, y) in a.iter().zip(&b) {
+        for (x, y) in rows.iter().zip(&b) {
             assert_eq!(x.n, y.n);
             assert_eq!(x.stats.protocol, y.stats.protocol);
             assert_eq!(x.stats.makespan_secs, y.stats.makespan_secs);
@@ -213,27 +1222,18 @@ mod tests {
     }
 
     #[test]
-    fn control_traffic_grows_with_n_for_coordinated_protocols_only() {
-        let config = SweepConfig {
-            ns: vec![2, 6],
-            lambda_per_proc: 0.2,
-            ..SweepConfig::default()
-        };
-        let rows = empirical_sweep(&config);
-        let get = |n: usize, k: ProtocolKind| {
-            rows.iter()
-                .find(|r| r.n == n && r.stats.protocol == k)
-                .unwrap()
-        };
-        assert_eq!(get(2, ProtocolKind::AppDriven).stats.control_messages, 0);
-        assert_eq!(get(6, ProtocolKind::AppDriven).stats.control_messages, 0);
-        assert!(
-            get(6, ProtocolKind::ChandyLamport).stats.control_messages
-                > get(2, ProtocolKind::ChandyLamport).stats.control_messages
-        );
-        assert!(
-            get(6, ProtocolKind::SyncAndStop).stats.control_messages
-                > get(2, ProtocolKind::SyncAndStop).stats.control_messages
-        );
+    fn render_agg_json_wraps_rows() {
+        let plan = SweepPlan::builder()
+            .ns([2usize])
+            .seeds_per_cell(1)
+            .failure_rates([0.0])
+            .build()
+            .unwrap();
+        let mut collect = CollectSink::default();
+        run_sweep_threads(&plan, 1, &mut [&mut collect]);
+        let json = render_agg_json(&collect.rows);
+        assert!(json.contains("\"rows_len\": 5"));
+        assert!(json.contains("\"protocol\":\"appl-driven\""));
+        assert!(json.contains("\"overhead_ratio\":{\"mean\":"));
     }
 }

@@ -37,10 +37,16 @@ fn storm() -> FailurePlan {
 }
 
 fn seeded_config(n: usize, seed: u64) -> CompareConfig {
-    let mut cfg = CompareConfig::new(n, 60_000);
-    cfg.sim = cfg.sim.with_seed(seed);
-    cfg.failures = FailurePlan::exponential(n, 1.0, SimTime::from_millis(400), seed);
-    cfg
+    CompareConfig::builder(n)
+        .seed(seed)
+        .failures(FailurePlan::exponential(
+            n,
+            1.0,
+            SimTime::from_millis(400),
+            seed,
+        ))
+        .build()
+        .unwrap()
 }
 
 #[test]
@@ -111,8 +117,7 @@ fn every_protocols_recovery_line_is_consistent() {
     let mut checked = 0;
     for (program, n) in workloads() {
         for kind in ProtocolKind::all() {
-            let mut cfg = CompareConfig::new(n, 60_000);
-            cfg.failures = storm();
+            let cfg = CompareConfig::builder(n).failures(storm()).build().unwrap();
             let (trace, _obs) = run_protocol_timeline(&program, kind, &cfg);
             let ctx = format!("{} under {}", program.name, kind.name());
             assert!(trace.completed(), "{ctx}: did not complete");

@@ -1,0 +1,72 @@
+//! The sweep's determinism pin: the streamed aggregate rows are
+//! **bit-identical** regardless of worker count. Cells may finish out
+//! of order under work-stealing, but the reorder buffer emits them in
+//! plan order, and each cell's trials run in trial order on one worker
+//! — so the JSONL byte stream at `threads = 1` must equal the stream at
+//! `threads = 8` exactly.
+
+use acfc_protocols::{run_sweep_threads, CollectSink, JsonlSink, SweepPlan, TableSink, Workload};
+
+fn plan() -> SweepPlan {
+    SweepPlan::builder()
+        .ns([2usize, 4])
+        .seeds_per_cell(3)
+        .failure_rates([0.0, 1.0])
+        .workload(Workload::jacobi())
+        .seed(0xD15C0)
+        .build()
+        .unwrap()
+}
+
+fn jsonl_at(threads: usize) -> Vec<u8> {
+    let mut sink = JsonlSink::new(Vec::new());
+    run_sweep_threads(&plan(), threads, &mut [&mut sink]);
+    sink.into_inner()
+}
+
+#[test]
+fn jsonl_stream_is_bit_identical_across_thread_counts() {
+    let serial = jsonl_at(1);
+    assert!(!serial.is_empty());
+    for threads in [2, 8] {
+        let parallel = jsonl_at(threads);
+        assert_eq!(
+            serial, parallel,
+            "aggregate rows diverged between 1 and {threads} workers"
+        );
+    }
+    // Every line is a self-contained JSON object with the CI columns.
+    let text = String::from_utf8(serial).unwrap();
+    assert_eq!(text.lines().count(), plan().total_cells());
+    for line in text.lines() {
+        assert!(line.starts_with('{') && line.ends_with('}'), "{line}");
+        assert!(line.contains("\"overhead_ratio\":{\"mean\":"), "{line}");
+    }
+}
+
+#[test]
+fn table_rows_and_collected_rows_agree_across_thread_counts() {
+    let mut t1 = TableSink::new(Vec::new());
+    let mut c1 = CollectSink::default();
+    run_sweep_threads(&plan(), 1, &mut [&mut t1, &mut c1]);
+    let mut t8 = TableSink::new(Vec::new());
+    let mut c8 = CollectSink::default();
+    run_sweep_threads(&plan(), 8, &mut [&mut t8, &mut c8]);
+
+    let strip_footer = |bytes: Vec<u8>| {
+        let text = String::from_utf8(bytes).unwrap();
+        // The footer carries wall-clock timing; everything above it is
+        // pinned.
+        let rows: Vec<&str> = text.lines().filter(|l| !l.contains("cells/s")).collect();
+        rows.join("\n")
+    };
+    assert_eq!(strip_footer(t1.into_inner()), strip_footer(t8.into_inner()));
+
+    assert_eq!(c1.rows.len(), c8.rows.len());
+    for (a, b) in c1.rows.iter().zip(&c8.rows) {
+        assert_eq!(a.json().render_line(), b.json().render_line());
+        // The pooled histograms agree bucket-for-bucket, not just in
+        // their rendered percentiles.
+        assert_eq!(a.latency, b.latency);
+    }
+}

@@ -24,6 +24,7 @@ use crate::trace::{
 };
 use acfc_mpsl::lowered::{eval_ops, Op, SlotEnv};
 use acfc_mpsl::{EvalError, StmtId};
+use acfc_obs::LocalHist;
 use acfc_util::rng::Rng;
 use std::collections::VecDeque;
 use std::sync::Arc;
@@ -196,6 +197,13 @@ struct Engine<'a> {
     run_ahead_hits: u64,
     /// Per-process simulated compute µs, same unconditional scheme.
     compute_us: Vec<u64>,
+    /// Event-queue depth, systematically sampled at every 8th pop —
+    /// engine-owned and unconditional (a `&7` test plus one bucket add
+    /// on the sampled pop), so the resulting histogram reaches the
+    /// [`Trace`] on every run and is *merged* (not re-recorded) into
+    /// [`SimObs`] at flush: the observed and post-hoc views agree
+    /// bucket-for-bucket by construction.
+    queue_depth: LocalHist,
 }
 
 const INLINE_BUDGET: u32 = 256;
@@ -285,6 +293,7 @@ impl<'a> Engine<'a> {
             events_processed: 0,
             run_ahead_hits: 0,
             compute_us: vec![0; n],
+            queue_depth: LocalHist::new(),
         };
         for p in 0..n {
             engine.push(SimTime::ZERO, Ev::Ready { p, epoch: 0 });
@@ -324,9 +333,7 @@ impl<'a> Engine<'a> {
             self.note_time(t);
             self.events_processed += 1;
             if self.events_processed & 7 == 0 {
-                if let Some(o) = self.obs.as_deref_mut() {
-                    o.queue_depth.record(self.queue.len() as u64);
-                }
+                self.queue_depth.record(self.queue.len() as u64);
             }
             match ev {
                 Ev::Ready { p, epoch } => {
@@ -363,6 +370,7 @@ impl<'a> Engine<'a> {
         if let Some(o) = self.obs.as_deref_mut() {
             o.events_processed += self.events_processed;
             o.run_ahead_hits += self.run_ahead_hits;
+            o.queue_depth.merge(&self.queue_depth);
             for (p, &us) in self.compute_us.iter().enumerate() {
                 o.per_proc[p].compute_us += us;
             }
@@ -376,6 +384,7 @@ impl<'a> Engine<'a> {
             proc_end: self.procs.iter().map(|p| p.now).collect(),
             finished_at: self.max_time,
             metrics: self.metrics,
+            queue_depth: self.queue_depth.snap(),
             outcome,
         }
     }

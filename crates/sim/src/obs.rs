@@ -67,7 +67,10 @@ pub struct SimObs {
     /// Recording every pop costs ~2% of engine throughput; 1-in-8
     /// sampling keeps it out of the event budget, and the simulator is
     /// deterministic so the sampled distribution is reproducible run
-    /// to run.
+    /// to run. The engine samples into its own histogram and *merges*
+    /// it here at flush — the same buckets also land in
+    /// [`Trace::queue_depth`](crate::trace::Trace::queue_depth), so the
+    /// observed and post-hoc views agree exactly.
     pub queue_depth: LocalHist,
     /// Message latency (receive completion minus send), µs — the same
     /// definition as [`crate::stats::TraceStats::mean_latency_us`].

@@ -44,6 +44,12 @@ pub struct TraceStats {
     /// Full distribution of start-to-start intervals between
     /// consecutive live checkpoints of the same process, µs.
     pub ckpt_interval: HistSnapshot,
+    /// Event-queue depth, systematically sampled by the engine at every
+    /// 8th event pop and carried on the trace — the post-hoc view is the
+    /// *same histogram* a live [`SimObs`](crate::obs::SimObs) collector
+    /// sees, bucket for bucket (closing the former observed-run-only
+    /// gap). Empty for traces from engines that predate the field.
+    pub queue_depth: HistSnapshot,
 }
 
 impl TraceStats {
@@ -55,6 +61,11 @@ impl TraceStats {
     /// p50/p90/p99 bucket bounds of the checkpoint interval, µs.
     pub fn ckpt_interval_percentiles(&self) -> Quantiles {
         self.ckpt_interval.percentiles()
+    }
+
+    /// p50/p90/p99 bucket bounds of the sampled event-queue depth.
+    pub fn queue_depth_percentiles(&self) -> Quantiles {
+        self.queue_depth.percentiles()
     }
 }
 
@@ -131,6 +142,7 @@ pub fn trace_stats(trace: &Trace) -> TraceStats {
         },
         latency: latency.snap(),
         ckpt_interval: ckpt_interval.snap(),
+        queue_depth: trace.queue_depth.clone(),
     }
 }
 
@@ -157,6 +169,14 @@ pub fn render_stats(stats: &TraceStats) -> String {
         ivl.p90 as f64 / 1000.0,
         ivl.p99 as f64 / 1000.0
     );
+    if stats.queue_depth.count > 0 {
+        let q = stats.queue_depth_percentiles();
+        let _ = writeln!(
+            out,
+            "queue depth p50/p90/p99 < {}/{}/{} (max {}, {} samples)",
+            q.p50, q.p90, q.p99, stats.queue_depth.max, stats.queue_depth.count
+        );
+    }
     for (p, b) in stats.procs.iter().enumerate() {
         let _ = writeln!(
             out,
@@ -333,8 +353,26 @@ mod tests {
         // and ran ahead at least once on this workload.
         assert!(obs.events_processed >= obs.messages_delivered);
         assert!(obs.run_ahead_hits > 0);
-        // Queue depth is systematically sampled at 1-in-8 event pops.
-        assert_eq!(obs.queue_depth.snap().count, obs.events_processed / 8);
+        // Queue depth is systematically sampled at 1-in-8 event pops,
+        // and the trace carries the very same histogram the collector
+        // saw: the post-hoc and observed views agree bucket-for-bucket.
+        let qd = obs.queue_depth.snap();
+        assert_eq!(qd.count, obs.events_processed / 8);
+        assert_eq!(qd, s.queue_depth);
+        assert_eq!(qd.percentiles(), s.queue_depth_percentiles());
+        assert!(qd.count > 0, "workload too small to sample the queue");
+    }
+
+    /// Queue depth reaches post-hoc stats even on *unobserved* runs:
+    /// the engine samples unconditionally, so `trace_stats` exposes the
+    /// histogram without a `SimObs` collector attached.
+    #[test]
+    fn queue_depth_present_without_a_collector() {
+        let t = run(&compile(&programs::jacobi(5)), &SimConfig::new(4));
+        let s = trace_stats(&t);
+        assert!(s.queue_depth.count > 0);
+        assert_eq!(s.queue_depth, t.queue_depth);
+        assert!(s.queue_depth.max >= 1);
     }
 
     #[test]

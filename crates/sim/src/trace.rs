@@ -9,6 +9,7 @@
 use crate::clock::VectorClock;
 use crate::time::SimTime;
 use acfc_mpsl::StmtId;
+use acfc_obs::HistSnapshot;
 use std::sync::Arc;
 
 /// Identifier of a message within a trace (index into
@@ -365,6 +366,13 @@ pub struct Trace {
     pub finished_at: SimTime,
     /// Aggregate counters.
     pub metrics: Metrics,
+    /// Event-queue depth sampled by the engine at every 8th event pop
+    /// (the same systematic 1-in-8 cadence as the observed path), so
+    /// post-hoc [`trace_stats`](crate::stats::trace_stats) exposes the
+    /// identical queue-depth histogram as a live `SimObs` — bucket for
+    /// bucket, by construction. Empty for traces built by engines that
+    /// predate the field (e.g. the pre-lowering baseline).
+    pub queue_depth: HistSnapshot,
     /// How the run ended.
     pub outcome: Outcome,
 }

@@ -133,6 +133,18 @@ impl Json {
             .collect();
         format!("{{\n{}\n}}", body.join(",\n"))
     }
+
+    /// Serialises the object onto a single line with no interior
+    /// whitespace — the JSONL form (one object per line) used by
+    /// streaming sweep artifacts.
+    pub fn render_line(&self) -> String {
+        let body: Vec<String> = self
+            .fields
+            .iter()
+            .map(|(k, v)| format!("\"{k}\":{v}"))
+            .collect();
+        format!("{{{}}}", body.join(","))
+    }
 }
 
 #[cfg(test)]
@@ -173,5 +185,19 @@ mod tests {
         assert!(text.contains("\"count\": 3,"));
         assert!(text.contains("\"ratio\": 0.500000"));
         assert!(text.contains("\"x\": 1"));
+    }
+
+    #[test]
+    fn render_line_is_single_line_compact() {
+        let j = Json::new()
+            .str("proto", "app-driven")
+            .num("n", 8.0)
+            .raw("lat", Json::new().num("p50", 101.0).render_line());
+        let line = j.render_line();
+        assert_eq!(
+            line,
+            "{\"proto\":\"app-driven\",\"n\":8,\"lat\":{\"p50\":101}}"
+        );
+        assert!(!line.contains('\n'));
     }
 }

@@ -25,6 +25,7 @@ pub mod rng;
 
 pub use check::{forall, Gen};
 pub use parallel::{
-    configured_threads, par_map, par_map_labeled, par_map_threads, par_map_threads_labeled,
+    configured_threads, par_for_each_ordered_labeled, par_map, par_map_labeled, par_map_threads,
+    par_map_threads_labeled,
 };
 pub use rng::Rng;

@@ -13,8 +13,9 @@
 //! 2. the `ACFC_THREADS` environment variable,
 //! 3. [`std::thread::available_parallelism`].
 
+use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{mpsc, Mutex};
 
 /// The fan-out width used by [`par_map`]: `ACFC_THREADS` if set and
 /// positive, otherwise the machine's available parallelism (1 if even
@@ -128,6 +129,79 @@ where
         .collect()
 }
 
+/// Streaming variant of [`par_map_threads_labeled`]: maps `f(index,
+/// item)` over `items` on up to `threads` workers named `{label}-{k}`,
+/// but instead of collecting a `Vec` it hands each result to `emit` **in
+/// input order, as soon as the order-prefix completes** — item 0's
+/// result is delivered the moment it finishes, not after the whole
+/// batch.
+///
+/// Completion order under work-stealing varies with the thread count,
+/// so workers send `(index, result)` to the calling thread, which holds
+/// out-of-order arrivals in a reorder buffer and drains the contiguous
+/// prefix. The `emit` callback therefore observes *exactly* the same
+/// sequence at every thread count: with a deterministic `f`, output
+/// through `emit` is bit-identical between `threads = 1` and
+/// `threads = N`, while still streaming during the run. This is what
+/// lets the sweep engine print table rows and append JSONL lines live
+/// without sacrificing the determinism pin.
+///
+/// `emit` runs on the calling thread only, so it may hold `&mut` state
+/// (a writer, a progress bar) without synchronisation.
+pub fn par_for_each_ordered_labeled<T, R, F, S>(
+    items: &[T],
+    threads: usize,
+    label: &str,
+    f: F,
+    mut emit: S,
+) where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+    S: FnMut(usize, R),
+{
+    let workers = threads.min(items.len());
+    if workers <= 1 {
+        for (i, item) in items.iter().enumerate() {
+            let value = f(i, item);
+            emit(i, value);
+        }
+        return;
+    }
+    let cursor = AtomicUsize::new(0);
+    let (tx, rx) = mpsc::channel::<(usize, R)>();
+    let (f, cursor) = (&f, &cursor);
+    std::thread::scope(|scope| {
+        for k in 0..workers {
+            let tx = tx.clone();
+            std::thread::Builder::new()
+                .name(format!("{label}-{k}"))
+                .spawn_scoped(scope, move || loop {
+                    let i = cursor.fetch_add(1, Ordering::Relaxed);
+                    if i >= items.len() {
+                        break;
+                    }
+                    let value = f(i, &items[i]);
+                    if tx.send((i, value)).is_err() {
+                        break; // receiver gone: the scope is unwinding
+                    }
+                })
+                .expect("spawn labeled worker");
+        }
+        drop(tx); // the loop below ends when the last worker hangs up
+        let mut pending: BTreeMap<usize, R> = BTreeMap::new();
+        let mut next = 0usize;
+        for (i, value) in rx {
+            pending.insert(i, value);
+            while let Some(value) = pending.remove(&next) {
+                emit(next, value);
+                next += 1;
+            }
+        }
+        debug_assert!(pending.is_empty(), "worker died mid-batch");
+    });
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -166,6 +240,47 @@ mod tests {
     fn more_threads_than_items_is_fine() {
         let out = par_map_threads(&[1, 2, 3], 64, |_, &x| x);
         assert_eq!(out, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn ordered_streaming_emits_in_input_order_at_any_thread_count() {
+        let items: Vec<u64> = (0..200).collect();
+        // Make early items slow so later items finish first and the
+        // reorder buffer actually has to hold arrivals back.
+        let work = |i: usize, &x: &u64| {
+            if i < 4 {
+                std::thread::sleep(std::time::Duration::from_millis(3));
+            }
+            x.wrapping_mul(0x9E3779B97F4A7C15)
+        };
+        let mut seq: Vec<(usize, u64)> = Vec::new();
+        par_for_each_ordered_labeled(&items, 1, "ord-test", work, |i, r| seq.push((i, r)));
+        let mut par: Vec<(usize, u64)> = Vec::new();
+        par_for_each_ordered_labeled(&items, 8, "ord-test", work, |i, r| par.push((i, r)));
+        assert_eq!(seq, par);
+        assert!(
+            par.windows(2).all(|w| w[0].0 + 1 == w[1].0),
+            "gapless order"
+        );
+        assert_eq!(par[0], (0, 0));
+        assert_eq!(par.len(), items.len());
+    }
+
+    #[test]
+    fn ordered_streaming_handles_empty_and_singleton() {
+        let none: Vec<u8> = vec![];
+        let mut hits = 0usize;
+        par_for_each_ordered_labeled(&none, 4, "ord-test", |_, &x| x, |_, _| hits += 1);
+        assert_eq!(hits, 0);
+        let mut got = Vec::new();
+        par_for_each_ordered_labeled(
+            &[9u8],
+            4,
+            "ord-test",
+            |_, &x| x + 1,
+            |i, r| got.push((i, r)),
+        );
+        assert_eq!(got, vec![(0, 10)]);
     }
 
     #[test]

@@ -20,8 +20,11 @@ fn main() {
 
     // Message-level simulation.
     let program = programs::jacobi(10);
-    let mut cfg = CompareConfig::new(n, 80_000);
-    cfg.failures = FailurePlan::at(vec![(SimTime::from_millis(300), 0)]);
+    let cfg = CompareConfig::builder(n)
+        .interval_us(80_000)
+        .failures(FailurePlan::at(vec![(SimTime::from_millis(300), 0)]))
+        .build()
+        .expect("valid comparison config");
     println!(
         "workload: {} at n={n}, one failure at t=300ms\n",
         program.name

@@ -8,7 +8,8 @@
 //! acfc report  <file.mpsl> [--nprocs N] [--seed S] # counter/histogram summary
 //! acfc mpmd    <name> <file.mpsl@FIRST[-LAST]>... # combine MPMD roles into SPMD
 //! acfc figures                                    # regenerate Figures 8 and 9
-//! acfc compare <file.mpsl> [--nprocs N] [--sweep] [--seed S] [--failure-rate L]
+//! acfc compare <file.mpsl>... [--nprocs N] [--seed S] [--failure-rate L]...
+//!              [--sweep] [--ns 2,4,8,16] [--seeds K] [--jsonl out.jsonl]
 //!              [--json out.json] [--profile out.json]
 //! ```
 //!
@@ -30,10 +31,14 @@
 //! (app-driven, uncoordinated, SaS, Chandy–Lamport, CIC) and tabulates
 //! the measured counters — forced checkpoints, control messages,
 //! coordination stalls — plus message-latency percentile bounds.
-//! `--sweep` repeats the comparison over n ∈ {2, 4, 8} with
-//! failure plans scaled per the paper's `λ(n) ∝ n`; `--json` writes
-//! the machine-readable artifact and `--profile` a merged Perfetto
-//! timeline with one track group per protocol.
+//! `--sweep` executes a full replicated evaluation matrix instead:
+//! `--ns` process counts × `--failure-rate` grid × positional workload
+//! files, with `--seeds` trials per cell aggregated into
+//! mean ± stddev ± 95% CI rows that stream to stdout as cells finish
+//! (progress/ETA on stderr). `--jsonl` streams one JSON object per
+//! aggregate row; `--json` writes the buffered artifact; `--profile`
+//! writes a merged Perfetto timeline with one track group per protocol.
+//! Rows are bit-identical at any `ACFC_THREADS`.
 
 use acfc::cfg::build_cfg;
 use acfc::core::{
@@ -55,11 +60,14 @@ struct Args {
     dot: bool,
     do_analyze: bool,
     inputs: Vec<i64>,
-    failure_rate: Option<f64>,
+    failure_rates: Vec<f64>,
     trace: bool,
     profile: Option<String>,
     sweep: bool,
+    ns: Option<Vec<usize>>,
+    seeds: u64,
     json: Option<String>,
+    jsonl: Option<String>,
 }
 
 fn parse_args(mut argv: std::env::Args) -> Result<(String, Args), String> {
@@ -73,11 +81,14 @@ fn parse_args(mut argv: std::env::Args) -> Result<(String, Args), String> {
         dot: false,
         do_analyze: false,
         inputs: Vec::new(),
-        failure_rate: None,
+        failure_rates: Vec::new(),
         trace: false,
         profile: None,
         sweep: false,
+        ns: None,
+        seeds: 3,
         json: None,
+        jsonl: None,
     };
     let mut it = argv.peekable();
     while let Some(a) = it.next() {
@@ -102,11 +113,25 @@ fn parse_args(mut argv: std::env::Args) -> Result<(String, Args), String> {
                 );
             }
             "--failure-rate" => {
-                args.failure_rate = Some(
+                args.failure_rates.push(
                     it.next()
                         .and_then(|v| v.parse().ok())
                         .ok_or("--failure-rate needs a number (per second)")?,
                 );
+            }
+            "--ns" => {
+                let list = it.next().ok_or("--ns needs a comma-separated list")?;
+                let ns: Result<Vec<usize>, _> = list.split(',').map(|v| v.trim().parse()).collect();
+                args.ns = Some(ns.map_err(|_| format!("--ns: bad process count in `{list}`"))?);
+            }
+            "--seeds" => {
+                args.seeds = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or("--seeds needs a number")?;
+            }
+            "--jsonl" => {
+                args.jsonl = Some(it.next().ok_or("--jsonl needs an output path")?);
             }
             "--profile" => {
                 args.profile = Some(it.next().ok_or("--profile needs an output path")?);
@@ -127,9 +152,10 @@ fn parse_args(mut argv: std::env::Args) -> Result<(String, Args), String> {
 }
 
 fn usage() -> String {
-    "usage: acfc <check|analyze|run|report|mpmd|figures|compare> [file.mpsl] [--nprocs N] \
-     [--seed S] [--emit] [--dot] [--trace] [--analyze] [--sweep] [--input V]... \
-     [--failure-rate L] [--json out.json] [--profile out.json]"
+    "usage: acfc <check|analyze|run|report|mpmd|figures|compare> [file.mpsl]... [--nprocs N] \
+     [--seed S] [--emit] [--dot] [--trace] [--analyze] [--sweep] [--ns 2,4,8] [--seeds K] \
+     [--input V]... [--failure-rate L]... [--json out.json] [--jsonl out.jsonl] \
+     [--profile out.json]"
         .to_string()
 }
 
@@ -177,7 +203,7 @@ fn cmd_check(args: &Args) -> Result<(), String> {
 
 fn analysis_config(args: &Args) -> AnalysisConfig {
     let mut cfg = AnalysisConfig::for_nprocs(args.nprocs);
-    if let Some(rate) = args.failure_rate {
+    if let Some(&rate) = args.failure_rates.first() {
         // The Phase-I insertion interval follows Young's formula from
         // the failure rate (per second → per cost unit, 1 unit = 1 ms).
         if let Some(ic) = &mut cfg.insertion {
@@ -380,26 +406,105 @@ fn cmd_mpmd(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+/// Loads every positional `.mpsl` file (the compare workload matrix).
+fn load_all(args: &Args) -> Result<Vec<acfc::mpsl::Program>, String> {
+    if args.positional.is_empty() {
+        return Err("missing program file argument".into());
+    }
+    args.positional
+        .iter()
+        .map(|path| {
+            let src = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+            let program = parse(&src).map_err(|e| format!("{path}:{e}"))?;
+            let errors = validate(&program);
+            if !errors.is_empty() {
+                let msgs: Vec<String> = errors.iter().map(|e| e.to_string()).collect();
+                return Err(format!("{path}: {}", msgs.join("; ")));
+            }
+            Ok(program)
+        })
+        .collect()
+}
+
+/// `acfc compare --sweep` — the replicated evaluation matrix: process
+/// counts × failure rates × workloads, `--seeds` trials per cell,
+/// aggregate rows (mean ± 95% CI) streaming to stdout as cells finish.
+fn cmd_compare_sweep(args: &Args) -> Result<(), String> {
+    use acfc::protocols::{
+        render_agg_json, run_sweep, CollectSink, JsonlSink, ProgressSink, RowSink, SweepPlan,
+        TableSink, Workload,
+    };
+    let programs = load_all(args)?;
+    let mut builder = SweepPlan::builder()
+        .ns(args.ns.clone().unwrap_or_else(|| vec![2, 4, 8]))
+        .seeds_per_cell(args.seeds)
+        .failure_rates(if args.failure_rates.is_empty() {
+            vec![0.0] // no --failure-rate ⇒ a failure-free matrix
+        } else {
+            args.failure_rates.clone()
+        })
+        .seed(args.seed);
+    for program in programs {
+        let name = program.name.clone();
+        builder = builder.workload(Workload::new(name, move |_| program.clone()));
+    }
+    let plan = builder.build().map_err(|e| e.to_string())?;
+
+    let mut table = TableSink::new(std::io::stdout());
+    let mut progress = ProgressSink::new(std::io::stderr());
+    let mut collect = CollectSink::default();
+    let mut jsonl = match &args.jsonl {
+        Some(path) => {
+            let file = std::fs::File::create(path).map_err(|e| format!("{path}: {e}"))?;
+            Some(JsonlSink::new(file))
+        }
+        None => None,
+    };
+    let mut sinks: Vec<&mut dyn RowSink> = vec![&mut table, &mut progress, &mut collect];
+    if let Some(sink) = jsonl.as_mut() {
+        sinks.push(sink);
+    }
+    run_sweep(&plan, &mut sinks);
+
+    if let Some(path) = &args.jsonl {
+        println!(
+            "wrote {} aggregate row(s) ({} seeds/cell) to {path}",
+            collect.rows.len(),
+            plan.seeds_per_cell()
+        );
+    }
+    if let Some(path) = &args.json {
+        std::fs::write(path, render_agg_json(&collect.rows)).map_err(|e| format!("{path}: {e}"))?;
+        println!(
+            "wrote comparison JSON ({} aggregate row(s)) to {path}",
+            collect.rows.len()
+        );
+    }
+    Ok(())
+}
+
 /// `acfc compare` — the protocol-comparison dashboard: one table (and
 /// optionally one JSON artifact and one merged Perfetto timeline) with
 /// every protocol's measured coordination cost on the same workload.
 fn cmd_compare(args: &Args) -> Result<(), String> {
     use acfc::protocols::{
-        compare_all, render_sweep_json, render_table, run_protocol_timeline, CompareConfig,
-        ProtocolKind, SweepRow,
+        compare_all, render_table, run_protocol_timeline, CompareConfig, ProtocolKind,
+        SweepArtifact, SweepRow,
     };
     use acfc::sim::{FailurePlan, MergedRun, SimTime};
+    if args.sweep {
+        return cmd_compare_sweep(args);
+    }
     let program = load(args)?;
-    let ns: Vec<usize> = if args.sweep {
-        vec![2, 4, 8]
-    } else {
-        vec![args.nprocs]
-    };
+    let ns: Vec<usize> = args.ns.clone().unwrap_or_else(|| vec![args.nprocs]);
     let mut rows: Vec<SweepRow> = Vec::new();
     for &n in &ns {
-        let mut cc = CompareConfig::new(n, 60_000);
-        cc.sim = cc.sim.with_seed(args.seed).with_inputs(args.inputs.clone());
-        if let Some(rate) = args.failure_rate {
+        let mut cc = CompareConfig::builder(n)
+            .seed(args.seed)
+            .build()
+            .map_err(|e| e.to_string())?;
+        cc.sim = cc.sim.with_inputs(args.inputs.clone());
+        if let Some(&rate) = args.failure_rates.first() {
             if rate > 0.0 {
                 // Size the failure horizon from a bare probe run, like
                 // the empirical sweep (expected failures ∝ n·rate).
@@ -414,16 +519,22 @@ fn cmd_compare(args: &Args) -> Result<(), String> {
         rows.extend(stats.into_iter().map(|s| SweepRow { n, stats: s }));
     }
     if let Some(path) = &args.json {
-        std::fs::write(path, render_sweep_json(&program.name, &rows))
-            .map_err(|e| format!("{path}: {e}"))?;
-        println!("wrote comparison JSON ({} run(s)) to {path}", rows.len());
+        let artifact = SweepArtifact::new(program.name.clone(), rows);
+        std::fs::write(path, artifact.to_json()).map_err(|e| format!("{path}: {e}"))?;
+        println!(
+            "wrote comparison JSON ({} run(s)) to {path}",
+            artifact.runs.len()
+        );
     }
     if let Some(path) = &args.profile {
         // Merge one timeline run per protocol at the largest n into a
         // single document: one pid (track group) per protocol.
         let n = *ns.iter().max().expect("ns nonempty");
-        let mut cc = CompareConfig::new(n, 60_000);
-        cc.sim = cc.sim.with_seed(args.seed).with_inputs(args.inputs.clone());
+        let mut cc = CompareConfig::builder(n)
+            .seed(args.seed)
+            .build()
+            .map_err(|e| e.to_string())?;
+        cc.sim = cc.sim.with_inputs(args.inputs.clone());
         let runs: Vec<(ProtocolKind, _, _)> = ProtocolKind::all()
             .into_iter()
             .map(|kind| {

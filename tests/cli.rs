@@ -131,12 +131,13 @@ fn compare_prints_the_dashboard_table() {
 }
 
 #[test]
-fn compare_sweep_emits_one_table_per_n_and_a_json_artifact() {
-    let json_path = std::env::temp_dir().join("acfc_cli_compare_sweep.json");
+fn compare_multi_n_emits_one_table_per_n_and_a_json_artifact() {
+    let json_path = std::env::temp_dir().join("acfc_cli_compare_multi_n.json");
     let out = acfc(&[
         "compare",
         "programs/jacobi.mpsl",
-        "--sweep",
+        "--ns",
+        "2,4,8",
         "--json",
         json_path.to_str().unwrap(),
     ]);
@@ -156,6 +157,80 @@ fn compare_sweep_emits_one_table_per_n_and_a_json_artifact() {
     assert_eq!(json.matches("\"msg_latency_p99_us\"").count(), 15);
     assert_eq!(json.matches("\"coord_stall_us\"").count(), 15);
     assert_eq!(json.matches("\"forced_checkpoints\"").count(), 15);
+}
+
+#[test]
+fn compare_sweep_streams_ci_rows_and_a_jsonl_artifact() {
+    let jsonl_path = std::env::temp_dir().join("acfc_cli_compare_sweep.jsonl");
+    let out = acfc(&[
+        "compare",
+        "programs/jacobi.mpsl",
+        "--sweep",
+        "--ns",
+        "2,4",
+        "--seeds",
+        "2",
+        "--failure-rate",
+        "0.5",
+        "--jsonl",
+        jsonl_path.to_str().unwrap(),
+    ]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = stdout(&out);
+    // 2 ns × 1 λ × 5 protocols = 10 aggregate rows with ± CI cells.
+    assert!(text.contains("workload"), "{text}");
+    assert!(text.contains("appl-driven"), "{text}");
+    assert!(text.contains('±'), "CI columns rendered: {text}");
+    assert!(text.contains("10 cells, 20 trials"), "{text}");
+    assert!(text.contains("wrote 10 aggregate row(s)"), "{text}");
+    // Progress/ETA narration goes to stderr, not into the table.
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("10/10 cells"), "{err}");
+    let jsonl = std::fs::read_to_string(&jsonl_path).expect("JSONL artifact written");
+    assert_eq!(jsonl.lines().count(), 10);
+    for line in jsonl.lines() {
+        assert!(line.starts_with('{') && line.ends_with('}'), "{line}");
+        assert!(line.contains("\"overhead_ratio\":{\"mean\":"), "{line}");
+        assert!(line.contains("\"ci95\":"), "2 seeds carry a CI: {line}");
+    }
+}
+
+#[test]
+fn compare_sweep_rows_are_identical_across_thread_counts() {
+    let run_at = |threads: &str, path: &std::path::Path| {
+        let out = Command::new(env!("CARGO_BIN_EXE_acfc"))
+            .args([
+                "compare",
+                "programs/jacobi.mpsl",
+                "--sweep",
+                "--ns",
+                "2,4",
+                "--seeds",
+                "2",
+                "--jsonl",
+                path.to_str().unwrap(),
+            ])
+            .env("ACFC_THREADS", threads)
+            .current_dir(env!("CARGO_MANIFEST_DIR"))
+            .output()
+            .expect("binary runs");
+        assert!(
+            out.status.success(),
+            "{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        std::fs::read(path).expect("JSONL written")
+    };
+    let p1 = std::env::temp_dir().join("acfc_cli_sweep_t1.jsonl");
+    let p8 = std::env::temp_dir().join("acfc_cli_sweep_t8.jsonl");
+    let serial = run_at("1", &p1);
+    let parallel = run_at("8", &p8);
+    assert!(!serial.is_empty());
+    assert_eq!(serial, parallel, "sweep rows diverged across ACFC_THREADS");
 }
 
 #[test]

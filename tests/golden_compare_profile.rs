@@ -25,7 +25,7 @@ fn golden_path() -> PathBuf {
 
 fn render_merged_profile() -> String {
     let program = acfc::mpsl::programs::pingpong(2);
-    let cfg = CompareConfig::new(2, 60_000);
+    let cfg = CompareConfig::builder(2).build().unwrap();
     let runs: Vec<(ProtocolKind, _, _)> = ProtocolKind::all()
         .into_iter()
         .map(|kind| {

@@ -66,7 +66,7 @@ fn app_driven_is_overhead_free_at_any_scale() {
         let s = run_protocol(
             &programs::jacobi(6),
             ProtocolKind::AppDriven,
-            &CompareConfig::new(n, 60_000),
+            &CompareConfig::builder(n).build().unwrap(),
         );
         assert!(s.completed);
         assert_eq!(s.control_messages, 0, "n={n}");
@@ -83,7 +83,10 @@ fn per_checkpoint_stall_reflects_the_analytic_ordering() {
     // claim is about *per-checkpoint* overhead: the application-driven
     // protocol pays exactly `o` per checkpoint, the coordinated ones
     // pay `o` plus coordination stall.
-    let stats = compare_all(&programs::jacobi(8), &CompareConfig::new(4, 60_000));
+    let stats = compare_all(
+        &programs::jacobi(8),
+        &CompareConfig::builder(4).build().unwrap(),
+    );
     let by = |k: ProtocolKind| stats.iter().find(|s| s.protocol == k).unwrap();
     let per_ckpt = |k: ProtocolKind| {
         let s = by(k);
@@ -106,7 +109,10 @@ fn cic_forces_but_does_not_message() {
     let s = run_protocol(
         &programs::jacobi(10),
         ProtocolKind::IndexCic,
-        &CompareConfig::new(4, 30_000),
+        &CompareConfig::builder(4)
+            .interval_us(30_000)
+            .build()
+            .unwrap(),
     );
     assert!(s.completed);
     assert_eq!(s.control_messages, 0, "CIC only piggybacks");
