@@ -6,11 +6,38 @@
 //!
 //! ```text
 //! cargo run --release -p acfc-bench --bin empirical_fig8
+//! cargo run --release -p acfc-bench --bin empirical_fig8 -- --large-n
 //! ```
+//!
+//! `--large-n` swaps the paper-scale grid (n ≤ 16) for the scaled-up
+//! one the rebuilt engine core exists for — n ∈ {256, 1024, 2048} with
+//! a small per-process rate (λ = 0.004/s; per-run failure counts stay
+//! bounded as `n·λ` instead of exploding) and two seeds per cell — and
+//! streams the aggregate rows to `fig8_large_n.jsonl` alongside the
+//! stdout table, one JSON object per row, so downstream plots can read
+//! the artifact without scraping the table.
 
-use acfc_protocols::{run_sweep, RowSink, SweepPlan, TableSink};
+use acfc_protocols::{run_sweep, JsonlSink, RowSink, SweepPlan, TableSink};
 
 fn main() {
+    let large_n = std::env::args().any(|a| a == "--large-n");
+    if large_n {
+        let plan = SweepPlan::builder()
+            .ns([256usize, 1024, 2048])
+            .seeds_per_cell(2)
+            .failure_rates([0.004])
+            .build()
+            .expect("static plan is valid");
+        println!("# Empirical Figure-8 companion, large-n grid (simulator-measured)");
+        println!("# workload: jacobi(10); failures ~ Exp(n * 0.004/s of simulated time)");
+        println!("# streaming rows to fig8_large_n.jsonl");
+        let file = std::fs::File::create("fig8_large_n.jsonl").expect("create fig8_large_n.jsonl");
+        let mut jsonl = JsonlSink::new(file);
+        let mut table = TableSink::new(std::io::stdout());
+        let mut sinks: [&mut dyn RowSink; 2] = [&mut table, &mut jsonl];
+        run_sweep(&plan, &mut sinks);
+        return;
+    }
     let plan = SweepPlan::builder()
         .ns([2usize, 4, 8, 16])
         .seeds_per_cell(3)

@@ -421,6 +421,35 @@ pub fn wavefront(iters: i64) -> Program {
     ))
 }
 
+/// Instruction-dense Jacobi: the boundary exchange of [`jacobi`], but
+/// the per-sweep local work is an explicit `cells`-iteration relaxation
+/// loop instead of one opaque `compute` statement. Each sweep executes
+/// ~4·`cells` cheap instructions on the engine's inline fast path, so
+/// this is the workload that measures raw instruction throughput at
+/// large `n` (the `jacobi_cells_n1024` bench) rather than event-queue
+/// turnaround. Deliberately **not** in [`all_stock`]: its instruction
+/// count would dominate the analysis-pipeline benches, which measure
+/// per-workload offline cost, not simulator throughput.
+pub fn jacobi_cells(iters: i64, cells: i64) -> Program {
+    must(&format!(
+        "program jacobi_cells;
+         param iters = {iters};
+         param cells = {cells};
+         var i; var j; var acc;
+         acc := 0;
+         for i in 0..iters {{
+           for j in 0..cells {{
+             acc := acc + j;
+           }}
+           send to (rank + 1) % nprocs size 4096;
+           send to (rank - 1) % nprocs size 4096;
+           recv from (rank - 1) % nprocs;
+           recv from (rank + 1) % nprocs;
+           checkpoint \"sweep\";
+         }}"
+    ))
+}
+
 /// All stock programs with small default sizes, for exhaustive tests.
 pub fn all_stock() -> Vec<Program> {
     vec![
@@ -460,6 +489,20 @@ mod tests {
     #[test]
     fn jacobi_has_one_checkpoint_node() {
         assert_eq!(jacobi(5).checkpoint_ids().len(), 1);
+    }
+
+    #[test]
+    fn jacobi_cells_matches_jacobi_communication_shape() {
+        let p = jacobi_cells(5, 16);
+        // Same uniform exchange + checkpoint structure as `jacobi`, so
+        // the same recovery-line properties hold; only the local work
+        // is spelled out as instructions.
+        assert_eq!(p.checkpoint_ids().len(), 1);
+        assert_eq!(p.send_ids().len(), 2);
+        assert_eq!(p.recv_ids().len(), 2);
+        assert_eq!(p.param("cells"), Some(16));
+        let src = to_source(&p);
+        assert_eq!(parse(&src).unwrap(), p, "round-trip mismatch\n{src}");
     }
 
     #[test]

@@ -59,11 +59,28 @@ impl ProtocolKind {
     }
 }
 
-/// Largest process count the comparison machinery accepts. Matches the
-/// paper's evaluation range (§5 scales to 64 ranks) and keeps the
-/// offline analysis (`MAX_ANALYSIS_RANKS`) comfortably ahead of the
-/// simulated fleet.
-pub const MAX_COMPARE_PROCS: usize = 64;
+/// Largest process count the comparison machinery accepts. The engine's
+/// large-n core (calendar event queue, arena messages, O(Δ) clock
+/// piggybacks) makes thousands of ranks practical; the remaining bound
+/// is a sanity cap well past the paper's Figure 8 range, backed by the
+/// memory guardrail below rather than a hard-coded small fleet.
+pub const MAX_COMPARE_PROCS: usize = 4096;
+
+/// Default per-run memory budget for the guardrail, MiB. Large enough
+/// that the full supported range (n = [`MAX_COMPARE_PROCS`]) passes —
+/// the cost estimate at 4096 ranks is ~512 MiB — while still refusing
+/// configurations that a caller-supplied tighter budget rules out.
+pub const DEFAULT_MEMORY_BUDGET_MIB: u64 = 2048;
+
+/// Coarse upper estimate of one simulation run's resident memory at
+/// `n` processes, MiB. Dominated by the per-process dense working
+/// clocks (n² × 8 bytes, doubled for transient copies during rollback)
+/// plus a per-process allowance for trace records; deliberately
+/// pessimistic, because it gates runs *before* they allocate.
+pub fn estimated_run_mib(n: usize) -> u64 {
+    let bytes = 16 * (n as u64) * (n as u64) + 65_536 * n as u64;
+    bytes.div_ceil(1 << 20)
+}
 
 /// A validation failure from [`CompareConfig::builder`] or
 /// [`SweepPlan::builder`](crate::sweep::SweepPlan::builder) — typed, so
@@ -90,6 +107,16 @@ pub enum ConfigError {
     BadFailureRate(f64),
     /// A sweep was given no workloads.
     NoWorkloads,
+    /// The estimated memory for a run at this process count exceeds
+    /// the configured budget (see [`estimated_run_mib`]).
+    MemoryGuardrail {
+        /// The requested process count.
+        n: usize,
+        /// Estimated resident memory for one run, MiB.
+        est_mib: u64,
+        /// The configured budget, MiB.
+        budget_mib: u64,
+    },
 }
 
 impl std::fmt::Display for ConfigError {
@@ -106,6 +133,15 @@ impl std::fmt::Display for ConfigError {
                 write!(f, "failure rate must be finite and non-negative, got {r}")
             }
             ConfigError::NoWorkloads => write!(f, "sweep needs at least one workload"),
+            ConfigError::MemoryGuardrail {
+                n,
+                est_mib,
+                budget_mib,
+            } => write!(
+                f,
+                "a run at {n} processes is estimated at {est_mib} MiB, \
+                 over the {budget_mib} MiB memory budget"
+            ),
         }
     }
 }
@@ -138,17 +174,8 @@ impl CompareConfig {
             skew_us: None,
             seed: None,
             failures: FailurePlan::none(),
+            memory_budget_mib: DEFAULT_MEMORY_BUDGET_MIB,
         }
-    }
-
-    /// A comparison at `n` processes with interval `interval_us` and no
-    /// failures.
-    #[deprecated(since = "0.2.0", note = "use `CompareConfig::builder(n)` instead")]
-    pub fn new(n: usize, interval_us: u64) -> CompareConfig {
-        CompareConfig::builder(n)
-            .interval_us(interval_us)
-            .build()
-            .expect("legacy CompareConfig::new with invalid parameters")
     }
 }
 
@@ -162,6 +189,7 @@ pub struct CompareConfigBuilder {
     skew_us: Option<u64>,
     seed: Option<u64>,
     failures: FailurePlan,
+    memory_budget_mib: u64,
 }
 
 impl CompareConfigBuilder {
@@ -189,6 +217,14 @@ impl CompareConfigBuilder {
         self
     }
 
+    /// Memory budget for the guardrail, MiB (default
+    /// [`DEFAULT_MEMORY_BUDGET_MIB`]). [`build`](Self::build) refuses
+    /// process counts whose estimated footprint exceeds it.
+    pub fn memory_budget_mib(mut self, budget_mib: u64) -> Self {
+        self.memory_budget_mib = budget_mib;
+        self
+    }
+
     /// Validates and produces the config.
     pub fn build(self) -> Result<CompareConfig, ConfigError> {
         if self.n == 0 {
@@ -198,6 +234,14 @@ impl CompareConfigBuilder {
             return Err(ConfigError::TooManyProcs {
                 n: self.n,
                 max: MAX_COMPARE_PROCS,
+            });
+        }
+        let est_mib = estimated_run_mib(self.n);
+        if est_mib > self.memory_budget_mib {
+            return Err(ConfigError::MemoryGuardrail {
+                n: self.n,
+                est_mib,
+                budget_mib: self.memory_budget_mib,
             });
         }
         if self.interval_us == 0 {
@@ -546,13 +590,6 @@ pub fn render_table(stats: &[RunStats]) -> String {
     out
 }
 
-/// Serialises one run's stats as a flat JSON object (keys stable, for
-/// the machine-readable comparison artifact).
-#[deprecated(since = "0.2.0", note = "use `RunStats::json(n).render()` instead")]
-pub fn stats_json(n: usize, s: &RunStats) -> String {
-    s.json(n).render()
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -696,8 +733,13 @@ mod tests {
             ConfigError::ZeroProcs
         );
         assert_eq!(
-            CompareConfig::builder(65).build().unwrap_err(),
-            ConfigError::TooManyProcs { n: 65, max: 64 }
+            CompareConfig::builder(MAX_COMPARE_PROCS + 1)
+                .build()
+                .unwrap_err(),
+            ConfigError::TooManyProcs {
+                n: MAX_COMPARE_PROCS + 1,
+                max: MAX_COMPARE_PROCS
+            }
         );
         assert_eq!(
             CompareConfig::builder(2)
@@ -706,27 +748,42 @@ mod tests {
                 .unwrap_err(),
             ConfigError::ZeroInterval
         );
-        // The boundary value itself is accepted, not clamped.
+        // The boundary value itself is accepted, not clamped — the
+        // default memory budget covers the full supported range.
         assert!(CompareConfig::builder(MAX_COMPARE_PROCS).build().is_ok());
         // Errors render as readable sentences for CLI surfaces.
-        let msg = ConfigError::TooManyProcs { n: 65, max: 64 }.to_string();
-        assert!(msg.contains("65") && msg.contains("64"), "{msg}");
+        let msg = ConfigError::TooManyProcs { n: 4097, max: 4096 }.to_string();
+        assert!(msg.contains("4097") && msg.contains("4096"), "{msg}");
     }
 
-    /// The one-release compatibility shims still behave like the new
-    /// API underneath.
+    /// A tight caller-supplied budget turns large n into a typed
+    /// refusal before anything allocates, and the estimate is monotone
+    /// so the refusal names a number the caller can reason about.
     #[test]
-    #[allow(deprecated)]
-    fn deprecated_shims_delegate_to_the_builders() {
-        let legacy = CompareConfig::new(3, 45_000);
-        let built = CompareConfig::builder(3)
-            .interval_us(45_000)
+    fn memory_guardrail_refuses_over_budget_configs() {
+        let err = CompareConfig::builder(1024)
+            .memory_budget_mib(8)
             .build()
-            .unwrap();
-        assert_eq!(legacy.sim.nprocs, built.sim.nprocs);
-        assert_eq!(legacy.interval_us, built.interval_us);
-        assert_eq!(legacy.skew_us, built.skew_us);
-        let s = run_protocol(&workload(), ProtocolKind::AppDriven, &legacy);
-        assert_eq!(stats_json(3, &s), s.json(3).render());
+            .unwrap_err();
+        match err {
+            ConfigError::MemoryGuardrail {
+                n,
+                est_mib,
+                budget_mib,
+            } => {
+                assert_eq!(n, 1024);
+                assert_eq!(budget_mib, 8);
+                assert!(est_mib > 8, "{est_mib}");
+                assert_eq!(est_mib, estimated_run_mib(1024));
+            }
+            other => panic!("expected MemoryGuardrail, got {other:?}"),
+        }
+        let msg = err.to_string();
+        assert!(msg.contains("1024") && msg.contains("budget"), "{msg}");
+        // Small fleets sail far under the default budget, and the
+        // estimate grows with n.
+        assert!(CompareConfig::builder(16).build().is_ok());
+        assert!(estimated_run_mib(4096) <= DEFAULT_MEMORY_BUDGET_MIB);
+        assert!(estimated_run_mib(256) < estimated_run_mib(2048));
     }
 }

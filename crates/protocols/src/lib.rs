@@ -48,12 +48,10 @@ pub mod uncoordinated;
 pub use app_driven::AppDriven;
 pub use chandy_lamport::{cl_control_messages, cl_message_overhead_us, ChandyLamport};
 pub use cic::IndexBasedCic;
-#[allow(deprecated)]
-pub use compare::stats_json;
 pub use compare::{
-    bare_makespan, compare_all, render_table, run_protocol, run_protocol_against,
-    run_protocol_timeline, CompareConfig, CompareConfigBuilder, ConfigError, ProtocolKind,
-    RunStats, MAX_COMPARE_PROCS,
+    bare_makespan, compare_all, estimated_run_mib, render_table, run_protocol,
+    run_protocol_against, run_protocol_timeline, CompareConfig, CompareConfigBuilder, ConfigError,
+    ProtocolKind, RunStats, DEFAULT_MEMORY_BUDGET_MIB, MAX_COMPARE_PROCS,
 };
 pub use depgraph::{
     max_consistent_line, max_consistent_line_of, max_consistent_picker, rollback_depths,
@@ -61,8 +59,6 @@ pub use depgraph::{
 };
 pub use domino::{domino_report, domino_stream, DominoReport};
 pub use sas::{sas_control_messages, sas_message_overhead_us, SyncAndStop};
-#[allow(deprecated)]
-pub use sweep::{empirical_sweep, empirical_sweep_with, render_sweep_json, SweepConfig};
 pub use sweep::{
     render_agg_json, render_sweep, run_sweep, run_sweep_threads, AggRow, CellSpec, CollectSink,
     JsonlSink, Progress, ProgressSink, RowSink, SweepArtifact, SweepPlan, SweepPlanBuilder,

@@ -110,6 +110,7 @@ pub struct SweepPlanBuilder {
     workloads: Option<Vec<Workload>>,
     interval_us: u64,
     seed: u64,
+    memory_budget_mib: u64,
 }
 
 impl SweepPlan {
@@ -125,6 +126,7 @@ impl SweepPlan {
             workloads: None,
             interval_us: 60_000,
             seed: 0xACFC,
+            memory_budget_mib: crate::compare::DEFAULT_MEMORY_BUDGET_MIB,
         }
     }
 
@@ -255,6 +257,16 @@ impl SweepPlanBuilder {
         self
     }
 
+    /// Memory budget for the per-run guardrail, MiB (default
+    /// [`DEFAULT_MEMORY_BUDGET_MIB`](crate::compare::DEFAULT_MEMORY_BUDGET_MIB)).
+    /// [`build`](Self::build) refuses any swept `n` whose estimated
+    /// footprint ([`estimated_run_mib`](crate::compare::estimated_run_mib))
+    /// exceeds it.
+    pub fn memory_budget_mib(mut self, budget_mib: u64) -> Self {
+        self.memory_budget_mib = budget_mib;
+        self
+    }
+
     /// Validates and produces the plan.
     pub fn build(self) -> Result<SweepPlan, ConfigError> {
         if self.ns.is_empty() {
@@ -268,6 +280,14 @@ impl SweepPlanBuilder {
                 return Err(ConfigError::TooManyProcs {
                     n,
                     max: MAX_COMPARE_PROCS,
+                });
+            }
+            let est_mib = crate::compare::estimated_run_mib(n);
+            if est_mib > self.memory_budget_mib {
+                return Err(ConfigError::MemoryGuardrail {
+                    n,
+                    est_mib,
+                    budget_mib: self.memory_budget_mib,
                 });
             }
         }
@@ -793,39 +813,8 @@ pub fn render_agg_json(rows: &[AggRow]) -> String {
 }
 
 // ---------------------------------------------------------------------
-// Single-seed legacy sweep (one release of compatibility shims).
+// Single-seed rows (the CLI's one-shot `--sweep` table/artifact shape).
 // ---------------------------------------------------------------------
-
-/// Configuration of a single-seed empirical sweep.
-#[deprecated(since = "0.2.0", note = "use `SweepPlan::builder()` instead")]
-#[derive(Debug, Clone)]
-pub struct SweepConfig {
-    /// Process counts to sweep.
-    pub ns: Vec<usize>,
-    /// Checkpoint interval for the timer/wave protocols, µs.
-    pub interval_us: u64,
-    /// Per-process failure rate per *second of simulated time*; the
-    /// plan is drawn over the failure-free makespan (so the expected
-    /// failure count grows with `n`, matching the paper's scaling).
-    pub lambda_per_proc: f64,
-    /// Base RNG seed.
-    pub seed: u64,
-    /// Workload factory (receives `n`, returns the program to run).
-    pub workload: fn(usize) -> Program,
-}
-
-#[allow(deprecated)]
-impl Default for SweepConfig {
-    fn default() -> SweepConfig {
-        SweepConfig {
-            ns: vec![2, 4, 8],
-            interval_us: 60_000,
-            lambda_per_proc: 1.0, // ~1 failure/s of simulated time/proc
-            seed: 0xACFC,
-            workload: |_| programs::jacobi(10),
-        }
-    }
-}
 
 /// One sweep row: a protocol's stats at one `n` (single seed).
 #[derive(Debug, Clone)]
@@ -834,55 +823,6 @@ pub struct SweepRow {
     pub n: usize,
     /// Measured stats.
     pub stats: RunStats,
-}
-
-/// Runs the single-seed sweep: for each `n`, each protocol runs the
-/// same workload with the same failure plan (drawn at rate `n·λ` over a
-/// horizon of roughly the failure-free makespan).
-#[deprecated(
-    since = "0.2.0",
-    note = "use `run_sweep` with a `SweepPlan` (seed replication + CIs) instead"
-)]
-#[allow(deprecated)]
-pub fn empirical_sweep(config: &SweepConfig) -> Vec<SweepRow> {
-    empirical_sweep_with(config, &config.workload)
-}
-
-/// Like [`empirical_sweep`] but with a caller-supplied workload
-/// closure, so a program loaded at runtime can be swept without fitting
-/// the `fn(usize) -> Program` factory shape.
-#[deprecated(
-    since = "0.2.0",
-    note = "use `run_sweep` with a `SweepPlan` (seed replication + CIs) instead"
-)]
-#[allow(deprecated)]
-pub fn empirical_sweep_with(
-    config: &SweepConfig,
-    workload: &(dyn Fn(usize) -> Program + Sync),
-) -> Vec<SweepRow> {
-    let columns = par_map_labeled(&config.ns, "sweep", |_, &n| {
-        let program = workload(n);
-        // Probe the failure-free makespan to size the failure horizon.
-        let sim = SimConfig::new(n).with_seed(config.seed);
-        let horizon_secs = bare_makespan(&program, &sim);
-        let horizon = SimTime(((horizon_secs * 1e6) as u64).max(1));
-        let plan =
-            FailurePlan::exponential(n, config.lambda_per_proc, horizon, config.seed ^ n as u64);
-        let cc = CompareConfig::builder(n)
-            .interval_us(config.interval_us)
-            .seed(config.seed)
-            .failures(plan)
-            .build()
-            .expect("legacy sweep config was invalid");
-        ProtocolKind::all()
-            .into_iter()
-            .map(|kind| SweepRow {
-                n,
-                stats: crate::compare::run_protocol(&program, kind, &cc),
-            })
-            .collect::<Vec<_>>()
-    });
-    columns.into_iter().flatten().collect()
 }
 
 /// Renders single-seed rows as a TSV table (`n`, protocol, ratio,
@@ -959,15 +899,6 @@ impl SweepArtifact {
     }
 }
 
-/// Serialises the sweep as one machine-readable JSON document.
-#[deprecated(
-    since = "0.2.0",
-    note = "use `SweepArtifact::new(...).to_json()` instead"
-)]
-pub fn render_sweep_json(workload: &str, rows: &[SweepRow]) -> String {
-    SweepArtifact::new(workload, rows.to_vec()).to_json()
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1003,9 +934,25 @@ mod tests {
             ConfigError::ZeroProcs
         );
         assert_eq!(
-            SweepPlan::builder().ns([128usize]).build().unwrap_err(),
-            ConfigError::TooManyProcs { n: 128, max: 64 }
+            SweepPlan::builder().ns([4097usize]).build().unwrap_err(),
+            ConfigError::TooManyProcs { n: 4097, max: 4096 }
         );
+        // Within the cap but over a caller-tightened memory budget: the
+        // guardrail refuses with the estimate it computed.
+        assert_eq!(
+            SweepPlan::builder()
+                .ns([2048usize])
+                .memory_budget_mib(16)
+                .build()
+                .unwrap_err(),
+            ConfigError::MemoryGuardrail {
+                n: 2048,
+                est_mib: crate::compare::estimated_run_mib(2048),
+                budget_mib: 16,
+            }
+        );
+        // The full supported range passes the default budget.
+        assert!(SweepPlan::builder().ns([4096usize]).build().is_ok());
         assert_eq!(
             SweepPlan::builder().seeds_per_cell(0).build().unwrap_err(),
             ConfigError::ZeroSeeds
@@ -1181,15 +1128,19 @@ mod tests {
         assert!(collect.rows[5..].iter().all(|r| r.workload == "pingpong"));
     }
 
+    /// The single-seed row shape the CLI streams: a table and a typed
+    /// artifact built from the same `compare_all` stats.
     #[test]
-    #[allow(deprecated)]
-    fn legacy_sweep_shims_still_produce_rows_and_matching_artifact() {
-        let config = SweepConfig {
-            ns: vec![2],
-            lambda_per_proc: 0.5,
-            ..SweepConfig::default()
-        };
-        let rows = empirical_sweep(&config);
+    fn single_seed_rows_render_table_and_artifact() {
+        let cc = CompareConfig::builder(2).build().unwrap();
+        let program = programs::jacobi(10);
+        let rows: Vec<SweepRow> = ProtocolKind::all()
+            .into_iter()
+            .map(|kind| SweepRow {
+                n: 2,
+                stats: crate::compare::run_protocol(&program, kind, &cc),
+            })
+            .collect();
         assert_eq!(rows.len(), 5);
         for r in &rows {
             assert!(
@@ -1202,23 +1153,12 @@ mod tests {
         let tsv = render_sweep(&rows);
         assert_eq!(tsv.lines().count(), 6);
         assert!(tsv.contains("appl-driven"));
-        // The deprecated free function and the typed artifact emit the
-        // same bytes.
-        let json = render_sweep_json("jacobi", &rows);
-        assert_eq!(json, SweepArtifact::new("jacobi", rows.clone()).to_json());
+        let json = SweepArtifact::new("jacobi", rows).to_json();
         assert!(json.contains("\"workload\": \"jacobi\""));
         for kind in ProtocolKind::all() {
             assert!(json.contains(&format!("\"protocol\": \"{}\"", kind.name())));
         }
         assert_eq!(json.matches("\"msg_latency_p99_us\"").count(), 5);
-        // And the runtime-workload variant matches the factory sweep.
-        let b = empirical_sweep_with(&config, &|_| programs::jacobi(10));
-        for (x, y) in rows.iter().zip(&b) {
-            assert_eq!(x.n, y.n);
-            assert_eq!(x.stats.protocol, y.stats.protocol);
-            assert_eq!(x.stats.makespan_secs, y.stats.makespan_secs);
-            assert_eq!(x.stats.control_messages, y.stats.control_messages);
-        }
     }
 
     #[test]

@@ -1,4 +1,39 @@
-//! Simulation configuration: network delay model and cost model.
+//! Simulation configuration: network delay model, cost model, and the
+//! vector-clock representation policy.
+
+/// Largest process count at which [`ClockMode::Auto`] keeps dense
+/// vector-clock piggybacks. Below this, every send clones the full
+/// clock into the message record (cheap — inline or one small `Vec`)
+/// and traces carry complete per-message stamps. Above it the engine
+/// switches to O(Δ) delta piggybacks and sparse checkpoint stamps:
+/// semantically equivalent clocks, but message records no longer embed
+/// per-message stamps (n² × 8 bytes each would dominate memory).
+pub const DENSE_CLOCK_MAX: usize = 64;
+
+/// How the engine represents and transports vector clocks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ClockMode {
+    /// Dense for `nprocs ≤` [`DENSE_CLOCK_MAX`], delta above. The
+    /// default: small runs keep byte-identical traces, large runs scale.
+    #[default]
+    Auto,
+    /// Full clocks on every message and checkpoint regardless of n.
+    Dense,
+    /// Delta-encoded piggybacks (only components changed since the last
+    /// send on the channel) and sparse checkpoint stamps, at any n.
+    Delta,
+}
+
+impl ClockMode {
+    /// Resolves the policy for a given process count.
+    pub fn is_delta(self, nprocs: usize) -> bool {
+        match self {
+            ClockMode::Auto => nprocs > DENSE_CLOCK_MAX,
+            ClockMode::Dense => false,
+            ClockMode::Delta => true,
+        }
+    }
+}
 
 /// Network delay model, following the paper's §4 parameterisation: the
 /// cost of a message is a per-message *setup time* `w_m` plus a *per-bit
@@ -105,6 +140,8 @@ pub struct SimConfig {
     pub cost: CostModel,
     /// Hard cap on instructions executed per process (runaway guard).
     pub max_steps_per_proc: u64,
+    /// Vector-clock representation policy (see [`ClockMode`]).
+    pub clock_mode: ClockMode,
 }
 
 impl SimConfig {
@@ -118,6 +155,7 @@ impl SimConfig {
             net: NetworkModel::default(),
             cost: CostModel::default(),
             max_steps_per_proc: 2_000_000,
+            clock_mode: ClockMode::Auto,
         }
     }
 
@@ -136,6 +174,12 @@ impl SimConfig {
     /// Adds a parameter override.
     pub fn with_param(mut self, name: &str, value: i64) -> SimConfig {
         self.param_overrides.push((name.to_string(), value));
+        self
+    }
+
+    /// Sets the vector-clock representation policy.
+    pub fn with_clock_mode(mut self, mode: ClockMode) -> SimConfig {
+        self.clock_mode = mode;
         self
     }
 }
@@ -174,6 +218,21 @@ mod tests {
         assert_eq!(c.ckpt_latency_us, 4_292_000);
         assert_eq!(c.recovery_us, 3_320_000);
         assert!(c.ckpt_latency_us >= c.ckpt_overhead_us);
+    }
+
+    #[test]
+    fn clock_mode_resolution() {
+        assert!(!ClockMode::Auto.is_delta(DENSE_CLOCK_MAX));
+        assert!(ClockMode::Auto.is_delta(DENSE_CLOCK_MAX + 1));
+        assert!(!ClockMode::Dense.is_delta(4096));
+        assert!(ClockMode::Delta.is_delta(2));
+        assert_eq!(SimConfig::new(4).clock_mode, ClockMode::Auto);
+        assert_eq!(
+            SimConfig::new(4)
+                .with_clock_mode(ClockMode::Delta)
+                .clock_mode,
+            ClockMode::Delta
+        );
     }
 
     #[test]

@@ -14,6 +14,7 @@
 use crate::bytecode::{Compiled, ExprRef, LowInstr, LowSrc, NO_LABEL};
 use crate::clock::VectorClock;
 use crate::config::SimConfig;
+use crate::equeue::CalendarQueue;
 use crate::failure::{CutPicker, FailurePlan};
 use crate::hooks::{CoordinationCost, Hooks, NoHooks, RecvAction};
 use crate::obs::SimObs;
@@ -26,7 +27,6 @@ use acfc_mpsl::lowered::{eval_ops, Op, SlotEnv};
 use acfc_mpsl::{EvalError, StmtId};
 use acfc_obs::LocalHist;
 use acfc_util::rng::Rng;
-use std::collections::VecDeque;
 use std::sync::Arc;
 
 /// Runs `compiled` under `config` with the application-driven behaviour
@@ -103,15 +103,12 @@ pub fn run_observed_with(
 enum Ev {
     /// Resume execution of a process (with its rollback epoch).
     Ready { p: usize, epoch: u64 },
-    /// Network delivery of a message (with its re-delivery token).
-    Arrive { msg: usize, token: u64 },
+    /// Network delivery of a message: an arena slot plus the slot
+    /// generation observed at scheduling time. A stale generation means
+    /// the flight was cancelled (rollback) and the event is ignored.
+    Arrive { slot: u32, gen: u32 },
     /// Injected failure of a process.
     Fail { p: usize },
-}
-
-struct QueuedEv {
-    key: (u64, u64), // (time_us, tiebreak_seq)
-    ev: Ev,
 }
 
 #[derive(Debug, Clone, PartialEq)]
@@ -125,26 +122,167 @@ enum PState {
     Halted,
 }
 
-struct Proc {
-    /// Variable values, indexed by the compile-time slot table.
+/// Per-process state in struct-of-arrays layout: one flat slab per
+/// field, indexed by rank (and rank × slot for the variable tables), so
+/// the stepping loop walks contiguous memory instead of chasing
+/// per-process structs. At n = 2048 this is the difference between a
+/// handful of big allocations and tens of thousands of little ones.
+struct ProcTable {
+    /// Variable slots per process (the compile-time slot table size).
+    nslots: usize,
+    /// Statement-instance counters per process.
+    stmt_limit: usize,
+    /// Variable values, `n × nslots`, row per process.
     vars: Vec<i64>,
     /// Whether each slot is bound (declared, or assigned at least
     /// once); reads of unbound slots are runtime errors, exactly as
-    /// lookups in the map-based store were.
+    /// lookups in the map-based store were. `n × nslots`.
     bound: Vec<bool>,
-    /// Shared copy of `bound` handed to snapshots; invalidated on the
-    /// rare false→true flip so the common checkpoint clones a refcount
-    /// instead of a vector.
-    bound_arc: Option<Arc<[bool]>>,
-    pc: usize,
-    vc: VectorClock,
-    state: PState,
-    ckpt_seq: u64,
-    /// Instance counters indexed densely by statement id.
+    /// Shared copy of each process's `bound` row handed to snapshots;
+    /// invalidated on the rare false→true flip so the common checkpoint
+    /// clones a refcount instead of a vector.
+    bound_arc: Vec<Option<Arc<[bool]>>>,
+    pc: Vec<usize>,
+    vc: Vec<VectorClock>,
+    state: Vec<PState>,
+    ckpt_seq: Vec<u64>,
+    /// Instance counters indexed densely by statement id, `n × stmt_limit`.
     stmt_instances: Vec<u64>,
-    step: u64,
-    executed: u64,
-    now: SimTime,
+    step: Vec<u64>,
+    executed: Vec<u64>,
+    now: Vec<SimTime>,
+}
+
+impl ProcTable {
+    fn vars_of(&self, p: usize) -> &[i64] {
+        &self.vars[p * self.nslots..(p + 1) * self.nslots]
+    }
+    fn bound_of(&self, p: usize) -> &[bool] {
+        &self.bound[p * self.nslots..(p + 1) * self.nslots]
+    }
+    fn insts_of(&self, p: usize) -> &[u64] {
+        &self.stmt_instances[p * self.stmt_limit..(p + 1) * self.stmt_limit]
+    }
+    fn insts_of_mut(&mut self, p: usize) -> &mut [u64] {
+        &mut self.stmt_instances[p * self.stmt_limit..(p + 1) * self.stmt_limit]
+    }
+}
+
+/// Sentinel for "no slot / no link" in the message arena.
+const NIL: u32 = u32::MAX;
+
+/// One in-flight message: the record index it carries, a generation
+/// that invalidates scheduled arrivals when the flight is cancelled,
+/// and the intrusive link threading the receiver's per-channel FIFO.
+struct FlightSlot {
+    msg: u32,
+    gen: u32,
+    next: u32,
+}
+
+/// Generation-indexed slab of in-flight messages with a free list.
+/// Replaces the old per-message `msg_token` vector (which grew with
+/// *every* message ever sent) with storage proportional to the number
+/// of messages actually in flight.
+struct MsgArena {
+    slots: Vec<FlightSlot>,
+    free: Vec<u32>,
+}
+
+impl MsgArena {
+    fn new() -> MsgArena {
+        MsgArena {
+            slots: Vec::with_capacity(1024),
+            free: Vec::new(),
+        }
+    }
+
+    fn alloc(&mut self, msg: usize) -> (u32, u32) {
+        if let Some(s) = self.free.pop() {
+            let slot = &mut self.slots[s as usize];
+            slot.msg = msg as u32;
+            slot.next = NIL;
+            (s, slot.gen)
+        } else {
+            let s = self.slots.len() as u32;
+            self.slots.push(FlightSlot {
+                msg: msg as u32,
+                gen: 0,
+                next: NIL,
+            });
+            (s, 0)
+        }
+    }
+
+    fn release(&mut self, s: u32) {
+        let slot = &mut self.slots[s as usize];
+        debug_assert!(slot.msg != NIL, "double free of flight slot");
+        slot.msg = NIL;
+        slot.gen = slot.gen.wrapping_add(1);
+        self.free.push(s);
+    }
+
+    fn is_live(&self, s: u32, gen: u32) -> bool {
+        let slot = &self.slots[s as usize];
+        slot.gen == gen && slot.msg != NIL
+    }
+}
+
+/// One receiver-side channel: delivered-but-unconsumed flight slots as
+/// an intrusive FIFO through the arena. Channels are created lazily on
+/// first delivery and kept sorted by sender rank, so a sparse topology
+/// materialises its edge set instead of the old eager `inbox[n][n]`
+/// matrix of `VecDeque`s (4M queues at n = 2048).
+struct InChan {
+    src: u32,
+    head: u32,
+    tail: u32,
+}
+
+/// One sender-side channel: FIFO delivery-time watermark plus the
+/// delta-clock chain cursor. Created lazily per (sender, dest) pair and
+/// kept sorted by dest — replaces the old `chan_last[n × n]` array.
+struct OutChan {
+    dest: u32,
+    last: SimTime,
+    /// Delta mode: which log epoch `log_pos` refers to; a stale epoch
+    /// (after a rollback) forces a full-support resend.
+    log_epoch: u64,
+    /// Delta mode: position in the sender's modification log up to
+    /// which this channel's receiver is already covered.
+    log_pos: usize,
+}
+
+/// Large-n delta-clock machinery (engine side). Working clocks stay
+/// dense; what scales as O(Δ) is the *transport*: each send carries
+/// only the `(index, value)` pairs changed since the previous send on
+/// that channel, and each checkpoint stamp is a sparse clock built from
+/// the process's support set. Self-contained payloads (values, not
+/// diffs) make redelivery after rollback trivially safe: merging is a
+/// componentwise max, so replaying an old payload can never regress a
+/// clock.
+struct DeltaState {
+    /// Per-process modification log: component indices increased by
+    /// merges (own-component ticks are never logged — the own entry is
+    /// included in every payload unconditionally).
+    log: Vec<Vec<u32>>,
+    /// Per-process log epoch, bumped on every rollback: out-channels
+    /// holding a cursor into a previous epoch fall back to a full
+    /// resend, which is always correct under max-merge.
+    epoch: Vec<u64>,
+    /// Per-process support: indices ever nonzero this epoch, plus the
+    /// own index. Appended on 0→nonzero transitions; for the paper's
+    /// neighbour-exchange workloads it grows one hop per iteration, so
+    /// checkpoint stamps stay tiny even at n = 2048.
+    support: Vec<Vec<u32>>,
+    /// Pass-stamped scratch for payload dedup, length n.
+    seen: Vec<u64>,
+    seen_pass: u64,
+    /// Per-message payloads, parallel to `Engine::messages`; kept for
+    /// the lifetime of the run so rolled-back messages can be
+    /// redelivered with their original payload.
+    payloads: Vec<Box<[(u32, u64)]>>,
+    scratch: Vec<(u32, u64)>,
 }
 
 struct Engine<'a> {
@@ -152,21 +290,25 @@ struct Engine<'a> {
     config: &'a SimConfig,
     hooks: &'a mut dyn Hooks,
     picker: CutPicker,
-    procs: Vec<Proc>,
+    procs: ProcTable,
     epochs: Vec<u64>,
-    /// Pending events, sorted by key ascending. Keys are unique (the
-    /// seq tiebreak), so popping the front yields exactly the order a
-    /// binary heap keyed on `Reverse(key)` would. A deque because both
-    /// hot paths are ends: the next event pops from the front, and a
-    /// newly scheduled event is usually the latest and lands at the
-    /// back — both O(1), with no heap sift and no insertion memmove.
-    queue: VecDeque<QueuedEv>,
+    /// Pending events keyed by `(time_us, seq)`. Keys are unique (the
+    /// seq tiebreak), so the calendar queue pops exactly the order the
+    /// old sorted deque (or a binary heap on `Reverse(key)`) would —
+    /// see `crate::equeue` for the differential tests pinning this.
+    queue: CalendarQueue<Ev>,
     heap_seq: u64,
-    // inbox[to][from] = delivered-but-unconsumed message indices (FIFO).
-    inbox: Vec<Vec<VecDeque<usize>>>,
-    // chan_last[from*n + to] = last delivery time on the channel (FIFO).
-    chan_last: Vec<SimTime>,
-    msg_token: Vec<u64>,
+    /// In-flight message slots (send → consume), generation-indexed.
+    arena: MsgArena,
+    /// Receiver-side channels, lazily created, sorted by sender rank.
+    inbox: Vec<Vec<InChan>>,
+    /// Sender-side channels, lazily created, sorted by dest rank.
+    out: Vec<Vec<OutChan>>,
+    /// Lazily materialised inbox channels, for the allocation
+    /// regression guard (flushed to [`SimObs::inbox_channels`]).
+    inbox_channels: u64,
+    /// Delta-clock state; `None` in dense mode.
+    delta: Option<DeltaState>,
     messages: Vec<MessageRecord>,
     checkpoints: Vec<CheckpointRecord>,
     failures: Vec<FailureRecord>,
@@ -240,25 +382,35 @@ impl<'a> Engine<'a> {
         // (initialised to 0); undeclared names bind on first assign.
         let nslots = compiled.var_names.len();
         let declared = compiled.vars.len();
-        let procs = (0..n)
-            .map(|_| {
-                let mut bound = vec![false; nslots];
-                bound[..declared].fill(true);
-                Proc {
-                    vars: vec![0; nslots],
-                    bound,
-                    bound_arc: None,
-                    pc: 0,
-                    vc: VectorClock::new(n),
-                    state: PState::Ready,
-                    ckpt_seq: 0,
-                    stmt_instances: vec![0; compiled.stmt_limit as usize],
-                    step: 0,
-                    executed: 0,
-                    now: SimTime::ZERO,
-                }
-            })
-            .collect();
+        let stmt_limit = compiled.stmt_limit as usize;
+        let mut bound = vec![false; n * nslots];
+        for p in 0..n {
+            bound[p * nslots..p * nslots + declared].fill(true);
+        }
+        let procs = ProcTable {
+            nslots,
+            stmt_limit,
+            vars: vec![0; n * nslots],
+            bound,
+            bound_arc: vec![None; n],
+            pc: vec![0; n],
+            vc: (0..n).map(|_| VectorClock::new(n)).collect(),
+            state: vec![PState::Ready; n],
+            ckpt_seq: vec![0; n],
+            stmt_instances: vec![0; n * stmt_limit],
+            step: vec![0; n],
+            executed: vec![0; n],
+            now: vec![SimTime::ZERO; n],
+        };
+        let delta = config.clock_mode.is_delta(n).then(|| DeltaState {
+            log: vec![Vec::new(); n],
+            epoch: vec![0; n],
+            support: (0..n).map(|p| vec![p as u32]).collect(),
+            seen: vec![0; n],
+            seen_pass: 0,
+            payloads: Vec::with_capacity((n * 16).max(384)),
+            scratch: Vec::new(),
+        });
         let use_timer_hook = hooks.uses_timers();
         let passive_hooks = hooks.passive();
         let mut engine = Engine {
@@ -268,17 +420,20 @@ impl<'a> Engine<'a> {
             picker,
             procs,
             epochs: vec![0; n],
-            queue: VecDeque::with_capacity(256),
+            queue: CalendarQueue::new(),
             heap_seq: 0,
-            inbox: vec![vec![VecDeque::new(); n]; n],
-            chan_last: vec![SimTime::ZERO; n * n],
+            arena: MsgArena::new(),
+            inbox: (0..n).map(|_| Vec::new()).collect(),
+            out: (0..n).map(|_| Vec::new()).collect(),
+            inbox_channels: 0,
+            delta,
             // Records embed inline vector clocks, so Vec doubling
             // re-copies them wholesale; start large enough that
             // typical runs never regrow (profiling showed realloc
-            // memcpy as the single largest engine cost otherwise).
-            msg_token: Vec::with_capacity(1024),
-            messages: Vec::with_capacity(384),
-            checkpoints: Vec::with_capacity(192),
+            // memcpy as the single largest engine cost otherwise),
+            // scaling with n for the large-n workloads.
+            messages: Vec::with_capacity((n * 16).max(384)),
+            checkpoints: Vec::with_capacity((n * 8).max(192)),
             failures: Vec::new(),
             metrics: Metrics::default(),
             rng: Rng::seed_from_u64(config.seed),
@@ -306,16 +461,7 @@ impl<'a> Engine<'a> {
 
     fn push(&mut self, t: SimTime, ev: Ev) {
         self.heap_seq += 1;
-        let key = (t.as_micros(), self.heap_seq);
-        // Newly scheduled events are usually the latest (message
-        // deliveries at now + delay): O(1), no search. The seq tiebreak
-        // makes a tie later than everything queued, so `>=` stays sorted.
-        if self.queue.back().is_none_or(|e| e.key < key) {
-            self.queue.push_back(QueuedEv { key, ev });
-        } else {
-            let i = self.queue.partition_point(|e| e.key < key);
-            self.queue.insert(i, QueuedEv { key, ev });
-        }
+        self.queue.push(t.as_micros(), self.heap_seq, ev);
     }
 
     fn note_time(&mut self, t: SimTime) {
@@ -325,11 +471,11 @@ impl<'a> Engine<'a> {
     }
 
     fn run(mut self) -> Trace {
-        while let Some(QueuedEv { key, ev }) = self.queue.pop_front() {
+        while let Some((t_us, _, ev)) = self.queue.pop() {
             if self.outcome.is_some() {
                 break;
             }
-            let t = SimTime(key.0);
+            let t = SimTime(t_us);
             self.note_time(t);
             self.events_processed += 1;
             if self.events_processed & 7 == 0 {
@@ -337,16 +483,17 @@ impl<'a> Engine<'a> {
             }
             match ev {
                 Ev::Ready { p, epoch } => {
-                    if epoch == self.epochs[p] && self.procs[p].state == PState::Ready {
+                    if epoch == self.epochs[p] && self.procs.state[p] == PState::Ready {
                         self.execute(p, t);
                     }
                 }
-                Ev::Arrive { msg, token } => {
-                    if token == self.msg_token[msg]
-                        && !self.messages[msg].rolled_back
-                        && self.messages[msg].delivered_at.is_none()
-                    {
-                        self.deliver(msg, t);
+                Ev::Arrive { slot, gen } => {
+                    // A live slot has not been consumed, and cancelled
+                    // flights (rollback) bumped the generation; each
+                    // generation schedules exactly one arrival, so a
+                    // matching live slot is always undelivered.
+                    if self.arena.is_live(slot, gen) {
+                        self.deliver(slot, t);
                     }
                 }
                 Ev::Fail { p } => self.handle_failure(p, t),
@@ -355,9 +502,10 @@ impl<'a> Engine<'a> {
         let outcome = self.outcome.take().unwrap_or_else(|| {
             let blocked: Vec<usize> = self
                 .procs
+                .state
                 .iter()
                 .enumerate()
-                .filter(|(_, q)| !matches!(q.state, PState::Halted))
+                .filter(|(_, q)| !matches!(q, PState::Halted))
                 .map(|(i, _)| i)
                 .collect();
             if blocked.is_empty() {
@@ -366,10 +514,11 @@ impl<'a> Engine<'a> {
                 Outcome::Deadlock(blocked)
             }
         });
-        self.metrics.instructions = self.procs.iter().map(|p| p.executed).sum();
+        self.metrics.instructions = self.procs.executed.iter().sum();
         if let Some(o) = self.obs.as_deref_mut() {
             o.events_processed += self.events_processed;
             o.run_ahead_hits += self.run_ahead_hits;
+            o.inbox_channels += self.inbox_channels;
             o.queue_depth.merge(&self.queue_depth);
             for (p, &us) in self.compute_us.iter().enumerate() {
                 o.per_proc[p].compute_us += us;
@@ -381,7 +530,7 @@ impl<'a> Engine<'a> {
             messages: self.messages,
             checkpoints: self.checkpoints,
             failures: self.failures,
-            proc_end: self.procs.iter().map(|p| p.now).collect(),
+            proc_end: self.procs.now.clone(),
             finished_at: self.max_time,
             metrics: self.metrics,
             queue_depth: self.queue_depth.snap(),
@@ -395,7 +544,8 @@ impl<'a> Engine<'a> {
 
     fn eval_ref(&mut self, p: usize, r: ExprRef) -> Result<i64, EvalError> {
         let compiled = self.compiled;
-        let proc = &self.procs[p];
+        let vars = self.procs.vars_of(p);
+        let bound = self.procs.bound_of(p);
         // The two dominant shapes — a folded constant and a plain
         // variable read — need none (or almost none) of the SlotEnv,
         // so resolve them before paying for its construction.
@@ -403,8 +553,8 @@ impl<'a> Engine<'a> {
             [Op::Const(v)] => return Ok(*v),
             [Op::Load(s)] => {
                 let s = *s as usize;
-                return if proc.bound[s] {
-                    Ok(proc.vars[s])
+                return if bound[s] {
+                    Ok(vars[s])
                 } else {
                     Err(EvalError::UnboundVar(compiled.var_names[s].clone()))
                 };
@@ -414,8 +564,8 @@ impl<'a> Engine<'a> {
         let env = SlotEnv {
             rank: p as i64,
             nprocs: self.config.nprocs as i64,
-            vars: &proc.vars,
-            bound: &proc.bound,
+            vars,
+            bound,
             var_names: &compiled.var_names,
             params: &self.params,
             param_names: &compiled.param_names,
@@ -452,7 +602,7 @@ impl<'a> Engine<'a> {
             if self.outcome.is_some() {
                 return;
             }
-            if self.procs[p].executed >= max_steps {
+            if self.procs.executed[p] >= max_steps {
                 self.outcome = Some(Outcome::StepLimit(p));
                 return;
             }
@@ -462,7 +612,7 @@ impl<'a> Engine<'a> {
                 // otherwise checkpoint forever without executing a
                 // single instruction) trips the runaway guard instead
                 // of looping.
-                self.procs[p].executed += 1;
+                self.procs.executed[p] += 1;
                 let trigger = self.hooks.timer_trigger(p);
                 self.take_checkpoint(p, None, None, trigger, &mut now);
                 if self.can_run_ahead(now) {
@@ -477,9 +627,9 @@ impl<'a> Engine<'a> {
                 self.yield_ready(p, now);
                 return;
             }
-            let pc = self.procs[p].pc;
+            let pc = self.procs.pc[p];
             let instr = self.compiled.lowered[pc];
-            self.procs[p].executed += 1;
+            self.procs.executed[p] += 1;
             match instr {
                 LowInstr::Compute { cost } => {
                     let c = match self.eval_ref(p, cost) {
@@ -496,7 +646,7 @@ impl<'a> Engine<'a> {
                     now +=
                         c * self.config.cost.compute_unit_us + self.config.cost.instr_overhead_us;
                     self.compute_us[p] += c * self.config.cost.compute_unit_us;
-                    self.procs[p].pc = pc + 1;
+                    self.procs.pc[p] = pc + 1;
                     if self.can_run_ahead(now) {
                         self.mark_progress(p, now);
                         continue;
@@ -507,11 +657,11 @@ impl<'a> Engine<'a> {
                 LowInstr::Assign { var, value } => {
                     match self.eval_ref(p, value) {
                         Ok(v) => {
-                            let proc = &mut self.procs[p];
-                            proc.vars[var as usize] = v;
-                            if !proc.bound[var as usize] {
-                                proc.bound[var as usize] = true;
-                                proc.bound_arc = None;
+                            let at = p * self.procs.nslots + var as usize;
+                            self.procs.vars[at] = v;
+                            if !self.procs.bound[at] {
+                                self.procs.bound[at] = true;
+                                self.procs.bound_arc[p] = None;
                             }
                         }
                         Err(e) => {
@@ -520,11 +670,11 @@ impl<'a> Engine<'a> {
                         }
                     }
                     now += instr_us;
-                    self.procs[p].pc = pc + 1;
+                    self.procs.pc[p] = pc + 1;
                 }
                 LowInstr::Jump { target } => {
                     now += instr_us;
-                    self.procs[p].pc = target as usize;
+                    self.procs.pc[p] = target as usize;
                 }
                 LowInstr::JumpIfFalse { cond, target } => {
                     let v = match self.eval_ref(p, cond) {
@@ -535,7 +685,7 @@ impl<'a> Engine<'a> {
                         }
                     };
                     now += instr_us;
-                    self.procs[p].pc = if v == 0 { target as usize } else { pc + 1 };
+                    self.procs.pc[p] = if v == 0 { target as usize } else { pc + 1 };
                 }
                 LowInstr::Send {
                     dest,
@@ -558,7 +708,7 @@ impl<'a> Engine<'a> {
                     };
                     self.do_send(p, to, bits, stmt, now);
                     now += self.config.cost.send_overhead_us;
-                    self.procs[p].pc = pc + 1;
+                    self.procs.pc[p] = pc + 1;
                 }
                 LowInstr::Recv { src, stmt } => {
                     let want: Option<usize> = match src {
@@ -572,23 +722,23 @@ impl<'a> Engine<'a> {
                     };
                     if let Some(m) = self.pick_inbox(p, want) {
                         now = self.consume_message(p, m, stmt, now);
-                        self.procs[p].pc = pc + 1;
+                        self.procs.pc[p] = pc + 1;
                         if self.outcome.is_some() {
                             return;
                         }
                     } else {
-                        self.procs[p].state = PState::Blocked {
+                        self.procs.state[p] = PState::Blocked {
                             src: want,
                             stmt,
                             since: now,
                         };
-                        self.procs[p].now = now;
+                        self.procs.now[p] = now;
                         self.note_time(now);
                         return;
                     }
                 }
                 LowInstr::Checkpoint { stmt, label } => {
-                    self.procs[p].pc = pc + 1;
+                    self.procs.pc[p] = pc + 1;
                     if self.passive_hooks || self.hooks.take_app_checkpoint(p, now) {
                         // Label strings are materialised only when a
                         // checkpoint is actually recorded.
@@ -615,8 +765,8 @@ impl<'a> Engine<'a> {
                     }
                 }
                 LowInstr::Halt => {
-                    self.procs[p].state = PState::Halted;
-                    self.procs[p].now = now;
+                    self.procs.state[p] = PState::Halted;
+                    self.procs.now[p] = now;
                     self.note_time(now);
                     return;
                 }
@@ -631,34 +781,59 @@ impl<'a> Engine<'a> {
     /// strictly later heap top guarantees this). Skipping the round
     /// trip leaves the popped event sequence — and hence the trace —
     /// unchanged.
-    fn can_run_ahead(&self, now: SimTime) -> bool {
-        self.queue.front().is_none_or(|e| e.key.0 > now.as_micros())
+    fn can_run_ahead(&mut self, now: SimTime) -> bool {
+        // `&mut`: peeking the calendar queue advances its day cursor.
+        match self.queue.peek_key() {
+            None => true,
+            Some((t, _)) => t > now.as_micros(),
+        }
     }
 
     /// The bookkeeping of [`Self::yield_ready`] without the heap round
     /// trip, for the [`Self::can_run_ahead`] fast path. Every caller is
     /// a run-ahead hit, so the counter lives here.
     fn mark_progress(&mut self, p: usize, now: SimTime) {
-        self.procs[p].now = now;
+        self.procs.now[p] = now;
         self.note_time(now);
         self.run_ahead_hits += 1;
     }
 
     fn yield_ready(&mut self, p: usize, now: SimTime) {
-        self.procs[p].now = now;
+        self.procs.now[p] = now;
         self.note_time(now);
         let epoch = self.epochs[p];
         self.push(now, Ev::Ready { p, epoch });
     }
 
+    /// Index of the sender-side channel `from → to`, creating it on
+    /// first use (a fresh channel starts with an out-of-date log epoch,
+    /// so delta mode's first send on it is a full-support payload).
+    fn out_chan(&mut self, from: usize, to: usize) -> usize {
+        let chans = &mut self.out[from];
+        match chans.binary_search_by_key(&(to as u32), |c| c.dest) {
+            Ok(i) => i,
+            Err(i) => {
+                chans.insert(
+                    i,
+                    OutChan {
+                        dest: to as u32,
+                        last: SimTime::ZERO,
+                        log_epoch: u64::MAX,
+                        log_pos: 0,
+                    },
+                );
+                i
+            }
+        }
+    }
+
     fn do_send(&mut self, p: usize, to: usize, bits: u64, stmt: StmtId, now: SimTime) {
-        let proc = &mut self.procs[p];
-        proc.vc.tick(p);
-        proc.step += 1;
+        self.procs.vc[p].tick(p);
+        self.procs.step[p] += 1;
         let piggyback = if self.passive_hooks {
-            self.procs[p].ckpt_seq
+            self.procs.ckpt_seq[p]
         } else {
-            self.hooks.piggyback(p, self.procs[p].ckpt_seq, now)
+            self.hooks.piggyback(p, self.procs.ckpt_seq[p], now)
         };
         let jitter = if self.config.net.jitter_us > 0 {
             self.rng.gen_u64_inclusive(self.config.net.jitter_us)
@@ -667,12 +842,28 @@ impl<'a> Engine<'a> {
         };
         let delay = self.config.net.base_delay_us(bits) + jitter;
         let sent_at = now + self.config.cost.send_overhead_us;
-        let chan = p * self.config.nprocs + to;
-        let deliver_at =
-            SimTime((sent_at.as_micros() + delay).max(self.chan_last[chan].as_micros()));
-        self.chan_last[chan] = deliver_at;
+        let ci = self.out_chan(p, to);
+        let chan = &mut self.out[p][ci];
+        let deliver_at = SimTime((sent_at.as_micros() + delay).max(chan.last.as_micros()));
+        chan.last = deliver_at;
         let id = MsgId(self.messages.len() as u64);
         let idx = self.messages.len();
+        let send_vc = if let Some(d) = self.delta.as_mut() {
+            // O(Δ) piggyback: the payload covers every component that
+            // changed since the previous send on this channel (plus the
+            // own component, unconditionally). The record itself gets
+            // an empty placeholder — at large n, embedding full stamps
+            // in every record is exactly what delta mode exists to
+            // avoid.
+            let cursor = (chan.log_epoch == d.epoch[p]).then_some(chan.log_pos);
+            chan.log_epoch = d.epoch[p];
+            chan.log_pos = d.log[p].len();
+            let payload = collect_payload(d, &self.procs.vc[p], p, cursor);
+            d.payloads.push(payload);
+            VectorClock::new(0)
+        } else {
+            self.procs.vc[p].clone()
+        };
         self.messages.push(MessageRecord {
             id,
             from: p,
@@ -680,8 +871,8 @@ impl<'a> Engine<'a> {
             size_bits: bits,
             send_stmt: stmt,
             sent_at,
-            send_vc: self.procs[p].vc.clone(),
-            send_step: self.procs[p].step,
+            send_vc,
+            send_step: self.procs.step[p],
             piggyback,
             delivered_at: None,
             recv_at: None,
@@ -690,31 +881,57 @@ impl<'a> Engine<'a> {
             recv_stmt: None,
             rolled_back: false,
         });
-        self.msg_token.push(0);
         self.metrics.app_messages += 1;
         self.metrics.app_bits += bits;
-        self.push(deliver_at, Ev::Arrive { msg: idx, token: 0 });
+        let (slot, gen) = self.arena.alloc(idx);
+        self.push(deliver_at, Ev::Arrive { slot, gen });
     }
 
     /// Picks the next consumable message for `p` from `want` (None =
     /// any). FIFO per channel; for `any`, earliest delivery wins
-    /// (ties: lowest sender rank).
+    /// (ties: lowest sender rank — the channel list is sorted by
+    /// sender, and only a strictly earlier delivery displaces a
+    /// candidate). Frees the flight slot.
     fn pick_inbox(&mut self, p: usize, want: Option<usize>) -> Option<usize> {
         match want {
-            Some(s) => self.inbox[p][s].pop_front(),
+            Some(src) => {
+                let ci = self.inbox[p]
+                    .binary_search_by_key(&(src as u32), |c| c.src)
+                    .ok()?;
+                self.pop_chan(p, ci)
+            }
             None => {
                 let mut best: Option<(SimTime, usize)> = None;
-                for s in 0..self.config.nprocs {
-                    if let Some(&m) = self.inbox[p][s].front() {
+                for (ci, c) in self.inbox[p].iter().enumerate() {
+                    if c.head != NIL {
+                        let m = self.arena.slots[c.head as usize].msg as usize;
                         let at = self.messages[m].delivered_at.expect("inboxed => delivered");
                         if best.is_none_or(|(bt, _)| at < bt) {
-                            best = Some((at, s));
+                            best = Some((at, ci));
                         }
                     }
                 }
-                best.map(|(_, s)| self.inbox[p][s].pop_front().expect("nonempty"))
+                best.and_then(|(_, ci)| self.pop_chan(p, ci))
             }
         }
+    }
+
+    /// Pops the head flight of inbox channel `ci` of process `p`,
+    /// releasing its slot and returning the message index.
+    fn pop_chan(&mut self, p: usize, ci: usize) -> Option<usize> {
+        let c = &mut self.inbox[p][ci];
+        if c.head == NIL {
+            return None;
+        }
+        let s = c.head;
+        let slot = &self.arena.slots[s as usize];
+        let m = slot.msg as usize;
+        c.head = slot.next;
+        if c.head == NIL {
+            c.tail = NIL;
+        }
+        self.arena.release(s);
+        Some(m)
     }
 
     /// Completes a receive of message `m` by process `p` at local time
@@ -729,7 +946,7 @@ impl<'a> Engine<'a> {
         // until they are satisfied, with a generous runaway guard.
         let mut guard = 0u32;
         while !self.passive_hooks {
-            let own_seq = self.procs[p].ckpt_seq;
+            let own_seq = self.procs.ckpt_seq[p];
             if self.hooks.on_recv(p, piggyback, own_seq, now) != RecvAction::ForceCheckpointFirst {
                 break;
             }
@@ -740,17 +957,43 @@ impl<'a> Engine<'a> {
                 "hooks demanded forced checkpoints without converging"
             );
         }
-        // Disjoint borrows: the sender's clock is read from the message
-        // records while the receiver's is updated in place — no clone.
-        let proc = &mut self.procs[p];
-        proc.vc.merge(&self.messages[m].send_vc);
-        proc.vc.tick(p);
-        proc.step += 1;
+        if let Some(d) = self.delta.as_mut() {
+            // Merge the O(Δ) payload: componentwise max over the
+            // carried entries, logging merge-increases for downstream
+            // sends and extending the support on 0→nonzero flips.
+            let DeltaState {
+                payloads,
+                log,
+                support,
+                ..
+            } = d;
+            let slice = self.procs.vc[p].as_mut_slice();
+            for &(i, v) in payloads[m].iter() {
+                let c = &mut slice[i as usize];
+                if v > *c {
+                    if *c == 0 {
+                        support[p].push(i);
+                    }
+                    *c = v;
+                    log[p].push(i);
+                }
+            }
+        } else {
+            // Disjoint borrows: the sender's clock is read from the
+            // message records while the receiver's is updated in place
+            // — no clone.
+            self.procs.vc[p].merge(&self.messages[m].send_vc);
+        }
+        self.procs.vc[p].tick(p);
+        self.procs.step[p] += 1;
         now += self.config.cost.instr_overhead_us;
         let rec = &mut self.messages[m];
         rec.recv_at = Some(now);
-        rec.recv_vc = Some(proc.vc.clone());
-        rec.recv_step = Some(proc.step);
+        // Delta mode leaves per-message receive stamps out of the
+        // record (they would be O(n) each); checkpoint stamps carry the
+        // causality the consistency checker needs.
+        rec.recv_vc = self.delta.is_none().then(|| self.procs.vc[p].clone());
+        rec.recv_step = Some(self.procs.step[p]);
         rec.recv_stmt = Some(stmt);
         let sent_at = rec.sent_at;
         if let Some(o) = self.obs.as_deref_mut() {
@@ -774,13 +1017,12 @@ impl<'a> Engine<'a> {
             self.hooks.coordination_cost(p, *now)
         };
         let compiled = self.compiled;
-        let proc = &mut self.procs[p];
-        proc.vc.tick(p);
-        proc.step += 1;
-        proc.ckpt_seq += 1;
+        self.procs.vc[p].tick(p);
+        self.procs.step[p] += 1;
+        self.procs.ckpt_seq[p] += 1;
         let instance = match stmt {
             Some(sid) => {
-                let e = &mut proc.stmt_instances[sid.0 as usize];
+                let e = &mut self.procs.insts_of_mut(p)[sid.0 as usize];
                 *e += 1;
                 *e
             }
@@ -788,32 +1030,50 @@ impl<'a> Engine<'a> {
         };
         let start = *now;
         let stall = self.config.cost.ckpt_overhead_us + coord.stall_us;
+        // Dense mode embeds the working clock; delta mode builds one
+        // sparse stamp from the support set — O(support), not O(n) —
+        // shared (refcounted) between the record and the snapshot.
+        let vc_stamp = if let Some(d) = self.delta.as_mut() {
+            let slice = self.procs.vc[p].components();
+            d.scratch.clear();
+            for &i in &d.support[p] {
+                let v = slice[i as usize];
+                if v > 0 {
+                    d.scratch.push((i, v));
+                }
+            }
+            d.scratch.sort_unstable_by_key(|&(i, _)| i);
+            VectorClock::from_entries(slice.len(), d.scratch.iter().copied())
+        } else {
+            self.procs.vc[p].clone()
+        };
+        let base = p * self.procs.nslots;
+        let bound_row = &self.procs.bound[base..base + self.procs.nslots];
         let snapshot = Snapshot {
-            pc: proc.pc,
+            pc: self.procs.pc[p],
             vars: VarStore {
                 names: compiled.var_names.clone(),
-                values: proc.vars.clone(),
-                bound: proc
-                    .bound_arc
-                    .get_or_insert_with(|| proc.bound.as_slice().into())
+                values: self.procs.vars[base..base + self.procs.nslots].to_vec(),
+                bound: self.procs.bound_arc[p]
+                    .get_or_insert_with(|| bound_row.into())
                     .clone(),
             },
-            vc: proc.vc.clone(),
-            ckpt_seq: proc.ckpt_seq,
-            stmt_instances: StmtInstances(proc.stmt_instances.clone()),
-            step: proc.step,
+            vc: vc_stamp.clone(),
+            ckpt_seq: self.procs.ckpt_seq[p],
+            stmt_instances: StmtInstances(self.procs.insts_of(p).to_vec()),
+            step: self.procs.step[p],
         };
         self.checkpoints.push(CheckpointRecord {
             proc: p,
-            seq: proc.ckpt_seq,
+            seq: self.procs.ckpt_seq[p],
             stmt,
             instance,
             label,
             trigger,
             start,
             durable_at: start + self.config.cost.ckpt_latency_us + coord.stall_us,
-            vc: proc.vc.clone(),
-            step: proc.step,
+            vc: vc_stamp,
+            step: self.procs.step[p],
             snapshot,
             rolled_back: false,
         });
@@ -833,16 +1093,49 @@ impl<'a> Engine<'a> {
         }
     }
 
-    fn deliver(&mut self, m: usize, t: SimTime) {
+    /// Index of the receiver-side channel `to ← src`, creating it on
+    /// first delivery (the lazy replacement for the old n² inbox).
+    fn in_chan(&mut self, to: usize, src: usize) -> usize {
+        let chans = &mut self.inbox[to];
+        match chans.binary_search_by_key(&(src as u32), |c| c.src) {
+            Ok(i) => i,
+            Err(i) => {
+                chans.insert(
+                    i,
+                    InChan {
+                        src: src as u32,
+                        head: NIL,
+                        tail: NIL,
+                    },
+                );
+                self.inbox_channels += 1;
+                i
+            }
+        }
+    }
+
+    fn deliver(&mut self, slot: u32, t: SimTime) {
+        let m = self.arena.slots[slot as usize].msg as usize;
         self.messages[m].delivered_at = Some(t);
         let to = self.messages[m].to;
         let from = self.messages[m].from;
-        self.inbox[to][from].push_back(m);
+        let ci = self.in_chan(to, from);
+        // Append to the channel's intrusive FIFO.
+        self.arena.slots[slot as usize].next = NIL;
+        let c = &mut self.inbox[to][ci];
+        if c.tail == NIL {
+            c.head = slot;
+            c.tail = slot;
+        } else {
+            let prev = c.tail;
+            c.tail = slot;
+            self.arena.slots[prev as usize].next = slot;
+        }
         if let Some(o) = self.obs.as_deref_mut() {
             o.messages_delivered += 1;
         }
         // Unblock a matching waiter.
-        let (want, stmt, since) = match self.procs[to].state {
+        let (want, stmt, since) = match self.procs.state[to] {
             PState::Blocked { src, stmt, since } => (src, stmt, since),
             _ => return,
         };
@@ -857,12 +1150,12 @@ impl<'a> Engine<'a> {
         if let Some(o) = self.obs.as_deref_mut() {
             o.on_blocked(to, since.as_micros(), at.as_micros());
         }
-        self.procs[to].state = PState::Ready;
+        self.procs.state[to] = PState::Ready;
         let done = self.consume_message(to, m2, stmt, at);
         if self.outcome.is_some() {
             return;
         }
-        self.procs[to].pc += 1;
+        self.procs.pc[to] += 1;
         if self.can_run_ahead(done) {
             self.mark_progress(to, done);
             self.execute(to, done);
@@ -874,8 +1167,8 @@ impl<'a> Engine<'a> {
     fn handle_failure(&mut self, p: usize, t: SimTime) {
         // A failure of an already-halted process (or after global
         // completion) is ignored.
-        if matches!(self.procs[p].state, PState::Halted)
-            && self.procs.iter().all(|q| matches!(q.state, PState::Halted))
+        if matches!(self.procs.state[p], PState::Halted)
+            && self.procs.state.iter().all(|q| matches!(q, PState::Halted))
         {
             return;
         }
@@ -924,7 +1217,7 @@ impl<'a> Engine<'a> {
             let back_to = restored[q]
                 .map(|i| self.checkpoints[i].start)
                 .unwrap_or(SimTime::ZERO);
-            lost_us += self.procs[q].now.saturating_sub(back_to).as_micros();
+            lost_us += self.procs.now[q].saturating_sub(back_to).as_micros();
         }
         // Mark rolled-back records.
         for c in &mut self.checkpoints {
@@ -952,69 +1245,115 @@ impl<'a> Engine<'a> {
                 m.recv_vc = None;
                 m.recv_step = None;
                 m.recv_stmt = None;
-                self.msg_token[i] += 1;
                 redeliveries.push((i, resume));
             }
         }
-        // Clear channel state.
-        for q in 0..self.config.nprocs {
-            for s in 0..self.config.nprocs {
-                self.inbox[q][s].clear();
+        // Clear channel state: every live flight slot is cancelled
+        // (bumping its generation, which invalidates any scheduled
+        // arrival), inbox FIFOs are unlinked, and the sender-side
+        // delivery watermarks reset. The channel entries themselves are
+        // kept — the topology survives the rollback.
+        for s in 0..self.arena.slots.len() {
+            if self.arena.slots[s].msg != NIL {
+                self.arena.release(s as u32);
             }
         }
-        for c in self.chan_last.iter_mut() {
-            *c = SimTime::ZERO;
+        for chans in &mut self.inbox {
+            for c in chans.iter_mut() {
+                c.head = NIL;
+                c.tail = NIL;
+            }
+        }
+        for chans in &mut self.out {
+            for c in chans.iter_mut() {
+                c.last = SimTime::ZERO;
+            }
         }
         // Re-schedule in-flight deliveries (fresh jitter, FIFO per
         // channel preserved by delivery-time monotonicity below).
         redeliveries.sort_by_key(|&(i, _)| (self.messages[i].from, self.messages[i].send_step));
         for (i, at) in redeliveries {
             let m = &self.messages[i];
+            let (from, to, bits) = (m.from, m.to, m.size_bits);
             let jitter = if self.config.net.jitter_us > 0 {
                 self.rng.gen_u64_inclusive(self.config.net.jitter_us)
             } else {
                 0
             };
-            let chan = m.from * self.config.nprocs + m.to;
+            let ci = self.out_chan(from, to);
+            let chan = &mut self.out[from][ci];
             let deliver_at = SimTime(
-                (at.as_micros() + self.config.net.base_delay_us(m.size_bits) + jitter)
-                    .max(self.chan_last[chan].as_micros()),
+                (at.as_micros() + self.config.net.base_delay_us(bits) + jitter)
+                    .max(chan.last.as_micros()),
             );
-            self.chan_last[chan] = deliver_at;
-            let token = self.msg_token[i];
-            self.push(deliver_at, Ev::Arrive { msg: i, token });
+            chan.last = deliver_at;
+            let (slot, gen) = self.arena.alloc(i);
+            self.push(deliver_at, Ev::Arrive { slot, gen });
         }
-        // Restore processes. `clone_from` reuses each process's
-        // existing buffers instead of allocating fresh ones.
+        // Restore processes in place, reusing each process's existing
+        // rows instead of allocating fresh ones. In delta mode the
+        // sparse snapshot stamp is materialised back into the dense
+        // working clock, the modification log epoch is bumped (so every
+        // out-channel falls back to a full-support resend — always
+        // correct under max-merge), and the support set is rebuilt from
+        // the stamp.
         #[allow(clippy::needless_range_loop)]
         for q in 0..nprocs {
             self.epochs[q] += 1;
-            let proc = &mut self.procs[q];
+            let base = q * self.procs.nslots;
+            let nslots = self.procs.nslots;
             match restored[q] {
                 Some(i) => {
                     let snap = &self.checkpoints[i].snapshot;
-                    proc.pc = snap.pc;
-                    proc.vars.clone_from(&snap.vars.values);
-                    proc.bound.copy_from_slice(&snap.vars.bound);
-                    proc.bound_arc = Some(snap.vars.bound.clone());
-                    proc.vc.clone_from(&snap.vc);
-                    proc.ckpt_seq = snap.ckpt_seq;
-                    proc.stmt_instances.clone_from(&snap.stmt_instances.0);
-                    proc.step = snap.step;
+                    self.procs.pc[q] = snap.pc;
+                    self.procs.vars[base..base + nslots].copy_from_slice(&snap.vars.values);
+                    self.procs.bound[base..base + nslots].copy_from_slice(&snap.vars.bound);
+                    self.procs.bound_arc[q] = Some(snap.vars.bound.clone());
+                    if snap.vc.is_sparse() {
+                        let slice = self.procs.vc[q].as_mut_slice();
+                        slice.fill(0);
+                        for (i, v) in snap.vc.iter_nonzero() {
+                            slice[i as usize] = v;
+                        }
+                    } else {
+                        self.procs.vc[q].clone_from(&snap.vc);
+                    }
+                    self.procs.ckpt_seq[q] = snap.ckpt_seq;
+                    self.procs
+                        .insts_of_mut(q)
+                        .copy_from_slice(&snap.stmt_instances.0);
+                    self.procs.step[q] = snap.step;
+                    if let Some(d) = self.delta.as_mut() {
+                        let snap = &self.checkpoints[i].snapshot;
+                        d.support[q].clear();
+                        d.support[q].extend(snap.vc.iter_nonzero().map(|(i, _)| i));
+                        // The own component is strictly positive at any
+                        // checkpoint (the checkpoint event ticked it),
+                        // so it is always among the nonzero entries.
+                        debug_assert!(d.support[q].contains(&(q as u32)));
+                    }
                 }
                 None => {
-                    proc.pc = 0;
+                    self.procs.pc[q] = 0;
                     // As with the map-based store, values reset to 0
                     // but binding state is untouched.
-                    proc.vars.fill(0);
-                    proc.vc = VectorClock::new(nprocs);
-                    proc.ckpt_seq = 0;
-                    proc.stmt_instances.fill(0);
-                    proc.step = 0;
+                    self.procs.vars[base..base + nslots].fill(0);
+                    self.procs.vc[q] = VectorClock::new(nprocs);
+                    self.procs.ckpt_seq[q] = 0;
+                    self.procs.insts_of_mut(q).fill(0);
+                    self.procs.step[q] = 0;
+                    if let Some(d) = self.delta.as_mut() {
+                        d.support[q].clear();
+                        d.support[q].push(q as u32);
+                    }
                 }
             }
-            proc.state = PState::Ready;
-            proc.now = resume;
+            if let Some(d) = self.delta.as_mut() {
+                d.log[q].clear();
+                d.epoch[q] += 1;
+            }
+            self.procs.state[q] = PState::Ready;
+            self.procs.now[q] = resume;
             let epoch = self.epochs[q];
             self.push(resume, Ev::Ready { p: q, epoch });
         }
@@ -1027,6 +1366,49 @@ impl<'a> Engine<'a> {
         });
         self.note_time(resume);
     }
+}
+
+/// Builds a delta payload for a send by process `p`: the components
+/// changed since the channel's log cursor (`Some(pos)`), deduplicated
+/// via the pass-stamped scratch array, plus the own component
+/// unconditionally. A `None` cursor (fresh channel, or a cursor from a
+/// pre-rollback log epoch) — or a log suffix longer than the clock —
+/// falls back to the full support set, which is always a superset of
+/// any delta and therefore always correct under max-merge.
+fn collect_payload(
+    d: &mut DeltaState,
+    vc: &VectorClock,
+    p: usize,
+    cursor: Option<usize>,
+) -> Box<[(u32, u64)]> {
+    let slice = vc.components();
+    d.scratch.clear();
+    let full = match cursor {
+        None => true,
+        Some(pos) => d.log[p].len() - pos > slice.len(),
+    };
+    if full {
+        for &i in &d.support[p] {
+            let v = slice[i as usize];
+            if v > 0 {
+                d.scratch.push((i, v));
+            }
+        }
+    } else {
+        let pos = cursor.expect("non-full implies a cursor");
+        d.seen_pass += 1;
+        let pass = d.seen_pass;
+        d.seen[p] = pass;
+        d.scratch.push((p as u32, slice[p]));
+        for &i in &d.log[p][pos..] {
+            if d.seen[i as usize] != pass {
+                d.seen[i as usize] = pass;
+                d.scratch.push((i, slice[i as usize]));
+            }
+        }
+    }
+    d.scratch.sort_unstable_by_key(|&(i, _)| i);
+    d.scratch.as_slice().into()
 }
 
 #[cfg(test)]
@@ -1237,6 +1619,70 @@ mod tests {
         assert!(t.completed(), "{:?}", t.outcome);
         assert_eq!(t.metrics.failures, 3);
         assert_eq!(t.checkpoint_counts(), vec![4, 4, 4]);
+    }
+
+    #[test]
+    fn inbox_channels_track_topology_not_n_squared() {
+        use crate::obs::SimObs;
+        // jacobi on a ring: each process receives from exactly two
+        // neighbours, so 8 procs materialise 16 inbox channels — not
+        // the 64 the old eager n×n matrix allocated.
+        let c = compile(&programs::jacobi(4));
+        let mut obs = SimObs::counters();
+        let t = run_observed(&c, &SimConfig::new(8), &mut obs);
+        assert!(t.completed());
+        assert_eq!(obs.inbox_channels, 16);
+    }
+
+    #[test]
+    fn delta_mode_matches_dense_semantics_small_n() {
+        use crate::config::ClockMode;
+        for prog in [programs::jacobi(5), programs::jacobi_odd_even(4)] {
+            let c = compile(&prog);
+            let dense = run(&c, &SimConfig::new(4).with_clock_mode(ClockMode::Dense));
+            let delta = run(&c, &SimConfig::new(4).with_clock_mode(ClockMode::Delta));
+            assert_eq!(dense.finished_at, delta.finished_at);
+            assert_eq!(dense.checkpoints.len(), delta.checkpoints.len());
+            for (a, b) in dense.checkpoints.iter().zip(&delta.checkpoints) {
+                assert_eq!(a.vc, b.vc, "{}: checkpoint stamp diverged", prog.name);
+                assert!(b.vc.is_sparse());
+                assert_eq!(a.step, b.step);
+            }
+        }
+    }
+
+    #[test]
+    fn delta_mode_survives_rollback_with_equal_stamps() {
+        use crate::config::ClockMode;
+        let c = compile(&programs::jacobi(5));
+        let plan = || FailurePlan::at(vec![(SimTime::from_millis(60), 0)]);
+        let mut h1 = NoHooks;
+        let mut h2 = NoHooks;
+        let dense = run_with_failures(
+            &c,
+            &SimConfig::new(4).with_clock_mode(ClockMode::Dense),
+            &mut h1,
+            plan(),
+            CutPicker::AlignedSeq,
+        );
+        let delta = run_with_failures(
+            &c,
+            &SimConfig::new(4).with_clock_mode(ClockMode::Delta),
+            &mut h2,
+            plan(),
+            CutPicker::AlignedSeq,
+        );
+        assert!(dense.completed() && delta.completed());
+        assert_eq!(dense.finished_at, delta.finished_at);
+        assert_eq!(dense.checkpoints.len(), delta.checkpoints.len());
+        for (a, b) in dense.checkpoints.iter().zip(&delta.checkpoints) {
+            assert_eq!(a.vc, b.vc);
+            assert_eq!(a.rolled_back, b.rolled_back);
+        }
+        assert_eq!(
+            crate::consistency::straight_cut_failures(&dense),
+            crate::consistency::straight_cut_failures(&delta)
+        );
     }
 
     #[test]

@@ -47,6 +47,7 @@ pub mod clock;
 pub mod config;
 pub mod consistency;
 pub mod engine;
+pub mod equeue;
 pub mod export;
 pub mod failure;
 pub mod hooks;
@@ -58,8 +59,9 @@ pub mod trace;
 
 pub use bytecode::{compile, Compiled, Instr};
 pub use clock::VectorClock;
-pub use config::{CostModel, NetworkModel, SimConfig};
+pub use config::{ClockMode, CostModel, NetworkModel, SimConfig, DENSE_CLOCK_MAX};
 pub use engine::{run, run_observed, run_observed_with, run_with_failures, run_with_hooks};
+pub use equeue::{CalendarQueue, SortedVecQueue};
 pub use export::{checkpoints_tsv, golden, messages_tsv, spacetime, summary};
 pub use failure::{CutPicker, FailurePlan, PickerFn, RecoveryView};
 pub use hooks::{CoordinationCost, Hooks, NoHooks, RecvAction, TimerCheckpoints};

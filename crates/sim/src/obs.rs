@@ -59,6 +59,12 @@ pub struct SimObs {
     pub run_ahead_hits: u64,
     /// Messages delivered to an inbox.
     pub messages_delivered: u64,
+    /// Distinct inbox channels (receiver, sender) materialised by the
+    /// run. Channels are created lazily on first delivery, so for a
+    /// sparse topology this stays near the communication graph's edge
+    /// count rather than n² — the regression guard for the old eager
+    /// `inbox[n][n]` allocation.
+    pub inbox_channels: u64,
     /// Per-process simulated-time totals.
     pub per_proc: Vec<ProcObs>,
     /// Queue depth, systematically sampled at every 8th event pop
@@ -149,6 +155,7 @@ impl SimObs {
         acfc_obs::count("sim/events_processed", self.events_processed);
         acfc_obs::count("sim/run_ahead_hits", self.run_ahead_hits);
         acfc_obs::count("sim/messages_delivered", self.messages_delivered);
+        acfc_obs::count("sim/inbox_channels", self.inbox_channels);
         for t in &self.per_proc {
             acfc_obs::count("sim/compute_us", t.compute_us);
             acfc_obs::count("sim/blocked_us", t.blocked_us);

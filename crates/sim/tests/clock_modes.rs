@@ -1,0 +1,123 @@
+//! Differential test: delta-encoded clock piggybacks against dense
+//! vector-clock semantics.
+//!
+//! The engine's delta mode (the default above `DENSE_CLOCK_MAX`
+//! processes) transports only the components changed since the last
+//! send on each channel and stamps checkpoints with sparse clocks.
+//! These tests force both modes on identical configurations — above
+//! and below the auto cutoff, with and without failures — and assert
+//! the observable causal structure is identical: same timing, same
+//! checkpoint stamps (compared across representations), same
+//! consistency verdicts.
+
+use acfc_mpsl::programs;
+use acfc_sim::{
+    compile, consistency, run, run_with_failures, ClockMode, CutPicker, FailurePlan, NoHooks,
+    SimConfig, SimTime, Trace, DENSE_CLOCK_MAX,
+};
+
+fn run_mode(
+    prog: &acfc_mpsl::Program,
+    n: usize,
+    mode: ClockMode,
+    fail_ms: &[(u64, usize)],
+) -> Trace {
+    let c = compile(prog);
+    let cfg = SimConfig::new(n).with_clock_mode(mode);
+    if fail_ms.is_empty() {
+        run(&c, &cfg)
+    } else {
+        let plan = FailurePlan::at(
+            fail_ms
+                .iter()
+                .map(|&(ms, p)| (SimTime::from_millis(ms), p))
+                .collect(),
+        );
+        let mut hooks = NoHooks;
+        run_with_failures(&c, &cfg, &mut hooks, plan, CutPicker::AlignedSeq)
+    }
+}
+
+fn assert_equivalent(dense: &Trace, delta: &Trace, what: &str) {
+    assert_eq!(dense.outcome, delta.outcome, "{what}: outcome");
+    assert_eq!(dense.finished_at, delta.finished_at, "{what}: makespan");
+    assert_eq!(
+        dense.metrics.instructions, delta.metrics.instructions,
+        "{what}: instructions"
+    );
+    assert_eq!(
+        dense.checkpoints.len(),
+        delta.checkpoints.len(),
+        "{what}: checkpoint count"
+    );
+    for (a, b) in dense.checkpoints.iter().zip(&delta.checkpoints) {
+        // Cross-representation equality: b.vc is sparse, a.vc dense.
+        assert_eq!(a.vc, b.vc, "{what}: stamp of ckpt {}/{}", a.proc, a.seq);
+        assert_eq!(a.snapshot.vc, b.snapshot.vc, "{what}: snapshot stamp");
+        assert_eq!(a.rolled_back, b.rolled_back, "{what}: rollback mark");
+        assert_eq!(a.step, b.step, "{what}: step");
+    }
+    for (a, b) in dense.messages.iter().zip(&delta.messages) {
+        assert_eq!(a.sent_at, b.sent_at, "{what}: send time");
+        assert_eq!(a.recv_at, b.recv_at, "{what}: recv time");
+        assert_eq!(a.rolled_back, b.rolled_back, "{what}: msg rollback");
+    }
+    // The consistency checker consumes checkpoint stamps; it must reach
+    // the same verdicts through sparse stamps as through dense ones.
+    assert_eq!(
+        consistency::straight_cut_failures(dense),
+        consistency::straight_cut_failures(delta),
+        "{what}: straight-cut verdicts"
+    );
+}
+
+/// Above the auto cutoff with a failure-free neighbour exchange.
+#[test]
+fn delta_matches_dense_above_cutoff() {
+    let n = DENSE_CLOCK_MAX + 16;
+    for prog in [programs::jacobi(6), programs::stencil_1d(6)] {
+        let dense = run_mode(&prog, n, ClockMode::Dense, &[]);
+        let delta = run_mode(&prog, n, ClockMode::Delta, &[]);
+        assert!(dense.completed(), "{}: {:?}", prog.name, dense.outcome);
+        assert_equivalent(&dense, &delta, &prog.name);
+        // Spot-check the representations actually differ.
+        assert!(!dense.checkpoints[0].vc.is_sparse());
+        assert!(delta.checkpoints[0].vc.is_sparse());
+    }
+}
+
+/// Auto mode resolves to delta above the cutoff and dense below it.
+#[test]
+fn auto_mode_picks_representation_by_n() {
+    let prog = programs::jacobi(3);
+    let small = run_mode(&prog, 4, ClockMode::Auto, &[]);
+    assert!(!small.checkpoints[0].vc.is_sparse());
+    let large = run_mode(&prog, DENSE_CLOCK_MAX + 1, ClockMode::Auto, &[]);
+    assert!(large.checkpoints[0].vc.is_sparse());
+}
+
+/// Rollback is the hard case: the modification-log epoch bump must
+/// force full-support resends, and redelivered messages must replay
+/// their original payloads. Two failures stress repeated rollback.
+#[test]
+fn delta_matches_dense_through_failures() {
+    let n = DENSE_CLOCK_MAX + 8;
+    let prog = programs::jacobi(6);
+    let fails = [(60u64, 0usize), (140, n / 2)];
+    let dense = run_mode(&prog, n, ClockMode::Dense, &fails);
+    let delta = run_mode(&prog, n, ClockMode::Delta, &fails);
+    assert!(dense.completed(), "{:?}", dense.outcome);
+    assert_eq!(dense.metrics.failures, 2);
+    assert_equivalent(&dense, &delta, "jacobi+failures");
+}
+
+/// All-to-one and skewed shapes exercise non-neighbour supports.
+#[test]
+fn delta_matches_dense_on_irregular_topologies() {
+    for prog in [programs::master_worker(4), programs::pipeline_skewed(4)] {
+        let n = DENSE_CLOCK_MAX + 4;
+        let dense = run_mode(&prog, n, ClockMode::Dense, &[]);
+        let delta = run_mode(&prog, n, ClockMode::Delta, &[]);
+        assert_equivalent(&dense, &delta, &prog.name);
+    }
+}
