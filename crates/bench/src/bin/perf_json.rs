@@ -236,6 +236,36 @@ fn obs_overhead_pct(program: &acfc_mpsl::Program, nprocs: usize, samples: usize)
     (0..3).map(|_| median_pct()).fold(f64::INFINITY, f64::min)
 }
 
+/// The flamegraph-export path's end-to-end cost on the same
+/// paired-median estimator: a runtime-enabled run whose wall spans are
+/// drained and collapsed into folded lines, against a plain disabled
+/// run. The engine's span probes are deliberately coarse (per run
+/// phase, never per event), so capture **plus** collapse must fit the
+/// same 2% budget as the SimObs collector.
+fn obs_folded_overhead_pct(program: &acfc_mpsl::Program, nprocs: usize, samples: usize) -> f64 {
+    let compiled = compile(program);
+    let cfg = SimConfig::new(nprocs);
+    let median_pct = || {
+        let mut ratios = Vec::with_capacity(samples);
+        for _ in 0..samples {
+            let t = std::time::Instant::now();
+            black_box(acfc_sim::run(&compiled, &cfg));
+            let plain = t.elapsed().as_nanos();
+            let t = std::time::Instant::now();
+            acfc_obs::set_enabled(true);
+            black_box(acfc_sim::run(&compiled, &cfg));
+            acfc_obs::set_enabled(false);
+            let spans = acfc_obs::take_wall_spans();
+            black_box(acfc_obs::folded_lines(&spans, &acfc_obs::thread_labels()));
+            let folded = t.elapsed().as_nanos();
+            ratios.push(folded as f64 / plain as f64);
+        }
+        ratios.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+        (ratios[ratios.len() / 2] - 1.0) * 100.0
+    };
+    (0..3).map(|_| median_pct()).fold(f64::INFINITY, f64::min)
+}
+
 /// Emits `BENCH_sim.json`: events/sec for the lowered engine vs the
 /// pre-lowering baseline on the `benches/simulator.rs` workloads.
 fn emit_bench_sim() {
@@ -366,9 +396,15 @@ fn emit_bench_sim() {
         overhead_1024 < 2.0,
         "SimObs overhead at n=1024 is {overhead_1024:.2}%, over the 2% budget"
     );
+    let folded_overhead = obs_folded_overhead_pct(&programs::jacobi(200), 8, 400);
+    assert!(
+        folded_overhead < 2.0,
+        "folded-export overhead {folded_overhead:.2}% exceeds the 2% budget"
+    );
     let json = json
         .num("obs_overhead_pct", overhead)
         .num("obs_overhead_n1024_pct", overhead_1024)
+        .num("obs_folded_overhead_pct", folded_overhead)
         .render();
     std::fs::write("BENCH_sim.json", &json).expect("write BENCH_sim.json");
     println!("{json}");

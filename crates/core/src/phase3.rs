@@ -139,6 +139,7 @@ pub fn ensure_recovery_lines(
     // rebuilt per move.
     let mut cache: Option<ReanalysisCache> = None;
     for _ in 0..config.max_iterations {
+        let _iter = acfc_obs::span("core/phase3/iteration");
         acfc_obs::count("core/phase3/iterations", 1);
         let cfg = build_cfg_prelowered(&current);
         let matching = phase2_matching(&cfg, &current, config, &mut cache);
@@ -152,7 +153,10 @@ pub fn ensure_recovery_lines(
                 moves,
             });
         };
-        let record = apply_move(&mut current, &extended, v, config)?;
+        let record = {
+            let _mv = acfc_obs::span("core/phase3/apply_move");
+            apply_move(&mut current, &extended, v, config)?
+        };
         moves.push(record);
         // A relocation can unbalance per-path checkpoint counts: moving
         // a checkpoint from inside one branch arm to before the branch
@@ -162,6 +166,7 @@ pub fn ensure_recovery_lines(
         // analysis depends on — re-establish it by *removing* the
         // redundant sibling checkpoints (padding the lighter arm
         // instead would re-create the violation forever).
+        let _rb = acfc_obs::span("core/phase3/rebalance");
         crate::phase1::rebalance_checkpoints(&mut current);
     }
     // One final check to report residuals precisely.

@@ -204,11 +204,15 @@ pub fn analyze(program: &Program, config: &AnalysisConfig) -> Result<Analysis, A
     // Phase I.
     let (inserted, equalized) = {
         let _phase1 = acfc_obs::span("core/phase1");
-        let inserted = match &config.insertion {
-            Some(ic) => insert_checkpoints(&mut prepared, ic).inserted,
-            None => 0,
+        let inserted = {
+            let _insert = acfc_obs::span("core/phase1/insert");
+            match &config.insertion {
+                Some(ic) => insert_checkpoints(&mut prepared, ic).inserted,
+                None => 0,
+            }
         };
         let equalized = if config.equalize {
+            let _equalize = acfc_obs::span("core/phase1/equalize");
             equalize_checkpoints(&mut prepared)
         } else {
             0

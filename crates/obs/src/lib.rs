@@ -34,6 +34,12 @@
 //! * [`perfetto`] — a Chrome-trace-format (`traceEvents`) JSON writer
 //!   with structural validation (balanced B/E, per-track monotone
 //!   timestamps), loadable in <https://ui.perfetto.dev>.
+//! * [`folded`] — collapses the same span forest into folded stack
+//!   lines (`inferno`/flamegraph.pl) and a speedscope JSON document,
+//!   the flamegraph-native complements of the Perfetto timeline.
+//! * [`serve`] — a zero-dependency `std::net::TcpListener` endpoint
+//!   exposing the registry in Prometheus text exposition format, so
+//!   long sweeps can be scraped or curl'd mid-run.
 //! * [`report`] — plain-text rendering of a [`Snapshot`] for
 //!   `acfc report` and the bench harness.
 //! * [`stats`] — [`CiAccum`]/[`CiSummary`], a mergeable Welford
@@ -43,18 +49,22 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod folded;
 pub mod metrics;
 pub mod perfetto;
 pub mod report;
+pub mod serve;
 pub mod span;
 pub mod stats;
 
+pub use folded::{folded_lines, speedscope_json};
 pub use metrics::{
     count, record, reset, set_enabled, snapshot, Counter, HistSnapshot, Histogram, LocalHist,
     Quantiles, Snapshot,
 };
 pub use perfetto::TraceBuilder;
 pub use report::render;
+pub use serve::{prometheus_text, serve, MetricsServer};
 pub use span::{span, take_wall_spans, thread_labels, SpanGuard, WallSpan};
 pub use stats::{t_critical_95, CiAccum, CiSummary};
 

@@ -138,12 +138,15 @@ impl LocalHist {
         }
     }
 
-    /// Records one observation.
+    /// Records one observation. Count and sum saturate rather than
+    /// wrap: a telemetry histogram that has absorbed `u64::MAX` µs of
+    /// observations should pin at the ceiling, not roll over to a
+    /// plausible-looking small number.
     #[inline]
     pub fn record(&mut self, value: u64) {
         self.buckets[Histogram::bucket_of(value)] += 1;
         self.count += 1;
-        self.sum += value;
+        self.sum = self.sum.saturating_add(value);
         if value > self.max {
             self.max = value;
         }
@@ -168,13 +171,15 @@ impl LocalHist {
     /// holds the distribution of the union of both observation
     /// multisets. The merge is exact (buckets are aligned by
     /// construction), which is what makes per-trial histograms
-    /// poolable across a sweep cell's seed replicas.
+    /// poolable across a sweep cell's seed replicas. Counts and sums
+    /// saturate, so merging extreme telemetry inputs pins at
+    /// `u64::MAX` instead of wrapping.
     pub fn merge(&mut self, other: &LocalHist) {
         for (b, &o) in self.buckets.iter_mut().zip(&other.buckets) {
-            *b += o;
+            *b = b.saturating_add(o);
         }
-        self.count += other.count;
-        self.sum += other.sum;
+        self.count = self.count.saturating_add(other.count);
+        self.sum = self.sum.saturating_add(other.sum);
         if other.max > self.max {
             self.max = other.max;
         }
@@ -244,16 +249,17 @@ impl HistSnapshot {
     /// Folds `other` into `self` (same semantics as
     /// [`LocalHist::merge`]); snapshots of different lengths — e.g. the
     /// empty [`HistSnapshot::default`] accumulator — align on bucket
-    /// index, so merging into an empty snapshot copies `other`.
+    /// index, so merging into an empty snapshot copies `other`. Counts
+    /// and sums saturate rather than wrap (see [`LocalHist::merge`]).
     pub fn merge(&mut self, other: &HistSnapshot) {
         if self.buckets.len() < other.buckets.len() {
             self.buckets.resize(other.buckets.len(), 0);
         }
         for (b, &o) in self.buckets.iter_mut().zip(&other.buckets) {
-            *b += o;
+            *b = b.saturating_add(o);
         }
-        self.count += other.count;
-        self.sum += other.sum;
+        self.count = self.count.saturating_add(other.count);
+        self.sum = self.sum.saturating_add(other.sum);
         if other.max > self.max {
             self.max = other.max;
         }

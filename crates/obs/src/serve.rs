@@ -1,0 +1,255 @@
+//! A zero-dependency live metrics endpoint (Prometheus text format).
+//!
+//! Long sweeps are black boxes between the progress line and the final
+//! table; [`serve`] makes the global registry scrapable mid-run. It
+//! binds a [`std::net::TcpListener`], answers `GET /metrics` (and `/`)
+//! with the registry rendered in the [Prometheus text exposition
+//! format], and runs on one background thread — no framework, no
+//! dependency, a few hundred lines of `std`.
+//!
+//! Counters render as `counter` metrics, histograms as `summary`
+//! quantile bounds (p50/p90/p99 bucket upper edges) plus `_sum`,
+//! `_count`, and a `_max` gauge. Wall spans record into registry
+//! histograms of the same name, so span totals come along for free.
+//! Registry names are slash-separated (`core/phase3/moves`); exposition
+//! names must match `[a-zA-Z_:][a-zA-Z0-9_:]*`, so names are prefixed
+//! `acfc_` and every other character is mapped to `_`
+//! ([`sanitize_metric_name`]). Distinct registry names can in principle
+//! collide after sanitizing (`a/b` vs `a_b`); the registry's naming
+//! convention (slashes only) keeps that theoretical.
+//!
+//! [Prometheus text exposition format]:
+//! https://prometheus.io/docs/instrumenting/exposition_formats/
+
+use crate::metrics::Snapshot;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Maps a registry metric name to a Prometheus-legal one: prefix
+/// `acfc_`, then `[A-Za-z0-9_]` pass through and everything else
+/// becomes `_` (`core/phase3/moves` → `acfc_core_phase3_moves`).
+pub fn sanitize_metric_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len() + 5);
+    out.push_str("acfc_");
+    for c in name.chars() {
+        if c.is_ascii_alphanumeric() || c == '_' {
+            out.push(c);
+        } else {
+            out.push('_');
+        }
+    }
+    out
+}
+
+/// Renders a registry snapshot in the Prometheus text exposition
+/// format. Deterministic: snapshots are name-sorted by construction,
+/// and each metric renders the same way every time. Always begins with
+/// an `acfc_up 1` gauge so even an empty registry scrapes non-empty.
+pub fn prometheus_text(snap: &Snapshot) -> String {
+    let mut out = String::from("# TYPE acfc_up gauge\nacfc_up 1\n");
+    for (name, value) in &snap.counters {
+        let san = sanitize_metric_name(name);
+        out.push_str(&format!("# TYPE {san} counter\n{san} {value}\n"));
+    }
+    for (name, h) in &snap.histograms {
+        let san = sanitize_metric_name(name);
+        out.push_str(&format!("# TYPE {san} summary\n"));
+        for (q, label) in [(0.5, "0.5"), (0.9, "0.9"), (0.99, "0.99")] {
+            out.push_str(&format!(
+                "{san}{{quantile=\"{label}\"}} {}\n",
+                h.quantile_bound(q)
+            ));
+        }
+        out.push_str(&format!("{san}_sum {}\n{san}_count {}\n", h.sum, h.count));
+        out.push_str(&format!("# TYPE {san}_max gauge\n{san}_max {}\n", h.max));
+    }
+    out
+}
+
+/// A running metrics endpoint; shuts its listener thread down on drop
+/// (or explicitly via [`MetricsServer::shutdown`]).
+#[derive(Debug)]
+pub struct MetricsServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+/// Binds `addr` (e.g. `127.0.0.1:9184`, port `0` for an ephemeral
+/// port) and starts answering `GET /metrics` from a background thread.
+/// Each request snapshots the registry at answer time, so mid-run
+/// scrapes observe counters as they grow.
+pub fn serve(addr: &str) -> std::io::Result<MetricsServer> {
+    let listener = TcpListener::bind(addr)?;
+    let local = listener.local_addr()?;
+    let stop = Arc::new(AtomicBool::new(false));
+    let stop_flag = Arc::clone(&stop);
+    let handle = std::thread::Builder::new()
+        .name("acfc-metrics".to_string())
+        .spawn(move || {
+            for conn in listener.incoming() {
+                if stop_flag.load(Ordering::Relaxed) {
+                    break;
+                }
+                if let Ok(mut stream) = conn {
+                    let _ = answer(&mut stream);
+                }
+            }
+        })?;
+    Ok(MetricsServer {
+        addr: local,
+        stop,
+        handle: Some(handle),
+    })
+}
+
+impl MetricsServer {
+    /// The bound address (resolves port `0` to the actual port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops the listener thread and waits for it to exit.
+    pub fn shutdown(self) {
+        drop(self);
+    }
+}
+
+impl Drop for MetricsServer {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        // Unblock the accept loop with one last connection to self.
+        let _ = TcpStream::connect_timeout(&self.addr, Duration::from_secs(1));
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// Reads one HTTP request head and writes the matching response. The
+/// responder is deliberately minimal: request line only, headers
+/// ignored, connection closed after one answer.
+fn answer(stream: &mut TcpStream) -> std::io::Result<()> {
+    stream.set_read_timeout(Some(Duration::from_secs(2)))?;
+    stream.set_write_timeout(Some(Duration::from_secs(2)))?;
+    let mut buf = [0u8; 2048];
+    let mut len = 0usize;
+    // Read until the head terminator (or the buffer fills — a longer
+    // head than 2 KiB is not a scrape we need to honour).
+    while len < buf.len() {
+        let n = stream.read(&mut buf[len..])?;
+        if n == 0 {
+            break;
+        }
+        len += n;
+        if buf[..len].windows(4).any(|w| w == b"\r\n\r\n") {
+            break;
+        }
+    }
+    let head = String::from_utf8_lossy(&buf[..len]);
+    let mut request = head.lines().next().unwrap_or("").split_whitespace();
+    let method = request.next().unwrap_or("");
+    let path = request.next().unwrap_or("");
+    let (status, body) = if method != "GET" {
+        ("405 Method Not Allowed", "method not allowed\n".to_string())
+    } else if path == "/metrics" || path == "/" {
+        ("200 OK", prometheus_text(&crate::metrics::snapshot()))
+    } else {
+        ("404 Not Found", "not found; try /metrics\n".to_string())
+    };
+    let response = format!(
+        "HTTP/1.1 {status}\r\nContent-Type: text/plain; version=0.0.4; charset=utf-8\r\n\
+         Content-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    );
+    stream.write_all(response.as_bytes())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::HistSnapshot;
+
+    fn get(addr: SocketAddr, path: &str) -> String {
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        stream
+            .write_all(format!("GET {path} HTTP/1.1\r\nHost: x\r\n\r\n").as_bytes())
+            .unwrap();
+        let mut out = String::new();
+        stream.read_to_string(&mut out).unwrap();
+        out
+    }
+
+    #[test]
+    fn sanitizes_slash_names() {
+        assert_eq!(
+            sanitize_metric_name("core/phase3/moves"),
+            "acfc_core_phase3_moves"
+        );
+        assert_eq!(sanitize_metric_name("a-b.c d"), "acfc_a_b_c_d");
+    }
+
+    #[test]
+    fn exposition_renders_counters_and_summaries() {
+        let mut h = HistSnapshot::default();
+        let mut local = crate::metrics::LocalHist::new();
+        for v in [1u64, 2, 3, 100] {
+            local.record(v);
+        }
+        h.merge(&local.snap());
+        let snap = Snapshot {
+            counters: vec![("core/phase3/moves".to_string(), 7)],
+            histograms: vec![("sim/event_loop".to_string(), h)],
+        };
+        let text = prometheus_text(&snap);
+        assert!(text.starts_with("# TYPE acfc_up gauge\nacfc_up 1\n"));
+        assert!(text.contains("# TYPE acfc_core_phase3_moves counter"));
+        assert!(text.contains("acfc_core_phase3_moves 7"));
+        assert!(text.contains("# TYPE acfc_sim_event_loop summary"));
+        assert!(text.contains("acfc_sim_event_loop{quantile=\"0.5\"} "));
+        assert!(text.contains("acfc_sim_event_loop_sum 106"));
+        assert!(text.contains("acfc_sim_event_loop_count 4"));
+        assert!(text.contains("acfc_sim_event_loop_max 100"));
+        // Every exposed metric name is exposition-legal.
+        for line in text.lines().filter(|l| !l.starts_with('#')) {
+            let name: &str = line.split(['{', ' ']).next().unwrap();
+            assert!(
+                name.chars()
+                    .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':'),
+                "illegal name {name}"
+            );
+        }
+    }
+
+    #[test]
+    fn server_answers_metrics_and_rejects_other_paths() {
+        let server = serve("127.0.0.1:0").expect("bind ephemeral port");
+        let addr = server.local_addr();
+        let ok = get(addr, "/metrics");
+        assert!(ok.starts_with("HTTP/1.1 200 OK"), "{ok}");
+        assert!(ok.contains("text/plain; version=0.0.4"));
+        assert!(ok.contains("acfc_up 1"));
+        let root = get(addr, "/");
+        assert!(root.starts_with("HTTP/1.1 200 OK"));
+        let missing = get(addr, "/nope");
+        assert!(missing.starts_with("HTTP/1.1 404"), "{missing}");
+        server.shutdown();
+        // After shutdown the port stops answering (connect may succeed
+        // briefly on some stacks; a full request must not).
+        assert!(
+            TcpStream::connect_timeout(&addr, Duration::from_millis(200))
+                .map(|mut s| {
+                    let _ = s.write_all(b"GET /metrics HTTP/1.1\r\n\r\n");
+                    let mut out = String::new();
+                    let _ = s.set_read_timeout(Some(Duration::from_millis(200)));
+                    s.read_to_string(&mut out)
+                        .map(|_| out.is_empty())
+                        .unwrap_or(true)
+                })
+                .unwrap_or(true)
+        );
+    }
+}

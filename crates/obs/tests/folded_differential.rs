@@ -1,0 +1,168 @@
+//! Differential check of the folded-stacks emitter: the stack-sweep
+//! aggregation in `acfc_obs::folded_lines` must agree with a naive
+//! O(n²) span-walk reference on generated span forests.
+//!
+//! The reference never builds a stack. It derives each span's parent
+//! directly from the nesting convention the RAII span log guarantees —
+//! a span `b` nests inside the innermost earlier-opened span `a` that
+//! is still open at `b.start` (`a.end > b.start`, half-open intervals,
+//! equal-extent spans nesting in log order) — then walks parent chains
+//! and subtracts direct-child durations one span at a time.
+
+use acfc_obs::{folded_lines, WallSpan};
+use std::collections::BTreeMap;
+
+struct XorShift(u64);
+
+impl XorShift {
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x
+    }
+}
+
+/// The open order of spans on one thread: by start time, longer span
+/// first at equal starts (the longer one encloses), log order last —
+/// the same total order the emitter's stable sort produces.
+fn open_key(spans: &[WallSpan], i: usize) -> (u64, u64, usize) {
+    (spans[i].start_us, u64::MAX - spans[i].end_us, i)
+}
+
+/// Index of span `i`'s direct parent: the latest-opening same-thread
+/// span that opened strictly before `i` and is still open at
+/// `i.start_us` (half-open: a span ending exactly at `i.start_us` has
+/// already closed).
+fn parent_of(spans: &[WallSpan], i: usize) -> Option<usize> {
+    let s = &spans[i];
+    (0..spans.len())
+        .filter(|&j| {
+            spans[j].tid == s.tid
+                && open_key(spans, j) < open_key(spans, i)
+                && spans[j].end_us > s.start_us
+        })
+        .max_by_key(|&j| open_key(spans, j))
+}
+
+/// Folded aggregation the slow way: per span, walk its parent chain up
+/// to the thread root and subtract its direct children's durations.
+fn naive_folded(spans: &[WallSpan], labels: &[(u64, String)]) -> BTreeMap<String, u64> {
+    let mut agg = BTreeMap::new();
+    for (i, s) in spans.iter().enumerate() {
+        let child_us: u64 = (0..spans.len())
+            .filter(|&j| parent_of(spans, j) == Some(i))
+            .map(|j| spans[j].end_us - spans[j].start_us)
+            .sum();
+        let self_us = (s.end_us - s.start_us).saturating_sub(child_us);
+        let root = labels
+            .iter()
+            .find(|(t, _)| *t == s.tid)
+            .map(|(_, l)| l.clone())
+            .unwrap_or_else(|| format!("thread {}", s.tid));
+        let mut chain = vec![s.name.to_string()];
+        let mut at = i;
+        while let Some(p) = parent_of(spans, at) {
+            chain.push(spans[p].name.to_string());
+            at = p;
+        }
+        chain.push(root);
+        chain.reverse();
+        *agg.entry(chain.join(";")).or_insert(0u64) += self_us;
+    }
+    agg
+}
+
+fn parse_folded(text: &str) -> BTreeMap<String, u64> {
+    text.lines()
+        .map(|l| {
+            let (path, v) = l.rsplit_once(' ').expect("folded line has a value");
+            (path.to_string(), v.parse().expect("numeric self time"))
+        })
+        .collect()
+}
+
+/// Generates a well-nested random forest per thread by recursive
+/// descent over a shrinking time budget: each step either opens a
+/// child inside the current span, emits a sibling, or pops back to the
+/// enclosing span's remaining range. Zero-length spans (budget
+/// exhausted) and duplicate extents arise naturally.
+fn gen_forest(rng: &mut XorShift, threads: u64, spans_per_thread: usize) -> Vec<WallSpan> {
+    const NAMES: [&str; 6] = ["alpha", "beta", "gamma", "delta", "eps", "zeta"];
+    let mut out = Vec::new();
+    for tid in 0..threads {
+        let mut budgets: Vec<u64> = Vec::new();
+        let mut t = rng.next() % 100;
+        let mut end_budget = 1_000_000u64;
+        for _ in 0..spans_per_thread {
+            let name = NAMES[(rng.next() % NAMES.len() as u64) as usize];
+            let room = end_budget.saturating_sub(t);
+            let dur = rng.next() % (room / 2).max(1);
+            let end = (t + dur).min(end_budget);
+            match rng.next() % 3 {
+                0 if end > t + 2 => {
+                    // Child: open [t, end) and descend into it.
+                    budgets.push(end_budget);
+                    out.push(WallSpan {
+                        name,
+                        tid,
+                        start_us: t,
+                        end_us: end,
+                    });
+                    t += 1;
+                    end_budget = end;
+                }
+                1 => {
+                    // Sibling: emit [t, end) and advance past it.
+                    out.push(WallSpan {
+                        name,
+                        tid,
+                        start_us: t,
+                        end_us: end,
+                    });
+                    t = end;
+                }
+                _ => {
+                    // Pop to the enclosing span's remaining range.
+                    if let Some(budget) = budgets.pop() {
+                        t = end_budget;
+                        end_budget = budget;
+                    } else {
+                        t += rng.next() % 10;
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+#[test]
+fn folded_lines_match_naive_reference_on_random_forests() {
+    let mut rng = XorShift(0x5eed5eed5eed5eed);
+    for round in 0..20u64 {
+        let forest = gen_forest(&mut rng, 1 + round % 4, 40);
+        let labels = vec![(0u64, "sweep-0".to_string())];
+        let fast = parse_folded(&folded_lines(&forest, &labels));
+        let slow = naive_folded(&forest, &labels);
+        assert_eq!(fast, slow, "divergence on round {round}: {forest:?}");
+    }
+}
+
+#[test]
+fn folded_totals_conserve_wall_time() {
+    // Sum of self times over all stacks == sum of root spans' wall
+    // time: self-time attribution moves time between frames but never
+    // creates or destroys it.
+    let mut rng = XorShift(42);
+    let forest = gen_forest(&mut rng, 3, 60);
+    let folded = parse_folded(&folded_lines(&forest, &[]));
+    let folded_total: u64 = folded.values().sum();
+    let root_total: u64 = (0..forest.len())
+        .filter(|&i| parent_of(&forest, i).is_none())
+        .map(|i| forest[i].end_us - forest[i].start_us)
+        .sum();
+    assert_eq!(folded_total, root_total);
+}

@@ -1,0 +1,121 @@
+//! Histogram merge + percentile behaviour under telemetry-sized
+//! inputs — the shapes `TelemetrySink` feeds it: thousands of cell
+//! wall times spanning µs to minutes, empty accumulators merged with
+//! populated workers, and adversarial near-overflow totals.
+
+use acfc_obs::{HistSnapshot, LocalHist};
+
+/// A tiny deterministic xorshift so the test needs no RNG dependency.
+struct XorShift(u64);
+
+impl XorShift {
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x
+    }
+}
+
+#[test]
+fn empty_merged_with_nonempty_copies_it_exactly() {
+    let mut populated = LocalHist::new();
+    for v in [3u64, 17, 512, 40_000_000] {
+        populated.record(v);
+    }
+    // LocalHist side.
+    let mut acc = LocalHist::new();
+    acc.merge(&populated);
+    assert_eq!(acc, populated);
+    // Snapshot side, both directions.
+    let mut snap = HistSnapshot::default();
+    snap.merge(&populated.snap());
+    assert_eq!(snap, populated.snap());
+    let mut back = populated.snap();
+    back.merge(&HistSnapshot::default());
+    assert_eq!(back, populated.snap());
+}
+
+#[test]
+fn counts_and_sums_saturate_instead_of_wrapping() {
+    // Two histograms whose sums alone would overflow u64 on merge.
+    let mut a = LocalHist::new();
+    a.record(u64::MAX);
+    let mut b = LocalHist::new();
+    b.record(u64::MAX);
+    a.merge(&b);
+    assert_eq!(a.snap().sum, u64::MAX, "sum must pin at the ceiling");
+    assert_eq!(a.snap().count, 2);
+    assert_eq!(a.snap().max, u64::MAX);
+    // Recording past the ceiling also pins.
+    a.record(u64::MAX);
+    assert_eq!(a.snap().sum, u64::MAX);
+    assert_eq!(a.snap().count, 3);
+    // Snapshot-level merge saturates count, sum, and buckets alike.
+    let mut s = HistSnapshot {
+        buckets: vec![u64::MAX; 4],
+        count: u64::MAX,
+        sum: u64::MAX,
+        max: 1,
+    };
+    let other = HistSnapshot {
+        buckets: vec![1; 4],
+        count: 1,
+        sum: 1,
+        max: 2,
+    };
+    s.merge(&other);
+    assert_eq!(s.count, u64::MAX);
+    assert_eq!(s.sum, u64::MAX);
+    assert!(s.buckets.iter().all(|&b| b == u64::MAX));
+    assert_eq!(s.max, 2);
+}
+
+#[test]
+fn pairwise_merge_equals_jointly_recorded_at_telemetry_scale() {
+    // 8 "workers" each record ~4k cell wall times drawn from a heavy
+    // spread (1µs .. ~100s); merging the per-worker histograms must
+    // reproduce the jointly-recorded distribution bit-for-bit, and the
+    // percentile bounds must bracket the true order statistics.
+    let mut rng = XorShift(0x9e3779b97f4a7c15);
+    let mut joint = LocalHist::new();
+    let mut workers: Vec<LocalHist> = (0..8).map(|_| LocalHist::new()).collect();
+    let mut values: Vec<u64> = Vec::new();
+    for i in 0..32_768usize {
+        let v = 1 + rng.next() % 100_000_000; // 1µs ..= 100s in µs
+        joint.record(v);
+        workers[i % 8].record(v);
+        values.push(v);
+    }
+    let mut merged = LocalHist::new();
+    for w in &workers {
+        merged.merge(w);
+    }
+    assert_eq!(merged, joint);
+
+    values.sort_unstable();
+    let q = merged.percentiles();
+    for (bound, frac) in [(q.p50, 0.50), (q.p90, 0.90), (q.p99, 0.99)] {
+        let exact =
+            values[((frac * values.len() as f64).ceil() as usize - 1).min(values.len() - 1)];
+        // quantile_bound is the exclusive upper edge of the bucket
+        // holding the quantile: above the exact order statistic, and
+        // within the power-of-two bucket (no more than 2× above).
+        assert!(bound > exact, "p{frac}: bound {bound} ≤ exact {exact}");
+        assert!(bound <= exact * 2, "p{frac}: bound {bound} > 2×{exact}");
+    }
+}
+
+#[test]
+fn percentiles_of_empty_and_single_observation_histograms() {
+    let empty = LocalHist::new();
+    let q = empty.percentiles();
+    assert_eq!((q.p50, q.p90, q.p99), (0, 0, 0));
+    let mut one = LocalHist::new();
+    one.record(777);
+    let q = one.percentiles();
+    // 777 has bit length 10, so every quantile reports bucket edge 1024.
+    assert_eq!((q.p50, q.p90, q.p99), (1024, 1024, 1024));
+}

@@ -62,6 +62,6 @@ pub use sas::{sas_control_messages, sas_message_overhead_us, SyncAndStop};
 pub use sweep::{
     render_agg_json, render_sweep, run_sweep, run_sweep_threads, AggRow, CellSpec, CollectSink,
     JsonlSink, Progress, ProgressSink, RowSink, SweepArtifact, SweepPlan, SweepPlanBuilder,
-    SweepRow, SweepSummary, TableSink, Workload,
+    SweepRow, SweepSummary, TableSink, TelemetrySink, Workload, PROGRESS_WINDOW, STRAGGLER_FACTOR,
 };
 pub use uncoordinated::{uncoordinated_hooks, uncoordinated_picker};

@@ -355,6 +355,12 @@ pub struct AggRow {
     pub completed: u64,
     /// Overhead ratio `makespan/bare − 1`.
     pub overhead_ratio: CiSummary,
+    /// Paired overhead difference `protocol − appl-driven`, per seed.
+    /// Because every protocol in a `(workload, n, λ)` column faces the
+    /// identical failure plan, the per-trial difference cancels the
+    /// shared failure noise and its CI is far tighter than the CI of
+    /// either marginal mean; exactly zero for the appl-driven rows.
+    pub d_overhead: CiSummary,
     /// Total checkpoints taken.
     pub checkpoints: CiSummary,
     /// Forced (communication-induced) checkpoints.
@@ -391,8 +397,19 @@ impl AggRow {
     /// Aggregates one cell's trials. `stats` must all come from the
     /// same `(workload, n, λ, protocol)` cell, in trial order (the
     /// accumulation order is part of the bit-determinism pin).
-    pub fn from_trials(workload: &str, cell: &CellSpec, seeds: u64, stats: &[RunStats]) -> AggRow {
+    /// `paired_overhead` carries the appl-driven baseline's per-trial
+    /// overhead ratios for the same `(workload, n, λ)` column and trial
+    /// order; the paired-difference column accumulates over the common
+    /// prefix, so an empty slice yields an empty `d_overhead`.
+    pub fn from_trials(
+        workload: &str,
+        cell: &CellSpec,
+        seeds: u64,
+        stats: &[RunStats],
+        paired_overhead: &[f64],
+    ) -> AggRow {
         let mut overhead = CiAccum::new();
+        let mut d_overhead = CiAccum::new();
         let mut checkpoints = CiAccum::new();
         let mut forced = CiAccum::new();
         let mut control = CiAccum::new();
@@ -403,9 +420,12 @@ impl AggRow {
         let mut lat_p99 = CiAccum::new();
         let mut latency = HistSnapshot::default();
         let mut completed = 0u64;
-        for s in stats {
+        for (i, s) in stats.iter().enumerate() {
             completed += u64::from(s.completed);
             overhead.push(s.overhead_ratio);
+            if let Some(&base) = paired_overhead.get(i) {
+                d_overhead.push(s.overhead_ratio - base);
+            }
             checkpoints.push(s.checkpoints as f64);
             forced.push(s.forced as f64);
             control.push(s.control_messages as f64);
@@ -425,6 +445,7 @@ impl AggRow {
             seeds,
             completed,
             overhead_ratio: overhead.summary(),
+            d_overhead: d_overhead.summary(),
             checkpoints: checkpoints.summary(),
             forced: forced.summary(),
             control_messages: control.summary(),
@@ -454,6 +475,7 @@ impl AggRow {
                 "overhead_ratio",
                 ci_json(&self.overhead_ratio).render_line(),
             )
+            .raw("d_overhead_ratio", ci_json(&self.d_overhead).render_line())
             .raw("checkpoints", ci_json(&self.checkpoints).render_line())
             .raw("forced_checkpoints", ci_json(&self.forced).render_line())
             .raw(
@@ -482,6 +504,12 @@ pub struct Progress {
     pub total: usize,
     /// Wall-clock seconds since the sweep started.
     pub elapsed_secs: f64,
+    /// Wall-clock µs the just-emitted cell spent inside its worker
+    /// (compute only — queueing and reorder wait excluded).
+    pub cell_wall_us: u64,
+    /// Index of the worker that ran the cell (`0` when the sweep ran
+    /// inline on the calling thread).
+    pub worker: usize,
 }
 
 /// End-of-sweep totals.
@@ -539,12 +567,13 @@ impl<W: std::io::Write> RowSink for TableSink<W> {
     fn begin(&mut self, _plan: &SweepPlan) {
         let _ = writeln!(
             self.out,
-            "{:<10} {:>3} {:>5} {:<14} {:>15} {:>13} {:>11} {:>13} {:>13} {:>9} {:>13} {:>11} {:>11}",
+            "{:<10} {:>3} {:>5} {:<14} {:>15} {:>15} {:>13} {:>11} {:>13} {:>13} {:>9} {:>13} {:>11} {:>11}",
             "workload",
             "n",
             "λ",
             "protocol",
             "ratio",
+            "Δratio",
             "ckpts",
             "forced",
             "ctrl-msgs",
@@ -559,12 +588,13 @@ impl<W: std::io::Write> RowSink for TableSink<W> {
     fn row(&mut self, r: &AggRow, _progress: &Progress) {
         let _ = writeln!(
             self.out,
-            "{:<10} {:>3} {:>5.2} {:<14} {:>15} {:>13} {:>11} {:>13} {:>13} {:>9} {:>13} {:>11} {:>11}",
+            "{:<10} {:>3} {:>5.2} {:<14} {:>15} {:>15} {:>13} {:>11} {:>13} {:>13} {:>9} {:>13} {:>11} {:>11}",
             r.workload,
             r.n,
             r.lambda,
             r.protocol.name(),
             r.overhead_ratio.render(3),
+            r.d_overhead.render(3),
             r.checkpoints.render(1),
             r.forced.render(1),
             r.control_messages.render(1),
@@ -613,17 +643,46 @@ impl<W: std::io::Write> RowSink for JsonlSink<W> {
     }
 }
 
-/// Narrates progress with an ETA extrapolated from the cells done so
-/// far — pointed at stderr, it keeps long sweeps honest without
+/// Narrates progress with an ETA extrapolated from the *recent* cell
+/// rate — pointed at stderr, it keeps long sweeps honest without
 /// touching the machine-readable streams.
+///
+/// The rate is windowed over the last [`PROGRESS_WINDOW`] emissions
+/// rather than averaged since the start: plans order cells small-n
+/// first, so a global average taken while the n = 64 block runs would
+/// still be dominated by the cheap n = 2 cells and undershoot the ETA
+/// badly. Until the window has two points the global average is the
+/// only signal, so it serves as the fallback.
 pub struct ProgressSink<W: std::io::Write> {
     out: W,
+    window: std::collections::VecDeque<(usize, f64)>,
 }
+
+/// Emissions the [`ProgressSink`] ETA rate is windowed over.
+pub const PROGRESS_WINDOW: usize = 16;
 
 impl<W: std::io::Write> ProgressSink<W> {
     /// A progress narrator writing to `out`.
     pub fn new(out: W) -> ProgressSink<W> {
-        ProgressSink { out }
+        ProgressSink {
+            out,
+            window: std::collections::VecDeque::new(),
+        }
+    }
+
+    /// Cells/sec over the retained window, falling back to the global
+    /// average while fewer than two window points exist.
+    fn rate(&self, p: &Progress) -> f64 {
+        if let (Some(&(e0, t0)), Some(&(e1, t1))) = (self.window.front(), self.window.back()) {
+            if e1 > e0 && t1 > t0 {
+                return (e1 - e0) as f64 / (t1 - t0);
+            }
+        }
+        if p.elapsed_secs > 0.0 {
+            p.emitted as f64 / p.elapsed_secs
+        } else {
+            0.0
+        }
     }
 }
 
@@ -639,8 +698,13 @@ impl<W: std::io::Write> RowSink for ProgressSink<W> {
     }
 
     fn row(&mut self, _r: &AggRow, p: &Progress) {
-        let eta = if p.emitted > 0 {
-            p.elapsed_secs / p.emitted as f64 * (p.total - p.emitted) as f64
+        self.window.push_back((p.emitted, p.elapsed_secs));
+        if self.window.len() > PROGRESS_WINDOW {
+            self.window.pop_front();
+        }
+        let rate = self.rate(p);
+        let eta = if rate > 0.0 {
+            (p.total - p.emitted) as f64 / rate
         } else {
             0.0
         };
@@ -681,6 +745,152 @@ impl RowSink for CollectSink {
     }
 }
 
+/// Cells at least this multiple of the p99 cell wall time are flagged
+/// as stragglers in the telemetry trailer.
+pub const STRAGGLER_FACTOR: u64 = 2;
+
+/// Slowest cells the telemetry trailer retains (straggler candidates).
+const SLOWEST_KEPT: usize = 16;
+
+/// One retained slow cell: plan coordinates plus its worker wall time.
+#[derive(Debug, Clone)]
+struct SlowCell {
+    index: usize,
+    workload: String,
+    n: usize,
+    lambda: f64,
+    protocol: &'static str,
+    wall_us: u64,
+}
+
+impl SlowCell {
+    fn json(&self) -> Json {
+        Json::new()
+            .num("index", self.index as f64)
+            .str("workload", &self.workload)
+            .num("n", self.n as f64)
+            .num("lambda", self.lambda)
+            .str("protocol", self.protocol)
+            .num("wall_us", self.wall_us as f64)
+    }
+}
+
+/// Collects per-cell wall times, per-worker utilization, and straggler
+/// candidates during a sweep, and appends **one** machine-readable
+/// `{"type":"sweep_telemetry", ...}` JSONL line in
+/// [`finish`](RowSink::finish) — after every row, so a `TelemetrySink`
+/// sharing a file with a [`JsonlSink`] adds a trailer without
+/// perturbing the byte-identical row stream above it.
+///
+/// The trailer carries wall-clock measurements and is therefore the
+/// one deliberately non-deterministic line in the artifact; consumers
+/// that byte-compare row streams should filter on the `type` key.
+pub struct TelemetrySink<W: std::io::Write> {
+    out: W,
+    trials: u64,
+    wall: acfc_obs::LocalHist,
+    /// `(cells, busy_us)` per worker index, grown on demand.
+    workers: Vec<(u64, u64)>,
+    /// Slowest cells seen so far, wall-time-descending, bounded.
+    slowest: Vec<SlowCell>,
+}
+
+impl<W: std::io::Write> TelemetrySink<W> {
+    /// A telemetry sink writing its trailer line to `out`.
+    pub fn new(out: W) -> TelemetrySink<W> {
+        TelemetrySink {
+            out,
+            trials: 0,
+            wall: acfc_obs::LocalHist::new(),
+            workers: Vec::new(),
+            slowest: Vec::new(),
+        }
+    }
+
+    /// Consumes the sink, returning the writer.
+    pub fn into_inner(self) -> W {
+        self.out
+    }
+}
+
+impl<W: std::io::Write> RowSink for TelemetrySink<W> {
+    fn begin(&mut self, plan: &SweepPlan) {
+        self.trials = plan.total_trials();
+        self.wall.reset();
+        self.workers.clear();
+        self.slowest.clear();
+    }
+
+    fn row(&mut self, r: &AggRow, p: &Progress) {
+        self.wall.record(p.cell_wall_us);
+        if self.workers.len() <= p.worker {
+            self.workers.resize(p.worker + 1, (0, 0));
+        }
+        let (cells, busy) = &mut self.workers[p.worker];
+        *cells += 1;
+        *busy += p.cell_wall_us;
+        self.slowest.push(SlowCell {
+            index: p.emitted - 1,
+            workload: r.workload.clone(),
+            n: r.n,
+            lambda: r.lambda,
+            protocol: r.protocol.name(),
+            wall_us: p.cell_wall_us,
+        });
+        // Keep the bounded top by wall time; plan order breaks ties so
+        // the retained set is stable under equal timings.
+        self.slowest
+            .sort_by_key(|c| (u64::MAX - c.wall_us, c.index));
+        self.slowest.truncate(SLOWEST_KEPT);
+    }
+
+    fn finish(&mut self, s: &SweepSummary) {
+        let q = self.wall.percentiles();
+        let snap = self.wall.snap();
+        let elapsed_us = (s.elapsed_secs * 1e6).max(1.0);
+        let workers: Vec<String> = self
+            .workers
+            .iter()
+            .enumerate()
+            .map(|(k, &(cells, busy_us))| {
+                Json::new()
+                    .num("worker", k as f64)
+                    .num("cells", cells as f64)
+                    .num("busy_us", busy_us as f64)
+                    .num("utilization", busy_us as f64 / elapsed_us)
+                    .render_line()
+            })
+            .collect();
+        let threshold = q.p99.saturating_mul(STRAGGLER_FACTOR);
+        let stragglers: Vec<String> = self
+            .slowest
+            .iter()
+            .filter(|c| c.wall_us > threshold)
+            .map(|c| c.json().render_line())
+            .collect();
+        let slowest: Vec<String> = self
+            .slowest
+            .iter()
+            .map(|c| c.json().render_line())
+            .collect();
+        let line = Json::new()
+            .str("type", "sweep_telemetry")
+            .num("cells", s.cells as f64)
+            .num("trials", self.trials as f64)
+            .num("elapsed_secs", s.elapsed_secs)
+            .num("cells_per_sec", s.cells_per_sec())
+            .num("cell_wall_p50_us", q.p50 as f64)
+            .num("cell_wall_p99_us", q.p99 as f64)
+            .num("cell_wall_max_us", snap.max as f64)
+            .num("straggler_threshold_us", threshold as f64)
+            .raw("workers", format!("[{}]", workers.join(",")))
+            .raw("slowest_cells", format!("[{}]", slowest.join(",")))
+            .raw("stragglers", format!("[{}]", stragglers.join(",")));
+        let _ = writeln!(self.out, "{}", line.render_line());
+        let _ = self.out.flush();
+    }
+}
+
 /// Executes the plan on [`configured_threads`] workers
 /// (`ACFC_THREADS` overrides), streaming aggregate rows to every sink
 /// in plan order. See [`run_sweep_threads`].
@@ -688,21 +898,49 @@ pub fn run_sweep(plan: &SweepPlan, sinks: &mut [&mut dyn RowSink]) -> SweepSumma
     run_sweep_threads(plan, configured_threads(), sinks)
 }
 
+/// A finished cell travelling from a worker to the reorder buffer:
+/// the aggregate row plus the telemetry the emit side attaches to
+/// [`Progress`].
+struct CellOut {
+    row: AggRow,
+    wall_us: u64,
+    worker: usize,
+}
+
+/// The calling worker's index, parsed from its `{label}-{k}` thread
+/// name. `0` for unlabeled threads — in particular the calling thread
+/// when the sweep runs inline (`threads <= 1`).
+fn worker_index() -> usize {
+    std::thread::current()
+        .name()
+        .and_then(|n| n.rsplit('-').next())
+        .and_then(|k| k.parse().ok())
+        .unwrap_or(0)
+}
+
 /// [`run_sweep`] with an explicit worker count.
 ///
-/// Two phases, both on labeled scoped threads:
+/// Three phases, all on labeled scoped threads:
 ///
 /// 1. **Baselines** (`sweep-base-k` workers): for every
 ///    `(workload, n)` block, each trial's bare (checkpoint-free,
 ///    failure-free) run — the overhead denominator *and* the failure
 ///    horizon. Computed once per block and shared by all its λ × 5
 ///    protocol cells, instead of once per protocol run.
-/// 2. **Cells** (`sweep-k` workers): work-stealing over
+/// 2. **Paired reference** (`sweep-app-k` workers): the appl-driven
+///    trials of every `(workload, n, λ)` column, computed once and
+///    shared two ways — the appl-driven *cell* reuses them verbatim
+///    (so this phase adds no net simulator work), and every other
+///    protocol's cell diffs against them per trial to fill the
+///    [`AggRow::d_overhead`] paired-difference column.
+/// 3. **Cells** (`sweep-k` workers): work-stealing over
 ///    [`SweepPlan::cells`]; each worker runs its cell's trials in trial
 ///    order and reduces them to an [`AggRow`] locally. Finished rows
 ///    flow through a reorder buffer to the sinks in plan order, so the
 ///    emitted stream is bit-identical at any thread count while still
-///    streaming during the run.
+///    streaming during the run. Each cell's worker wall time and
+///    worker index travel with the row via [`Progress`], feeding the
+///    [`TelemetrySink`] without a second timing pass.
 pub fn run_sweep_threads(
     plan: &SweepPlan,
     threads: usize,
@@ -736,7 +974,61 @@ pub fn run_sweep_threads(
         &baselines[b]
     };
 
-    // Phase 2: the cells, streamed through the reorder buffer.
+    // The trials of one cell, in trial order — shared by the paired
+    // reference phase (appl-driven) and the cell phase (all kinds).
+    let run_cell = |w: usize, n: usize, lambda: f64, protocol: ProtocolKind| -> Vec<RunStats> {
+        let program = plan.workloads[w].program(n);
+        let lambda_idx = plan
+            .lambdas
+            .iter()
+            .position(|&l| l == lambda)
+            .expect("cell lambda is on the grid");
+        let base = baseline_of(w, n);
+        (0..plan.seeds_per_cell)
+            .map(|trial| {
+                let (bare_secs, horizon_us) = base[trial as usize];
+                let failures = if lambda > 0.0 {
+                    FailurePlan::exponential(
+                        n,
+                        lambda,
+                        SimTime(horizon_us.max(1)),
+                        plan.fail_seed(w, n, lambda_idx, trial),
+                    )
+                } else {
+                    FailurePlan::none()
+                };
+                let cc = CompareConfig::builder(n)
+                    .interval_us(plan.interval_us)
+                    .seed(plan.sim_seed(w, n, trial))
+                    .failures(failures)
+                    .build()
+                    .expect("plan validation covers the config");
+                run_protocol_against(&program, protocol, &cc, bare_secs)
+            })
+            .collect()
+    };
+
+    // Phase 2: the appl-driven paired reference, one entry per
+    // (workload, n, λ) column.
+    let columns: Vec<(usize, usize, f64)> = (0..plan.workloads.len())
+        .flat_map(|w| {
+            plan.ns
+                .iter()
+                .flat_map(move |&n| plan.lambdas.iter().map(move |&lambda| (w, n, lambda)))
+        })
+        .collect();
+    let app_stats: Vec<Vec<RunStats>> = par_map_labeled(&columns, "sweep-app", |_, &(w, n, l)| {
+        run_cell(w, n, l, ProtocolKind::AppDriven)
+    });
+    let app_of = |w: usize, n: usize, lambda: f64| {
+        let c = columns
+            .iter()
+            .position(|&(cw, cn, cl)| cw == w && cn == n && cl == lambda)
+            .expect("cell column exists");
+        &app_stats[c]
+    };
+
+    // Phase 3: the cells, streamed through the reorder buffer.
     let cells = plan.cells();
     let total = cells.len();
     let mut emitted = 0usize;
@@ -745,47 +1037,37 @@ pub fn run_sweep_threads(
         threads,
         "sweep",
         |_, cell| {
+            let _cell_span = acfc_obs::span("protocols/sweep/cell");
+            let cell_t0 = Instant::now();
             let workload = &plan.workloads[cell.workload];
-            let program = workload.program(cell.n);
-            let lambda_idx = plan
-                .lambdas
-                .iter()
-                .position(|&l| l == cell.lambda)
-                .expect("cell lambda is on the grid");
-            let base = baseline_of(cell.workload, cell.n);
-            let stats: Vec<RunStats> = (0..plan.seeds_per_cell)
-                .map(|trial| {
-                    let (bare_secs, horizon_us) = base[trial as usize];
-                    let failures = if cell.lambda > 0.0 {
-                        FailurePlan::exponential(
-                            cell.n,
-                            cell.lambda,
-                            SimTime(horizon_us.max(1)),
-                            plan.fail_seed(cell.workload, cell.n, lambda_idx, trial),
-                        )
-                    } else {
-                        FailurePlan::none()
-                    };
-                    let cc = CompareConfig::builder(cell.n)
-                        .interval_us(plan.interval_us)
-                        .seed(plan.sim_seed(cell.workload, cell.n, trial))
-                        .failures(failures)
-                        .build()
-                        .expect("plan validation covers the config");
-                    run_protocol_against(&program, cell.protocol, &cc, bare_secs)
-                })
-                .collect();
-            AggRow::from_trials(workload.name(), cell, plan.seeds_per_cell, &stats)
+            let app = app_of(cell.workload, cell.n, cell.lambda);
+            // The appl-driven cell *is* the paired reference: reuse its
+            // trials instead of re-simulating them.
+            let stats: Vec<RunStats> = if cell.protocol == ProtocolKind::AppDriven {
+                app.clone()
+            } else {
+                run_cell(cell.workload, cell.n, cell.lambda, cell.protocol)
+            };
+            let paired: Vec<f64> = app.iter().map(|s| s.overhead_ratio).collect();
+            let row =
+                AggRow::from_trials(workload.name(), cell, plan.seeds_per_cell, &stats, &paired);
+            CellOut {
+                row,
+                wall_us: cell_t0.elapsed().as_micros() as u64,
+                worker: worker_index(),
+            }
         },
-        |_, row| {
+        |_, out| {
             emitted += 1;
             let progress = Progress {
                 emitted,
                 total,
                 elapsed_secs: t0.elapsed().as_secs_f64(),
+                cell_wall_us: out.wall_us,
+                worker: out.worker,
             };
             for sink in sinks.iter_mut() {
-                sink.row(&row, &progress);
+                sink.row(&out.row, &progress);
             }
         },
     );
@@ -1175,5 +1457,139 @@ mod tests {
         assert!(json.contains("\"rows_len\": 5"));
         assert!(json.contains("\"protocol\":\"appl-driven\""));
         assert!(json.contains("\"overhead_ratio\":{\"mean\":"));
+        assert!(json.contains("\"d_overhead_ratio\":{\"mean\":"));
+    }
+
+    #[test]
+    fn paired_difference_is_zero_for_appl_driven_and_consistent_elsewhere() {
+        let plan = tiny_plan(3);
+        let mut collect = CollectSink::default();
+        run_sweep_threads(&plan, 2, &mut [&mut collect]);
+        for row in &collect.rows {
+            assert_eq!(row.d_overhead.count, 3);
+            if row.protocol == ProtocolKind::AppDriven {
+                // The appl-driven row diffs against itself: identically
+                // zero, with a zero-width interval, in every column.
+                assert_eq!(row.d_overhead.mean, 0.0);
+                assert_eq!(row.d_overhead.stddev, 0.0);
+            } else {
+                // Paired means must agree with the marginal means: the
+                // appl-driven mean plus the paired difference is the
+                // protocol's own mean (same trials, exact arithmetic
+                // up to float associativity).
+                let app = collect
+                    .rows
+                    .iter()
+                    .find(|r| {
+                        r.protocol == ProtocolKind::AppDriven
+                            && r.n == row.n
+                            && r.lambda == row.lambda
+                            && r.workload == row.workload
+                    })
+                    .expect("column has an appl-driven row");
+                let reconstructed = app.overhead_ratio.mean + row.d_overhead.mean;
+                assert!(
+                    (reconstructed - row.overhead_ratio.mean).abs() < 1e-9,
+                    "{}: {} + {} != {}",
+                    row.protocol.name(),
+                    app.overhead_ratio.mean,
+                    row.d_overhead.mean,
+                    row.overhead_ratio.mean
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn telemetry_sink_appends_one_parseable_trailer_after_the_rows() {
+        let plan = tiny_plan(2);
+        let mut jsonl = JsonlSink::new(Vec::new());
+        let mut telemetry = TelemetrySink::new(Vec::new());
+        let summary = run_sweep_threads(&plan, 2, &mut [&mut jsonl, &mut telemetry]);
+        // The row stream is untouched: same line count as cells.
+        let rows = String::from_utf8(jsonl.out).unwrap();
+        assert_eq!(rows.lines().count(), plan.total_cells());
+        assert!(!rows.contains("sweep_telemetry"));
+        // The trailer is exactly one line and carries the schema.
+        let trailer = String::from_utf8(telemetry.into_inner()).unwrap();
+        assert_eq!(trailer.lines().count(), 1);
+        let line = trailer.lines().next().unwrap();
+        assert!(line.starts_with("{\"type\":\"sweep_telemetry\""), "{line}");
+        for key in [
+            "\"cells\":",
+            "\"trials\":",
+            "\"elapsed_secs\":",
+            "\"cells_per_sec\":",
+            "\"cell_wall_p50_us\":",
+            "\"cell_wall_p99_us\":",
+            "\"cell_wall_max_us\":",
+            "\"straggler_threshold_us\":",
+            "\"workers\":[",
+            "\"slowest_cells\":[",
+            "\"stragglers\":[",
+        ] {
+            assert!(line.contains(key), "missing {key} in {line}");
+        }
+        assert!(line.contains(&format!("\"cells\":{}", summary.cells)));
+        assert!(line.contains(&format!("\"trials\":{}", plan.total_trials())));
+        // Worker attribution: cells distribute over the two workers
+        // (or fewer if one finished the batch), never beyond them.
+        assert!(line.contains("\"worker\":0"));
+        assert!(line.contains("\"utilization\":"));
+    }
+
+    #[test]
+    fn telemetry_worker_counts_cover_every_cell() {
+        let plan = tiny_plan(1);
+        let mut telemetry = TelemetrySink::new(Vec::new());
+        run_sweep_threads(&plan, 3, &mut [&mut telemetry]);
+        let total_cells: u64 = telemetry.workers.iter().map(|&(c, _)| c).sum();
+        assert_eq!(total_cells as usize, plan.total_cells());
+        assert!(telemetry.workers.len() <= 3);
+        assert_eq!(telemetry.wall.snap().count as usize, plan.total_cells());
+    }
+
+    #[test]
+    fn progress_eta_uses_the_windowed_rate() {
+        // Feed a synthetic schedule where the first 20 cells were fast
+        // (0.1 s each) and the window-covered recent cells are slow
+        // (10 s each). The global average would predict ~2.6 s/cell;
+        // the windowed rate must predict ~10 s/cell.
+        let mut sink = ProgressSink::new(Vec::new());
+        let row = {
+            let plan = SweepPlan::builder()
+                .ns([2usize])
+                .seeds_per_cell(1)
+                .failure_rates([0.0])
+                .build()
+                .unwrap();
+            let mut collect = CollectSink::default();
+            run_sweep_threads(&plan, 1, &mut [&mut collect]);
+            collect.rows.remove(0)
+        };
+        let mut elapsed = 0.0;
+        for emitted in 1..=40usize {
+            elapsed += if emitted <= 20 { 0.1 } else { 10.0 };
+            let p = Progress {
+                emitted,
+                total: 50,
+                elapsed_secs: elapsed,
+                cell_wall_us: 0,
+                worker: 0,
+            };
+            sink.row(&row, &p);
+        }
+        let text = String::from_utf8(sink.out).unwrap();
+        let last = text.lines().last().unwrap();
+        let eta: f64 = last
+            .split("eta ")
+            .nth(1)
+            .and_then(|s| s.strip_suffix('s'))
+            .unwrap()
+            .parse()
+            .unwrap();
+        // 10 cells remain at ~10 s/cell. The global average would say
+        // ~51 s; accept the windowed neighbourhood of 100 s.
+        assert!((eta - 100.0).abs() < 5.0, "eta {eta} not windowed");
     }
 }

@@ -5,7 +5,9 @@
 //! — so the JSONL byte stream at `threads = 1` must equal the stream at
 //! `threads = 8` exactly.
 
-use acfc_protocols::{run_sweep_threads, CollectSink, JsonlSink, SweepPlan, TableSink, Workload};
+use acfc_protocols::{
+    run_sweep_threads, CollectSink, JsonlSink, SweepPlan, TableSink, TelemetrySink, Workload,
+};
 
 fn plan() -> SweepPlan {
     SweepPlan::builder()
@@ -68,5 +70,26 @@ fn table_rows_and_collected_rows_agree_across_thread_counts() {
         // The pooled histograms agree bucket-for-bucket, not just in
         // their rendered percentiles.
         assert_eq!(a.latency, b.latency);
+    }
+}
+
+#[test]
+fn telemetry_does_not_perturb_the_row_stream() {
+    // With a TelemetrySink riding alongside, the JSONL row bytes stay
+    // identical to a telemetry-free run at every thread count, and the
+    // trailer stays a single separate line.
+    let bare = jsonl_at(1);
+    for threads in [1, 2, 8] {
+        let mut rows = JsonlSink::new(Vec::new());
+        let mut telemetry = TelemetrySink::new(Vec::new());
+        run_sweep_threads(&plan(), threads, &mut [&mut rows, &mut telemetry]);
+        assert_eq!(
+            bare,
+            rows.into_inner(),
+            "telemetry perturbed the row stream at {threads} workers"
+        );
+        let trailer = String::from_utf8(telemetry.into_inner()).unwrap();
+        assert_eq!(trailer.lines().count(), 1);
+        assert!(trailer.starts_with("{\"type\":\"sweep_telemetry\""));
     }
 }

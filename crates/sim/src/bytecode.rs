@@ -225,6 +225,7 @@ impl Compiled {
 /// assert!(c.code.iter().any(|i| matches!(i, acfc_sim::Instr::Checkpoint { .. })));
 /// ```
 pub fn compile(program: &Program) -> Compiled {
+    let _span = acfc_obs::span("sim/lower");
     let mut source = program.clone();
     if source.has_collectives() {
         source.lower_collectives();

@@ -471,6 +471,9 @@ impl<'a> Engine<'a> {
     }
 
     fn run(mut self) -> Trace {
+        // One span per run, not per event: the pop loop is the ~60M
+        // events/s hot path and must stay probe-free.
+        let _span = acfc_obs::span("sim/event_loop");
         while let Some((t_us, _, ev)) = self.queue.pop() {
             if self.outcome.is_some() {
                 break;
@@ -1165,6 +1168,7 @@ impl<'a> Engine<'a> {
     }
 
     fn handle_failure(&mut self, p: usize, t: SimTime) {
+        let _span = acfc_obs::span("sim/recovery");
         // A failure of an already-halted process (or after global
         // completion) is ignored.
         if matches!(self.procs.state[p], PState::Halted)

@@ -3,14 +3,16 @@
 //! ```text
 //! acfc check   <file.mpsl> [--nprocs N]          # parse, validate, check Condition 1
 //! acfc analyze <file.mpsl> [--nprocs N] [--emit] [--dot] [--profile out.json]
+//!              [--folded out.folded]
 //! acfc run     <file.mpsl> [--nprocs N] [--seed S] [--analyze] [--input V]...
 //!              [--profile out.json]
-//! acfc report  <file.mpsl> [--nprocs N] [--seed S] # counter/histogram summary
+//! acfc report  <file.mpsl> [--nprocs N] [--seed S] [--serve ADDR]
 //! acfc mpmd    <name> <file.mpsl@FIRST[-LAST]>... # combine MPMD roles into SPMD
 //! acfc figures                                    # regenerate Figures 8 and 9
 //! acfc compare <file.mpsl>... [--nprocs N] [--seed S] [--failure-rate L]...
 //!              [--sweep] [--ns 2,4,8,16] [--seeds K] [--jsonl out.jsonl]
-//!              [--json out.json] [--profile out.json]
+//!              [--telemetry] [--json out.json] [--profile out.json]
+//!              [--folded out.folded] [--serve ADDR]
 //! ```
 //!
 //! `check` reports whether the program's checkpoint placement already
@@ -24,8 +26,13 @@
 //! (one track per process with compute/blocked/checkpoint slices,
 //! message flow arrows, and a marker per recovery line — the paper's
 //! Fig. 4 as an interactive view); for `analyze`, the **wall-clock**
-//! spans of the analysis pipeline. `report` runs analysis + simulation
-//! with full instrumentation on and prints the counter table.
+//! spans of the analysis pipeline. `--folded` writes the same
+//! wall-span forest as folded stack lines (`inferno`/flamegraph.pl
+//! input) plus a sibling `.speedscope.json` loadable at
+//! <https://www.speedscope.app>. `report` runs analysis + simulation
+//! with full instrumentation on and prints the counter table;
+//! `--serve ADDR` then keeps the process alive exposing the registry
+//! at `http://ADDR/metrics` in Prometheus text format.
 //!
 //! `compare` runs the same program under every checkpointing protocol
 //! (app-driven, uncoordinated, SaS, Chandy–Lamport, CIC) and tabulates
@@ -36,9 +43,13 @@
 //! files, with `--seeds` trials per cell aggregated into
 //! mean ± stddev ± 95% CI rows that stream to stdout as cells finish
 //! (progress/ETA on stderr). `--jsonl` streams one JSON object per
-//! aggregate row; `--json` writes the buffered artifact; `--profile`
-//! writes a merged Perfetto timeline with one track group per protocol.
-//! Rows are bit-identical at any `ACFC_THREADS`.
+//! aggregate row (`--telemetry` appends a machine-readable
+//! `sweep_telemetry` trailer line after the rows); `--json` writes the
+//! buffered artifact; `--profile` writes a merged Perfetto timeline
+//! with one track group per protocol; `--folded` captures the sweep's
+//! wall spans as a flamegraph; `--serve ADDR` exposes live metrics for
+//! the duration of the sweep. Rows are bit-identical at any
+//! `ACFC_THREADS`.
 
 use acfc::cfg::build_cfg;
 use acfc::core::{
@@ -68,6 +79,9 @@ struct Args {
     seeds: u64,
     json: Option<String>,
     jsonl: Option<String>,
+    folded: Option<String>,
+    serve: Option<String>,
+    telemetry: bool,
 }
 
 fn parse_args(mut argv: std::env::Args) -> Result<(String, Args), String> {
@@ -89,6 +103,9 @@ fn parse_args(mut argv: std::env::Args) -> Result<(String, Args), String> {
         seeds: 3,
         json: None,
         jsonl: None,
+        folded: None,
+        serve: None,
+        telemetry: false,
     };
     let mut it = argv.peekable();
     while let Some(a) = it.next() {
@@ -139,6 +156,13 @@ fn parse_args(mut argv: std::env::Args) -> Result<(String, Args), String> {
             "--json" => {
                 args.json = Some(it.next().ok_or("--json needs an output path")?);
             }
+            "--folded" => {
+                args.folded = Some(it.next().ok_or("--folded needs an output path")?);
+            }
+            "--serve" => {
+                args.serve = Some(it.next().ok_or("--serve needs an address (host:port)")?);
+            }
+            "--telemetry" => args.telemetry = true,
             "--sweep" => args.sweep = true,
             "--emit" => args.emit = true,
             "--dot" => args.dot = true,
@@ -154,8 +178,8 @@ fn parse_args(mut argv: std::env::Args) -> Result<(String, Args), String> {
 fn usage() -> String {
     "usage: acfc <check|analyze|run|report|mpmd|figures|compare> [file.mpsl]... [--nprocs N] \
      [--seed S] [--emit] [--dot] [--trace] [--analyze] [--sweep] [--ns 2,4,8] [--seeds K] \
-     [--input V]... [--failure-rate L]... [--json out.json] [--jsonl out.jsonl] \
-     [--profile out.json]"
+     [--input V]... [--failure-rate L]... [--json out.json] [--jsonl out.jsonl] [--telemetry] \
+     [--profile out.json] [--folded out.folded] [--serve host:port]"
         .to_string()
 }
 
@@ -213,9 +237,33 @@ fn analysis_config(args: &Args) -> AnalysisConfig {
     cfg
 }
 
+/// Writes the captured wall-span forest as folded stack lines (the
+/// flamegraph.pl / `inferno` input format) plus a sibling speedscope
+/// JSON document next to it.
+fn write_folded(path: &str, spans: &[acfc::obs::WallSpan]) -> Result<(), String> {
+    let labels = acfc::obs::thread_labels();
+    std::fs::write(path, acfc::obs::folded_lines(spans, &labels))
+        .map_err(|e| format!("{path}: {e}"))?;
+    let base = path.strip_suffix(".folded").unwrap_or(path);
+    let ss_path = format!("{base}.speedscope.json");
+    let name = std::path::Path::new(path)
+        .file_name()
+        .and_then(|s| s.to_str())
+        .unwrap_or("acfc");
+    std::fs::write(&ss_path, acfc::obs::speedscope_json(spans, &labels, name))
+        .map_err(|e| format!("{ss_path}: {e}"))?;
+    println!(
+        "wrote {} wall-clock span(s) as folded stacks to {path} (flamegraph.pl/inferno) \
+         and {ss_path} (load in https://www.speedscope.app)",
+        spans.len()
+    );
+    Ok(())
+}
+
 fn cmd_analyze(args: &Args) -> Result<(), String> {
     let program = load(args)?;
-    if args.profile.is_some() {
+    let capture = args.profile.is_some() || args.folded.is_some();
+    if capture {
         acfc::obs::set_enabled(true);
         let _ = acfc::obs::take_wall_spans(); // start from a clean log
     }
@@ -229,17 +277,22 @@ fn cmd_analyze(args: &Args) -> Result<(), String> {
         println!("--- extended CFG (Graphviz) ---");
         print!("{}", analysis.to_dot());
     }
-    if let Some(path) = &args.profile {
+    if capture {
         acfc::obs::set_enabled(false);
         let spans = acfc::obs::take_wall_spans();
-        let tb = acfc::obs::perfetto::wall_spans_trace(&spans);
-        tb.validate()
-            .map_err(|e| format!("profile trace invalid: {e}"))?;
-        std::fs::write(path, tb.render()).map_err(|e| format!("{path}: {e}"))?;
-        println!(
-            "wrote {} wall-clock span(s) to {path} (load in https://ui.perfetto.dev)",
-            spans.len()
-        );
+        if let Some(path) = &args.profile {
+            let tb = acfc::obs::perfetto::wall_spans_trace(&spans);
+            tb.validate()
+                .map_err(|e| format!("profile trace invalid: {e}"))?;
+            std::fs::write(path, tb.render()).map_err(|e| format!("{path}: {e}"))?;
+            println!(
+                "wrote {} wall-clock span(s) to {path} (load in https://ui.perfetto.dev)",
+                spans.len()
+            );
+        }
+        if let Some(path) = &args.folded {
+            write_folded(path, &spans)?;
+        }
         if spans.is_empty() {
             println!("note: binary built without the `obs` feature; spans are compiled out");
         }
@@ -357,6 +410,16 @@ fn cmd_report(args: &Args) -> Result<(), String> {
     if snap.counters.is_empty() && snap.histograms.is_empty() {
         println!("note: binary built without the `obs` feature; registry metrics are compiled out");
     }
+    if let Some(addr) = &args.serve {
+        let server = acfc::obs::serve(addr).map_err(|e| format!("--serve {addr}: {e}"))?;
+        println!(
+            "\nserving metrics at http://{}/metrics (Prometheus text format; Ctrl-C to stop)",
+            server.local_addr()
+        );
+        loop {
+            std::thread::sleep(std::time::Duration::from_secs(3600));
+        }
+    }
     Ok(())
 }
 
@@ -432,7 +495,7 @@ fn load_all(args: &Args) -> Result<Vec<acfc::mpsl::Program>, String> {
 fn cmd_compare_sweep(args: &Args) -> Result<(), String> {
     use acfc::protocols::{
         render_agg_json, run_sweep, CollectSink, JsonlSink, ProgressSink, RowSink, SweepPlan,
-        TableSink, Workload,
+        TableSink, TelemetrySink, Workload,
     };
     let programs = load_all(args)?;
     let mut builder = SweepPlan::builder()
@@ -450,27 +513,74 @@ fn cmd_compare_sweep(args: &Args) -> Result<(), String> {
     }
     let plan = builder.build().map_err(|e| e.to_string())?;
 
-    let mut table = TableSink::new(std::io::stdout());
-    let mut progress = ProgressSink::new(std::io::stderr());
-    let mut collect = CollectSink::default();
-    let mut jsonl = match &args.jsonl {
-        Some(path) => {
-            let file = std::fs::File::create(path).map_err(|e| format!("{path}: {e}"))?;
-            Some(JsonlSink::new(file))
+    // --serve: expose the live registry for the duration of the sweep.
+    let server = match &args.serve {
+        Some(addr) => {
+            let s = acfc::obs::serve(addr).map_err(|e| format!("--serve {addr}: {e}"))?;
+            eprintln!(
+                "serving metrics at http://{}/metrics for the duration of the sweep",
+                s.local_addr()
+            );
+            Some(s)
         }
         None => None,
     };
+    let capture = args.folded.is_some() || server.is_some();
+    if capture {
+        acfc::obs::set_enabled(true);
+        let _ = acfc::obs::take_wall_spans(); // start from a clean log
+    }
+
+    let mut table = TableSink::new(std::io::stdout());
+    let mut progress = ProgressSink::new(std::io::stderr());
+    let mut collect = CollectSink::default();
+    let mut jsonl = None;
+    let mut telemetry = None;
+    if let Some(path) = &args.jsonl {
+        let file = std::fs::File::create(path).map_err(|e| format!("{path}: {e}"))?;
+        if args.telemetry {
+            // Shares the fd, so the trailer written in `finish()` lands
+            // after every row the JsonlSink has streamed.
+            let clone = file.try_clone().map_err(|e| format!("{path}: {e}"))?;
+            telemetry = Some(TelemetrySink::new(clone));
+        }
+        jsonl = Some(JsonlSink::new(file));
+    } else if args.telemetry {
+        return Err("--telemetry needs --jsonl (the trailer appends to the row stream)".into());
+    }
     let mut sinks: Vec<&mut dyn RowSink> = vec![&mut table, &mut progress, &mut collect];
     if let Some(sink) = jsonl.as_mut() {
         sinks.push(sink);
     }
+    if let Some(sink) = telemetry.as_mut() {
+        sinks.push(sink);
+    }
     run_sweep(&plan, &mut sinks);
+
+    if capture {
+        acfc::obs::set_enabled(false);
+        let spans = acfc::obs::take_wall_spans();
+        if let Some(path) = &args.folded {
+            write_folded(path, &spans)?;
+            if spans.is_empty() {
+                println!("note: binary built without the `obs` feature; spans are compiled out");
+            }
+        }
+    }
+    if let Some(s) = server {
+        s.shutdown();
+    }
 
     if let Some(path) = &args.jsonl {
         println!(
-            "wrote {} aggregate row(s) ({} seeds/cell) to {path}",
+            "wrote {} aggregate row(s) ({} seeds/cell){} to {path}",
             collect.rows.len(),
-            plan.seeds_per_cell()
+            plan.seeds_per_cell(),
+            if args.telemetry {
+                " + a sweep_telemetry trailer"
+            } else {
+                ""
+            }
         );
     }
     if let Some(path) = &args.json {

@@ -234,6 +234,182 @@ fn compare_sweep_rows_are_identical_across_thread_counts() {
 }
 
 #[test]
+fn analyze_folded_writes_flamegraph_and_speedscope_files() {
+    let folded_path = std::env::temp_dir().join("acfc_cli_analyze.folded");
+    let out = acfc(&[
+        "analyze",
+        "programs/jacobi_odd_even.mpsl",
+        "--folded",
+        folded_path.to_str().unwrap(),
+    ]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(
+        stdout(&out).contains("as folded stacks"),
+        "{}",
+        stdout(&out)
+    );
+    // Every line obeys the flamegraph.pl grammar `frame;frame count`.
+    let folded = std::fs::read_to_string(&folded_path).expect("folded written");
+    assert!(!folded.is_empty());
+    for line in folded.lines() {
+        let (stack, count) = line.rsplit_once(' ').expect("stack + self time");
+        assert!(count.parse::<u64>().is_ok(), "{line}");
+        assert!(!stack.is_empty() && !stack.contains(' '), "{line}");
+    }
+    // The analysis pipeline's spans appear as nested stacks.
+    assert!(folded.contains("core/analyze;core/phase1"), "{folded}");
+    // The sibling speedscope document rides along.
+    let ss_path = std::env::temp_dir().join("acfc_cli_analyze.speedscope.json");
+    let ss = std::fs::read_to_string(&ss_path).expect("speedscope written");
+    assert!(ss.contains("https://www.speedscope.app/file-format-schema.json"));
+    assert!(ss.contains("\"type\": \"evented\""), "{ss}");
+    assert!(ss.contains("core/analyze"), "{ss}");
+}
+
+#[test]
+fn sweep_telemetry_trailer_rides_the_jsonl_without_perturbing_rows() {
+    let sweep_args = |jsonl: &str, extra: &[&str]| {
+        let mut v = vec![
+            "compare",
+            "programs/jacobi.mpsl",
+            "--sweep",
+            "--ns",
+            "2,4",
+            "--seeds",
+            "2",
+            "--jsonl",
+        ];
+        v.push(jsonl);
+        v.extend_from_slice(extra);
+        v.iter().map(|s| s.to_string()).collect::<Vec<_>>()
+    };
+    let run_at = |threads: &str, path: &std::path::Path, extra: &[&str]| {
+        let out = Command::new(env!("CARGO_BIN_EXE_acfc"))
+            .args(sweep_args(path.to_str().unwrap(), extra))
+            .env("ACFC_THREADS", threads)
+            .current_dir(env!("CARGO_MANIFEST_DIR"))
+            .output()
+            .expect("binary runs");
+        assert!(
+            out.status.success(),
+            "{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        std::fs::read_to_string(path).expect("JSONL written")
+    };
+    let bare_path = std::env::temp_dir().join("acfc_cli_telemetry_bare.jsonl");
+    let bare = run_at("2", &bare_path, &[]);
+    for threads in ["1", "8"] {
+        let path = std::env::temp_dir().join(format!("acfc_cli_telemetry_t{threads}.jsonl"));
+        let with = run_at(threads, &path, &["--telemetry"]);
+        let (rows, trailers): (Vec<&str>, Vec<&str>) = with
+            .lines()
+            .partition(|l| !l.contains("\"type\":\"sweep_telemetry\""));
+        assert_eq!(
+            rows.join("\n"),
+            bare.trim_end(),
+            "telemetry perturbed the rows at {threads} threads"
+        );
+        assert_eq!(trailers.len(), 1, "exactly one trailer line");
+        let trailer = trailers[0];
+        assert_eq!(with.lines().last().unwrap(), trailer, "trailer is last");
+        for key in [
+            "\"cells\":10",
+            "\"trials\":20",
+            "\"cell_wall_p99_us\":",
+            "\"straggler_threshold_us\":",
+            "\"workers\":[",
+            "\"utilization\":",
+            "\"slowest_cells\":[",
+            "\"stragglers\":[",
+        ] {
+            assert!(trailer.contains(key), "missing {key}: {trailer}");
+        }
+    }
+}
+
+#[test]
+fn sweep_telemetry_without_jsonl_is_rejected() {
+    let out = acfc(&[
+        "compare",
+        "programs/jacobi.mpsl",
+        "--sweep",
+        "--seeds",
+        "1",
+        "--telemetry",
+    ]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--telemetry needs --jsonl"));
+}
+
+#[test]
+fn sweep_folded_captures_the_cell_and_engine_spans() {
+    let folded_path = std::env::temp_dir().join("acfc_cli_sweep.folded");
+    let out = acfc(&[
+        "compare",
+        "programs/jacobi.mpsl",
+        "--sweep",
+        "--ns",
+        "2",
+        "--seeds",
+        "1",
+        "--folded",
+        folded_path.to_str().unwrap(),
+    ]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let folded = std::fs::read_to_string(&folded_path).expect("folded written");
+    assert!(folded.contains("protocols/sweep/cell"), "{folded}");
+    assert!(folded.contains("sim/event_loop"), "{folded}");
+}
+
+#[test]
+fn report_serve_answers_a_loopback_scrape() {
+    use std::io::{BufRead, BufReader, Read, Write};
+    let mut child = Command::new(env!("CARGO_BIN_EXE_acfc"))
+        .args(["report", "programs/jacobi.mpsl", "--serve", "127.0.0.1:0"])
+        .current_dir(env!("CARGO_MANIFEST_DIR"))
+        .stdout(std::process::Stdio::piped())
+        .stderr(std::process::Stdio::null())
+        .spawn()
+        .expect("binary runs");
+    // The report prints its tables, then the serving banner with the
+    // ephemeral port the OS picked.
+    let mut reader = BufReader::new(child.stdout.take().unwrap());
+    let addr = loop {
+        let mut line = String::new();
+        assert!(
+            reader.read_line(&mut line).unwrap() > 0,
+            "banner not printed"
+        );
+        if let Some(rest) = line.trim().strip_prefix("serving metrics at http://") {
+            break rest.split('/').next().unwrap().to_string();
+        }
+    };
+    let mut stream = std::net::TcpStream::connect(&addr).expect("endpoint accepts");
+    write!(stream, "GET /metrics HTTP/1.1\r\nHost: {addr}\r\n\r\n").unwrap();
+    stream
+        .set_read_timeout(Some(std::time::Duration::from_secs(5)))
+        .unwrap();
+    let mut body = String::new();
+    let _ = stream.read_to_string(&mut body);
+    child.kill().unwrap();
+    let _ = child.wait();
+    assert!(body.starts_with("HTTP/1.1 200 OK"), "{body}");
+    assert!(body.contains("text/plain; version=0.0.4"), "{body}");
+    assert!(body.contains("acfc_up 1"), "{body}");
+    // The report's simulator run populated real registry metrics.
+    assert!(body.contains("# TYPE acfc_"), "{body}");
+}
+
+#[test]
 fn compare_profile_writes_a_merged_timeline() {
     let path = std::env::temp_dir().join("acfc_cli_compare_profile.json");
     let out = acfc(&[

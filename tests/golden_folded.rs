@@ -1,0 +1,104 @@
+//! Golden pin for the folded-stacks / speedscope exporters.
+//!
+//! A hand-built two-thread span forest exercises every structural case
+//! the collapser handles: three-deep nesting, adjacent siblings, a
+//! zero-length span, back-to-back spans sharing a boundary timestamp
+//! (half-open intervals — the later one is a sibling, not a child),
+//! and one labeled + one unlabeled thread. Both renderings are
+//! compared byte-for-byte against pinned snapshots; the inputs are
+//! synthetic, so any divergence is an intentional format change.
+//!
+//! Regenerate (only on an *intentional* format change) with:
+//!
+//! ```text
+//! GOLDEN_REGEN=1 cargo test --test golden_folded
+//! ```
+
+use acfc::obs::{folded_lines, speedscope_json, WallSpan};
+use std::path::PathBuf;
+
+fn golden_path(file: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join(format!("tests/golden/{file}"))
+}
+
+fn fixture() -> (Vec<WallSpan>, Vec<(u64, String)>) {
+    let s = |name: &'static str, tid: u64, start_us: u64, end_us: u64| WallSpan {
+        name,
+        tid,
+        start_us,
+        end_us,
+    };
+    let spans = vec![
+        // Thread 0 ("main"): a pipeline with nesting and siblings.
+        s("core/analyze", 0, 0, 100),
+        s("core/phase1", 0, 5, 40),
+        s("core/phase1/insert", 0, 10, 25),
+        s("core/phase1/equalize", 0, 25, 40), // shares phase1's end
+        s("core/phase2_3", 0, 40, 95),
+        s("core/phase3/iteration", 0, 45, 45), // zero-length leaf
+        s("core/phase3/iteration", 0, 50, 70),
+        // Thread 3 (labeled "sweep-0"): two cells back to back.
+        s("protocols/sweep/cell", 3, 0, 60),
+        s("sim/event_loop", 3, 10, 50),
+        s("protocols/sweep/cell", 3, 60, 80), // sibling at the boundary
+    ];
+    let labels = vec![(0, "main".to_string()), (3, "sweep-0".to_string())];
+    (spans, labels)
+}
+
+fn check_pin(file: &str, rendered: &str) {
+    let path = golden_path(file);
+    if std::env::var("GOLDEN_REGEN").is_ok() {
+        std::fs::write(&path, rendered).expect("write pin");
+        return;
+    }
+    let pinned = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("missing pin {}: {e}", path.display()));
+    if rendered != pinned {
+        let line = rendered
+            .lines()
+            .zip(pinned.lines())
+            .position(|(a, b)| a != b)
+            .map(|i| i + 1)
+            .unwrap_or_else(|| rendered.lines().count().min(pinned.lines().count()) + 1);
+        panic!("{file} diverged from pin at line {line}");
+    }
+}
+
+#[test]
+fn folded_stacks_match_pinned_snapshot() {
+    let (spans, labels) = fixture();
+    check_pin("wall_folded.folded", &folded_lines(&spans, &labels));
+}
+
+#[test]
+fn speedscope_document_matches_pinned_snapshot() {
+    let (spans, labels) = fixture();
+    check_pin(
+        "wall_folded.speedscope.json",
+        &speedscope_json(&spans, &labels, "wall_folded"),
+    );
+}
+
+/// Format-level invariants of the pinned folded output, independent of
+/// the byte pin: `stack space count` grammar, semicolon-joined frames
+/// rooted at the thread label, and self-time conservation (the file's
+/// total equals the root spans' wall time).
+#[test]
+fn folded_output_is_grammatical_and_conserves_time() {
+    let (spans, labels) = fixture();
+    let folded = folded_lines(&spans, &labels);
+    let mut total = 0u64;
+    for line in folded.lines() {
+        let (stack, count) = line.rsplit_once(' ').expect("`stack count` shape");
+        total += count.parse::<u64>().expect("numeric self time");
+        let root = stack.split(';').next().unwrap();
+        assert!(
+            root == "main" || root == "sweep-0",
+            "stack rooted at a thread label, got {root}"
+        );
+        assert!(!stack.contains(' '), "frames are space-free: {stack}");
+    }
+    // 100µs of main-thread work + (60 + 20)µs across sweep-0's cells.
+    assert_eq!(total, 180, "folded self times sum to the root wall time");
+}
