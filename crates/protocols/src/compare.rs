@@ -9,15 +9,15 @@
 
 use crate::app_driven::AppDriven;
 use crate::chandy_lamport::ChandyLamport;
-use crate::cic::IndexBasedCic;
+use crate::cic::{CicProtocol, CicVariant};
 use crate::depgraph::max_consistent_picker;
 use crate::sas::SyncAndStop;
 use crate::uncoordinated::{uncoordinated_hooks, uncoordinated_picker};
 use acfc_mpsl::Program;
 use acfc_obs::{HistSnapshot, Quantiles};
 use acfc_sim::{
-    compile, run_observed_with, run_with_hooks, CutPicker, FailurePlan, Hooks, SimConfig, SimObs,
-    SimTime, Trace,
+    compile, run_observed_with, run_with_hooks, FailurePlan, Hooks, SimConfig, SimObs, SimTime,
+    Trace,
 };
 
 /// The protocols under comparison.
@@ -31,19 +31,35 @@ pub enum ProtocolKind {
     SyncAndStop,
     /// Chandy–Lamport snapshot waves.
     ChandyLamport,
-    /// Index-based communication-induced checkpointing.
-    IndexCic,
+    /// Communication-induced checkpointing, one family member per
+    /// [`CicVariant`].
+    Cic(CicVariant),
 }
 
 impl ProtocolKind {
-    /// All protocols, in the paper's presentation order.
-    pub fn all() -> [ProtocolKind; 5] {
+    /// All protocols, in the paper's presentation order; the CIC
+    /// family expands into its four members.
+    pub fn all() -> [ProtocolKind; 8] {
         [
             ProtocolKind::AppDriven,
             ProtocolKind::Uncoordinated,
             ProtocolKind::SyncAndStop,
             ProtocolKind::ChandyLamport,
-            ProtocolKind::IndexCic,
+            ProtocolKind::Cic(CicVariant::Index),
+            ProtocolKind::Cic(CicVariant::Bcs),
+            ProtocolKind::Cic(CicVariant::Hmnr),
+            ProtocolKind::Cic(CicVariant::Lazy),
+        ]
+    }
+
+    /// The non-CIC protocols, in presentation order — the base axis
+    /// sweeps combine with a chosen set of CIC variants.
+    pub fn base() -> [ProtocolKind; 4] {
+        [
+            ProtocolKind::AppDriven,
+            ProtocolKind::Uncoordinated,
+            ProtocolKind::SyncAndStop,
+            ProtocolKind::ChandyLamport,
         ]
     }
 
@@ -54,7 +70,7 @@ impl ProtocolKind {
             ProtocolKind::Uncoordinated => "uncoordinated",
             ProtocolKind::SyncAndStop => "SaS",
             ProtocolKind::ChandyLamport => "C-L",
-            ProtocolKind::IndexCic => "CIC",
+            ProtocolKind::Cic(v) => v.name(),
         }
     }
 }
@@ -281,6 +297,9 @@ pub struct RunStats {
     pub control_messages: u64,
     /// Protocol control bits.
     pub control_bits: u64,
+    /// Protocol state piggybacked on application messages, bits (CIC;
+    /// zero for every protocol that doesn't ride the app traffic).
+    pub piggyback_bits: u64,
     /// Time stalled in checkpoint overhead + coordination, µs.
     pub ckpt_stall_us: u64,
     /// Coordination-only share of [`ckpt_stall_us`](RunStats::ckpt_stall_us)
@@ -339,6 +358,7 @@ impl RunStats {
             .num("forced_checkpoints", self.forced as f64)
             .num("control_messages", self.control_messages as f64)
             .num("control_bits", self.control_bits as f64)
+            .num("piggyback_bits", self.piggyback_bits as f64)
             .num("ckpt_stall_us", self.ckpt_stall_us as f64)
             .num("coord_stall_us", self.coord_stall_us as f64)
             .num("failures", self.failures as f64)
@@ -370,7 +390,13 @@ impl Hooks for NoCheckpointing {
     }
 }
 
-fn stats_from(protocol: ProtocolKind, trace: &Trace, obs: &SimObs, bare_secs: f64) -> RunStats {
+fn stats_from(
+    protocol: ProtocolKind,
+    trace: &Trace,
+    obs: &SimObs,
+    bare_secs: f64,
+    piggyback_bits: u64,
+) -> RunStats {
     let m = &trace.metrics;
     let makespan = trace.makespan_secs();
     let max_rollback_depth = trace
@@ -397,6 +423,7 @@ fn stats_from(protocol: ProtocolKind, trace: &Trace, obs: &SimObs, bare_secs: f6
         forced: m.forced_checkpoints,
         control_messages: m.control_messages,
         control_bits: m.control_bits,
+        piggyback_bits,
         ckpt_stall_us: m.ckpt_stall_us,
         coord_stall_us: m.coord_stall_us,
         failures: m.failures,
@@ -411,7 +438,7 @@ fn stats_from(protocol: ProtocolKind, trace: &Trace, obs: &SimObs, bare_secs: f6
 /// Makespan in seconds of `program` with checkpointing disabled and no
 /// failures — the `T_bare` denominator of every overhead ratio. Split
 /// out so sweep cells that share a (workload, n, seed) baseline compute
-/// it once and fan the value out to all five protocols via
+/// it once and fan the value out to every protocol via
 /// [`run_protocol_against`].
 pub fn bare_makespan(program: &Program, sim: &SimConfig) -> f64 {
     let mut hooks = NoCheckpointing;
@@ -446,8 +473,8 @@ pub fn run_protocol_against(
     bare_secs: f64,
 ) -> RunStats {
     let mut obs = SimObs::counters();
-    let trace = run_protocol_observed(program, protocol, config, &mut obs);
-    stats_from(protocol, &trace, &obs, bare_secs)
+    let (trace, piggyback_bits) = run_protocol_observed(program, protocol, config, &mut obs);
+    stats_from(protocol, &trace, &obs, bare_secs, piggyback_bits)
 }
 
 /// Runs `protocol` with a timeline-mode collector and returns both the
@@ -464,42 +491,46 @@ pub fn run_protocol_timeline(
     config: &CompareConfig,
 ) -> (Trace, SimObs) {
     let mut obs = SimObs::timeline();
-    let trace = run_protocol_observed(program, protocol, config, &mut obs);
+    let (trace, _piggyback_bits) = run_protocol_observed(program, protocol, config, &mut obs);
     (trace, obs)
 }
 
 /// The shared protocol dispatch: one observed run under `protocol`.
+/// Returns the trace plus the protocol's piggybacked bits (nonzero
+/// only for the CIC family, which meters its own wire payload).
 fn run_protocol_observed(
     program: &Program,
     protocol: ProtocolKind,
     config: &CompareConfig,
     obs: &mut SimObs,
-) -> Trace {
+) -> (Trace, u64) {
     let n = config.sim.nprocs;
     match protocol {
         ProtocolKind::AppDriven => {
             let ad = AppDriven::prepare(program, n.min(acfc_core::attr::MAX_ANALYSIS_RANKS))
                 .unwrap_or_else(|e| panic!("analysis failed: {e}"));
             let mut hooks = ad.hooks();
-            run_observed_with(
+            let trace = run_observed_with(
                 &ad.compiled,
                 &config.sim,
                 &mut hooks,
                 config.failures.clone(),
                 ad.picker(),
                 obs,
-            )
+            );
+            (trace, 0)
         }
         ProtocolKind::Uncoordinated => {
             let mut hooks = uncoordinated_hooks(n, config.interval_us, config.skew_us);
-            run_observed_with(
+            let trace = run_observed_with(
                 &compile(program),
                 &config.sim,
                 &mut hooks,
                 config.failures.clone(),
                 uncoordinated_picker(),
                 obs,
-            )
+            );
+            (trace, 0)
         }
         ProtocolKind::SyncAndStop => {
             let mut hooks = SyncAndStop::new(n, config.interval_us, config.sim.net.clone());
@@ -508,36 +539,41 @@ fn run_protocol_observed(
             // asymmetric workloads; restoring the maximal consistent
             // line over the wave checkpoints (= latest-per-process when
             // the wave is tight) keeps recovery orphan-free.
-            run_observed_with(
+            let trace = run_observed_with(
                 &compile(program),
                 &config.sim,
                 &mut hooks,
                 config.failures.clone(),
                 max_consistent_picker(),
                 obs,
-            )
+            );
+            (trace, 0)
         }
         ProtocolKind::ChandyLamport => {
             let mut hooks = ChandyLamport::new(n, config.interval_us, config.sim.net.clone());
-            run_observed_with(
+            let trace = run_observed_with(
                 &compile(program),
                 &config.sim,
                 &mut hooks,
                 config.failures.clone(),
                 max_consistent_picker(),
                 obs,
-            )
+            );
+            (trace, 0)
         }
-        ProtocolKind::IndexCic => {
-            let mut hooks = IndexBasedCic::new(n, config.interval_us, config.skew_us);
-            run_observed_with(
+        ProtocolKind::Cic(variant) => {
+            let mut hooks = CicProtocol::new(variant, n, config.interval_us, config.skew_us);
+            let picker = hooks.picker();
+            let trace = run_observed_with(
                 &compile(program),
                 &config.sim,
                 &mut hooks,
                 config.failures.clone(),
-                CutPicker::AlignedSeq,
+                picker,
                 obs,
-            )
+            );
+            let bits = hooks.piggyback_bits();
+            (trace, bits)
         }
     }
 }
@@ -557,7 +593,7 @@ pub fn compare_all(program: &Program, config: &CompareConfig) -> Vec<RunStats> {
 pub fn render_table(stats: &[RunStats]) -> String {
     let mut out = String::new();
     out.push_str(&format!(
-        "{:<14} {:>9} {:>9} {:>9} {:>7} {:>7} {:>9} {:>9} {:>6} {:>9} {:>17}\n",
+        "{:<14} {:>9} {:>9} {:>9} {:>7} {:>7} {:>9} {:>8} {:>9} {:>6} {:>9} {:>17}\n",
         "protocol",
         "makespan",
         "bare",
@@ -565,6 +601,7 @@ pub fn render_table(stats: &[RunStats]) -> String {
         "ckpts",
         "forced",
         "ctrl-msgs",
+        "pb-bits",
         "coord-ms",
         "fails",
         "lost-ms",
@@ -573,7 +610,7 @@ pub fn render_table(stats: &[RunStats]) -> String {
     for s in stats {
         let q = s.latency_percentiles();
         out.push_str(&format!(
-            "{:<14} {:>8.3}s {:>8.3}s {:>9.4} {:>7} {:>7} {:>9} {:>9.1} {:>6} {:>9.1} {:>17}\n",
+            "{:<14} {:>8.3}s {:>8.3}s {:>9.4} {:>7} {:>7} {:>9} {:>8} {:>9.1} {:>6} {:>9.1} {:>17}\n",
             s.protocol.name(),
             s.makespan_secs,
             s.bare_secs,
@@ -581,6 +618,7 @@ pub fn render_table(stats: &[RunStats]) -> String {
             s.checkpoints,
             s.forced,
             s.control_messages,
+            s.piggyback_bits,
             s.coord_stall_us as f64 / 1000.0,
             s.failures,
             s.lost_us as f64 / 1000.0,
@@ -602,7 +640,7 @@ mod tests {
     fn all_protocols_complete_failure_free() {
         let cfg = CompareConfig::builder(4).build().unwrap();
         let stats = compare_all(&workload(), &cfg);
-        assert_eq!(stats.len(), 5);
+        assert_eq!(stats.len(), 8);
         for s in &stats {
             assert!(s.completed, "{} did not complete", s.protocol.name());
             assert!(
@@ -614,9 +652,11 @@ mod tests {
         }
         let table = render_table(&stats);
         assert!(table.contains("appl-driven"));
+        assert!(table.contains("CIC-hmnr"));
         assert!(table.contains("coord-ms"));
+        assert!(table.contains("pb-bits"));
         assert!(table.contains("lat-p50/p90/p99"));
-        assert!(table.lines().count() >= 6);
+        assert!(table.lines().count() >= 9);
         // Every run observed the same workload's messages, so the
         // latency histograms are populated and their percentile bounds
         // are ordered.
@@ -677,6 +717,32 @@ mod tests {
             by(ProtocolKind::ChandyLamport).control_messages
                 > by(ProtocolKind::SyncAndStop).control_messages
         );
+    }
+
+    #[test]
+    fn piggyback_bits_meter_only_the_cic_family() {
+        let cfg = CompareConfig::builder(4).build().unwrap();
+        let stats = compare_all(&workload(), &cfg);
+        let by = |k: ProtocolKind| stats.iter().find(|s| s.protocol == k).unwrap();
+        for base in ProtocolKind::base() {
+            assert_eq!(by(base).piggyback_bits, 0, "{}", base.name());
+        }
+        let scalar = by(ProtocolKind::Cic(CicVariant::Index)).piggyback_bits;
+        assert!(scalar > 0);
+        assert_eq!(
+            by(ProtocolKind::Cic(CicVariant::Bcs)).piggyback_bits,
+            scalar
+        );
+        assert_eq!(
+            by(ProtocolKind::Cic(CicVariant::Lazy)).piggyback_bits,
+            scalar
+        );
+        // The vector-carrying member pays per-process state on the wire.
+        assert!(by(ProtocolKind::Cic(CicVariant::Hmnr)).piggyback_bits > scalar);
+        // All members ride the same app traffic: no control messages.
+        for v in CicVariant::all() {
+            assert_eq!(by(ProtocolKind::Cic(v)).control_messages, 0, "{}", v.name());
+        }
     }
 
     #[test]

@@ -78,7 +78,19 @@ pub fn max_consistent_line<'m>(
     index: &IntervalIndex,
     messages: impl Iterator<Item = &'m MessageRecord> + Clone,
 ) -> Vec<u64> {
-    let mut cut: Vec<u64> = (0..index.nprocs()).map(|p| index.count(p)).collect();
+    let start = (0..index.nprocs()).map(|p| index.count(p)).collect();
+    max_consistent_line_from(index, messages, start)
+}
+
+/// Rollback propagation from an arbitrary starting cut: returns the
+/// maximal consistent cut dominated by `start` (consistent cuts are
+/// closed under join, so this is unique).
+pub fn max_consistent_line_from<'m>(
+    index: &IntervalIndex,
+    messages: impl Iterator<Item = &'m MessageRecord> + Clone,
+    start: Vec<u64>,
+) -> Vec<u64> {
+    let mut cut = start;
     loop {
         let mut changed = false;
         for m in messages.clone() {
@@ -123,6 +135,153 @@ pub fn max_consistent_picker() -> acfc_sim::CutPicker {
             .map(|keep| if keep == 0 { None } else { Some(keep) })
             .collect()
     }))
+}
+
+/// Useless checkpoints of a finished trace — the Z-cycle checker.
+///
+/// A checkpoint is **useful** iff it belongs to *some* consistent
+/// global checkpoint, and by the Netzer–Xu theorem it is useful iff no
+/// *zigzag cycle* passes through it. Zigzag paths are exactly paths in
+/// the **interval graph**: one node per checkpoint interval `(p, k)`
+/// (`k = 0` is `p`'s initial interval), an edge from each interval to
+/// the process's next, and an edge `(from, send-interval) → (to,
+/// recv-interval)` per live delivered message — the latter is what
+/// encodes the zigzag liberty of leaving an interval *before* the
+/// message that entered it arrived. A Z-cycle through `C_{p,i}` is a
+/// path from `(p, i)` back to `(p, i-1)`, i.e. the two nodes sit in
+/// one strongly connected component.
+///
+/// Returns `(process, i)` pairs in cut coordinates (`i` = 1-based
+/// position among the process's live checkpoints), empty iff the trace
+/// is Z-cycle-free. CIC protocols exist to make this always empty;
+/// `domino`-shaped placements are the classic counterexample.
+pub fn useless_checkpoints(trace: &Trace) -> Vec<(usize, u64)> {
+    let index = IntervalIndex::from_trace(trace);
+    useless_checkpoints_in(&index, trace.messages.iter())
+}
+
+/// [`useless_checkpoints`] over an explicit interval structure and
+/// message set.
+pub fn useless_checkpoints_in<'m>(
+    index: &IntervalIndex,
+    messages: impl Iterator<Item = &'m MessageRecord>,
+) -> Vec<(usize, u64)> {
+    let nprocs = index.nprocs();
+    // Node (p, k) lives at offsets[p] + k, k in 0..=count(p).
+    let mut offsets = Vec::with_capacity(nprocs);
+    let mut total = 0usize;
+    for p in 0..nprocs {
+        offsets.push(total);
+        total += index.count(p) as usize + 1;
+    }
+    let mut adj: Vec<Vec<u32>> = vec![Vec::new(); total];
+    for p in 0..nprocs {
+        for k in 0..index.count(p) as usize {
+            adj[offsets[p] + k].push((offsets[p] + k + 1) as u32);
+        }
+    }
+    for m in messages {
+        if m.rolled_back {
+            continue;
+        }
+        let Some(recv_step) = m.recv_step else {
+            continue;
+        };
+        let send_int = index.interval_of(m.from, m.send_step) as usize;
+        let recv_int = index.interval_of(m.to, recv_step) as usize;
+        adj[offsets[m.from] + send_int].push((offsets[m.to] + recv_int) as u32);
+    }
+    let comp = sccs(&adj);
+    let mut useless = Vec::new();
+    for p in 0..nprocs {
+        for i in 1..=index.count(p) as usize {
+            if comp[offsets[p] + i] == comp[offsets[p] + i - 1] {
+                useless.push((p, i as u64));
+            }
+        }
+    }
+    useless
+}
+
+/// Independent oracle for [`useless_checkpoints`]: `C_{p,i}` is useful
+/// iff rollback propagation from the cut that pins `p` at `i` (and
+/// everyone else at the *virtual* checkpoint `count + 1`, their
+/// volatile end-of-run state — the convention under which Netzer–Xu
+/// holds, so a send after the last recorded checkpoint is not
+/// spuriously orphaned) terminates without pushing `p` below `i` —
+/// consistent cuts are closed under join, so if any consistent cut
+/// contains the checkpoint, the maximal one dominated by that start
+/// does too. The checker and this oracle reach the same verdicts
+/// through disjoint machinery (SCCs vs. the orphan fixpoint); the
+/// property suite holds them against each other.
+pub fn useful_by_rollback<'m>(
+    index: &IntervalIndex,
+    messages: impl Iterator<Item = &'m MessageRecord> + Clone,
+    p: usize,
+    i: u64,
+) -> bool {
+    let mut start: Vec<u64> = (0..index.nprocs()).map(|q| index.count(q) + 1).collect();
+    start[p] = i;
+    max_consistent_line_from(index, messages, start)[p] == i
+}
+
+/// Iterative Tarjan: strongly connected component id per node.
+fn sccs(adj: &[Vec<u32>]) -> Vec<u32> {
+    const UNSEEN: u32 = u32::MAX;
+    let n = adj.len();
+    let mut comp = vec![UNSEEN; n];
+    let mut order = vec![UNSEEN; n];
+    let mut low = vec![0u32; n];
+    let mut on_stack = vec![false; n];
+    let mut stack: Vec<u32> = Vec::new();
+    let mut frames: Vec<(u32, u32)> = Vec::new(); // (node, next child)
+    let mut next_order = 0u32;
+    let mut ncomp = 0u32;
+    for root in 0..n {
+        if order[root] != UNSEEN {
+            continue;
+        }
+        frames.push((root as u32, 0));
+        while let Some(frame) = frames.last_mut() {
+            let (v, child) = *frame;
+            let vu = v as usize;
+            if child == 0 {
+                order[vu] = next_order;
+                low[vu] = next_order;
+                next_order += 1;
+                stack.push(v);
+                on_stack[vu] = true;
+            }
+            if (child as usize) < adj[vu].len() {
+                frame.1 += 1;
+                let w = adj[vu][child as usize];
+                let wu = w as usize;
+                if order[wu] == UNSEEN {
+                    frames.push((w, 0));
+                } else if on_stack[wu] {
+                    low[vu] = low[vu].min(order[wu]);
+                }
+            } else {
+                frames.pop();
+                if low[vu] == order[vu] {
+                    loop {
+                        let w = stack.pop().expect("tarjan stack underflow");
+                        on_stack[w as usize] = false;
+                        comp[w as usize] = ncomp;
+                        if w == v {
+                            break;
+                        }
+                    }
+                    ncomp += 1;
+                }
+                if let Some(&mut (u, _)) = frames.last_mut() {
+                    let uu = u as usize;
+                    low[uu] = low[uu].min(low[vu]);
+                }
+            }
+        }
+    }
+    comp
 }
 
 /// Rollback depth per process implied by the maximal consistent line:
@@ -251,5 +410,78 @@ mod tests {
         let t = run(&compile(&p), &SimConfig::new(2));
         assert_eq!(max_consistent_line_of(&t), vec![0, 0]);
         assert_eq!(rollback_depths(&t), vec![0, 0]);
+    }
+
+    #[test]
+    fn domino_checkpoints_are_useless() {
+        // The domino program is the canonical Z-cycle factory: every
+        // checkpoint of rank 1 sits inside a request/reply zigzag, so
+        // none of them can ever join a consistent cut.
+        let p = parse(
+            "program domino; var i;
+             for i in 0..6 {
+               if rank == 0 {
+                 checkpoint;
+                 send to 1 size 64;
+                 recv from 1;
+               } else {
+                 if rank == 1 {
+                   recv from 0;
+                   checkpoint;
+                   send to 0 size 64;
+                 }
+               }
+             }",
+        )
+        .unwrap();
+        let t = run(&compile(&p), &SimConfig::new(2));
+        assert!(t.completed());
+        let useless = useless_checkpoints(&t);
+        assert!(!useless.is_empty(), "domino placements must be on Z-cycles");
+        // Rank 1's inner checkpoints are all on Z-cycles.
+        let rank1: Vec<u64> = useless
+            .iter()
+            .filter(|&&(p, _)| p == 1)
+            .map(|&(_, i)| i)
+            .collect();
+        assert!(!rank1.is_empty(), "useless: {useless:?}");
+    }
+
+    #[test]
+    fn aligned_checkpoints_are_all_useful() {
+        let p = acfc_mpsl::programs::jacobi(6);
+        let t = run(&compile(&p), &SimConfig::new(4));
+        assert!(t.completed());
+        assert_eq!(useless_checkpoints(&t), Vec::new());
+    }
+
+    #[test]
+    fn checker_agrees_with_the_rollback_oracle() {
+        // Differential pin: SCC membership (Netzer–Xu) and the
+        // lattice-fixpoint oracle (is the checkpoint on *some*
+        // consistent cut?) must classify every checkpoint identically,
+        // on both a Z-cycle-free and a Z-cycle-rich trace.
+        let progs = [
+            acfc_mpsl::programs::jacobi(5),
+            acfc_mpsl::programs::pingpong_skewed(6),
+            acfc_mpsl::programs::master_worker(6),
+        ];
+        for (prog, n) in progs.iter().zip([4usize, 2, 3]) {
+            let mut hooks = TimerCheckpoints::new(n, 25_000, 9_000);
+            let t = run_with_hooks(&compile(prog), &SimConfig::new(n), &mut hooks);
+            assert!(t.completed());
+            let idx = IntervalIndex::from_trace(&t);
+            let useless = useless_checkpoints(&t);
+            for p in 0..idx.nprocs() {
+                for i in 1..=idx.count(p) {
+                    let on_cycle = useless.contains(&(p, i));
+                    let useful = useful_by_rollback(&idx, t.messages.iter(), p, i);
+                    assert_eq!(
+                        useful, !on_cycle,
+                        "({p}, {i}): oracle says useful={useful}, checker says on_cycle={on_cycle}"
+                    );
+                }
+            }
+        }
     }
 }

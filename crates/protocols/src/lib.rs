@@ -16,8 +16,10 @@
 //!   `M(SaS) = 5(n−1)(w_m + 8·w_b)`;
 //! * [`chandy_lamport`] — distributed snapshots,
 //!   `M(C-L) = 2n(n−1)(w_m + 8·w_b)`;
-//! * [`cic`] — index-based communication-induced checkpointing with
-//!   forced checkpoints;
+//! * [`cic`] — the communication-induced checkpointing family (the
+//!   founding index-based member plus BCS, the vector-carrying HMNR,
+//!   and lazy indexing) behind the [`CicIndexing`](cic::CicIndexing)
+//!   trait, with forced checkpoints and Z-cycle-free guarantees;
 //! * [`compare`] — the head-to-head harness producing measured
 //!   overhead ratios (the empirical companion to Figures 8–9).
 //!
@@ -47,14 +49,15 @@ pub mod uncoordinated;
 
 pub use app_driven::AppDriven;
 pub use chandy_lamport::{cl_control_messages, cl_message_overhead_us, ChandyLamport};
-pub use cic::IndexBasedCic;
+pub use cic::{CicIndexing, CicProtocol, CicVariant, IndexBasedCic};
 pub use compare::{
     bare_makespan, compare_all, estimated_run_mib, render_table, run_protocol,
     run_protocol_against, run_protocol_timeline, CompareConfig, CompareConfigBuilder, ConfigError,
     ProtocolKind, RunStats, DEFAULT_MEMORY_BUDGET_MIB, MAX_COMPARE_PROCS,
 };
 pub use depgraph::{
-    max_consistent_line, max_consistent_line_of, max_consistent_picker, rollback_depths,
+    max_consistent_line, max_consistent_line_from, max_consistent_line_of, max_consistent_picker,
+    rollback_depths, useful_by_rollback, useless_checkpoints, useless_checkpoints_in,
     IntervalIndex,
 };
 pub use domino::{domino_report, domino_stream, DominoReport};

@@ -27,6 +27,7 @@
 //! ([`TableSink`], [`JsonlSink`], [`ProgressSink`]) observe the same
 //! byte stream at any `ACFC_THREADS` — streaming *and* bit-identical.
 
+use crate::cic::CicVariant;
 use crate::compare::{
     bare_makespan, run_protocol_against, CompareConfig, ConfigError, ProtocolKind, RunStats,
     MAX_COMPARE_PROCS,
@@ -95,6 +96,7 @@ pub struct SweepPlan {
     seeds_per_cell: u64,
     lambdas: Vec<f64>,
     workloads: Vec<Workload>,
+    cic_variants: Vec<CicVariant>,
     interval_us: u64,
     seed: u64,
 }
@@ -108,6 +110,7 @@ pub struct SweepPlanBuilder {
     seeds_per_cell: u64,
     lambdas: Vec<f64>,
     workloads: Option<Vec<Workload>>,
+    cic_variants: Vec<CicVariant>,
     interval_us: u64,
     seed: u64,
     memory_budget_mib: u64,
@@ -116,14 +119,16 @@ pub struct SweepPlanBuilder {
 impl SweepPlan {
     /// Starts a plan with the defaults: `ns = [2, 4, 8]`, 3 seeds per
     /// cell, failure-rate grid `[1.0]` (per-process failures/sec of
-    /// simulated time), 60 ms checkpoint interval, base seed `0xACFC`,
-    /// and the [`Workload::jacobi`] workload if none is added.
+    /// simulated time), every CIC variant, 60 ms checkpoint interval,
+    /// base seed `0xACFC`, and the [`Workload::jacobi`] workload if
+    /// none is added.
     pub fn builder() -> SweepPlanBuilder {
         SweepPlanBuilder {
             ns: vec![2, 4, 8],
             seeds_per_cell: 3,
             lambdas: vec![1.0],
             workloads: None,
+            cic_variants: CicVariant::all().to_vec(),
             interval_us: 60_000,
             seed: 0xACFC,
             memory_budget_mib: crate::compare::DEFAULT_MEMORY_BUDGET_MIB,
@@ -151,6 +156,21 @@ impl SweepPlan {
         &self.workloads
     }
 
+    /// The CIC variants on the protocol axis.
+    pub fn cic_variants(&self) -> &[CicVariant] {
+        &self.cic_variants
+    }
+
+    /// The protocol axis of the matrix: the four non-CIC baselines
+    /// followed by the selected CIC variants, in [`CicVariant::all`]
+    /// presentation order.
+    pub fn protocols(&self) -> Vec<ProtocolKind> {
+        ProtocolKind::base()
+            .into_iter()
+            .chain(self.cic_variants.iter().map(|&v| ProtocolKind::Cic(v)))
+            .collect()
+    }
+
     /// Checkpoint interval for the timer/wave protocols, µs.
     pub fn interval_us(&self) -> u64 {
         self.interval_us
@@ -166,10 +186,11 @@ impl SweepPlan {
     /// stream out of [`run_sweep`].
     pub fn cells(&self) -> Vec<CellSpec> {
         let mut cells = Vec::with_capacity(self.total_cells());
+        let protocols = self.protocols();
         for (w, _) in self.workloads.iter().enumerate() {
             for &n in &self.ns {
                 for &lambda in &self.lambdas {
-                    for protocol in ProtocolKind::all() {
+                    for &protocol in &protocols {
                         cells.push(CellSpec {
                             index: cells.len(),
                             workload: w,
@@ -186,7 +207,10 @@ impl SweepPlan {
 
     /// Number of cells in the matrix.
     pub fn total_cells(&self) -> usize {
-        self.workloads.len() * self.ns.len() * self.lambdas.len() * ProtocolKind::all().len()
+        self.workloads.len()
+            * self.ns.len()
+            * self.lambdas.len()
+            * (ProtocolKind::base().len() + self.cic_variants.len())
     }
 
     /// Number of simulator trials the plan will run (cells × seeds),
@@ -205,8 +229,8 @@ impl SweepPlan {
     }
 
     /// The failure-plan seed of one trial: the sim seed refined by the
-    /// failure-rate index. Protocol-independent, so all five protocols
-    /// in a `(workload, n, λ)` column face identical failure plans.
+    /// failure-rate index. Protocol-independent, so every protocol
+    /// in a `(workload, n, λ)` column faces identical failure plans.
     fn fail_seed(&self, w: usize, n: usize, lambda_idx: usize, trial: u64) -> u64 {
         mix64(self.sim_seed(w, n, trial) ^ ((lambda_idx as u64 + 1) << 56))
     }
@@ -242,6 +266,15 @@ impl SweepPlanBuilder {
     /// Replaces the workload matrix.
     pub fn workloads(mut self, ws: Vec<Workload>) -> Self {
         self.workloads = Some(ws);
+        self
+    }
+
+    /// Replaces the CIC-variant axis (default: all four). Duplicates
+    /// are dropped and [`CicVariant::all`] presentation order is
+    /// restored at [`build`](Self::build); an empty selection sweeps
+    /// only the four non-CIC baselines.
+    pub fn cic_variants(mut self, variants: impl Into<Vec<CicVariant>>) -> Self {
+        self.cic_variants = variants.into();
         self
     }
 
@@ -310,11 +343,16 @@ impl SweepPlanBuilder {
             Some(ws) if ws.is_empty() => return Err(ConfigError::NoWorkloads),
             Some(ws) => ws,
         };
+        let cic_variants: Vec<CicVariant> = CicVariant::all()
+            .into_iter()
+            .filter(|v| self.cic_variants.contains(v))
+            .collect();
         Ok(SweepPlan {
             ns: self.ns,
             seeds_per_cell: self.seeds_per_cell,
             lambdas: self.lambdas,
             workloads,
+            cic_variants,
             interval_us: self.interval_us,
             seed: self.seed,
         })
@@ -367,6 +405,9 @@ pub struct AggRow {
     pub forced: CiSummary,
     /// Protocol control messages.
     pub control_messages: CiSummary,
+    /// Bits piggybacked on application messages (CIC family; zero for
+    /// every other protocol).
+    pub piggyback_bits: CiSummary,
     /// Coordination-only stall, ms.
     pub coord_stall_ms: CiSummary,
     /// Failures injected and survived.
@@ -413,6 +454,7 @@ impl AggRow {
         let mut checkpoints = CiAccum::new();
         let mut forced = CiAccum::new();
         let mut control = CiAccum::new();
+        let mut piggyback = CiAccum::new();
         let mut coord = CiAccum::new();
         let mut failures = CiAccum::new();
         let mut lost = CiAccum::new();
@@ -429,6 +471,7 @@ impl AggRow {
             checkpoints.push(s.checkpoints as f64);
             forced.push(s.forced as f64);
             control.push(s.control_messages as f64);
+            piggyback.push(s.piggyback_bits as f64);
             coord.push(s.coord_stall_us as f64 / 1000.0);
             failures.push(s.failures as f64);
             lost.push(s.lost_us as f64 / 1000.0);
@@ -449,6 +492,7 @@ impl AggRow {
             checkpoints: checkpoints.summary(),
             forced: forced.summary(),
             control_messages: control.summary(),
+            piggyback_bits: piggyback.summary(),
             coord_stall_ms: coord.summary(),
             failures: failures.summary(),
             lost_ms: lost.summary(),
@@ -481,6 +525,10 @@ impl AggRow {
             .raw(
                 "control_messages",
                 ci_json(&self.control_messages).render_line(),
+            )
+            .raw(
+                "piggyback_bits",
+                ci_json(&self.piggyback_bits).render_line(),
             )
             .raw(
                 "coord_stall_ms",
@@ -567,7 +615,7 @@ impl<W: std::io::Write> RowSink for TableSink<W> {
     fn begin(&mut self, _plan: &SweepPlan) {
         let _ = writeln!(
             self.out,
-            "{:<10} {:>3} {:>5} {:<14} {:>15} {:>15} {:>13} {:>11} {:>13} {:>13} {:>9} {:>13} {:>11} {:>11}",
+            "{:<10} {:>3} {:>5} {:<14} {:>15} {:>15} {:>13} {:>11} {:>13} {:>15} {:>13} {:>9} {:>13} {:>11} {:>11}",
             "workload",
             "n",
             "λ",
@@ -577,6 +625,7 @@ impl<W: std::io::Write> RowSink for TableSink<W> {
             "ckpts",
             "forced",
             "ctrl-msgs",
+            "pb-bits",
             "coord-ms",
             "fails",
             "lost-ms",
@@ -588,7 +637,7 @@ impl<W: std::io::Write> RowSink for TableSink<W> {
     fn row(&mut self, r: &AggRow, _progress: &Progress) {
         let _ = writeln!(
             self.out,
-            "{:<10} {:>3} {:>5.2} {:<14} {:>15} {:>15} {:>13} {:>11} {:>13} {:>13} {:>9} {:>13} {:>11} {:>11}",
+            "{:<10} {:>3} {:>5.2} {:<14} {:>15} {:>15} {:>13} {:>11} {:>13} {:>15} {:>13} {:>9} {:>13} {:>11} {:>11}",
             r.workload,
             r.n,
             r.lambda,
@@ -598,6 +647,7 @@ impl<W: std::io::Write> RowSink for TableSink<W> {
             r.checkpoints.render(1),
             r.forced.render(1),
             r.control_messages.render(1),
+            r.piggyback_bits.render(0),
             r.coord_stall_ms.render(1),
             r.failures.render(1),
             r.lost_ms.render(1),
@@ -925,7 +975,7 @@ fn worker_index() -> usize {
 /// 1. **Baselines** (`sweep-base-k` workers): for every
 ///    `(workload, n)` block, each trial's bare (checkpoint-free,
 ///    failure-free) run — the overhead denominator *and* the failure
-///    horizon. Computed once per block and shared by all its λ × 5
+///    horizon. Computed once per block and shared by all its λ ×
 ///    protocol cells, instead of once per protocol run.
 /// 2. **Paired reference** (`sweep-app-k` workers): the appl-driven
 ///    trials of every `(workload, n, λ)` column, computed once and
@@ -1204,8 +1254,9 @@ mod tests {
         assert_eq!(plan.workloads().len(), 1);
         assert_eq!(plan.workloads()[0].name(), "jacobi");
         assert_eq!(plan.interval_us(), 60_000);
-        assert_eq!(plan.total_cells(), 3 * 5);
-        assert_eq!(plan.total_trials(), 45);
+        assert_eq!(plan.cic_variants(), CicVariant::all());
+        assert_eq!(plan.total_cells(), 3 * 8);
+        assert_eq!(plan.total_trials(), 72);
 
         assert_eq!(
             SweepPlan::builder().ns(Vec::new()).build().unwrap_err(),
@@ -1260,17 +1311,39 @@ mod tests {
     }
 
     #[test]
+    fn cic_variant_axis_dedupes_and_canonicalizes_order() {
+        let plan = SweepPlan::builder()
+            .cic_variants(vec![CicVariant::Lazy, CicVariant::Bcs, CicVariant::Bcs])
+            .build()
+            .unwrap();
+        assert_eq!(plan.cic_variants(), &[CicVariant::Bcs, CicVariant::Lazy]);
+        assert_eq!(plan.total_cells(), 3 * (4 + 2));
+
+        let none = SweepPlan::builder()
+            .cic_variants(Vec::new())
+            .build()
+            .unwrap();
+        assert_eq!(none.cic_variants(), &[] as &[CicVariant]);
+        assert!(none
+            .cells()
+            .iter()
+            .all(|c| !matches!(c.protocol, ProtocolKind::Cic(_))));
+    }
+
+    #[test]
     fn cells_enumerate_workload_major_plan_order() {
         let plan = tiny_plan(1);
         let cells = plan.cells();
-        assert_eq!(cells.len(), 2 * 2 * 5);
-        // Order: n-major over λ over protocol (single workload).
+        assert_eq!(cells.len(), 2 * 2 * 8);
+        // Order: n-major over λ over protocol (single workload); the
+        // protocol axis is the four baselines then the CIC variants.
         assert_eq!(cells[0].n, 2);
         assert_eq!(cells[0].lambda, 0.0);
         assert_eq!(cells[0].protocol, ProtocolKind::AppDriven);
-        assert_eq!(cells[4].protocol, ProtocolKind::IndexCic);
-        assert_eq!(cells[5].lambda, 0.5);
-        assert_eq!(cells[10].n, 3);
+        assert_eq!(cells[4].protocol, ProtocolKind::Cic(CicVariant::Index));
+        assert_eq!(cells[7].protocol, ProtocolKind::Cic(CicVariant::Lazy));
+        assert_eq!(cells[8].lambda, 0.5);
+        assert_eq!(cells[16].n, 3);
         for (i, c) in cells.iter().enumerate() {
             assert_eq!(c.index, i);
         }
@@ -1329,13 +1402,13 @@ mod tests {
         let mut collect = CollectSink::default();
         let mut jsonl = JsonlSink::new(Vec::new());
         run_sweep_threads(&plan, 1, &mut [&mut collect, &mut jsonl]);
-        assert_eq!(collect.rows.len(), 5);
+        assert_eq!(collect.rows.len(), 8);
         for row in &collect.rows {
             assert_eq!(row.overhead_ratio.ci95_half, None);
             assert_eq!(row.lat_p99_us.ci95_half, None);
         }
         let text = String::from_utf8(jsonl.out).unwrap();
-        assert_eq!(text.lines().count(), 5);
+        assert_eq!(text.lines().count(), 8);
         assert!(!text.contains("NaN"));
         assert!(!text.contains("ci95"));
         assert!(text.contains("\"lat_pool_p50_us\""));
@@ -1361,7 +1434,7 @@ mod tests {
             .iter()
             .filter(|r| r.n == 2 && r.lambda > 0.0)
             .collect();
-        assert_eq!(failing.len(), 5);
+        assert_eq!(failing.len(), 8);
         for r in &failing {
             assert_eq!(
                 r.failures.mean,
@@ -1384,9 +1457,9 @@ mod tests {
         let mut jsonl = JsonlSink::new(Vec::new());
         run_sweep_threads(&plan, 1, &mut [&mut progress, &mut jsonl]);
         let text = String::from_utf8(progress.out).unwrap();
-        assert!(text.contains("5 cells × 1 seeds"));
-        assert!(text.contains("1/5 cells"));
-        assert!(text.contains("5/5 cells"));
+        assert!(text.contains("8 cells × 1 seeds"));
+        assert!(text.contains("1/8 cells"));
+        assert!(text.contains("8/8 cells"));
         assert!(text.contains("done"));
         for line in String::from_utf8(jsonl.out).unwrap().lines() {
             assert!(line.starts_with('{') && line.ends_with('}'), "{line}");
@@ -1405,9 +1478,9 @@ mod tests {
             .unwrap();
         let mut collect = CollectSink::default();
         run_sweep_threads(&plan, 2, &mut [&mut collect]);
-        assert_eq!(collect.rows.len(), 10);
-        assert!(collect.rows[..5].iter().all(|r| r.workload == "jacobi"));
-        assert!(collect.rows[5..].iter().all(|r| r.workload == "pingpong"));
+        assert_eq!(collect.rows.len(), 16);
+        assert!(collect.rows[..8].iter().all(|r| r.workload == "jacobi"));
+        assert!(collect.rows[8..].iter().all(|r| r.workload == "pingpong"));
     }
 
     /// The single-seed row shape the CLI streams: a table and a typed
@@ -1423,7 +1496,7 @@ mod tests {
                 stats: crate::compare::run_protocol(&program, kind, &cc),
             })
             .collect();
-        assert_eq!(rows.len(), 5);
+        assert_eq!(rows.len(), 8);
         for r in &rows {
             assert!(
                 r.stats.completed,
@@ -1433,14 +1506,14 @@ mod tests {
             assert!(r.stats.overhead_ratio.is_finite());
         }
         let tsv = render_sweep(&rows);
-        assert_eq!(tsv.lines().count(), 6);
+        assert_eq!(tsv.lines().count(), 9);
         assert!(tsv.contains("appl-driven"));
         let json = SweepArtifact::new("jacobi", rows).to_json();
         assert!(json.contains("\"workload\": \"jacobi\""));
         for kind in ProtocolKind::all() {
             assert!(json.contains(&format!("\"protocol\": \"{}\"", kind.name())));
         }
-        assert_eq!(json.matches("\"msg_latency_p99_us\"").count(), 5);
+        assert_eq!(json.matches("\"msg_latency_p99_us\"").count(), 8);
     }
 
     #[test]
@@ -1454,7 +1527,7 @@ mod tests {
         let mut collect = CollectSink::default();
         run_sweep_threads(&plan, 1, &mut [&mut collect]);
         let json = render_agg_json(&collect.rows);
-        assert!(json.contains("\"rows_len\": 5"));
+        assert!(json.contains("\"rows_len\": 8"));
         assert!(json.contains("\"protocol\":\"appl-driven\""));
         assert!(json.contains("\"overhead_ratio\":{\"mean\":"));
         assert!(json.contains("\"d_overhead_ratio\":{\"mean\":"));

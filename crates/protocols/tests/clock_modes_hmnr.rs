@@ -1,0 +1,88 @@
+//! Differential clock-mode test for the vector-carrying HMNR hooks at
+//! `n > DENSE_CLOCK_MAX`: the variant piggybacks `64 + n + 64n` bits
+//! of protocol state per message through the engine's token channel,
+//! and its forced checkpoints must land identically whether the engine
+//! transports vector clocks densely or as deltas — the masked golden
+//! render of the two runs must be byte-equal (only the per-message
+//! clock fields legitimately differ: delta mode never materializes
+//! them).
+//!
+//! Lives in the protocols crate because the sim crate cannot
+//! dev-depend on its own dependents; the sim-local analogue with
+//! scalar forcing hooks is `crates/sim/tests/clock_modes.rs`.
+
+use acfc_mpsl::programs;
+use acfc_protocols::{max_consistent_picker, CicProtocol, CicVariant};
+use acfc_sim::{
+    compile, golden, run_with_failures, run_with_hooks, ClockMode, FailurePlan, SimConfig, SimTime,
+    Trace, DENSE_CLOCK_MAX,
+};
+
+fn run_hmnr(n: usize, mode: ClockMode, fail_ms: &[(u64, usize)]) -> Trace {
+    let prog = programs::stencil_1d(8);
+    let c = compile(&prog);
+    let cfg = SimConfig::new(n).with_clock_mode(mode);
+    let mut hooks = CicProtocol::new(CicVariant::Hmnr, n, 25_000, 9_000);
+    let t = if fail_ms.is_empty() {
+        run_with_hooks(&c, &cfg, &mut hooks)
+    } else {
+        let plan = FailurePlan::at(
+            fail_ms
+                .iter()
+                .map(|&(ms, p)| (SimTime::from_millis(ms), p))
+                .collect(),
+        );
+        run_with_failures(&c, &cfg, &mut hooks, plan, max_consistent_picker())
+    };
+    assert!(t.completed(), "{mode:?}: {:?}", t.outcome);
+    t
+}
+
+/// Masks the per-message clock fields (`send_vc`/`recv_vc`) that delta
+/// mode leaves empty by design; everything else must match byte for
+/// byte.
+fn masked(trace: &Trace) -> String {
+    golden(trace)
+        .lines()
+        .map(|line| {
+            if !line.starts_with("msg ") {
+                return line.to_string();
+            }
+            line.split(' ')
+                .map(|tok| match tok.split_once('=') {
+                    Some(("send_vc", _)) => "send_vc=*",
+                    Some(("recv_vc", _)) => "recv_vc=*",
+                    _ => tok,
+                })
+                .collect::<Vec<_>>()
+                .join(" ")
+        })
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+#[test]
+fn hmnr_delta_renders_identically_to_dense_above_cutoff() {
+    let n = DENSE_CLOCK_MAX + 8;
+    let dense = run_hmnr(n, ClockMode::Dense, &[]);
+    let delta = run_hmnr(n, ClockMode::Delta, &[]);
+    assert!(
+        dense.metrics.forced_checkpoints > 0,
+        "skewed timers must force through the HMNR predicate"
+    );
+    assert_eq!(
+        dense.metrics.forced_checkpoints,
+        delta.metrics.forced_checkpoints
+    );
+    assert_eq!(masked(&dense), masked(&delta));
+}
+
+#[test]
+fn hmnr_delta_matches_dense_through_failures() {
+    let n = DENSE_CLOCK_MAX + 8;
+    let fails = [(60u64, 0usize), (140, n / 2)];
+    let dense = run_hmnr(n, ClockMode::Dense, &fails);
+    let delta = run_hmnr(n, ClockMode::Delta, &fails);
+    assert_eq!(dense.metrics.failures, 2);
+    assert_eq!(masked(&dense), masked(&delta));
+}

@@ -836,7 +836,7 @@ impl<'a> Engine<'a> {
         let piggyback = if self.passive_hooks {
             self.procs.ckpt_seq[p]
         } else {
-            self.hooks.piggyback(p, self.procs.ckpt_seq[p], now)
+            self.hooks.piggyback(p, to, self.procs.ckpt_seq[p], now)
         };
         let jitter = if self.config.net.jitter_us > 0 {
             self.rng.gen_u64_inclusive(self.config.net.jitter_us)
@@ -1093,6 +1093,9 @@ impl<'a> Engine<'a> {
             CkptTrigger::Timer => self.metrics.timer_checkpoints += 1,
             CkptTrigger::Forced => self.metrics.forced_checkpoints += 1,
             CkptTrigger::Coordinated => self.metrics.coordinated_checkpoints += 1,
+        }
+        if !self.passive_hooks {
+            self.hooks.checkpoint_taken(p, trigger, *now);
         }
     }
 

@@ -37,10 +37,13 @@ pub struct CoordinationCost {
 
 /// Protocol customisation points. All methods have no-op defaults.
 pub trait Hooks {
-    /// Value to piggyback on an outgoing application message. The
-    /// engine passes the sender's current dynamic checkpoint sequence
-    /// number, which index-based CIC protocols piggyback verbatim.
-    fn piggyback(&mut self, _p: usize, ckpt_seq: u64, _now: SimTime) -> u64 {
+    /// Value to piggyback on an outgoing application message from `p`
+    /// to `to`. The engine passes the sender's current dynamic
+    /// checkpoint sequence number, which index-based CIC protocols
+    /// piggyback verbatim; vector-carrying protocols use `to` for
+    /// per-peer send tracking and return a token into their own
+    /// payload store.
+    fn piggyback(&mut self, _p: usize, _to: usize, ckpt_seq: u64, _now: SimTime) -> u64 {
         ckpt_seq
     }
 
@@ -99,6 +102,12 @@ pub trait Hooks {
     fn coordination_cost(&mut self, _p: usize, _now: SimTime) -> CoordinationCost {
         CoordinationCost::default()
     }
+
+    /// Called after a checkpoint of `p` has been recorded (any
+    /// trigger). Index-based CIC protocols use this to advance their
+    /// logical clocks: a timer checkpoint bumps the local index, a
+    /// forced one absorbs the piggybacked value that demanded it.
+    fn checkpoint_taken(&mut self, _p: usize, _trigger: CkptTrigger, _now: SimTime) {}
 }
 
 /// The application-driven (coordination-free) behaviour: checkpoints
@@ -172,7 +181,7 @@ mod tests {
     #[test]
     fn nohooks_defaults() {
         let mut h = NoHooks;
-        assert_eq!(h.piggyback(0, 7, SimTime::ZERO), 7);
+        assert_eq!(h.piggyback(0, 1, 7, SimTime::ZERO), 7);
         assert_eq!(h.on_recv(0, 3, 1, SimTime::ZERO), RecvAction::Deliver);
         assert!(h.take_app_checkpoint(0, SimTime::ZERO));
         assert!(!h.timer_checkpoint_due(0, SimTime::ZERO));

@@ -121,3 +121,63 @@ fn delta_matches_dense_on_irregular_topologies() {
         assert_equivalent(&dense, &delta, &prog.name);
     }
 }
+
+/// Index-piggybacking hooks that *force* checkpoints on lagging
+/// receives (the CIC discipline, restated locally): the engine's
+/// forced-checkpoint path must behave identically under both clock
+/// representations, including the piggyback channel the hooks ride.
+struct ForcingHooks {
+    timers: acfc_sim::TimerCheckpoints,
+}
+
+impl acfc_sim::Hooks for ForcingHooks {
+    fn piggyback(&mut self, _p: usize, _to: usize, ckpt_seq: u64, _now: SimTime) -> u64 {
+        ckpt_seq
+    }
+
+    fn on_recv(
+        &mut self,
+        _p: usize,
+        piggyback: u64,
+        own_seq: u64,
+        _now: SimTime,
+    ) -> acfc_sim::RecvAction {
+        if piggyback > own_seq {
+            acfc_sim::RecvAction::ForceCheckpointFirst
+        } else {
+            acfc_sim::RecvAction::Deliver
+        }
+    }
+
+    fn take_app_checkpoint(&mut self, _p: usize, _now: SimTime) -> bool {
+        false
+    }
+
+    fn timer_checkpoint_due(&mut self, p: usize, now: SimTime) -> bool {
+        acfc_sim::Hooks::timer_checkpoint_due(&mut self.timers, p, now)
+    }
+}
+
+/// Forced checkpoints above the cutoff: skewed timers make receivers
+/// lag their senders, so the forcing path runs under both modes — the
+/// traces (timing, stamps, forced-checkpoint placement) must agree.
+#[test]
+fn delta_matches_dense_with_forcing_hooks_above_cutoff() {
+    let n = DENSE_CLOCK_MAX + 8;
+    let prog = programs::stencil_1d(8);
+    let c = compile(&prog);
+    let mut traces = Vec::new();
+    for mode in [ClockMode::Dense, ClockMode::Delta] {
+        let cfg = SimConfig::new(n).with_clock_mode(mode);
+        let mut hooks = ForcingHooks {
+            timers: acfc_sim::TimerCheckpoints::new(n, 25_000, 9_000),
+        };
+        let t = acfc_sim::run_with_hooks(&c, &cfg, &mut hooks);
+        assert!(t.completed(), "{mode:?}: {:?}", t.outcome);
+        traces.push(t);
+    }
+    let forced = traces[0].metrics.forced_checkpoints;
+    assert!(forced > 0, "skewed timers must force under both modes");
+    assert_eq!(forced, traces[1].metrics.forced_checkpoints);
+    assert_equivalent(&traces[0], &traces[1], "forcing stencil");
+}

@@ -10,8 +10,8 @@
 //! acfc mpmd    <name> <file.mpsl@FIRST[-LAST]>... # combine MPMD roles into SPMD
 //! acfc figures                                    # regenerate Figures 8 and 9
 //! acfc compare <file.mpsl>... [--nprocs N] [--seed S] [--failure-rate L]...
-//!              [--sweep] [--ns 2,4,8,16] [--seeds K] [--jsonl out.jsonl]
-//!              [--telemetry] [--json out.json] [--profile out.json]
+//!              [--sweep] [--ns 2,4,8,16] [--seeds K] [--cic index,bcs,hmnr,lazy]
+//!              [--telemetry] [--jsonl out.jsonl] [--json out.json] [--profile out.json]
 //!              [--folded out.folded] [--serve ADDR]
 //! ```
 //!
@@ -40,7 +40,9 @@
 //! coordination stalls — plus message-latency percentile bounds.
 //! `--sweep` executes a full replicated evaluation matrix instead:
 //! `--ns` process counts × `--failure-rate` grid × positional workload
-//! files, with `--seeds` trials per cell aggregated into
+//! files (`--cic` narrows the protocol axis to the named CIC variants
+//! next to the four baselines), with `--seeds` trials per cell
+//! aggregated into
 //! mean ± stddev ± 95% CI rows that stream to stdout as cells finish
 //! (progress/ETA on stderr). `--jsonl` streams one JSON object per
 //! aggregate row (`--telemetry` appends a machine-readable
@@ -82,6 +84,7 @@ struct Args {
     folded: Option<String>,
     serve: Option<String>,
     telemetry: bool,
+    cic: Option<Vec<String>>,
 }
 
 fn parse_args(mut argv: std::env::Args) -> Result<(String, Args), String> {
@@ -106,6 +109,7 @@ fn parse_args(mut argv: std::env::Args) -> Result<(String, Args), String> {
         folded: None,
         serve: None,
         telemetry: false,
+        cic: None,
     };
     let mut it = argv.peekable();
     while let Some(a) = it.next() {
@@ -162,6 +166,10 @@ fn parse_args(mut argv: std::env::Args) -> Result<(String, Args), String> {
             "--serve" => {
                 args.serve = Some(it.next().ok_or("--serve needs an address (host:port)")?);
             }
+            "--cic" => {
+                let list = it.next().ok_or("--cic needs a comma-separated list")?;
+                args.cic = Some(list.split(',').map(|v| v.trim().to_string()).collect());
+            }
             "--telemetry" => args.telemetry = true,
             "--sweep" => args.sweep = true,
             "--emit" => args.emit = true,
@@ -178,7 +186,8 @@ fn parse_args(mut argv: std::env::Args) -> Result<(String, Args), String> {
 fn usage() -> String {
     "usage: acfc <check|analyze|run|report|mpmd|figures|compare> [file.mpsl]... [--nprocs N] \
      [--seed S] [--emit] [--dot] [--trace] [--analyze] [--sweep] [--ns 2,4,8] [--seeds K] \
-     [--input V]... [--failure-rate L]... [--json out.json] [--jsonl out.jsonl] [--telemetry] \
+     [--cic index,bcs,hmnr,lazy] [--input V]... [--failure-rate L]... [--json out.json] \
+     [--jsonl out.jsonl] [--telemetry] \
      [--profile out.json] [--folded out.folded] [--serve host:port]"
         .to_string()
 }
@@ -494,8 +503,8 @@ fn load_all(args: &Args) -> Result<Vec<acfc::mpsl::Program>, String> {
 /// aggregate rows (mean ± 95% CI) streaming to stdout as cells finish.
 fn cmd_compare_sweep(args: &Args) -> Result<(), String> {
     use acfc::protocols::{
-        render_agg_json, run_sweep, CollectSink, JsonlSink, ProgressSink, RowSink, SweepPlan,
-        TableSink, TelemetrySink, Workload,
+        render_agg_json, run_sweep, CicVariant, CollectSink, JsonlSink, ProgressSink, RowSink,
+        SweepPlan, TableSink, TelemetrySink, Workload,
     };
     let programs = load_all(args)?;
     let mut builder = SweepPlan::builder()
@@ -507,6 +516,16 @@ fn cmd_compare_sweep(args: &Args) -> Result<(), String> {
             args.failure_rates.clone()
         })
         .seed(args.seed);
+    if let Some(list) = &args.cic {
+        let variants: Result<Vec<CicVariant>, String> = list
+            .iter()
+            .map(|v| {
+                CicVariant::parse(v)
+                    .ok_or_else(|| format!("--cic: unknown variant `{v}` (index|bcs|hmnr|lazy)"))
+            })
+            .collect();
+        builder = builder.cic_variants(variants?);
+    }
     for program in programs {
         let name = program.name.clone();
         builder = builder.workload(Workload::new(name, move |_| program.clone()));

@@ -150,13 +150,13 @@ fn compare_multi_n_emits_one_table_per_n_and_a_json_artifact() {
     for n in [2, 4, 8] {
         assert!(text.contains(&format!("n = {n}")), "{text}");
     }
-    assert!(text.contains("wrote comparison JSON (15 run(s))"), "{text}");
+    assert!(text.contains("wrote comparison JSON (24 run(s))"), "{text}");
     let json = std::fs::read_to_string(&json_path).expect("JSON artifact written");
     assert!(json.contains("\"workload\": \"jacobi\""));
     assert_eq!(json.matches("\"protocol\": \"appl-driven\"").count(), 3);
-    assert_eq!(json.matches("\"msg_latency_p99_us\"").count(), 15);
-    assert_eq!(json.matches("\"coord_stall_us\"").count(), 15);
-    assert_eq!(json.matches("\"forced_checkpoints\"").count(), 15);
+    assert_eq!(json.matches("\"msg_latency_p99_us\"").count(), 24);
+    assert_eq!(json.matches("\"coord_stall_us\"").count(), 24);
+    assert_eq!(json.matches("\"forced_checkpoints\"").count(), 24);
 }
 
 #[test]
@@ -181,17 +181,17 @@ fn compare_sweep_streams_ci_rows_and_a_jsonl_artifact() {
         String::from_utf8_lossy(&out.stderr)
     );
     let text = stdout(&out);
-    // 2 ns × 1 λ × 5 protocols = 10 aggregate rows with ± CI cells.
+    // 2 ns × 1 λ × 8 protocols = 16 aggregate rows with ± CI cells.
     assert!(text.contains("workload"), "{text}");
     assert!(text.contains("appl-driven"), "{text}");
     assert!(text.contains('±'), "CI columns rendered: {text}");
-    assert!(text.contains("10 cells, 20 trials"), "{text}");
-    assert!(text.contains("wrote 10 aggregate row(s)"), "{text}");
+    assert!(text.contains("16 cells, 32 trials"), "{text}");
+    assert!(text.contains("wrote 16 aggregate row(s)"), "{text}");
     // Progress/ETA narration goes to stderr, not into the table.
     let err = String::from_utf8_lossy(&out.stderr);
-    assert!(err.contains("10/10 cells"), "{err}");
+    assert!(err.contains("16/16 cells"), "{err}");
     let jsonl = std::fs::read_to_string(&jsonl_path).expect("JSONL artifact written");
-    assert_eq!(jsonl.lines().count(), 10);
+    assert_eq!(jsonl.lines().count(), 16);
     for line in jsonl.lines() {
         assert!(line.starts_with('{') && line.ends_with('}'), "{line}");
         assert!(line.contains("\"overhead_ratio\":{\"mean\":"), "{line}");
@@ -318,8 +318,8 @@ fn sweep_telemetry_trailer_rides_the_jsonl_without_perturbing_rows() {
         let trailer = trailers[0];
         assert_eq!(with.lines().last().unwrap(), trailer, "trailer is last");
         for key in [
-            "\"cells\":10",
-            "\"trials\":20",
+            "\"cells\":16",
+            "\"trials\":32",
             "\"cell_wall_p99_us\":",
             "\"straggler_threshold_us\":",
             "\"workers\":[",
@@ -425,7 +425,7 @@ fn compare_profile_writes_a_merged_timeline() {
         "{}",
         String::from_utf8_lossy(&out.stderr)
     );
-    assert!(stdout(&out).contains("5 protocol track group(s)"));
+    assert!(stdout(&out).contains("8 protocol track group(s)"));
     let json = std::fs::read_to_string(&path).expect("profile written");
     for pid in 1..=5 {
         assert!(json.contains(&format!("\"pid\": {pid}")), "pid {pid}");

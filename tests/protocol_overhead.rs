@@ -7,8 +7,8 @@
 
 use acfc_mpsl::programs;
 use acfc_protocols::{
-    cl_control_messages, compare_all, run_protocol, sas_control_messages, CompareConfig,
-    ProtocolKind,
+    cl_control_messages, compare_all, run_protocol, sas_control_messages, CicVariant,
+    CompareConfig, ProtocolKind,
 };
 use acfc_sim::{compile, run_with_hooks, SimConfig};
 
@@ -108,7 +108,7 @@ fn per_checkpoint_stall_reflects_the_analytic_ordering() {
 fn cic_forces_but_does_not_message() {
     let s = run_protocol(
         &programs::jacobi(10),
-        ProtocolKind::IndexCic,
+        ProtocolKind::Cic(CicVariant::Index),
         &CompareConfig::builder(4)
             .interval_us(30_000)
             .build()
