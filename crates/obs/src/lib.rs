@@ -44,7 +44,10 @@
 //!   `acfc report` and the bench harness.
 //! * [`stats`] — [`CiAccum`]/[`CiSummary`], a mergeable Welford
 //!   accumulator producing mean/stddev/95% CI for replicated-trial
-//!   sweeps (the scalar complement of `LocalHist::merge`).
+//!   sweeps (the scalar complement of `LocalHist::merge`), plus
+//!   [`bootstrap_median_ci`], a seeded bootstrap over a pooled
+//!   [`HistSnapshot`] yielding median ± 95% percentile intervals for
+//!   heavy-tailed latency columns.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -66,7 +69,10 @@ pub use perfetto::TraceBuilder;
 pub use report::render;
 pub use serve::{prometheus_text, serve, MetricsServer};
 pub use span::{span, take_wall_spans, thread_labels, SpanGuard, WallSpan};
-pub use stats::{t_critical_95, CiAccum, CiSummary};
+pub use stats::{
+    bootstrap_median_ci, t_critical_95, CiAccum, CiSummary, MedianCi, BOOTSTRAP_MAX_DRAWS,
+    BOOTSTRAP_RESAMPLES,
+};
 
 /// `true` when instrumentation is both compiled in (`enabled` feature)
 /// and switched on at runtime via [`set_enabled`].

@@ -179,6 +179,132 @@ impl CiSummary {
     }
 }
 
+/// Bootstrap median and 95% percentile interval over a pooled
+/// [`HistSnapshot`](crate::HistSnapshot). All three values are bucket
+/// *bounds* in the sense of
+/// [`quantile_bound`](crate::HistSnapshot::quantile_bound): the
+/// exclusive upper edge of the bucket holding the order statistic, so
+/// they are directly comparable with the `p50`/`p99` columns they sit
+/// next to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MedianCi {
+    /// Median bound of the pooled distribution itself.
+    pub median: u64,
+    /// 2.5th percentile of the resampled medians (interval low edge).
+    pub lo: u64,
+    /// 97.5th percentile of the resampled medians (interval high edge).
+    pub hi: u64,
+    /// Resamples drawn.
+    pub resamples: u32,
+}
+
+/// Default bootstrap resample count used by the sweep columns.
+pub const BOOTSTRAP_RESAMPLES: u32 = 200;
+
+/// Per-resample draw cap. Resampling cost is `resamples × min(count,
+/// cap)`; capping turns the full bootstrap into an `m`-out-of-`n`
+/// bootstrap on huge pools, which only *widens* the interval.
+pub const BOOTSTRAP_MAX_DRAWS: u64 = 4096;
+
+/// splitmix64 — a tiny local generator so the bootstrap stays inside
+/// the crate's zero-dependency budget. Sequence quality is ample for
+/// resampling indices.
+struct SplitMix(u64);
+
+impl SplitMix {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw in `[0, n)` by rejection (no modulo bias).
+    fn below(&mut self, n: u64) -> u64 {
+        debug_assert!(n > 0);
+        let zone = u64::MAX - u64::MAX % n;
+        loop {
+            let x = self.next();
+            if x < zone {
+                return x % n;
+            }
+        }
+    }
+}
+
+/// Median bound of a discrete sample given per-bucket tallies aligned
+/// with `bounds`: the bound of the bucket where the cumulative count
+/// first reaches `ceil(total/2)`.
+fn median_bound(bounds: &[u64], tally: &[u64], total: u64) -> u64 {
+    let target = total.div_ceil(2);
+    let mut seen = 0u64;
+    for (i, &c) in tally.iter().enumerate() {
+        seen += c;
+        if seen >= target {
+            return bounds[i];
+        }
+    }
+    *bounds.last().expect("non-empty tally")
+}
+
+/// Bootstrap median ± 95% percentile interval of the distribution
+/// pooled in `snap` — the median-based companion to [`CiAccum`] for
+/// heavy-tailed columns, where a mean ± t-interval is dominated by the
+/// tail. Resampling is seeded and deterministic: the same snapshot,
+/// `resamples`, and `seed` always produce the same interval, so sweep
+/// output stays byte-identical at any thread count.
+///
+/// Returns `None` when the snapshot is empty or `resamples` is 0.
+pub fn bootstrap_median_ci(
+    snap: &crate::HistSnapshot,
+    resamples: u32,
+    seed: u64,
+) -> Option<MedianCi> {
+    if snap.count == 0 || resamples == 0 {
+        return None;
+    }
+    // The empirical distribution: per non-empty bucket, its upper
+    // bound (quantile_bound convention) and cumulative count.
+    let mut bounds = Vec::new();
+    let mut cum = Vec::new();
+    let mut seen = 0u64;
+    for (i, &c) in snap.buckets.iter().enumerate() {
+        if c > 0 {
+            seen += c;
+            bounds.push(if i == 0 { 0 } else { 1u64 << i });
+            cum.push(seen);
+        }
+    }
+    let total = snap.count;
+    let draws = total.min(BOOTSTRAP_MAX_DRAWS);
+    let mut rng = SplitMix(seed ^ 0x1957_0ca1_b007_57a9);
+    let mut meds = Vec::with_capacity(resamples as usize);
+    let mut tally = vec![0u64; bounds.len()];
+    for _ in 0..resamples {
+        tally.fill(0);
+        for _ in 0..draws {
+            let u = rng.below(total);
+            let b = cum.partition_point(|&c| c <= u);
+            tally[b] += 1;
+        }
+        meds.push(median_bound(&bounds, &tally, draws));
+    }
+    meds.sort_unstable();
+    // Percentile bootstrap: the 2.5th/97.5th order statistics of the
+    // resampled medians (ceil-rank, clamped to the sample).
+    let rank = |q: f64| -> u64 {
+        let r = (q * resamples as f64).ceil().max(1.0) as usize;
+        meds[r.min(meds.len()) - 1]
+    };
+    Some(MedianCi {
+        median: snap.quantile_bound(0.5),
+        lo: rank(0.025),
+        hi: rank(0.975),
+        resamples,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

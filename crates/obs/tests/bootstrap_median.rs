@@ -1,0 +1,128 @@
+//! Pins `bootstrap_median_ci` against a brute-force reference on small
+//! inputs: the reference replays the identical seeded draw sequence but
+//! materialises every resample as a sorted vector and takes the order
+//! statistic directly, instead of the tally-and-scan the production
+//! path uses. Any divergence in draw mapping, median definition, or
+//! percentile ranking shows up as an exact mismatch.
+
+use acfc_obs::{bootstrap_median_ci, LocalHist, MedianCi};
+
+/// The same splitmix64 the production bootstrap seeds itself with.
+struct SplitMix(u64);
+
+impl SplitMix {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        let zone = u64::MAX - u64::MAX % n;
+        loop {
+            let x = self.next();
+            if x < zone {
+                return x % n;
+            }
+        }
+    }
+}
+
+/// Brute-force reference: identical seeding and draw order, but each
+/// resample is materialised and sorted, and the median is the
+/// ceil(n/2)-th order statistic of the materialised values.
+fn reference(values: &[u64], resamples: u32, seed: u64) -> Option<MedianCi> {
+    if values.is_empty() || resamples == 0 {
+        return None;
+    }
+    let mut hist = LocalHist::new();
+    for &v in values {
+        hist.record(v);
+    }
+    let snap = hist.snap();
+    // The empirical distribution the production path sees: one entry
+    // per non-empty bucket, carrying the bucket's upper bound.
+    let mut pool: Vec<u64> = Vec::new();
+    for (i, &c) in snap.buckets.iter().enumerate() {
+        let bound = if i == 0 { 0 } else { 1u64 << i };
+        for _ in 0..c {
+            pool.push(bound);
+        }
+    }
+    let total = pool.len() as u64;
+    let mut rng = SplitMix(seed ^ 0x1957_0ca1_b007_57a9);
+    let mut meds = Vec::new();
+    for _ in 0..resamples {
+        let mut sample: Vec<u64> = (0..total)
+            .map(|_| pool[rng.below(total) as usize])
+            .collect();
+        sample.sort_unstable();
+        meds.push(sample[(total.div_ceil(2) - 1) as usize]);
+    }
+    meds.sort_unstable();
+    let rank = |q: f64| -> u64 {
+        let r = (q * resamples as f64).ceil().max(1.0) as usize;
+        meds[r.min(meds.len()) - 1]
+    };
+    Some(MedianCi {
+        median: snap.quantile_bound(0.5),
+        lo: rank(0.025),
+        hi: rank(0.975),
+        resamples,
+    })
+}
+
+fn snap_of(values: &[u64]) -> acfc_obs::HistSnapshot {
+    let mut hist = LocalHist::new();
+    for &v in values {
+        hist.record(v);
+    }
+    hist.snap()
+}
+
+#[test]
+fn matches_brute_force_reference_on_small_inputs() {
+    let cases: Vec<Vec<u64>> = vec![
+        vec![7],
+        vec![0, 0, 0, 1],
+        vec![1, 2, 3, 4, 5, 6, 7, 8, 9, 10],
+        vec![100, 100, 100, 4000, 4000, 250_000],
+        (0..40).map(|i| i * i).collect(),
+        vec![u64::MAX, 1, 2, 3],
+    ];
+    for (ci, values) in cases.iter().enumerate() {
+        for seed in [0u64, 1, 0xACFC, 0xDEAD_BEEF] {
+            let got = bootstrap_median_ci(&snap_of(values), 64, seed);
+            let want = reference(values, 64, seed);
+            assert_eq!(got, want, "case {ci} seed {seed:#x}");
+        }
+    }
+}
+
+#[test]
+fn empty_and_zero_resamples_are_absent() {
+    assert_eq!(bootstrap_median_ci(&snap_of(&[]), 100, 1), None);
+    assert_eq!(bootstrap_median_ci(&snap_of(&[1, 2, 3]), 0, 1), None);
+}
+
+#[test]
+fn degenerate_pool_gives_degenerate_interval() {
+    let m = bootstrap_median_ci(&snap_of(&[500; 12]), 100, 7).unwrap();
+    // Every draw lands in the same bucket, so the interval collapses.
+    assert_eq!(m.lo, m.hi);
+    assert_eq!(m.lo, m.median);
+}
+
+#[test]
+fn interval_is_ordered_and_deterministic() {
+    let values: Vec<u64> = (0..200).map(|i| (i * 37) % 10_000).collect();
+    let snap = snap_of(&values);
+    let a = bootstrap_median_ci(&snap, 200, 42).unwrap();
+    let b = bootstrap_median_ci(&snap, 200, 42).unwrap();
+    assert_eq!(a, b);
+    assert!(a.lo <= a.hi);
+    assert!(a.lo <= a.median && a.median <= a.hi);
+    assert_eq!(a.resamples, 200);
+}

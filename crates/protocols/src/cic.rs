@@ -70,15 +70,25 @@ impl CicVariant {
         }
     }
 
-    /// Parse a CLI spelling (`index`, `bcs`, `hmnr`, `lazy`).
-    pub fn parse(s: &str) -> Option<CicVariant> {
-        match s {
-            "index" => Some(CicVariant::Index),
-            "bcs" => Some(CicVariant::Bcs),
-            "hmnr" => Some(CicVariant::Hmnr),
-            "lazy" => Some(CicVariant::Lazy),
-            _ => None,
+    /// The bare `--cic` CLI spelling (`index`, `bcs`, `hmnr`, `lazy`)
+    /// — the family prefix dropped, the founding member spelled out.
+    pub fn cli_name(self) -> &'static str {
+        match self {
+            CicVariant::Index => "index",
+            CicVariant::Bcs => "bcs",
+            CicVariant::Hmnr => "hmnr",
+            CicVariant::Lazy => "lazy",
         }
+    }
+
+    /// Parse a CLI spelling (`index`, `bcs`, `hmnr`, `lazy`).
+    #[deprecated(
+        since = "0.1.0",
+        note = "use the `FromStr` impl (`s.parse::<CicVariant>()`), which also \
+                accepts display names and reports a typed ParseProtocolError"
+    )]
+    pub fn parse(s: &str) -> Option<CicVariant> {
+        s.parse().ok()
     }
 
     /// The obs counter bumped on every forced checkpoint.

@@ -75,6 +75,88 @@ impl ProtocolKind {
     }
 }
 
+impl std::fmt::Display for ProtocolKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Error from parsing a [`ProtocolKind`] (or [`CicVariant`]) name.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseProtocolError {
+    input: String,
+}
+
+impl ParseProtocolError {
+    /// The rejected input, verbatim.
+    pub fn input(&self) -> &str {
+        &self.input
+    }
+}
+
+impl std::fmt::Display for ParseProtocolError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "unknown protocol `{}` (expected one of: {}, \
+             or a bare CIC variant index|bcs|hmnr|lazy)",
+            self.input,
+            ProtocolKind::all().map(ProtocolKind::name).join(", "),
+        )
+    }
+}
+
+impl std::error::Error for ParseProtocolError {}
+
+impl std::str::FromStr for ProtocolKind {
+    type Err = ParseProtocolError;
+
+    /// Parses a protocol name. Accepts every [`ProtocolKind::name`]
+    /// spelling case-insensitively ("appl-driven", "SaS", "C-L",
+    /// "CIC-hmnr", …) plus the historical bare `--cic` variant
+    /// spellings (`index`, `bcs`, `hmnr`, `lazy`), so
+    /// `k.to_string().parse()` round-trips for every variant.
+    fn from_str(s: &str) -> Result<ProtocolKind, ParseProtocolError> {
+        let t = s.trim();
+        if let Some(k) = ProtocolKind::all()
+            .into_iter()
+            .find(|k| k.name().eq_ignore_ascii_case(t))
+        {
+            return Ok(k);
+        }
+        if let Some(v) = CicVariant::all()
+            .into_iter()
+            .find(|v| v.cli_name().eq_ignore_ascii_case(t))
+        {
+            return Ok(ProtocolKind::Cic(v));
+        }
+        Err(ParseProtocolError {
+            input: s.to_string(),
+        })
+    }
+}
+
+impl std::fmt::Display for CicVariant {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl std::str::FromStr for CicVariant {
+    type Err = ParseProtocolError;
+
+    /// Parses a CIC variant from either its display name ("CIC-bcs")
+    /// or the bare `--cic` spelling ("bcs"), case-insensitively.
+    fn from_str(s: &str) -> Result<CicVariant, ParseProtocolError> {
+        match s.parse::<ProtocolKind>()? {
+            ProtocolKind::Cic(v) => Ok(v),
+            _ => Err(ParseProtocolError {
+                input: s.to_string(),
+            }),
+        }
+    }
+}
+
 /// Largest process count the comparison machinery accepts. The engine's
 /// large-n core (calendar event queue, arena messages, O(Δ) clock
 /// piggybacks) makes thousands of ranks practical; the remaining bound
@@ -851,5 +933,41 @@ mod tests {
         assert!(CompareConfig::builder(16).build().is_ok());
         assert!(estimated_run_mib(4096) <= DEFAULT_MEMORY_BUDGET_MIB);
         assert!(estimated_run_mib(256) < estimated_run_mib(2048));
+    }
+
+    #[test]
+    fn protocol_kind_display_from_str_round_trips_exhaustively() {
+        for k in ProtocolKind::all() {
+            let rendered = k.to_string();
+            assert_eq!(rendered, k.name());
+            assert_eq!(rendered.parse::<ProtocolKind>(), Ok(k), "{rendered}");
+            // Case-insensitive, whitespace-tolerant.
+            assert_eq!(rendered.to_uppercase().parse::<ProtocolKind>(), Ok(k));
+            assert_eq!(rendered.to_lowercase().parse::<ProtocolKind>(), Ok(k));
+            assert_eq!(format!("  {rendered} ").parse::<ProtocolKind>(), Ok(k));
+        }
+        for v in CicVariant::all() {
+            // Bare `--cic` spellings resolve to the CIC member, both as
+            // a ProtocolKind and as a CicVariant.
+            assert_eq!(
+                v.cli_name().parse::<ProtocolKind>(),
+                Ok(ProtocolKind::Cic(v))
+            );
+            assert_eq!(v.cli_name().parse::<CicVariant>(), Ok(v));
+            assert_eq!(v.to_string().parse::<CicVariant>(), Ok(v));
+        }
+    }
+
+    #[test]
+    fn protocol_parse_errors_are_typed_and_list_the_alternatives() {
+        let err = "zaphod".parse::<ProtocolKind>().unwrap_err();
+        assert_eq!(err.input(), "zaphod");
+        let msg = err.to_string();
+        for k in ProtocolKind::all() {
+            assert!(msg.contains(k.name()), "{msg} missing {}", k.name());
+        }
+        // A non-CIC protocol name is not a CicVariant.
+        let err = "SaS".parse::<CicVariant>().unwrap_err();
+        assert_eq!(err.input(), "SaS");
     }
 }

@@ -504,11 +504,18 @@ impl AggRow {
 
     /// The row as a flat-ish JSON object: scalar coordinates plus one
     /// `{mean, stddev, ci95}` object per metric (`ci95` absent when
-    /// seeds < 2), and pooled-histogram percentile bounds. Render with
-    /// `render_line()` for JSONL.
+    /// seeds < 2), pooled-histogram percentile bounds, and a bootstrap
+    /// median ± 95% percentile interval over the pooled latency
+    /// distribution (`lat_pool_median{,_lo,_hi}_us`; absent when no
+    /// latency was pooled). Render with `render_line()` for JSONL.
     pub fn json(&self) -> Json {
         let pool = self.latency.percentiles();
-        Json::new()
+        let boot = acfc_obs::bootstrap_median_ci(
+            &self.latency,
+            acfc_obs::BOOTSTRAP_RESAMPLES,
+            BOOTSTRAP_SEED,
+        );
+        let mut j = Json::new()
             .str("workload", &self.workload)
             .num("n", self.n as f64)
             .num("lambda", self.lambda)
@@ -539,9 +546,21 @@ impl AggRow {
             .raw("lat_p50_us", ci_json(&self.lat_p50_us).render_line())
             .raw("lat_p99_us", ci_json(&self.lat_p99_us).render_line())
             .num("lat_pool_p50_us", pool.p50 as f64)
-            .num("lat_pool_p99_us", pool.p99 as f64)
+            .num("lat_pool_p99_us", pool.p99 as f64);
+        if let Some(m) = boot {
+            j = j
+                .num("lat_pool_median_us", m.median as f64)
+                .num("lat_pool_median_lo_us", m.lo as f64)
+                .num("lat_pool_median_hi_us", m.hi as f64);
+        }
+        j
     }
 }
+
+/// Fixed seed for the per-row latency bootstrap: output depends only on
+/// the pooled histogram itself, keeping rows byte-identical at any
+/// `ACFC_THREADS`.
+const BOOTSTRAP_SEED: u64 = 0xACFC_B007;
 
 /// Streaming progress for a sink: how far the emission has got.
 #[derive(Debug, Clone, Copy)]
@@ -1412,6 +1431,41 @@ mod tests {
         assert!(!text.contains("NaN"));
         assert!(!text.contains("ci95"));
         assert!(text.contains("\"lat_pool_p50_us\""));
+        // The bootstrap median interval rides the pooled histogram, so
+        // it exists even at seeds = 1 (the pool holds every message of
+        // the single trial).
+        assert!(text.contains("\"lat_pool_median_us\""));
+        assert!(text.contains("\"lat_pool_median_lo_us\""));
+        assert!(text.contains("\"lat_pool_median_hi_us\""));
+    }
+
+    #[test]
+    fn bootstrap_median_columns_are_ordered_and_match_the_pool() {
+        let plan = tiny_plan(2);
+        let mut collect = CollectSink::default();
+        run_sweep_threads(&plan, 1, &mut [&mut collect]);
+        let mut saw_pooled = false;
+        for row in &collect.rows {
+            if row.latency.count == 0 {
+                continue;
+            }
+            saw_pooled = true;
+            let m = acfc_obs::bootstrap_median_ci(
+                &row.latency,
+                acfc_obs::BOOTSTRAP_RESAMPLES,
+                super::BOOTSTRAP_SEED,
+            )
+            .expect("non-empty pool bootstraps");
+            assert!(m.lo <= m.hi, "{:?}", m);
+            // The reported median is the pool's own p50 bound.
+            assert_eq!(m.median, row.latency.quantile_bound(0.5));
+            // And the row's JSON carries exactly these values.
+            let line = row.json().render_line();
+            assert!(line.contains(&format!("\"lat_pool_median_us\":{}", m.median)));
+            assert!(line.contains(&format!("\"lat_pool_median_lo_us\":{}", m.lo)));
+            assert!(line.contains(&format!("\"lat_pool_median_hi_us\":{}", m.hi)));
+        }
+        assert!(saw_pooled);
     }
 
     #[test]

@@ -1,0 +1,656 @@
+//! Durable [`StateBackend`] implementations for the live runtime.
+//!
+//! Three stores, one contract (commit visibility is all-or-nothing,
+//! crash during commit leaves the previous committed set intact):
+//!
+//! * [`InMemoryBackend`] — a plain map; the fastest option and the
+//!   reference the durable backends are differential-tested against.
+//! * [`FileBackend`] — one file per checkpoint under
+//!   `<dir>/p<rank>/`, written as tmp-file + CRC32 frame + atomic
+//!   rename, so a torn write can never be observed under the committed
+//!   name.
+//! * [`LogStructuredBackend`] — a single append-only log of CRC-framed
+//!   snapshot and tombstone records with offline compaction; a torn
+//!   tail frame is detected and truncated on reopen.
+//!
+//! Both durable backends expose a one-shot [`CrashPoint`] injection so
+//! the kill/recover property tests can crash a commit at its most
+//! hostile instant and assert the contract holds.
+
+use acfc_sim::{BackendError, StateBackend, StateSnapshot};
+use std::collections::BTreeMap;
+use std::io::{Read, Seek, Write};
+use std::path::{Path, PathBuf};
+
+/// CRC-32 (IEEE 802.3, reflected) over `bytes`.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    // Table built once; 256 entries of the reflected polynomial.
+    static TABLE: std::sync::OnceLock<[u32; 256]> = std::sync::OnceLock::new();
+    let table = TABLE.get_or_init(|| {
+        let mut t = [0u32; 256];
+        let mut i = 0u32;
+        while i < 256 {
+            let mut c = i;
+            let mut k = 0;
+            while k < 8 {
+                c = if c & 1 != 0 {
+                    0xEDB8_8320 ^ (c >> 1)
+                } else {
+                    c >> 1
+                };
+                k += 1;
+            }
+            t[i as usize] = c;
+            i += 1;
+        }
+        t
+    });
+    let mut c = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        c = table[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+    }
+    c ^ 0xFFFF_FFFF
+}
+
+/// Where an injected crash fires during a durable commit. One-shot:
+/// the injection trips once, fails the commit with
+/// [`BackendError::Io`], and resets to [`CrashPoint::None`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CrashPoint {
+    /// No injection.
+    #[default]
+    None,
+    /// Crash after writing roughly half the payload bytes (a torn
+    /// write).
+    MidWrite,
+    /// Crash after the payload is fully written and synced but before
+    /// it becomes visible under the committed name (before the rename,
+    /// or before the log index accepts the frame).
+    BeforeCommit,
+}
+
+/// The all-in-memory backend (`"mem"`): no durability, full speed.
+#[derive(Debug, Default)]
+pub struct InMemoryBackend {
+    committed: BTreeMap<(usize, u64), StateSnapshot>,
+}
+
+impl InMemoryBackend {
+    /// An empty backend.
+    pub fn new() -> InMemoryBackend {
+        InMemoryBackend::default()
+    }
+}
+
+impl StateBackend for InMemoryBackend {
+    fn name(&self) -> &'static str {
+        "mem"
+    }
+
+    fn commit(&mut self, snap: &StateSnapshot) -> Result<(), BackendError> {
+        self.committed.insert((snap.proc, snap.seq), snap.clone());
+        Ok(())
+    }
+
+    fn load(&mut self, proc: usize, seq: u64) -> Result<StateSnapshot, BackendError> {
+        self.committed
+            .get(&(proc, seq))
+            .cloned()
+            .ok_or(BackendError::Missing { proc, seq })
+    }
+
+    fn committed(&mut self) -> Result<Vec<(usize, u64)>, BackendError> {
+        Ok(self.committed.keys().copied().collect())
+    }
+
+    fn discard_after(&mut self, proc: usize, seq: u64) -> Result<(), BackendError> {
+        self.committed.retain(|&(p, s), _| p != proc || s <= seq);
+        Ok(())
+    }
+}
+
+/// Frame layout shared by the durable stores: payload length, CRC-32
+/// of the payload, then the payload.
+fn frame(payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(12 + payload.len());
+    out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+    out.extend_from_slice(&crc32(payload).to_le_bytes());
+    out.extend_from_slice(payload);
+    out
+}
+
+/// Parses one frame from `bytes`, returning the payload and the total
+/// frame length consumed.
+fn unframe(bytes: &[u8]) -> Result<(&[u8], usize), BackendError> {
+    if bytes.len() < 12 {
+        return Err(BackendError::Corrupt("short frame header".into()));
+    }
+    let len = u64::from_le_bytes(bytes[0..8].try_into().unwrap()) as usize;
+    let crc = u32::from_le_bytes(bytes[8..12].try_into().unwrap());
+    let end = 12usize
+        .checked_add(len)
+        .filter(|&e| e <= bytes.len())
+        .ok_or_else(|| BackendError::Corrupt("truncated frame".into()))?;
+    let payload = &bytes[12..end];
+    if crc32(payload) != crc {
+        return Err(BackendError::Corrupt("frame checksum mismatch".into()));
+    }
+    Ok((payload, end))
+}
+
+/// One file per checkpoint (`"file"`): `<dir>/p<rank>/s<seq>.ckpt`,
+/// committed by atomic rename of a CRC-framed tmp file.
+#[derive(Debug)]
+pub struct FileBackend {
+    dir: PathBuf,
+    crash: CrashPoint,
+    tmp_counter: u64,
+}
+
+impl FileBackend {
+    /// Opens (creating if needed) a backend rooted at `dir`. Any stale
+    /// `*.tmp` files from a previous crash are removed — they were
+    /// never committed.
+    pub fn open(dir: impl Into<PathBuf>) -> Result<FileBackend, BackendError> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir)?;
+        for proc_dir in std::fs::read_dir(&dir)? {
+            let proc_dir = proc_dir?.path();
+            if !proc_dir.is_dir() {
+                continue;
+            }
+            for f in std::fs::read_dir(&proc_dir)? {
+                let f = f?.path();
+                if f.extension().is_some_and(|e| e == "tmp") {
+                    std::fs::remove_file(&f)?;
+                }
+            }
+        }
+        Ok(FileBackend {
+            dir,
+            crash: CrashPoint::None,
+            tmp_counter: 0,
+        })
+    }
+
+    /// The backend's root directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Arms a one-shot crash injection for the next commit.
+    pub fn set_crash(&mut self, at: CrashPoint) {
+        self.crash = at;
+    }
+
+    fn path_of(&self, proc: usize, seq: u64) -> PathBuf {
+        self.dir
+            .join(format!("p{proc}"))
+            .join(format!("s{seq:010}.ckpt"))
+    }
+
+    fn parse_entry(path: &Path) -> Option<u64> {
+        let name = path.file_name()?.to_str()?;
+        let seq = name.strip_prefix('s')?.strip_suffix(".ckpt")?;
+        seq.parse().ok()
+    }
+}
+
+impl StateBackend for FileBackend {
+    fn name(&self) -> &'static str {
+        "file"
+    }
+
+    fn commit(&mut self, snap: &StateSnapshot) -> Result<(), BackendError> {
+        let crash = std::mem::take(&mut self.crash);
+        let final_path = self.path_of(snap.proc, snap.seq);
+        std::fs::create_dir_all(final_path.parent().expect("proc dir"))?;
+        self.tmp_counter += 1;
+        let tmp = final_path.with_extension(format!("{}.tmp", self.tmp_counter));
+        let framed = frame(&snap.encode());
+        let mut f = std::fs::File::create(&tmp)?;
+        if crash == CrashPoint::MidWrite {
+            f.write_all(&framed[..framed.len() / 2])?;
+            f.sync_all()?;
+            return Err(BackendError::Io("injected crash mid-write".into()));
+        }
+        f.write_all(&framed)?;
+        f.sync_all()?;
+        if crash == CrashPoint::BeforeCommit {
+            return Err(BackendError::Io("injected crash before rename".into()));
+        }
+        std::fs::rename(&tmp, &final_path)?;
+        Ok(())
+    }
+
+    fn load(&mut self, proc: usize, seq: u64) -> Result<StateSnapshot, BackendError> {
+        let path = self.path_of(proc, seq);
+        let bytes = match std::fs::read(&path) {
+            Ok(b) => b,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                return Err(BackendError::Missing { proc, seq })
+            }
+            Err(e) => return Err(e.into()),
+        };
+        let (payload, used) = unframe(&bytes)?;
+        if used != bytes.len() {
+            return Err(BackendError::Corrupt("trailing bytes in frame".into()));
+        }
+        let snap = StateSnapshot::decode(payload)?;
+        if snap.proc != proc || snap.seq != seq {
+            return Err(BackendError::Corrupt(format!(
+                "payload identity ({}, {}) does not match path ({proc}, {seq})",
+                snap.proc, snap.seq
+            )));
+        }
+        Ok(snap)
+    }
+
+    fn committed(&mut self) -> Result<Vec<(usize, u64)>, BackendError> {
+        let mut out = Vec::new();
+        for proc_dir in std::fs::read_dir(&self.dir)? {
+            let proc_dir = proc_dir?.path();
+            let Some(proc) = proc_dir
+                .file_name()
+                .and_then(|n| n.to_str())
+                .and_then(|n| n.strip_prefix('p'))
+                .and_then(|n| n.parse::<usize>().ok())
+            else {
+                continue;
+            };
+            for f in std::fs::read_dir(&proc_dir)? {
+                let f = f?.path();
+                if let Some(seq) = Self::parse_entry(&f) {
+                    out.push((proc, seq));
+                }
+            }
+        }
+        out.sort_unstable();
+        Ok(out)
+    }
+
+    fn discard_after(&mut self, proc: usize, seq: u64) -> Result<(), BackendError> {
+        for (p, s) in self.committed()? {
+            if p == proc && s > seq {
+                std::fs::remove_file(self.path_of(p, s))?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Record kinds in the log-structured store.
+const REC_SNAPSHOT: u8 = 1;
+const REC_TOMBSTONE: u8 = 2;
+
+/// A single append-only log (`"log"`): CRC-framed snapshot and
+/// tombstone records, with an in-memory index rebuilt by replay and
+/// [`compact`](LogStructuredBackend::compact) rewriting the live set.
+#[derive(Debug)]
+pub struct LogStructuredBackend {
+    path: PathBuf,
+    file: std::fs::File,
+    /// Committed set → byte offset and payload length of the latest
+    /// snapshot record.
+    index: BTreeMap<(usize, u64), (u64, usize)>,
+    /// Bytes of dead (superseded or tombstoned) records — the
+    /// compaction trigger metric.
+    dead_bytes: u64,
+    crash: CrashPoint,
+}
+
+impl LogStructuredBackend {
+    /// Opens (creating if needed) the log at `path`, replaying it to
+    /// rebuild the index. A torn tail frame — the signature of a crash
+    /// mid-append — is truncated away; any earlier corruption is an
+    /// error.
+    pub fn open(path: impl Into<PathBuf>) -> Result<LogStructuredBackend, BackendError> {
+        let path = path.into();
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent)?;
+            }
+        }
+        let mut file = std::fs::OpenOptions::new()
+            .create(true)
+            .read(true)
+            .append(true)
+            .open(&path)?;
+        let mut bytes = Vec::new();
+        file.read_to_end(&mut bytes)?;
+        let mut index = BTreeMap::new();
+        let mut dead_bytes = 0u64;
+        let mut at = 0usize;
+        while at < bytes.len() {
+            let (payload, used) = match unframe(&bytes[at..]) {
+                Ok(x) => x,
+                Err(_) if at + 12 + frame_len_hint(&bytes[at..]) > bytes.len() => {
+                    // Torn tail: drop it and everything after.
+                    drop(file);
+                    let f = std::fs::OpenOptions::new().write(true).open(&path)?;
+                    f.set_len(at as u64)?;
+                    f.sync_all()?;
+                    file = std::fs::OpenOptions::new()
+                        .create(true)
+                        .read(true)
+                        .append(true)
+                        .open(&path)?;
+                    file.seek(std::io::SeekFrom::End(0))?;
+                    break;
+                }
+                Err(e) => return Err(e),
+            };
+            match payload.first() {
+                Some(&REC_SNAPSHOT) => {
+                    let snap = StateSnapshot::decode(&payload[1..])?;
+                    if let Some((_, old_len)) = index.insert(
+                        (snap.proc, snap.seq),
+                        (at as u64 + 12 + 1, payload.len() - 1),
+                    ) {
+                        dead_bytes += old_len as u64 + 13;
+                    }
+                }
+                Some(&REC_TOMBSTONE) => {
+                    if payload.len() != 17 {
+                        return Err(BackendError::Corrupt("bad tombstone length".into()));
+                    }
+                    let proc = u64::from_le_bytes(payload[1..9].try_into().unwrap()) as usize;
+                    let seq = u64::from_le_bytes(payload[9..17].try_into().unwrap());
+                    let before = index.len();
+                    index.retain(|&(p, s), _| p != proc || s <= seq);
+                    dead_bytes += (before - index.len()) as u64 * 64 + 29;
+                }
+                _ => return Err(BackendError::Corrupt("unknown record kind".into())),
+            }
+            at += used;
+        }
+        Ok(LogStructuredBackend {
+            path,
+            file,
+            index,
+            dead_bytes,
+            crash: CrashPoint::None,
+        })
+    }
+
+    /// The log file path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Arms a one-shot crash injection for the next commit.
+    pub fn set_crash(&mut self, at: CrashPoint) {
+        self.crash = at;
+    }
+
+    /// Bytes occupied by superseded or tombstoned records.
+    pub fn dead_bytes(&self) -> u64 {
+        self.dead_bytes
+    }
+
+    fn append(&mut self, payload: &[u8], crash: CrashPoint) -> Result<u64, BackendError> {
+        let framed = frame(payload);
+        let offset = self.file.seek(std::io::SeekFrom::End(0))?;
+        if crash == CrashPoint::MidWrite {
+            self.file.write_all(&framed[..framed.len() / 2])?;
+            self.file.sync_all()?;
+            return Err(BackendError::Io("injected crash mid-append".into()));
+        }
+        self.file.write_all(&framed)?;
+        self.file.sync_all()?;
+        Ok(offset)
+    }
+
+    /// Rewrites the log keeping only the live snapshot set (newest
+    /// record per committed `(proc, seq)`), via tmp file + atomic
+    /// rename. Resets [`dead_bytes`](LogStructuredBackend::dead_bytes)
+    /// to zero.
+    pub fn compact(&mut self) -> Result<(), BackendError> {
+        let live: Vec<StateSnapshot> = self
+            .index
+            .keys()
+            .copied()
+            .collect::<Vec<_>>()
+            .into_iter()
+            .map(|(p, s)| self.load(p, s))
+            .collect::<Result<_, _>>()?;
+        let tmp = self.path.with_extension("compact.tmp");
+        {
+            let mut f = std::fs::File::create(&tmp)?;
+            for snap in &live {
+                let mut payload = Vec::with_capacity(64);
+                payload.push(REC_SNAPSHOT);
+                payload.extend_from_slice(&snap.encode());
+                f.write_all(&frame(&payload))?;
+            }
+            f.sync_all()?;
+        }
+        std::fs::rename(&tmp, &self.path)?;
+        // Reopen and rebuild the index against the fresh file.
+        *self = LogStructuredBackend::open(std::mem::take(&mut self.path))?;
+        Ok(())
+    }
+}
+
+/// Best-effort frame length from a possibly-short header, for the
+/// torn-tail test in replay.
+fn frame_len_hint(bytes: &[u8]) -> usize {
+    if bytes.len() < 8 {
+        return usize::MAX / 4;
+    }
+    u64::from_le_bytes(bytes[0..8].try_into().unwrap()) as usize
+}
+
+impl StateBackend for LogStructuredBackend {
+    fn name(&self) -> &'static str {
+        "log"
+    }
+
+    fn commit(&mut self, snap: &StateSnapshot) -> Result<(), BackendError> {
+        let crash = std::mem::take(&mut self.crash);
+        let mut payload = Vec::with_capacity(64);
+        payload.push(REC_SNAPSHOT);
+        payload.extend_from_slice(&snap.encode());
+        let offset = self.append(&payload, crash)?;
+        if crash == CrashPoint::BeforeCommit {
+            // The frame is durable but the index never accepts it; on
+            // reopen the replay *will* see it, which is fine — commit
+            // is allowed to complete durably and only report failure.
+            return Err(BackendError::Io("injected crash before index".into()));
+        }
+        if let Some((_, old_len)) = self
+            .index
+            .insert((snap.proc, snap.seq), (offset + 13, payload.len() - 1))
+        {
+            self.dead_bytes += old_len as u64 + 13;
+        }
+        Ok(())
+    }
+
+    fn load(&mut self, proc: usize, seq: u64) -> Result<StateSnapshot, BackendError> {
+        let &(offset, len) = self
+            .index
+            .get(&(proc, seq))
+            .ok_or(BackendError::Missing { proc, seq })?;
+        let mut buf = vec![0u8; len];
+        self.file.seek(std::io::SeekFrom::Start(offset))?;
+        self.file.read_exact(&mut buf)?;
+        StateSnapshot::decode(&buf)
+    }
+
+    fn committed(&mut self) -> Result<Vec<(usize, u64)>, BackendError> {
+        Ok(self.index.keys().copied().collect())
+    }
+
+    fn discard_after(&mut self, proc: usize, seq: u64) -> Result<(), BackendError> {
+        let dropped: Vec<(usize, u64)> = self
+            .index
+            .keys()
+            .copied()
+            .filter(|&(p, s)| p == proc && s > seq)
+            .collect();
+        if dropped.is_empty() {
+            return Ok(());
+        }
+        let mut payload = Vec::with_capacity(17);
+        payload.push(REC_TOMBSTONE);
+        payload.extend_from_slice(&(proc as u64).to_le_bytes());
+        payload.extend_from_slice(&seq.to_le_bytes());
+        self.append(&payload, CrashPoint::None)?;
+        for k in dropped {
+            if let Some((_, len)) = self.index.remove(&k) {
+                self.dead_bytes += len as u64 + 13;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Builds a backend by CLI name (`mem` | `file` | `log`). File-backed
+/// stores live under `dir`.
+pub fn backend_for(name: &str, dir: &Path) -> Result<Box<dyn StateBackend + Send>, BackendError> {
+    match name {
+        "mem" => Ok(Box::new(InMemoryBackend::new())),
+        "file" => Ok(Box::new(FileBackend::open(dir)?)),
+        "log" => Ok(Box::new(LogStructuredBackend::open(dir.join("log.acfc"))?)),
+        other => Err(BackendError::Io(format!(
+            "unknown backend `{other}` (expected mem, file, or log)"
+        ))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn snap(proc: usize, seq: u64) -> StateSnapshot {
+        StateSnapshot {
+            proc,
+            seq,
+            trigger: acfc_sim::CkptTrigger::AppStatement,
+            label: None,
+            pc: seq as usize * 3,
+            step: seq * 10,
+            nprocs: 4,
+            vars: vec![("x".into(), seq as i64)],
+            vc: vec![(proc as u32, seq)],
+            stmt_instances: vec![(1, seq)],
+        }
+    }
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("acfc-backend-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&d);
+        std::fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    fn exercise(b: &mut dyn StateBackend) {
+        for p in 0..3 {
+            for s in 1..=4 {
+                b.commit(&snap(p, s)).unwrap();
+            }
+        }
+        // Replace-on-recommit.
+        b.commit(&snap(1, 2)).unwrap();
+        assert_eq!(b.committed().unwrap().len(), 12);
+        assert_eq!(b.latest(2).unwrap(), Some(4));
+        assert_eq!(b.load(1, 2).unwrap(), snap(1, 2));
+        assert!(matches!(
+            b.load(0, 99),
+            Err(BackendError::Missing { proc: 0, seq: 99 })
+        ));
+        b.discard_after(1, 2).unwrap();
+        assert_eq!(b.latest(1).unwrap(), Some(2));
+        assert_eq!(b.committed().unwrap().len(), 10);
+    }
+
+    #[test]
+    fn crc32_known_vectors() {
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+    }
+
+    #[test]
+    fn all_backends_honour_the_contract() {
+        exercise(&mut InMemoryBackend::new());
+        let d = tmpdir("file-contract");
+        exercise(&mut FileBackend::open(&d).unwrap());
+        let _ = std::fs::remove_dir_all(&d);
+        let d = tmpdir("log-contract");
+        exercise(&mut LogStructuredBackend::open(d.join("log.acfc")).unwrap());
+        let _ = std::fs::remove_dir_all(&d);
+    }
+
+    #[test]
+    fn file_backend_survives_reopen_and_crash_points() {
+        let d = tmpdir("file-crash");
+        let mut b = FileBackend::open(&d).unwrap();
+        b.commit(&snap(0, 1)).unwrap();
+        // Mid-write crash: tmp file torn, committed set untouched.
+        b.set_crash(CrashPoint::MidWrite);
+        assert!(b.commit(&snap(0, 2)).is_err());
+        // Before-rename crash: payload durable but invisible.
+        b.set_crash(CrashPoint::BeforeCommit);
+        assert!(b.commit(&snap(0, 3)).is_err());
+        let mut b = FileBackend::open(&d).unwrap();
+        assert_eq!(b.committed().unwrap(), vec![(0, 1)]);
+        assert_eq!(b.load(0, 1).unwrap(), snap(0, 1));
+        // And the crashed commits can be retried.
+        b.commit(&snap(0, 2)).unwrap();
+        assert_eq!(b.committed().unwrap(), vec![(0, 1), (0, 2)]);
+        let _ = std::fs::remove_dir_all(&d);
+    }
+
+    #[test]
+    fn log_backend_truncates_torn_tail_on_reopen() {
+        let d = tmpdir("log-torn");
+        let path = d.join("log.acfc");
+        {
+            let mut b = LogStructuredBackend::open(&path).unwrap();
+            b.commit(&snap(0, 1)).unwrap();
+            b.commit(&snap(1, 1)).unwrap();
+            b.set_crash(CrashPoint::MidWrite);
+            assert!(b.commit(&snap(0, 2)).is_err());
+        }
+        let mut b = LogStructuredBackend::open(&path).unwrap();
+        assert_eq!(b.committed().unwrap(), vec![(0, 1), (1, 1)]);
+        assert_eq!(b.load(0, 1).unwrap(), snap(0, 1));
+        let _ = std::fs::remove_dir_all(&d);
+    }
+
+    #[test]
+    fn log_backend_compacts_to_live_set() {
+        let d = tmpdir("log-compact");
+        let path = d.join("log.acfc");
+        let mut b = LogStructuredBackend::open(&path).unwrap();
+        for s in 1..=5 {
+            b.commit(&snap(0, s)).unwrap();
+        }
+        b.commit(&snap(0, 3)).unwrap(); // supersede
+        b.discard_after(0, 3).unwrap(); // tombstone 4, 5
+        assert!(b.dead_bytes() > 0);
+        let before = std::fs::metadata(&path).unwrap().len();
+        b.compact().unwrap();
+        let after = std::fs::metadata(&path).unwrap().len();
+        assert!(after < before, "{after} >= {before}");
+        assert_eq!(b.dead_bytes(), 0);
+        assert_eq!(b.committed().unwrap(), vec![(0, 1), (0, 2), (0, 3)]);
+        assert_eq!(b.load(0, 3).unwrap(), snap(0, 3));
+        // Reopen agrees.
+        drop(b);
+        let mut b = LogStructuredBackend::open(&path).unwrap();
+        assert_eq!(b.committed().unwrap(), vec![(0, 1), (0, 2), (0, 3)]);
+        let _ = std::fs::remove_dir_all(&d);
+    }
+
+    #[test]
+    fn backend_for_selects_by_name() {
+        let d = tmpdir("select");
+        assert_eq!(backend_for("mem", &d).unwrap().name(), "mem");
+        assert_eq!(backend_for("file", &d).unwrap().name(), "file");
+        assert_eq!(backend_for("log", &d).unwrap().name(), "log");
+        assert!(backend_for("zfs", &d).is_err());
+        let _ = std::fs::remove_dir_all(&d);
+    }
+}

@@ -1,0 +1,1061 @@
+//! Free-running scheduler: one OS thread per worker over real `mpsc`
+//! channels.
+//!
+//! Each worker executes its lowered instruction stream on its own
+//! thread, advancing a *virtual* cost-model clock (the same cost
+//! constants as the simulator) that drives protocol timers and the
+//! [`FailureInjector`]'s kill schedule. Receives block on the worker's
+//! real channel; sends go through real `Sender` handles. Interleaving
+//! is whatever the OS scheduler produces — the point of this mode is
+//! that checkpointing correctness must not depend on event order, and
+//! the kill/recover tests drive exactly that.
+//!
+//! Recovery is stop-the-world and *backend-driven*: when a worker
+//! crashes, every worker winds down, the controller reads the committed
+//! snapshot set back out of the [`StateBackend`] (nothing is recovered
+//! from worker memory — the dead thread's state is gone), picks the
+//! recovery line with the coordinator's [`CutPicker`], re-injects the
+//! messages that were in transit at the cut from the sender-side send
+//! log, and respawns all workers from the restored states. Messages a
+//! rolled-back send produced are dropped; messages received after the
+//! cut are re-delivered — the same orphan/in-transit classification the
+//! simulator's rollback performs, driven by the same per-process step
+//! numbers.
+
+use crate::coordinator::CheckpointCoordinator;
+use crate::report::{outcome_name, trigger_name, RunEvent, RunReport};
+use acfc_mpsl::lowered::{eval_ops, Op, SlotEnv};
+use acfc_mpsl::{EvalError, StmtId};
+use acfc_sim::backend::{StateBackend, StateSnapshot};
+use acfc_sim::bytecode::{Compiled, ExprRef, LowInstr, LowSrc, NO_LABEL};
+use acfc_sim::failure::RecoveryView;
+use acfc_sim::trace::{CheckpointRecord, CkptTrigger, MessageRecord, MsgId, Outcome};
+use acfc_sim::{CoordinationCost, CutPicker, FailurePlan, SimConfig, SimTime, VectorClock};
+use std::collections::{BTreeMap, VecDeque};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// Kill schedule for the failure injector: `(virtual_time_us, proc)`
+/// pairs. A kill fires the first time the victim's virtual clock
+/// reaches the deadline; each entry fires at most once.
+#[derive(Debug, Clone, Default)]
+pub struct FailureInjector {
+    kills: Vec<(u64, usize)>,
+}
+
+impl FailureInjector {
+    /// No kills.
+    pub fn none() -> FailureInjector {
+        FailureInjector::default()
+    }
+
+    /// Kills from explicit `(virtual_time_us, proc)` pairs.
+    pub fn at(kills: Vec<(u64, usize)>) -> FailureInjector {
+        let mut f = FailureInjector { kills };
+        f.kills.sort_unstable();
+        f
+    }
+
+    /// Parses one CLI kill spec `proc@vtime_us` (e.g. `1@250000`).
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable message for malformed specs.
+    pub fn parse_spec(spec: &str) -> Result<(u64, usize), String> {
+        let (p, t) = spec
+            .split_once('@')
+            .ok_or_else(|| format!("kill spec '{spec}' is not of the form proc@vtime_us"))?;
+        let proc: usize = p
+            .trim()
+            .parse()
+            .map_err(|_| format!("kill spec '{spec}': bad proc '{p}'"))?;
+        let at: u64 = t
+            .trim()
+            .parse()
+            .map_err(|_| format!("kill spec '{spec}': bad virtual time '{t}'"))?;
+        Ok((at, proc))
+    }
+
+    /// Adds one kill.
+    pub fn push(&mut self, at_us: u64, proc: usize) {
+        self.kills.push((at_us, proc));
+        self.kills.sort_unstable();
+    }
+
+    /// The schedule as a simulator [`FailurePlan`] (for the
+    /// deterministic scheduler).
+    pub fn plan(&self) -> FailurePlan {
+        FailurePlan::at(
+            self.kills
+                .iter()
+                .map(|&(at, p)| (SimTime::from_micros(at), p))
+                .collect(),
+        )
+    }
+
+    /// Whether any kills are scheduled.
+    pub fn is_empty(&self) -> bool {
+        self.kills.is_empty()
+    }
+}
+
+/// Wall-clock knobs of the free-running scheduler (virtual time is
+/// governed by [`SimConfig`]'s cost model, not by these).
+#[derive(Debug, Clone)]
+pub struct FreeConfig {
+    /// Poll interval while blocked on a receive (abort checks).
+    pub poll: Duration,
+    /// A worker blocked longer than this without any arrival declares
+    /// the run deadlocked.
+    pub idle_timeout: Duration,
+    /// Upper bound on recovery rounds (defence against a kill schedule
+    /// that keeps restoring to a state that re-crashes).
+    pub max_recoveries: u32,
+}
+
+impl Default for FreeConfig {
+    fn default() -> FreeConfig {
+        FreeConfig {
+            poll: Duration::from_millis(1),
+            idle_timeout: Duration::from_secs(5),
+            max_recoveries: 64,
+        }
+    }
+}
+
+/// One wire message between workers. Clocks travel dense (`n` is small
+/// in free mode — real threads, not simulated ranks).
+struct Packet {
+    from: usize,
+    /// Index into the shared send log.
+    idx: usize,
+    vc: Vec<u64>,
+    piggyback: u64,
+    bits: u64,
+    sent_at: u64,
+}
+
+/// Sender-side log entry: everything recovery needs to classify the
+/// message against a cut and re-inject it if it was in transit.
+struct SentMsg {
+    from: usize,
+    to: usize,
+    bits: u64,
+    stmt: StmtId,
+    send_step: u64,
+    send_vc: Vec<u64>,
+    piggyback: u64,
+    sent_at: u64,
+    recv_step: Option<u64>,
+    rolled_back: bool,
+}
+
+struct Shared<'a> {
+    compiled: &'a Compiled,
+    config: &'a SimConfig,
+    params: Vec<Option<i64>>,
+    coord: Mutex<&'a mut dyn CheckpointCoordinator>,
+    backend: Mutex<&'a mut (dyn StateBackend + Send)>,
+    log: Mutex<Vec<SentMsg>>,
+    events: Mutex<Vec<RunEvent>>,
+    /// Virtual commit time of each `(proc, seq)` — lost-work accounting
+    /// (the portable snapshot itself carries no clock).
+    ckpt_times: Mutex<BTreeMap<(usize, u64), u64>>,
+    abort: AtomicBool,
+    crash: Mutex<Option<(usize, u64)>>,
+    fatal: Mutex<Option<Outcome>>,
+    use_timer: bool,
+    passive: bool,
+}
+
+impl Shared<'_> {
+    fn raise(&self, o: Outcome) {
+        self.fatal.lock().unwrap().get_or_insert(o);
+        self.abort.store(true, Ordering::SeqCst);
+    }
+
+    fn event(&self, e: RunEvent) {
+        self.events.lock().unwrap().push(e);
+    }
+}
+
+/// Everything a worker thread owns between rounds; survives recovery in
+/// the controller (restored from the backend, not from here).
+#[derive(Clone)]
+struct WorkerState {
+    pc: usize,
+    vars: Vec<i64>,
+    bound: Vec<bool>,
+    vc: VectorClock,
+    step: u64,
+    ckpt_seq: u64,
+    insts: Vec<u64>,
+    executed: u64,
+    now: u64,
+    halted: bool,
+}
+
+struct Worker<'s, 'a> {
+    rank: usize,
+    st: WorkerState,
+    shared: &'s Shared<'a>,
+    rx: Receiver<Packet>,
+    txs: Vec<Sender<Packet>>,
+    /// Earliest unfired kill deadline for this rank this round.
+    kill_at: Option<u64>,
+    /// Buffered arrivals per source rank.
+    pending: Vec<VecDeque<Packet>>,
+    eval_stack: Vec<i64>,
+    fc: FreeConfig,
+}
+
+enum Exit {
+    Halted,
+    /// Aborted (crash elsewhere, fatal error, or own kill).
+    Wound,
+}
+
+impl Worker<'_, '_> {
+    fn eval_ref(&mut self, r: ExprRef) -> Result<i64, EvalError> {
+        let compiled = self.shared.compiled;
+        match r.ops(&compiled.ops) {
+            [Op::Const(v)] => return Ok(*v),
+            [Op::Load(s)] => {
+                let s = *s as usize;
+                return if self.st.bound[s] {
+                    Ok(self.st.vars[s])
+                } else {
+                    Err(EvalError::UnboundVar(compiled.var_names[s].clone()))
+                };
+            }
+            _ => {}
+        }
+        let env = SlotEnv {
+            rank: self.rank as i64,
+            nprocs: self.shared.config.nprocs as i64,
+            vars: &self.st.vars,
+            bound: &self.st.bound,
+            var_names: &compiled.var_names,
+            params: &self.shared.params,
+            param_names: &compiled.param_names,
+            inputs: &self.shared.config.inputs,
+        };
+        eval_ops(r.ops(&compiled.ops), &env, &mut self.eval_stack)
+    }
+
+    fn resolve_rank(&mut self, expr: ExprRef) -> Option<usize> {
+        match self.eval_ref(expr) {
+            Ok(v) if v >= 0 && (v as usize) < self.shared.config.nprocs => Some(v as usize),
+            Ok(v) => {
+                self.shared.raise(Outcome::RuntimeError(
+                    self.rank,
+                    format!("rank expression evaluated to {v}, out of range"),
+                ));
+                None
+            }
+            Err(e) => {
+                self.shared
+                    .raise(Outcome::RuntimeError(self.rank, e.to_string()));
+                None
+            }
+        }
+    }
+
+    /// Fires this round's kill if the virtual clock has reached it.
+    fn check_kill(&mut self) -> bool {
+        if let Some(at) = self.kill_at {
+            if self.st.now >= at {
+                let mut c = self.shared.crash.lock().unwrap();
+                if c.is_none() {
+                    *c = Some((self.rank, at));
+                }
+                drop(c);
+                self.shared.abort.store(true, Ordering::SeqCst);
+                return true;
+            }
+        }
+        false
+    }
+
+    fn take_checkpoint(&mut self, stmt: Option<StmtId>, label: Option<String>, t: CkptTrigger) {
+        let rank = self.rank;
+        let coord = if self.shared.passive {
+            CoordinationCost::default()
+        } else {
+            self.shared
+                .coord
+                .lock()
+                .unwrap()
+                .coordination_cost(rank, SimTime::from_micros(self.st.now))
+        };
+        self.st.vc.tick(rank);
+        self.st.step += 1;
+        self.st.ckpt_seq += 1;
+        if let Some(sid) = stmt {
+            self.st.insts[sid.0 as usize] += 1;
+        }
+        let compiled = self.shared.compiled;
+        let mut vars: Vec<(String, i64)> = compiled
+            .var_names
+            .iter()
+            .enumerate()
+            .filter(|&(s, _)| self.st.bound[s])
+            .map(|(s, name)| (name.clone(), self.st.vars[s]))
+            .collect();
+        vars.sort();
+        let snap = StateSnapshot {
+            proc: rank,
+            seq: self.st.ckpt_seq,
+            trigger: t,
+            label,
+            pc: self.st.pc,
+            step: self.st.step,
+            nprocs: self.shared.config.nprocs,
+            vars,
+            vc: self.st.vc.iter_nonzero().collect(),
+            stmt_instances: self
+                .st
+                .insts
+                .iter()
+                .enumerate()
+                .filter(|&(_, &c)| c > 0)
+                .map(|(i, &c)| (i as u32, c))
+                .collect(),
+        };
+        if let Err(e) = self.shared.backend.lock().unwrap().commit(&snap) {
+            self.shared
+                .raise(Outcome::RuntimeError(rank, format!("backend commit: {e}")));
+            return;
+        }
+        self.shared
+            .ckpt_times
+            .lock()
+            .unwrap()
+            .insert((rank, self.st.ckpt_seq), self.st.now);
+        self.shared.event(RunEvent::Checkpoint {
+            proc: rank,
+            seq: self.st.ckpt_seq,
+            trigger: trigger_name(t),
+            vtime_us: self.st.now,
+        });
+        self.st.now += self.shared.config.cost.ckpt_overhead_us + coord.stall_us;
+        if !self.shared.passive {
+            self.shared.coord.lock().unwrap().checkpoint_taken(
+                rank,
+                t,
+                SimTime::from_micros(self.st.now),
+            );
+        }
+    }
+
+    fn do_send(&mut self, to: usize, bits: u64, stmt: StmtId) {
+        let rank = self.rank;
+        self.st.vc.tick(rank);
+        self.st.step += 1;
+        let piggyback = if self.shared.passive {
+            self.st.ckpt_seq
+        } else {
+            self.shared.coord.lock().unwrap().piggyback(
+                rank,
+                to,
+                self.st.ckpt_seq,
+                SimTime::from_micros(self.st.now),
+            )
+        };
+        let sent_at = self.st.now + self.shared.config.cost.send_overhead_us;
+        let vc: Vec<u64> = self.st.vc.components().to_vec();
+        let idx = {
+            let mut log = self.shared.log.lock().unwrap();
+            log.push(SentMsg {
+                from: rank,
+                to,
+                bits,
+                stmt,
+                send_step: self.st.step,
+                send_vc: vc.clone(),
+                piggyback,
+                sent_at,
+                recv_step: None,
+                rolled_back: false,
+            });
+            log.len() - 1
+        };
+        // A closed channel means the run is already winding down.
+        let _ = self.txs[to].send(Packet {
+            from: rank,
+            idx,
+            vc,
+            piggyback,
+            bits,
+            sent_at,
+        });
+        self.st.now += self.shared.config.cost.send_overhead_us;
+    }
+
+    /// Takes a buffered packet matching `want` (lowest sender rank
+    /// first for `any` — arrival order between channels is up to the OS
+    /// anyway).
+    fn take_pending(&mut self, want: Option<usize>) -> Option<Packet> {
+        match want {
+            Some(src) => self.pending[src].pop_front(),
+            None => self
+                .pending
+                .iter_mut()
+                .find(|q| !q.is_empty())
+                .and_then(|q| q.pop_front()),
+        }
+    }
+
+    /// Blocks until a packet matching `want` is available, buffering
+    /// others. Returns `None` on abort or idle timeout.
+    fn wait_for(&mut self, want: Option<usize>) -> Option<Packet> {
+        let start = Instant::now();
+        loop {
+            if let Some(p) = self.take_pending(want) {
+                return Some(p);
+            }
+            if self.shared.abort.load(Ordering::SeqCst) {
+                return None;
+            }
+            match self.rx.recv_timeout(self.fc.poll) {
+                Ok(p) => {
+                    let from = p.from;
+                    self.pending[from].push_back(p);
+                }
+                Err(RecvTimeoutError::Timeout) => {
+                    if start.elapsed() > self.fc.idle_timeout {
+                        self.shared.raise(Outcome::Deadlock(vec![self.rank]));
+                        return None;
+                    }
+                }
+                Err(RecvTimeoutError::Disconnected) => {
+                    // All senders gone: either everyone halted (then a
+                    // blocked recv is a deadlock) or the run aborted.
+                    if !self.shared.abort.load(Ordering::SeqCst) {
+                        self.shared.raise(Outcome::Deadlock(vec![self.rank]));
+                    }
+                    return None;
+                }
+            }
+        }
+    }
+
+    fn consume(&mut self, p: Packet) {
+        let rank = self.rank;
+        if !self.shared.passive {
+            let mut guard = 0u32;
+            loop {
+                let act = self.shared.coord.lock().unwrap().on_recv(
+                    rank,
+                    p.piggyback,
+                    self.st.ckpt_seq,
+                    SimTime::from_micros(self.st.now),
+                );
+                if act != acfc_sim::RecvAction::ForceCheckpointFirst {
+                    break;
+                }
+                self.take_checkpoint(None, None, CkptTrigger::Forced);
+                guard += 1;
+                assert!(
+                    guard < 100_000,
+                    "coordinator demanded forced checkpoints without converging"
+                );
+            }
+        }
+        let n = self.shared.config.nprocs;
+        let sender_vc = VectorClock::from_entries(
+            n,
+            p.vc.iter()
+                .enumerate()
+                .filter(|&(_, &v)| v > 0)
+                .map(|(i, &v)| (i as u32, v)),
+        );
+        self.st.vc.merge(&sender_vc);
+        self.st.vc.tick(rank);
+        self.st.step += 1;
+        // Virtual arrival: the message cannot be seen before it spent
+        // its modelled latency in the network.
+        let arrive = p.sent_at + self.shared.config.net.base_delay_us(p.bits);
+        self.st.now = self.st.now.max(arrive) + self.shared.config.cost.instr_overhead_us;
+        self.shared.log.lock().unwrap()[p.idx].recv_step = Some(self.st.step);
+    }
+
+    fn run(mut self) -> (WorkerState, Exit) {
+        let compiled = self.shared.compiled;
+        let max_steps = self.shared.config.max_steps_per_proc;
+        let instr_us = self.shared.config.cost.instr_overhead_us;
+        loop {
+            if self.shared.abort.load(Ordering::SeqCst) || self.check_kill() {
+                return (self.st, Exit::Wound);
+            }
+            if self.st.executed >= max_steps {
+                self.shared.raise(Outcome::StepLimit(self.rank));
+                return (self.st, Exit::Wound);
+            }
+            if self.shared.use_timer {
+                let due = self
+                    .shared
+                    .coord
+                    .lock()
+                    .unwrap()
+                    .timer_due(self.rank, SimTime::from_micros(self.st.now));
+                if due {
+                    self.st.executed += 1;
+                    let trigger = self.shared.coord.lock().unwrap().timer_trigger(self.rank);
+                    self.take_checkpoint(None, None, trigger);
+                    continue;
+                }
+            }
+            let pc = self.st.pc;
+            let instr = compiled.lowered[pc];
+            self.st.executed += 1;
+            match instr {
+                LowInstr::Compute { cost } => {
+                    let c = match self.eval_ref(cost) {
+                        Ok(v) if v >= 0 => v as u64,
+                        Ok(v) => {
+                            self.shared.raise(Outcome::RuntimeError(
+                                self.rank,
+                                format!("negative compute cost {v}"),
+                            ));
+                            return (self.st, Exit::Wound);
+                        }
+                        Err(e) => {
+                            self.shared
+                                .raise(Outcome::RuntimeError(self.rank, e.to_string()));
+                            return (self.st, Exit::Wound);
+                        }
+                    };
+                    self.st.now += c * self.shared.config.cost.compute_unit_us + instr_us;
+                    self.st.pc = pc + 1;
+                }
+                LowInstr::Assign { var, value } => {
+                    match self.eval_ref(value) {
+                        Ok(v) => {
+                            self.st.vars[var as usize] = v;
+                            self.st.bound[var as usize] = true;
+                        }
+                        Err(e) => {
+                            self.shared
+                                .raise(Outcome::RuntimeError(self.rank, e.to_string()));
+                            return (self.st, Exit::Wound);
+                        }
+                    }
+                    self.st.now += instr_us;
+                    self.st.pc = pc + 1;
+                }
+                LowInstr::Jump { target } => {
+                    self.st.now += instr_us;
+                    self.st.pc = target as usize;
+                }
+                LowInstr::JumpIfFalse { cond, target } => {
+                    let v = match self.eval_ref(cond) {
+                        Ok(v) => v,
+                        Err(e) => {
+                            self.shared
+                                .raise(Outcome::RuntimeError(self.rank, e.to_string()));
+                            return (self.st, Exit::Wound);
+                        }
+                    };
+                    self.st.now += instr_us;
+                    self.st.pc = if v == 0 { target as usize } else { pc + 1 };
+                }
+                LowInstr::Send {
+                    dest,
+                    size_bits,
+                    stmt,
+                } => {
+                    let Some(to) = self.resolve_rank(dest) else {
+                        return (self.st, Exit::Wound);
+                    };
+                    let bits = match self.eval_ref(size_bits) {
+                        Ok(v) if v >= 0 => v as u64,
+                        Ok(v) => {
+                            self.shared.raise(Outcome::RuntimeError(
+                                self.rank,
+                                format!("negative message size {v}"),
+                            ));
+                            return (self.st, Exit::Wound);
+                        }
+                        Err(e) => {
+                            self.shared
+                                .raise(Outcome::RuntimeError(self.rank, e.to_string()));
+                            return (self.st, Exit::Wound);
+                        }
+                    };
+                    self.do_send(to, bits, stmt);
+                    self.st.pc = pc + 1;
+                }
+                LowInstr::Recv { src, stmt } => {
+                    let want: Option<usize> = match src {
+                        LowSrc::Any => None,
+                        LowSrc::Rank(e) => {
+                            let Some(s) = self.resolve_rank(e) else {
+                                return (self.st, Exit::Wound);
+                            };
+                            Some(s)
+                        }
+                    };
+                    let Some(packet) = self.wait_for(want) else {
+                        return (self.st, Exit::Wound);
+                    };
+                    let _ = stmt;
+                    self.consume(packet);
+                    self.st.pc = pc + 1;
+                }
+                LowInstr::Checkpoint { stmt, label } => {
+                    self.st.pc = pc + 1;
+                    let take = self.shared.passive
+                        || self
+                            .shared
+                            .coord
+                            .lock()
+                            .unwrap()
+                            .take_app_checkpoint(self.rank, SimTime::from_micros(self.st.now));
+                    if take {
+                        let label = if label == NO_LABEL {
+                            None
+                        } else {
+                            Some(compiled.labels[label as usize].to_string())
+                        };
+                        self.take_checkpoint(Some(stmt), label, CkptTrigger::AppStatement);
+                    } else {
+                        self.st.now += instr_us;
+                    }
+                }
+                LowInstr::Halt => {
+                    self.st.halted = true;
+                    self.shared.event(RunEvent::Halt {
+                        proc: self.rank,
+                        vtime_us: self.st.now,
+                    });
+                    return (self.st, Exit::Halted);
+                }
+            }
+        }
+    }
+}
+
+/// Runs `compiled` on live OS threads. See the module docs for the
+/// execution and recovery model.
+pub fn run_free(
+    compiled: &Compiled,
+    config: &SimConfig,
+    coordinator: &mut dyn CheckpointCoordinator,
+    backend: &mut (dyn StateBackend + Send),
+    injector: &FailureInjector,
+    fc: &FreeConfig,
+) -> RunReport {
+    let _span = acfc_obs::span("runtime/free_run");
+    let n = config.nprocs;
+    assert!(n >= 1, "need at least one worker");
+    let picker = coordinator.picker();
+    let coordinator_name = coordinator.name().to_string();
+    let use_timer = coordinator.uses_timers();
+    let passive = coordinator.passive();
+    let backend_name = backend.name().to_string();
+
+    let mut params: Vec<Option<i64>> = vec![None; compiled.param_names.len()];
+    let slot_of = |name: &str| compiled.param_names.iter().position(|p| p == name);
+    for (k, v) in &compiled.params {
+        if let Some(s) = slot_of(k) {
+            params[s] = Some(*v);
+        }
+    }
+    for (k, v) in &config.param_overrides {
+        if let Some(s) = slot_of(k) {
+            params[s] = Some(*v);
+        }
+    }
+
+    let nslots = compiled.var_names.len();
+    let declared = compiled.vars.len();
+    let stmt_limit = compiled.stmt_limit as usize;
+    let mut states: Vec<WorkerState> = (0..n)
+        .map(|_| {
+            let mut bound = vec![false; nslots];
+            bound[..declared].fill(true);
+            WorkerState {
+                pc: 0,
+                vars: vec![0; nslots],
+                bound,
+                vc: VectorClock::new(n),
+                step: 0,
+                ckpt_seq: 0,
+                insts: vec![0; stmt_limit],
+                executed: 0,
+                now: 0,
+                halted: false,
+            }
+        })
+        .collect();
+
+    let shared = Shared {
+        compiled,
+        config,
+        params,
+        coord: Mutex::new(coordinator),
+        backend: Mutex::new(backend),
+        log: Mutex::new(Vec::new()),
+        events: Mutex::new(vec![RunEvent::RunStart {
+            program: compiled.name.clone(),
+            nprocs: n,
+            coordinator: coordinator_name.clone(),
+            backend: backend_name.clone(),
+            mode: "free",
+        }]),
+        ckpt_times: Mutex::new(BTreeMap::new()),
+        abort: AtomicBool::new(false),
+        crash: Mutex::new(None),
+        fatal: Mutex::new(None),
+        use_timer,
+        passive,
+    };
+
+    let mut kills = injector.kills.clone();
+    let mut preload: Vec<Packet> = Vec::new();
+    let mut failures = 0u64;
+    let mut recoveries = 0u32;
+    let outcome;
+
+    loop {
+        // Fresh channels each round: nothing stale survives a rollback.
+        let mut txs = Vec::with_capacity(n);
+        let mut rxs = VecDeque::with_capacity(n);
+        for _ in 0..n {
+            let (tx, rx) = channel::<Packet>();
+            txs.push(tx);
+            rxs.push_back(rx);
+        }
+        for p in preload.drain(..) {
+            let to = shared.log.lock().unwrap()[p.idx].to;
+            let _ = txs[to].send(p);
+        }
+        let round_states: Vec<Option<(WorkerState, Exit)>> = std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(n);
+            for (rank, st) in states.iter().enumerate() {
+                if st.halted {
+                    // Drop the halted worker's receiver; senders to it
+                    // get a closed channel, which they ignore.
+                    rxs.pop_front();
+                    handles.push(None);
+                    continue;
+                }
+                let worker = Worker {
+                    rank,
+                    st: st.clone(),
+                    shared: &shared,
+                    rx: rxs.pop_front().expect("one receiver per rank"),
+                    txs: txs.clone(),
+                    kill_at: kills
+                        .iter()
+                        .filter(|&&(_, p)| p == rank)
+                        .map(|&(at, _)| at)
+                        .min(),
+                    pending: (0..n).map(|_| VecDeque::new()).collect(),
+                    eval_stack: Vec::new(),
+                    fc: fc.clone(),
+                };
+                handles.push(Some(scope.spawn(move || worker.run())));
+            }
+            drop(txs);
+            handles
+                .into_iter()
+                .map(|h| h.map(|h| h.join().expect("worker thread panicked")))
+                .collect()
+        });
+        for (rank, r) in round_states.into_iter().enumerate() {
+            if let Some((st, _)) = r {
+                states[rank] = st;
+            }
+        }
+
+        if let Some(o) = shared.fatal.lock().unwrap().take() {
+            outcome = o;
+            break;
+        }
+        let crash = shared.crash.lock().unwrap().take();
+        if let Some((victim, at)) = crash {
+            failures += 1;
+            recoveries += 1;
+            if recoveries > fc.max_recoveries {
+                outcome = Outcome::RuntimeError(
+                    victim,
+                    format!("recovery limit ({}) exceeded", fc.max_recoveries),
+                );
+                break;
+            }
+            // This kill has fired; it must not fire again after restore.
+            if let Some(i) = kills.iter().position(|&(t, p)| p == victim && t == at) {
+                kills.remove(i);
+            }
+            shared.abort.store(false, Ordering::SeqCst);
+            shared.event(RunEvent::Kill {
+                proc: victim,
+                vtime_us: at,
+            });
+            preload = recover(&shared, &picker, &mut states, victim, at);
+            continue;
+        }
+        if states.iter().all(|s| s.halted) {
+            outcome = Outcome::Completed;
+        } else {
+            outcome = Outcome::Deadlock(
+                states
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, s)| !s.halted)
+                    .map(|(i, _)| i)
+                    .collect(),
+            );
+        }
+        break;
+    }
+
+    let vtime_us = states.iter().map(|s| s.now).max().unwrap_or(0);
+    let final_vars: Vec<Vec<(String, i64)>> = states
+        .iter()
+        .map(|s| {
+            let mut pairs: Vec<(String, i64)> = compiled
+                .var_names
+                .iter()
+                .enumerate()
+                .filter(|&(i, _)| s.bound[i])
+                .map(|(i, name)| (name.clone(), s.vars[i]))
+                .collect();
+            pairs.sort();
+            pairs
+        })
+        .collect();
+    let mut events = shared.events.into_inner().unwrap();
+    let checkpoints = events
+        .iter()
+        .filter(|e| matches!(e, RunEvent::Checkpoint { .. }))
+        .count() as u64;
+    let messages = shared.log.into_inner().unwrap().len() as u64;
+    events.push(RunEvent::RunEnd {
+        outcome: outcome_name(&outcome),
+        vtime_us,
+        checkpoints,
+        messages,
+        failures,
+    });
+    RunReport {
+        program: compiled.name.clone(),
+        nprocs: n,
+        coordinator: coordinator_name,
+        backend: backend_name,
+        mode: "free",
+        outcome,
+        vtime_us,
+        events,
+        final_vars,
+    }
+}
+
+/// Stop-the-world recovery: rebuilds the recovery view *from the
+/// backend's committed set* and the send log, picks the cut, restores
+/// every worker state from loaded snapshots, and returns the in-transit
+/// packets to re-inject into the next round's channels.
+fn recover(
+    shared: &Shared<'_>,
+    picker: &CutPicker,
+    states: &mut [WorkerState],
+    victim: usize,
+    at: u64,
+) -> Vec<Packet> {
+    let n = shared.config.nprocs;
+    let mut backend = shared.backend.lock().unwrap();
+    let committed = backend
+        .committed()
+        .expect("backend enumerates committed snapshots");
+    // Materialise committed snapshots as checkpoint records so the
+    // simulator-side pickers (which consume `RecoveryView`) apply
+    // unchanged. Times are not persisted — pickers never read them.
+    let loaded: Vec<StateSnapshot> = committed
+        .iter()
+        .map(|&(p, seq)| backend.load(p, seq).expect("committed snapshot loads"))
+        .collect();
+    let records: Vec<CheckpointRecord> = loaded
+        .iter()
+        .map(|s| {
+            let snapshot = s.to_snapshot();
+            CheckpointRecord {
+                proc: s.proc,
+                seq: s.seq,
+                stmt: None,
+                instance: 0,
+                label: s.label.as_deref().map(Into::into),
+                trigger: s.trigger,
+                start: SimTime::ZERO,
+                durable_at: SimTime::ZERO,
+                vc: snapshot.vc.clone(),
+                step: s.step,
+                snapshot,
+                rolled_back: false,
+            }
+        })
+        .collect();
+    let mut live: Vec<Vec<&CheckpointRecord>> = vec![Vec::new(); n];
+    for r in &records {
+        live[r.proc].push(r);
+    }
+    let log = shared.log.lock().unwrap();
+    let messages: Vec<MessageRecord> = log
+        .iter()
+        .enumerate()
+        .map(|(i, m)| MessageRecord {
+            id: MsgId(i as u64),
+            from: m.from,
+            to: m.to,
+            size_bits: m.bits,
+            send_stmt: m.stmt,
+            sent_at: SimTime::from_micros(m.sent_at),
+            send_vc: VectorClock::from_entries(
+                n,
+                m.send_vc
+                    .iter()
+                    .enumerate()
+                    .filter(|&(_, &v)| v > 0)
+                    .map(|(i, &v)| (i as u32, v)),
+            ),
+            send_step: m.send_step,
+            piggyback: m.piggyback,
+            delivered_at: None,
+            recv_at: None,
+            recv_vc: None,
+            recv_step: m.recv_step,
+            recv_stmt: None,
+            rolled_back: m.rolled_back,
+        })
+        .collect();
+    drop(log);
+    let view = RecoveryView {
+        live: &live,
+        messages: &messages,
+    };
+    let picked = picker.pick(&view);
+    let cut_step: Vec<u64> = (0..n)
+        .map(|q| {
+            picked[q]
+                .and_then(|seq| loaded.iter().find(|s| s.proc == q && s.seq == seq))
+                .map(|s| s.step)
+                .unwrap_or(0)
+        })
+        .collect();
+    for q in 0..n {
+        assert!(
+            picked[q].is_none() || cut_step[q] > 0,
+            "picker chose a seq the backend does not hold for proc {q}"
+        );
+    }
+    // Lost work: virtual time since each worker's restored checkpoint.
+    let times = shared.ckpt_times.lock().unwrap();
+    let lost_us: u64 = (0..n)
+        .map(|q| {
+            let back_to = picked[q]
+                .and_then(|seq| times.get(&(q, seq)).copied())
+                .unwrap_or(0);
+            states[q].now.saturating_sub(back_to)
+        })
+        .sum();
+    drop(times);
+    // The backend keeps only the cut and earlier.
+    for (q, p) in picked.iter().enumerate() {
+        backend
+            .discard_after(q, p.unwrap_or(0))
+            .expect("backend discards rolled-back snapshots");
+    }
+    drop(backend);
+    // Classify the log against the cut; in-transit messages become next
+    // round's preloaded packets, FIFO per sender.
+    let mut log = shared.log.lock().unwrap();
+    let mut intransit: Vec<usize> = Vec::new();
+    for (i, m) in log.iter_mut().enumerate() {
+        if m.rolled_back {
+            continue;
+        }
+        if m.send_step > cut_step[m.from] {
+            m.rolled_back = true;
+            continue;
+        }
+        let received_before_cut = m.recv_step.is_some_and(|rs| rs <= cut_step[m.to]);
+        if !received_before_cut {
+            m.recv_step = None;
+            intransit.push(i);
+        }
+    }
+    intransit.sort_by_key(|&i| (log[i].from, log[i].send_step));
+    let resume = at + shared.config.cost.recovery_us;
+    let preload: Vec<Packet> = intransit
+        .iter()
+        .map(|&i| {
+            let m = &log[i];
+            Packet {
+                from: m.from,
+                idx: i,
+                vc: m.send_vc.clone(),
+                piggyback: m.piggyback,
+                bits: m.bits,
+                // Redelivery happens after the recovery pause.
+                sent_at: resume,
+            }
+        })
+        .collect();
+    drop(log);
+    // Restore every worker from the backend-loaded snapshot (or to the
+    // initial state when its line has no checkpoint).
+    let compiled = shared.compiled;
+    for q in 0..n {
+        let st = &mut states[q];
+        match picked[q].and_then(|seq| loaded.iter().find(|s| s.proc == q && s.seq == seq)) {
+            Some(s) => {
+                st.pc = s.pc;
+                st.vars.fill(0);
+                st.bound.fill(false);
+                for (name, v) in &s.vars {
+                    let slot = compiled
+                        .var_names
+                        .iter()
+                        .position(|x| x == name)
+                        .expect("snapshot variable exists in the program");
+                    st.vars[slot] = *v;
+                    st.bound[slot] = true;
+                }
+                // Dense, mutable clock (from_entries alone yields an
+                // immutable sparse stamp unfit for tick/merge).
+                let mut vc = VectorClock::new(n);
+                vc.merge(&VectorClock::from_entries(n, s.vc.iter().copied()));
+                st.vc = vc;
+                st.ckpt_seq = s.seq;
+                st.insts.fill(0);
+                for &(sid, c) in &s.stmt_instances {
+                    st.insts[sid as usize] = c;
+                }
+                st.step = s.step;
+            }
+            None => {
+                st.pc = 0;
+                // Values reset to 0; binding state is untouched
+                // (mirrors the simulator's restore-to-initial).
+                st.vars.fill(0);
+                st.vc = VectorClock::new(n);
+                st.ckpt_seq = 0;
+                st.insts.fill(0);
+                st.step = 0;
+            }
+        }
+        st.halted = false;
+        st.now = resume;
+    }
+    shared.event(RunEvent::Recovery {
+        killed: victim,
+        vtime_us: resume,
+        restored: picked,
+        redelivered: preload.len(),
+        lost_us,
+    });
+    preload
+}

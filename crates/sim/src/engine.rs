@@ -11,6 +11,7 @@
 //! failure plan, a run is bit-for-bit reproducible (the only randomness
 //! is the seeded network jitter).
 
+use crate::backend::{StateBackend, StateSnapshot};
 use crate::bytecode::{Compiled, ExprRef, LowInstr, LowSrc, NO_LABEL};
 use crate::clock::VectorClock;
 use crate::config::SimConfig;
@@ -54,6 +55,7 @@ pub fn run_with_hooks(compiled: &Compiled, config: &SimConfig, hooks: &mut dyn H
         FailurePlan::none(),
         CutPicker::AlignedSeq,
         None,
+        None,
     )
     .run()
 }
@@ -67,7 +69,23 @@ pub fn run_with_failures(
     plan: FailurePlan,
     picker: CutPicker,
 ) -> Trace {
-    Engine::new(compiled, config, hooks, plan, picker, None).run()
+    Engine::new(compiled, config, hooks, plan, picker, None, None).run()
+}
+
+/// Fully general run with a [`StateBackend`] attached: every checkpoint
+/// the engine records is also committed to the backend, and rollbacks
+/// discard from it, so the backend's committed set tracks the trace's
+/// live checkpoints. The default entry points pass no backend and pay
+/// one never-taken branch per checkpoint.
+pub fn run_with_backend(
+    compiled: &Compiled,
+    config: &SimConfig,
+    hooks: &mut dyn Hooks,
+    plan: FailurePlan,
+    picker: CutPicker,
+    backend: &mut dyn StateBackend,
+) -> Trace {
+    Engine::new(compiled, config, hooks, plan, picker, None, Some(backend)).run()
 }
 
 /// Runs like [`run`] while filling the per-run [`SimObs`] collector
@@ -82,6 +100,7 @@ pub fn run_observed(compiled: &Compiled, config: &SimConfig, obs: &mut SimObs) -
         FailurePlan::none(),
         CutPicker::AlignedSeq,
         Some(obs),
+        None,
     )
     .run()
 }
@@ -96,7 +115,7 @@ pub fn run_observed_with(
     picker: CutPicker,
     obs: &mut SimObs,
 ) -> Trace {
-    Engine::new(compiled, config, hooks, plan, picker, Some(obs)).run()
+    Engine::new(compiled, config, hooks, plan, picker, Some(obs), None).run()
 }
 
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -331,6 +350,10 @@ struct Engine<'a> {
     /// Opt-in per-run observability collector; `None` (the default
     /// entry points) costs one never-taken branch per probe.
     obs: Option<&'a mut SimObs>,
+    /// Opt-in durable state backend: committed on every checkpoint,
+    /// discarded from on rollback; `None` (the default entry points)
+    /// costs one never-taken branch per checkpoint.
+    backend: Option<&'a mut dyn StateBackend>,
     /// Events popped off the queue — counted unconditionally (one
     /// plain add beats an `Option` branch in the hot loop) and copied
     /// into [`SimObs`] when a collector is attached.
@@ -358,6 +381,7 @@ impl<'a> Engine<'a> {
         plan: FailurePlan,
         picker: CutPicker,
         mut obs: Option<&'a mut SimObs>,
+        backend: Option<&'a mut dyn StateBackend>,
     ) -> Engine<'a> {
         let n = config.nprocs;
         assert!(n >= 1, "need at least one process");
@@ -445,6 +469,7 @@ impl<'a> Engine<'a> {
             use_timer_hook,
             passive_hooks,
             obs,
+            backend,
             events_processed: 0,
             run_ahead_hits: 0,
             compute_us: vec![0; n],
@@ -1080,6 +1105,13 @@ impl<'a> Engine<'a> {
             snapshot,
             rolled_back: false,
         });
+        if let Some(b) = self.backend.as_deref_mut() {
+            let rec = self.checkpoints.last().expect("just pushed");
+            if let Err(e) = b.commit(&StateSnapshot::from_record(rec)) {
+                self.outcome
+                    .get_or_insert(Outcome::RuntimeError(p, format!("backend commit: {e}")));
+            }
+        }
         *now = start + stall;
         if let Some(o) = self.obs.as_deref_mut() {
             o.on_ckpt_stall(p, start.as_micros(), now.as_micros());
@@ -1230,6 +1262,15 @@ impl<'a> Engine<'a> {
         for c in &mut self.checkpoints {
             if !c.rolled_back && c.step > cut_step[c.proc] {
                 c.rolled_back = true;
+            }
+        }
+        // The backend's committed set tracks the live checkpoints.
+        if let Some(b) = self.backend.as_deref_mut() {
+            for (q, p) in picked.iter().enumerate() {
+                if let Err(e) = b.discard_after(q, p.unwrap_or(0)) {
+                    self.outcome
+                        .get_or_insert(Outcome::RuntimeError(q, format!("backend discard: {e}")));
+                }
             }
         }
         let resume = t + self.config.cost.recovery_us;

@@ -147,7 +147,7 @@ impl CutPicker {
 mod tests {
     use super::*;
     use crate::clock::VectorClock;
-    use crate::trace::{CkptTrigger, Snapshot, StmtInstances, VarStore};
+    use crate::trace::{CkptTrigger, Snapshot, StmtInstances};
 
     fn ckpt(proc: usize, seq: u64) -> CheckpointRecord {
         CheckpointRecord {
@@ -163,7 +163,7 @@ mod tests {
             step: seq,
             snapshot: Snapshot {
                 pc: 0,
-                vars: VarStore::from_pairs([]),
+                vars: crate::backend::var_store([]),
                 vc: VectorClock::new(2),
                 ckpt_seq: seq,
                 stmt_instances: StmtInstances::default(),

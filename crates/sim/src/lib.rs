@@ -42,6 +42,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod backend;
 pub mod bytecode;
 pub mod clock;
 pub mod config;
@@ -57,10 +58,13 @@ pub mod stats;
 pub mod time;
 pub mod trace;
 
+pub use backend::{BackendError, SimBackend, StateBackend, StateSnapshot};
 pub use bytecode::{compile, Compiled, Instr};
 pub use clock::VectorClock;
 pub use config::{ClockMode, CostModel, NetworkModel, SimConfig, DENSE_CLOCK_MAX};
-pub use engine::{run, run_observed, run_observed_with, run_with_failures, run_with_hooks};
+pub use engine::{
+    run, run_observed, run_observed_with, run_with_backend, run_with_failures, run_with_hooks,
+};
 pub use equeue::{CalendarQueue, SortedVecQueue};
 pub use export::{checkpoints_tsv, golden, messages_tsv, spacetime, summary};
 pub use failure::{CutPicker, FailurePlan, PickerFn, RecoveryView};

@@ -49,15 +49,15 @@ pub struct VarStore {
 
 impl VarStore {
     /// Builds a store from explicit `(name, value)` bindings (all
-    /// bound). Intended for tests and out-of-crate engine baselines.
+    /// bound).
+    #[deprecated(
+        since = "0.1.0",
+        note = "ad-hoc snapshot construction is superseded by the `backend` module: use \
+                `backend::var_store`, or build a `backend::StateSnapshot` and convert with \
+                `to_snapshot()`"
+    )]
     pub fn from_pairs(pairs: impl IntoIterator<Item = (String, i64)>) -> VarStore {
-        let (names, values): (Vec<String>, Vec<i64>) = pairs.into_iter().unzip();
-        let bound = vec![true; names.len()].into();
-        VarStore {
-            names: names.into(),
-            values,
-            bound,
-        }
+        crate::backend::var_store(pairs)
     }
 
     /// The value bound to `name`, if any.
@@ -125,18 +125,15 @@ impl Eq for VarStore {}
 pub struct StmtInstances(pub(crate) Vec<u64>);
 
 impl StmtInstances {
-    /// Builds counters from explicit `(stmt_id, count)` pairs. Intended
-    /// for tests and out-of-crate engine baselines.
+    /// Builds counters from explicit `(stmt_id, count)` pairs.
+    #[deprecated(
+        since = "0.1.0",
+        note = "ad-hoc snapshot construction is superseded by the `backend` module: use \
+                `backend::stmt_instances`, or build a `backend::StateSnapshot` and convert \
+                with `to_snapshot()`"
+    )]
     pub fn from_pairs(pairs: impl IntoIterator<Item = (u32, u64)>) -> StmtInstances {
-        let mut v = Vec::new();
-        for (id, count) in pairs {
-            let id = id as usize;
-            if id >= v.len() {
-                v.resize(id + 1, 0);
-            }
-            v[id] = count;
-        }
-        StmtInstances(v)
+        crate::backend::stmt_instances(pairs)
     }
 
     /// The instance count of statement `id` (0 if never executed).

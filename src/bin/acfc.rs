@@ -6,6 +6,8 @@
 //!              [--folded out.folded]
 //! acfc run     <file.mpsl> [--nprocs N] [--seed S] [--analyze] [--input V]...
 //!              [--profile out.json]
+//! acfc run     <file.mpsl> --real [--det] [--protocol P] [--backend mem|file|log]
+//!              [--backend-dir DIR] [--kill p@t]... [--interval-us N] [--jsonl out.jsonl]
 //! acfc report  <file.mpsl> [--nprocs N] [--seed S] [--serve ADDR]
 //! acfc mpmd    <name> <file.mpsl@FIRST[-LAST]>... # combine MPMD roles into SPMD
 //! acfc figures                                    # regenerate Figures 8 and 9
@@ -20,6 +22,19 @@
 //! pipeline and prints the report (`--emit` prints the transformed
 //! source, `--dot` the extended CFG in Graphviz form); `run` executes
 //! on the simulator and verifies every straight cut.
+//!
+//! `run --real` executes on the real checkpointing runtime instead:
+//! one OS thread per worker over live channels, snapshots committed to
+//! an actual [`StateBackend`](acfc::sim::StateBackend) (`--backend mem`
+//! in-memory, `file` one CRC-framed file per snapshot with atomic
+//! rename, `log` a single append-only log), `--kill p@t` crashing
+//! worker `p` at virtual time `t` µs with stop-the-world recovery from
+//! the latest consistent cut read back out of the backend. `--det`
+//! swaps the free-running threads for the deterministic virtual-time
+//! scheduler (same trace as the simulator); `--protocol` picks the
+//! coordinator (`appl-driven`, `uncoordinated`, `SaS`, `C-L`,
+//! `CIC-index|bcs|hmnr|lazy`); `--jsonl` writes the machine-readable
+//! event transcript; `--trace` prints it.
 //!
 //! `--profile` writes a Chrome-trace-format JSON file loadable in
 //! <https://ui.perfetto.dev>: for `run`, a **simulated-time** timeline
@@ -85,6 +100,13 @@ struct Args {
     serve: Option<String>,
     telemetry: bool,
     cic: Option<Vec<String>>,
+    real: bool,
+    det: bool,
+    protocol: Option<String>,
+    backend: String,
+    backend_dir: Option<String>,
+    kills: Vec<String>,
+    interval_us: u64,
 }
 
 fn parse_args(mut argv: std::env::Args) -> Result<(String, Args), String> {
@@ -110,6 +132,13 @@ fn parse_args(mut argv: std::env::Args) -> Result<(String, Args), String> {
         serve: None,
         telemetry: false,
         cic: None,
+        real: false,
+        det: false,
+        protocol: None,
+        backend: "mem".to_string(),
+        backend_dir: None,
+        kills: Vec::new(),
+        interval_us: 60_000,
     };
     let mut it = argv.peekable();
     while let Some(a) = it.next() {
@@ -170,6 +199,27 @@ fn parse_args(mut argv: std::env::Args) -> Result<(String, Args), String> {
                 let list = it.next().ok_or("--cic needs a comma-separated list")?;
                 args.cic = Some(list.split(',').map(|v| v.trim().to_string()).collect());
             }
+            "--protocol" => {
+                args.protocol = Some(it.next().ok_or("--protocol needs a protocol name")?);
+            }
+            "--backend" => {
+                args.backend = it.next().ok_or("--backend needs mem, file, or log")?;
+            }
+            "--backend-dir" => {
+                args.backend_dir = Some(it.next().ok_or("--backend-dir needs a directory")?);
+            }
+            "--kill" => {
+                args.kills
+                    .push(it.next().ok_or("--kill needs a proc@vtime_us spec")?);
+            }
+            "--interval-us" => {
+                args.interval_us = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or("--interval-us needs a number (µs)")?;
+            }
+            "--real" => args.real = true,
+            "--det" => args.det = true,
             "--telemetry" => args.telemetry = true,
             "--sweep" => args.sweep = true,
             "--emit" => args.emit = true,
@@ -188,7 +238,9 @@ fn usage() -> String {
      [--seed S] [--emit] [--dot] [--trace] [--analyze] [--sweep] [--ns 2,4,8] [--seeds K] \
      [--cic index,bcs,hmnr,lazy] [--input V]... [--failure-rate L]... [--json out.json] \
      [--jsonl out.jsonl] [--telemetry] \
-     [--profile out.json] [--folded out.folded] [--serve host:port]"
+     [--profile out.json] [--folded out.folded] [--serve host:port] \
+     [--real] [--det] [--protocol P] [--backend mem|file|log] [--backend-dir DIR] \
+     [--kill p@t]... [--interval-us N]"
         .to_string()
 }
 
@@ -309,7 +361,134 @@ fn cmd_analyze(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+/// `acfc run --real` — execute on the checkpointing runtime: live
+/// OS-thread workers (or the deterministic scheduler with `--det`),
+/// snapshots committed to a real backend, kills injected at virtual
+/// times, recovery restored from the backend's committed set.
+fn cmd_run_real(args: &Args) -> Result<(), String> {
+    use acfc::protocols::ProtocolKind;
+    use acfc::runtime::{
+        backend_for, coordinator_for, run_det, run_free, FailureInjector, FreeConfig, RunEvent,
+    };
+    use acfc::sim::Outcome;
+    let program = load(args)?;
+    let kind: ProtocolKind = args
+        .protocol
+        .as_deref()
+        .unwrap_or("appl-driven")
+        .parse()
+        .map_err(|e| format!("--protocol: {e}"))?;
+    let mut injector = FailureInjector::none();
+    for spec in &args.kills {
+        let (at, p) = FailureInjector::parse_spec(spec).map_err(|e| format!("--kill: {e}"))?;
+        if p >= args.nprocs {
+            return Err(format!(
+                "--kill {spec}: proc {p} out of range for n={}",
+                args.nprocs
+            ));
+        }
+        injector.push(at, p);
+    }
+    let mut prep = coordinator_for(
+        kind,
+        &program,
+        args.nprocs,
+        args.interval_us,
+        args.interval_us / 3,
+        Default::default(),
+    )
+    .map_err(|e| format!("--protocol {kind}: {e}"))?;
+    let dir = match &args.backend_dir {
+        Some(d) => std::path::PathBuf::from(d),
+        None => std::env::temp_dir().join(format!("acfc-run-{}", std::process::id())),
+    };
+    std::fs::create_dir_all(&dir).map_err(|e| format!("{}: {e}", dir.display()))?;
+    let mut backend = backend_for(&args.backend, &dir).map_err(|e| format!("--backend: {e}"))?;
+    let cfg = SimConfig::new(args.nprocs)
+        .with_seed(args.seed)
+        .with_inputs(args.inputs.clone());
+    let report = if args.det {
+        run_det(
+            &prep.compiled,
+            &cfg,
+            prep.coordinator.as_mut(),
+            backend.as_mut(),
+            injector.plan(),
+        )
+        .into_report(kind.name(), backend.name())
+    } else {
+        run_free(
+            &prep.compiled,
+            &cfg,
+            prep.coordinator.as_mut(),
+            backend.as_mut(),
+            &injector,
+            &FreeConfig::default(),
+        )
+    };
+    println!(
+        "{}: n={} mode={} protocol={} backend={} -> {} in {:.4}s virtual",
+        report.program,
+        report.nprocs,
+        report.mode,
+        report.coordinator,
+        report.backend,
+        acfc::runtime::outcome_name(&report.outcome),
+        report.vtime_us as f64 / 1e6,
+    );
+    let mut ckpts = vec![0u64; args.nprocs];
+    for e in &report.events {
+        match e {
+            RunEvent::Checkpoint { proc, .. } => ckpts[*proc] += 1,
+            RunEvent::Kill { proc, vtime_us } => {
+                println!("kill: P{proc} crashed at {:.4}s", *vtime_us as f64 / 1e6);
+            }
+            RunEvent::Recovery {
+                killed,
+                vtime_us,
+                restored,
+                redelivered,
+                lost_us,
+            } => {
+                let line: Vec<String> = restored
+                    .iter()
+                    .map(|r| r.map_or_else(|| "initial".into(), |s| s.to_string()))
+                    .collect();
+                println!(
+                    "recovery: P{killed}'s crash rolled back to cut [{}] at {:.4}s \
+                     ({redelivered} message(s) re-delivered, {:.1} ms of work lost)",
+                    line.join(", "),
+                    *vtime_us as f64 / 1e6,
+                    *lost_us as f64 / 1000.0,
+                );
+            }
+            _ => {}
+        }
+    }
+    println!(
+        "checkpoints committed per process: {ckpts:?}; {} still live in the backend",
+        backend.committed().map_err(|e| e.to_string())?.len()
+    );
+    if args.trace {
+        print!("{}", report.to_jsonl());
+    }
+    if let Some(path) = &args.jsonl {
+        std::fs::write(path, report.to_jsonl()).map_err(|e| format!("{path}: {e}"))?;
+        println!(
+            "wrote {} event(s) to {path} (one JSON object per line)",
+            report.events.len()
+        );
+    }
+    if report.outcome != Outcome::Completed {
+        return Err("run did not complete".into());
+    }
+    Ok(())
+}
+
 fn cmd_run(args: &Args) -> Result<(), String> {
+    if args.real {
+        return cmd_run_real(args);
+    }
     let mut program = load(args)?;
     if args.do_analyze {
         let analysis = analyze(&program, &analysis_config(args)).map_err(|e| e.to_string())?;
@@ -519,10 +698,7 @@ fn cmd_compare_sweep(args: &Args) -> Result<(), String> {
     if let Some(list) = &args.cic {
         let variants: Result<Vec<CicVariant>, String> = list
             .iter()
-            .map(|v| {
-                CicVariant::parse(v)
-                    .ok_or_else(|| format!("--cic: unknown variant `{v}` (index|bcs|hmnr|lazy)"))
-            })
+            .map(|v| v.parse::<CicVariant>().map_err(|e| format!("--cic: {e}")))
             .collect();
         builder = builder.cic_variants(variants?);
     }

@@ -42,5 +42,6 @@ pub use acfc_mpsl as mpsl;
 pub use acfc_obs as obs;
 pub use acfc_perfmodel as perfmodel;
 pub use acfc_protocols as protocols;
+pub use acfc_runtime as runtime;
 pub use acfc_sim as sim;
 pub use acfc_util as util;
